@@ -1,0 +1,471 @@
+// Package press benchmarks regenerate every table and figure of the
+// paper's evaluation: run `go test -bench=. -benchmem` and compare the
+// reported metrics against EXPERIMENTS.md. Simulation benches report
+// simulated request throughput; real-stack benches report wall-clock
+// throughput of the runnable PRESS cluster.
+package press
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"press/core"
+	"press/experiments"
+	"press/loadgen"
+	"press/model"
+	"press/netmodel"
+	"press/server"
+	"press/trace"
+	"press/via"
+)
+
+// benchOptions keeps the per-iteration simulation cost modest; raise
+// Requests (e.g. -benchtime with a custom main) for paper-scale runs.
+func benchOptions() experiments.Options {
+	return experiments.Options{Requests: 60000, Seed: 1}
+}
+
+// BenchmarkFigure1 regenerates Figure 1: share of time on intra-cluster
+// communication under TCP/FE, per trace.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.CommFraction*100, r.Trace+"_comm_%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: throughput per combination.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var bw, ov float64
+			for _, r := range rows {
+				bw += r.BandwidthEffect()
+				ov += r.OverheadEffect()
+			}
+			b.ReportMetric(bw/4*100, "avg_bandwidth_gain_%")
+			b.ReportMetric(ov/4*100, "avg_overhead_gain_%")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: dissemination strategies.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r := rows[0]
+			b.ReportMetric(r.Throughput["PB"], "clarknet_PB_req/s")
+			b.ReportMetric(r.Throughput["L1"], "clarknet_L1_req/s")
+			b.ReportMetric(r.Throughput["NLB"], "clarknet_NLB_req/s")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: message accounting per strategy.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := experiments.Table2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, e := range entries {
+				b.ReportMetric(float64(e.Msgs.Count[core.MsgLoad])/1e3, e.Strategy+"_load_Kmsgs")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: V1..V5 gains over V0.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var v4, v5 float64
+			for _, r := range rows {
+				v4 += r.Gain[3]
+				v5 += r.Gain[4]
+			}
+			b.ReportMetric(v4/4*100, "avg_V4_gain_%")
+			b.ReportMetric(v5/4*100, "avg_V5_gain_%")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: message accounting per version.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := experiments.Table4(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			byName := map[string]int64{}
+			for _, e := range entries {
+				byName[e.Version] = e.Msgs.Count[core.MsgFile]
+			}
+			b.ReportMetric(float64(byName["V3"])/float64(byName["V2"]), "V3/V2_file_msg_ratio")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: summary of contributions.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var total float64
+			for _, r := range rows {
+				total += r.TotalGain()
+			}
+			b.ReportMetric(total/4*100, "avg_userlevel_gain_%")
+		}
+	}
+}
+
+// BenchmarkValidation regenerates the Section 4.2 model validation.
+func BenchmarkValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Validation(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sum float64
+			for _, r := range rows {
+				sum += r.Ratio
+			}
+			b.ReportMetric(sum/float64(len(rows)), "avg_model/sim_ratio")
+		}
+	}
+}
+
+// Model figures 8-13: pure analytical solves.
+func benchmarkSurface(b *testing.B, fn func() (model.Surface, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			gain, _, _ := s.Max()
+			b.ReportMetric((gain-1)*100, "max_gain_%")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B)  { benchmarkSurface(b, model.Figure8) }
+func BenchmarkFigure9(b *testing.B)  { benchmarkSurface(b, model.Figure9) }
+func BenchmarkFigure10(b *testing.B) { benchmarkSurface(b, model.Figure10) }
+func BenchmarkFigure11(b *testing.B) { benchmarkSurface(b, model.Figure11) }
+func BenchmarkFigure12(b *testing.B) { benchmarkSurface(b, model.Figure12) }
+func BenchmarkFigure13(b *testing.B) { benchmarkSurface(b, model.Figure13) }
+
+// Ablation benches for the design choices called out in DESIGN.md.
+
+func BenchmarkAblationRMWSingleMessage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v2, v3, v3s, err := experiments.AblationRMWSingleMessage(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(v2, "V2_req/s")
+			b.ReportMetric(v3, "V3_req/s")
+			b.ReportMetric(v3s, "V3_single_msg_req/s")
+		}
+	}
+}
+
+func BenchmarkAblationLoadRMW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reg, rmw, err := experiments.AblationLoadRMW(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric((rmw/reg-1)*100, "L1_rmw_gain_%")
+		}
+	}
+}
+
+func BenchmarkAblationFlowBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFlowBatch(benchOptions(), []int{1, 4, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOverloadThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationOverloadThreshold(benchOptions(), []int{40, 80, 160}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Real-stack benches: the runnable PRESS server driven end to end.
+
+func benchRealCluster(b *testing.B, kind server.TransportKind, version string) {
+	b.Helper()
+	tr, err := trace.Synthesize(trace.Spec{
+		Name: "bench", NumFiles: 300, AvgFileKB: 8,
+		NumRequests: 20000, AvgReqKB: 6, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ver, err := netmodel.VersionByName(version)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := server.Start(server.Config{
+		Nodes: 4, Trace: tr, Transport: kind, Version: ver,
+		CacheBytes: 4 << 20, DiskDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	targets := make([]string, 0, 4)
+	for _, a := range cl.Addrs() {
+		targets = append(targets, "http://"+a)
+	}
+	b.ResetTimer()
+	var throughput float64
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			Targets: targets, Trace: tr, Concurrency: 16,
+			Requests: 3000, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d errors", res.Errors)
+		}
+		throughput = res.Throughput
+	}
+	b.ReportMetric(throughput, "req/s")
+}
+
+func BenchmarkRealClusterTCP(b *testing.B)   { benchRealCluster(b, server.TransportTCP, "V0") }
+func BenchmarkRealClusterVIAV0(b *testing.B) { benchRealCluster(b, server.TransportVIA, "V0") }
+func BenchmarkRealClusterVIAV3(b *testing.B) { benchRealCluster(b, server.TransportVIA, "V3") }
+func BenchmarkRealClusterVIAV5(b *testing.B) { benchRealCluster(b, server.TransportVIA, "V5") }
+
+// Software VIA microbenchmarks (the Section 3.2 measurements against
+// the software implementation).
+
+func viaPair(b *testing.B) (*via.NIC, *via.NIC, *via.VI, *via.VI, func()) {
+	b.Helper()
+	f := via.NewFabric()
+	na, err := f.CreateNIC("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, err := f.CreateNIC("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := nb.Listen("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	vb, err := nb.CreateVI(via.ReliableDelivery, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	va, err := na.CreateVI(via.ReliableDelivery, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept(vb)
+		done <- err
+	}()
+	if err := va.Connect("b", "bench"); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	return na, nb, va, vb, f.Close
+}
+
+func BenchmarkViaSendRecv4B(b *testing.B) {
+	benchViaSend(b, 4)
+}
+
+func BenchmarkViaSendRecv32K(b *testing.B) {
+	benchViaSend(b, 32*1024)
+}
+
+func benchViaSend(b *testing.B, size int) {
+	na, nb, va, vb, closeF := viaPair(b)
+	defer closeF()
+	sreg, err := na.RegisterMemory(make([]byte, size))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rreg, err := nb.RegisterMemory(make([]byte, size))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := via.MustDescriptor(via.Segment{Region: rreg, Offset: 0, Len: size})
+		if err := vb.PostRecv(rd); err != nil {
+			b.Fatal(err)
+		}
+		sd := via.MustDescriptor(via.Segment{Region: sreg, Offset: 0, Len: size})
+		if err := va.PostSend(sd); err != nil {
+			b.Fatal(err)
+		}
+		if err := sd.Wait(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViaRDMAWrite(b *testing.B) {
+	na, nb, va, _, closeF := viaPair(b)
+	defer closeF()
+	const size = 4096
+	sreg, err := na.RegisterMemory(make([]byte, size))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rreg, err := nb.RegisterMemory(make([]byte, size))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rreg.EnableRemoteWrite()
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := via.MustDescriptor(via.Segment{Region: sreg, Offset: 0, Len: size})
+		if err := va.PostRDMAWrite(d, rreg.Handle(), 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Wait(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the four synthetic traces and checks the
+// calibration cost.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range trace.Table1Specs() {
+			spec.NumRequests = 50000
+			tr, err := trace.Synthesize(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := tr.Stats()
+			if i == 0 {
+				b.ReportMetric(st.AvgFileKB, fmt.Sprintf("%s_avg_file_KB", spec.Name))
+			}
+		}
+	}
+}
+
+// BenchmarkLocalityBenefit quantifies the motivation for
+// locality-conscious servers: PRESS vs a content-oblivious baseline at
+// a cache size well below the working set.
+func BenchmarkLocalityBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.LocalityBenefit(benchOptions(), []int64{32 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p := pts[0]
+			b.ReportMetric(p.Oblivious, "oblivious_req/s")
+			b.ReportMetric(p.PRESS, "press_req/s")
+		}
+	}
+}
+
+// BenchmarkNodeSweep cross-checks the simulator against the model's
+// Figure 8 trend.
+func BenchmarkNodeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.NodeSweep(benchOptions(), []int{2, 8, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pts[len(pts)-1].Gain*100, "gain_at_32_nodes_%")
+		}
+	}
+}
+
+// BenchmarkRealClusterZeroCopyBytes measures the staging/receive copy
+// volume of the real server per version — V5 must report zero.
+func BenchmarkRealClusterZeroCopyBytes(b *testing.B) {
+	tr, err := trace.Synthesize(trace.Spec{
+		Name: "zc", NumFiles: 100, AvgFileKB: 8,
+		NumRequests: 1000, AvgReqKB: 6, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"V3", "V5"} {
+			ver, _ := netmodel.VersionByName(name)
+			cl, err := server.Start(server.Config{
+				Nodes: 3, Trace: tr, Transport: server.TransportVIA, Version: ver,
+				CacheBytes: 2 << 20, DiskDelay: 100 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			targets := make([]string, 0, 3)
+			for _, a := range cl.Addrs() {
+				targets = append(targets, "http://"+a)
+			}
+			res, err := loadgen.Run(context.Background(), loadgen.Config{
+				Targets: targets, Trace: tr, Concurrency: 8, Requests: 600, Seed: 1,
+			})
+			if err != nil || res.Errors > 0 {
+				b.Fatalf("loadgen: %v (%d errors)", err, res.Errors)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(cl.Stats().CopiedBytes)/1e6, name+"_copied_MB")
+			}
+			cl.Close()
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NodeSet is a set of cluster node indices, limited to 64 nodes — ample
+// for the experimental cluster sizes (the analytical model handles
+// larger clusters without a directory).
+type NodeSet uint64
+
+// MaxNodes is the largest cluster a NodeSet can describe.
+const MaxNodes = 64
+
+// Add returns the set with node n added.
+func (s NodeSet) Add(n int) NodeSet { return s | 1<<uint(n) }
+
+// Remove returns the set with node n removed.
+func (s NodeSet) Remove(n int) NodeSet { return s &^ (1 << uint(n)) }
+
+// Has reports whether node n is in the set.
+func (s NodeSet) Has(n int) bool { return s&(1<<uint(n)) != 0 }
+
+// Len returns the set's cardinality.
+func (s NodeSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no members.
+func (s NodeSet) Empty() bool { return s == 0 }
+
+// Nodes returns the members in ascending order.
+func (s NodeSet) Nodes() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		n := bits.TrailingZeros64(v)
+		out = append(out, n)
+		v &^= 1 << uint(n)
+	}
+	return out
+}
+
+// Directory is a cluster-wide view of which nodes cache which files, as
+// assembled from caching-information broadcasts. The simulator keeps a
+// single shared directory (caching broadcasts are "very infrequent in
+// steady-state", Section 2.2, so view divergence is negligible there);
+// the real server keeps one per node and feeds it received broadcasts.
+type Directory struct {
+	nodes   int
+	cachers []NodeSet // indexed by FileID
+	// everSeen marks files that have been requested at least once
+	// anywhere in the cluster: PRESS services first-time requests at
+	// the initial node.
+	everSeen []bool
+}
+
+// NewDirectory returns a directory for a cluster of the given size over
+// a file population of the given size.
+func NewDirectory(nodes, files int) *Directory {
+	if nodes <= 0 || nodes > MaxNodes {
+		panic(fmt.Sprintf("cache: node count %d out of range 1..%d", nodes, MaxNodes))
+	}
+	if files < 0 {
+		panic(fmt.Sprintf("cache: negative file count %d", files))
+	}
+	return &Directory{
+		nodes:    nodes,
+		cachers:  make([]NodeSet, files),
+		everSeen: make([]bool, files),
+	}
+}
+
+// Nodes returns the cluster size.
+func (d *Directory) Nodes() int { return d.nodes }
+
+// Cachers returns the set of nodes caching the file.
+func (d *Directory) Cachers(id FileID) NodeSet { return d.cachers[id] }
+
+// SetCached records that node n caches (cached=true) or no longer
+// caches the file.
+func (d *Directory) SetCached(id FileID, n int, cached bool) {
+	if cached {
+		d.cachers[id] = d.cachers[id].Add(n)
+	} else {
+		d.cachers[id] = d.cachers[id].Remove(n)
+	}
+}
+
+// FirstRequest reports whether the file has never been requested before
+// and marks it seen.
+func (d *Directory) FirstRequest(id FileID) bool {
+	if d.everSeen[id] {
+		return false
+	}
+	d.everSeen[id] = true
+	return true
+}
+
+// Seen reports whether the file has been requested before, without
+// marking it.
+func (d *Directory) Seen(id FileID) bool { return d.everSeen[id] }
+
+// MarkSeen records that the file has been requested somewhere in the
+// cluster. Nodes call it when a caching broadcast arrives: a file being
+// cached elsewhere is clearly not a first request anymore.
+func (d *Directory) MarkSeen(id FileID) { d.everSeen[id] = true }

@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeSetOperations(t *testing.T) {
+	var s NodeSet
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero set not empty")
+	}
+	s = s.Add(3).Add(7).Add(3)
+	if s.Len() != 2 || !s.Has(3) || !s.Has(7) || s.Has(0) {
+		t.Fatalf("set = %v", s.Nodes())
+	}
+	s = s.Remove(3)
+	if s.Has(3) || s.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	s = s.Remove(42) // removing absent is a no-op
+	if s.Len() != 1 {
+		t.Fatal("remove absent changed set")
+	}
+}
+
+func TestNodeSetNodesSorted(t *testing.T) {
+	s := NodeSet(0).Add(63).Add(0).Add(17)
+	got := s.Nodes()
+	want := []int{0, 17, 63}
+	if len(got) != len(want) {
+		t.Fatalf("nodes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNodeSetProperty(t *testing.T) {
+	// Add then Has; Remove then !Has; Len equals distinct count.
+	check := func(raw []uint8) bool {
+		var s NodeSet
+		distinct := map[int]bool{}
+		for _, r := range raw {
+			n := int(r % 64)
+			s = s.Add(n)
+			distinct[n] = true
+			if !s.Has(n) {
+				return false
+			}
+		}
+		return s.Len() == len(distinct)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryBasics(t *testing.T) {
+	d := NewDirectory(8, 100)
+	if d.Nodes() != 8 {
+		t.Fatal("nodes")
+	}
+	if !d.Cachers(5).Empty() {
+		t.Fatal("fresh directory has cachers")
+	}
+	d.SetCached(5, 2, true)
+	d.SetCached(5, 4, true)
+	if got := d.Cachers(5); got.Len() != 2 || !got.Has(2) || !got.Has(4) {
+		t.Fatalf("cachers = %v", got.Nodes())
+	}
+	d.SetCached(5, 2, false)
+	if got := d.Cachers(5); got.Len() != 1 || got.Has(2) {
+		t.Fatalf("cachers after remove = %v", got.Nodes())
+	}
+}
+
+func TestDirectoryFirstRequest(t *testing.T) {
+	d := NewDirectory(4, 10)
+	if d.Seen(3) {
+		t.Fatal("seen before any request")
+	}
+	if !d.FirstRequest(3) {
+		t.Fatal("first request not detected")
+	}
+	if d.FirstRequest(3) {
+		t.Fatal("second request flagged as first")
+	}
+	if !d.Seen(3) {
+		t.Fatal("not marked seen")
+	}
+}
+
+func TestDirectoryBounds(t *testing.T) {
+	for _, nodes := range []int{0, -1, 65} {
+		nodes := nodes
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDirectory(%d, 1) did not panic", nodes)
+				}
+			}()
+			NewDirectory(nodes, 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative files did not panic")
+			}
+		}()
+		NewDirectory(4, -1)
+	}()
+}

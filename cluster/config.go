@@ -1,0 +1,227 @@
+// Package cluster is a discrete-event simulator of a PRESS cluster: N
+// nodes, each with a CPU, a disk, an external (client-facing) network
+// interface, and an internal (intra-cluster) interface, executing the
+// full PRESS policy of internal/core over a workload trace.
+//
+// Closed-loop clients issue requests as fast as possible, matching the
+// paper's methodology; throughput and the per-type message accounting
+// emerge from resource contention under the cost model of
+// internal/netmodel. The simulator regenerates the experimental section
+// of the paper: Figures 1 and 3–6 and Tables 2 and 4.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"press/cache"
+	"press/core"
+	"press/netmodel"
+	"press/trace"
+)
+
+// Config describes one simulated experiment.
+type Config struct {
+	// Nodes is the cluster size (1..cache.MaxNodes); the paper's
+	// experimental cluster has 8.
+	Nodes int
+	// Trace is the workload to replay.
+	Trace *trace.Trace
+	// Combo is the intra-cluster protocol/network combination.
+	Combo netmodel.CostModel
+	// Host models the combination-independent node costs. Zero value
+	// means netmodel.DefaultHost.
+	Host netmodel.HostModel
+	// Version selects the RMW/zero-copy feature set (Table 3). Ignored
+	// (treated as V0) for TCP combinations, which support neither.
+	Version netmodel.Version
+	// Dissemination is the load-information strategy (Figure 4).
+	Dissemination core.Strategy
+	// LoadViaRMW sends threshold load broadcasts as remote memory
+	// writes rather than regular messages — the variant discussed at
+	// the end of Section 3.3.
+	LoadViaRMW bool
+	// Policy holds the distribution tunables. Zero value means
+	// core.DefaultPolicy.
+	Policy core.PolicyConfig
+	// CacheBytes is the per-node file cache capacity. Defaults to
+	// 128 MB, the C of Table 5.
+	CacheBytes int64
+	// Concurrency is the total number of concurrent client connections
+	// across the cluster. Defaults to Nodes*T/2, which saturates the
+	// servers while letting per-node load cross the overload threshold
+	// T only on spikes (hot service nodes slowing their initial nodes),
+	// so the replication path triggers for popular files rather than
+	// constantly.
+	Concurrency int
+	// WarmupRequests are completed (and excluded from measurement)
+	// before statistics reset, mirroring the paper's 5-minute cache
+	// warmup. Defaults to 20% of the trace; negative values measure
+	// from the start.
+	WarmupRequests int
+	// FileSegmentBytes caps the payload of one file message; larger
+	// files are sent in multiple messages. Defaults to 16 KB, which
+	// reproduces the paper's file-message counts.
+	FileSegmentBytes int64
+	// FlowWindow and FlowBatch configure window-based flow control for
+	// VIA combinations. Defaults: core.DefaultWindow/DefaultCreditBatch.
+	FlowWindow int
+	FlowBatch  int
+	// Seed drives the deterministic random choice of initial nodes.
+	Seed int64
+	// NoPrewarm disables cache prewarming. By default the caches are
+	// pre-populated before the run — the popular head replicated at
+	// every node, the rest one copy each, round-robin — the steady
+	// state the paper's 5-minute warmup reaches; without it, truncated
+	// traces spend the whole run paying cold-start disk reads that the
+	// paper's steady-state measurements never see.
+	NoPrewarm bool
+	// ReplicationFraction is the share of each cache prewarmed with
+	// replicas of the most popular files (R in the analytical model).
+	// Defaults to 0.08, which reproduces the paper's steady-state
+	// forwarding fraction and Figure 1 communication share; set
+	// negative for none.
+	ReplicationFraction float64
+	// RMWSingleMessage is an ablation switch: RMW file transfers signal
+	// completion through the final data write instead of a separate
+	// metadata message, isolating the two-messages-per-file cost the
+	// paper blames for version 3's flat result.
+	RMWSingleMessage bool
+	// ContentOblivious turns the server into the baseline class PRESS
+	// is motivated against (Section 1): every request is serviced by
+	// the node that accepted it, with no intra-cluster communication
+	// and no cache aggregation — each node caches only what it serves.
+	ContentOblivious bool
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Trace == nil || len(cfg.Trace.Requests) == 0 {
+		return cfg, fmt.Errorf("cluster: config needs a non-empty trace")
+	}
+	if cfg.Nodes <= 0 || cfg.Nodes > cache.MaxNodes {
+		return cfg, fmt.Errorf("cluster: node count %d out of range 1..%d", cfg.Nodes, cache.MaxNodes)
+	}
+	if cfg.Combo.Name == "" {
+		return cfg, fmt.Errorf("cluster: config needs a protocol/network combination")
+	}
+	if cfg.Host == (netmodel.HostModel{}) {
+		cfg.Host = netmodel.DefaultHost()
+	}
+	if cfg.Version.Name == "" {
+		cfg.Version = netmodel.Versions()[0]
+	}
+	if cfg.Combo.Protocol == netmodel.ProtoTCP {
+		// TCP supports neither RMW nor zero-copy; normalize so message
+		// structure (e.g. no metadata messages) matches.
+		v0 := netmodel.Versions()[0]
+		v0.Name = cfg.Version.Name
+		cfg.Version = v0
+	}
+	if cfg.Policy == (core.PolicyConfig{}) {
+		cfg.Policy = core.DefaultPolicy()
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 128 << 20
+	}
+	if cfg.CacheBytes < 0 {
+		return cfg, fmt.Errorf("cluster: negative cache size")
+	}
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = cfg.Nodes * cfg.Policy.OverloadThreshold / 2
+	}
+	if cfg.Concurrency < 0 {
+		return cfg, fmt.Errorf("cluster: negative concurrency")
+	}
+	if cfg.WarmupRequests == 0 {
+		cfg.WarmupRequests = len(cfg.Trace.Requests) / 5
+	}
+	if cfg.WarmupRequests < 0 {
+		// Negative means "measure from the start".
+		cfg.WarmupRequests = 0
+	}
+	if cfg.WarmupRequests >= len(cfg.Trace.Requests) {
+		return cfg, fmt.Errorf("cluster: warmup %d out of range for %d requests",
+			cfg.WarmupRequests, len(cfg.Trace.Requests))
+	}
+	if cfg.FileSegmentBytes == 0 {
+		cfg.FileSegmentBytes = 16 << 10
+	}
+	if cfg.FileSegmentBytes < 1024 {
+		return cfg, fmt.Errorf("cluster: file segment %d too small", cfg.FileSegmentBytes)
+	}
+	if cfg.ReplicationFraction == 0 {
+		// Replication is PRESS's load-balancing mechanism: without load
+		// information there is nothing to trigger it, so NLB runs start
+		// from unreplicated caches.
+		if cfg.Dissemination.Kind == core.NoLoadBalancing {
+			cfg.ReplicationFraction = -1
+		} else {
+			cfg.ReplicationFraction = 0.08
+		}
+	}
+	if cfg.ReplicationFraction < 0 {
+		cfg.ReplicationFraction = 0
+	}
+	if cfg.ReplicationFraction > 1 {
+		return cfg, fmt.Errorf("cluster: replication fraction %v above 1", cfg.ReplicationFraction)
+	}
+	if cfg.FlowWindow == 0 {
+		cfg.FlowWindow = core.DefaultWindow
+	}
+	if cfg.FlowBatch == 0 {
+		cfg.FlowBatch = core.DefaultCreditBatch
+	}
+	return cfg, nil
+}
+
+// Result is the outcome of one simulated run. All statistics cover only
+// the measurement window (after warmup).
+type Result struct {
+	// Config echoes key identifiers of the run.
+	TraceName string
+	Combo     string
+	Version   string
+	Strategy  string
+	Nodes     int
+
+	// Requests completed and simulated time elapsed in the window.
+	Requests int64
+	Elapsed  time.Duration
+	// Throughput in requests per simulated second.
+	Throughput float64
+
+	// Msgs is the per-type intra-cluster message accounting
+	// (Tables 2 and 4).
+	Msgs core.MsgStats
+
+	// Reasons counts distribution decisions by core.Reason.
+	Reasons [core.NumReasons]int64
+
+	// CPU time split: intra-cluster communication vs external
+	// communication + request service; InternalNIC is the busy time of
+	// the internal interfaces. CommFraction is the Figure 1 metric:
+	// (CPUComm + InternalNIC) / (CPUComm + InternalNIC + CPUService).
+	CPUComm      time.Duration
+	CPUService   time.Duration
+	InternalNIC  time.Duration
+	CommFraction float64
+
+	// Response-time statistics over the measurement window, in
+	// simulated seconds (client-observed: request arrival to last reply
+	// byte on the external interface).
+	LatencyMean float64
+	LatencyStd  float64
+	LatencyMax  float64
+
+	// Cache behaviour.
+	LocalHits  int64 // serviced from the initial node's cache
+	RemoteHits int64 // serviced from a remote cache
+	DiskReads  int64
+	// ForwardedFraction is the share of requests serviced away from
+	// their initial node (Q in the model).
+	ForwardedFraction float64
+	// HitRate is the fraction of requests serviced from some memory
+	// cache.
+	HitRate float64
+}

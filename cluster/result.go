@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"time"
+
+	"press/core"
+)
+
+// snapshot captures a node's busy times at measurement start so the
+// result can cover only the measurement window.
+type snapshot struct {
+	cpuComm    time.Duration
+	cpuService time.Duration
+	intTX      time.Duration
+	intRX      time.Duration
+}
+
+func busySnapshot(n *node) snapshot {
+	return snapshot{
+		cpuComm:    n.cpu.BusyTime(classComm),
+		cpuService: n.cpu.BusyTime(classService),
+		intTX:      n.intTX.TotalBusy(),
+		intRX:      n.intRX.TotalBusy(),
+	}
+}
+
+func (s *simState) result() *Result {
+	r := &Result{
+		TraceName: s.cfg.Trace.Name,
+		Combo:     s.cfg.Combo.Name,
+		Version:   s.cfg.Version.Name,
+		Strategy:  s.cfg.Dissemination.String(),
+		Nodes:     s.cfg.Nodes,
+		Requests:  s.measCompleted,
+		Msgs:      s.msgs,
+		Reasons:   s.reasons,
+	}
+	r.Elapsed = time.Duration(s.sim.Now() - s.measStart)
+	if r.Elapsed > 0 {
+		r.Throughput = float64(r.Requests) / r.Elapsed.Seconds()
+	}
+	for i, n := range s.nodes {
+		base := s.baseline[i]
+		r.CPUComm += n.cpu.BusyTime(classComm) - base.cpuComm
+		r.CPUService += n.cpu.BusyTime(classService) - base.cpuService
+		r.InternalNIC += n.intTX.TotalBusy() - base.intTX
+		r.InternalNIC += n.intRX.TotalBusy() - base.intRX
+	}
+	comm := r.CPUComm + r.InternalNIC
+	if denom := comm + r.CPUService; denom > 0 {
+		r.CommFraction = float64(comm) / float64(denom)
+	}
+	r.LatencyMean = s.latency.Mean()
+	r.LatencyStd = s.latency.Std()
+	r.LatencyMax = s.latencyMax
+	r.LocalHits = s.localHits
+	r.RemoteHits = s.remoteHits
+	r.DiskReads = s.diskReads
+	if r.Requests > 0 {
+		r.ForwardedFraction = float64(s.forwarded) / float64(r.Requests)
+		r.HitRate = float64(s.localHits+s.remoteHits) / float64(r.Requests)
+	}
+	return r
+}
+
+// MsgTable renders the message accounting in the layout of the paper's
+// Tables 2 and 4: counts in thousands, bytes in MB, average sizes in
+// bytes.
+func (r *Result) MsgTable() [][3]float64 {
+	out := make([][3]float64, core.NumMsgTypes)
+	for t := core.MsgType(0); t < core.NumMsgTypes; t++ {
+		out[t] = [3]float64{
+			float64(r.Msgs.Count[t]) / 1e3,
+			float64(r.Msgs.Bytes[t]) / 1e6,
+			r.Msgs.AvgSize(t),
+		}
+	}
+	return out
+}

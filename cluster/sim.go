@@ -1,0 +1,517 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+
+	"press/cache"
+	"press/core"
+	"press/eventsim"
+	"press/netmodel"
+	"press/stats"
+)
+
+// CPU busy-time classes for the Figure 1 breakdown.
+const (
+	classComm    = 0 // intra-cluster communication
+	classService = 1 // external communication + request service
+)
+
+type node struct {
+	id      int
+	cpu     *eventsim.Resource
+	disk    *eventsim.Resource
+	intTX   *eventsim.Resource
+	intRX   *eventsim.Resource
+	extTX   *eventsim.Resource
+	extRX   *eventsim.Resource
+	cache   *cache.LRU
+	policy  *core.Policy
+	tracker *core.LoadTracker
+	// peerLoad is this node's (possibly stale) view of peer loads,
+	// updated by load broadcasts or piggy-backed values.
+	peerLoad []int
+}
+
+type simState struct {
+	cfg eventsimConfig
+	sim *eventsim.Sim
+	rng *rand.Rand
+
+	nodes []*node
+	dir   *cache.Directory
+	fc    *core.FlowControl
+
+	// measurement
+	measuring     bool
+	completed     int64
+	measStart     eventsim.Time
+	measCompleted int64
+	msgs          core.MsgStats
+	reasons       [core.NumReasons]int64
+	localHits     int64
+	remoteHits    int64
+	diskReads     int64
+	forwarded     int64
+	baseline      []snapshot
+	latency       stats.Welford
+	latencyMax    float64
+
+	cursor int // next trace request to issue
+}
+
+// eventsimConfig is Config after defaulting, kept under a distinct name
+// so call sites read unambiguously.
+type eventsimConfig = Config
+
+// nodeView adapts simulator state to core.View for one node.
+type nodeView struct {
+	s  *simState
+	id int
+}
+
+func (v nodeView) Cachers(id cache.FileID) cache.NodeSet { return v.s.dir.Cachers(id) }
+
+func (v nodeView) Load(n int) int {
+	if n == v.id {
+		return v.s.nodes[n].tracker.Load()
+	}
+	return v.s.nodes[v.id].peerLoad[n]
+}
+
+func (v nodeView) LoadKnown() bool {
+	return v.s.cfg.Dissemination.Kind != core.NoLoadBalancing
+}
+
+func (v nodeView) Nodes() int { return v.s.cfg.Nodes }
+
+// Run simulates the configured experiment to completion and returns its
+// measurements. Runs are deterministic for a given Config.
+func Run(c Config) (*Result, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &simState{
+		cfg: cfg,
+		sim: eventsim.New(),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		dir: cache.NewDirectory(cfg.Nodes, len(cfg.Trace.Files)),
+		fc:  core.NewFlowControl(max(cfg.Nodes, 2), cfg.FlowWindow, cfg.FlowBatch),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{
+			id:       i,
+			cpu:      s.sim.NewResource("cpu"),
+			disk:     s.sim.NewResource("disk"),
+			intTX:    s.sim.NewResource("int-tx"),
+			intRX:    s.sim.NewResource("int-rx"),
+			extTX:    s.sim.NewResource("ext-tx"),
+			extRX:    s.sim.NewResource("ext-rx"),
+			cache:    cache.NewLRU(cfg.CacheBytes),
+			policy:   core.NewPolicy(cfg.Policy),
+			tracker:  core.NewLoadTracker(cfg.Dissemination),
+			peerLoad: make([]int, cfg.Nodes),
+		}
+		s.nodes = append(s.nodes, n)
+	}
+	if !cfg.NoPrewarm {
+		s.prewarm()
+	}
+	if cfg.WarmupRequests == 0 {
+		s.beginMeasurement()
+	}
+
+	// Launch the closed-loop clients.
+	clients := cfg.Concurrency
+	if clients > len(cfg.Trace.Requests) {
+		clients = len(cfg.Trace.Requests)
+	}
+	for i := 0; i < clients; i++ {
+		s.issueNext()
+	}
+	s.sim.Run()
+
+	return s.result(), nil
+}
+
+func (s *simState) beginMeasurement() {
+	s.measuring = true
+	s.measStart = s.sim.Now()
+	s.measCompleted = 0
+	s.msgs = core.MsgStats{}
+	s.reasons = [core.NumReasons]int64{}
+	s.localHits, s.remoteHits, s.diskReads, s.forwarded = 0, 0, 0, 0
+	s.latency = stats.Welford{}
+	s.latencyMax = 0
+	s.baseline = s.baseline[:0]
+	for _, n := range s.nodes {
+		// Busy-time baselines: snapshot now, subtract at the end.
+		s.baseline = append(s.baseline, busySnapshot(n))
+	}
+}
+
+// prewarm pre-populates the node caches — the steady state the paper's
+// 5-minute warmup reaches. The popular head is replicated at every node
+// up to ReplicationFraction of its capacity (R in the analytical
+// model); the remaining files get one copy each, round-robin, in
+// popularity order, so that when the working set exceeds the aggregate
+// cache the popular head is resident. Prewarmed files are marked
+// already-seen so the first-request rule does not fire for them.
+func (s *simState) prewarm() {
+	order := s.cfg.Trace.PopularityOrder()
+	n := s.cfg.Nodes
+	if s.cfg.ContentOblivious {
+		// Every node sees a uniform sample of the same Zipf stream, so
+		// in steady state every cache independently converges on the
+		// same popular head: fill each cache with it.
+		for _, fi := range order {
+			id := cache.FileID(fi)
+			size := s.cfg.Trace.Files[fi].Size
+			full := true
+			for _, node := range s.nodes {
+				if node.cache.Used()+size > node.cache.Capacity() {
+					continue
+				}
+				node.cache.Insert(id, size)
+				full = false
+			}
+			s.dir.FirstRequest(id)
+			if full {
+				break
+			}
+		}
+		return
+	}
+	replicaBytes := int64(s.cfg.ReplicationFraction * float64(s.cfg.CacheBytes))
+	replicated := 0
+	var used int64
+	for _, fi := range order {
+		size := s.cfg.Trace.Files[fi].Size
+		if used+size > replicaBytes {
+			break
+		}
+		used += size
+		replicated++
+		id := cache.FileID(fi)
+		for _, node := range s.nodes {
+			if _, ok := node.cache.Insert(id, size); ok {
+				s.dir.SetCached(id, node.id, true)
+			}
+		}
+		s.dir.FirstRequest(id)
+	}
+	for i, fi := range order[replicated:] {
+		id := cache.FileID(fi)
+		size := s.cfg.Trace.Files[fi].Size
+		for try := 0; try < n; try++ {
+			node := s.nodes[(i+try)%n]
+			if node.cache.Used()+size > node.cache.Capacity() {
+				continue
+			}
+			if _, ok := node.cache.Insert(id, size); ok {
+				s.dir.SetCached(id, node.id, true)
+				s.dir.FirstRequest(id)
+			}
+			break
+		}
+	}
+}
+
+// issueNext starts the next trace request on a random node, if any
+// remain.
+func (s *simState) issueNext() {
+	if s.cursor >= len(s.cfg.Trace.Requests) {
+		return
+	}
+	fileID := s.cfg.Trace.Requests[s.cursor]
+	s.cursor++
+	initial := s.rng.Intn(s.cfg.Nodes)
+	s.startRequest(initial, fileID)
+}
+
+func (s *simState) startRequest(initial int, fileID cache.FileID) {
+	n := s.nodes[initial]
+	h := s.cfg.Host
+	t0 := s.sim.Now()
+	// Client request crosses the external interface, then the CPU reads
+	// and parses it.
+	rxTime := h.ExtNICFixed + netmodel.DurationOver(h.RequestWireBytes, h.ExtWireRate)
+	n.extRX.Acquire(0, rxTime, func() {
+		s.loadChange(initial, +1)
+		n.cpu.Acquire(classService, h.ParseCPU, func() {
+			s.distribute(initial, fileID, t0)
+		})
+	})
+}
+
+func (s *simState) distribute(initial int, fileID cache.FileID, t0 eventsim.Time) {
+	n := s.nodes[initial]
+	size := s.cfg.Trace.Files[fileID].Size
+	if s.cfg.ContentOblivious {
+		// Content-oblivious baseline: no distribution decision at all.
+		s.serviceLocal(initial, fileID, size, t0)
+		return
+	}
+	first := s.dir.FirstRequest(fileID)
+	d := n.policy.Decide(initial, fileID, size, first, nodeView{s: s, id: initial})
+	if s.measuring {
+		s.reasons[d.Reason]++
+	}
+	if d.Service == initial {
+		s.serviceLocal(initial, fileID, size, t0)
+		return
+	}
+	if s.measuring {
+		s.forwarded++
+	}
+	s.forward(initial, d.Service, fileID, size, t0)
+}
+
+// serviceLocal satisfies the request at the initial node: from its cache
+// if present, else from disk (caching the file afterwards).
+func (s *simState) serviceLocal(nid int, fileID cache.FileID, size int64, t0 eventsim.Time) {
+	n := s.nodes[nid]
+	if n.cache.Touch(fileID) {
+		if s.measuring {
+			s.localHits++
+		}
+		s.replyToClient(nid, size, t0)
+		return
+	}
+	s.readFromDisk(nid, fileID, size, func() {
+		s.replyToClient(nid, size, t0)
+	})
+}
+
+// forward sends the request to the service node, which returns the file
+// over the internal network; the initial node then replies to the
+// client.
+func (s *simState) forward(initial, svc int, fileID cache.FileID, size int64, t0 eventsim.Time) {
+	fwd := s.cfg.Combo.Cost(s.cfg.Version.Forward, core.ForwardMsgBytes, true, true)
+	s.sendMsg(initial, svc, core.MsgForward, core.ForwardMsgBytes, fwd.SendCPU, fwd.RecvCPU, func() {
+		n := s.nodes[svc]
+		if n.cache.Touch(fileID) {
+			if s.measuring {
+				s.remoteHits++
+			}
+			s.sendFile(svc, initial, size, t0)
+			return
+		}
+		s.readFromDisk(svc, fileID, size, func() {
+			s.sendFile(svc, initial, size, t0)
+		})
+	})
+}
+
+// readFromDisk models a disk read followed by inserting the file into
+// the node's cache, broadcasting the resulting caching-information
+// changes.
+func (s *simState) readFromDisk(nid int, fileID cache.FileID, size int64, done func()) {
+	n := s.nodes[nid]
+	if s.measuring {
+		s.diskReads++
+	}
+	h := s.cfg.Host
+	demand := h.DiskFixed + netmodel.DurationOver(size, h.DiskRate)
+	n.disk.Acquire(0, demand, func() {
+		evicted, inserted := n.cache.Insert(fileID, size)
+		for _, ev := range evicted {
+			s.dir.SetCached(ev, nid, false)
+			s.broadcastCaching(nid)
+		}
+		if inserted {
+			s.dir.SetCached(fileID, nid, true)
+			s.broadcastCaching(nid)
+		}
+		done()
+	})
+}
+
+// broadcastCaching sends one caching-information message to every peer.
+func (s *simState) broadcastCaching(from int) {
+	if s.cfg.ContentOblivious {
+		// No one consults the directory; no messages flow.
+		return
+	}
+	c := s.cfg.Combo.Cost(s.cfg.Version.Caching, core.CachingMsgBytes, true, true)
+	for p := 0; p < s.cfg.Nodes; p++ {
+		if p == from {
+			continue
+		}
+		s.sendMsg(from, p, core.MsgCaching, core.CachingMsgBytes, c.SendCPU, c.RecvCPU, nil)
+	}
+}
+
+// sendFile transfers file data from the service node back to the
+// initial node: one or more segment messages, plus a metadata message
+// under RMW (the two-messages-per-file cost the paper highlights for
+// version 3). When the last message arrives, the initial node replies
+// to the client.
+func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
+	m := s.cfg.Combo
+	v := s.cfg.Version
+	seg := s.cfg.FileSegmentBytes
+	remaining := size
+	for remaining > 0 {
+		payload := remaining
+		if payload > seg {
+			payload = seg
+		}
+		remaining -= payload
+		last := remaining == 0
+		var sendCPU, recvCPU time.Duration
+		if v.File == netmodel.StyleRMW && m.Protocol == netmodel.ProtoVIA {
+			// Pure remote memory write: no receiver CPU on data
+			// segments; completion is discovered via the metadata
+			// message below.
+			sendCPU = m.SendFixed
+			if !v.ZeroCopyTX {
+				sendCPU += netmodel.DurationOver(payload, m.CopyRate)
+			}
+			recvCPU = 0
+			finishRecv := m.PollCost
+			if !v.ZeroCopyRX {
+				finishRecv += netmodel.DurationOver(size, m.CopyRate)
+			}
+			if s.cfg.RMWSingleMessage {
+				// Ablation: completion piggy-backs on the last data
+				// write; no metadata message.
+				var done func()
+				if last {
+					recvCPU = finishRecv
+					done = func() { s.replyToClient(initial, size, t0) }
+				}
+				s.sendMsg(svc, initial, core.MsgFile, payload, sendCPU, recvCPU, done)
+				continue
+			}
+			s.sendMsg(svc, initial, core.MsgFile, payload, sendCPU, recvCPU, nil)
+			if last {
+				s.sendMsg(svc, initial, core.MsgFile, core.FileMetaBytes, m.SendFixed, finishRecv, func() {
+					s.replyToClient(initial, size, t0)
+				})
+			}
+			continue
+		}
+		// Regular messages: copies at both ends, interrupt + receive
+		// thread at the receiver.
+		c := m.Cost(netmodel.StyleRegular, payload, true, true)
+		var done func()
+		if last {
+			done = func() { s.replyToClient(initial, size, t0) }
+		}
+		s.sendMsg(svc, initial, core.MsgFile, payload, c.SendCPU, c.RecvCPU, done)
+	}
+}
+
+// replyToClient sends the file to the client through the kernel TCP
+// stack and the external interface, then completes the request.
+func (s *simState) replyToClient(nid int, size int64, t0 eventsim.Time) {
+	n := s.nodes[nid]
+	h := s.cfg.Host
+	cpuTime := h.ClientSendFixed + netmodel.DurationOver(size, h.ClientSendRate)
+	n.cpu.Acquire(classService, cpuTime, func() {
+		wire := h.ExtNICFixed + netmodel.DurationOver(size+h.ReplyHeaderBytes, h.ExtWireRate)
+		n.extTX.Acquire(0, wire, func() {
+			s.loadChange(nid, -1)
+			s.finishRequest(t0)
+		})
+	})
+}
+
+func (s *simState) finishRequest(t0 eventsim.Time) {
+	s.completed++
+	if s.measuring {
+		s.measCompleted++
+		d := (s.sim.Now() - t0).Seconds()
+		s.latency.Add(d)
+		if d > s.latencyMax {
+			s.latencyMax = d
+		}
+	} else if s.completed >= int64(s.cfg.WarmupRequests) {
+		s.beginMeasurement()
+	}
+	s.issueNext()
+}
+
+// loadChange adjusts a node's open-connection count, broadcasting the
+// new load if the dissemination strategy demands it.
+func (s *simState) loadChange(nid, delta int) {
+	n := s.nodes[nid]
+	if !n.tracker.Change(delta) {
+		return
+	}
+	style := netmodel.StyleRegular
+	if s.cfg.LoadViaRMW {
+		style = netmodel.StyleRMW
+	}
+	c := s.cfg.Combo.Cost(style, core.LoadMsgBytes, true, true)
+	load := n.tracker.Load()
+	for p := 0; p < s.cfg.Nodes; p++ {
+		if p == nid {
+			continue
+		}
+		p := p
+		s.sendMsg(nid, p, core.MsgLoad, core.LoadMsgBytes, c.SendCPU, c.RecvCPU, func() {
+			s.nodes[p].peerLoad[nid] = load
+		})
+	}
+}
+
+// sendMsg models one intra-cluster message: sender CPU, sender NIC,
+// propagation, receiver NIC, receiver CPU, then onRecv. Piggy-backing
+// appends the sender's load; flow control may owe a credit message
+// after data messages.
+func (s *simState) sendMsg(src, dst int, mt core.MsgType, wireBytes int64,
+	sendCPU, recvCPU time.Duration, onRecv func()) {
+
+	m := s.cfg.Combo
+	pb := s.cfg.Dissemination.Kind == core.PiggyBack && mt != core.MsgLoad
+	if pb {
+		wireBytes += core.PiggybackBytes
+	}
+	if s.measuring {
+		s.msgs.Add(mt, wireBytes)
+	}
+	from, to := s.nodes[src], s.nodes[dst]
+	deliver := func() {
+		if pb {
+			to.peerLoad[src] = from.tracker.Load()
+		}
+		if m.Protocol == netmodel.ProtoVIA && (mt == core.MsgForward || mt == core.MsgCaching || mt == core.MsgFile) {
+			if s.fc.OnData(src, dst) {
+				s.sendCredit(dst, src)
+			}
+		}
+		if onRecv != nil {
+			onRecv()
+		}
+	}
+	nicTime := m.NICTime(wireBytes)
+	from.cpu.Acquire(classComm, sendCPU, func() {
+		from.intTX.Acquire(0, nicTime, func() {
+			s.sim.After(m.PropDelay, func() {
+				to.intRX.Acquire(0, nicTime, func() {
+					if recvCPU > 0 {
+						to.cpu.Acquire(classComm, recvCPU, deliver)
+					} else {
+						deliver()
+					}
+				})
+			})
+		})
+	})
+}
+
+// sendCredit returns flow-control credits from a receiver to a sender.
+func (s *simState) sendCredit(src, dst int) {
+	c := s.cfg.Combo.Cost(s.cfg.Version.Flow, core.FlowMsgBytes, true, true)
+	s.sendMsg(src, dst, core.MsgFlow, core.FlowMsgBytes, c.SendCPU, c.RecvCPU, nil)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

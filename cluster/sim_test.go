@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"press/core"
+	"press/netmodel"
+	"press/trace"
+)
+
+// testTrace builds a small clarknet-like workload for fast tests.
+func testTrace(t testing.TB, requests int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Synthesize(trace.Spec{
+		Name: "test", NumFiles: 800, AvgFileKB: 14.2,
+		NumRequests: requests, AvgReqKB: 9.7, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func baseConfig(tr *trace.Trace) Config {
+	return Config{
+		Nodes:         8,
+		Trace:         tr,
+		Combo:         netmodel.VIAOverCLAN(),
+		Dissemination: core.PB(),
+		Seed:          7,
+		// Scale the cache to the small test working set (~11 MB over 8
+		// nodes) so the replicated head does not swallow it whole.
+		CacheBytes: 4 << 20,
+	}
+}
+
+func TestRunCompletesAllRequests(t *testing.T) {
+	tr := testTrace(t, 20000)
+	r, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := int64(len(tr.Requests) / 5)
+	if r.Requests != int64(len(tr.Requests))-warmup {
+		t.Fatalf("measured %d requests, want %d", r.Requests, int64(len(tr.Requests))-warmup)
+	}
+	if r.Throughput <= 0 {
+		t.Fatalf("throughput = %v", r.Throughput)
+	}
+	if r.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v", r.Elapsed)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr := testTrace(t, 8000)
+	a, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Msgs != b.Msgs {
+		t.Fatalf("nondeterministic: %v vs %v", a.Throughput, b.Throughput)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	tr := testTrace(t, 100)
+	bad := []Config{
+		{},                      // no trace
+		{Trace: tr},             // no nodes
+		{Trace: tr, Nodes: 200}, // too many nodes
+		{Trace: tr, Nodes: 8},   // no combo
+		{Trace: tr, Nodes: 8, Combo: netmodel.VIAOverCLAN(), WarmupRequests: 100}, // warmup >= requests
+		{Trace: tr, Nodes: 8, Combo: netmodel.VIAOverCLAN(), CacheBytes: -1},
+		{Trace: tr, Nodes: 8, Combo: netmodel.VIAOverCLAN(), Concurrency: -1},
+		{Trace: tr, Nodes: 8, Combo: netmodel.VIAOverCLAN(), FileSegmentBytes: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestVIAFasterThanTCP(t *testing.T) {
+	// Figure 3's headline: VIA/cLAN outperforms TCP/cLAN, which in turn
+	// is at least as fast as TCP/FE.
+	tr := testTrace(t, 30000)
+	through := map[string]float64{}
+	for _, combo := range netmodel.Combos() {
+		cfg := baseConfig(tr)
+		cfg.Combo = combo
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		through[combo.Name] = r.Throughput
+	}
+	if through["VIA/cLAN"] <= through["TCP/cLAN"] {
+		t.Errorf("VIA %v not faster than TCP/cLAN %v", through["VIA/cLAN"], through["TCP/cLAN"])
+	}
+	if through["TCP/cLAN"] < through["TCP/FE"]*0.99 {
+		t.Errorf("TCP/cLAN %v slower than TCP/FE %v", through["TCP/cLAN"], through["TCP/FE"])
+	}
+	gain := through["VIA/cLAN"]/through["TCP/cLAN"] - 1
+	if gain < 0.05 || gain > 0.60 {
+		t.Errorf("user-level gain = %.1f%%, expected a Figure 3-like band", gain*100)
+	}
+}
+
+func TestCommFractionHighUnderTCPFE(t *testing.T) {
+	// Figure 1: under TCP/FE, more than half the time goes to
+	// intra-cluster communication.
+	tr := testTrace(t, 30000)
+	cfg := baseConfig(tr)
+	cfg.Combo = netmodel.TCPFastEthernet()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CommFraction < 0.35 {
+		t.Errorf("TCP/FE comm fraction = %.2f, expected substantial", r.CommFraction)
+	}
+	cfgVIA := baseConfig(tr)
+	rv, err := Run(cfgVIA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.CommFraction >= r.CommFraction {
+		t.Errorf("VIA comm fraction %.2f not below TCP/FE %.2f", rv.CommFraction, r.CommFraction)
+	}
+}
+
+func TestZeroCopyVersionsImprove(t *testing.T) {
+	// Figure 5: V5 > V0, with V4 and V5 providing the visible gains.
+	tr := testTrace(t, 30000)
+	vs := netmodel.Versions()
+	through := make([]float64, len(vs))
+	for i, v := range vs {
+		cfg := baseConfig(tr)
+		cfg.Version = v
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		through[i] = r.Throughput
+	}
+	if through[5] <= through[0] {
+		t.Errorf("V5 %.0f not above V0 %.0f", through[5], through[0])
+	}
+	if through[4] <= through[3] {
+		t.Errorf("V4 %.0f not above V3 %.0f (zero-copy RX gain missing)", through[4], through[3])
+	}
+	gain := through[5]/through[0] - 1
+	if gain < 0.02 || gain > 0.35 {
+		t.Errorf("V5 gain over V0 = %.1f%%, out of plausible band", gain*100)
+	}
+}
+
+func TestRMWFileTransferDoublesFileMessages(t *testing.T) {
+	// Table 4: RMW file transfers send a metadata message per transfer.
+	tr := testTrace(t, 20000)
+	v2cfg := baseConfig(tr)
+	v2cfg.Version = netmodel.Versions()[2]
+	v2, err := Run(v2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3cfg := baseConfig(tr)
+	v3cfg.Version = netmodel.Versions()[3]
+	v3, err := Run(v3cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// V3 file messages = V2 data segments + one metadata message per
+	// transfer; transfers track forward messages closely.
+	extra := v3.Msgs.Count[core.MsgFile] - v2.Msgs.Count[core.MsgFile]
+	if extra <= 0 {
+		t.Fatalf("V3 file msgs %d not above V2 %d", v3.Msgs.Count[core.MsgFile], v2.Msgs.Count[core.MsgFile])
+	}
+	ratio := float64(extra) / float64(v3.Msgs.Count[core.MsgForward])
+	if math.Abs(ratio-1) > 0.35 {
+		t.Errorf("metadata messages per forward = %.2f, want ~1", ratio)
+	}
+}
+
+func TestDisseminationStrategiesMessageVolume(t *testing.T) {
+	// Table 2 shape: load messages L1 >> L4 >> L16 > PB = NLB = 0.
+	tr := testTrace(t, 20000)
+	counts := map[string]int64{}
+	for _, st := range core.Strategies() {
+		cfg := baseConfig(tr)
+		cfg.Dissemination = st
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[st.String()] = r.Msgs.Count[core.MsgLoad]
+	}
+	if counts["PB"] != 0 || counts["NLB"] != 0 {
+		t.Errorf("PB/NLB sent load messages: %v", counts)
+	}
+	if !(counts["L1"] > counts["L4"] && counts["L4"] > counts["L16"]) {
+		t.Errorf("load message ordering wrong: %v", counts)
+	}
+	if counts["L16"] == 0 {
+		t.Errorf("L16 sent no load messages")
+	}
+}
+
+func TestPiggyBackBestOrNear(t *testing.T) {
+	// Figure 4: PB is at least as good as every broadcast strategy, and
+	// L1 is clearly below PB.
+	tr := testTrace(t, 30000)
+	through := map[string]float64{}
+	for _, st := range core.Strategies() {
+		cfg := baseConfig(tr)
+		cfg.Dissemination = st
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		through[st.String()] = r.Throughput
+	}
+	for _, name := range []string{"L16", "L4", "L1"} {
+		if through[name] > through["PB"]*1.02 {
+			t.Errorf("%s (%.0f) outperforms PB (%.0f)", name, through[name], through["PB"])
+		}
+	}
+	if through["L1"] >= through["PB"]*0.99 {
+		t.Errorf("L1 (%.0f) not measurably below PB (%.0f)", through["L1"], through["PB"])
+	}
+}
+
+func TestTCPIgnoresVersion(t *testing.T) {
+	// TCP supports neither RMW nor zero-copy: results must match V0.
+	tr := testTrace(t, 10000)
+	base := baseConfig(tr)
+	base.Combo = netmodel.TCPOverCLAN()
+	r0, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v5 := base
+	v5.Version = netmodel.Versions()[5]
+	r5, err := Run(v5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Throughput != r5.Throughput {
+		t.Errorf("TCP throughput differs across versions: %v vs %v", r0.Throughput, r5.Throughput)
+	}
+	if r0.Msgs.Count[core.MsgFlow] != 0 {
+		t.Errorf("TCP sent %d flow-control messages", r0.Msgs.Count[core.MsgFlow])
+	}
+}
+
+func TestSingleNodeNoIntraClusterTraffic(t *testing.T) {
+	tr := testTrace(t, 5000)
+	cfg := baseConfig(tr)
+	cfg.Nodes = 1
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, _ := r.Msgs.Total()
+	if count != 0 {
+		t.Errorf("single node sent %d intra-cluster messages", count)
+	}
+	if r.ForwardedFraction != 0 {
+		t.Errorf("single node forwarded %.2f", r.ForwardedFraction)
+	}
+}
+
+func TestHitRateReasonable(t *testing.T) {
+	// Working set of the test trace (~11 MB) fits the default cache, so
+	// after warmup nearly everything is a memory hit.
+	tr := testTrace(t, 20000)
+	r, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HitRate < 0.9 {
+		t.Errorf("hit rate = %.2f, want ~1 for in-memory working set", r.HitRate)
+	}
+	if r.ForwardedFraction <= 0.1 || r.ForwardedFraction >= 0.95 {
+		t.Errorf("forwarded fraction = %.2f, implausible", r.ForwardedFraction)
+	}
+}
+
+func TestMsgTableShape(t *testing.T) {
+	tr := testTrace(t, 8000)
+	r, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := r.MsgTable()
+	if len(table) != int(core.NumMsgTypes) {
+		t.Fatalf("table rows = %d", len(table))
+	}
+	file := table[core.MsgFile]
+	if file[0] <= 0 || file[1] <= 0 || file[2] <= 0 {
+		t.Errorf("file row = %v", file)
+	}
+}
+
+func TestLatencyStatistics(t *testing.T) {
+	tr := testTrace(t, 10000)
+	r, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyMean <= 0 {
+		t.Fatalf("latency mean = %v", r.LatencyMean)
+	}
+	if r.LatencyMax < r.LatencyMean {
+		t.Fatalf("latency max %v below mean %v", r.LatencyMax, r.LatencyMean)
+	}
+	// Closed loop: throughput * mean latency ~= concurrency
+	// (Little's law), within slack for the issue/finish edges.
+	concurrency := float64(8 * 80 / 2)
+	little := r.Throughput * r.LatencyMean
+	if little < concurrency*0.5 || little > concurrency*1.5 {
+		t.Errorf("Little's law check: X*R = %.1f, concurrency %.0f", little, concurrency)
+	}
+}
+
+func TestDecisionReasonMix(t *testing.T) {
+	tr := testTrace(t, 30000)
+	r, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range r.Reasons {
+		total += c
+	}
+	// Decisions are counted at distribution time, completions at reply
+	// time, so they differ by the requests in flight when measurement
+	// starts (bounded by the client concurrency).
+	concurrency := int64(8 * 80 / 2)
+	if diff := r.Requests - total; diff < 0 || diff > concurrency {
+		t.Fatalf("reason counts sum to %d, requests %d (diff %d)", total, r.Requests, diff)
+	}
+	// Steady state: local hits and remote service dominate; the
+	// replication path fires but rarely.
+	local := r.Reasons[core.ReasonLocalHit]
+	remote := r.Reasons[core.ReasonRemote]
+	if local+remote < total*8/10 {
+		t.Errorf("local (%d) + remote (%d) below 80%% of %d", local, remote, total)
+	}
+	repl := r.Reasons[core.ReasonReplicateInitial] + r.Reasons[core.ReasonReplicateLeastLoaded]
+	if repl == 0 {
+		t.Error("replication path never fired")
+	}
+	if repl > total/10 {
+		t.Errorf("replication fired for %d of %d requests (storm)", repl, total)
+	}
+}
+
+func TestContentObliviousSimulator(t *testing.T) {
+	tr := testTrace(t, 20000)
+	cfg := baseConfig(tr)
+	cfg.ContentOblivious = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, _ := r.Msgs.Total()
+	if count != 0 {
+		t.Errorf("oblivious run sent %d messages", count)
+	}
+	if r.ForwardedFraction != 0 {
+		t.Errorf("oblivious run forwarded %.2f", r.ForwardedFraction)
+	}
+	// Same cache budget, no aggregation: hit rate below PRESS's.
+	press, err := Run(baseConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HitRate >= press.HitRate {
+		t.Errorf("oblivious hit %.3f not below PRESS %.3f", r.HitRate, press.HitRate)
+	}
+}

@@ -1,0 +1,77 @@
+// Command press-loadgen drives a running PRESS cluster (see pressd)
+// with a synthesized trace, closed-loop, and reports throughput.
+//
+// Usage:
+//
+//	press-loadgen -targets http://127.0.0.1:PORT1,http://127.0.0.1:PORT2 \
+//	              [-trace clarknet] [-files 2000] [-requests 20000] [-concurrency 32]
+//
+// The -trace/-files flags must match the pressd instance so the
+// requested names exist.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"press/loadgen"
+	"press/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("press-loadgen: ")
+	var (
+		targets     = flag.String("targets", "", "comma-separated base URLs of cluster nodes")
+		traceName   = flag.String("trace", "clarknet", "trace name (must match pressd)")
+		files       = flag.Int("files", 2000, "file population limit (must match pressd)")
+		requests    = flag.Int("requests", 20000, "number of requests to issue")
+		concurrency = flag.Int("concurrency", 32, "closed-loop clients")
+		seed        = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *targets == "" {
+		log.Print("missing -targets")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, err := trace.SpecByName(*traceName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *files > 0 && *files < spec.NumFiles {
+		spec.NumFiles = *files
+	}
+	if *requests < spec.NumRequests {
+		spec.NumRequests = *requests
+	}
+	tr, err := trace.Synthesize(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Targets:     strings.Split(*targets, ","),
+		Trace:       tr,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requests:   %d (%d errors)\n", res.Requests, res.Errors)
+	fmt.Printf("elapsed:    %v\n", res.Elapsed)
+	fmt.Printf("throughput: %.1f req/s\n", res.Throughput)
+	fmt.Printf("bytes:      %d\n", res.Bytes)
+	fmt.Printf("latency:    mean %.2fms  std %.2fms  max %.2fms\n",
+		res.LatencyMean*1e3, res.LatencyStd*1e3, res.LatencyMax*1e3)
+}

@@ -1,0 +1,118 @@
+// Command press-model solves the paper's analytical model (Section 4)
+// and prints the extrapolation surfaces of Figures 8-13.
+//
+// Usage:
+//
+//	press-model [-figure 8|9|10|11|12|13|all] [-hit H] [-size KB] [-nodes N]
+//
+// Without -figure, a single (-hit, -size, -nodes) point is solved for
+// all three systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"press/model"
+	"press/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("press-model: ")
+	var (
+		figure  = flag.String("figure", "", "figure to print (8..13 or all); empty solves one point")
+		hit     = flag.Float64("hit", 0.9, "single-node hit rate for point solves")
+		size    = flag.Float64("size", 16, "average file size in KB for point solves")
+		nodes   = flag.Int("nodes", 8, "cluster size for point solves")
+		latency = flag.Bool("latency", false, "also print response-time curves for point solves")
+	)
+	flag.Parse()
+
+	if *figure == "" {
+		solvePoint(*nodes, *hit, *size, *latency)
+		return
+	}
+	var surfaces []model.Surface
+	if *figure == "all" {
+		all, err := model.Figures()
+		if err != nil {
+			log.Fatal(err)
+		}
+		surfaces = all
+	} else {
+		fns := map[string]func() (model.Surface, error){
+			"8": model.Figure8, "9": model.Figure9, "10": model.Figure10,
+			"11": model.Figure11, "12": model.Figure12, "13": model.Figure13,
+		}
+		fn, ok := fns[*figure]
+		if !ok {
+			log.Printf("unknown figure %q", *figure)
+			os.Exit(2)
+		}
+		s, err := fn()
+		if err != nil {
+			log.Fatal(err)
+		}
+		surfaces = []model.Surface{s}
+	}
+	for _, s := range surfaces {
+		printSurface(s)
+	}
+}
+
+func solvePoint(nodes int, hit, size float64, latency bool) {
+	p := model.DefaultParams(nodes, hit, size)
+	w, err := p.SolveWorkload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: F=%d files, cluster hit rate H=%.3f, replicated hit h=%.3f, forwarded Q=%.3f\n\n",
+		w.Files, w.HitRate, w.ReplHit, w.Forwarded)
+	t := stats.NewTable("System", "Throughput (req/s)", "Bottleneck")
+	for sys := model.System(0); sys < model.NumSystems; sys++ {
+		sol, err := p.Solve(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRowf(sys.String(), sol.Throughput, sol.Bottleneck.String())
+	}
+	fmt.Print(t)
+	if !latency {
+		return
+	}
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.95}
+	for sys := model.System(0); sys < model.NumSystems; sys++ {
+		pts, err := p.LatencyCurve(sys, fractions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nresponse time, %s:\n", sys)
+		lt := stats.NewTable("Throughput (req/s)", "Response time (ms)")
+		for _, pt := range pts {
+			lt.AddRowf(pt.Throughput, fmt.Sprintf("%.2f", pt.ResponseTime*1e3))
+		}
+		fmt.Print(lt)
+	}
+}
+
+func printSurface(s model.Surface) {
+	fmt.Printf("\n=== %s (throughput ratio by %s x nodes) ===\n\n", s.Name, s.XLabel)
+	headers := []string{s.XLabel}
+	for _, n := range s.Nodes {
+		headers = append(headers, fmt.Sprintf("N=%d", n))
+	}
+	t := stats.NewTable(headers...)
+	for i, x := range s.X {
+		cells := []interface{}{fmt.Sprintf("%g", x)}
+		for j := range s.Nodes {
+			cells = append(cells, fmt.Sprintf("%.2f", s.Gain[i][j]))
+		}
+		t.AddRowf(cells...)
+	}
+	fmt.Print(t)
+	gain, x, n := s.Max()
+	fmt.Printf("\nmax gain %+.1f%% at %s=%g, N=%d\n", (gain-1)*100, s.XLabel, x, n)
+}

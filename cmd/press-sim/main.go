@@ -1,0 +1,423 @@
+// Command press-sim regenerates the experimental section of the paper
+// on the discrete-event cluster simulator: Figures 1 and 3-6 and
+// Tables 2 and 4, plus the design-choice ablations.
+//
+// Usage:
+//
+//	press-sim -experiment all|fig1|fig3|fig4|fig5|fig6|table2|table4|
+//	                      validate|nodesweep|sensitivity|locality|ablations
+//	          [-requests N] [-nodes N] [-trace clarknet|forth|nasa|rutgers] [-seed S]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"press/core"
+	"press/experiments"
+	"press/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("press-sim: ")
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run")
+		requests   = flag.Int("requests", 120000, "requests per trace (negative = full paper-scale traces)")
+		nodes      = flag.Int("nodes", 8, "cluster size")
+		traceName  = flag.String("trace", "clarknet", "trace for single-trace experiments (tables 2 and 4)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		chart      = flag.Bool("chart", false, "render figure experiments as ASCII bar charts too")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	)
+	flag.Parse()
+	chartMode = *chart
+
+	o := experiments.Options{Requests: *requests, Nodes: *nodes, Seed: *seed, Trace: *traceName}
+	if *jsonOut {
+		if err := emitJSON(*experiment, o); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runners := map[string]func(experiments.Options) error{
+		"fig1":        figure1,
+		"fig3":        figure3,
+		"fig4":        figure4,
+		"fig5":        figure5,
+		"fig6":        figure6,
+		"table2":      table2,
+		"table4":      table4,
+		"validate":    validate,
+		"ablations":   ablations,
+		"nodesweep":   nodeSweep,
+		"sensitivity": sensitivity,
+		"locality":    locality,
+	}
+	order := []string{"fig1", "fig3", "fig4", "table2", "fig5", "table4", "fig6",
+		"validate", "nodesweep", "sensitivity", "locality", "ablations"}
+	if *experiment == "all" {
+		for _, name := range order {
+			if err := runners[name](o); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		log.Printf("unknown experiment %q; choose from all, %v", *experiment, order)
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitJSON runs one experiment (or all) and writes its structured rows
+// as JSON, for external plotting.
+func emitJSON(name string, o experiments.Options) error {
+	collect := map[string]func() (interface{}, error){
+		"fig1":     func() (interface{}, error) { return experiments.Figure1(o) },
+		"fig3":     func() (interface{}, error) { return experiments.Figure3(o) },
+		"fig4":     func() (interface{}, error) { return experiments.Figure4(o) },
+		"fig5":     func() (interface{}, error) { return experiments.Figure5(o) },
+		"fig6":     func() (interface{}, error) { return experiments.Figure6(o) },
+		"table2":   func() (interface{}, error) { return experiments.Table2(o) },
+		"table4":   func() (interface{}, error) { return experiments.Table4(o) },
+		"validate": func() (interface{}, error) { return experiments.Validation(o) },
+		"nodesweep": func() (interface{}, error) {
+			return experiments.NodeSweep(o, []int{2, 4, 8, 16, 32})
+		},
+		"locality": func() (interface{}, error) {
+			return experiments.LocalityBenefit(o, []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 512 << 20})
+		},
+	}
+	out := map[string]interface{}{}
+	if name == "all" {
+		for k, fn := range collect {
+			v, err := fn()
+			if err != nil {
+				return err
+			}
+			out[k] = v
+		}
+	} else {
+		fn, ok := collect[name]
+		if !ok {
+			return fmt.Errorf("experiment %q has no JSON form", name)
+		}
+		v, err := fn()
+		if err != nil {
+			return err
+		}
+		out[name] = v
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+// chartMode renders bar charts after figure tables when -chart is set.
+var chartMode bool
+
+func barChart(title string, labels []string, values []float64) {
+	if !chartMode {
+		return
+	}
+	fmt.Printf("\n%s\n", title)
+	c := stats.NewBarChart(48)
+	for i, l := range labels {
+		c.Add(l, values[i])
+	}
+	fmt.Print(c)
+}
+
+func figure1(o experiments.Options) error {
+	rows, err := experiments.Figure1(o)
+	if err != nil {
+		return err
+	}
+	header("Figure 1: time spent by PRESS on intra-cluster communication (TCP/FE)")
+	t := stats.NewTable("Trace", "Comm share", "CPU-only share", "Throughput")
+	for _, r := range rows {
+		t.AddRowf(r.Trace, fmt.Sprintf("%.0f%%", r.CommFraction*100),
+			fmt.Sprintf("%.0f%%", r.CPUOnlyFraction*100), r.Throughput)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func figure3(o experiments.Options) error {
+	rows, err := experiments.Figure3(o)
+	if err != nil {
+		return err
+	}
+	header("Figure 3: throughput for protocol/network combinations (req/s)")
+	t := stats.NewTable("Trace", "TCP/FE", "TCP/cLAN", "VIA/cLAN", "bw effect", "overhead effect")
+	for _, r := range rows {
+		t.AddRowf(r.Trace, r.TCPFE, r.TCPCLAN, r.VIACLAN,
+			fmt.Sprintf("%+.1f%%", r.BandwidthEffect()*100),
+			fmt.Sprintf("%+.1f%%", r.OverheadEffect()*100))
+	}
+	fmt.Print(t)
+	for _, r := range rows {
+		barChart(r.Trace,
+			[]string{"TCP/FE", "TCP/cLAN", "VIA/cLAN"},
+			[]float64{r.TCPFE, r.TCPCLAN, r.VIACLAN})
+	}
+	return nil
+}
+
+func figure4(o experiments.Options) error {
+	rows, err := experiments.Figure4(o)
+	if err != nil {
+		return err
+	}
+	header("Figure 4: throughput for load-information dissemination strategies (req/s)")
+	t := stats.NewTable("Trace", "PB", "L16", "L4", "L1", "NLB")
+	for _, r := range rows {
+		t.AddRowf(r.Trace, r.Throughput["PB"], r.Throughput["L16"],
+			r.Throughput["L4"], r.Throughput["L1"], r.Throughput["NLB"])
+	}
+	fmt.Print(t)
+	for _, r := range rows {
+		labels := []string{"PB", "L16", "L4", "L1", "NLB"}
+		vals := make([]float64, len(labels))
+		for i, l := range labels {
+			vals[i] = r.Throughput[l]
+		}
+		barChart(r.Trace, labels, vals)
+	}
+	return nil
+}
+
+func msgTable(title, labelHeader string, blocks []struct {
+	label string
+	msgs  core.MsgStats
+}) {
+	header(title)
+	t := stats.NewTable(labelHeader, "Msg type", "Num msgs (K)", "Num bytes (MB)", "Avg msg size")
+	for _, b := range blocks {
+		for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
+			t.AddRowf(b.label, mt.String(),
+				float64(b.msgs.Count[mt])/1e3,
+				float64(b.msgs.Bytes[mt])/1e6,
+				b.msgs.AvgSize(mt))
+		}
+		count, bytes := b.msgs.Total()
+		t.AddRowf(b.label, "TOTAL", float64(count)/1e3, float64(bytes)/1e6, "")
+	}
+	fmt.Print(t)
+}
+
+func table2(o experiments.Options) error {
+	entries, err := experiments.Table2(o)
+	if err != nil {
+		return err
+	}
+	blocks := make([]struct {
+		label string
+		msgs  core.MsgStats
+	}, len(entries))
+	for i, e := range entries {
+		blocks[i].label = e.Strategy
+		blocks[i].msgs = e.Msgs
+	}
+	msgTable(fmt.Sprintf("Table 2: intra-cluster communication and dissemination strategies (%s)", o.Trace), "Strategy", blocks)
+	return nil
+}
+
+func figure5(o experiments.Options) error {
+	rows, err := experiments.Figure5(o)
+	if err != nil {
+		return err
+	}
+	header("Figure 5: throughput increase of the RMW and zero-copy versions over V0")
+	t := stats.NewTable("Trace", "V1", "V2", "V3", "V4", "V5")
+	for _, r := range rows {
+		cells := []interface{}{r.Trace}
+		for _, g := range r.Gain {
+			cells = append(cells, fmt.Sprintf("%+.1f%%", g*100))
+		}
+		t.AddRowf(cells...)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func table4(o experiments.Options) error {
+	entries, err := experiments.Table4(o)
+	if err != nil {
+		return err
+	}
+	blocks := make([]struct {
+		label string
+		msgs  core.MsgStats
+	}, len(entries))
+	for i, e := range entries {
+		blocks[i].label = e.Version
+		blocks[i].msgs = e.Msgs
+	}
+	msgTable(fmt.Sprintf("Table 4: intra-cluster communication, RMW, and zero-copy (%s)", o.Trace), "Version", blocks)
+	return nil
+}
+
+func figure6(o experiments.Options) error {
+	rows, err := experiments.Figure6(o)
+	if err != nil {
+		return err
+	}
+	header("Figure 6: summary of contributions (normalized to full user-level throughput)")
+	t := stats.NewTable("Trace", "TCP/cLAN base", "Low overhead", "RMW", "0-copy", "Total gain")
+	for _, r := range rows {
+		base, low, rmw, zc := r.Contributions()
+		t.AddRowf(r.Trace,
+			fmt.Sprintf("%.2f", base), fmt.Sprintf("%.2f", low),
+			fmt.Sprintf("%.2f", rmw), fmt.Sprintf("%.2f", zc),
+			fmt.Sprintf("%+.1f%%", r.TotalGain()*100))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func validate(o experiments.Options) error {
+	rows, err := experiments.Validation(o)
+	if err != nil {
+		return err
+	}
+	header("Model validation: simulator vs analytical upper bound (Section 4.2)")
+	t := stats.NewTable("Trace", "System", "Simulated", "Model", "Model/Sim")
+	for _, r := range rows {
+		t.AddRowf(r.Trace, r.System, r.Simulated, r.Modeled, fmt.Sprintf("%.2f", r.Ratio))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func nodeSweep(o experiments.Options) error {
+	pts, err := experiments.NodeSweep(o, []int{2, 4, 8, 16, 32})
+	if err != nil {
+		return err
+	}
+	header("Node sweep: user-level gain vs cluster size, simulator and model (trace " + o.Trace + ")")
+	t := stats.NewTable("Nodes", "TCP/cLAN", "VIA/cLAN", "Sim gain", "Model gain")
+	for _, p := range pts {
+		t.AddRowf(p.Nodes, p.TCP, p.VIA,
+			fmt.Sprintf("%+.1f%%", p.Gain*100),
+			fmt.Sprintf("%+.1f%%", p.ModelGain*100))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func sensitivity(o experiments.Options) error {
+	ov, err := experiments.OverheadSweep(o, []float64{2, 7, 15, 30, 60, 135, 270})
+	if err != nil {
+		return err
+	}
+	header("Sensitivity: per-message processor overhead (trace " + o.Trace + ")")
+	t := stats.NewTable("Overhead (us/msg/end)", "Throughput", "Comm share")
+	for _, p := range ov {
+		t.AddRowf(fmt.Sprintf("%g", p.OverheadUS), p.Throughput,
+			fmt.Sprintf("%.0f%%", p.CommFraction*100))
+	}
+	fmt.Print(t)
+
+	bw, err := experiments.BandwidthSweep(o, []float64{2, 4, 8, 11.5, 32, 102, 250, 1000})
+	if err != nil {
+		return err
+	}
+	header("Sensitivity: internal wire bandwidth (trace " + o.Trace + ")")
+	t = stats.NewTable("Wire (MB/s)", "Throughput", "Mean latency (ms)")
+	for _, p := range bw {
+		t.AddRowf(fmt.Sprintf("%g", p.MBps), p.Throughput,
+			fmt.Sprintf("%.2f", p.LatencyMean*1e3))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func locality(o experiments.Options) error {
+	pts, err := experiments.LocalityBenefit(o, []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 512 << 20})
+	if err != nil {
+		return err
+	}
+	header("Locality benefit: PRESS vs a content-oblivious baseline (trace " + o.Trace + ")")
+	t := stats.NewTable("Cache/node", "Oblivious", "PRESS", "Advantage", "Obl. hit", "PRESS hit")
+	for _, p := range pts {
+		t.AddRowf(stats.FormatBytes(p.CacheBytes), p.Oblivious, p.PRESS,
+			fmt.Sprintf("%+.1f%%", (p.PRESS/p.Oblivious-1)*100),
+			fmt.Sprintf("%.3f", p.ObliviousHit), fmt.Sprintf("%.3f", p.PRESSHit))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func ablations(o experiments.Options) error {
+	header("Ablations (trace " + o.Trace + ", VIA/cLAN)")
+
+	pts, err := experiments.AblationLoadThreshold(o, []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Load threshold L", "Throughput")
+	for _, p := range pts {
+		t.AddRowf(int(p.Param), p.Throughput)
+	}
+	fmt.Print(t)
+
+	reg, rmw, err := experiments.AblationLoadRMW(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nL1 with regular load broadcasts: %.0f req/s; with RMW: %.0f req/s (%+.1f%%)\n",
+		reg, rmw, (rmw/reg-1)*100)
+
+	v2, v3, v3s, err := experiments.AblationRMWSingleMessage(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nRMW file transfer: V2 %.0f, V3 %.0f, hypothetical single-message V3 %.0f req/s\n", v2, v3, v3s)
+
+	sweeps := []struct {
+		name string
+		fn   func() ([]experiments.SweepPoint, error)
+	}{
+		{"flow-control credit batch", func() ([]experiments.SweepPoint, error) {
+			return experiments.AblationFlowBatch(o, []int{1, 2, 4, 8, 16})
+		}},
+		{"overload threshold T", func() ([]experiments.SweepPoint, error) {
+			return experiments.AblationOverloadThreshold(o, []int{20, 40, 80, 160, 320})
+		}},
+		{"large-file cutoff (bytes)", func() ([]experiments.SweepPoint, error) {
+			return experiments.AblationLargeFileCutoff(o, []int64{32 << 10, 128 << 10, 512 << 10, 2 << 20})
+		}},
+		{"file segment size (bytes)", func() ([]experiments.SweepPoint, error) {
+			return experiments.AblationSegmentSize(o, []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10})
+		}},
+		{"per-node cache (bytes)", func() ([]experiments.SweepPoint, error) {
+			return experiments.AblationCacheSize(o, []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 256 << 20})
+		}},
+	}
+	for _, s := range sweeps {
+		pts, err := s.fn()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t := stats.NewTable(s.name, "Throughput")
+		for _, p := range pts {
+			t.AddRowf(int(p.Param), p.Throughput)
+		}
+		fmt.Print(t)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command press-tracegen synthesizes, inspects, and converts workload
+// traces.
+//
+// Usage:
+//
+//	press-tracegen -table1                    # verify Table 1 calibration
+//	press-tracegen -name nasa -out nasa.trc   # write a binary trace
+//	press-tracegen -in nasa.trc               # print a trace's statistics
+//	press-tracegen -clf access.log -out t.trc # convert a Common Log Format log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"press/stats"
+	"press/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("press-tracegen: ")
+	var (
+		table1   = flag.Bool("table1", false, "synthesize all four paper traces and print Table 1")
+		name     = flag.String("name", "", "synthesize a paper trace: clarknet, forth, nasa, rutgers")
+		requests = flag.Int("requests", 0, "override the request count (0 = Table 1 value)")
+		clf      = flag.String("clf", "", "parse a Common Log Format file instead of synthesizing")
+		in       = flag.String("in", "", "read a binary trace and print statistics")
+		out      = flag.String("out", "", "write the trace in binary form to this path")
+	)
+	flag.Parse()
+
+	switch {
+	case *table1:
+		printTable1()
+	case *in != "":
+		tr := readTrace(*in)
+		printStats(tr)
+		maybeWrite(tr, *out)
+	case *clf != "":
+		f, err := os.Open(*clf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ParseCLF(*clf, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(tr)
+		maybeWrite(tr, *out)
+	case *name != "":
+		spec, err := trace.SpecByName(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *requests > 0 {
+			spec.NumRequests = *requests
+		}
+		tr, err := trace.Synthesize(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(tr)
+		maybeWrite(tr, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable1() {
+	fmt.Println("Table 1: main characteristics of the WWW server traces (synthesized)")
+	fmt.Println()
+	t := stats.NewTable("Logs", "Num files", "Avg file size", "Num requests", "Avg req size")
+	for _, spec := range trace.Table1Specs() {
+		tr, err := trace.Synthesize(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := tr.Stats()
+		t.AddRowf(spec.Name, st.NumFiles,
+			fmt.Sprintf("%.1f KB", st.AvgFileKB),
+			st.NumRequests,
+			fmt.Sprintf("%.1f KB", st.AvgReqKB))
+	}
+	fmt.Print(t)
+}
+
+func readTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var tr trace.Trace
+	if _, err := tr.ReadFrom(f); err != nil {
+		log.Fatal(err)
+	}
+	return &tr
+}
+
+func printStats(tr *trace.Trace) {
+	if err := tr.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("trace %q: %d files (avg %.1f KB, %s working set), %d requests (avg %.1f KB)\n",
+		tr.Name, st.NumFiles, st.AvgFileKB, stats.FormatBytes(st.TotalBytes),
+		st.NumRequests, st.AvgReqKB)
+	if p, err := tr.AnalyzePopularity(); err == nil {
+		fmt.Printf("popularity: Zipf-like alpha %.2f (R²=%.3f), %d distinct files requested, top-10%% share %.0f%%\n",
+			p.Alpha, p.R2, p.DistinctFiles, p.Top10Share*100)
+	}
+}
+
+func maybeWrite(tr *trace.Trace, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%s)\n", path, stats.FormatBytes(n))
+}

@@ -1,0 +1,103 @@
+// Command pressd runs a real PRESS cluster in one process: N server
+// nodes over software VIA or loopback TCP, each serving HTTP. Node
+// addresses are printed at startup; drive them with press-loadgen or
+// any HTTP client, and stop with SIGINT.
+//
+// Usage:
+//
+//	pressd [-nodes 4] [-transport via|tcp] [-version V0..V5]
+//	       [-strategy PB|L16|L4|L1|NLB] [-trace clarknet] [-files N]
+//	       [-cache BYTES] [-disk-delay 2ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"press/core"
+	"press/netmodel"
+	"press/server"
+	"press/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pressd: ")
+	var (
+		nodes     = flag.Int("nodes", 4, "cluster size")
+		transport = flag.String("transport", "via", "intra-cluster transport: via or tcp")
+		version   = flag.String("version", "V5", "communication version V0..V5 (VIA only)")
+		strategy  = flag.String("strategy", "PB", "load dissemination: PB, L16, L4, L1, NLB")
+		traceName = flag.String("trace", "clarknet", "file population: clarknet, forth, nasa, rutgers")
+		files     = flag.Int("files", 2000, "limit the file population (0 = full trace)")
+		cache     = flag.Int64("cache", 64<<20, "per-node cache bytes")
+		diskDelay = flag.Duration("disk-delay", 2*time.Millisecond, "artificial disk read latency")
+	)
+	flag.Parse()
+
+	spec, err := trace.SpecByName(*traceName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *files > 0 && *files < spec.NumFiles {
+		spec.NumFiles = *files
+	}
+	spec.NumRequests = 1 // the population matters; requests come from clients
+	tr, err := trace.Synthesize(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kind := server.TransportVIA
+	if *transport == "tcp" {
+		kind = server.TransportTCP
+	} else if *transport != "via" {
+		log.Fatalf("unknown transport %q", *transport)
+	}
+	ver, err := netmodel.VersionByName(*version)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := core.StrategyByName(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cl, err := server.Start(server.Config{
+		Nodes:         *nodes,
+		Trace:         tr,
+		Transport:     kind,
+		Version:       ver,
+		Dissemination: st,
+		CacheBytes:    *cache,
+		DiskDelay:     *diskDelay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	fmt.Printf("PRESS cluster up: %d nodes, %s transport, version %s, strategy %s, %d files\n",
+		*nodes, kind, ver.Name, st, len(tr.Files))
+	for i, a := range cl.Addrs() {
+		fmt.Printf("  node %d: http://%s\n", i, a)
+	}
+	fmt.Println("serving; Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	s := cl.Stats()
+	fmt.Printf("\nrequests=%d localHits=%d remoteHits=%d forwarded=%d diskReads=%d replicas=%d errors=%d\n",
+		s.Nodes.Requests, s.Nodes.LocalHits, s.Nodes.RemoteHits,
+		s.Nodes.Forwarded, s.Nodes.DiskReads, s.Nodes.Replicas, s.Nodes.Errors)
+	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
+		fmt.Printf("  %-8s %8d msgs %12d bytes\n", mt, s.Msgs.Count[mt], s.Msgs.Bytes[mt])
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// StrategyKind selects how load information travels between nodes
+// (Section 3.3).
+type StrategyKind int
+
+const (
+	// PiggyBack appends the sender's current load to every intra-cluster
+	// message; no explicit load messages are sent. This is PRESS's
+	// default and the best performer in the paper.
+	PiggyBack StrategyKind = iota
+	// ThresholdBroadcast sends the node's load to every peer whenever it
+	// differs from the last broadcast value by at least L connections.
+	ThresholdBroadcast
+	// NoLoadBalancing distributes requests on cache locality alone.
+	NoLoadBalancing
+)
+
+// Strategy is a load-information dissemination strategy.
+type Strategy struct {
+	Kind StrategyKind
+	// L is the broadcast threshold, used only by ThresholdBroadcast.
+	L int
+}
+
+// PB returns the piggy-backing strategy.
+func PB() Strategy { return Strategy{Kind: PiggyBack} }
+
+// LThreshold returns a threshold-broadcast strategy with threshold l.
+func LThreshold(l int) Strategy {
+	if l <= 0 {
+		panic(fmt.Sprintf("core: load threshold must be positive, got %d", l))
+	}
+	return Strategy{Kind: ThresholdBroadcast, L: l}
+}
+
+// NLB returns the no-load-balancing strategy.
+func NLB() Strategy { return Strategy{Kind: NoLoadBalancing} }
+
+// String returns the bar label of Figure 4 ("PB", "L16", "L4", "L1",
+// "NLB").
+func (s Strategy) String() string {
+	switch s.Kind {
+	case PiggyBack:
+		return "PB"
+	case ThresholdBroadcast:
+		return fmt.Sprintf("L%d", s.L)
+	case NoLoadBalancing:
+		return "NLB"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s.Kind))
+	}
+}
+
+// Strategies returns the five strategies of Figure 4 in bar order.
+func Strategies() []Strategy {
+	return []Strategy{PB(), LThreshold(16), LThreshold(4), LThreshold(1), NLB()}
+}
+
+// StrategyByName parses a Figure 4 bar label.
+func StrategyByName(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return Strategy{}, fmt.Errorf("core: unknown dissemination strategy %q (want PB, L16, L4, L1, or NLB)", name)
+}
+
+// LoadTracker tracks one node's open-connection count and decides when a
+// threshold strategy must broadcast.
+type LoadTracker struct {
+	strategy Strategy
+	current  int
+	lastSent int
+}
+
+// NewLoadTracker returns a tracker for the strategy with zero load.
+func NewLoadTracker(s Strategy) *LoadTracker {
+	return &LoadTracker{strategy: s}
+}
+
+// Load returns the current open-connection count.
+func (t *LoadTracker) Load() int { return t.current }
+
+// Change applies a load delta (connection opened: +1, closed: -1) and
+// reports whether the strategy requires broadcasting the new value now.
+func (t *LoadTracker) Change(delta int) (broadcast bool) {
+	t.current += delta
+	if t.current < 0 {
+		panic("core: negative open-connection count")
+	}
+	if t.strategy.Kind != ThresholdBroadcast {
+		return false
+	}
+	if abs(t.current-t.lastSent) >= t.strategy.L {
+		t.lastSent = t.current
+		return true
+	}
+	return false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,59 @@
+package core
+
+import "fmt"
+
+// FlowControl models PRESS's window-based flow control for VIA
+// channels: receivers return credit messages announcing freed buffer
+// slots. TCP versions do not use it — the kernel's flow control is
+// transparent to the server.
+//
+// Credits are batched: after every CreditBatch data messages consumed on
+// a channel, the receiver owes the sender one credit message. This
+// reproduces the paper's flow-to-data message ratios without simulating
+// sender blocking (file transfers dominate service time, so the window
+// itself rarely binds at the paper's window sizes).
+type FlowControl struct {
+	batch  int
+	window int
+	// consumed[src*nodes+dst] counts data messages from src consumed by
+	// dst since dst last returned a credit.
+	consumed []int
+	nodes    int
+}
+
+// DefaultWindow and DefaultCreditBatch reproduce the paper's observed
+// flow-to-data message ratio (roughly one flow message per four data
+// messages per channel in the PB configuration of Table 2).
+const (
+	DefaultWindow      = 8
+	DefaultCreditBatch = 4
+)
+
+// NewFlowControl returns flow-control state for an n-node cluster.
+func NewFlowControl(nodes, window, batch int) *FlowControl {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("core: flow control needs positive node count, got %d", nodes))
+	}
+	if batch <= 0 || window < batch {
+		panic(fmt.Sprintf("core: invalid flow window %d / batch %d", window, batch))
+	}
+	return &FlowControl{batch: batch, window: window, consumed: make([]int, nodes*nodes), nodes: nodes}
+}
+
+// Window returns the configured window size in buffer slots.
+func (f *FlowControl) Window() int { return f.window }
+
+// OnData records that dst consumed one data message from src and reports
+// whether dst owes src a credit message now.
+func (f *FlowControl) OnData(src, dst int) (creditDue bool) {
+	if src == dst {
+		panic("core: flow control on a node's own channel")
+	}
+	i := src*f.nodes + dst
+	f.consumed[i]++
+	if f.consumed[i] >= f.batch {
+		f.consumed[i] = 0
+		return true
+	}
+	return false
+}

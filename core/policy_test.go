@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"press/cache"
+)
+
+// fakeView is a hand-settable cluster view for policy tests.
+type fakeView struct {
+	nodes     int
+	cachers   map[cache.FileID]cache.NodeSet
+	loads     []int
+	loadKnown bool
+}
+
+func (v *fakeView) Cachers(id cache.FileID) cache.NodeSet { return v.cachers[id] }
+func (v *fakeView) Load(n int) int                        { return v.loads[n] }
+func (v *fakeView) LoadKnown() bool                       { return v.loadKnown }
+func (v *fakeView) Nodes() int                            { return v.nodes }
+
+func newFakeView(nodes int) *fakeView {
+	return &fakeView{
+		nodes:     nodes,
+		cachers:   map[cache.FileID]cache.NodeSet{},
+		loads:     make([]int, nodes),
+		loadKnown: true,
+	}
+}
+
+func testPolicy() *Policy { return NewPolicy(DefaultPolicy()) }
+
+func TestDecideLargeFileStaysLocal(t *testing.T) {
+	v := newFakeView(8)
+	// Even though node 3 caches the file, a 512 KB request stays local.
+	v.cachers[1] = cache.NodeSet(0).Add(3)
+	d := testPolicy().Decide(0, 1, 512*1024, false, v)
+	if d.Service != 0 || d.Reason != ReasonLargeFile {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d.Forwarded(0) {
+		t.Fatal("large file forwarded")
+	}
+}
+
+func TestDecideJustUnderCutoffForwards(t *testing.T) {
+	v := newFakeView(8)
+	v.cachers[1] = cache.NodeSet(0).Add(3)
+	d := testPolicy().Decide(0, 1, 512*1024-1, false, v)
+	if d.Service != 3 || d.Reason != ReasonRemote {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideFirstRequestLocal(t *testing.T) {
+	v := newFakeView(8)
+	d := testPolicy().Decide(2, 7, 1000, true, v)
+	if d.Service != 2 || d.Reason != ReasonFirstRequest {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideLocalHit(t *testing.T) {
+	v := newFakeView(8)
+	v.cachers[5] = cache.NodeSet(0).Add(2).Add(6)
+	d := testPolicy().Decide(2, 5, 1000, false, v)
+	if d.Service != 2 || d.Reason != ReasonLocalHit {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideNotCachedAnywhere(t *testing.T) {
+	v := newFakeView(8)
+	d := testPolicy().Decide(4, 9, 1000, false, v)
+	if d.Service != 4 || d.Reason != ReasonNotCached {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecidePicksLeastLoadedCacher(t *testing.T) {
+	v := newFakeView(8)
+	v.cachers[1] = cache.NodeSet(0).Add(3).Add(5).Add(7)
+	v.loads[3] = 50
+	v.loads[5] = 10
+	v.loads[7] = 30
+	d := testPolicy().Decide(0, 1, 1000, false, v)
+	if d.Service != 5 || d.Reason != ReasonRemote {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideCandidateAtThresholdNotOverloaded(t *testing.T) {
+	// Overloaded means strictly greater than T.
+	v := newFakeView(8)
+	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.loads[3] = 80 // exactly T
+	d := testPolicy().Decide(0, 1, 1000, false, v)
+	if d.Service != 3 || d.Reason != ReasonRemote {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideReplicateAtInitial(t *testing.T) {
+	v := newFakeView(8)
+	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.loads[3] = 90 // candidate overloaded
+	v.loads[0] = 10 // initial fine
+	d := testPolicy().Decide(0, 1, 1000, false, v)
+	if d.Service != 0 || d.Reason != ReasonReplicateInitial {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideReplicateAtLeastLoaded(t *testing.T) {
+	v := newFakeView(8)
+	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.loads[3] = 90 // candidate overloaded
+	v.loads[0] = 85 // initial overloaded
+	for i := 1; i < 8; i++ {
+		v.loads[i] = 85
+	}
+	v.loads[6] = 5 // least loaded, not a cacher
+	v.loads[3] = 90
+	d := testPolicy().Decide(0, 1, 1000, false, v)
+	if d.Service != 6 || d.Reason != ReasonReplicateLeastLoaded {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideAllOverloadedStaysWithCandidate(t *testing.T) {
+	v := newFakeView(8)
+	v.cachers[1] = cache.NodeSet(0).Add(3)
+	for i := range v.loads {
+		v.loads[i] = 100
+	}
+	v.loads[3] = 120
+	d := testPolicy().Decide(0, 1, 1000, false, v)
+	if d.Service != 3 || d.Reason != ReasonRemoteAllOverloaded {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDecideLoadBlindRotates(t *testing.T) {
+	v := newFakeView(8)
+	v.loadKnown = false
+	v.cachers[1] = cache.NodeSet(0).Add(2).Add(5)
+	p := testPolicy()
+	seen := map[int]int{}
+	for i := 0; i < 10; i++ {
+		d := p.Decide(0, 1, 1000, false, v)
+		if d.Reason != ReasonRemote {
+			t.Fatalf("decision = %+v", d)
+		}
+		if d.Service != 2 && d.Service != 5 {
+			t.Fatalf("service = %d, not a cacher", d.Service)
+		}
+		seen[d.Service]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("rotation visited %v", seen)
+	}
+}
+
+func TestNewPolicyValidates(t *testing.T) {
+	for _, cfg := range []PolicyConfig{
+		{LargeFileBytes: 0, OverloadThreshold: 80},
+		{LargeFileBytes: 1024, OverloadThreshold: 0},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPolicy(%+v) did not panic", cfg)
+				}
+			}()
+			NewPolicy(cfg)
+		}()
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for r := Reason(0); r < NumReasons; r++ {
+		if s := r.String(); s == "" || s[0] == 'R' {
+			t.Errorf("Reason(%d).String() = %q", r, s)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(300, func() { got = append(got, 3) })
+	s.Schedule(100, func() { got = append(got, 1) })
+	s.Schedule(200, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 300 {
+		t.Fatalf("now = %d, want 300", s.Now())
+	}
+	if s.Steps() != 3 {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(50, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(100, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.Schedule(50, func() {})
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	s.After(-time.Second, func() {})
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.Schedule(1000, func() {
+		s.After(time.Microsecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 1000+Time(time.Microsecond) {
+		t.Fatalf("After fired at %d", at)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	s := New()
+	ran := 0
+	s.Schedule(100, func() { ran++ })
+	s.Schedule(200, func() { ran++ })
+	s.Schedule(300, func() { ran++ })
+	s.RunUntil(200)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if s.Now() != 200 {
+		t.Fatalf("now = %d, want 200", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if ran != 3 {
+		t.Fatalf("ran %d events after Run, want 3", ran)
+	}
+}
+
+func TestRunForAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunFor(5 * time.Second)
+	if s.Now() != Time(5*time.Second) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestResourceFCFSSerializes(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu")
+	var ends []Time
+	// Three demands of 10us arriving at t=0 must complete at 10, 20, 30us.
+	for i := 0; i < 3; i++ {
+		r.Acquire(0, 10*time.Microsecond, func() { ends = append(ends, s.Now()) })
+	}
+	s.Run()
+	want := []Time{Time(10 * time.Microsecond), Time(20 * time.Microsecond), Time(30 * time.Microsecond)}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.Served() != 3 {
+		t.Fatalf("served = %d", r.Served())
+	}
+	if r.TotalBusy() != 30*time.Microsecond {
+		t.Fatalf("busy = %v", r.TotalBusy())
+	}
+}
+
+func TestResourceIdleGapThenWork(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu")
+	var end Time
+	s.Schedule(Time(time.Millisecond), func() {
+		r.Acquire(0, time.Microsecond, func() { end = s.Now() })
+	})
+	s.Run()
+	if end != Time(time.Millisecond)+Time(time.Microsecond) {
+		t.Fatalf("end = %d", end)
+	}
+}
+
+func TestResourceClassAccounting(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu")
+	const comm, svc = 0, 1
+	r.Acquire(comm, 3*time.Microsecond, nil)
+	r.Acquire(svc, 5*time.Microsecond, nil)
+	r.Acquire(comm, 2*time.Microsecond, nil)
+	s.Run()
+	if got := r.BusyTime(comm); got != 5*time.Microsecond {
+		t.Errorf("comm busy = %v", got)
+	}
+	if got := r.BusyTime(svc); got != 5*time.Microsecond {
+		t.Errorf("svc busy = %v", got)
+	}
+	if got := r.BusyTime(99); got != 0 {
+		t.Errorf("unknown class busy = %v", got)
+	}
+	if got := r.BusyTime(-1); got != 0 {
+		t.Errorf("negative class busy = %v", got)
+	}
+	if got := r.TotalBusy(); got != 10*time.Microsecond {
+		t.Errorf("total busy = %v", got)
+	}
+}
+
+func TestResourceNegativeDemandPanics(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative demand did not panic")
+		}
+	}()
+	r.Acquire(0, -1, nil)
+}
+
+func TestResourceBacklogAndUtilization(t *testing.T) {
+	s := New()
+	r := s.NewResource("disk")
+	r.Acquire(0, 10*time.Millisecond, nil)
+	r.Acquire(0, 10*time.Millisecond, nil)
+	if got := r.Backlog(); got != 20*time.Millisecond {
+		t.Errorf("backlog = %v, want 20ms", got)
+	}
+	if got := r.Utilization(); got != 0 {
+		t.Errorf("utilization at t=0 = %v", got)
+	}
+	s.RunFor(40 * time.Millisecond)
+	if got := r.Backlog(); got != 0 {
+		t.Errorf("backlog after drain = %v", got)
+	}
+	if got := r.Utilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event chain: each event schedules the next. The chain must run to
+	// completion with correct timestamps.
+	s := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			s.After(time.Microsecond, step)
+		}
+	}
+	s.After(0, step)
+	s.Run()
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Now() != Time(99*time.Microsecond) {
+		t.Fatalf("now = %d", s.Now())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != Time(1500*time.Millisecond) {
+		t.Error("FromSeconds(1.5)")
+	}
+	if got := Time(2 * time.Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v", got)
+	}
+}
+
+// Property: completion order on a FCFS resource equals arrival order, and
+// the last completion equals the sum of demands when all arrive at t=0.
+func TestResourceCompletionOrderProperty(t *testing.T) {
+	check := func(demandsRaw []uint16) bool {
+		if len(demandsRaw) == 0 {
+			return true
+		}
+		if len(demandsRaw) > 64 {
+			demandsRaw = demandsRaw[:64]
+		}
+		s := New()
+		r := s.NewResource("x")
+		var order []int
+		var total time.Duration
+		for i, d := range demandsRaw {
+			i := i
+			dd := time.Duration(d) * time.Nanosecond
+			total += dd
+			r.Acquire(0, dd, func() { order = append(order, i) })
+		}
+		s.Run()
+		for i, v := range order {
+			if v != i {
+				return false
+			}
+		}
+		return s.Now() == Time(total) || total == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.Schedule(Time(j), func() {})
+		}
+		s.Run()
+	}
+}

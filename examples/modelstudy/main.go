@@ -1,0 +1,68 @@
+// Modelstudy explores the analytical model of Section 4: how much
+// user-level communication is worth as clusters grow and working sets
+// change, on current and next-generation operating systems.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"press/model"
+	"press/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("User-level communication gains predicted by the queueing model")
+	fmt.Println("(VIA with RMW + zero-copy vs TCP; 16-KByte average files)")
+	fmt.Println()
+
+	hitRates := []float64{0.3, 0.5, 0.7, 0.9}
+	nodes := []int{2, 8, 32, 128}
+
+	for _, future := range []bool{false, true} {
+		label := "current operating systems"
+		if future {
+			label = "next-generation operating systems (zero-copy TCP, IO-Lite style)"
+		}
+		fmt.Printf("--- %s ---\n\n", label)
+		headers := []string{"hit rate"}
+		for _, n := range nodes {
+			headers = append(headers, fmt.Sprintf("N=%d", n))
+		}
+		t := stats.NewTable(headers...)
+		for _, hit := range hitRates {
+			cells := []interface{}{fmt.Sprintf("%.0f%%", hit*100)}
+			for _, n := range nodes {
+				p := model.DefaultParams(n, hit, 16)
+				p.Future = future
+				g, err := p.Gain(model.SysVIARMWZeroCopy, model.SysTCP)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cells = append(cells, fmt.Sprintf("%+.1f%%", g*100))
+			}
+			t.AddRowf(cells...)
+		}
+		fmt.Print(t)
+		fmt.Println()
+	}
+
+	// Where does the bottleneck sit? Show the crossover from disk to CPU.
+	fmt.Println("--- bottleneck by single-node hit rate (N=8, TCP) ---")
+	fmt.Println()
+	t := stats.NewTable("hit rate", "Throughput", "Bottleneck", "Cluster hit rate", "Forwarded Q")
+	for _, hit := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+		p := model.DefaultParams(8, hit, 16)
+		sol, err := p.Solve(model.SysTCP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRowf(fmt.Sprintf("%.0f%%", hit*100), sol.Throughput,
+			sol.Bottleneck.String(),
+			fmt.Sprintf("%.3f", sol.Workload.HitRate),
+			fmt.Sprintf("%.3f", sol.Workload.Forwarded))
+	}
+	fmt.Print(t)
+}

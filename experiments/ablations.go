@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"press/cluster"
+	"press/core"
+	"press/netmodel"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out; each
+// returns (parameter value, throughput) pairs for one trace
+// (Options.Trace) on VIA/cLAN.
+
+// SweepPoint is one point of an ablation sweep.
+type SweepPoint struct {
+	Param      float64
+	Throughput float64
+}
+
+func (o Options) runWith(mutate func(*cluster.Config)) (*cluster.Result, error) {
+	tr, err := loadTrace(o.Trace, o.Requests)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cluster.Config{
+		Nodes:         o.Nodes,
+		Trace:         tr,
+		Combo:         netmodel.VIAOverCLAN(),
+		Dissemination: core.PB(),
+		Seed:          o.Seed,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cluster.Run(cfg)
+}
+
+// AblationLoadThreshold sweeps the broadcast threshold L continuously
+// (Figure 4 samples only 1, 4, 16).
+func AblationLoadThreshold(o Options, thresholds []int) ([]SweepPoint, error) {
+	o = o.withDefaults()
+	var out []SweepPoint
+	for _, l := range thresholds {
+		r, err := o.runWith(func(c *cluster.Config) {
+			c.Dissemination = core.LThreshold(l)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Param: float64(l), Throughput: r.Throughput})
+	}
+	return out, nil
+}
+
+// AblationLoadRMW compares L1 with regular vs remote-memory-write load
+// broadcasts — the paper notes RMW "improves the performance of L1
+// significantly". It returns the two throughputs.
+func AblationLoadRMW(o Options) (regular, rmw float64, err error) {
+	o = o.withDefaults()
+	r1, err := o.runWith(func(c *cluster.Config) {
+		c.Dissemination = core.LThreshold(1)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	r2, err := o.runWith(func(c *cluster.Config) {
+		c.Dissemination = core.LThreshold(1)
+		c.LoadViaRMW = true
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return r1.Throughput, r2.Throughput, nil
+}
+
+// AblationFlowBatch sweeps the flow-control credit batch size.
+func AblationFlowBatch(o Options, batches []int) ([]SweepPoint, error) {
+	o = o.withDefaults()
+	var out []SweepPoint
+	for _, b := range batches {
+		r, err := o.runWith(func(c *cluster.Config) {
+			c.FlowBatch = b
+			if c.FlowWindow < 2*b {
+				c.FlowWindow = 2 * b
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Param: float64(b), Throughput: r.Throughput})
+	}
+	return out, nil
+}
+
+// AblationOverloadThreshold sweeps T around the paper's 80.
+func AblationOverloadThreshold(o Options, ts []int) ([]SweepPoint, error) {
+	o = o.withDefaults()
+	var out []SweepPoint
+	for _, t := range ts {
+		r, err := o.runWith(func(c *cluster.Config) {
+			p := core.DefaultPolicy()
+			p.OverloadThreshold = t
+			c.Policy = p
+			// Keep client pressure proportional so T remains the spike
+			// boundary rather than the mean.
+			c.Concurrency = o.Nodes * t / 2
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Param: float64(t), Throughput: r.Throughput})
+	}
+	return out, nil
+}
+
+// AblationLargeFileCutoff sweeps the always-service-locally size.
+func AblationLargeFileCutoff(o Options, cutoffs []int64) ([]SweepPoint, error) {
+	o = o.withDefaults()
+	var out []SweepPoint
+	for _, cut := range cutoffs {
+		r, err := o.runWith(func(c *cluster.Config) {
+			p := core.DefaultPolicy()
+			p.LargeFileBytes = cut
+			c.Policy = p
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Param: float64(cut), Throughput: r.Throughput})
+	}
+	return out, nil
+}
+
+// AblationSegmentSize sweeps the file-message segment size.
+func AblationSegmentSize(o Options, segments []int64) ([]SweepPoint, error) {
+	o = o.withDefaults()
+	var out []SweepPoint
+	for _, seg := range segments {
+		r, err := o.runWith(func(c *cluster.Config) {
+			c.FileSegmentBytes = seg
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Param: float64(seg), Throughput: r.Throughput})
+	}
+	return out, nil
+}
+
+// AblationRMWSingleMessage asks what V3 would gain if the RMW metadata
+// message were free (a hypothetical single-message RMW transfer),
+// isolating the two-messages-per-file cost the paper blames for V3's
+// flat result. It returns V2, V3, and the hypothetical V3 throughput.
+func AblationRMWSingleMessage(o Options) (v2, v3, v3SingleMsg float64, err error) {
+	o = o.withDefaults()
+	r2, err := o.runWith(func(c *cluster.Config) { c.Version = v(2) })
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r3, err := o.runWith(func(c *cluster.Config) { c.Version = v(3) })
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r3s, err := o.runWith(func(c *cluster.Config) {
+		c.Version = v(3)
+		c.RMWSingleMessage = true
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r2.Throughput, r3.Throughput, r3s.Throughput, nil
+}
+
+// AblationCacheSize sweeps the per-node cache capacity, relating
+// throughput to the working-set-vs-memory balance the paper's
+// conclusions hinge on ("whether such high gains will ever be achieved
+// depends on working sets growing faster than memories").
+func AblationCacheSize(o Options, sizes []int64) ([]SweepPoint, error) {
+	o = o.withDefaults()
+	var out []SweepPoint
+	for _, size := range sizes {
+		r, err := o.runWith(func(c *cluster.Config) {
+			c.CacheBytes = size
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Param: float64(size), Throughput: r.Throughput})
+	}
+	return out, nil
+}
+
+// LocalityBenefit compares PRESS against a content-oblivious baseline
+// across cache sizes: the smaller the per-node cache relative to the
+// working set, the more cache aggregation wins — the observation
+// locality-conscious servers are built on (Sections 1-2).
+type LocalityPoint struct {
+	CacheBytes   int64
+	Oblivious    float64 // content-oblivious throughput
+	PRESS        float64 // locality-conscious throughput
+	ObliviousHit float64
+	PRESSHit     float64
+}
+
+// LocalityBenefit sweeps the per-node cache for both server classes.
+func LocalityBenefit(o Options, sizes []int64) ([]LocalityPoint, error) {
+	o = o.withDefaults()
+	var out []LocalityPoint
+	for _, size := range sizes {
+		obl, err := o.runWith(func(c *cluster.Config) {
+			c.CacheBytes = size
+			c.ContentOblivious = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		press, err := o.runWith(func(c *cluster.Config) {
+			c.CacheBytes = size
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LocalityPoint{
+			CacheBytes:   size,
+			Oblivious:    obl.Throughput,
+			PRESS:        press.Throughput,
+			ObliviousHit: obl.HitRate,
+			PRESSHit:     press.HitRate,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"press/core"
+	"press/model"
+	"press/netmodel"
+	"press/trace"
+)
+
+// NodeSweepPoint compares simulator and model at one cluster size: the
+// user-level communication gain (VIA over TCP/cLAN) as the cluster
+// grows — the experimental cross-check of the model's Figure 8 trend.
+type NodeSweepPoint struct {
+	Nodes     int
+	TCP       float64 // simulated TCP/cLAN throughput
+	VIA       float64 // simulated VIA/cLAN throughput
+	Gain      float64 // simulated VIA/TCP - 1
+	ModelGain float64 // analytical gain at the same size
+}
+
+// NodeSweep runs the simulator and model across cluster sizes for one
+// trace (Options.Trace). The paper's model predicts gains that rise
+// with node count and level off; the simulator should follow.
+func NodeSweep(o Options, nodes []int) ([]NodeSweepPoint, error) {
+	o = o.withDefaults()
+	spec, err := trace.SpecByName(o.Trace)
+	if err != nil {
+		return nil, err
+	}
+	var out []NodeSweepPoint
+	for _, n := range nodes {
+		oo := o
+		oo.Nodes = n
+		tcp, err := run(oo, o.Trace, netmodel.TCPOverCLAN(), v(0), core.PB())
+		if err != nil {
+			return nil, err
+		}
+		via, err := run(oo, o.Trace, netmodel.VIAOverCLAN(), v(0), core.PB())
+		if err != nil {
+			return nil, err
+		}
+		params := model.DefaultParams(n, 0.9, spec.AvgReqKB)
+		params.FilesOverride = spec.NumFiles
+		mg, err := params.Gain(model.SysVIA, model.SysTCP)
+		if err != nil {
+			return nil, err
+		}
+		p := NodeSweepPoint{
+			Nodes:     n,
+			TCP:       tcp.Throughput,
+			VIA:       via.Throughput,
+			ModelGain: mg,
+		}
+		if tcp.Throughput > 0 {
+			p.Gain = via.Throughput/tcp.Throughput - 1
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachIndex runs fn(i) for i in [0, n) on up to GOMAXPROCS workers
+// and returns the first error. Simulator runs are independent and
+// deterministic, so the figures fan their cells out in parallel; each
+// fn writes results into its own pre-allocated slot to keep output
+// order deterministic.
+func forEachIndex(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"time"
+
+	"press/cluster"
+	"press/netmodel"
+)
+
+// The sensitivity sweeps extend the paper's study experimentally: where
+// Figures 8-13 extrapolate with the queueing model, these run the full
+// simulator while scaling one communication parameter — per-message
+// processor overhead or wire bandwidth — through and beyond the
+// measured systems.
+
+// OverheadPoint is one point of the overhead sweep.
+type OverheadPoint struct {
+	// OverheadUS is the per-message fixed CPU cost at each end, in
+	// microseconds (the VIA/cLAN system measures ~15, TCP ~135).
+	OverheadUS float64
+	Throughput float64
+	// CommFraction is the share of time in intra-cluster communication
+	// at this overhead.
+	CommFraction float64
+}
+
+// OverheadSweep scales the per-message fixed CPU costs of an otherwise
+// VIA/cLAN system from user-level (near zero) past kernel-TCP levels.
+// Throughput should fall monotonically and the communication share
+// rise, putting the Figure 3 systems on one continuous curve.
+func OverheadSweep(o Options, overheadsUS []float64) ([]OverheadPoint, error) {
+	o = o.withDefaults()
+	var out []OverheadPoint
+	for _, us := range overheadsUS {
+		r, err := o.runWith(func(c *cluster.Config) {
+			combo := netmodel.VIAOverCLAN()
+			combo.SendFixed = time.Duration(us * float64(time.Microsecond))
+			combo.RecvFixed = combo.SendFixed
+			c.Combo = combo
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OverheadPoint{
+			OverheadUS:   us,
+			Throughput:   r.Throughput,
+			CommFraction: r.CommFraction,
+		})
+	}
+	return out, nil
+}
+
+// BandwidthPoint is one point of the wire-bandwidth sweep.
+type BandwidthPoint struct {
+	// MBps is the internal wire bandwidth in MBytes/s (Fast Ethernet
+	// measures 11.5, TCP-on-cLAN 32, VIA-on-cLAN 102).
+	MBps       float64
+	Throughput float64
+	// LatencyMean is the client-observed mean response time in seconds.
+	LatencyMean float64
+}
+
+// BandwidthSweep scales the internal wire bandwidth of an otherwise
+// VIA/cLAN system. The paper's finding — bandwidth barely matters once
+// the wire stops saturating — should appear as a knee at a few MB/s
+// followed by a plateau.
+func BandwidthSweep(o Options, mbps []float64) ([]BandwidthPoint, error) {
+	o = o.withDefaults()
+	var out []BandwidthPoint
+	for _, bw := range mbps {
+		r, err := o.runWith(func(c *cluster.Config) {
+			combo := netmodel.VIAOverCLAN()
+			combo.WireRate = bw * 1e6
+			c.Combo = combo
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BandwidthPoint{
+			MBps:        bw,
+			Throughput:  r.Throughput,
+			LatencyMean: r.LatencyMean,
+		})
+	}
+	return out, nil
+}

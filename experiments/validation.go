@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"press/core"
+	"press/model"
+	"press/netmodel"
+	"press/trace"
+)
+
+// ValidationRow compares the analytical model's throughput bound with
+// the simulator's measurement for one trace and system, reproducing the
+// validation of Section 4.2 (version 5 within 2–20% of the model,
+// TCP/cLAN within 15–25%, model above as an upper bound).
+type ValidationRow struct {
+	Trace     string
+	System    string
+	Simulated float64
+	Modeled   float64
+	// Ratio is Modeled/Simulated; the model ignores distribution and
+	// flow-control costs, so it should sit at or above 1.
+	Ratio float64
+}
+
+// Validation runs the paper's model-validation comparison: version 5
+// and TCP/cLAN on 8 nodes, across the four traces.
+func Validation(o Options) ([]ValidationRow, error) {
+	o = o.withDefaults()
+	var rows []ValidationRow
+	for _, spec := range trace.Table1Specs() {
+		params := model.DefaultParams(o.Nodes, 0.9, spec.AvgReqKB)
+		params.FilesOverride = spec.NumFiles
+
+		for _, sys := range []struct {
+			label  string
+			combo  netmodel.CostModel
+			ver    netmodel.Version
+			msys   model.System
+			future bool
+		}{
+			{label: "V5", combo: netmodel.VIAOverCLAN(), ver: v(5), msys: model.SysVIARMWZeroCopy},
+			{label: "TCP/cLAN", combo: netmodel.TCPOverCLAN(), ver: v(0), msys: model.SysTCP},
+		} {
+			r, err := run(o, spec.Name, sys.combo, sys.ver, core.PB())
+			if err != nil {
+				return nil, err
+			}
+			sol, err := params.Solve(sys.msys)
+			if err != nil {
+				return nil, err
+			}
+			row := ValidationRow{
+				Trace:     spec.Name,
+				System:    sys.label,
+				Simulated: r.Throughput,
+				Modeled:   sol.Throughput,
+			}
+			if row.Simulated > 0 {
+				row.Ratio = row.Modeled / row.Simulated
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

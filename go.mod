@@ -1,0 +1,3 @@
+module press
+
+go 1.22

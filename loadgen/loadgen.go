@@ -1,0 +1,162 @@
+// Package loadgen drives a running PRESS cluster with a workload trace,
+// following the paper's methodology (Section 3.1): closed-loop clients
+// issue requests as fast as possible — timing information in the trace
+// is disregarded — against the cluster nodes in randomized fashion with
+// equal probabilities.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"press/stats"
+	"press/trace"
+)
+
+// Config describes one load-generation run.
+type Config struct {
+	// Targets are the nodes' base URLs (e.g. "http://127.0.0.1:8001").
+	Targets []string
+	// Trace supplies the request stream.
+	Trace *trace.Trace
+	// Concurrency is the number of closed-loop clients (default 16).
+	Concurrency int
+	// Requests caps the run; 0 replays the whole trace.
+	Requests int
+	// Verify, if set, checks each response body.
+	Verify func(name string, body []byte) error
+	// Timeout bounds one request (default 30 s).
+	Timeout time.Duration
+	// Seed drives the random target choice.
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Requests   int64
+	Errors     int64
+	Bytes      int64
+	Elapsed    time.Duration
+	Throughput float64 // requests per wall-clock second
+	// Latency statistics in seconds.
+	LatencyMean float64
+	LatencyStd  float64
+	LatencyMax  float64
+}
+
+// Run replays the trace and reports throughput. The context cancels the
+// run early.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	if cfg.Trace == nil || len(cfg.Trace.Requests) == 0 {
+		return nil, fmt.Errorf("loadgen: empty trace")
+	}
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = 16
+	}
+	total := len(cfg.Trace.Requests)
+	if cfg.Requests > 0 && cfg.Requests < total {
+		total = cfg.Requests
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: concurrency,
+			MaxIdleConns:        concurrency * len(cfg.Targets),
+		},
+	}
+
+	var cursor atomic.Int64
+	var requests, errors, bytes atomic.Int64
+	var mu sync.Mutex
+	var lat stats.Welford
+	latMax := 0.0
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := cursor.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				name := cfg.Trace.Files[cfg.Trace.Requests[i]].Name
+				target := cfg.Targets[rng.Intn(len(cfg.Targets))]
+				t0 := time.Now()
+				body, err := get(ctx, client, target+name)
+				d := time.Since(t0).Seconds()
+				requests.Add(1)
+				if err == nil && cfg.Verify != nil {
+					err = cfg.Verify(name, body)
+				}
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				bytes.Add(int64(len(body)))
+				mu.Lock()
+				lat.Add(d)
+				if d > latMax {
+					latMax = d
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := &Result{
+		Requests:   requests.Load(),
+		Errors:     errors.Load(),
+		Bytes:      bytes.Load(),
+		Elapsed:    elapsed,
+		LatencyMax: latMax,
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(r.Requests-r.Errors) / elapsed.Seconds()
+	}
+	r.LatencyMean = lat.Mean()
+	r.LatencyStd = lat.Std()
+	return r, nil
+}
+
+func get(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET %s: %s", url, resp.Status)
+	}
+	return body, nil
+}

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"press/server"
+	"press/trace"
+)
+
+func loadgenTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Synthesize(trace.Spec{
+		Name: "lg", NumFiles: 12, AvgFileKB: 4,
+		NumRequests: 300, AvgReqKB: 3, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunAgainstRealCluster(t *testing.T) {
+	tr := loadgenTrace(t)
+	cl, err := server.Start(server.Config{
+		Nodes: 2, Trace: tr, Transport: server.TransportVIA,
+		CacheBytes: 1 << 20, DiskDelay: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	targets := make([]string, 2)
+	for i, a := range cl.Addrs() {
+		targets[i] = "http://" + a
+	}
+	sizes := map[string]int64{}
+	for _, f := range tr.Files {
+		sizes[f.Name] = f.Size
+	}
+	res, err := Run(context.Background(), Config{
+		Targets:     targets,
+		Trace:       tr,
+		Concurrency: 4,
+		Requests:    200,
+		Seed:        3,
+		Verify: func(name string, body []byte) error {
+			want := server.SynthesizeContent(name, sizes[name])
+			if !bytes.Equal(body, want) {
+				return fmt.Errorf("content mismatch for %s", name)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 200 {
+		t.Errorf("requests = %d", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if res.Throughput <= 0 || res.LatencyMean <= 0 {
+		t.Errorf("throughput %v latency %v", res.Throughput, res.LatencyMean)
+	}
+	if res.LatencyMax < res.LatencyMean {
+		t.Errorf("latency max %v below mean %v", res.LatencyMax, res.LatencyMean)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := loadgenTrace(t)
+	if _, err := Run(context.Background(), Config{Trace: tr}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := Run(context.Background(), Config{Targets: []string{"http://x"}}); err == nil {
+		t.Error("no trace accepted")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	tr := loadgenTrace(t)
+	// Point at a black-hole target; cancellation must end the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err := Run(ctx, Config{
+			Targets:     []string{"http://127.0.0.1:1"}, // refused
+			Trace:       tr,
+			Concurrency: 2,
+			Requests:    50,
+			Timeout:     100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Errors == 0 {
+			t.Error("expected connection errors")
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop on cancellation")
+	}
+}

@@ -1,0 +1,133 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Surface is one of the paper's 3-D extrapolation plots (Figures 8–13):
+// relative throughput gain over a grid of workload axis values (hit rate
+// or average file size) and cluster sizes.
+type Surface struct {
+	// Name identifies the figure ("Figure 8" ...).
+	Name string
+	// XLabel describes the X axis ("hit rate" or "avg file size (KB)").
+	XLabel string
+	X      []float64
+	Nodes  []int
+	// Gain[i][j] is the throughput ratio (e.g. 1.37 = +37%) at X[i],
+	// Nodes[j].
+	Gain [][]float64
+}
+
+// Max returns the largest gain on the surface and its coordinates.
+func (s Surface) Max() (gain float64, x float64, nodes int) {
+	gain = math.Inf(-1)
+	for i := range s.Gain {
+		for j, g := range s.Gain[i] {
+			if g > gain {
+				gain, x, nodes = g, s.X[i], s.Nodes[j]
+			}
+		}
+	}
+	return gain, x, nodes
+}
+
+// Default grids matching the paper's axes.
+var (
+	defaultHitRates  = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	defaultFileSizes = []float64{4, 8, 16, 32, 48, 64, 96, 128}
+	defaultNodes     = []int{1, 2, 4, 8, 16, 32, 64, 96, 128}
+)
+
+func surface(name, xlabel string, xs []float64, nodes []int,
+	gainAt func(x float64, n int) (float64, error)) (Surface, error) {
+
+	s := Surface{Name: name, XLabel: xlabel, X: xs, Nodes: nodes}
+	s.Gain = make([][]float64, len(xs))
+	for i, x := range xs {
+		s.Gain[i] = make([]float64, len(nodes))
+		for j, n := range nodes {
+			g, err := gainAt(x, n)
+			if err != nil {
+				return Surface{}, fmt.Errorf("%s at x=%v n=%d: %w", name, x, n, err)
+			}
+			s.Gain[i][j] = 1 + g
+		}
+	}
+	return s, nil
+}
+
+// Figure8 reproduces Figure 8: gains achievable by lowering processor
+// overheads (VIA vs TCP), as a function of single-node hit rate and
+// number of nodes, at 16-KByte average files.
+func Figure8() (Surface, error) {
+	return surface("Figure 8", "hit rate (1 node)", defaultHitRates, defaultNodes,
+		func(hit float64, n int) (float64, error) {
+			return DefaultParams(n, hit, 16).Gain(SysVIA, SysTCP)
+		})
+}
+
+// Figure9 reproduces Figure 9: low-overhead gains as a function of
+// average file size and number of nodes, at a 90% single-node hit rate.
+func Figure9() (Surface, error) {
+	return surface("Figure 9", "avg file size (KB)", defaultFileSizes, defaultNodes,
+		func(size float64, n int) (float64, error) {
+			return DefaultParams(n, 0.9, size).Gain(SysVIA, SysTCP)
+		})
+}
+
+// Figure10 reproduces Figure 10: gains from remote memory writes and
+// zero-copy over regular 1-copy VIA, by hit rate and nodes (16-KB files).
+func Figure10() (Surface, error) {
+	return surface("Figure 10", "hit rate (1 node)", defaultHitRates, defaultNodes,
+		func(hit float64, n int) (float64, error) {
+			return DefaultParams(n, hit, 16).Gain(SysVIARMWZeroCopy, SysVIA)
+		})
+}
+
+// Figure11 reproduces Figure 11: RMW and zero-copy gains by average
+// file size and nodes, at a 90% hit rate.
+func Figure11() (Surface, error) {
+	return surface("Figure 11", "avg file size (KB)", defaultFileSizes, defaultNodes,
+		func(size float64, n int) (float64, error) {
+			return DefaultParams(n, 0.9, size).Gain(SysVIARMWZeroCopy, SysVIA)
+		})
+}
+
+// Figure12 reproduces Figure 12: total user-level communication gains
+// on next-generation systems (zero-copy TCP baselines), by hit rate and
+// nodes (16-KB files).
+func Figure12() (Surface, error) {
+	return surface("Figure 12", "hit rate (1 node)", defaultHitRates, defaultNodes,
+		func(hit float64, n int) (float64, error) {
+			p := DefaultParams(n, hit, 16)
+			p.Future = true
+			return p.Gain(SysVIARMWZeroCopy, SysTCP)
+		})
+}
+
+// Figure13 reproduces Figure 13: future-system gains by average file
+// size and nodes, at a 90% hit rate.
+func Figure13() (Surface, error) {
+	return surface("Figure 13", "avg file size (KB)", defaultFileSizes, defaultNodes,
+		func(size float64, n int) (float64, error) {
+			p := DefaultParams(n, 0.9, size)
+			p.Future = true
+			return p.Gain(SysVIARMWZeroCopy, SysTCP)
+		})
+}
+
+// Figures returns all six extrapolation surfaces, 8 through 13.
+func Figures() ([]Surface, error) {
+	fns := []func() (Surface, error){Figure8, Figure9, Figure10, Figure11, Figure12, Figure13}
+	out := make([]Surface, 0, len(fns))
+	for _, fn := range fns {
+		s, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package model
+
+import "fmt"
+
+// ResponseTime evaluates the open queueing network at a given per-node
+// arrival rate: each station is M/M/1, so a request's expected residence
+// time at a station with per-request demand d under arrival rate λ is
+// d/(1-λd), and the end-to-end response time is the sum over the
+// stations a request visits. It complements Solve, which only reports
+// the saturation throughput.
+//
+// lambdaPerNode is in requests per second per node; the cluster-wide
+// rate is N times that.
+func (p Params) ResponseTime(sys System, lambdaPerNode float64) (float64, error) {
+	if lambdaPerNode < 0 {
+		return 0, fmt.Errorf("model: negative arrival rate %v", lambdaPerNode)
+	}
+	sol, err := p.Solve(sys)
+	if err != nil {
+		return 0, err
+	}
+	var r float64
+	for q := Queue(0); q < NumQueues; q++ {
+		d := sol.Demands[q]
+		if d == 0 {
+			continue
+		}
+		rho := lambdaPerNode * d
+		if rho >= 1 {
+			return 0, fmt.Errorf("model: %v saturated at λ=%v (ρ=%.3f)", q, lambdaPerNode, rho)
+		}
+		r += d / (1 - rho)
+	}
+	return r, nil
+}
+
+// LatencyCurve samples response time at the given fractions of the
+// saturation throughput (each in (0, 1)), returning (cluster
+// throughput, response time) pairs.
+type LatencyPoint struct {
+	// Throughput is the cluster-wide request rate (req/s).
+	Throughput float64
+	// ResponseTime is the expected end-to-end time (seconds).
+	ResponseTime float64
+}
+
+// LatencyCurve evaluates the response time at the given utilization
+// fractions of the system's saturation throughput.
+func (p Params) LatencyCurve(sys System, fractions []float64) ([]LatencyPoint, error) {
+	sol, err := p.Solve(sys)
+	if err != nil {
+		return nil, err
+	}
+	lambdaMax := sol.Throughput / float64(p.N)
+	out := make([]LatencyPoint, 0, len(fractions))
+	for _, f := range fractions {
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("model: utilization fraction %v outside (0, 1)", f)
+		}
+		lam := f * lambdaMax
+		rt, err := p.ResponseTime(sys, lam)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LatencyPoint{Throughput: lam * float64(p.N), ResponseTime: rt})
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+// Package model implements the paper's analytical model (Section 4): an
+// open queueing network of M/M/1 queues — per node a CPU, a disk, an
+// external network interface, and an internal network interface — for a
+// portable locality-conscious server on an N-node cluster.
+//
+// Requests arrive at rate N*lambda, uniformly across nodes. A request is
+// parsed (µp), then either answered locally (µm), or forwarded (µf) to a
+// service node that returns the file (µs) to the initial node (µg)
+// through the internal interfaces (µi); misses visit the disk (µd).
+// Because the model assumes a cost-free distribution algorithm, perfect
+// load balancing, and no wire contention, its throughput — the largest
+// N*lambda for which every queue stays stable — is an upper bound on the
+// real server's (Section 4.1).
+//
+// Cache behaviour follows Zipf-like access (zipfdist): the cluster-wide
+// hit rate is H = z(Clc/S, F) with Clc = N(1-R)C + RC, the replicated
+// hit rate h = z(RC/S, F), and the forwarded fraction
+// Q = (N-1)(1-h)/N (Table 5).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"press/zipfdist"
+)
+
+// System selects the intra-cluster communication system being modeled.
+type System int
+
+const (
+	// SysTCP runs the complete TCP stack for intra-cluster messages.
+	SysTCP System = iota
+	// SysVIA uses user-level communication with regular (1-copy)
+	// messages — the paper's version 0.
+	SysVIA
+	// SysVIARMWZeroCopy adds remote memory writes and zero-copy file
+	// transfers — the paper's version 5. File transfers cost two
+	// messages (data written remotely plus metadata) but no receiver
+	// interrupt and no payload copies.
+	SysVIARMWZeroCopy
+	// NumSystems is the number of systems.
+	NumSystems
+)
+
+// String names the system.
+func (s System) String() string {
+	switch s {
+	case SysTCP:
+		return "TCP"
+	case SysVIA:
+		return "VIA"
+	case SysVIARMWZeroCopy:
+		return "VIA+RMW+0copy"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Params instantiates the model (Table 5 defaults via DefaultParams).
+type Params struct {
+	// N is the cluster size.
+	N int
+	// HitRateSingleNode parameterizes the workload working set: the
+	// cache hit rate a single node with cache C would see. The file
+	// population F is derived from it (Section 4.2 uses it as the
+	// workload axis). Ignored when FilesOverride is set.
+	HitRateSingleNode float64
+	// FilesOverride, when positive, fixes the file population F
+	// directly (used to validate the model against trace-driven
+	// experiments, where F is known from Table 1).
+	FilesOverride int
+	// AvgFileKB is S, the average requested-file size in KBytes.
+	AvgFileKB float64
+	// R is the fraction of memory used for file replication (15%).
+	R float64
+	// Alpha is the Zipf-like exponent (0.8).
+	Alpha float64
+	// CacheMB is C, the per-node cache size in MBytes (128).
+	CacheMB float64
+	// Future models next-generation operating systems with zero-copy
+	// TCP along the lines of IO-Lite: the client-send cost µm and the
+	// fixed costs of the TCP µf, µs, µg are halved (Section 4.2,
+	// "Future systems").
+	Future bool
+
+	// Host cost components (seconds, bytes/s); DefaultParams fills
+	// them with Table 5 values.
+	ParseCost       float64 // 1/µp
+	ClientFixed     float64 // fixed term of 1/µm
+	ClientRate      float64 // size-dependent rate of µm (bytes/s)
+	DiskFixed       float64 // fixed term of 1/µd
+	DiskRate        float64 // bytes/s
+	IntNICFixed     float64 // fixed term of 1/µi
+	IntNICRate      float64 // bytes/s (1 Gbit/s link)
+	ExtNICFixed     float64 // fixed term of 1/µe
+	ExtNICRate      float64 // bytes/s (100 Mbit/s link)
+	CopyRate        float64 // payload copy bandwidth (125 MB/s)
+	TCPMsgFixed     float64 // fixed CPU per TCP message (270 µs)
+	VIAMsgFixed     float64 // fixed CPU per VIA message (30 µs)
+	TCPForwardCost  float64 // 1/µf for TCP (1/3676)
+	VIAForwardCost  float64 // 1/µf for VIA (1/31250)
+	PollCost        float64 // RMW discovery by polling (2 µs)
+	ForwardMsgBytes float64 // wire size of a forwarded request
+	RequestBytes    float64 // wire size of a client request
+}
+
+// DefaultParams returns Table 5's parameter values for an N-node
+// cluster with the given single-node hit rate and average file size.
+func DefaultParams(n int, hitRate, avgFileKB float64) Params {
+	return Params{
+		N:                 n,
+		HitRateSingleNode: hitRate,
+		AvgFileKB:         avgFileKB,
+		R:                 0.15,
+		Alpha:             0.8,
+		CacheMB:           128,
+		ParseCost:         1.0 / 5882,
+		ClientFixed:       270e-6,
+		ClientRate:        12.5e6,
+		DiskFixed:         18.8e-3,
+		DiskRate:          3e6,
+		// Section 4.1: "we assume peak bandwidths for the internal and
+		// external networks" so the NICs never bound throughput — hence
+		// both rates are 125 MB/s (the size/125000 terms of Table 5's
+		// µi and µe), with only the per-message overheads differing.
+		IntNICFixed:     3e-6,
+		IntNICRate:      125e6,
+		ExtNICFixed:     4e-6,
+		ExtNICRate:      125e6,
+		CopyRate:        125e6,
+		TCPMsgFixed:     270e-6,
+		VIAMsgFixed:     30e-6,
+		TCPForwardCost:  1.0 / 3676,
+		VIAForwardCost:  1.0 / 31250,
+		PollCost:        2e-6,
+		ForwardMsgBytes: 64,
+		RequestBytes:    300,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("model: N must be positive, got %d", p.N)
+	case p.FilesOverride == 0 && (p.HitRateSingleNode <= 0 || p.HitRateSingleNode > 1):
+		return fmt.Errorf("model: single-node hit rate %v outside (0, 1]", p.HitRateSingleNode)
+	case p.FilesOverride < 0:
+		return fmt.Errorf("model: negative file override %d", p.FilesOverride)
+	case p.AvgFileKB <= 0:
+		return fmt.Errorf("model: average file size %v must be positive", p.AvgFileKB)
+	case p.R < 0 || p.R >= 1:
+		return fmt.Errorf("model: replication fraction %v outside [0, 1)", p.R)
+	case p.CacheMB <= 0:
+		return fmt.Errorf("model: cache size %v must be positive", p.CacheMB)
+	}
+	return nil
+}
+
+// Workload is the cache-behaviour solution of the model: the derived
+// file population and the resulting hit and forwarding rates.
+type Workload struct {
+	Files     int     // F, derived from the single-node hit rate
+	HitRate   float64 // H = Hlc, cluster-wide
+	ReplHit   float64 // h, hit rate on replicated files
+	Forwarded float64 // Q, fraction of requests forwarded
+}
+
+// SolveWorkload derives F from the single-node hit rate and computes
+// Hlc, h, and Q per Table 5.
+func (p Params) SolveWorkload() (Workload, error) {
+	if err := p.Validate(); err != nil {
+		return Workload{}, err
+	}
+	sizeBytes := p.AvgFileKB * 1024
+	perNodeFiles := p.CacheMB * 1024 * 1024 / sizeBytes // C / S
+	var files int
+	if p.FilesOverride > 0 {
+		files = p.FilesOverride
+	} else if p.HitRateSingleNode >= 1 {
+		files = int(math.Ceil(perNodeFiles))
+	} else {
+		// Z(C/S, F) decreases in F; binary search the population size
+		// that matches the requested single-node hit rate.
+		lo := int(math.Ceil(perNodeFiles))
+		hi := lo * 2
+		for zipfdist.Z(perNodeFiles, hi, p.Alpha) > p.HitRateSingleNode {
+			hi *= 2
+			if hi > 1<<34 {
+				return Workload{}, fmt.Errorf("model: hit rate %v unreachable (F overflow)", p.HitRateSingleNode)
+			}
+		}
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if zipfdist.Z(perNodeFiles, mid, p.Alpha) > p.HitRateSingleNode {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		files = lo
+	}
+	clcFiles := (float64(p.N)*(1-p.R) + p.R) * perNodeFiles
+	replFiles := p.R * perNodeFiles
+	w := Workload{
+		Files:   files,
+		HitRate: zipfdist.Z(clcFiles, files, p.Alpha),
+		ReplHit: zipfdist.Z(replFiles, files, p.Alpha),
+	}
+	w.Forwarded = float64(p.N-1) * (1 - w.ReplHit) / float64(p.N)
+	return w, nil
+}

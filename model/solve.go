@@ -1,0 +1,169 @@
+package model
+
+import "fmt"
+
+// Queue identifies one station of the per-node queueing network.
+type Queue int
+
+const (
+	// QueueCPU is the node processor.
+	QueueCPU Queue = iota
+	// QueueDisk is the node disk.
+	QueueDisk
+	// QueueExtNIC is the external (client-facing) interface.
+	QueueExtNIC
+	// QueueIntNIC is the internal (intra-cluster) interface.
+	QueueIntNIC
+	// NumQueues is the number of stations.
+	NumQueues
+)
+
+// String names the queue.
+func (q Queue) String() string {
+	switch q {
+	case QueueCPU:
+		return "CPU"
+	case QueueDisk:
+		return "disk"
+	case QueueExtNIC:
+		return "external NIC"
+	case QueueIntNIC:
+		return "internal NIC"
+	default:
+		return fmt.Sprintf("Queue(%d)", int(q))
+	}
+}
+
+// Solution is the model's prediction for one system.
+type Solution struct {
+	// Throughput is the cluster-wide maximum request rate (req/s): the
+	// largest N*lambda for which every queue is stable. As the model
+	// ignores distribution and flow-control costs, it upper-bounds the
+	// real server.
+	Throughput float64
+	// Bottleneck is the queue that saturates first.
+	Bottleneck Queue
+	// Demands[q] is the per-request service demand at queue q
+	// (seconds); lambda_max = 1/max(Demands).
+	Demands [NumQueues]float64
+	// Workload echoes the derived cache behaviour.
+	Workload Workload
+}
+
+// costs are the per-message CPU times of the selected system.
+type msgCosts struct {
+	forward  float64 // 1/µf: forwarding decision + send at initial node
+	fwdRecv  float64 // receiving the forwarded request at the service node
+	fileSend float64 // 1/µs: sending the file reply at the service node
+	fileRecv float64 // 1/µg: receiving the file reply at the initial node
+	fileMsgs float64 // internal-NIC messages per file transfer
+	client   float64 // 1/µm: sending the reply to the client
+}
+
+func (p Params) costs(sys System) msgCosts {
+	sizeBytes := p.AvgFileKB * 1024
+	copyTime := sizeBytes / p.CopyRate
+	var c msgCosts
+	// 1/µm. On next-generation operating systems, zero-copy TCP along
+	// the lines of IO-Lite sends cached file data to clients without
+	// copying it out of the cache: the paper models this by halving µm
+	// for every system (Section 4.2, Future systems).
+	c.client = p.ClientFixed + sizeBytes/p.ClientRate
+	if p.Future {
+		c.client /= 2
+	}
+	switch sys {
+	case SysTCP:
+		tcpFixed := p.TCPMsgFixed
+		fwd := p.TCPForwardCost
+		if p.Future {
+			// ... and by halving the fixed costs of the TCP versions
+			// of µf, µs, and µg.
+			tcpFixed /= 2
+			fwd /= 2
+		}
+		c.forward = fwd
+		c.fwdRecv = tcpFixed
+		c.fileSend = tcpFixed + copyTime
+		c.fileRecv = tcpFixed + copyTime
+		c.fileMsgs = 1
+	case SysVIA:
+		c.forward = p.VIAForwardCost
+		c.fwdRecv = p.VIAMsgFixed
+		c.fileSend = p.VIAMsgFixed + copyTime
+		c.fileRecv = p.VIAMsgFixed + copyTime
+		c.fileMsgs = 1
+	case SysVIARMWZeroCopy:
+		c.forward = p.VIAForwardCost
+		// Remote memory writes land the forwarded request in a circular
+		// buffer: the service node pays only the polling cost.
+		c.fwdRecv = p.PollCost
+		// The file reply is two remote writes (data plus metadata); the
+		// receiver polls — no interrupt, no copies.
+		c.fileSend = 2 * p.VIAMsgFixed
+		c.fileRecv = p.PollCost
+		c.fileMsgs = 2
+	}
+	return c
+}
+
+// Solve computes the model's throughput bound for one system.
+func (p Params) Solve(sys System) (Solution, error) {
+	w, err := p.SolveWorkload()
+	if err != nil {
+		return Solution{}, err
+	}
+	if sys < 0 || sys >= NumSystems {
+		return Solution{}, fmt.Errorf("model: unknown system %d", sys)
+	}
+	sizeBytes := p.AvgFileKB * 1024
+	c := p.costs(sys)
+	q := w.Forwarded
+
+	var d [NumQueues]float64
+	// CPU: parse + client reply + (forwarded) forward decision and
+	// forward reception, file send at the service node and file
+	// receive at the initial node — by symmetry every node performs
+	// all four at rate lambda*Q.
+	d[QueueCPU] = p.ParseCost + c.client +
+		q*(c.forward+c.fwdRecv+c.fileSend+c.fileRecv)
+	// Disk: misses only.
+	d[QueueDisk] = (1 - w.HitRate) * (p.DiskFixed + sizeBytes/p.DiskRate)
+	// External NIC: the request in and the reply out.
+	d[QueueExtNIC] = (p.ExtNICFixed + p.RequestBytes/p.ExtNICRate) +
+		(p.ExtNICFixed + sizeBytes/p.ExtNICRate)
+	// Internal NIC: forwarded request out and in, file reply out and in
+	// (each node is initial for some requests and service node for
+	// others at the same rate).
+	fwdNIC := p.IntNICFixed + p.ForwardMsgBytes/p.IntNICRate
+	fileNIC := c.fileMsgs*p.IntNICFixed + sizeBytes/p.IntNICRate
+	d[QueueIntNIC] = q * 2 * (fwdNIC + fileNIC)
+
+	sol := Solution{Demands: d, Workload: w}
+	worst := 0.0
+	for i, demand := range d {
+		if demand > worst {
+			worst = demand
+			sol.Bottleneck = Queue(i)
+		}
+	}
+	if worst <= 0 {
+		return Solution{}, fmt.Errorf("model: degenerate demands %v", d)
+	}
+	sol.Throughput = float64(p.N) / worst
+	return sol, nil
+}
+
+// Gain returns the relative throughput improvement of system a over
+// system b under the same parameters.
+func (p Params) Gain(a, b System) (float64, error) {
+	sa, err := p.Solve(a)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := p.Solve(b)
+	if err != nil {
+		return 0, err
+	}
+	return sa.Throughput/sb.Throughput - 1, nil
+}

@@ -1,0 +1,211 @@
+// Package netmodel defines the cost models for the intra-cluster
+// communication architectures the paper studies: the three
+// protocol/network combinations of Section 3.2 (TCP over Fast Ethernet,
+// TCP over cLAN, VIA over cLAN) and the six server versions V0–V5 of
+// Table 3, which exploit remote memory writes (RMW) and zero-copy
+// transfers to different extents.
+//
+// All constants are calibrated to the paper's own measurements:
+//
+//   - one-way 4-byte message time: 82 µs (TCP/FE), 76 µs (TCP/cLAN),
+//     9 µs (VIA/cLAN) — Section 3.2;
+//   - observed bandwidth for 32-KByte messages: 11.5, 32, and
+//     102 MBytes/s respectively — Section 3.2;
+//   - per-message fixed CPU costs of 270 µs (TCP) vs 30 µs (VIA), a
+//     factor-of-9 difference matching "the VIA overhead is a factor of 8
+//     lower than that of TCP" — Table 5 (µs, µg, µf);
+//   - payload copies at 125 MBytes/s, request parsing at 1/5882 s,
+//     client replies at 270 µs + size/12.5 MB/s, disk accesses at
+//     18.8 ms + size/3 MB/s — Table 5.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Protocol selects the intra-cluster transport protocol.
+type Protocol int
+
+const (
+	// ProtoTCP runs the complete kernel TCP stack for every message.
+	ProtoTCP Protocol = iota
+	// ProtoVIA uses user-level communication: direct network-interface
+	// access, no kernel traps in the critical path.
+	ProtoVIA
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	if p == ProtoVIA {
+		return "VIA"
+	}
+	return "TCP"
+}
+
+// CostModel captures the per-operation costs of one protocol/network
+// combination, in the decomposition used by the simulator: fixed CPU
+// time per message at each end, CPU copy bandwidth for staging payloads
+// through communication buffers, NIC per-message overhead, and wire
+// bandwidth.
+type CostModel struct {
+	Name     string
+	Protocol Protocol
+
+	// SendFixed and RecvFixed are the per-message CPU costs of the
+	// protocol stack plus the server's helper-thread handoff at the
+	// sender and receiver (the fixed terms of µs and µg in Table 5).
+	// For VIA versions using RMW, RecvFixed is replaced by PollCost.
+	SendFixed time.Duration
+	RecvFixed time.Duration
+
+	// RawSend and RawRecv are the protocol-only per-message CPU costs,
+	// without the server's thread handoffs — what a ping-pong
+	// microbenchmark measures. They calibrate against the paper's
+	// 4-byte one-way times (82/76/9 µs).
+	RawSend time.Duration
+	RawRecv time.Duration
+
+	// PollCost is the CPU cost of discovering one RMW message by
+	// polling sequence numbers at the end of the server loop. Only
+	// meaningful for ProtoVIA.
+	PollCost time.Duration
+
+	// CopyRate is the memory-copy bandwidth (bytes/s) for staging a
+	// payload into or out of a registered communication buffer.
+	CopyRate float64
+
+	// NICFixed is the per-message processing overhead at the internal
+	// network interface; WireRate is the effective internal link
+	// bandwidth in bytes/s.
+	NICFixed time.Duration
+	WireRate float64
+
+	// PropDelay is the one-way propagation/switching latency of the
+	// internal network. It affects response latency, not throughput.
+	PropDelay time.Duration
+}
+
+const (
+	mb = 1e6 // the paper quotes MBytes/s in decimal units
+
+	// copyRate is the single-copy memory bandwidth implied by the
+	// size-dependent term of µs and µg in Table 5 (size/125000 KB).
+	copyRate = 125 * mb
+)
+
+// TCPFastEthernet returns the TCP/FE combination: the complete TCP stack
+// over switched 100 Mbit/s Fast Ethernet (11.5 MB/s observed).
+func TCPFastEthernet() CostModel {
+	return CostModel{
+		Name:      "TCP/FE",
+		Protocol:  ProtoTCP,
+		SendFixed: 150 * time.Microsecond,
+		RecvFixed: 150 * time.Microsecond,
+		RawSend:   35 * time.Microsecond,
+		RawRecv:   35 * time.Microsecond,
+		CopyRate:  copyRate,
+		NICFixed:  4 * time.Microsecond,
+		WireRate:  11.5 * mb,
+		PropDelay: 4 * time.Microsecond,
+	}
+}
+
+// TCPOverCLAN returns the TCP/cLAN combination: the complete TCP stack,
+// but over the 2.5 Gbit/s cLAN fabric (32 MB/s observed for TCP).
+func TCPOverCLAN() CostModel {
+	return CostModel{
+		Name:      "TCP/cLAN",
+		Protocol:  ProtoTCP,
+		SendFixed: 135 * time.Microsecond,
+		RecvFixed: 135 * time.Microsecond,
+		RawSend:   34 * time.Microsecond,
+		RawRecv:   34 * time.Microsecond,
+		CopyRate:  copyRate,
+		NICFixed:  3 * time.Microsecond,
+		WireRate:  32 * mb,
+		PropDelay: 2 * time.Microsecond,
+	}
+}
+
+// VIAOverCLAN returns the VIA/cLAN combination: user-level communication
+// with hardware VIA (102 MB/s observed, 9 µs one-way for 4 bytes).
+func VIAOverCLAN() CostModel {
+	return CostModel{
+		Name:      "VIA/cLAN",
+		Protocol:  ProtoVIA,
+		SendFixed: 15 * time.Microsecond,
+		RecvFixed: 15 * time.Microsecond,
+		RawSend:   1 * time.Microsecond,
+		RawRecv:   1 * time.Microsecond,
+		PollCost:  2 * time.Microsecond,
+		CopyRate:  copyRate,
+		NICFixed:  3 * time.Microsecond,
+		WireRate:  102 * mb,
+		PropDelay: 1 * time.Microsecond,
+	}
+}
+
+// Combos returns the three protocol/network combinations of Figure 3 in
+// presentation order.
+func Combos() []CostModel {
+	return []CostModel{TCPFastEthernet(), TCPOverCLAN(), VIAOverCLAN()}
+}
+
+// ComboByName looks up a combination by its display name
+// ("TCP/FE", "TCP/cLAN", "VIA/cLAN").
+func ComboByName(name string) (CostModel, error) {
+	for _, c := range Combos() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return CostModel{}, fmt.Errorf("netmodel: unknown combination %q", name)
+}
+
+// HostModel captures the node costs that do not depend on the
+// intra-cluster combination (Table 5).
+type HostModel struct {
+	// ParseCPU is the CPU time to read and parse one HTTP request
+	// (1/µp = 1/5882 s).
+	ParseCPU time.Duration
+	// ClientSendFixed + size/ClientSendRate is the CPU time to send a
+	// reply to the client through the kernel TCP stack (µm).
+	ClientSendFixed time.Duration
+	ClientSendRate  float64
+	// ExtNICFixed + size/ExtWireRate is the external network interface
+	// time per message (µe, 100 Mbit/s Fast Ethernet to clients).
+	ExtNICFixed time.Duration
+	ExtWireRate float64
+	// DiskFixed + size/DiskRate is the disk service time (µd).
+	DiskFixed time.Duration
+	DiskRate  float64
+	// RequestWireBytes is the size of a client HTTP request on the wire;
+	// ReplyHeaderBytes the response header preceding the file payload.
+	RequestWireBytes int64
+	ReplyHeaderBytes int64
+}
+
+// DefaultHost returns the host model of the paper's cluster nodes
+// (300 MHz Pentium II, SCSI disk, Fast Ethernet to clients).
+func DefaultHost() HostModel {
+	return HostModel{
+		ParseCPU:         170 * time.Microsecond,
+		ClientSendFixed:  270 * time.Microsecond,
+		ClientSendRate:   12.5 * mb,
+		ExtNICFixed:      4 * time.Microsecond,
+		ExtWireRate:      12.5 * mb,
+		DiskFixed:        18800 * time.Microsecond,
+		DiskRate:         3 * mb,
+		RequestWireBytes: 300,
+		ReplyHeaderBytes: 200,
+	}
+}
+
+// DurationOver returns the time to move n bytes at rate bytes/s.
+func DurationOver(n int64, rate float64) time.Duration {
+	if rate <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / rate * 1e9)
+}

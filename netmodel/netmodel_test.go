@@ -1,0 +1,185 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// The calibration targets from Section 3.2: one-way 4-byte latency and
+// observed 32-KByte bandwidth per combination.
+func TestCalibrationFourByteLatency(t *testing.T) {
+	cases := []struct {
+		combo  CostModel
+		wantUS float64
+		tolUS  float64
+	}{
+		{TCPFastEthernet(), 82, 15},
+		{TCPOverCLAN(), 76, 15},
+		{VIAOverCLAN(), 9, 3},
+	}
+	for _, c := range cases {
+		got := c.combo.FourByteOneWay().Seconds() * 1e6
+		if math.Abs(got-c.wantUS) > c.tolUS {
+			t.Errorf("%s: 4-byte one-way = %.1f µs, want %.0f±%.0f", c.combo.Name, got, c.wantUS, c.tolUS)
+		}
+	}
+}
+
+func TestCalibrationBandwidth(t *testing.T) {
+	cases := []struct {
+		combo  CostModel
+		wantMB float64
+	}{
+		{TCPFastEthernet(), 11.5},
+		{TCPOverCLAN(), 32},
+		{VIAOverCLAN(), 102},
+	}
+	for _, c := range cases {
+		got := c.combo.Bandwidth32K() / 1e6
+		if math.Abs(got-c.wantMB)/c.wantMB > 0.25 {
+			t.Errorf("%s: 32K bandwidth = %.1f MB/s, want ~%.1f", c.combo.Name, got, c.wantMB)
+		}
+	}
+}
+
+func TestOverheadFactor(t *testing.T) {
+	// "The VIA overhead is a factor of 8 lower than that of TCP."
+	tcp := TCPOverCLAN()
+	via := VIAOverCLAN()
+	factor := float64(tcp.SendFixed+tcp.RecvFixed) / float64(via.SendFixed+via.RecvFixed)
+	if factor < 7 || factor > 10 {
+		t.Errorf("TCP/VIA overhead factor = %.1f, want ~8-9", factor)
+	}
+}
+
+func TestComboByName(t *testing.T) {
+	for _, name := range []string{"TCP/FE", "TCP/cLAN", "VIA/cLAN"} {
+		c, err := ComboByName(name)
+		if err != nil || c.Name != name {
+			t.Errorf("ComboByName(%q) = %v, %v", name, c.Name, err)
+		}
+	}
+	if _, err := ComboByName("IB/EDR"); err == nil {
+		t.Error("unknown combo accepted")
+	}
+}
+
+func TestVersionsMatchTable3(t *testing.T) {
+	vs := Versions()
+	if len(vs) != 6 {
+		t.Fatalf("versions = %d, want 6", len(vs))
+	}
+	// Table 3 rows: Flow, Forward, Caching, File per version.
+	wantRMW := []struct {
+		flow, fwd, caching, file bool
+		zrx, ztx                 bool
+	}{
+		{false, false, false, false, false, false}, // V0
+		{true, false, false, false, false, false},  // V1
+		{true, true, true, false, false, false},    // V2
+		{true, true, true, true, false, false},     // V3
+		{true, true, true, true, true, false},      // V4
+		{true, true, true, true, true, true},       // V5
+	}
+	for i, v := range vs {
+		w := wantRMW[i]
+		if (v.Flow == StyleRMW) != w.flow || (v.Forward == StyleRMW) != w.fwd ||
+			(v.Caching == StyleRMW) != w.caching || (v.File == StyleRMW) != w.file {
+			t.Errorf("%s styles = %v/%v/%v/%v", v.Name, v.Flow, v.Forward, v.Caching, v.File)
+		}
+		if v.ZeroCopyRX != w.zrx || v.ZeroCopyTX != w.ztx {
+			t.Errorf("%s zero-copy = TX %v RX %v", v.Name, v.ZeroCopyTX, v.ZeroCopyRX)
+		}
+	}
+}
+
+func TestVersionByName(t *testing.T) {
+	v, err := VersionByName("V4")
+	if err != nil || !v.ZeroCopyRX || v.ZeroCopyTX {
+		t.Errorf("VersionByName(V4) = %+v, %v", v, err)
+	}
+	if _, err := VersionByName("V9"); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestCostRMWDropsReceiverFixed(t *testing.T) {
+	via := VIAOverCLAN()
+	reg := via.Cost(StyleRegular, 16384, true, true)
+	rmw := via.Cost(StyleRMW, 16384, true, true)
+	if rmw.RecvCPU >= reg.RecvCPU {
+		t.Errorf("RMW recv CPU %v not below regular %v", rmw.RecvCPU, reg.RecvCPU)
+	}
+	if rmw.SendCPU != reg.SendCPU {
+		t.Errorf("RMW send CPU %v != regular %v", rmw.SendCPU, reg.SendCPU)
+	}
+}
+
+func TestCostZeroCopyDropsPayloadTerm(t *testing.T) {
+	via := VIAOverCLAN()
+	const payload = 100000
+	full := via.Cost(StyleRMW, payload, true, true)
+	noTX := via.Cost(StyleRMW, payload, false, true)
+	noRX := via.Cost(StyleRMW, payload, true, false)
+	wantDelta := DurationOver(payload, via.CopyRate)
+	if d := full.SendCPU - noTX.SendCPU; d != wantDelta {
+		t.Errorf("zero-copy TX delta = %v, want %v", d, wantDelta)
+	}
+	if d := full.RecvCPU - noRX.RecvCPU; d != wantDelta {
+		t.Errorf("zero-copy RX delta = %v, want %v", d, wantDelta)
+	}
+}
+
+func TestCostTCPIgnoresStyleAndZeroCopy(t *testing.T) {
+	tcp := TCPOverCLAN()
+	a := tcp.Cost(StyleRegular, 5000, true, true)
+	b := tcp.Cost(StyleRMW, 5000, false, false)
+	if a != b {
+		t.Errorf("TCP cost varies with style/zero-copy: %+v vs %+v", a, b)
+	}
+}
+
+func TestNICTime(t *testing.T) {
+	via := VIAOverCLAN()
+	base := via.NICTime(0)
+	if base != via.NICFixed {
+		t.Errorf("NICTime(0) = %v", base)
+	}
+	t32 := via.NICTime(32 * 1024)
+	wire := DurationOver(32*1024, via.WireRate)
+	if t32 != via.NICFixed+wire {
+		t.Errorf("NICTime(32K) = %v, want %v", t32, via.NICFixed+wire)
+	}
+}
+
+func TestDurationOver(t *testing.T) {
+	if DurationOver(0, 1e6) != 0 {
+		t.Error("zero bytes")
+	}
+	if DurationOver(100, 0) != 0 {
+		t.Error("zero rate must yield 0, not divide by zero")
+	}
+	if got := DurationOver(1e6, 1e6); got != time.Second {
+		t.Errorf("1 MB at 1 MB/s = %v", got)
+	}
+}
+
+func TestDefaultHostMatchesTable5(t *testing.T) {
+	h := DefaultHost()
+	// µp = 5882 ops/s -> 170 µs.
+	if math.Abs(h.ParseCPU.Seconds()-1.0/5882) > 5e-6 {
+		t.Errorf("parse CPU %v, want ~1/5882 s", h.ParseCPU)
+	}
+	// µd fixed = 18.8 ms, rate 3 MB/s.
+	if h.DiskFixed != 18800*time.Microsecond {
+		t.Errorf("disk fixed %v", h.DiskFixed)
+	}
+	if h.DiskRate != 3e6 {
+		t.Errorf("disk rate %v", h.DiskRate)
+	}
+	// µm fixed = 270 µs at 12.5 MB/s.
+	if h.ClientSendFixed != 270*time.Microsecond || h.ClientSendRate != 12.5e6 {
+		t.Errorf("client send %v @ %v", h.ClientSendFixed, h.ClientSendRate)
+	}
+}

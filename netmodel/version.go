@@ -1,0 +1,132 @@
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Style is how one message type is implemented (Table 3).
+type Style int
+
+const (
+	// StyleRegular uses send/receive descriptors: the receiver takes an
+	// interrupt, the receive thread wakes up, and payloads are copied
+	// at both ends so descriptors can be recycled quickly.
+	StyleRegular Style = iota
+	// StyleRMW writes directly into a circular buffer in the receiver's
+	// registered memory. No receiver CPU is involved beyond polling
+	// sequence numbers at the end of the server loop.
+	StyleRMW
+)
+
+// String returns the Table 3 key for the style.
+func (s Style) String() string {
+	if s == StyleRMW {
+		return "rmw"
+	}
+	return "reg"
+}
+
+// Version is one of the six server versions of Table 3: which message
+// types use remote memory writes and whether file transfers avoid the
+// sender/receiver copies.
+type Version struct {
+	Name string
+	// Styles per message type.
+	Flow    Style
+	Forward Style
+	Caching Style
+	File    Style
+	// ZeroCopyRX: the receiver of file data sends it to the client right
+	// out of the large communication buffer (V4+).
+	ZeroCopyRX bool
+	// ZeroCopyTX: cached file pages are registered with VIA, so the
+	// sender transmits without staging a copy (V5).
+	ZeroCopyTX bool
+}
+
+// Versions returns V0 through V5 exactly as defined in Table 3.
+func Versions() []Version {
+	return []Version{
+		{Name: "V0", Flow: StyleRegular, Forward: StyleRegular, Caching: StyleRegular, File: StyleRegular},
+		{Name: "V1", Flow: StyleRMW, Forward: StyleRegular, Caching: StyleRegular, File: StyleRegular},
+		{Name: "V2", Flow: StyleRMW, Forward: StyleRMW, Caching: StyleRMW, File: StyleRegular},
+		{Name: "V3", Flow: StyleRMW, Forward: StyleRMW, Caching: StyleRMW, File: StyleRMW},
+		{Name: "V4", Flow: StyleRMW, Forward: StyleRMW, Caching: StyleRMW, File: StyleRMW, ZeroCopyRX: true},
+		{Name: "V5", Flow: StyleRMW, Forward: StyleRMW, Caching: StyleRMW, File: StyleRMW, ZeroCopyRX: true, ZeroCopyTX: true},
+	}
+}
+
+// VersionByName returns the version with the given name ("V0".."V5").
+func VersionByName(name string) (Version, error) {
+	for _, v := range Versions() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Version{}, fmt.Errorf("netmodel: unknown version %q (want V0..V5)", name)
+}
+
+// MsgCost is the resource demand of transferring one message under a
+// cost model: CPU time at the sender and receiver and the number of
+// physical messages crossing the NIC (RMW file transfers need a second,
+// metadata message per transfer — accounted by the caller per transfer,
+// not here).
+type MsgCost struct {
+	SendCPU time.Duration
+	RecvCPU time.Duration
+}
+
+// Cost returns the CPU demands for a message of the given payload size
+// and style. copyTX/copyRX say whether the payload is staged through a
+// copy at the sender/receiver (false under zero-copy). TCP models ignore
+// the style: TCP has neither RMW nor zero-copy and always copies.
+func (m CostModel) Cost(style Style, payload int64, copyTX, copyRX bool) MsgCost {
+	if m.Protocol == ProtoTCP {
+		style = StyleRegular
+		copyTX, copyRX = true, true
+	}
+	c := MsgCost{SendCPU: m.SendFixed, RecvCPU: m.RecvFixed}
+	if style == StyleRMW {
+		c.RecvCPU = m.PollCost
+	}
+	if copyTX {
+		c.SendCPU += DurationOver(payload, m.CopyRate)
+	}
+	if copyRX {
+		c.RecvCPU += DurationOver(payload, m.CopyRate)
+	}
+	return c
+}
+
+// NICTime returns the internal network interface time to push or pull
+// one message of the given wire size.
+func (m CostModel) NICTime(wireBytes int64) time.Duration {
+	return m.NICFixed + DurationOver(wireBytes, m.WireRate)
+}
+
+// FourByteOneWay estimates the one-way latency of a 4-byte message as a
+// ping-pong microbenchmark would see it: raw protocol CPU at each end
+// plus two NIC crossings and the propagation delay. It exists so tests
+// can check the calibration against the paper's microbenchmarks
+// (82/76/9 µs).
+func (m CostModel) FourByteOneWay() time.Duration {
+	return m.RawSend + 2*m.NICTime(4) + m.PropDelay + m.RawRecv
+}
+
+// Bandwidth32K estimates the observed bandwidth for back-to-back
+// 32-KByte messages in bytes/s: the pipeline is limited by its slowest
+// stage (sender CPU including the staging copy, wire, or receiver CPU).
+func (m CostModel) Bandwidth32K() float64 {
+	const n = 32 * 1024
+	send := m.RawSend + DurationOver(n, m.CopyRate)
+	recv := m.RawRecv + DurationOver(n, m.CopyRate)
+	bottleneck := m.NICTime(n)
+	if send > bottleneck {
+		bottleneck = send
+	}
+	if recv > bottleneck {
+		bottleneck = recv
+	}
+	return n / bottleneck.Seconds()
+}

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"press/cache"
+	"press/core"
+	"press/netmodel"
+	"press/trace"
+	"press/via"
+)
+
+// TransportKind selects the intra-cluster communication substrate.
+type TransportKind int
+
+const (
+	// TransportTCP runs the complete kernel TCP stack over loopback.
+	TransportTCP TransportKind = iota
+	// TransportVIA uses the software VIA of internal/via.
+	TransportVIA
+)
+
+// String names the transport.
+func (k TransportKind) String() string {
+	if k == TransportVIA {
+		return "VIA"
+	}
+	return "TCP"
+}
+
+// Config describes one PRESS cluster.
+type Config struct {
+	// Nodes is the cluster size (>= 1).
+	Nodes int
+	// Trace supplies the file population the cluster serves; request
+	// streams come from clients, not from here.
+	Trace *trace.Trace
+	// Transport picks TCP or VIA for intra-cluster communication.
+	Transport TransportKind
+	// Version selects the RMW/zero-copy style (Table 3); VIA only.
+	Version netmodel.Version
+	// Dissemination is the load-information strategy.
+	Dissemination core.Strategy
+	// LoadViaRMW sends threshold load broadcasts as remote writes.
+	LoadViaRMW bool
+	// Policy holds the distribution tunables; zero means defaults.
+	Policy core.PolicyConfig
+	// CacheBytes is each node's cache capacity (default 64 MB).
+	CacheBytes int64
+	// DiskDelay is the artificial per-read disk latency (default 2 ms).
+	DiskDelay time.Duration
+	// DiskThreads is the number of disk helper threads per node (2).
+	DiskThreads int
+	// Window and Batch configure VIA flow control.
+	Window int
+	Batch  int
+	// ChunkBytes caps a regular-channel file message (default 32 KB).
+	ChunkBytes int
+	// FileRingBytes sizes the RMW file data ring (default 1 MB; must
+	// exceed the large-file cutoff so every forwarded file fits).
+	FileRingBytes int
+	// FabricOptions shape the VIA fabric (latency, bandwidth, loss).
+	FabricOptions []via.FabricOption
+	// ListenHost is the HTTP bind host (default 127.0.0.1).
+	ListenHost string
+	// ContentOblivious turns the cluster into the baseline server class
+	// PRESS is motivated against: every request is serviced by the node
+	// that accepted it, with no intra-cluster communication and no
+	// cache aggregation.
+	ContentOblivious bool
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Nodes <= 0 || cfg.Nodes > cache.MaxNodes {
+		return cfg, fmt.Errorf("server: node count %d out of range 1..%d", cfg.Nodes, cache.MaxNodes)
+	}
+	if cfg.Trace == nil || len(cfg.Trace.Files) == 0 {
+		return cfg, fmt.Errorf("server: config needs a trace with files")
+	}
+	if cfg.Version.Name == "" {
+		cfg.Version = netmodel.Versions()[0]
+	}
+	if cfg.Transport == TransportTCP {
+		v0 := netmodel.Versions()[0]
+		v0.Name = cfg.Version.Name
+		cfg.Version = v0
+	}
+	if cfg.Policy == (core.PolicyConfig{}) {
+		cfg.Policy = core.DefaultPolicy()
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.CacheBytes < 0 {
+		return cfg, fmt.Errorf("server: negative cache size")
+	}
+	if cfg.DiskDelay == 0 {
+		cfg.DiskDelay = 2 * time.Millisecond
+	}
+	if cfg.DiskThreads <= 0 {
+		cfg.DiskThreads = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2 * core.DefaultWindow
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = core.DefaultCreditBatch
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 32 << 10
+	}
+	if cfg.FileRingBytes <= 0 {
+		cfg.FileRingBytes = 1 << 20
+	}
+	if int64(cfg.FileRingBytes) < cfg.Policy.LargeFileBytes {
+		return cfg, fmt.Errorf("server: file ring (%d) smaller than the large-file cutoff (%d)",
+			cfg.FileRingBytes, cfg.Policy.LargeFileBytes)
+	}
+	if cfg.ListenHost == "" {
+		cfg.ListenHost = "127.0.0.1"
+	}
+	return cfg, nil
+}
+
+// Cluster is a running PRESS cluster serving HTTP on loopback.
+type Cluster struct {
+	cfg       Config
+	nodes     []*Node
+	fabric    *via.Fabric
+	httpLns   []net.Listener
+	httpSrvs  []*http.Server
+	addrs     []string
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Start builds and launches the cluster: transports meshed, nodes
+// running, HTTP listeners accepting.
+func Start(c Config) (*Cluster, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{cfg: cfg}
+
+	transports := make([]Transport, cfg.Nodes)
+	nics := make([]*via.NIC, cfg.Nodes)
+	switch cfg.Transport {
+	case TransportTCP:
+		lns := make([]net.Listener, cfg.Nodes)
+		addrs := make([]string, cfg.Nodes)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("server: intra-cluster listener: %w", err)
+			}
+			lns[i] = ln
+			addrs[i] = ln.Addr().String()
+		}
+		var mu sync.Mutex
+		var firstErr error
+		var wg sync.WaitGroup
+		for i := range lns {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t, err := newTCPTransport(i, cfg.Nodes, lns[i], addrs)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				transports[i] = t
+			}(i)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			for _, t := range transports {
+				if t != nil {
+					t.Close()
+				}
+			}
+			return nil, firstErr
+		}
+	case TransportVIA:
+		cl.fabric = via.NewFabric(cfg.FabricOptions...)
+		addrs := make([]string, cfg.Nodes)
+		vts := make([]*viaTransport, cfg.Nodes)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("node%d", i)
+			nic, err := cl.fabric.CreateNIC(addrs[i])
+			if err != nil {
+				cl.fabric.Close()
+				return nil, err
+			}
+			nics[i] = nic
+			vt, err := newViaTransport(nic, viaConfig{
+				self: i, nodes: cfg.Nodes, version: cfg.Version,
+				loadViaRMW: cfg.LoadViaRMW, window: cfg.Window,
+				batch: cfg.Batch, chunk: cfg.ChunkBytes,
+				fileRing: cfg.FileRingBytes,
+			})
+			if err != nil {
+				cl.fabric.Close()
+				return nil, err
+			}
+			vts[i] = vt
+			transports[i] = vt
+		}
+		var mu sync.Mutex
+		var firstErr error
+		var wg sync.WaitGroup
+		for i, vt := range vts {
+			wg.Add(1)
+			go func(i int, vt *viaTransport) {
+				defer wg.Done()
+				if err := vt.connect(addrs); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("server: node %d mesh: %w", i, err)
+					}
+					mu.Unlock()
+				}
+			}(i, vt)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			cl.fabric.Close()
+			return nil, firstErr
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown transport %d", cfg.Transport)
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := newNode(i, cfg, transports[i], nics[i])
+		n.start()
+		cl.nodes = append(cl.nodes, n)
+	}
+	if err := cl.startHTTP(); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+func (cl *Cluster) startHTTP() error {
+	for _, n := range cl.nodes {
+		ln, err := net.Listen("tcp", cl.cfg.ListenHost+":0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: &nodeHandler{node: n}}
+		cl.httpLns = append(cl.httpLns, ln)
+		cl.httpSrvs = append(cl.httpSrvs, srv)
+		cl.addrs = append(cl.addrs, ln.Addr().String())
+		cl.wg.Add(1)
+		go func(srv *http.Server, ln net.Listener) {
+			defer cl.wg.Done()
+			_ = srv.Serve(ln)
+		}(srv, ln)
+	}
+	return nil
+}
+
+// nodeHandler is the HTTP front end: it hands GET requests to the main
+// loop and writes back the file content.
+type nodeHandler struct {
+	node *Node
+}
+
+// clientTimeout bounds how long a request may wait on the cluster.
+const clientTimeout = 30 * time.Second
+
+// statsPath serves the node's counters as JSON for operators and
+// tests; it bypasses the main loop.
+const statsPath = "/_press/stats"
+
+func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.URL.Path == statsPath {
+		h.serveStats(w)
+		return
+	}
+	name := r.URL.Path
+	if !strings.HasPrefix(name, "/") {
+		name = "/" + name
+	}
+	req := &clientRequest{name: name, resp: make(chan clientResult, 1)}
+	defer func() {
+		// Connection closed: the load (open-connection count) drops.
+		select {
+		case h.node.doneCh <- struct{}{}:
+		case <-h.node.stop:
+		}
+	}()
+	select {
+	case h.node.httpCh <- req:
+	case <-h.node.stop:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	case <-r.Context().Done():
+		return
+	}
+	select {
+	case res := <-req.resp:
+		if res.err != nil {
+			http.Error(w, res.err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Length", fmt.Sprint(len(res.data)))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if r.Method == http.MethodHead {
+			return
+		}
+		_, _ = w.Write(res.data)
+	case <-time.After(clientTimeout):
+		http.Error(w, "cluster timeout", http.StatusGatewayTimeout)
+	}
+}
+
+// nodeStatsJSON is the wire form of the stats endpoint.
+type nodeStatsJSON struct {
+	Node     int                 `json:"node"`
+	Requests int64               `json:"requests"`
+	Local    int64               `json:"localHits"`
+	Remote   int64               `json:"remoteHits"`
+	Forward  int64               `json:"forwarded"`
+	Disk     int64               `json:"diskReads"`
+	Replicas int64               `json:"replicas"`
+	Errors   int64               `json:"errors"`
+	Messages map[string][2]int64 `json:"messages"` // type -> [count, bytes]
+}
+
+func (h *nodeHandler) serveStats(w http.ResponseWriter) {
+	ns := h.node.Stats()
+	ms := h.node.MsgStats()
+	out := nodeStatsJSON{
+		Node:     h.node.ID(),
+		Requests: ns.Requests,
+		Local:    ns.LocalHits,
+		Remote:   ns.RemoteHits,
+		Forward:  ns.Forwarded,
+		Disk:     ns.DiskReads,
+		Replicas: ns.Replicas,
+		Errors:   ns.Errors,
+		Messages: map[string][2]int64{},
+	}
+	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
+		out.Messages[mt.String()] = [2]int64{ms.Count[mt], ms.Bytes[mt]}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// Addrs returns the nodes' HTTP addresses (host:port).
+func (cl *Cluster) Addrs() []string {
+	out := make([]string, len(cl.addrs))
+	copy(out, cl.addrs)
+	return out
+}
+
+// URL returns node i's base URL.
+func (cl *Cluster) URL(i int) string { return "http://" + cl.addrs[i] }
+
+// Nodes returns the cluster's nodes for inspection.
+func (cl *Cluster) Nodes() []*Node { return cl.nodes }
+
+// Stats aggregates node and message statistics.
+type Stats struct {
+	Nodes NodeStats
+	Msgs  core.MsgStats
+	// CopiedBytes is the transports' staging/receive copy volume; see
+	// Transport.CopiedBytes.
+	CopiedBytes int64
+}
+
+// Stats sums counters across the cluster.
+func (cl *Cluster) Stats() Stats {
+	var s Stats
+	for _, n := range cl.nodes {
+		ns := n.Stats()
+		s.Nodes.Requests += ns.Requests
+		s.Nodes.LocalHits += ns.LocalHits
+		s.Nodes.RemoteHits += ns.RemoteHits
+		s.Nodes.Forwarded += ns.Forwarded
+		s.Nodes.DiskReads += ns.DiskReads
+		s.Nodes.Replicas += ns.Replicas
+		s.Nodes.Errors += ns.Errors
+		ms := n.MsgStats()
+		s.Msgs.Merge(&ms)
+		s.CopiedBytes += n.transport.CopiedBytes()
+	}
+	return s
+}
+
+// Close shuts the cluster down.
+func (cl *Cluster) Close() {
+	cl.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		for _, srv := range cl.httpSrvs {
+			_ = srv.Shutdown(ctx)
+		}
+		for _, n := range cl.nodes {
+			n.shutdown()
+		}
+		if cl.fabric != nil {
+			cl.fabric.Close()
+		}
+		cl.wg.Wait()
+	})
+}
+
+// Fetch is a convenience for tests and examples: GET one file from one
+// node and return the body.
+func Fetch(baseURL, name string) ([]byte, error) {
+	resp, err := http.Get(baseURL + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: GET %s%s: %s", baseURL, name, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,450 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"press/core"
+	"press/netmodel"
+	"press/trace"
+)
+
+// serverTestTrace is a small file population for end-to-end tests.
+func serverTestTrace(t testing.TB, files int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Synthesize(trace.Spec{
+		Name: "srv", NumFiles: files, AvgFileKB: 8,
+		NumRequests: files * 10, AvgReqKB: 6, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testClusterConfig(tr *trace.Trace, kind TransportKind) Config {
+	return Config{
+		Nodes:      3,
+		Trace:      tr,
+		Transport:  kind,
+		CacheBytes: 1 << 20,
+		DiskDelay:  100 * time.Microsecond,
+	}
+}
+
+func fetchAll(t *testing.T, cl *Cluster, tr *trace.Trace, rounds int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	addrs := cl.Addrs()
+	for r := 0; r < rounds; r++ {
+		for _, f := range tr.Files {
+			node := rng.Intn(len(addrs))
+			got, err := Fetch("http://"+addrs[node], f.Name)
+			if err != nil {
+				t.Fatalf("round %d %s via node %d: %v", r, f.Name, node, err)
+			}
+			want := SynthesizeContent(f.Name, f.Size)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: %s content mismatch (%d vs %d bytes)", r, f.Name, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestClusterTCPEndToEnd(t *testing.T) {
+	tr := serverTestTrace(t, 24)
+	cl, err := Start(testClusterConfig(tr, TransportTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 3, 1)
+
+	s := cl.Stats()
+	if s.Nodes.Requests != int64(3*len(tr.Files)) {
+		t.Errorf("requests = %d", s.Nodes.Requests)
+	}
+	if s.Nodes.Errors != 0 {
+		t.Errorf("errors = %d", s.Nodes.Errors)
+	}
+	// Locality-conscious distribution: later rounds must forward to the
+	// unique caching node rather than read disk everywhere.
+	if s.Nodes.Forwarded == 0 {
+		t.Error("no requests forwarded")
+	}
+	if s.Msgs.Count[core.MsgForward] == 0 || s.Msgs.Count[core.MsgFile] == 0 {
+		t.Errorf("message counts: %+v", s.Msgs.Count)
+	}
+	// TCP flow control is the kernel's: no flow messages.
+	if s.Msgs.Count[core.MsgFlow] != 0 {
+		t.Errorf("TCP sent %d flow messages", s.Msgs.Count[core.MsgFlow])
+	}
+	// Caching broadcasts announced the disk loads.
+	if s.Msgs.Count[core.MsgCaching] == 0 {
+		t.Error("no caching broadcasts")
+	}
+}
+
+func TestClusterVIAVersions(t *testing.T) {
+	tr := serverTestTrace(t, 16)
+	for _, v := range netmodel.Versions() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			cfg := testClusterConfig(tr, TransportVIA)
+			cfg.Version = v
+			cl, err := Start(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			fetchAll(t, cl, tr, 2, 7)
+			s := cl.Stats()
+			if s.Nodes.Errors != 0 {
+				t.Errorf("errors = %d", s.Nodes.Errors)
+			}
+			if s.Nodes.Forwarded == 0 {
+				t.Error("no forwarding")
+			}
+			// VIA flow control sends credit messages (explicit or RMW).
+			if s.Msgs.Count[core.MsgFlow] == 0 {
+				t.Error("no flow-control traffic")
+			}
+		})
+	}
+}
+
+func TestClusterVIARMWFileDoubleCounting(t *testing.T) {
+	// Under RMW file transfers every file costs a data and a metadata
+	// message (Table 4's near-doubling).
+	tr := serverTestTrace(t, 16)
+	counts := map[string]int64{}
+	for _, name := range []string{"V2", "V3"} {
+		v, err := netmodel.VersionByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testClusterConfig(tr, TransportVIA)
+		cfg.Version = v
+		cl, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fetchAll(t, cl, tr, 2, 3)
+		counts[name] = cl.Stats().Msgs.Count[core.MsgFile]
+		cl.Close()
+	}
+	if counts["V3"] <= counts["V2"] {
+		t.Errorf("V3 file messages %d not above V2 %d", counts["V3"], counts["V2"])
+	}
+}
+
+func TestClusterLocalityCaching(t *testing.T) {
+	// After the first round loads every file from some disk, subsequent
+	// rounds must be served from cluster memory: disk reads stop.
+	tr := serverTestTrace(t, 20)
+	cfg := testClusterConfig(tr, TransportVIA)
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 1, 5)
+	afterWarm := cl.Stats().Nodes.DiskReads
+	fetchAll(t, cl, tr, 3, 6)
+	afterRuns := cl.Stats().Nodes.DiskReads
+	// The working set fits the aggregate cache: almost no new reads.
+	if growth := afterRuns - afterWarm; growth > afterWarm/2 {
+		t.Errorf("disk reads grew from %d to %d after warmup", afterWarm, afterRuns)
+	}
+	s := cl.Stats()
+	if s.Nodes.LocalHits+s.Nodes.RemoteHits == 0 {
+		t.Error("no cache hits at all")
+	}
+}
+
+func TestClusterLargeFileStaysLocal(t *testing.T) {
+	// A file at the large-file cutoff must be serviced by the initial
+	// node: no forward messages for it.
+	tr := &trace.Trace{
+		Name: "large",
+		Files: []trace.File{
+			{Name: "/big.bin", Size: 600 * 1024},
+			{Name: "/small.html", Size: 2048},
+		},
+		Requests: []int32{0, 1},
+	}
+	cfg := testClusterConfig(tr, TransportVIA)
+	cfg.CacheBytes = 4 << 20
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for round := 0; round < 3; round++ {
+		for i := range cl.Addrs() {
+			got, err := Fetch(cl.URL(i), "/big.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 600*1024 {
+				t.Fatalf("big file truncated: %d", len(got))
+			}
+		}
+	}
+	if fwd := cl.Stats().Msgs.Count[core.MsgForward]; fwd != 0 {
+		t.Errorf("large file produced %d forwards", fwd)
+	}
+}
+
+func TestClusterNotFound(t *testing.T) {
+	tr := serverTestTrace(t, 4)
+	cl, err := Start(testClusterConfig(tr, TransportTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := http.Get(cl.URL(0) + "/no/such/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestClusterConcurrentClients(t *testing.T) {
+	tr := serverTestTrace(t, 30)
+	cfg := testClusterConfig(tr, TransportVIA)
+	cfg.Version, _ = netmodel.VersionByName("V5")
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const clients = 8
+	const perClient = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				f := tr.Files[rng.Intn(len(tr.Files))]
+				node := rng.Intn(cfg.Nodes)
+				got, err := Fetch(cl.URL(node), f.Name)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				if int64(len(got)) != f.Size {
+					errs <- fmt.Errorf("client %d: %s got %d bytes, want %d", c, f.Name, len(got), f.Size)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s := cl.Stats(); s.Nodes.Errors != 0 {
+		t.Errorf("server errors: %d", s.Nodes.Errors)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	tr := serverTestTrace(t, 4)
+	bad := []Config{
+		{},
+		{Nodes: 99, Trace: tr},
+		{Nodes: 2},
+		{Nodes: 2, Trace: tr, CacheBytes: -1},
+		{Nodes: 2, Trace: tr, FileRingBytes: 1024}, // below large-file cutoff
+	}
+	for i, cfg := range bad {
+		if _, err := Start(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestClusterDissemination(t *testing.T) {
+	tr := serverTestTrace(t, 12)
+	for _, st := range []core.Strategy{core.LThreshold(1), core.NLB()} {
+		st := st
+		t.Run(st.String(), func(t *testing.T) {
+			cfg := testClusterConfig(tr, TransportVIA)
+			cfg.Dissemination = st
+			cl, err := Start(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			fetchAll(t, cl, tr, 2, 11)
+			loads := cl.Stats().Msgs.Count[core.MsgLoad]
+			if st.Kind == core.ThresholdBroadcast && loads == 0 {
+				t.Error("L1 sent no load broadcasts")
+			}
+			if st.Kind == core.NoLoadBalancing && loads != 0 {
+				t.Errorf("NLB sent %d load broadcasts", loads)
+			}
+		})
+	}
+}
+
+func TestStoreReadsAndDelay(t *testing.T) {
+	tr := serverTestTrace(t, 3)
+	s := NewStore(tr, 2*time.Millisecond)
+	start := time.Now()
+	data, err := s.Read(tr.Files[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("read returned in %v, want >= 2ms disk delay", elapsed)
+	}
+	if int64(len(data)) != tr.Files[0].Size {
+		t.Errorf("size %d", len(data))
+	}
+	if _, err := s.Read("/missing"); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	if s.Reads() != 1 {
+		t.Errorf("reads = %d", s.Reads())
+	}
+	if size, ok := s.Size(tr.Files[1].Name); !ok || size != tr.Files[1].Size {
+		t.Errorf("Size = %d, %v", size, ok)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	tr := serverTestTrace(t, 6)
+	cl, err := Start(testClusterConfig(tr, TransportVIA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 1, 2)
+
+	resp, err := http.Get(cl.URL(0) + statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got nodeStatsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != 0 {
+		t.Errorf("node = %d", got.Node)
+	}
+	if got.Requests == 0 {
+		t.Error("no requests counted")
+	}
+	if _, ok := got.Messages["File"]; !ok {
+		t.Errorf("messages missing File entry: %v", got.Messages)
+	}
+}
+
+func TestClusterContentOblivious(t *testing.T) {
+	tr := serverTestTrace(t, 16)
+	cfg := testClusterConfig(tr, TransportVIA)
+	cfg.ContentOblivious = true
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 2, 9)
+	s := cl.Stats()
+	if s.Nodes.Errors != 0 {
+		t.Errorf("errors = %d", s.Nodes.Errors)
+	}
+	if s.Nodes.Forwarded != 0 {
+		t.Errorf("oblivious cluster forwarded %d requests", s.Nodes.Forwarded)
+	}
+	count, _ := s.Msgs.Total()
+	if count != 0 {
+		t.Errorf("oblivious cluster sent %d intra-cluster messages", count)
+	}
+	// Without cache aggregation, every node reads popular files from its
+	// own disk: more disk reads than files.
+	if s.Nodes.DiskReads <= int64(len(tr.Files)) {
+		t.Errorf("disk reads = %d, want more than %d (no aggregation)",
+			s.Nodes.DiskReads, len(tr.Files))
+	}
+}
+
+func TestZeroCopySemantics(t *testing.T) {
+	// The point of versions 3-5: each step removes a payload copy. Run
+	// the same workload and compare actual copied bytes: V3 pays a
+	// sender staging copy and a receiver copy, V4 drops the receiver
+	// copy, V5 drops both.
+	tr := serverTestTrace(t, 16)
+	copied := map[string]int64{}
+	for _, name := range []string{"V3", "V4", "V5"} {
+		v, err := netmodel.VersionByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testClusterConfig(tr, TransportVIA)
+		cfg.Version = v
+		cl, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fetchAll(t, cl, tr, 2, 13)
+		copied[name] = cl.Stats().CopiedBytes
+		cl.Close()
+	}
+	if copied["V5"] != 0 {
+		t.Errorf("V5 copied %d bytes, want 0 (full zero-copy)", copied["V5"])
+	}
+	if copied["V4"] == 0 || copied["V4"] >= copied["V3"] {
+		t.Errorf("V4 copied %d bytes, want between 0 and V3's %d", copied["V4"], copied["V3"])
+	}
+	// V3 pays both copies: roughly double V4.
+	if ratio := float64(copied["V3"]) / float64(copied["V4"]); ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("V3/V4 copy ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestHeadRequest(t *testing.T) {
+	tr := serverTestTrace(t, 4)
+	cl, err := Start(testClusterConfig(tr, TransportVIA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	f := tr.Files[0]
+	resp, err := http.Head(cl.URL(0) + f.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.ContentLength != f.Size {
+		t.Errorf("Content-Length = %d, want %d", resp.ContentLength, f.Size)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 0 {
+		t.Errorf("HEAD returned %d body bytes", len(body))
+	}
+}

@@ -1,0 +1,120 @@
+// Package server implements PRESS itself: a runnable, cluster-based,
+// locality-conscious static-content WWW server (Section 2.2). An
+// in-process cluster of N nodes serves real HTTP over loopback TCP
+// while distributing requests internally over either kernel TCP or the
+// software VIA of internal/via — with regular messages, remote memory
+// writes into circular buffers, and zero-copy file transfers, per the
+// version matrix of Table 3.
+//
+// Each node mirrors the paper's architecture (Figure 2): an
+// event-driven main loop that never blocks, helper goroutines for disk
+// access and for sending/receiving intra-cluster messages, per-node LRU
+// caching with cluster-wide caching-information broadcasts, piggy-backed
+// load dissemination, and window-based flow control on VIA channels.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"press/core"
+	"press/via"
+)
+
+// Message is one intra-cluster message (the five types of Section 2.2).
+type Message struct {
+	// Type classifies the message.
+	Type core.MsgType
+	// From is the sending node.
+	From int
+	// Load is the sender's open-connection count: explicit for MsgLoad,
+	// piggy-backed on everything else under the PB strategy (-1 when
+	// absent).
+	Load int32
+	// ReqID correlates a forwarded request with its file reply.
+	ReqID uint64
+	// Name is the file name (forward and caching messages).
+	Name string
+	// Cached is true for caching-insert, false for caching-evict.
+	Cached bool
+	// Credits grants flow-control credits (flow messages).
+	Credits int32
+	// Data is a chunk of file content (file messages).
+	Data []byte
+	// Offset and Total place the chunk within the reassembled file.
+	Offset uint32
+	Total  uint32
+
+	// SrcRegion optionally points at registered memory already holding
+	// Data (zero-copy transmit, version 5 over VIA); it never goes on
+	// the wire and transports without zero-copy support ignore it.
+	SrcRegion *via.MemoryRegion
+	SrcOffset int
+}
+
+const msgHeaderLen = 1 + 2 + 4 + 8 + 1 + 4 + 4 + 4 + 2 + 4
+
+// maxNameLen bounds file names on the wire.
+const maxNameLen = 1 << 15
+
+// EncodedLen returns the wire size of the message.
+func (m *Message) EncodedLen() int {
+	return msgHeaderLen + len(m.Name) + len(m.Data)
+}
+
+// Encode appends the wire form of m to dst and returns the result.
+func (m *Message) Encode(dst []byte) ([]byte, error) {
+	if len(m.Name) > maxNameLen {
+		return nil, fmt.Errorf("server: file name of %d bytes too long", len(m.Name))
+	}
+	if m.Type < 0 || m.Type >= core.NumMsgTypes {
+		return nil, fmt.Errorf("server: invalid message type %d", m.Type)
+	}
+	var h [msgHeaderLen]byte
+	h[0] = byte(m.Type)
+	binary.LittleEndian.PutUint16(h[1:], uint16(m.From))
+	binary.LittleEndian.PutUint32(h[3:], uint32(m.Load))
+	binary.LittleEndian.PutUint64(h[7:], m.ReqID)
+	if m.Cached {
+		h[15] = 1
+	}
+	binary.LittleEndian.PutUint32(h[16:], uint32(m.Credits))
+	binary.LittleEndian.PutUint32(h[20:], m.Offset)
+	binary.LittleEndian.PutUint32(h[24:], m.Total)
+	binary.LittleEndian.PutUint16(h[28:], uint16(len(m.Name)))
+	binary.LittleEndian.PutUint32(h[30:], uint32(len(m.Data)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, m.Name...)
+	dst = append(dst, m.Data...)
+	return dst, nil
+}
+
+// DecodeMessage parses one wire message. The returned message's Data
+// aliases buf.
+func DecodeMessage(buf []byte) (*Message, error) {
+	if len(buf) < msgHeaderLen {
+		return nil, fmt.Errorf("server: short message (%d bytes)", len(buf))
+	}
+	m := &Message{
+		Type:    core.MsgType(buf[0]),
+		From:    int(binary.LittleEndian.Uint16(buf[1:])),
+		Load:    int32(binary.LittleEndian.Uint32(buf[3:])),
+		ReqID:   binary.LittleEndian.Uint64(buf[7:]),
+		Cached:  buf[15] == 1,
+		Credits: int32(binary.LittleEndian.Uint32(buf[16:])),
+		Offset:  binary.LittleEndian.Uint32(buf[20:]),
+		Total:   binary.LittleEndian.Uint32(buf[24:]),
+	}
+	if m.Type < 0 || m.Type >= core.NumMsgTypes {
+		return nil, fmt.Errorf("server: invalid message type %d", m.Type)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(buf[28:]))
+	dataLen := int(binary.LittleEndian.Uint32(buf[30:]))
+	if msgHeaderLen+nameLen+dataLen > len(buf) {
+		return nil, fmt.Errorf("server: truncated message: header wants %d+%d bytes, have %d",
+			nameLen, dataLen, len(buf)-msgHeaderLen)
+	}
+	m.Name = string(buf[msgHeaderLen : msgHeaderLen+nameLen])
+	m.Data = buf[msgHeaderLen+nameLen : msgHeaderLen+nameLen+dataLen]
+	return m, nil
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"press/core"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Type: core.MsgLoad, From: 3, Load: 42},
+		{Type: core.MsgFlow, From: 1, Credits: 8, Load: -1},
+		{Type: core.MsgForward, From: 0, ReqID: 77, Name: "/a/b.html", Load: 5},
+		{Type: core.MsgCaching, From: 7, Name: "/c.gif", Cached: true},
+		{Type: core.MsgCaching, From: 7, Name: "/c.gif", Cached: false},
+		{Type: core.MsgFile, From: 2, ReqID: 9, Data: []byte("payload"), Offset: 32768, Total: 32775},
+	}
+	for i, m := range cases {
+		m := m
+		buf, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(buf) != m.EncodedLen() {
+			t.Errorf("case %d: encoded %d bytes, EncodedLen %d", i, len(buf), m.EncodedLen())
+		}
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Type != m.Type || got.From != m.From || got.Load != m.Load ||
+			got.ReqID != m.ReqID || got.Name != m.Name || got.Cached != m.Cached ||
+			got.Credits != m.Credits || got.Offset != m.Offset || got.Total != m.Total ||
+			!bytes.Equal(got.Data, m.Data) {
+			t.Errorf("case %d: round trip mismatch: %+v vs %+v", i, got, m)
+		}
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	check := func(from uint8, load int32, reqID uint64, name string, data []byte, off, total uint32) bool {
+		if len(name) > maxNameLen {
+			name = name[:maxNameLen]
+		}
+		m := Message{Type: core.MsgFile, From: int(from), Load: load, ReqID: reqID,
+			Name: name, Data: data, Offset: off, Total: total}
+		buf, err := m.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			return false
+		}
+		return got.Name == m.Name && bytes.Equal(got.Data, m.Data) &&
+			got.Load == m.Load && got.ReqID == m.ReqID
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	m := Message{Type: core.MsgForward, Name: "/x", ReqID: 1}
+	buf, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessage(buf[:5]); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := append([]byte{}, buf...)
+	bad[0] = 99 // invalid type
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Error("invalid type accepted")
+	}
+	bad2 := append([]byte{}, buf...)
+	bad2[30] = 0xFF // data length beyond buffer
+	bad2[31] = 0xFF
+	if _, err := DecodeMessage(bad2); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	long := make([]byte, maxNameLen+1)
+	m := Message{Type: core.MsgForward, Name: string(long)}
+	if _, err := m.Encode(nil); err == nil {
+		t.Error("overlong name accepted")
+	}
+	m2 := Message{Type: core.MsgType(99)}
+	if _, err := m2.Encode(nil); err == nil {
+		t.Error("invalid type accepted")
+	}
+}
+
+func TestSynthesizeContentDeterministic(t *testing.T) {
+	a := SynthesizeContent("/x.html", 1000)
+	b := SynthesizeContent("/x.html", 1000)
+	c := SynthesizeContent("/y.html", 1000)
+	if !bytes.Equal(a, b) {
+		t.Error("content not deterministic")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different names produced identical content")
+	}
+	if len(a) != 1000 {
+		t.Errorf("length %d", len(a))
+	}
+}
+
+func TestUnboundedQueue(t *testing.T) {
+	q := newUnboundedQueue[int]()
+	for i := 0; i < 10; i++ {
+		q.push(i)
+	}
+	if q.len() != 10 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := q.pop(); ok {
+			t.Error("pop after close returned ok")
+		}
+	}()
+	q.close()
+	<-done
+}

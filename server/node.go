@@ -1,0 +1,472 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"press/cache"
+	"press/core"
+	"press/trace"
+	"press/via"
+)
+
+// clientResult is a node's answer to one HTTP request.
+type clientResult struct {
+	data []byte
+	err  error
+}
+
+// clientRequest is an HTTP request handed to the main loop.
+type clientRequest struct {
+	name string
+	resp chan clientResult
+}
+
+// diskJob asks the disk helper threads to read a file.
+type diskJob struct {
+	name string
+}
+
+// diskDone reports a finished disk read back to the main loop.
+type diskDone struct {
+	name string
+	data []byte
+	err  error
+}
+
+// outMsg is a send-thread work item.
+type outMsg struct {
+	dst int
+	msg *Message
+}
+
+// diskWaiter is a party waiting for a disk read: a local client or a
+// peer that forwarded a request here.
+type diskWaiter struct {
+	local    *clientRequest
+	peer     int
+	reqID    uint64
+	forServe bool
+}
+
+// pendingRemote reassembles a file reply for a forwarded request.
+type pendingRemote struct {
+	req      *clientRequest
+	buf      []byte
+	received int
+}
+
+// NodeStats counts one node's request handling.
+type NodeStats struct {
+	Requests   int64
+	LocalHits  int64
+	RemoteHits int64 // served here for another node, from cache
+	Forwarded  int64
+	DiskReads  int64
+	Replicas   int64 // disk reads caused by the replication path
+	Errors     int64
+}
+
+// Node is one PRESS server node: an event-driven main loop owning the
+// cache and policy state, a send thread, disk threads, and the
+// transport's receive machinery feeding it (Figure 2).
+type Node struct {
+	id  int
+	cfg Config
+
+	store     *Store
+	transport Transport
+	nic       *via.NIC // nil for TCP transport
+
+	// Owned by the main loop.
+	lru       *cache.LRU
+	content   map[cache.FileID][]byte
+	regions   map[cache.FileID]*via.MemoryRegion // zero-copy TX (V5)
+	dir       *cache.Directory
+	policy    *core.Policy
+	tracker   *core.LoadTracker
+	peerLoad  []int
+	nameToID  map[string]cache.FileID
+	files     []trace.File
+	pending   map[uint64]*pendingRemote
+	nextReqID uint64
+	waiting   map[string][]diskWaiter
+
+	httpCh   chan *clientRequest
+	doneCh   chan struct{} // HTTP completion events (load decrement)
+	diskQ    *unboundedQueue[diskJob]
+	diskDone chan diskDone
+	sendQ    *unboundedQueue[outMsg]
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// loadMirror lets the send thread stamp piggy-backed loads without
+	// touching main-loop state.
+	loadMirror atomic.Int64
+
+	statsMu sync.Mutex
+	stats   NodeStats
+}
+
+// view adapts the node's state to core.View.
+type nodeView struct{ n *Node }
+
+func (v nodeView) Cachers(id cache.FileID) cache.NodeSet { return v.n.dir.Cachers(id) }
+func (v nodeView) Load(node int) int {
+	if node == v.n.id {
+		return v.n.tracker.Load()
+	}
+	return v.n.peerLoad[node]
+}
+func (v nodeView) LoadKnown() bool { return v.n.cfg.Dissemination.Kind != core.NoLoadBalancing }
+func (v nodeView) Nodes() int      { return v.n.cfg.Nodes }
+
+func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
+	n := &Node{
+		id:        id,
+		cfg:       cfg,
+		store:     NewStore(cfg.Trace, cfg.DiskDelay),
+		transport: tr,
+		nic:       nic,
+		lru:       cache.NewLRU(cfg.CacheBytes),
+		content:   make(map[cache.FileID][]byte),
+		regions:   make(map[cache.FileID]*via.MemoryRegion),
+		dir:       cache.NewDirectory(cfg.Nodes, len(cfg.Trace.Files)),
+		policy:    core.NewPolicy(cfg.Policy),
+		tracker:   core.NewLoadTracker(cfg.Dissemination),
+		peerLoad:  make([]int, cfg.Nodes),
+		nameToID:  make(map[string]cache.FileID, len(cfg.Trace.Files)),
+		files:     cfg.Trace.Files,
+		pending:   make(map[uint64]*pendingRemote),
+		waiting:   make(map[string][]diskWaiter),
+		httpCh:    make(chan *clientRequest, 256),
+		doneCh:    make(chan struct{}, 1024),
+		diskQ:     newUnboundedQueue[diskJob](),
+		diskDone:  make(chan diskDone, 256),
+		sendQ:     newUnboundedQueue[outMsg](),
+		stop:      make(chan struct{}),
+	}
+	for i, f := range cfg.Trace.Files {
+		n.nameToID[f.Name] = cache.FileID(i)
+	}
+	return n
+}
+
+func (n *Node) start() {
+	n.wg.Add(2 + n.cfg.DiskThreads)
+	go n.mainLoop()
+	go n.sendThread()
+	for i := 0; i < n.cfg.DiskThreads; i++ {
+		go n.diskThread()
+	}
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+func (n *Node) count(f func(*NodeStats)) {
+	n.statsMu.Lock()
+	f(&n.stats)
+	n.statsMu.Unlock()
+}
+
+// mainLoop is the event-driven heart of the node: it owns all policy
+// and cache state and must never block (helper threads do the waiting).
+func (n *Node) mainLoop() {
+	defer n.wg.Done()
+	inbound := n.transport.Inbound()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case r := <-n.httpCh:
+			n.handleClient(r)
+		case <-n.doneCh:
+			n.loadChange(-1)
+		case m, ok := <-inbound:
+			if !ok {
+				return
+			}
+			n.handleMessage(m)
+		case d := <-n.diskDone:
+			n.handleDiskDone(d)
+		}
+	}
+}
+
+func (n *Node) handleClient(r *clientRequest) {
+	n.count(func(s *NodeStats) { s.Requests++ })
+	n.loadChange(+1)
+	id, ok := n.nameToID[r.name]
+	if !ok {
+		n.count(func(s *NodeStats) { s.Errors++ })
+		r.resp <- clientResult{err: fmt.Errorf("server: no such file %q", r.name)}
+		return
+	}
+	if n.cfg.ContentOblivious {
+		// Baseline server class: no distribution decision at all.
+		n.serveLocal(r, id)
+		return
+	}
+	size := n.files[id].Size
+	first := n.dir.FirstRequest(id)
+	d := n.policy.Decide(n.id, id, size, first, nodeView{n})
+	if d.Service == n.id {
+		n.serveLocal(r, id)
+		return
+	}
+	n.count(func(s *NodeStats) { s.Forwarded++ })
+	n.nextReqID++
+	reqID := n.nextReqID
+	n.pending[reqID] = &pendingRemote{req: r}
+	n.send(d.Service, &Message{Type: core.MsgForward, ReqID: reqID, Name: r.name})
+}
+
+func (n *Node) serveLocal(r *clientRequest, id cache.FileID) {
+	if n.lru.Touch(id) {
+		n.count(func(s *NodeStats) { s.LocalHits++ })
+		r.resp <- clientResult{data: n.content[id]}
+		return
+	}
+	n.readDisk(n.files[id].Name, diskWaiter{local: r})
+}
+
+// readDisk queues a disk read, coalescing concurrent readers of the
+// same file onto one disk access.
+func (n *Node) readDisk(name string, w diskWaiter) {
+	if ws, inFlight := n.waiting[name]; inFlight {
+		n.waiting[name] = append(ws, w)
+		return
+	}
+	n.waiting[name] = []diskWaiter{w}
+	n.count(func(s *NodeStats) { s.DiskReads++ })
+	n.diskQ.push(diskJob{name: name})
+}
+
+func (n *Node) handleDiskDone(d diskDone) {
+	waiters := n.waiting[d.name]
+	delete(n.waiting, d.name)
+	if d.err != nil {
+		n.count(func(s *NodeStats) { s.Errors++ })
+		for _, w := range waiters {
+			if w.local != nil {
+				w.local.resp <- clientResult{err: d.err}
+			}
+		}
+		return
+	}
+	id := n.nameToID[d.name]
+	n.insertCache(id, d.data)
+	for _, w := range waiters {
+		if w.local != nil {
+			w.local.resp <- clientResult{data: d.data}
+			continue
+		}
+		n.sendFile(w.peer, w.reqID, id, d.data)
+	}
+}
+
+// insertCache caches the file, registers its pages for zero-copy
+// transmit when configured, and broadcasts the caching-information
+// changes (Section 2.2).
+func (n *Node) insertCache(id cache.FileID, data []byte) {
+	evicted, inserted := n.lru.Insert(id, int64(len(data)))
+	for _, ev := range evicted {
+		delete(n.content, ev)
+		if reg := n.regions[ev]; reg != nil {
+			_ = n.nic.DeregisterMemory(reg)
+			delete(n.regions, ev)
+		}
+		n.dir.SetCached(ev, n.id, false)
+		n.broadcastCaching(ev, false)
+	}
+	if !inserted {
+		return
+	}
+	n.content[id] = data
+	if n.cfg.Version.ZeroCopyTX && n.nic != nil {
+		// Version 5: all pages holding cached files are registered
+		// with VIA so transmits need no staging copy (Section 3.4).
+		if reg, err := n.nic.RegisterMemory(data); err == nil {
+			n.regions[id] = reg
+		}
+	}
+	n.dir.SetCached(id, n.id, true)
+	n.broadcastCaching(id, true)
+}
+
+func (n *Node) broadcastCaching(id cache.FileID, cached bool) {
+	if n.cfg.ContentOblivious {
+		return // no one consults the directory
+	}
+	name := n.files[id].Name
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if p == n.id {
+			continue
+		}
+		n.send(p, &Message{Type: core.MsgCaching, Name: name, Cached: cached})
+	}
+}
+
+func (n *Node) sendFile(dst int, reqID uint64, id cache.FileID, data []byte) {
+	m := &Message{Type: core.MsgFile, ReqID: reqID, Data: data, Total: uint32(len(data))}
+	if reg := n.regions[id]; reg != nil {
+		m.SrcRegion = reg
+	}
+	n.send(dst, m)
+}
+
+func (n *Node) handleMessage(m *Message) {
+	// Piggy-backed load information updates the sender's entry.
+	if m.Load >= 0 && m.From != n.id {
+		n.peerLoad[m.From] = int(m.Load)
+	}
+	switch m.Type {
+	case core.MsgLoad:
+		// Explicit broadcast, already applied above.
+	case core.MsgCaching:
+		if id, ok := n.nameToID[m.Name]; ok {
+			n.dir.SetCached(id, m.From, m.Cached)
+			// A file cached elsewhere is no first request here.
+			n.dir.MarkSeen(id)
+		}
+	case core.MsgForward:
+		n.handleForward(m)
+	case core.MsgFile:
+		n.handleFileChunk(m)
+	}
+}
+
+// handleForward services a request another node sent here: from cache
+// if present, from the local disk otherwise (caching the file — this is
+// how replication materializes).
+func (n *Node) handleForward(m *Message) {
+	id, ok := n.nameToID[m.Name]
+	if !ok {
+		return
+	}
+	if n.lru.Touch(id) {
+		n.count(func(s *NodeStats) { s.RemoteHits++ })
+		n.sendFile(m.From, m.ReqID, id, n.content[id])
+		return
+	}
+	n.count(func(s *NodeStats) { s.Replicas++ })
+	n.readDisk(m.Name, diskWaiter{peer: m.From, reqID: m.ReqID, forServe: true})
+}
+
+// handleFileChunk reassembles a file reply and answers the waiting
+// client. The initial node does not cache the file, avoiding excessive
+// replication (Section 2.2).
+func (n *Node) handleFileChunk(m *Message) {
+	p := n.pending[m.ReqID]
+	if p == nil {
+		return
+	}
+	if p.buf == nil {
+		p.buf = make([]byte, m.Total)
+	}
+	if int(m.Offset)+len(m.Data) > len(p.buf) {
+		n.count(func(s *NodeStats) { s.Errors++ })
+		delete(n.pending, m.ReqID)
+		p.req.resp <- clientResult{err: fmt.Errorf("server: corrupt file reply")}
+		return
+	}
+	copy(p.buf[m.Offset:], m.Data)
+	p.received += len(m.Data)
+	if p.received < int(m.Total) {
+		return
+	}
+	delete(n.pending, m.ReqID)
+	p.req.resp <- clientResult{data: p.buf}
+}
+
+// loadChange tracks open client connections, broadcasting under the
+// threshold strategies.
+func (n *Node) loadChange(delta int) {
+	broadcast := n.tracker.Change(delta)
+	n.loadMirror.Store(int64(n.tracker.Load()))
+	if !broadcast {
+		return
+	}
+	load := int32(n.tracker.Load())
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if p == n.id {
+			continue
+		}
+		n.send(p, &Message{Type: core.MsgLoad, Load: load})
+	}
+}
+
+// send queues a message for the send thread.
+func (n *Node) send(dst int, m *Message) {
+	m.From = n.id
+	n.sendQ.push(outMsg{dst: dst, msg: m})
+}
+
+// sendThread drains the send queue, stamping the piggy-backed load and
+// calling the (possibly blocking) transport.
+func (n *Node) sendThread() {
+	defer n.wg.Done()
+	pb := n.cfg.Dissemination.Kind == core.PiggyBack
+	for {
+		item, ok := n.sendQ.pop()
+		if !ok {
+			return
+		}
+		if item.msg.Type != core.MsgLoad {
+			if pb {
+				item.msg.Load = int32(n.loadMirror.Load())
+			} else {
+				item.msg.Load = -1
+			}
+		}
+		if err := n.transport.Send(item.dst, item.msg); err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+				n.count(func(s *NodeStats) { s.Errors++ })
+			}
+		}
+	}
+}
+
+// diskThread performs blocking disk reads so the main loop never does.
+func (n *Node) diskThread() {
+	defer n.wg.Done()
+	for {
+		job, ok := n.diskQ.pop()
+		if !ok {
+			return
+		}
+		data, err := n.store.Read(job.name)
+		select {
+		case n.diskDone <- diskDone{name: job.name, data: data, err: err}:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+func (n *Node) shutdown() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.sendQ.close()
+		n.diskQ.close()
+		n.transport.Close()
+	})
+	n.wg.Wait()
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// MsgStats returns the node's send-side message accounting.
+func (n *Node) MsgStats() core.MsgStats { return n.transport.Stats() }

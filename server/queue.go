@@ -1,0 +1,58 @@
+package server
+
+import "sync"
+
+// unboundedQueue is the shared data structure between the main loop and
+// its helper threads (Figure 2): the main loop must never block, so it
+// pushes digests here and the helper drains them at its own pace.
+type unboundedQueue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newUnboundedQueue[T any]() *unboundedQueue[T] {
+	q := &unboundedQueue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues an item; it never blocks.
+func (q *unboundedQueue[T]) push(item T) {
+	q.mu.Lock()
+	q.items = append(q.items, item)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop dequeues the next item, blocking until one is available or the
+// queue is closed (ok == false).
+func (q *unboundedQueue[T]) pop() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return item, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// close wakes all poppers; pending items are still drained first.
+func (q *unboundedQueue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// len reports the current backlog.
+func (q *unboundedQueue[T]) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"press/trace"
+)
+
+// Store is a node's local disk: the full site content, as every PRESS
+// node holds the whole document tree on its SCSI disk. Reads pay a
+// configurable artificial latency so cache locality matters even with
+// an in-memory backing store.
+type Store struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	delay time.Duration
+	reads int64
+}
+
+// NewStore builds a store holding deterministic synthetic content for
+// every file of the trace. Content is a name-seeded byte pattern, so
+// end-to-end tests can verify that the right bytes reached the client
+// no matter which node served them.
+func NewStore(t *trace.Trace, readDelay time.Duration) *Store {
+	s := &Store{files: make(map[string][]byte, len(t.Files)), delay: readDelay}
+	for _, f := range t.Files {
+		s.files[f.Name] = SynthesizeContent(f.Name, f.Size)
+	}
+	return s
+}
+
+// SynthesizeContent generates the deterministic content of a file.
+func SynthesizeContent(name string, size int64) []byte {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := h.Sum64()
+	out := make([]byte, size)
+	state := seed
+	for i := range out {
+		// xorshift64 keeps generation fast and content incompressible
+		// enough to be a fair payload.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		out[i] = byte(state)
+	}
+	return out
+}
+
+// Read returns the file content after the simulated disk delay, or an
+// error for unknown names. The returned slice is shared; callers must
+// not modify it.
+func (s *Store) Read(name string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.files[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server: no such file %q", name)
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.mu.Lock()
+	s.reads++
+	s.mu.Unlock()
+	return data, nil
+}
+
+// Size returns a file's size without touching the disk, as a server
+// learns sizes from its metadata.
+func (s *Store) Size(name string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.files[name]
+	if !ok {
+		return 0, false
+	}
+	return int64(len(data)), true
+}
+
+// Reads reports how many disk reads were served.
+func (s *Store) Reads() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reads
+}

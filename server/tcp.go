@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"press/core"
+)
+
+// tcpTransport connects the cluster over kernel TCP sockets, the
+// paper's portable baseline. Flow control is TCP's own, transparent to
+// the server (Section 2.2), so no flow messages appear on the wire.
+type tcpTransport struct {
+	self    int
+	peers   []*tcpPeer // indexed by node, nil for self
+	inbound chan *Message
+	acct    msgAccounting
+	done    chan struct{}
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	ln        net.Listener
+	copied    atomic.Int64
+}
+
+type tcpPeer struct {
+	conn net.Conn
+	mu   sync.Mutex // serializes frame writes
+}
+
+const maxFrame = 8 << 20
+
+// newTCPTransport builds node self's side of the mesh. Every node
+// listens on its own loopback address; node i dials every j > i and
+// identifies itself with a 2-byte hello, mirroring how the VIA version
+// sets up VI end-points with each other node.
+func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string) (*tcpTransport, error) {
+	t := &tcpTransport{
+		self:    self,
+		peers:   make([]*tcpPeer, nodes),
+		inbound: make(chan *Message, 1024),
+		done:    make(chan struct{}),
+		ln:      ln,
+	}
+
+	errc := make(chan error, nodes)
+	var setup sync.WaitGroup
+	// Accept connections from lower-numbered peers.
+	for i := 0; i < self; i++ {
+		setup.Add(1)
+		go func() {
+			defer setup.Done()
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("server: node %d accept: %w", self, err)
+				return
+			}
+			var hello [2]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errc <- fmt.Errorf("server: node %d hello: %w", self, err)
+				return
+			}
+			from := int(binary.LittleEndian.Uint16(hello[:]))
+			if from < 0 || from >= nodes || from == self {
+				errc <- fmt.Errorf("server: node %d: bad hello from %d", self, from)
+				return
+			}
+			t.peers[from] = &tcpPeer{conn: conn}
+		}()
+	}
+	// Dial higher-numbered peers.
+	for j := self + 1; j < nodes; j++ {
+		setup.Add(1)
+		go func(j int) {
+			defer setup.Done()
+			conn, err := net.Dial("tcp", peerAddrs[j])
+			if err != nil {
+				errc <- fmt.Errorf("server: node %d dial %d: %w", self, j, err)
+				return
+			}
+			var hello [2]byte
+			binary.LittleEndian.PutUint16(hello[:], uint16(self))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errc <- fmt.Errorf("server: node %d hello to %d: %w", self, j, err)
+				return
+			}
+			t.peers[j] = &tcpPeer{conn: conn}
+		}(j)
+	}
+	setup.Wait()
+	select {
+	case err := <-errc:
+		t.Close()
+		return nil, err
+	default:
+	}
+	for i, p := range t.peers {
+		if i == self {
+			continue
+		}
+		if p == nil {
+			t.Close()
+			return nil, fmt.Errorf("server: node %d missing connection to %d", self, i)
+		}
+		t.wg.Add(1)
+		go t.readLoop(p.conn)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) Send(dst int, m *Message) error {
+	if dst < 0 || dst >= len(t.peers) || dst == t.self {
+		return fmt.Errorf("server: bad destination %d", dst)
+	}
+	p := t.peers[dst]
+	if p == nil {
+		return fmt.Errorf("server: no connection to %d", dst)
+	}
+	frame := make([]byte, 4, 4+m.EncodedLen())
+	frame, err := m.Encode(frame)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	t.acct.add(m.Type, int64(len(frame)-4))
+	if m.Type == core.MsgFile {
+		t.copied.Add(int64(len(m.Data)))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err = p.conn.Write(frame)
+	return err
+}
+
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return // connection closed; expected at shutdown
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := DecodeMessage(buf)
+		if err != nil {
+			return
+		}
+		// Blocking here is the flow control: TCP backpressure reaches
+		// the sender when the main loop is saturated.
+		select {
+		case t.inbound <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) Inbound() <-chan *Message { return t.inbound }
+
+// CopiedBytes: the kernel TCP stack copies every payload at the sender
+// and again at the receiver; we report the send-side volume.
+func (t *tcpTransport) CopiedBytes() int64 { return t.copied.Load() }
+
+func (t *tcpTransport) Stats() core.MsgStats { return t.acct.snapshot() }
+
+func (t *tcpTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, p := range t.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		t.wg.Wait()
+		close(t.inbound)
+	})
+	return nil
+}

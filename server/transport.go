@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync"
+
+	"press/core"
+)
+
+// Transport moves Messages between cluster nodes. Implementations:
+// kernel TCP over loopback (tcpTransport) and software VIA
+// (viaTransport) with regular or remote-memory-write channels.
+type Transport interface {
+	// Send delivers m to node dst. It may block on flow control or
+	// transport backpressure, so the node calls it from its send
+	// helper goroutine, never from the main loop (Figure 2).
+	Send(dst int, m *Message) error
+	// Inbound is the merged stream of messages from all peers, fed by
+	// the transport's receive machinery.
+	Inbound() <-chan *Message
+	// Stats snapshots the per-type message accounting.
+	Stats() core.MsgStats
+	// CopiedBytes reports the payload bytes the server had to copy
+	// beyond the transfer itself: staging copies at senders and the
+	// copy-to-another-buffer at receivers. Zero-copy versions eliminate
+	// them (Section 3.4). The TCP transport reports the bytes handed to
+	// the kernel, which copies at both ends.
+	CopiedBytes() int64
+	// Close tears the transport down; Inbound is closed afterwards.
+	Close() error
+}
+
+// msgAccounting is thread-safe per-type message counting.
+type msgAccounting struct {
+	mu    sync.Mutex
+	stats core.MsgStats
+}
+
+func (a *msgAccounting) add(t core.MsgType, bytes int64) {
+	a.mu.Lock()
+	a.stats.Add(t, bytes)
+	a.mu.Unlock()
+}
+
+func (a *msgAccounting) snapshot() core.MsgStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// creditGate implements the sender half of window-based flow control:
+// at most window messages in flight per channel, unblocked by credits
+// that arrive either as explicit flow messages or as a consumed counter
+// remote-memory-written into the sender's registered region.
+type creditGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	window   int64
+	sent     int64
+	consumed int64
+	closed   bool
+}
+
+func newCreditGate(window int) *creditGate {
+	g := &creditGate{window: int64(window)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire blocks until a window slot is free, then claims it. It
+// reports false if the gate was closed.
+func (g *creditGate) acquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.sent-g.consumed >= g.window && !g.closed {
+		g.cond.Wait()
+	}
+	if g.closed {
+		return false
+	}
+	g.sent++
+	return true
+}
+
+// credit grants n slots back (explicit flow message).
+func (g *creditGate) credit(n int64) {
+	g.mu.Lock()
+	g.consumed += n
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// setConsumed installs an absolute consumed counter (RMW flow control:
+// the receiver writes its cumulative count into the sender's memory).
+func (g *creditGate) setConsumed(v int64) {
+	g.mu.Lock()
+	if v > g.consumed {
+		g.consumed = v
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// close releases all waiters.
+func (g *creditGate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+func (g *creditGate) sentCount() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sent
+}

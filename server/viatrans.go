@@ -1,0 +1,502 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"press/core"
+	"press/netmodel"
+	"press/via"
+)
+
+// viaTransport connects the cluster over the software VIA of
+// internal/via, mirroring PRESS's communication architecture
+// (Section 2.2): VI end-points with each other node, a receive thread
+// blocked on a completion queue, window-based flow control, and — per
+// the version matrix of Table 3 — remote-memory-write circular buffers
+// for control messages and file transfers, with optional zero-copy.
+type viaTransport struct {
+	cfg     viaConfig
+	nic     *via.NIC
+	ln      *via.Listener
+	peers   []*viaPeer
+	inbound chan *Message
+	recvCQ  *via.CompletionQueue
+	acct    msgAccounting
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	copied    atomic.Int64
+}
+
+// viaConfig is the transport slice of the server configuration.
+type viaConfig struct {
+	self       int
+	nodes      int
+	version    netmodel.Version
+	loadViaRMW bool
+	window     int
+	batch      int
+	chunk      int
+	fileRing   int
+}
+
+type viaPeer struct {
+	id    int
+	vi    *via.VI
+	ready chan struct{}
+
+	// Regular channel.
+	sendMu   sync.Mutex
+	regStage *via.MemoryRegion
+	regGate  *creditGate
+	// Receive-side bookkeeping (owned by the receive thread).
+	consumed int64
+
+	// Per-descriptor backing buffers for posted receives.
+	recvRegions map[*via.Descriptor]*via.MemoryRegion
+
+	// Remote-memory-write machinery (always allocated; used per the
+	// version's style flags).
+	ringStage *via.MemoryRegion // slot staging for control-ring writes
+	metaStage *via.MemoryRegion // metadata staging for file-ring writes
+	fileStage *via.MemoryRegion // payload staging for 1-copy file sends
+
+	flowIn *via.MemoryRegion // peers write consumed counters here
+	inCtrl *rmwRingIn
+	inFile *fileRingIn
+
+	peerMu         sync.Mutex
+	outCtrl        *rmwRingOut  // set once the peer's setup frame arrives
+	outFile        *fileRingOut // "
+	peerFlowHandle via.Handle
+	ackMu          sync.Mutex
+	ackReg         *via.MemoryRegion
+	regAcked       int64
+}
+
+const setupMagic = 0xFF
+
+func newViaTransport(nic *via.NIC, cfg viaConfig) (*viaTransport, error) {
+	t := &viaTransport{
+		cfg:     cfg,
+		nic:     nic,
+		inbound: make(chan *Message, 1024),
+		done:    make(chan struct{}),
+		peers:   make([]*viaPeer, cfg.nodes),
+	}
+	cq, err := via.NewCompletionQueue(cfg.nodes * (cfg.window + 16))
+	if err != nil {
+		return nil, err
+	}
+	t.recvCQ = cq
+	t.ln, err = nic.Listen(fmt.Sprintf("press-%d", cfg.self))
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// connect establishes the VI mesh: this node accepts from lower-indexed
+// peers and dials higher-indexed ones, then exchanges setup frames
+// carrying the memory handles of the remote-write buffers.
+func (t *viaTransport) connect(addrs []string) error {
+	errc := make(chan error, t.cfg.nodes)
+	var setup sync.WaitGroup
+	for range make([]struct{}, t.cfg.self) {
+		setup.Add(1)
+		go func() {
+			defer setup.Done()
+			// Memory is registered and receive descriptors posted
+			// before the connection exists, so the peer's first frame
+			// always finds a descriptor.
+			p, err := t.newPeer()
+			if err != nil {
+				errc <- err
+				return
+			}
+			remote, err := t.ln.Accept(p.vi)
+			if err != nil {
+				errc <- err
+				return
+			}
+			id, err := nodeIndex(remote, addrs)
+			if err != nil {
+				errc <- err
+				return
+			}
+			p.id = id
+			t.peers[id] = p
+			errc <- nil
+		}()
+	}
+	for j := t.cfg.self + 1; j < t.cfg.nodes; j++ {
+		setup.Add(1)
+		go func(j int) {
+			defer setup.Done()
+			p, err := t.newPeer()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := p.vi.Connect(addrs[j], fmt.Sprintf("press-%d", j)); err != nil {
+				errc <- err
+				return
+			}
+			p.id = j
+			t.peers[j] = p
+			errc <- nil
+		}(j)
+	}
+	setup.Wait()
+	for i := 0; i < t.cfg.nodes-1; i++ {
+		if err := <-errc; err != nil {
+			t.Close()
+			return err
+		}
+	}
+	// Receive machinery first, then announce our buffers to each peer.
+	t.wg.Add(2)
+	go t.recvThread()
+	go t.pollThread()
+	for id, p := range t.peers {
+		if id == t.cfg.self || p == nil {
+			continue
+		}
+		if err := t.sendSetup(p); err != nil {
+			t.Close()
+			return err
+		}
+	}
+	// Wait for every peer's setup frame.
+	for id, p := range t.peers {
+		if id == t.cfg.self || p == nil {
+			continue
+		}
+		select {
+		case <-p.ready:
+		case <-time.After(rmwWaitTimeout):
+			t.Close()
+			return fmt.Errorf("server: node %d: no setup frame from %d", t.cfg.self, id)
+		case <-t.done:
+			return via.ErrClosed
+		}
+	}
+	return nil
+}
+
+func nodeIndex(addr string, addrs []string) (int, error) {
+	for i, a := range addrs {
+		if a == addr {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("server: unknown fabric address %q", addr)
+}
+
+func (t *viaTransport) newVI() (*via.VI, error) {
+	vi, err := t.nic.CreateVI(via.ReliableDelivery, 2*t.cfg.window+16)
+	if err != nil {
+		return nil, err
+	}
+	vi.SetRecvCQ(t.recvCQ)
+	return vi, nil
+}
+
+// newPeer allocates and registers all per-peer memory — receive
+// buffers for the regular channel, staging areas, the inbound control
+// and file rings, and the flow-counter region — and posts the receive
+// descriptors, all before the VI connects.
+func (t *viaTransport) newPeer() (*viaPeer, error) {
+	vi, err := t.newVI()
+	if err != nil {
+		return nil, err
+	}
+	regMsgBuf := t.cfg.chunk + msgHeaderLen + maxNameLen + 64
+	p := &viaPeer{
+		id:          -1,
+		vi:          vi,
+		ready:       make(chan struct{}),
+		regGate:     newCreditGate(t.cfg.window),
+		recvRegions: make(map[*via.Descriptor]*via.MemoryRegion),
+	}
+	if p.regStage, err = t.nic.RegisterMemory(make([]byte, regMsgBuf)); err != nil {
+		return nil, err
+	}
+	if p.ringStage, err = t.nic.RegisterMemory(make([]byte, ctrlSlotSize)); err != nil {
+		return nil, err
+	}
+	if p.metaStage, err = t.nic.RegisterMemory(make([]byte, fileMetaSlotSize)); err != nil {
+		return nil, err
+	}
+	if p.fileStage, err = t.nic.RegisterMemory(make([]byte, t.cfg.fileRing)); err != nil {
+		return nil, err
+	}
+	if p.ackReg, err = t.nic.RegisterMemory(make([]byte, flowRegionSize)); err != nil {
+		return nil, err
+	}
+	flowIn, err := t.nic.RegisterMemory(make([]byte, flowRegionSize))
+	if err != nil {
+		return nil, err
+	}
+	flowIn.EnableRemoteWrite()
+	p.flowIn = flowIn
+	ctrlIn, err := t.nic.RegisterMemory(make([]byte, ctrlSlots*ctrlSlotSize))
+	if err != nil {
+		return nil, err
+	}
+	p.inCtrl = newRingIn(ctrlIn)
+	metaIn, err := t.nic.RegisterMemory(make([]byte, fileMetaSlots*fileMetaSlotSize))
+	if err != nil {
+		return nil, err
+	}
+	dataIn, err := t.nic.RegisterMemory(make([]byte, t.cfg.fileRing))
+	if err != nil {
+		return nil, err
+	}
+	p.inFile = newFileRingIn(metaIn, dataIn)
+
+	// Post the regular channel's receive descriptors: window data slots
+	// plus slack for flow-control and setup messages.
+	for i := 0; i < t.cfg.window+8; i++ {
+		region, err := t.nic.RegisterMemory(make([]byte, regMsgBuf))
+		if err != nil {
+			return nil, err
+		}
+		d := via.MustDescriptor(via.Segment{Region: region, Offset: 0, Len: regMsgBuf})
+		p.recvRegions[d] = region
+		if err := vi.PostRecv(d); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// sendSetup announces this node's buffer handles to the peer.
+func (t *viaTransport) sendSetup(p *viaPeer) error {
+	var frame [1 + 4*4 + 8]byte
+	frame[0] = setupMagic
+	binary.LittleEndian.PutUint32(frame[1:], uint32(p.flowIn.Handle()))
+	binary.LittleEndian.PutUint32(frame[5:], uint32(p.inCtrl.region.Handle()))
+	binary.LittleEndian.PutUint32(frame[9:], uint32(p.inFile.meta.Handle()))
+	binary.LittleEndian.PutUint32(frame[13:], uint32(p.inFile.data.Handle()))
+	binary.LittleEndian.PutUint64(frame[17:], uint64(t.cfg.fileRing))
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return t.rawSend(p, frame[:])
+}
+
+// rawSend stages and sends one frame over the regular channel; caller
+// holds sendMu.
+func (t *viaTransport) rawSend(p *viaPeer, frame []byte) error {
+	if err := p.regStage.Write(frame, 0); err != nil {
+		return err
+	}
+	d := via.MustDescriptor(via.Segment{Region: p.regStage, Offset: 0, Len: len(frame)})
+	if err := t.postSendRetry(p.vi, d); err != nil {
+		return err
+	}
+	return d.Wait(rmwWaitTimeout)
+}
+
+// postSendRetry retries briefly when the send queue is momentarily
+// full (flow control keeps this rare).
+func (t *viaTransport) postSendRetry(vi *via.VI, d *via.Descriptor) error {
+	for {
+		err := vi.PostSend(d)
+		if !errors.Is(err, via.ErrQueueFull) {
+			return err
+		}
+		select {
+		case <-t.done:
+			return via.ErrClosed
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+// style returns the configured style for a message type.
+func (t *viaTransport) style(mt core.MsgType) netmodel.Style {
+	switch mt {
+	case core.MsgForward:
+		return t.cfg.version.Forward
+	case core.MsgCaching:
+		return t.cfg.version.Caching
+	case core.MsgFile:
+		return t.cfg.version.File
+	case core.MsgFlow:
+		return t.cfg.version.Flow
+	case core.MsgLoad:
+		if t.cfg.loadViaRMW {
+			return netmodel.StyleRMW
+		}
+		return netmodel.StyleRegular
+	default:
+		return netmodel.StyleRegular
+	}
+}
+
+func (t *viaTransport) Send(dst int, m *Message) error {
+	if dst < 0 || dst >= len(t.peers) || dst == t.cfg.self {
+		return fmt.Errorf("server: bad destination %d", dst)
+	}
+	p := t.peers[dst]
+	if p == nil {
+		return fmt.Errorf("server: no channel to %d", dst)
+	}
+	select {
+	case <-p.ready:
+	case <-t.done:
+		return via.ErrClosed
+	}
+	m.From = t.cfg.self
+	if t.style(m.Type) == netmodel.StyleRMW {
+		if m.Type == core.MsgFile {
+			return t.sendFileRMW(p, m)
+		}
+		return t.sendCtrlRMW(p, m)
+	}
+	if m.Type == core.MsgFile && len(m.Data) > t.cfg.chunk {
+		return t.sendFileChunked(p, m)
+	}
+	return t.sendRegular(p, m, m.Type != core.MsgFlow)
+}
+
+// sendRegular transfers one message over the send/receive channel;
+// data messages consume a flow-control credit, flow messages ride the
+// reserved slack.
+func (t *viaTransport) sendRegular(p *viaPeer, m *Message, takeCredit bool) error {
+	if takeCredit && !p.regGate.acquire() {
+		return via.ErrClosed
+	}
+	frame := make([]byte, 0, m.EncodedLen())
+	frame, err := m.Encode(frame)
+	if err != nil {
+		return err
+	}
+	t.acct.add(m.Type, int64(len(frame)))
+	if m.Type == core.MsgFile {
+		// Regular messages stage the payload into the registered send
+		// buffer: the sender-side copy of versions 0-2.
+		t.copied.Add(int64(len(m.Data)))
+	}
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return t.rawSend(p, frame)
+}
+
+// sendFileChunked splits a large file over multiple regular messages.
+func (t *viaTransport) sendFileChunked(p *viaPeer, m *Message) error {
+	total := len(m.Data)
+	for off := 0; off < total; off += t.cfg.chunk {
+		end := off + t.cfg.chunk
+		if end > total {
+			end = total
+		}
+		chunk := &Message{
+			Type: core.MsgFile, From: m.From, Load: m.Load, ReqID: m.ReqID,
+			Data: m.Data[off:end], Offset: uint32(off), Total: uint32(total),
+		}
+		if err := t.sendRegular(p, chunk, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendCtrlRMW writes a control message into the peer's circular buffer.
+func (t *viaTransport) sendCtrlRMW(p *viaPeer, m *Message) error {
+	frame := make([]byte, 0, m.EncodedLen())
+	frame, err := m.Encode(frame)
+	if err != nil {
+		return err
+	}
+	t.acct.add(m.Type, int64(len(frame)))
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	out := p.ring()
+	if out == nil {
+		return via.ErrClosed
+	}
+	return out.write(p.vi, p.ringStage, 0, frame)
+}
+
+// sendFileRMW transfers a file with remote memory writes: the data into
+// the peer's large circular buffer, then a metadata message into the
+// small one. Under zero-copy transmit (version 5) the data is written
+// straight from the registered cache page; otherwise it is staged first
+// (the sender-side copy of versions 0-4).
+func (t *viaTransport) sendFileRMW(p *viaPeer, m *Message) error {
+	t.acct.add(core.MsgFile, int64(len(m.Data)))
+	t.acct.add(core.MsgFile, core.FileMetaBytes)
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	out := p.fileRing()
+	if out == nil {
+		return via.ErrClosed
+	}
+	src := m.SrcRegion
+	srcOff := m.SrcOffset
+	if !t.cfg.version.ZeroCopyTX || src == nil {
+		// Sender-side staging copy, eliminated by version 5's
+		// registration of all cached pages.
+		if err := p.fileStage.Write(m.Data, 0); err != nil {
+			return err
+		}
+		t.copied.Add(int64(len(m.Data)))
+		src, srcOff = p.fileStage, 0
+	}
+	return out.write(p.vi, p.metaStage, 0, src, srcOff, len(m.Data), m.ReqID)
+}
+
+func (p *viaPeer) ring() *rmwRingOut {
+	p.peerMu.Lock()
+	defer p.peerMu.Unlock()
+	return p.outCtrl
+}
+
+func (p *viaPeer) fileRing() *fileRingOut {
+	p.peerMu.Lock()
+	defer p.peerMu.Unlock()
+	return p.outFile
+}
+
+func (t *viaTransport) Inbound() <-chan *Message { return t.inbound }
+
+func (t *viaTransport) Stats() core.MsgStats { return t.acct.snapshot() }
+
+// CopiedBytes reports staging and receive-side copies of file payloads;
+// version 5 drives it to zero.
+func (t *viaTransport) CopiedBytes() int64 { return t.copied.Load() }
+
+func (t *viaTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.regGate.close()
+			p.peerMu.Lock()
+			if p.outCtrl != nil {
+				p.outCtrl.gate.close()
+			}
+			if p.outFile != nil {
+				p.outFile.metaGate.close()
+				p.outFile.dataGate.close()
+			}
+			p.peerMu.Unlock()
+		}
+		t.ln.Close()
+		t.recvCQ.Close()
+		t.nic.Close()
+		t.wg.Wait()
+		close(t.inbound)
+	})
+	return nil
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders horizontal ASCII bars, the harness's stand-in for
+// the paper's bar figures. Bars are scaled to the maximum value.
+type BarChart struct {
+	width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart whose longest bar spans width characters
+// (minimum 10; default 50 when width <= 0).
+func NewBarChart(width int) *BarChart {
+	if width <= 0 {
+		width = 50
+	}
+	if width < 10 {
+		width = 10
+	}
+	return &BarChart{width: width}
+}
+
+// Add appends one labeled bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label: label, value: value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	if len(c.rows) == 0 {
+		return ""
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	var b strings.Builder
+	for _, r := range c.rows {
+		n := 0
+		if maxVal > 0 && r.value > 0 {
+			n = int(r.value / maxVal * float64(c.width))
+			if n == 0 {
+				n = 1
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.1f\n", labelW, r.label, strings.Repeat("█", n), r.value)
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+// Package stats provides the small statistics and text-reporting
+// utilities shared by the experiment harnesses: online mean/variance
+// accumulators, human-readable unit formatting, and fixed-width text
+// tables matching the layout of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Welford accumulates a running mean and variance using Welford's
+// algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 with fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b int64) string {
+	const unit = 1024
+	switch {
+	case b >= unit*unit*unit:
+		return fmt.Sprintf("%.1f GB", float64(b)/(unit*unit*unit))
+	case b >= unit*unit:
+		return fmt.Sprintf("%.1f MB", float64(b)/(unit*unit))
+	case b >= unit:
+		return fmt.Sprintf("%.1f KB", float64(b)/unit)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FormatCount renders a count with K/M suffixes, as in the paper's
+// message tables ("Num msgs (K)").
+func FormatCount(n int64) string {
+	switch {
+	case n >= 1000000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Table is a fixed-width text table builder for harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v except float64, which uses %.1f.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns. Numeric-looking cells
+// are right-aligned, text cells left-aligned.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if numericCell(c) {
+				b.WriteString(strings.Repeat(" ", w-len(c)))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				if i < len(widths)-1 {
+					b.WriteString(strings.Repeat(" ", w-len(c)))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func numericCell(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' || r == '-' || r == '+' || r == '%' || r == 'K' || r == 'M' || r == 'x':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}

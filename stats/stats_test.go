@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("std = %v", w.Std())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 {
+		t.Errorf("mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	check := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-v) < 1e-6*(1+v)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2048, "2.0 KB"},
+		{3 * 1024 * 1024, "3.0 MB"},
+		{5 * 1024 * 1024 * 1024, "5.0 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{7, "7"},
+		{999, "999"},
+		{1500, "1.5K"},
+		{2978121, "3.0M"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.in); got != c.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Trace", "Throughput", "Gain")
+	tb.AddRowf("clarknet", 4813.2, "29%")
+	tb.AddRow("forth", "3000")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Throughput") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "4813.2") || !strings.Contains(lines[2], "29%") {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+	// Short row padded without panic.
+	if !strings.Contains(lines[3], "forth") {
+		t.Errorf("row 2 = %q", lines[3])
+	}
+}
+
+func TestNumericCell(t *testing.T) {
+	for s, want := range map[string]bool{
+		"123":   true,
+		"1.5K":  true,
+		"-3.2":  true,
+		"29%":   true,
+		"":      false,
+		"trace": false,
+		"v1.2x": false, // contains letters beyond suffixes
+		"--":    false,
+	} {
+		if got := numericCell(s); got != want {
+			t.Errorf("numericCell(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart(20)
+	c.Add("TCP/FE", 4800)
+	c.Add("TCP/cLAN", 4900)
+	c.Add("VIA/cLAN", 5800)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The largest value gets the longest bar.
+	if !strings.Contains(lines[2], strings.Repeat("█", 20)) {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	if strings.Count(lines[0], "█") >= strings.Count(lines[2], "█") {
+		t.Errorf("smaller value drew a longer bar")
+	}
+	if !strings.Contains(lines[0], "4800.0") {
+		t.Errorf("value missing: %q", lines[0])
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	if out := NewBarChart(0).String(); out != "" {
+		t.Errorf("empty chart rendered %q", out)
+	}
+	c := NewBarChart(5) // clamped up to 10
+	c.Add("zero", 0)
+	c.Add("tiny", 0.0001)
+	c.Add("big", 100)
+	out := c.String()
+	if !strings.Contains(out, "zero") || !strings.Contains(out, "tiny") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	// A non-zero value always draws at least one block.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "█") {
+			t.Errorf("tiny value has no bar: %q", line)
+		}
+	}
+}

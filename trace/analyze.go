@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Popularity summarizes the request distribution of a trace.
+type Popularity struct {
+	// Alpha is the fitted Zipf-like exponent: request counts follow
+	// count(rank) ~ rank^-alpha (WWW workloads: alpha < 1, typically
+	// around 0.8 per Breslau et al., which the paper's model adopts).
+	Alpha float64
+	// R2 is the goodness of fit of the log-log regression.
+	R2 float64
+	// DistinctFiles is the number of files requested at least once.
+	DistinctFiles int
+	// Top10Share is the fraction of requests going to the most popular
+	// 10% of requested files — a quick skew indicator.
+	Top10Share float64
+}
+
+// AnalyzePopularity fits a Zipf-like exponent to the trace's request
+// stream by ordinary least squares on log(count) vs log(rank). Files
+// with fewer than two requests are excluded from the fit (the tail of
+// an empirical Zipf sample flattens into singletons and would bias
+// alpha down).
+func (t *Trace) AnalyzePopularity() (Popularity, error) {
+	if len(t.Requests) == 0 {
+		return Popularity{}, fmt.Errorf("trace: no requests to analyze")
+	}
+	counts := make(map[int32]int)
+	for _, ri := range t.Requests {
+		counts[ri]++
+	}
+	ordered := make([]int, 0, len(counts))
+	for _, c := range counts {
+		ordered = append(ordered, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ordered)))
+
+	var p Popularity
+	p.DistinctFiles = len(ordered)
+	topN := (len(ordered) + 9) / 10
+	top := 0
+	for _, c := range ordered[:topN] {
+		top += c
+	}
+	p.Top10Share = float64(top) / float64(len(t.Requests))
+
+	// OLS over log-log points with count >= 2.
+	var n int
+	var sx, sy, sxx, sxy, syy float64
+	for rank, c := range ordered {
+		if c < 2 {
+			break
+		}
+		x := math.Log(float64(rank + 1))
+		y := math.Log(float64(c))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+		n++
+	}
+	if n < 3 {
+		return p, fmt.Errorf("trace: too few repeated files (%d) to fit alpha", n)
+	}
+	fn := float64(n)
+	denom := fn*sxx - sx*sx
+	if denom == 0 {
+		return p, fmt.Errorf("trace: degenerate popularity distribution")
+	}
+	slope := (fn*sxy - sx*sy) / denom
+	p.Alpha = -slope
+	// R^2 of the regression.
+	ssTot := syy - sy*sy/fn
+	ssRes := ssTot - slope*(sxy-sx*sy/fn)
+	if ssTot > 0 {
+		p.R2 = 1 - ssRes/ssTot
+	}
+	return p, nil
+}

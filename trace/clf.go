@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCLF reads a WWW server log in Common Log Format and builds a
+// trace, mirroring the paper's preprocessing: incomplete requests (non-2xx
+// status, missing size, or truncated transfers marked "-") are dropped,
+// and only GET requests for static content are kept.
+//
+// A CLF line looks like:
+//
+//	host ident authuser [date] "GET /path HTTP/1.0" status bytes
+//
+// A file's size is taken as the largest successful transfer size observed
+// for its path (real logs frequently log partial transfers).
+func ParseCLF(name string, r io.Reader) (*Trace, error) {
+	t := &Trace{Name: name}
+	index := make(map[string]int32)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		path, size, ok := parseCLFLine(sc.Text())
+		if !ok {
+			continue
+		}
+		fi, seen := index[path]
+		if !seen {
+			fi = int32(len(t.Files))
+			index[path] = fi
+			t.Files = append(t.Files, File{Name: path, Size: size})
+		} else if size > t.Files[fi].Size {
+			t.Files[fi].Size = size
+		}
+		t.Requests = append(t.Requests, fi)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading CLF at line %d: %w", lineNo, err)
+	}
+	if len(t.Files) == 0 {
+		return nil, fmt.Errorf("trace: no complete GET requests found in %s", name)
+	}
+	return t, nil
+}
+
+// parseCLFLine extracts (path, bytes) from one CLF line, reporting ok =
+// false for malformed lines and requests the paper's methodology drops.
+func parseCLFLine(line string) (path string, size int64, ok bool) {
+	// Find the quoted request section.
+	q1 := strings.IndexByte(line, '"')
+	if q1 < 0 {
+		return "", 0, false
+	}
+	q2 := strings.IndexByte(line[q1+1:], '"')
+	if q2 < 0 {
+		return "", 0, false
+	}
+	q2 += q1 + 1
+	request := line[q1+1 : q2]
+	rest := strings.Fields(line[q2+1:])
+	if len(rest) < 2 {
+		return "", 0, false
+	}
+	status, err := strconv.Atoi(rest[0])
+	if err != nil || status < 200 || status >= 300 {
+		return "", 0, false
+	}
+	if rest[1] == "-" {
+		return "", 0, false
+	}
+	size, err = strconv.ParseInt(rest[1], 10, 64)
+	if err != nil || size <= 0 {
+		return "", 0, false
+	}
+	parts := strings.Fields(request)
+	if len(parts) < 2 || parts[0] != "GET" {
+		return "", 0, false
+	}
+	path = parts[1]
+	// Strip query strings: the paper studies static content.
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" || path[0] != '/' {
+		return "", 0, false
+	}
+	return path, size, true
+}

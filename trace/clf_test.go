@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCLF = `host1 - - [01/Mar/2000:00:00:01 -0500] "GET /index.html HTTP/1.0" 200 5120
+host2 - - [01/Mar/2000:00:00:02 -0500] "GET /a/b.gif HTTP/1.0" 200 2048
+host1 - - [01/Mar/2000:00:00:03 -0500] "GET /index.html HTTP/1.0" 200 5120
+host3 - - [01/Mar/2000:00:00:04 -0500] "GET /missing.html HTTP/1.0" 404 312
+host3 - - [01/Mar/2000:00:00:05 -0500] "POST /cgi-bin/form HTTP/1.0" 200 99
+host4 - - [01/Mar/2000:00:00:06 -0500] "GET /a/b.gif HTTP/1.0" 200 -
+host5 - - [01/Mar/2000:00:00:07 -0500] "GET /big.tar HTTP/1.0" 200 100000
+host5 - - [01/Mar/2000:00:00:08 -0500] "GET /big.tar HTTP/1.0" 200 250000
+host6 - - [01/Mar/2000:00:00:09 -0500] "GET /page?x=1 HTTP/1.0" 200 700
+garbage line without quotes
+host7 - - [01/Mar/2000:00:00:10 -0500] "GET /index.html HTTP/1.0" 304 0
+`
+
+func TestParseCLF(t *testing.T) {
+	tr, err := ParseCLF("sample", strings.NewReader(sampleCLF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Complete GETs: index.html x2, b.gif x1 (the "-" one dropped),
+	// big.tar x2, page x1 (query stripped). 404, POST, garbage, 304-with-0
+	// are all dropped.
+	if got := len(tr.Requests); got != 6 {
+		t.Fatalf("requests = %d, want 6", got)
+	}
+	if got := len(tr.Files); got != 4 {
+		t.Fatalf("files = %d, want 4", got)
+	}
+	sizes := map[string]int64{}
+	for _, f := range tr.Files {
+		sizes[f.Name] = f.Size
+	}
+	if sizes["/index.html"] != 5120 {
+		t.Errorf("/index.html size = %d", sizes["/index.html"])
+	}
+	// big.tar keeps the larger of the two observed sizes.
+	if sizes["/big.tar"] != 250000 {
+		t.Errorf("/big.tar size = %d, want 250000", sizes["/big.tar"])
+	}
+	if _, ok := sizes["/page"]; !ok {
+		t.Error("query string not stripped to /page")
+	}
+}
+
+func TestParseCLFEmpty(t *testing.T) {
+	if _, err := ParseCLF("empty", strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty log")
+	}
+	if _, err := ParseCLF("junk", strings.NewReader("404 nothing here\n")); err == nil {
+		t.Fatal("expected error for log with no complete requests")
+	}
+}
+
+func TestParseCLFLineEdgeCases(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+	}{
+		{`h - - [d] "GET /x HTTP/1.0" 200 10`, true},
+		{`h - - [d] "GET /x HTTP/1.0" 206 10`, true}, // partial content is 2xx
+		{`h - - [d] "GET /x HTTP/1.0" 301 10`, false},
+		{`h - - [d] "HEAD /x HTTP/1.0" 200 10`, false},
+		{`h - - [d] "GET x HTTP/1.0" 200 10`, false},  // path must start with /
+		{`h - - [d] "GET /x HTTP/1.0" 200 0`, false},  // zero bytes
+		{`h - - [d] "GET /x HTTP/1.0" abc 10`, false}, // bad status
+		{`h - - [d] "GET /x HTTP/1.0" 200`, false},    // missing size
+		{`h - - [d] "GET" 200 10`, false},             // short request
+		{`no quotes at all 200 10`, false},            //
+		{`h - - [d] "GET /x?q=2 HTTP/1.0" 200 5`, true},
+	}
+	for _, c := range cases {
+		_, _, ok := parseCLFLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseCLFLine(%q) ok=%v, want %v", c.line, ok, c.ok)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a magic string, a format version, then
+// varint-encoded counts, file records (name length, name bytes, size),
+// and delta-free request indices. The format is self-contained and
+// stdlib-only so traces can be synthesized once and replayed by any tool.
+const (
+	traceMagic   = "PRESSTRC"
+	traceVersion = 1
+)
+
+// WriteTo serializes the trace in the binary trace format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	buf := make([]byte, binary.MaxVarintLen64)
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	if _, err := io.WriteString(cw, traceMagic); err != nil {
+		return cw.n, err
+	}
+	if err := putUvarint(traceVersion); err != nil {
+		return cw.n, err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return cw.n, err
+	}
+	if _, err := io.WriteString(cw, t.Name); err != nil {
+		return cw.n, err
+	}
+	if err := putUvarint(uint64(len(t.Files))); err != nil {
+		return cw.n, err
+	}
+	for _, f := range t.Files {
+		if err := putUvarint(uint64(len(f.Name))); err != nil {
+			return cw.n, err
+		}
+		if _, err := io.WriteString(cw, f.Name); err != nil {
+			return cw.n, err
+		}
+		if err := putUvarint(uint64(f.Size)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := putUvarint(uint64(len(t.Requests))); err != nil {
+		return cw.n, err
+	}
+	for _, ri := range t.Requests {
+		if err := putUvarint(uint64(ri)); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo, replacing t.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<16)}
+	br := cr.r.(*bufio.Reader)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return cr.n, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return cr.n, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	readUvarint := func() (uint64, error) {
+		v, err := binary.ReadUvarint(&trackedByteReader{br: br, cr: cr})
+		return v, err
+	}
+	version, err := readUvarint()
+	if err != nil {
+		return cr.n, err
+	}
+	if version != traceVersion {
+		return cr.n, fmt.Errorf("trace: unsupported format version %d", version)
+	}
+	nameLen, err := readUvarint()
+	if err != nil {
+		return cr.n, err
+	}
+	const maxName = 1 << 20
+	if nameLen > maxName {
+		return cr.n, fmt.Errorf("trace: name length %d too large", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, nameBuf); err != nil {
+		return cr.n, err
+	}
+	nFiles, err := readUvarint()
+	if err != nil {
+		return cr.n, err
+	}
+	const maxFiles = 1 << 28
+	if nFiles > maxFiles {
+		return cr.n, fmt.Errorf("trace: file count %d too large", nFiles)
+	}
+	files := make([]File, nFiles)
+	for i := range files {
+		l, err := readUvarint()
+		if err != nil {
+			return cr.n, err
+		}
+		if l > maxName {
+			return cr.n, fmt.Errorf("trace: file name length %d too large", l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(cr, b); err != nil {
+			return cr.n, err
+		}
+		size, err := readUvarint()
+		if err != nil {
+			return cr.n, err
+		}
+		files[i] = File{Name: string(b), Size: int64(size)}
+	}
+	nReqs, err := readUvarint()
+	if err != nil {
+		return cr.n, err
+	}
+	const maxReqs = 1 << 32
+	if nReqs > maxReqs {
+		return cr.n, fmt.Errorf("trace: request count %d too large", nReqs)
+	}
+	reqs := make([]int32, nReqs)
+	for i := range reqs {
+		v, err := readUvarint()
+		if err != nil {
+			return cr.n, err
+		}
+		if v >= nFiles {
+			return cr.n, fmt.Errorf("trace: request %d references file %d of %d", i, v, nFiles)
+		}
+		reqs[i] = int32(v)
+	}
+	t.Name = string(nameBuf)
+	t.Files = files
+	t.Requests = reqs
+	return cr.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// trackedByteReader lets binary.ReadUvarint pull single bytes from the
+// buffered reader while keeping the byte count accurate.
+type trackedByteReader struct {
+	br *bufio.Reader
+	cr *countingReader
+}
+
+func (t *trackedByteReader) ReadByte() (byte, error) {
+	b, err := t.br.ReadByte()
+	if err == nil {
+		t.cr.n++
+	}
+	return b, err
+}

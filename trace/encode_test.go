@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	orig := MustSynthesize(Spec{Name: "rt", NumFiles: 300, AvgFileKB: 12,
+		NumRequests: 5000, AvgReqKB: 9, Seed: 21})
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+
+	var got Trace
+	rn, err := got.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != n {
+		t.Errorf("ReadFrom consumed %d bytes, wrote %d", rn, n)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q != %q", got.Name, orig.Name)
+	}
+	if len(got.Files) != len(orig.Files) || len(got.Requests) != len(orig.Requests) {
+		t.Fatal("lengths differ after round trip")
+	}
+	for i := range orig.Files {
+		if got.Files[i] != orig.Files[i] {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+	for i := range orig.Requests {
+		if got.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestReadFromRejectsBadMagic(t *testing.T) {
+	var tr Trace
+	if _, err := tr.ReadFrom(strings.NewReader("NOTATRACE-really")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestReadFromRejectsTruncated(t *testing.T) {
+	orig := MustSynthesize(Spec{Name: "tr", NumFiles: 10, AvgFileKB: 2,
+		NumRequests: 50, AvgReqKB: 2, Seed: 5})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{1, len(traceMagic), len(data) / 2, len(data) - 1} {
+		var tr Trace
+		if _, err := tr.ReadFrom(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestReadFromRejectsBadRequestIndex(t *testing.T) {
+	// Handcraft a trace whose request index is out of range, then ensure
+	// the decoder rejects it rather than producing a corrupt trace.
+	orig := &Trace{Name: "x", Files: []File{{Name: "/a", Size: 10}},
+		Requests: []int32{0}}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The final varint is the request index 0; bump it to 7.
+	data[len(data)-1] = 7
+	var tr Trace
+	if _, err := tr.ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Fatal("out-of-range request index not rejected")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tr := MustSynthesize(Spec{Name: "bench", NumFiles: 1000, AvgFileKB: 14,
+		NumRequests: 100000, AvgReqKB: 10, Seed: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

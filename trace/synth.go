@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"press/zipfdist"
+)
+
+// Spec describes a synthetic trace to generate. The four paper traces
+// are available as Table1Specs.
+type Spec struct {
+	Name        string
+	NumFiles    int
+	AvgFileKB   float64 // target average file size, KBytes
+	NumRequests int
+	AvgReqKB    float64 // target average requested-file size, KBytes
+	Alpha       float64 // Zipf-like exponent; 0.8 if zero
+	Seed        int64   // deterministic generation seed
+	// SigmaLog is the log-normal shape parameter for file sizes;
+	// 1.1 if zero (heavy-tailed, typical of WWW file populations).
+	SigmaLog float64
+}
+
+// Table1Specs returns specs for the four traces of the paper's Table 1:
+//
+//	Logs      Num files  Avg file size  Num requests  Avg req size
+//	Clarknet  28864      14.2 KB        2978121       9.7 KB
+//	Forth     11931      19.3 KB        400335        8.8 KB
+//	Nasa      9129       27.6 KB        3147684       21.8 KB
+//	Rutgers   18370      27.3 KB        498646        19.0 KB
+func Table1Specs() []Spec {
+	return []Spec{
+		{Name: "clarknet", NumFiles: 28864, AvgFileKB: 14.2, NumRequests: 2978121, AvgReqKB: 9.7, Seed: 1},
+		{Name: "forth", NumFiles: 11931, AvgFileKB: 19.3, NumRequests: 400335, AvgReqKB: 8.8, Seed: 2},
+		{Name: "nasa", NumFiles: 9129, AvgFileKB: 27.6, NumRequests: 3147684, AvgReqKB: 21.8, Seed: 3},
+		{Name: "rutgers", NumFiles: 18370, AvgFileKB: 27.3, NumRequests: 498646, AvgReqKB: 19.0, Seed: 4},
+	}
+}
+
+// SpecByName returns the Table 1 spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: unknown trace %q (want clarknet, forth, nasa, or rutgers)", name)
+}
+
+const minFileBytes = 128
+
+// Synthesize generates a deterministic trace matching the spec:
+//
+//   - file sizes are drawn from a log-normal distribution and scaled so
+//     the population mean matches AvgFileKB exactly;
+//   - popularity follows a Zipf-like distribution with exponent Alpha;
+//   - sizes are assigned to popularity ranks with a calibrated
+//     correlation so the popularity-weighted mean size (the expected
+//     requested-file size) matches AvgReqKB — in all four paper traces
+//     popular files are smaller than average;
+//   - the request stream is an i.i.d. sample of NumRequests draws.
+func Synthesize(spec Spec) (*Trace, error) {
+	if spec.NumFiles <= 0 {
+		return nil, fmt.Errorf("trace: spec %q: NumFiles must be positive", spec.Name)
+	}
+	if spec.NumRequests < 0 {
+		return nil, fmt.Errorf("trace: spec %q: NumRequests must be non-negative", spec.Name)
+	}
+	if spec.AvgFileKB <= 0 || spec.AvgReqKB <= 0 {
+		return nil, fmt.Errorf("trace: spec %q: average sizes must be positive", spec.Name)
+	}
+	alpha := spec.Alpha
+	if alpha == 0 {
+		alpha = 0.8
+	}
+	sigma := spec.SigmaLog
+	if sigma == 0 {
+		sigma = 1.1
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	dist := zipfdist.MustNew(spec.NumFiles, alpha)
+
+	// Raw log-normal sizes (unit median), ascending.
+	raw := make([]float64, spec.NumFiles)
+	for i := range raw {
+		raw[i] = math.Exp(rng.NormFloat64() * sigma)
+	}
+	sort.Float64s(raw)
+
+	// Calibrate the rank/size correlation: each rank i gets a blend key
+	// mixing its normalized rank with noise; sizes (ascending) are
+	// assigned in key order, so mix=1 gives perfect "popular is small"
+	// correlation and mix=0 a random assignment. The popularity-weighted
+	// mean is monotone in mix, so bisect on the target ratio.
+	noise := make([]float64, spec.NumFiles)
+	for i := range noise {
+		noise[i] = rng.Float64()
+	}
+	targetRatio := spec.AvgReqKB / spec.AvgFileKB
+	assign := func(mix float64) []int {
+		type kv struct {
+			key  float64
+			rank int
+		}
+		keys := make([]kv, spec.NumFiles)
+		for i := 0; i < spec.NumFiles; i++ {
+			keys[i] = kv{key: mix*float64(i)/float64(spec.NumFiles) + (1-mix)*noise[i], rank: i}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a].key < keys[b].key })
+		// keys[j].rank receives the j'th smallest size.
+		sizeOf := make([]int, spec.NumFiles)
+		for j, k := range keys {
+			sizeOf[k.rank] = j
+		}
+		return sizeOf
+	}
+	ratioOf := func(sizeOf []int) float64 {
+		var weighted, mean float64
+		for i := 0; i < spec.NumFiles; i++ {
+			s := raw[sizeOf[i]]
+			weighted += dist.P(i+1) * s
+			mean += s
+		}
+		mean /= float64(spec.NumFiles)
+		return weighted / mean
+	}
+
+	var sizeOf []int
+	if ratioOf(assign(0)) <= targetRatio {
+		// Even a random assignment already gives a ratio at or below the
+		// target (can happen for targets near 1): use it.
+		sizeOf = assign(0)
+	} else {
+		lo, hi := 0.0, 1.0
+		for iter := 0; iter < 40; iter++ {
+			mid := (lo + hi) / 2
+			if ratioOf(assign(mid)) > targetRatio {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		sizeOf = assign(hi)
+	}
+
+	// Scale sizes so the population mean matches AvgFileKB exactly; the
+	// weighted/unweighted ratio is preserved under scaling.
+	var meanRaw float64
+	for _, j := range sizeOf {
+		meanRaw += raw[j]
+	}
+	meanRaw /= float64(spec.NumFiles)
+	scale := spec.AvgFileKB * 1024 / meanRaw
+
+	t := &Trace{Name: spec.Name}
+	t.Files = make([]File, spec.NumFiles)
+	for i := 0; i < spec.NumFiles; i++ {
+		size := int64(math.Round(raw[sizeOf[i]] * scale))
+		if size < minFileBytes {
+			size = minFileBytes
+		}
+		t.Files[i] = File{
+			Name: fmt.Sprintf("/%s/doc%06d.html", spec.Name, i),
+			Size: size,
+		}
+	}
+
+	t.Requests = make([]int32, spec.NumRequests)
+	for i := range t.Requests {
+		t.Requests[i] = int32(dist.Rank(rng.Float64()) - 1)
+	}
+	return t, nil
+}
+
+// MustSynthesize is Synthesize for specs known to be valid.
+func MustSynthesize(spec Spec) *Trace {
+	t, err := Synthesize(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

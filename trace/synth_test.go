@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Scaled-down specs keep calibration tests fast while exercising the same
+// code paths as the full Table 1 traces.
+func smallSpec() Spec {
+	return Spec{Name: "small", NumFiles: 2000, AvgFileKB: 14.2, NumRequests: 50000, AvgReqKB: 9.7, Seed: 11}
+}
+
+func TestSynthesizeMatchesSpecMeans(t *testing.T) {
+	tr := MustSynthesize(smallSpec())
+	st := tr.Stats()
+	if st.NumFiles != 2000 || st.NumRequests != 50000 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if rel := math.Abs(st.AvgFileKB-14.2) / 14.2; rel > 0.02 {
+		t.Errorf("avg file size %v KB, want 14.2 (rel err %v)", st.AvgFileKB, rel)
+	}
+	// The request stream is a finite sample; allow 6% tolerance.
+	if rel := math.Abs(st.AvgReqKB-9.7) / 9.7; rel > 0.06 {
+		t.Errorf("avg req size %v KB, want 9.7 (rel err %v)", st.AvgReqKB, rel)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := MustSynthesize(smallSpec())
+	b := MustSynthesize(smallSpec())
+	if len(a.Files) != len(b.Files) || len(a.Requests) != len(b.Requests) {
+		t.Fatal("lengths differ between identical specs")
+	}
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			t.Fatalf("file %d differs: %+v vs %+v", i, a.Files[i], b.Files[i])
+		}
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizeSeedChangesStream(t *testing.T) {
+	s := smallSpec()
+	a := MustSynthesize(s)
+	s.Seed = 99
+	b := MustSynthesize(s)
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical request streams")
+	}
+}
+
+func TestSynthesizeValidates(t *testing.T) {
+	tr := MustSynthesize(smallSpec())
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizePopularFilesAreSmaller(t *testing.T) {
+	// All four paper traces have avg req size < avg file size, so the
+	// most popular files must be smaller than average on synthesis.
+	tr := MustSynthesize(smallSpec())
+	var top, all float64
+	n := 100
+	for i, f := range tr.Files {
+		all += float64(f.Size)
+		if i < n {
+			top += float64(f.Size)
+		}
+	}
+	topMean := top / float64(n)
+	allMean := all / float64(len(tr.Files))
+	if topMean >= allMean {
+		t.Errorf("top-%d mean %v >= population mean %v", n, topMean, allMean)
+	}
+}
+
+func TestSynthesizeRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", NumFiles: 0, AvgFileKB: 1, NumRequests: 1, AvgReqKB: 1},
+		{Name: "x", NumFiles: 10, AvgFileKB: 0, NumRequests: 1, AvgReqKB: 1},
+		{Name: "x", NumFiles: 10, AvgFileKB: 1, NumRequests: -1, AvgReqKB: 1},
+		{Name: "x", NumFiles: 10, AvgFileKB: 1, NumRequests: 1, AvgReqKB: 0},
+	}
+	for i, s := range bad {
+		if _, err := Synthesize(s); err == nil {
+			t.Errorf("spec %d: expected error", i)
+		}
+	}
+}
+
+func TestTable1SpecsComplete(t *testing.T) {
+	specs := Table1Specs()
+	if len(specs) != 4 {
+		t.Fatalf("want 4 traces, got %d", len(specs))
+	}
+	want := map[string]struct {
+		files, reqs int
+	}{
+		"clarknet": {28864, 2978121},
+		"forth":    {11931, 400335},
+		"nasa":     {9129, 3147684},
+		"rutgers":  {18370, 498646},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected trace %q", s.Name)
+			continue
+		}
+		if s.NumFiles != w.files || s.NumRequests != w.reqs {
+			t.Errorf("%s: files=%d reqs=%d, want %d/%d", s.Name, s.NumFiles, s.NumRequests, w.files, w.reqs)
+		}
+	}
+}
+
+// TestTable1Calibration generates each paper trace at reduced request
+// volume and checks the size statistics against Table 1.
+func TestTable1Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test generates full file populations")
+	}
+	for _, spec := range Table1Specs() {
+		spec := spec
+		spec.NumRequests = 200000 // sample is enough to estimate the mean
+		t.Run(spec.Name, func(t *testing.T) {
+			tr := MustSynthesize(spec)
+			st := tr.Stats()
+			if rel := math.Abs(st.AvgFileKB-spec.AvgFileKB) / spec.AvgFileKB; rel > 0.02 {
+				t.Errorf("avg file %v KB, want %v", st.AvgFileKB, spec.AvgFileKB)
+			}
+			if rel := math.Abs(st.AvgReqKB-spec.AvgReqKB) / spec.AvgReqKB; rel > 0.08 {
+				t.Errorf("avg req %v KB, want %v", st.AvgReqKB, spec.AvgReqKB)
+			}
+		})
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("nasa")
+	if err != nil || s.NumFiles != 9129 {
+		t.Fatalf("SpecByName(nasa) = %+v, %v", s, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("expected error for unknown trace")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tr := MustSynthesize(smallSpec())
+	tt := tr.Truncate(10)
+	if len(tt.Requests) != 10 {
+		t.Fatalf("truncate: %d requests", len(tt.Requests))
+	}
+	if len(tt.Files) != len(tr.Files) {
+		t.Fatal("truncate must keep the file population")
+	}
+	if tr.Truncate(1<<30) != tr {
+		t.Fatal("truncate beyond length must return the receiver")
+	}
+}
+
+func TestPopularityOrderDescending(t *testing.T) {
+	tr := MustSynthesize(smallSpec())
+	order := tr.PopularityOrder()
+	counts := make([]int, len(tr.Files))
+	for _, ri := range tr.Requests {
+		counts[ri]++
+	}
+	for i := 1; i < len(order); i++ {
+		if counts[order[i]] > counts[order[i-1]] {
+			t.Fatalf("order not descending at %d", i)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := MustSynthesize(Spec{Name: "v", NumFiles: 5, AvgFileKB: 10, NumRequests: 20, AvgReqKB: 8, Seed: 3})
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *good
+	bad.Requests = append([]int32{}, good.Requests...)
+	bad.Requests[0] = 99
+	if bad.Validate() == nil {
+		t.Error("out-of-range request not caught")
+	}
+
+	bad2 := *good
+	bad2.Files = append([]File{}, good.Files...)
+	bad2.Files[1].Name = bad2.Files[0].Name
+	if bad2.Validate() == nil {
+		t.Error("duplicate name not caught")
+	}
+
+	bad3 := *good
+	bad3.Files = append([]File{}, good.Files...)
+	bad3.Files[2].Size = 0
+	if bad3.Validate() == nil {
+		t.Error("zero size not caught")
+	}
+
+	bad4 := *good
+	bad4.Files = append([]File{}, good.Files...)
+	bad4.Files[3].Name = ""
+	if bad4.Validate() == nil {
+		t.Error("empty name not caught")
+	}
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	var tr Trace
+	st := tr.Stats()
+	if st.NumFiles != 0 || st.NumRequests != 0 || st.AvgFileKB != 0 || st.AvgReqKB != 0 {
+		t.Errorf("empty trace stats = %+v", st)
+	}
+}
+
+func TestSynthesizeSizeFloorProperty(t *testing.T) {
+	// Property: every synthesized file size is at least the floor, for
+	// arbitrary seeds.
+	check := func(seed int64) bool {
+		tr := MustSynthesize(Spec{Name: "p", NumFiles: 200, AvgFileKB: 5,
+			NumRequests: 100, AvgReqKB: 4, Seed: seed})
+		for _, f := range tr.Files {
+			if f.Size < minFileBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzePopularityRecoversAlpha(t *testing.T) {
+	// Synthesize with a known exponent; the fit should land near it.
+	for _, alpha := range []float64{0.6, 0.8, 1.0} {
+		tr := MustSynthesize(Spec{Name: "fit", NumFiles: 3000, AvgFileKB: 10,
+			NumRequests: 400000, AvgReqKB: 8, Alpha: alpha, Seed: 9})
+		p, err := tr.AnalyzePopularity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Alpha-alpha) > 0.12 {
+			t.Errorf("alpha %v: fitted %v (R2 %.3f)", alpha, p.Alpha, p.R2)
+		}
+		if p.R2 < 0.9 {
+			t.Errorf("alpha %v: poor fit R2 %.3f", alpha, p.R2)
+		}
+		if p.Top10Share <= 0.1 || p.Top10Share > 1 {
+			t.Errorf("alpha %v: top-10%% share %v", alpha, p.Top10Share)
+		}
+	}
+}
+
+func TestAnalyzePopularityMoreSkewMoreShare(t *testing.T) {
+	low := MustSynthesize(Spec{Name: "lo", NumFiles: 2000, AvgFileKB: 10,
+		NumRequests: 100000, AvgReqKB: 8, Alpha: 0.5, Seed: 4})
+	high := MustSynthesize(Spec{Name: "hi", NumFiles: 2000, AvgFileKB: 10,
+		NumRequests: 100000, AvgReqKB: 8, Alpha: 1.1, Seed: 4})
+	pl, err := low.AnalyzePopularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := high.AnalyzePopularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Top10Share <= pl.Top10Share {
+		t.Errorf("top-10%% share: alpha 1.1 %.3f not above alpha 0.5 %.3f",
+			ph.Top10Share, pl.Top10Share)
+	}
+}
+
+func TestAnalyzePopularityErrors(t *testing.T) {
+	var empty Trace
+	if _, err := empty.AnalyzePopularity(); err == nil {
+		t.Error("empty trace analyzed")
+	}
+	// All singletons: nothing to fit.
+	singles := &Trace{Name: "s",
+		Files:    []File{{Name: "/a", Size: 1000}, {Name: "/b", Size: 1000}, {Name: "/c", Size: 1000}},
+		Requests: []int32{0, 1, 2}}
+	if _, err := singles.AnalyzePopularity(); err == nil {
+		t.Error("singleton trace fitted")
+	}
+}

@@ -1,0 +1,120 @@
+// Package trace models WWW server traces: the set of files a server
+// hosts and the sequence of requests clients issue against them.
+//
+// The paper evaluates PRESS with four real traces (Clarknet, Forth, Nasa,
+// Rutgers) whose aggregate characteristics are given in its Table 1.
+// Those traces are not redistributable, so this package synthesizes
+// deterministic equivalents matched to Table 1: file count, average file
+// size, request count, average requested-file size, and a Zipf-like
+// popularity distribution (alpha = 0.8, per Section 4.1). A Common Log
+// Format parser is provided for feeding real traces instead.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// File is one static document hosted by the server.
+type File struct {
+	// Name is the request path, unique within a trace.
+	Name string
+	// Size is the document size in bytes.
+	Size int64
+}
+
+// Trace is a workload: a file population plus an ordered request stream.
+// Requests reference files by index into Files.
+type Trace struct {
+	// Name identifies the trace (e.g. "clarknet").
+	Name string
+	// Files is the document population, ordered by popularity rank
+	// (Files[0] is the most requested document).
+	Files []File
+	// Requests is the request stream; each entry indexes Files.
+	Requests []int32
+}
+
+// Stats summarizes a trace in the units of the paper's Table 1.
+type Stats struct {
+	NumFiles    int
+	AvgFileKB   float64 // average file size, KBytes
+	NumRequests int
+	AvgReqKB    float64 // average size of requested files, KBytes
+	TotalBytes  int64   // sum of file sizes (working set), bytes
+}
+
+// Stats computes summary statistics for the trace.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	s.NumFiles = len(t.Files)
+	s.NumRequests = len(t.Requests)
+	var fileBytes int64
+	for _, f := range t.Files {
+		fileBytes += f.Size
+	}
+	s.TotalBytes = fileBytes
+	if s.NumFiles > 0 {
+		s.AvgFileKB = float64(fileBytes) / float64(s.NumFiles) / 1024
+	}
+	var reqBytes int64
+	for _, ri := range t.Requests {
+		reqBytes += t.Files[ri].Size
+	}
+	if s.NumRequests > 0 {
+		s.AvgReqKB = float64(reqBytes) / float64(s.NumRequests) / 1024
+	}
+	return s
+}
+
+// Validate checks internal consistency: every request references an
+// existing file, names are unique and non-empty, and sizes are positive.
+func (t *Trace) Validate() error {
+	names := make(map[string]struct{}, len(t.Files))
+	for i, f := range t.Files {
+		if f.Name == "" {
+			return fmt.Errorf("trace %s: file %d has empty name", t.Name, i)
+		}
+		if f.Size <= 0 {
+			return fmt.Errorf("trace %s: file %q has non-positive size %d", t.Name, f.Name, f.Size)
+		}
+		if _, dup := names[f.Name]; dup {
+			return fmt.Errorf("trace %s: duplicate file name %q", t.Name, f.Name)
+		}
+		names[f.Name] = struct{}{}
+	}
+	for i, ri := range t.Requests {
+		if ri < 0 || int(ri) >= len(t.Files) {
+			return fmt.Errorf("trace %s: request %d references file %d of %d", t.Name, i, ri, len(t.Files))
+		}
+	}
+	return nil
+}
+
+// Truncate returns a trace sharing the file population but keeping only
+// the first n requests. It is used to run scaled-down experiments. If n
+// exceeds the request count the original trace is returned.
+func (t *Trace) Truncate(n int) *Trace {
+	if n >= len(t.Requests) {
+		return t
+	}
+	return &Trace{Name: t.Name, Files: t.Files, Requests: t.Requests[:n]}
+}
+
+// PopularityOrder returns file indices sorted by descending request count
+// in this trace's request stream (ties broken by index). For synthesized
+// traces this is close to identity by construction.
+func (t *Trace) PopularityOrder() []int {
+	counts := make([]int, len(t.Files))
+	for _, ri := range t.Requests {
+		counts[ri]++
+	}
+	order := make([]int, len(t.Files))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return counts[order[a]] > counts[order[b]]
+	})
+	return order
+}

@@ -1,0 +1,214 @@
+package via
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Segment is one piece of a descriptor's gather/scatter list: a range
+// of a registered memory region.
+type Segment struct {
+	Region *MemoryRegion
+	Offset int
+	Len    int
+}
+
+func (s Segment) validate() error {
+	if s.Region == nil {
+		return fmt.Errorf("via: segment with nil region")
+	}
+	if s.Len < 0 || s.Offset < 0 {
+		return fmt.Errorf("via: segment with negative offset/length")
+	}
+	return nil
+}
+
+// DescStatus is a descriptor's lifecycle state.
+type DescStatus int
+
+const (
+	// DescIdle: not posted.
+	DescIdle DescStatus = iota
+	// DescPosted: on a work queue, being processed asynchronously.
+	DescPosted
+	// DescDone: completed successfully.
+	DescDone
+	// DescError: completed with an error (see Descriptor.Err).
+	DescError
+)
+
+// Descriptor describes one transfer request: a gather/scatter list over
+// registered memory plus, for remote memory writes, the remote target.
+// The network interface processes posted descriptors asynchronously and
+// marks them complete; descriptors are then reused for subsequent
+// requests (Section 2.1).
+type Descriptor struct {
+	segments []Segment
+
+	// remote memory write target (op == opRDMA).
+	remoteHandle Handle
+	remoteOffset int
+
+	mu     sync.Mutex
+	status DescStatus
+	xfer   int
+	err    error
+	done   chan struct{}
+}
+
+// NewDescriptor builds a descriptor over the given segments.
+func NewDescriptor(segments ...Segment) (*Descriptor, error) {
+	for _, s := range segments {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Descriptor{segments: segments, done: make(chan struct{})}, nil
+}
+
+// MustDescriptor is NewDescriptor for segments known to be valid.
+func MustDescriptor(segments ...Segment) *Descriptor {
+	d, err := NewDescriptor(segments...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Len returns the total gather/scatter length.
+func (d *Descriptor) Len() int {
+	n := 0
+	for _, s := range d.segments {
+		n += s.Len
+	}
+	return n
+}
+
+// Status returns the descriptor's current state.
+func (d *Descriptor) Status() DescStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.status
+}
+
+// Err returns the completion error, if any.
+func (d *Descriptor) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// Transferred returns the number of payload bytes moved.
+func (d *Descriptor) Transferred() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.xfer
+}
+
+// Wait blocks until the descriptor completes or the timeout elapses
+// (timeout <= 0 waits forever). It returns the completion error.
+func (d *Descriptor) Wait(timeout time.Duration) error {
+	if timeout <= 0 {
+		<-d.done
+		return d.Err()
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-d.done:
+		return d.Err()
+	case <-t.C:
+		return ErrTimeout
+	}
+}
+
+// Reset returns a completed descriptor to the idle state so it can be
+// posted again. Resetting a posted descriptor panics: the NIC still
+// owns it.
+func (d *Descriptor) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.status == DescPosted {
+		panic("via: Reset of a posted descriptor")
+	}
+	d.status = DescIdle
+	d.err = nil
+	d.xfer = 0
+	d.done = make(chan struct{})
+}
+
+// markPosted transitions to DescPosted; the caller must be the owning
+// queue. Reports an error if the descriptor is already in flight.
+func (d *Descriptor) markPosted() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.status == DescPosted {
+		return fmt.Errorf("via: descriptor already posted")
+	}
+	if d.status != DescIdle {
+		// Auto-reset completed descriptors on repost for convenience.
+		d.err = nil
+		d.xfer = 0
+		d.done = make(chan struct{})
+	}
+	d.status = DescPosted
+	return nil
+}
+
+func (d *Descriptor) complete(n int, err error) {
+	d.mu.Lock()
+	if d.status != DescPosted {
+		d.mu.Unlock()
+		panic("via: completion of unposted descriptor")
+	}
+	d.xfer = n
+	d.err = err
+	if err != nil {
+		d.status = DescError
+	} else {
+		d.status = DescDone
+	}
+	done := d.done
+	d.mu.Unlock()
+	close(done)
+}
+
+// gather serializes the descriptor's segments ("DMA out" of sender
+// memory onto the wire).
+func (d *Descriptor) gather() ([]byte, error) {
+	out := make([]byte, 0, d.Len())
+	for _, s := range d.segments {
+		b, err := s.Region.copyOut(s.Offset, s.Len)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// scatter distributes payload into the descriptor's segments ("DMA in"
+// to receiver memory); payload must fit.
+func (d *Descriptor) scatter(payload []byte) (int, error) {
+	if len(payload) > d.Len() {
+		return 0, ErrTooLong
+	}
+	written := 0
+	rest := payload
+	for _, s := range d.segments {
+		if len(rest) == 0 {
+			break
+		}
+		n := s.Len
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if _, err := s.Region.copyIn(rest[:n], s.Offset, n); err != nil {
+			return written, err
+		}
+		written += n
+		rest = rest[n:]
+	}
+	return written, nil
+}

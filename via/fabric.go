@@ -1,0 +1,136 @@
+package via
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FabricOption configures a Fabric.
+type FabricOption func(*Fabric)
+
+// WithLatency sets the one-way propagation latency applied to every
+// transfer.
+func WithLatency(d time.Duration) FabricOption {
+	return func(f *Fabric) { f.latency = d }
+}
+
+// WithBandwidth caps the per-NIC transmit rate in bytes per second
+// (0 = unlimited).
+func WithBandwidth(bytesPerSec float64) FabricOption {
+	return func(f *Fabric) { f.bandwidth = bytesPerSec }
+}
+
+// WithLossRate drops the given fraction of unreliable transfers
+// (reliable-delivery VIs are unaffected, as the hardware retransmits).
+func WithLossRate(rate float64) FabricOption {
+	return func(f *Fabric) { f.lossRate = rate }
+}
+
+// WithSeed seeds the deterministic loss process.
+func WithSeed(seed int64) FabricOption {
+	return func(f *Fabric) { f.seed = seed }
+}
+
+// Fabric is the cluster interconnect: it owns the NIC address space and
+// the link-shaping parameters. All NICs on one fabric can connect to
+// each other.
+type Fabric struct {
+	latency   time.Duration
+	bandwidth float64
+	lossRate  float64
+	seed      int64
+
+	mu      sync.Mutex
+	nics    map[string]*NIC
+	rng     *rand.Rand
+	severed map[linkKey]struct{}
+	closed  bool
+}
+
+// NewFabric creates an interconnect.
+func NewFabric(opts ...FabricOption) *Fabric {
+	f := &Fabric{nics: make(map[string]*NIC)}
+	for _, o := range opts {
+		o(f)
+	}
+	f.rng = rand.New(rand.NewSource(f.seed))
+	return f
+}
+
+// CreateNIC attaches a new NIC with the given address to the fabric
+// and starts its processing engine.
+func (f *Fabric) CreateNIC(addr string) (*NIC, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("via: empty NIC address")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := f.nics[addr]; dup {
+		return nil, fmt.Errorf("via: address %q already on fabric", addr)
+	}
+	n := newNIC(f, addr)
+	f.nics[addr] = n
+	return n, nil
+}
+
+// lookup resolves an address to its NIC.
+func (f *Fabric) lookup(addr string) (*NIC, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	n, ok := f.nics[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAddress, addr)
+	}
+	return n, nil
+}
+
+// drop decides whether an unreliable transfer is lost.
+func (f *Fabric) drop() bool {
+	if f.lossRate <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < f.lossRate
+}
+
+// transferDelay returns the shaping delay for a payload of n bytes.
+func (f *Fabric) transferDelay(n int) time.Duration {
+	d := f.latency
+	if f.bandwidth > 0 {
+		d += time.Duration(float64(n) / f.bandwidth * 1e9)
+	}
+	return d
+}
+
+// Close shuts down the fabric and every NIC on it.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	nics := make([]*NIC, 0, len(f.nics))
+	for _, n := range f.nics {
+		nics = append(nics, n)
+	}
+	f.mu.Unlock()
+	for _, n := range nics {
+		n.Close()
+	}
+}
+
+func (f *Fabric) remove(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.nics, addr)
+}

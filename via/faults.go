@@ -1,0 +1,51 @@
+package via
+
+import "fmt"
+
+// Fault injection: the fabric can sever the link between two NICs, the
+// software analogue of pulling a cLAN cable. Transfers over a severed
+// link fail — detected and reported on reliable-delivery VIs (breaking
+// the connection, per the VIA error model), silently lost on
+// unreliable ones.
+
+type linkKey struct{ a, b string }
+
+func normLink(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Partition severs the bidirectional link between two NIC addresses.
+// It is idempotent; unknown addresses are accepted (the link simply
+// stays severed if such a NIC appears later).
+func (f *Fabric) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.severed == nil {
+		f.severed = make(map[linkKey]struct{})
+	}
+	f.severed[normLink(a, b)] = struct{}{}
+}
+
+// Heal restores the link between two NIC addresses.
+func (f *Fabric) Heal(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.severed, normLink(a, b))
+}
+
+// linkUp reports whether the two addresses can currently communicate.
+func (f *Fabric) linkUp(a, b string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.severed == nil {
+		return true
+	}
+	_, cut := f.severed[normLink(a, b)]
+	return !cut
+}
+
+// ErrLinkDown is reported on transfers over a severed link.
+var ErrLinkDown = fmt.Errorf("via: link down")

@@ -1,0 +1,120 @@
+package via
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPartitionBreaksReliableConnection(t *testing.T) {
+	f, na, nb, va, vb := pair(t, ReliableDelivery)
+	// Healthy transfer first.
+	msg := sendRecv(t, na, nb, va, vb, []byte("before"))
+	if string(msg) != "before" {
+		t.Fatal("pre-partition transfer failed")
+	}
+
+	f.Partition("nodeA", "nodeB")
+	sreg, _ := na.RegisterMemory([]byte("lost"))
+	d := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 4})
+	if err := va.PostSend(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Wait(testTimeout); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send over severed link: %v", err)
+	}
+	// The connection is broken; healing the link does not resurrect it
+	// (the application must reconnect), matching the VIA error model.
+	f.Heal("nodeA", "nodeB")
+	d2 := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 4})
+	if err := va.PostSend(d2); !errors.Is(err, ErrBroken) {
+		t.Fatalf("post after break: %v", err)
+	}
+	if vb.Err() == nil {
+		t.Fatal("peer not marked broken")
+	}
+}
+
+func TestPartitionSilentOnUnreliable(t *testing.T) {
+	f, na, nb, va, _ := pair(t, Unreliable)
+	f.Partition("nodeA", "nodeB")
+	sreg, _ := na.RegisterMemory([]byte("lost"))
+	d := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 4})
+	if err := va.PostSend(d); err != nil {
+		t.Fatal(err)
+	}
+	// Unreliable delivery: the loss is undetected.
+	if err := d.Wait(testTimeout); err != nil {
+		t.Fatalf("unreliable send over severed link reported %v", err)
+	}
+	deadline := time.Now().Add(testTimeout)
+	for na.Stats().Drops == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("drop not recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = nb
+}
+
+func TestHealRestoresNewConnections(t *testing.T) {
+	f, na, nb, _, _ := pair(t, ReliableDelivery)
+	f.Partition("nodeA", "nodeB")
+	f.Heal("nodeA", "nodeB")
+
+	// A fresh VI pair over the healed link works.
+	ln, err := nb.Listen("svc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb2, _ := nb.CreateVI(ReliableDelivery, 8)
+	va2, _ := na.CreateVI(ReliableDelivery, 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept(vb2)
+		done <- err
+	}()
+	if err := va2.Connect("nodeB", "svc2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got := sendRecv(t, na, nb, va2, vb2, []byte("healed"))
+	if string(got) != "healed" {
+		t.Fatal("transfer over healed link failed")
+	}
+}
+
+func TestVIPeer(t *testing.T) {
+	_, _, _, va, vb := pair(t, ReliableDelivery)
+	addr, id, ok := va.Peer()
+	if !ok || addr != "nodeB" || id != vb.ID() {
+		t.Fatalf("peer = %q/%d/%v", addr, id, ok)
+	}
+	va.Close()
+	if _, _, ok := va.Peer(); ok {
+		t.Fatal("closed VI still reports a peer")
+	}
+}
+
+func TestNICAttributes(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	n, _ := f.CreateNIC("x")
+	a := n.Attributes()
+	if !a.RDMAWrite {
+		t.Error("RDMA write unsupported")
+	}
+	if a.RDMARead {
+		t.Error("RDMA read must be unsupported (Giganet parity)")
+	}
+	for _, r := range a.ReliabilitySupport {
+		if r != Unreliable && r != ReliableDelivery {
+			t.Errorf("unexpected reliability %v", r)
+		}
+	}
+	if len(a.ReliabilitySupport) != 2 {
+		t.Errorf("reliability levels = %d", len(a.ReliabilitySupport))
+	}
+}

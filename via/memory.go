@@ -1,0 +1,187 @@
+package via
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Handle names a registered memory region; applications exchange
+// handles (over regular messages) to grant remote-write access, as real
+// VIA applications exchange memory handles at setup time.
+type Handle uint32
+
+// MemoryRegion is a registered buffer. Registration mirrors VIA's
+// requirement that all transfer memory be registered (locked in
+// physical memory) so the NIC can DMA directly into user buffers.
+//
+// A region may be written concurrently by the NIC (remote memory
+// writes, receive DMA) while the owner polls it, so all accesses go
+// through the locked accessors; Load32/Store32 give the acquire/release
+// pairing that makes the paper's poll-on-sequence-number pattern sound.
+type MemoryRegion struct {
+	nic    *NIC
+	handle Handle
+
+	mu sync.Mutex
+	// buf is nil once deregistered.
+	buf []byte
+	// remoteWrite permits RDMA writes into this region.
+	remoteWrite bool
+}
+
+// Handle returns the region's handle.
+func (r *MemoryRegion) Handle() Handle { return r.handle }
+
+// Size returns the region length in bytes (0 once deregistered).
+func (r *MemoryRegion) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// EnableRemoteWrite permits remote memory writes into the region.
+func (r *MemoryRegion) EnableRemoteWrite() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.remoteWrite = true
+}
+
+// Read copies region bytes [off, off+len(dst)) into dst.
+func (r *MemoryRegion) Read(dst []byte, off int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return ErrRegionReleased
+	}
+	if off < 0 || off+len(dst) > len(r.buf) {
+		return fmt.Errorf("%w: read [%d,%d) of %d", ErrProtection, off, off+len(dst), len(r.buf))
+	}
+	copy(dst, r.buf[off:])
+	return nil
+}
+
+// Write copies src into the region at off. It is a local write by the
+// owning process (e.g. staging data before a send).
+func (r *MemoryRegion) Write(src []byte, off int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return ErrRegionReleased
+	}
+	if off < 0 || off+len(src) > len(r.buf) {
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrProtection, off, off+len(src), len(r.buf))
+	}
+	copy(r.buf[off:], src)
+	return nil
+}
+
+// Load32 reads a little-endian uint32 at off; receivers use it to poll
+// sequence numbers written by remote memory writes.
+func (r *MemoryRegion) Load32(off int) (uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return 0, ErrRegionReleased
+	}
+	if off < 0 || off+4 > len(r.buf) {
+		return 0, fmt.Errorf("%w: load32 at %d of %d", ErrProtection, off, len(r.buf))
+	}
+	return binary.LittleEndian.Uint32(r.buf[off:]), nil
+}
+
+// Store32 writes a little-endian uint32 at off.
+func (r *MemoryRegion) Store32(off int, v uint32) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return ErrRegionReleased
+	}
+	if off < 0 || off+4 > len(r.buf) {
+		return fmt.Errorf("%w: store32 at %d of %d", ErrProtection, off, len(r.buf))
+	}
+	binary.LittleEndian.PutUint32(r.buf[off:], v)
+	return nil
+}
+
+// Load64 reads a little-endian uint64 at off.
+func (r *MemoryRegion) Load64(off int) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return 0, ErrRegionReleased
+	}
+	if off < 0 || off+8 > len(r.buf) {
+		return 0, fmt.Errorf("%w: load64 at %d of %d", ErrProtection, off, len(r.buf))
+	}
+	return binary.LittleEndian.Uint64(r.buf[off:]), nil
+}
+
+// Store64 writes a little-endian uint64 at off.
+func (r *MemoryRegion) Store64(off int, v uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return ErrRegionReleased
+	}
+	if off < 0 || off+8 > len(r.buf) {
+		return fmt.Errorf("%w: store64 at %d of %d", ErrProtection, off, len(r.buf))
+	}
+	binary.LittleEndian.PutUint64(r.buf[off:], v)
+	return nil
+}
+
+// rdmaWrite is the fabric-side entry: copy src into the region if the
+// protection checks pass.
+func (r *MemoryRegion) rdmaWrite(src []byte, off int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return ErrRegionReleased
+	}
+	if !r.remoteWrite {
+		return fmt.Errorf("%w: region %d not enabled for remote write", ErrProtection, r.handle)
+	}
+	if off < 0 || off+len(src) > len(r.buf) {
+		return fmt.Errorf("%w: remote write [%d,%d) of %d", ErrProtection, off, off+len(src), len(r.buf))
+	}
+	copy(r.buf[off:], src)
+	return nil
+}
+
+// copyIn copies src into the region at off without the remote-write
+// check (receive DMA into a posted descriptor's buffer).
+func (r *MemoryRegion) copyIn(src []byte, off, limit int) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return 0, ErrRegionReleased
+	}
+	if off < 0 || off+limit > len(r.buf) {
+		return 0, fmt.Errorf("%w: recv [%d,%d) of %d", ErrProtection, off, off+limit, len(r.buf))
+	}
+	n := copy(r.buf[off:off+limit], src)
+	return n, nil
+}
+
+// copyOut reads [off, off+n) from the region (send DMA out of the
+// sender's registered buffer).
+func (r *MemoryRegion) copyOut(off, n int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return nil, ErrRegionReleased
+	}
+	if off < 0 || off+n > len(r.buf) {
+		return nil, fmt.Errorf("%w: send [%d,%d) of %d", ErrProtection, off, off+n, len(r.buf))
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[off:])
+	return out, nil
+}
+
+func (r *MemoryRegion) released() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf == nil
+}

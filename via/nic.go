@@ -1,0 +1,361 @@
+package via
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts a NIC's activity.
+type Stats struct {
+	SendsPosted   int64
+	RecvsPosted   int64
+	SendsComplete int64
+	RecvsComplete int64
+	RDMAWrites    int64
+	BytesSent     int64
+	Drops         int64
+}
+
+// NIC is one node's network interface. Processes gain user-level access
+// to it by creating VIs and registering memory; a single engine
+// goroutine (the DMA engine) processes posted descriptors
+// asynchronously, in doorbell order.
+type NIC struct {
+	fabric *Fabric
+	addr   string
+
+	mu         sync.Mutex
+	closed     bool
+	regions    map[Handle]*MemoryRegion
+	nextHandle Handle
+	vis        map[uint32]*VI
+	nextVI     uint32
+	listeners  map[string]*Listener
+
+	work chan workItem
+	done chan struct{}
+
+	sendsPosted   atomic.Int64
+	recvsPosted   atomic.Int64
+	sendsComplete atomic.Int64
+	recvsComplete atomic.Int64
+	rdmaWrites    atomic.Int64
+	bytesSent     atomic.Int64
+	drops         atomic.Int64
+}
+
+type opcode int
+
+const (
+	opSend opcode = iota
+	opRDMA
+)
+
+type workItem struct {
+	vi   *VI
+	desc *Descriptor
+	op   opcode
+}
+
+const workDepth = 4096
+
+func newNIC(f *Fabric, addr string) *NIC {
+	n := &NIC{
+		fabric:    f,
+		addr:      addr,
+		regions:   make(map[Handle]*MemoryRegion),
+		vis:       make(map[uint32]*VI),
+		listeners: make(map[string]*Listener),
+		work:      make(chan workItem, workDepth),
+		done:      make(chan struct{}),
+	}
+	go n.engine()
+	return n
+}
+
+// Addr returns the NIC's fabric address.
+func (n *NIC) Addr() string { return n.addr }
+
+// Attributes describes a NIC's capabilities, the VipQueryNic analogue.
+type Attributes struct {
+	// MaxTransferSize is the largest single transfer (unbounded here;
+	// reported as 1<<31 - 1 for parity with 32-bit length fields).
+	MaxTransferSize int
+	// MaxRegisteredBytes reports the registration budget (unbounded).
+	MaxRegisteredBytes int64
+	// ReliabilitySupport lists the service levels this NIC offers;
+	// reliable reception is absent, as on Giganet VIA.
+	ReliabilitySupport []Reliability
+	// RDMAWrite and RDMARead report remote-memory-access support;
+	// remote reads are unsupported, as on Giganet VIA.
+	RDMAWrite bool
+	RDMARead  bool
+}
+
+// Attributes returns the NIC's capability description.
+func (n *NIC) Attributes() Attributes {
+	return Attributes{
+		MaxTransferSize:    1<<31 - 1,
+		MaxRegisteredBytes: 1<<63 - 1,
+		ReliabilitySupport: []Reliability{Unreliable, ReliableDelivery},
+		RDMAWrite:          true,
+		RDMARead:           false,
+	}
+}
+
+// Stats returns a snapshot of the NIC's counters.
+func (n *NIC) Stats() Stats {
+	return Stats{
+		SendsPosted:   n.sendsPosted.Load(),
+		RecvsPosted:   n.recvsPosted.Load(),
+		SendsComplete: n.sendsComplete.Load(),
+		RecvsComplete: n.recvsComplete.Load(),
+		RDMAWrites:    n.rdmaWrites.Load(),
+		BytesSent:     n.bytesSent.Load(),
+		Drops:         n.drops.Load(),
+	}
+}
+
+// RegisterMemory registers buf for communication, returning the region.
+// The buffer is owned by the region until DeregisterMemory.
+func (n *NIC) RegisterMemory(buf []byte) (*MemoryRegion, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("via: cannot register empty buffer")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	n.nextHandle++
+	r := &MemoryRegion{nic: n, handle: n.nextHandle, buf: buf}
+	n.regions[r.handle] = r
+	return r, nil
+}
+
+// DeregisterMemory releases the region; subsequent transfers touching
+// it fail.
+func (n *NIC) DeregisterMemory(r *MemoryRegion) error {
+	if r == nil || r.nic != n {
+		return fmt.Errorf("via: region not registered with this NIC")
+	}
+	n.mu.Lock()
+	delete(n.regions, r.handle)
+	n.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return ErrRegionReleased
+	}
+	r.buf = nil
+	return nil
+}
+
+// region resolves a handle for remote writes.
+func (n *NIC) region(h Handle) (*MemoryRegion, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.regions[h]
+	return r, ok
+}
+
+// CreateVI creates a communication end-point with the given reliability
+// level and work-queue depth (sends and receives each). depth <= 0 uses
+// the default of 64.
+func (n *NIC) CreateVI(rel Reliability, depth int) (*VI, error) {
+	if rel != Unreliable && rel != ReliableDelivery {
+		return nil, fmt.Errorf("via: unsupported reliability %v (reliable reception is not provided, as on Giganet VIA)", rel)
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	n.nextVI++
+	vi := newVI(n, n.nextVI, rel, depth)
+	n.vis[vi.id] = vi
+	return vi, nil
+}
+
+func (n *NIC) vi(id uint32) (*VI, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.vis[id]
+	return v, ok
+}
+
+// post rings the doorbell: the engine will process the descriptor.
+func (n *NIC) post(w workItem) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	select {
+	case n.work <- w:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// engine is the DMA engine: it serializes the NIC's outbound transfers,
+// applying the fabric's shaping, and delivers them into the remote NIC.
+func (n *NIC) engine() {
+	for {
+		select {
+		case <-n.done:
+			n.drainWork()
+			return
+		case w := <-n.work:
+			n.process(w)
+		}
+	}
+}
+
+func (n *NIC) drainWork() {
+	for {
+		select {
+		case w := <-n.work:
+			w.desc.complete(0, ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+func (n *NIC) process(w workItem) {
+	payload, err := w.desc.gather()
+	if err != nil {
+		n.completeSend(w, 0, err)
+		return
+	}
+	peer, peerVI, perr := w.vi.peerRef()
+	if perr != nil {
+		n.completeSend(w, 0, perr)
+		return
+	}
+	if d := n.fabric.transferDelay(len(payload)); d > 0 {
+		sleep(d)
+	}
+	if !n.fabric.linkUp(n.addr, peer.addr) {
+		if w.vi.reliability == Unreliable {
+			// Lost without detection.
+			n.drops.Add(1)
+			n.completeSend(w, len(payload), nil)
+			return
+		}
+		err := fmt.Errorf("%w: %s <-> %s", ErrLinkDown, n.addr, peer.addr)
+		w.vi.breakConn(err)
+		n.completeSend(w, 0, err)
+		return
+	}
+	if w.vi.reliability == Unreliable && n.fabric.drop() {
+		n.drops.Add(1)
+		// Lost on the wire: the local completion still succeeds, as the
+		// interface has no way to know.
+		n.completeSend(w, len(payload), nil)
+		return
+	}
+	switch w.op {
+	case opSend:
+		err = peer.deliverSend(peerVI, payload, w.vi.reliability)
+	case opRDMA:
+		err = peer.deliverRDMA(w.desc.remoteHandle, w.desc.remoteOffset, payload)
+		if err == nil {
+			n.rdmaWrites.Add(1)
+		}
+	}
+	if err != nil && w.vi.reliability == Unreliable {
+		// Undetected loss: a missing receive descriptor or protection
+		// fault at the receiver is silent for unreliable service.
+		n.drops.Add(1)
+		err = nil
+	}
+	if err != nil {
+		w.vi.breakConn(err)
+	}
+	n.bytesSent.Add(int64(len(payload)))
+	n.completeSend(w, len(payload), err)
+}
+
+func (n *NIC) completeSend(w workItem, bytes int, err error) {
+	w.desc.complete(bytes, err)
+	n.sendsComplete.Add(1)
+	w.vi.sendCompleted(w.desc, err)
+}
+
+// deliverSend is the receive path: match the message with the target
+// VI's next receive descriptor and scatter the payload into it.
+func (n *NIC) deliverSend(viID uint32, payload []byte, rel Reliability) error {
+	vi, ok := n.vi(viID)
+	if !ok {
+		return fmt.Errorf("%w: VI %d gone", ErrBroken, viID)
+	}
+	d := vi.popRecv()
+	if d == nil {
+		if rel == ReliableDelivery {
+			err := ErrNoRecvDescriptor
+			vi.breakConn(err)
+			return err
+		}
+		n.drops.Add(1)
+		return nil
+	}
+	written, err := d.scatter(payload)
+	d.complete(written, err)
+	n.recvsComplete.Add(1)
+	vi.recvCompleted(d, err)
+	if err != nil && rel == ReliableDelivery {
+		vi.breakConn(err)
+		return err
+	}
+	return nil
+}
+
+// deliverRDMA is the remote-memory-write path: data lands directly in
+// the registered region with no processor or descriptor involvement.
+func (n *NIC) deliverRDMA(h Handle, off int, payload []byte) error {
+	r, ok := n.region(h)
+	if !ok {
+		return fmt.Errorf("%w: unknown handle %d", ErrProtection, h)
+	}
+	return r.rdmaWrite(payload, off)
+}
+
+// Close shuts the NIC down: the engine stops, pending descriptors and
+// connections complete with ErrClosed.
+func (n *NIC) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	vis := make([]*VI, 0, len(n.vis))
+	for _, v := range n.vis {
+		vis = append(vis, v)
+	}
+	listeners := make([]*Listener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		listeners = append(listeners, l)
+	}
+	n.mu.Unlock()
+
+	close(n.done)
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, v := range vis {
+		v.Close()
+	}
+	n.fabric.remove(n.addr)
+}
+
+// sleep is a test seam for the fabric shaping delay.
+var sleep = defaultSleep

@@ -1,0 +1,385 @@
+package via
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+func defaultSleep(d time.Duration) { time.Sleep(d) }
+
+type viState int
+
+const (
+	viIdle viState = iota
+	viConnected
+	viBroken
+	viClosed
+)
+
+// VI is a Virtual Interface: a connected, bidirectional point-to-point
+// communication end-point with a send queue and a receive queue,
+// analogous to a socket end-point in a TCP connection (Section 2.1).
+type VI struct {
+	nic         *NIC
+	id          uint32
+	reliability Reliability
+	depth       int
+
+	mu          sync.Mutex
+	state       viState
+	brokenErr   error
+	peerNIC     *NIC
+	peerVIID    uint32
+	recvQ       []*Descriptor
+	sendPending int
+	sendCQ      *CompletionQueue
+	recvCQ      *CompletionQueue
+	sendDone    chan Completion
+	recvDone    chan Completion
+}
+
+func newVI(n *NIC, id uint32, rel Reliability, depth int) *VI {
+	return &VI{
+		nic:         n,
+		id:          id,
+		reliability: rel,
+		depth:       depth,
+		sendDone:    make(chan Completion, 4*depth),
+		recvDone:    make(chan Completion, 4*depth),
+	}
+}
+
+// ID returns the VI's identifier on its NIC.
+func (v *VI) ID() uint32 { return v.id }
+
+// Reliability returns the VI's service level.
+func (v *VI) Reliability() Reliability { return v.reliability }
+
+// NIC returns the owning network interface.
+func (v *VI) NIC() *NIC { return v.nic }
+
+// SetSendCQ routes send completions to a completion queue instead of
+// the VI-local SendWait channel. Must be set before posting.
+func (v *VI) SetSendCQ(cq *CompletionQueue) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.sendCQ = cq
+}
+
+// SetRecvCQ routes receive completions to a completion queue instead of
+// the VI-local RecvWait channel. Must be set before posting.
+func (v *VI) SetRecvCQ(cq *CompletionQueue) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.recvCQ = cq
+}
+
+// Connect dials a VI listening on the remote NIC's service and blocks
+// until the connection is accepted or rejected.
+func (v *VI) Connect(remoteAddr, service string) error {
+	v.mu.Lock()
+	if v.state == viClosed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	if v.state != viIdle {
+		v.mu.Unlock()
+		return ErrAlreadyConnected
+	}
+	v.mu.Unlock()
+
+	remote, err := v.nic.fabric.lookup(remoteAddr)
+	if err != nil {
+		return err
+	}
+	l, err := remote.listener(service)
+	if err != nil {
+		return err
+	}
+	req := &connReq{fromVI: v, reply: make(chan error, 1)}
+	select {
+	case l.ch <- req:
+	case <-l.closed:
+		return ErrClosed
+	case <-v.nic.done:
+		return ErrClosed
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-v.nic.done:
+		return ErrClosed
+	}
+}
+
+// bind pairs two VIs; called by Listener.Accept with both sides known.
+func bind(a, b *VI) error {
+	if a.reliability != b.reliability {
+		return fmt.Errorf("%w: reliability mismatch (%v vs %v)", ErrRejected, a.reliability, b.reliability)
+	}
+	// Lock in a global order to avoid deadlock with concurrent binds.
+	first, second := a, b
+	if first.nic.addr > second.nic.addr || (first.nic.addr == second.nic.addr && first.id > second.id) {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if a.state != viIdle || b.state != viIdle {
+		return ErrAlreadyConnected
+	}
+	a.state, b.state = viConnected, viConnected
+	a.peerNIC, a.peerVIID = b.nic, b.id
+	b.peerNIC, b.peerVIID = a.nic, a.id
+	return nil
+}
+
+func (v *VI) peerRef() (*NIC, uint32, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch v.state {
+	case viConnected:
+		return v.peerNIC, v.peerVIID, nil
+	case viBroken:
+		return nil, 0, fmt.Errorf("%w: %v", ErrBroken, v.brokenErr)
+	case viClosed:
+		return nil, 0, ErrClosed
+	default:
+		return nil, 0, ErrNotConnected
+	}
+}
+
+// PostSend posts a send descriptor: the payload described by its
+// segments is transferred to the peer VI's next receive descriptor.
+func (v *VI) PostSend(d *Descriptor) error {
+	return v.postOut(d, opSend)
+}
+
+// PostRDMAWrite posts a remote memory write: the payload is written
+// directly into the peer NIC's registered region at the given offset,
+// without involving the remote processor or consuming a receive
+// descriptor. The remote region must have remote writes enabled.
+func (v *VI) PostRDMAWrite(d *Descriptor, remote Handle, remoteOffset int) error {
+	d.remoteHandle = remote
+	d.remoteOffset = remoteOffset
+	return v.postOut(d, opRDMA)
+}
+
+func (v *VI) postOut(d *Descriptor, op opcode) error {
+	v.mu.Lock()
+	switch v.state {
+	case viClosed:
+		v.mu.Unlock()
+		return ErrClosed
+	case viBroken:
+		err := v.brokenErr
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrBroken, err)
+	case viIdle:
+		v.mu.Unlock()
+		return ErrNotConnected
+	}
+	if v.sendPending >= v.depth {
+		v.mu.Unlock()
+		return ErrQueueFull
+	}
+	if err := d.markPosted(); err != nil {
+		v.mu.Unlock()
+		return err
+	}
+	v.sendPending++
+	v.mu.Unlock()
+
+	if err := v.nic.post(workItem{vi: v, desc: d, op: op}); err != nil {
+		v.mu.Lock()
+		v.sendPending--
+		v.mu.Unlock()
+		d.complete(0, err)
+		return err
+	}
+	v.nic.sendsPosted.Add(1)
+	return nil
+}
+
+// PostRecv posts a receive descriptor; incoming sends consume posted
+// descriptors in FIFO order.
+func (v *VI) PostRecv(d *Descriptor) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.state == viClosed {
+		return ErrClosed
+	}
+	if len(v.recvQ) >= v.depth {
+		return ErrQueueFull
+	}
+	if err := d.markPosted(); err != nil {
+		return err
+	}
+	v.recvQ = append(v.recvQ, d)
+	v.nic.recvsPosted.Add(1)
+	return nil
+}
+
+func (v *VI) popRecv() *Descriptor {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.recvQ) == 0 {
+		return nil
+	}
+	d := v.recvQ[0]
+	v.recvQ = v.recvQ[1:]
+	return d
+}
+
+// Completion reports one finished descriptor.
+type Completion struct {
+	VI   *VI
+	Desc *Descriptor
+	// Send is true for send/RDMA completions, false for receives.
+	Send bool
+}
+
+func (v *VI) sendCompleted(d *Descriptor, err error) {
+	v.mu.Lock()
+	v.sendPending--
+	cq := v.sendCQ
+	v.mu.Unlock()
+	c := Completion{VI: v, Desc: d, Send: true}
+	if cq != nil {
+		cq.push(c)
+		return
+	}
+	// Best-effort notification: the descriptor's own status is the
+	// authoritative completion record (Descriptor.Wait/Status), so an
+	// undrained notification channel must not stall the NIC engine.
+	select {
+	case v.sendDone <- c:
+	default:
+	}
+}
+
+func (v *VI) recvCompleted(d *Descriptor, err error) {
+	v.mu.Lock()
+	cq := v.recvCQ
+	v.mu.Unlock()
+	c := Completion{VI: v, Desc: d, Send: false}
+	if cq != nil {
+		cq.push(c)
+		return
+	}
+	select {
+	case v.recvDone <- c:
+	default:
+	}
+}
+
+// SendWait waits for the next send completion on a VI without a send
+// CQ. timeout <= 0 waits forever. Notifications are best-effort with a
+// 4x queue-depth buffer: a caller that lets them accumulate must fall
+// back to Descriptor.Wait, which never loses a completion.
+func (v *VI) SendWait(timeout time.Duration) (Completion, error) {
+	return waitCompletion(v.sendDone, timeout)
+}
+
+// RecvWait waits for the next receive completion on a VI without a
+// receive CQ. timeout <= 0 waits forever. The same best-effort
+// buffering as SendWait applies.
+func (v *VI) RecvWait(timeout time.Duration) (Completion, error) {
+	return waitCompletion(v.recvDone, timeout)
+}
+
+func waitCompletion(ch chan Completion, timeout time.Duration) (Completion, error) {
+	if timeout <= 0 {
+		c, ok := <-ch
+		if !ok {
+			return Completion{}, ErrClosed
+		}
+		return c, nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case c, ok := <-ch:
+		if !ok {
+			return Completion{}, ErrClosed
+		}
+		return c, nil
+	case <-t.C:
+		return Completion{}, ErrTimeout
+	}
+}
+
+// breakConn moves the VI (and its peer) to the error state: reliable
+// connections report errors rather than masking them (Section 2.1).
+func (v *VI) breakConn(err error) {
+	v.mu.Lock()
+	if v.state != viConnected {
+		v.mu.Unlock()
+		return
+	}
+	v.state = viBroken
+	v.brokenErr = err
+	peer := v.peerNIC
+	peerID := v.peerVIID
+	pending := v.recvQ
+	v.recvQ = nil
+	v.mu.Unlock()
+	for _, d := range pending {
+		d.complete(0, err)
+		v.recvCompleted(d, err)
+	}
+	if peer != nil {
+		if pv, ok := peer.vi(peerID); ok {
+			pv.breakConn(err)
+		}
+	}
+}
+
+// Err returns the error that broke the connection, if any.
+func (v *VI) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.brokenErr
+}
+
+// Peer returns the connected peer's fabric address and VI id, or
+// ok == false when the VI is not (or no longer) connected.
+func (v *VI) Peer() (addr string, id uint32, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.state != viConnected || v.peerNIC == nil {
+		return "", 0, false
+	}
+	return v.peerNIC.addr, v.peerVIID, true
+}
+
+// Close disconnects the VI; pending receive descriptors complete with
+// ErrClosed.
+func (v *VI) Close() {
+	v.mu.Lock()
+	if v.state == viClosed {
+		v.mu.Unlock()
+		return
+	}
+	wasConnected := v.state == viConnected
+	v.state = viClosed
+	peer := v.peerNIC
+	peerID := v.peerVIID
+	pending := v.recvQ
+	v.recvQ = nil
+	v.mu.Unlock()
+	for _, d := range pending {
+		d.complete(0, ErrClosed)
+		v.recvCompleted(d, ErrClosed)
+	}
+	if wasConnected && peer != nil {
+		if pv, ok := peer.vi(peerID); ok {
+			pv.breakConn(ErrClosed)
+		}
+	}
+	v.nic.mu.Lock()
+	delete(v.nic.vis, v.id)
+	v.nic.mu.Unlock()
+}

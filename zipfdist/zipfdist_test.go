@@ -1,0 +1,269 @@
+package zipfdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		n     int
+		alpha float64
+	}{
+		{0, 0.8},
+		{-5, 0.8},
+		{10, -0.1},
+		{10, math.NaN()},
+		{10, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := New(c.n, c.alpha); err == nil {
+			t.Errorf("New(%d, %v): expected error", c.n, c.alpha)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0, 0.8) did not panic")
+		}
+	}()
+	MustNew(0, 0.8)
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 0.8, 1, 1.5} {
+		d := MustNew(1000, alpha)
+		sum := 0.0
+		for i := 1; i <= d.N(); i++ {
+			sum += d.P(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: probabilities sum to %v, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestPMonotoneDecreasing(t *testing.T) {
+	d := MustNew(500, 0.8)
+	for i := 2; i <= d.N(); i++ {
+		if d.P(i) > d.P(i-1)+1e-15 {
+			t.Fatalf("P(%d)=%v > P(%d)=%v", i, d.P(i), i-1, d.P(i-1))
+		}
+	}
+}
+
+func TestPOutOfRange(t *testing.T) {
+	d := MustNew(10, 0.8)
+	if d.P(0) != 0 || d.P(11) != 0 || d.P(-3) != 0 {
+		t.Error("P outside 1..N must be 0")
+	}
+}
+
+func TestUniformWhenAlphaZero(t *testing.T) {
+	d := MustNew(100, 0)
+	for i := 1; i <= 100; i++ {
+		if math.Abs(d.P(i)-0.01) > 1e-12 {
+			t.Fatalf("alpha=0: P(%d)=%v, want 0.01", i, d.P(i))
+		}
+	}
+}
+
+func TestCDFEndpoints(t *testing.T) {
+	d := MustNew(42, 0.8)
+	if got := d.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	if got := d.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+	if got := d.CDF(42); got != 1 {
+		t.Errorf("CDF(N) = %v, want 1", got)
+	}
+	if got := d.CDF(100); got != 1 {
+		t.Errorf("CDF(>N) = %v, want 1", got)
+	}
+}
+
+func TestCDFMatchesZ(t *testing.T) {
+	const f = 2000
+	const alpha = 0.8
+	d := MustNew(f, alpha)
+	for _, n := range []int{1, 10, 100, 1999, 2000} {
+		want := Z(float64(n), f, alpha)
+		got := d.CDF(n)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("CDF(%d)=%v, Z=%v", n, got, want)
+		}
+	}
+}
+
+func TestRankInvertsCDF(t *testing.T) {
+	d := MustNew(1000, 0.8)
+	for _, u := range []float64{0, 1e-9, 0.1, 0.5, 0.9, 0.999999, 1} {
+		r := d.Rank(u)
+		if r < 1 || r > d.N() {
+			t.Fatalf("Rank(%v) = %d out of range", u, r)
+		}
+		// CDF(r-1) < u <= CDF(r) must hold for interior u.
+		if u > 0 && u < 1 {
+			if d.CDF(r) < u {
+				t.Errorf("Rank(%v)=%d but CDF(%d)=%v < u", u, r, r, d.CDF(r))
+			}
+			if r > 1 && d.CDF(r-1) >= u {
+				t.Errorf("Rank(%v)=%d but CDF(%d)=%v >= u", u, r, r-1, d.CDF(r-1))
+			}
+		}
+	}
+}
+
+func TestRankSamplingMatchesP(t *testing.T) {
+	d := MustNew(50, 0.8)
+	rng := rand.New(rand.NewSource(1))
+	const samples = 200000
+	counts := make([]int, 51)
+	for i := 0; i < samples; i++ {
+		counts[d.Rank(rng.Float64())]++
+	}
+	for r := 1; r <= 5; r++ {
+		got := float64(counts[r]) / samples
+		want := d.P(r)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("rank %d: empirical %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestHarmonicExactSmall(t *testing.T) {
+	// H_{4,1} = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+	if got, want := Harmonic(4, 1), 25.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Harmonic(4,1) = %v, want %v", got, want)
+	}
+	// H_{3,0} = 3.
+	if got := Harmonic(3, 0); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Harmonic(3,0) = %v, want 3", got)
+	}
+	if got := Harmonic(0, 0.8); got != 0 {
+		t.Errorf("Harmonic(0,.8) = %v, want 0", got)
+	}
+}
+
+func TestHarmonicApproximationAgrees(t *testing.T) {
+	// Compare the Euler–Maclaurin path (n > 100000) against a direct sum.
+	const n = 150000
+	for _, alpha := range []float64{0.5, 0.8, 1.0} {
+		direct := 0.0
+		for i := 1; i <= n; i++ {
+			direct += math.Pow(float64(i), -alpha)
+		}
+		got := Harmonic(n, alpha)
+		if rel := math.Abs(got-direct) / direct; rel > 1e-9 {
+			t.Errorf("alpha=%v: Harmonic=%v direct=%v rel err %v", alpha, got, direct, rel)
+		}
+	}
+}
+
+func TestZBoundaries(t *testing.T) {
+	if got := Z(0, 100, 0.8); got != 0 {
+		t.Errorf("Z(0) = %v", got)
+	}
+	if got := Z(100, 100, 0.8); got != 1 {
+		t.Errorf("Z(F) = %v", got)
+	}
+	if got := Z(500, 100, 0.8); got != 1 {
+		t.Errorf("Z(>F) = %v", got)
+	}
+	if got := Z(5, 0, 0.8); got != 0 {
+		t.Errorf("Z with F=0 = %v", got)
+	}
+}
+
+func TestZInterpolation(t *testing.T) {
+	// Z at n+0.5 must lie strictly between Z(n) and Z(n+1).
+	const f = 1000
+	const alpha = 0.8
+	for _, n := range []float64{1, 10, 500} {
+		lo := Z(n, f, alpha)
+		hi := Z(n+1, f, alpha)
+		mid := Z(n+0.5, f, alpha)
+		if !(lo < mid && mid < hi) {
+			t.Errorf("Z(%v)=%v not between Z=%v and Z=%v", n+0.5, mid, lo, hi)
+		}
+	}
+}
+
+func TestInvZRoundTrip(t *testing.T) {
+	const f = 5000
+	const alpha = 0.8
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		n := InvZ(p, f, alpha)
+		if Z(float64(n), f, alpha) < p {
+			t.Errorf("InvZ(%v)=%d but Z=%v < p", p, n, Z(float64(n), f, alpha))
+		}
+		if n > 1 && Z(float64(n-1), f, alpha) >= p {
+			t.Errorf("InvZ(%v)=%d not minimal", p, n)
+		}
+	}
+	if InvZ(0, f, alpha) != 0 {
+		t.Error("InvZ(0) != 0")
+	}
+	if InvZ(1, f, alpha) != f {
+		t.Error("InvZ(1) != F")
+	}
+}
+
+func TestZMonotoneProperty(t *testing.T) {
+	// Property: Z is non-decreasing in n and, for fixed small n>=1,
+	// non-decreasing in alpha (more skew concentrates mass at the top).
+	f := 300
+	check := func(a, b uint16) bool {
+		n1 := float64(a%300) + 1
+		n2 := float64(b%300) + 1
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		return Z(n1, f, 0.8) <= Z(n2, f, 0.8)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	for _, n := range []float64{1, 5, 30} {
+		prev := 0.0
+		for _, alpha := range []float64{0, 0.3, 0.6, 0.9, 1.2} {
+			z := Z(n, f, alpha)
+			if z+1e-12 < prev {
+				t.Errorf("Z(%v, %v, alpha=%v) decreased: %v < %v", n, f, alpha, z, prev)
+			}
+			prev = z
+		}
+	}
+}
+
+func TestRankPropertyInRange(t *testing.T) {
+	d := MustNew(777, 0.73)
+	check := func(u float64) bool {
+		r := d.Rank(math.Abs(math.Mod(u, 1)))
+		return r >= 1 && r <= 777
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	d := MustNew(30000, 0.8)
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Rank(rng.Float64())
+	}
+}
+
+func BenchmarkZLargeF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Z(1e6, 4e6, 0.8)
+	}
+}
