@@ -1,0 +1,21 @@
+# press — build and verification entry points.
+
+GO ?= go
+
+.PHONY: build test race lint check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/presslint ./...
+
+# check is the full gate: vet, build, race-enabled tests, presslint.
+check:
+	sh scripts/check.sh

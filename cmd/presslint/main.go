@@ -1,0 +1,143 @@
+// Command presslint runs the project-specific static-analysis suite
+// over the given packages (default ./...) and exits nonzero on
+// findings. It is part of the tier-1 check gate (see `make check`).
+//
+// Usage:
+//
+//	go run ./cmd/presslint [-json] [packages...]
+//
+// Package arguments are directories; a trailing /... walks
+// recursively. Findings print as
+//
+//	file:line: [analyzer] message
+//
+// or, with -json, as one JSON object per line:
+//
+//	{"file":...,"line":...,"analyzer":...,"message":...}
+//
+// Suppress a finding with //presslint:ignore <analyzer> <justification>
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"press/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: presslint [-json] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-22s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "presslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	// One source importer for every package: it resolves stdlib imports
+	// (sync, time, ...) so analyzers get real types, and caches across
+	// packages. Intra-module imports fail harmlessly; see lint.TypeCheck.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var findings []lint.Finding
+	for _, dir := range dirs {
+		pkg, err := lint.LoadDir(fset, dir)
+		if err != nil {
+			// Unparseable code is the build gate's problem; report and
+			// keep linting the rest.
+			fmt.Fprintf(os.Stderr, "presslint: %v\n", err)
+			continue
+		}
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		pkg.TypeCheck(imp)
+		findings = append(findings, lint.Check(pkg)...)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		if *jsonOut {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(os.Stderr, "presslint: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "presslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expand turns package patterns into the list of directories to lint.
+func expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if root == "" || root == "." {
+			root = "."
+		}
+		if !recursive {
+			info, err := os.Stat(root)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				return nil, fmt.Errorf("%s is not a directory", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}

@@ -1,0 +1,128 @@
+package lint
+
+import "testing"
+
+func TestDescriptorLifecycle(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "re-post without reap",
+			src: `package fx
+
+func f() {
+	d := MustDescriptor(Segment{Region: r, Len: 8})
+	vi.PostSend(d)
+	vi.PostSend(d) // want
+}
+`,
+		},
+		{
+			name: "reset while posted",
+			src: `package fx
+
+func f(d *Descriptor) {
+	vi.PostSend(d)
+	d.Reset() // want
+}
+`,
+		},
+		{
+			name: "region mutated behind a posted descriptor",
+			src: `package fx
+
+func f(buf []byte) {
+	d := MustDescriptor(Segment{Region: r, Len: 8})
+	vi.PostSend(d)
+	r.Write(buf, 0) // want
+}
+`,
+		},
+		{
+			name: "post in a loop with no reap is a re-post",
+			src: `package fx
+
+func f(n int) {
+	for i := 0; i < n; i++ {
+		vi.PostSend(d) // want
+	}
+}
+`,
+		},
+		{
+			name: "completion reaped between posts",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	cq.Wait(0)
+	vi.PostSend(d)
+}
+`,
+		},
+		{
+			name: "status gate clears the descriptor",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	if d.Status() == DescDone {
+		vi.PostSend(d)
+	}
+}
+`,
+		},
+		{
+			name: "descriptor escaping to a helper stops tracking",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	ship(d)
+	vi.PostSend(d)
+}
+`,
+		},
+		{
+			name: "loop that reaps each iteration",
+			src: `package fx
+
+func f(n int) {
+	for i := 0; i < n; i++ {
+		vi.PostSend(d)
+		cq.Wait(0)
+	}
+}
+`,
+		},
+		{
+			name: "region write after descriptor completes",
+			src: `package fx
+
+func f(buf []byte) {
+	d := MustDescriptor(Segment{Region: r, Len: 8})
+	vi.PostSend(d)
+	d.Wait(0)
+	r.Write(buf, 0)
+}
+`,
+		},
+		{
+			name: "suppressed re-post",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	//presslint:ignore descriptor-lifecycle retried only after ErrQueueFull
+	vi.PostSend(d)
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, descriptorLifecycleName, tc.src, false)
+		})
+	}
+}

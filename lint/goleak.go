@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// goroutineLeak flags `go func` literals in non-test files containing
+// an unconditional `for` loop with no visible exit path. PRESS runs a
+// fixed set of long-lived helper threads (main loop, send thread, disk
+// threads, receive thread, poll thread — Figure 2 of the paper), and
+// every one must observe shutdown: a leaked goroutine pins its NIC,
+// its buffers, and — when blocked inside the VIA layer — an entire VI.
+//
+// Exit evidence inside the loop (any one suffices): a return or break,
+// a select (shutdown is typically a done-channel case), a channel
+// receive, or a call to Done/Err (context plumbing). Goroutines whose
+// literal contains no unconditional loop terminate on their own and
+// are never flagged; named methods launched with `go n.method()` are
+// analyzed where the method is defined.
+const goroutineLeakName = "goroutine-leak"
+
+var goroutineLeak = &Analyzer{
+	Name:      goroutineLeakName,
+	Doc:       "go func literal loops forever with no exit path",
+	SkipTests: true,
+	Run:       runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Package, f *File) []Finding {
+	var out []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, loop := range infiniteLoops(lit.Body) {
+			if !hasExitEvidence(loop.Body) {
+				out = append(out, Finding{
+					File:     f.Name,
+					Line:     p.line(loop.Pos()),
+					Analyzer: goroutineLeakName,
+					Message:  "goroutine loops forever with no exit path (no return, break, select, channel receive, or Done/Err call); it outlives shutdown",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// infiniteLoops collects `for {}`-style loops (no condition) in the
+// goroutine body, not descending into nested function literals.
+func infiniteLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var loops []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond == nil {
+			loops = append(loops, fs)
+		}
+		return true
+	})
+	return loops
+}
+
+// hasExitEvidence reports whether the loop body contains anything that
+// can end the loop or park it on shutdown-aware communication.
+func hasExitEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel ends when it closes; without type
+			// info this is indistinguishable, so give the benefit of
+			// the doubt.
+			found = true
+		case *ast.CallExpr:
+			if _, name, ok := selectorCall(n); ok && (name == "Done" || name == "Err") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

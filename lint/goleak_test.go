@@ -1,0 +1,107 @@
+package lint
+
+import "testing"
+
+func TestGoroutineLeak(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		test bool
+	}{
+		{
+			name: "unconditional loop with no exit",
+			src: `package fx
+
+func f() {
+	go func() {
+		for { // want
+			work()
+		}
+	}()
+}
+`,
+		},
+		{
+			name: "select provides the exit path",
+			src: `package fx
+
+func f(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case m := <-ch:
+				handle(m)
+			}
+		}
+	}()
+}
+`,
+		},
+		{
+			name: "channel receive parks on shutdown-aware communication",
+			src: `package fx
+
+func f(ch chan int) {
+	go func() {
+		for {
+			m := <-ch
+			handle(m)
+		}
+	}()
+}
+`,
+		},
+		{
+			name: "conditional loops and named methods are not flagged",
+			src: `package fx
+
+func f(n int) {
+	go t.run()
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+	go func() {
+		work()
+	}()
+}
+`,
+		},
+		{
+			name: "test files are exempt",
+			src: `package fx
+
+func f() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+`,
+			test: true,
+		},
+		{
+			name: "suppressed loop",
+			src: `package fx
+
+func f() {
+	go func() {
+		//presslint:ignore goroutine-leak drains until process exit by design
+		for {
+			work()
+		}
+	}()
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, goroutineLeakName, tc.src, tc.test)
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFixture builds a single-file Package from an in-memory source
+// fixture, without type information (analyzers fall back to their name
+// heuristics, which is also how they behave on unresolvable code).
+func parseFixture(t *testing.T, src string, isTest bool) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return &Package{
+		Fset:  fset,
+		Files: []*File{{Name: "fixture.go", AST: af, Test: isTest}},
+	}
+}
+
+// assertFindings runs Check over p and compares the findings of one
+// analyzer against the fixture's `// want` markers: every marked line
+// must be reported, every reported line must be marked.
+func assertFindings(t *testing.T, p *Package, src, analyzer string) {
+	t.Helper()
+	got := make(map[int]bool)
+	for _, fd := range Check(p) {
+		if fd.Analyzer == analyzer {
+			got[fd.Line] = true
+		}
+	}
+	want := make(map[int]bool)
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "// want") {
+			want[i+1] = true
+		}
+	}
+	for l := range want {
+		if !got[l] {
+			t.Errorf("line %d: expected a %s finding, got none", l, analyzer)
+		}
+	}
+	for l := range got {
+		if !want[l] {
+			t.Errorf("line %d: unexpected %s finding", l, analyzer)
+		}
+	}
+}
+
+// checkFixture is the common path for the heuristic (untyped) cases.
+func checkFixture(t *testing.T, analyzer, src string, isTest bool) {
+	t.Helper()
+	assertFindings(t, parseFixture(t, src, isTest), src, analyzer)
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "via/vi.go", Line: 42, Analyzer: "mutex-across-block", Message: "held"}
+	if got, want := f.String(), "via/vi.go:42: [mutex-across-block] held"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "standalone comment suppresses line below",
+			src: `package fx
+
+func f() {
+	//presslint:ignore naked-sleep modeled delay
+	time.Sleep(d)
+}
+`,
+		},
+		{
+			name: "trailing comment suppresses its own line",
+			src: `package fx
+
+func f() {
+	time.Sleep(d) //presslint:ignore naked-sleep modeled delay
+}
+`,
+		},
+		{
+			name: "all suppresses every analyzer",
+			src: `package fx
+
+func f() {
+	//presslint:ignore all fixture
+	time.Sleep(d)
+}
+`,
+		},
+		{
+			name: "comma-separated names",
+			src: `package fx
+
+func f() {
+	//presslint:ignore naked-sleep,mutex-across-block fixture
+	time.Sleep(d)
+}
+`,
+		},
+		{
+			name: "misspelled analyzer name does not suppress",
+			src: `package fx
+
+func f() {
+	//presslint:ignore naked-sloop typo
+	time.Sleep(d) // want
+}
+`,
+		},
+		{
+			name: "wrong analyzer name does not suppress",
+			src: `package fx
+
+func f() {
+	//presslint:ignore goroutine-leak wrong check
+	time.Sleep(d) // want
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, nakedSleepName, tc.src, false)
+		})
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.go":      "package fx\n",
+		"a_test.go": "package fx\n",
+		"note.txt":  "not go\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := LoadDir(token.NewFileSet(), dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(p.Files) != 2 {
+		t.Fatalf("LoadDir picked up %d files, want 2", len(p.Files))
+	}
+	byName := make(map[string]bool)
+	for _, f := range p.Files {
+		byName[filepath.Base(f.Name)] = f.Test
+	}
+	if isTest, ok := byName["a.go"]; !ok || isTest {
+		t.Errorf("a.go: ok=%v test=%v, want loaded as non-test", ok, isTest)
+	}
+	if isTest, ok := byName["a_test.go"]; !ok || !isTest {
+		t.Errorf("a_test.go: ok=%v test=%v, want loaded as test", ok, isTest)
+	}
+}
+
+// TestTypeAwareMutex exercises the go/types-backed paths that the name
+// heuristics cannot decide: a sync.Cond whose field name does not
+// mention "cond", a Lock method on a type that is not a sync mutex,
+// and a range over a value only the type-checker knows is a channel.
+func TestTypeAwareMutex(t *testing.T) {
+	const src = `package fx
+
+import "sync"
+
+type Q struct {
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	notify *sync.Cond
+}
+
+func (q *Q) pop() {
+	q.mu.Lock()
+	q.notify.Wait()
+	q.mu.Unlock()
+}
+
+func (q *Q) bad() {
+	q.mu.Lock()
+	q.wg.Wait() // want
+	q.mu.Unlock()
+}
+
+func (q *Q) drain(ch chan int) {
+	q.mu.Lock()
+	for range ch { // want
+	}
+	q.mu.Unlock()
+}
+
+type spin struct{ v int }
+
+func (s *spin) Lock()   {}
+func (s *spin) Unlock() {}
+
+func free(sp *spin, ch chan int) {
+	sp.Lock()
+	ch <- 1
+	sp.Unlock()
+}
+`
+	p := parseFixture(t, src, false)
+	p.TypeCheck(importer.ForCompiler(p.Fset, "source", nil))
+	if p.Info == nil {
+		t.Fatal("TypeCheck produced no info; source importer unavailable")
+	}
+	assertFindings(t, p, src, mutexAcrossBlockName)
+}

@@ -1,0 +1,136 @@
+package lint
+
+import "testing"
+
+func TestMutexAcrossBlock(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "channel send while held",
+			src: `package fx
+
+func f(ch chan int) {
+	mu.Lock()
+	ch <- 1 // want
+	mu.Unlock()
+}
+`,
+		},
+		{
+			name: "channel receive while held",
+			src: `package fx
+
+func f(ch chan int) {
+	mu.Lock()
+	v := <-ch // want
+	mu.Unlock()
+	use(v)
+}
+`,
+		},
+		{
+			name: "blocking call while deferred unlock holds the lock",
+			src: `package fx
+
+func f() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.cq.Wait(0) // want
+}
+`,
+		},
+		{
+			name: "select without default while held",
+			src: `package fx
+
+func f(ch chan int) {
+	mu.Lock()
+	select { // want
+	case <-ch:
+	}
+	mu.Unlock()
+}
+`,
+		},
+		{
+			name: "time.Sleep while held",
+			src: `package fx
+
+func f() {
+	mu.Lock()
+	time.Sleep(d) // want
+	mu.Unlock()
+}
+`,
+		},
+		{
+			name: "unlock before the send releases",
+			src: `package fx
+
+func f(ch chan int) {
+	mu.Lock()
+	x++
+	mu.Unlock()
+	ch <- 1
+}
+`,
+		},
+		{
+			name: "select with default never blocks",
+			src: `package fx
+
+func f(ch chan int) {
+	mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	mu.Unlock()
+}
+`,
+		},
+		{
+			name: "cond wait releases the mutex (name heuristic)",
+			src: `package fx
+
+func f() {
+	q.mu.Lock()
+	q.cond.Wait()
+	q.mu.Unlock()
+}
+`,
+		},
+		{
+			name: "goroutine body is a separate scope",
+			src: `package fx
+
+func f(ch chan int) {
+	mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	mu.Unlock()
+}
+`,
+		},
+		{
+			name: "suppressed with justification",
+			src: `package fx
+
+func f(ch chan int) {
+	mu.Lock()
+	//presslint:ignore mutex-across-block reply channel is 1-buffered, written once
+	ch <- 1
+	mu.Unlock()
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, mutexAcrossBlockName, tc.src, false)
+		})
+	}
+}

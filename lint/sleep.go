@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// nakedSleep flags time.Sleep in production (non-test) code outside
+// the dedicated defaultSleep seam (via/vi.go). A naked sleep either
+// hides a synchronization bug behind a timing assumption or embeds a
+// latency constant that belongs in the event simulator's cost model
+// (press/eventsim, press/netmodel), where the paper's methodology puts
+// all modeled delays. Code that genuinely must pace itself goes
+// through a named, documented seam or takes a suppression comment
+// explaining why the delay is part of the modeled workload.
+const nakedSleepName = "naked-sleep"
+
+var nakedSleep = &Analyzer{
+	Name:      nakedSleepName,
+	Doc:       "time.Sleep in production code hides latency that the simulator should model",
+	SkipTests: true,
+	Run:       runNakedSleep,
+}
+
+func runNakedSleep(p *Package, f *File) []Finding {
+	var out []Finding
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Name.Name == "defaultSleep" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := selectorCall(call)
+			if !ok || name != "Sleep" {
+				return true
+			}
+			if id, ok := recv.(*ast.Ident); !ok || id.Name != "time" {
+				return true
+			}
+			out = append(out, Finding{
+				File:     f.Name,
+				Line:     p.line(call.Pos()),
+				Analyzer: nakedSleepName,
+				Message:  "naked time.Sleep in production code; model the delay (eventsim/netmodel) or route it through a documented seam",
+			})
+			return true
+		})
+	}
+	return out
+}

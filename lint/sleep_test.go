@@ -1,0 +1,63 @@
+package lint
+
+import "testing"
+
+func TestNakedSleep(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		test bool
+	}{
+		{
+			name: "time.Sleep in production code",
+			src: `package fx
+
+func pace() {
+	time.Sleep(time.Millisecond) // want
+}
+`,
+		},
+		{
+			name: "defaultSleep is the sanctioned seam",
+			src: `package fx
+
+func defaultSleep(d time.Duration) {
+	time.Sleep(d)
+}
+`,
+		},
+		{
+			name: "Sleep on a non-time receiver",
+			src: `package fx
+
+func f(c clock) {
+	c.Sleep(time.Second)
+}
+`,
+		},
+		{
+			name: "test files are exempt",
+			src: `package fx
+
+func f() {
+	time.Sleep(time.Millisecond)
+}
+`,
+			test: true,
+		},
+		{
+			name: "suppressed with justification",
+			src: `package fx
+
+func f() {
+	time.Sleep(delay) //presslint:ignore naked-sleep modeled disk latency
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, nakedSleepName, tc.src, tc.test)
+		})
+	}
+}

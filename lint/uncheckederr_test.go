@@ -1,0 +1,89 @@
+package lint
+
+import "testing"
+
+func TestUncheckedCommsError(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		test bool
+	}{
+		{
+			name: "bare call statement",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d) // want
+}
+`,
+		},
+		{
+			name: "blank assignment",
+			src: `package fx
+
+func f() {
+	_ = t.sendRegular(p, m, false) // want
+}
+`,
+		},
+		{
+			name: "go and defer make the error unobservable",
+			src: `package fx
+
+func f() {
+	go vi.Connect(addr, svc) // want
+	defer l.Accept(v)        // want
+}
+`,
+		},
+		{
+			name: "checked errors pass",
+			src: `package fx
+
+func f() error {
+	if err := vi.PostSend(d); err != nil {
+		return err
+	}
+	err := vi.Connect(addr, svc)
+	return err
+}
+`,
+		},
+		{
+			name: "non-transport calls ignored",
+			src: `package fx
+
+func f() {
+	fmt.Println(x)
+	cleanup()
+}
+`,
+		},
+		{
+			name: "test files are exempt",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	_ = vi.Connect(addr, svc)
+}
+`,
+			test: true,
+		},
+		{
+			name: "suppressed discard",
+			src: `package fx
+
+func f() {
+	//presslint:ignore unchecked-comms-error best-effort notification, peer may be gone
+	_ = t.sendRegular(p, m, false)
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, uncheckedCommsErrorName, tc.src, tc.test)
+		})
+	}
+}

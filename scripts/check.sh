@@ -1,0 +1,19 @@
+#!/bin/sh
+# check.sh — the repo's verification gate: vet, build, race-enabled
+# tests, and the project's own static analysis. Run from the repo root
+# (make check does).
+set -eu
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> presslint ./..."
+go run ./cmd/presslint ./...
+
+echo "check: all gates passed"

@@ -61,6 +61,7 @@ func (s *Store) Read(name string) ([]byte, error) {
 		return nil, fmt.Errorf("server: no such file %q", name)
 	}
 	if s.delay > 0 {
+		//presslint:ignore naked-sleep the simulated disk latency IS the modeled workload delay (paper's disk-bound working sets)
 		time.Sleep(s.delay)
 	}
 	s.mu.Lock()

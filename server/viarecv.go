@@ -37,8 +37,7 @@ func (t *viaTransport) recvThread() {
 			continue
 		}
 		// Repost before processing: the window stays open.
-		if err := p.vi.PostRecv(c.Desc); err == nil {
-		} else {
+		if err := p.vi.PostRecv(c.Desc); err != nil {
 			delete(p.recvRegions, c.Desc)
 		}
 		t.handleFrame(p, frame)
@@ -90,7 +89,14 @@ func (t *viaTransport) handleFrame(p *viaPeer, frame []byte) {
 func (t *viaTransport) returnCredits(p *viaPeer, n int64) {
 	if t.cfg.version.Flow == netmodel.StyleRegular {
 		flow := &Message{Type: core.MsgFlow, From: t.cfg.self, Credits: int32(n), Load: -1}
-		_ = t.sendRegular(p, flow, false)
+		if err := t.sendRegular(p, flow, false); err != nil {
+			// The flow message never left, so the peer will not learn
+			// these slots freed up. Put the count back so the next
+			// batch retries; dropping it deadlocks the sender once the
+			// window drains. Safe without locking: only recvThread
+			// calls returnCredits.
+			p.consumed += n
+		}
 		return
 	}
 	// RMW flow control: accumulate the counter locally and write it
@@ -126,6 +132,7 @@ func (t *viaTransport) writeFlowCounter(p *viaPeer, off int, v uint64) {
 
 func (t *viaTransport) postRDMARetry(vi *via.VI, d *via.Descriptor, h via.Handle, off int) error {
 	for {
+		//presslint:ignore descriptor-lifecycle re-post only happens after ErrQueueFull, which means the NIC never accepted the descriptor
 		err := vi.PostRDMAWrite(d, h, off)
 		if err == nil {
 			return nil
@@ -192,6 +199,7 @@ func (t *viaTransport) pollThread() {
 		}
 		idle++
 		if idle > 64 {
+			//presslint:ignore naked-sleep bounded backoff after 64 empty polls; caps busy-wait burn, not a modeled latency
 			time.Sleep(50 * time.Microsecond)
 		}
 	}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"press/core"
+	"press/netmodel"
+	"press/via"
+)
+
+// newViaPair builds two viaTransports connected over one fabric — the
+// same construction cluster.go performs for TransportVIA — and meshes
+// them.
+func newViaPair(t *testing.T, version netmodel.Version) (a, b *viaTransport) {
+	t.Helper()
+	fabric := via.NewFabric()
+	t.Cleanup(func() { fabric.Close() })
+	addrs := []string{"node0", "node1"}
+	vts := make([]*viaTransport, 2)
+	for i := range vts {
+		nic, err := fabric.CreateNIC(addrs[i])
+		if err != nil {
+			t.Fatalf("CreateNIC(%s): %v", addrs[i], err)
+		}
+		vt, err := newViaTransport(nic, viaConfig{
+			self: i, nodes: 2, version: version,
+			window: 8, batch: 4, chunk: 1 << 10, fileRing: 1 << 16,
+		})
+		if err != nil {
+			t.Fatalf("newViaTransport(%d): %v", i, err)
+		}
+		vts[i] = vt
+		t.Cleanup(func() { vt.Close() })
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, vt := range vts {
+		wg.Add(1)
+		go func(i int, vt *viaTransport) {
+			defer wg.Done()
+			errs[i] = vt.connect(addrs)
+		}(i, vt)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("connect(%d): %v", i, err)
+		}
+	}
+	return vts[0], vts[1]
+}
+
+// TestViaTransportRaceStress drives both directions of a two-node mesh
+// with concurrent senders while each side drains its inbound channel,
+// under the communication styles of version 0 (everything on the
+// regular send/receive channel, credit-window flow control) and
+// version 5 (RMW rings everywhere plus zero-copy). Run with -race this
+// exercises viatrans.go send paths against viarecv.go's receive and
+// poll threads.
+func TestViaTransportRaceStress(t *testing.T) {
+	versions := netmodel.Versions()
+	for _, version := range []netmodel.Version{versions[0], versions[5]} {
+		version := version
+		t.Run(version.Name, func(t *testing.T) {
+			a, b := newViaPair(t, version)
+
+			const (
+				senders   = 3
+				iters     = 20
+				smallFile = 256
+				largeFile = 4 << 10 // 4 chunks on the regular channel
+			)
+			wantMsgs := senders * iters    // per control type, per direction
+			wantBytes := senders * iters * (smallFile + largeFile)
+
+			small := make([]byte, smallFile)
+			large := make([]byte, largeFile)
+			for i := range large {
+				large[i] = byte(i)
+			}
+
+			var wg sync.WaitGroup
+			sendErrs := make(chan error, 2*senders*iters*4)
+			drive := func(from *viaTransport, dst int) {
+				for s := 0; s < senders; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						for i := 0; i < iters; i++ {
+							batch := []*Message{
+								{Type: core.MsgCaching, Name: fmt.Sprintf("f%d-%d", s, i), Cached: i%2 == 0, Load: -1},
+								{Type: core.MsgLoad, Load: int32(i)},
+								{Type: core.MsgFile, Load: -1, ReqID: uint64(s<<16 | i), Data: small, Total: smallFile},
+								{Type: core.MsgFile, Load: -1, ReqID: uint64(s<<24 | i), Data: large, Total: largeFile},
+							}
+							for _, m := range batch {
+								if err := from.Send(dst, m); err != nil {
+									sendErrs <- fmt.Errorf("send %v from %d: %w", m.Type, from.cfg.self, err)
+									return
+								}
+							}
+						}
+					}(s)
+				}
+			}
+
+			drain := func(vt *viaTransport, done chan<- error) {
+				caching, load, bytes := 0, 0, 0
+				deadline := time.After(30 * time.Second)
+				for caching < wantMsgs || load < wantMsgs || bytes < wantBytes {
+					select {
+					case m, ok := <-vt.Inbound():
+						if !ok {
+							done <- fmt.Errorf("node %d: inbound closed early", vt.cfg.self)
+							return
+						}
+						switch m.Type {
+						case core.MsgCaching:
+							caching++
+						case core.MsgLoad:
+							load++
+						case core.MsgFile:
+							bytes += len(m.Data)
+						}
+					case <-deadline:
+						done <- fmt.Errorf("node %d: timeout: caching %d/%d load %d/%d bytes %d/%d",
+							vt.cfg.self, caching, wantMsgs, load, wantMsgs, bytes, wantBytes)
+						return
+					}
+				}
+				if caching != wantMsgs || load != wantMsgs || bytes != wantBytes {
+					done <- fmt.Errorf("node %d: overshoot: caching %d load %d bytes %d",
+						vt.cfg.self, caching, load, bytes)
+					return
+				}
+				done <- nil
+			}
+
+			doneA := make(chan error, 1)
+			doneB := make(chan error, 1)
+			go drain(a, doneA)
+			go drain(b, doneB)
+			drive(a, 1)
+			drive(b, 0)
+			wg.Wait()
+			close(sendErrs)
+			for err := range sendErrs {
+				t.Error(err)
+			}
+			if err := <-doneA; err != nil {
+				t.Error(err)
+			}
+			if err := <-doneB; err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -308,6 +308,7 @@ func (t *viaTransport) rawSend(p *viaPeer, frame []byte) error {
 // full (flow control keeps this rare).
 func (t *viaTransport) postSendRetry(vi *via.VI, d *via.Descriptor) error {
 	for {
+		//presslint:ignore descriptor-lifecycle re-post only happens after ErrQueueFull, which means the NIC never accepted the descriptor
 		err := vi.PostSend(d)
 		if !errors.Is(err, via.ErrQueueFull) {
 			return err

@@ -57,6 +57,99 @@ func TestPartitionSilentOnUnreliable(t *testing.T) {
 	_ = nb
 }
 
+func TestPartitionFailsRDMAWrite(t *testing.T) {
+	f, na, nb, va, _ := pair(t, ReliableDelivery)
+
+	// Remote-writable region on nodeB, the target of the RDMA writes.
+	rbuf := make([]byte, 64)
+	rreg, err := nb.RegisterMemory(rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rreg.EnableRemoteWrite()
+
+	sreg, err := na.RegisterMemory([]byte("rdma-payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy remote write first.
+	d := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 12})
+	if err := va.PostRDMAWrite(d, rreg.Handle(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Wait(testTimeout); err != nil {
+		t.Fatalf("pre-partition RDMA write: %v", err)
+	}
+	got := make([]byte, 12)
+	if err := rreg.Read(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "rdma-payload" {
+		t.Fatalf("remote memory = %q", got)
+	}
+
+	// Over a severed link the write must fail with a checked error on
+	// the completion path — never a panic, never silent success.
+	f.Partition("nodeA", "nodeB")
+	d2 := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 12})
+	if err := va.PostRDMAWrite(d2, rreg.Handle(), 0); err != nil {
+		t.Fatalf("post itself should succeed, completion carries the fault: %v", err)
+	}
+	if err := d2.Wait(testTimeout); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("RDMA write over severed link: %v, want ErrLinkDown", err)
+	}
+	// The reliable connection is now broken; further posts report it.
+	d3 := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 12})
+	if err := va.PostRDMAWrite(d3, rreg.Handle(), 0); !errors.Is(err, ErrBroken) {
+		t.Fatalf("RDMA write after break: %v, want ErrBroken", err)
+	}
+}
+
+func TestPartitionCompletesPendingRecvWithError(t *testing.T) {
+	f, na, nb, va, vb := pair(t, ReliableDelivery)
+
+	// Park a receive descriptor on nodeB before the link is cut.
+	rreg, err := nb.RegisterMemory(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := MustDescriptor(Segment{Region: rreg, Offset: 0, Len: 32})
+	if err := vb.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the link and trip the failure from the sender side.
+	f.Partition("nodeA", "nodeB")
+	sreg, err := na.RegisterMemory([]byte("drop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 4})
+	if err := va.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Wait(testTimeout); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send over severed link: %v, want ErrLinkDown", err)
+	}
+
+	// The break propagates: the parked descriptor completes with a
+	// checked error through the normal completion path.
+	c, err := vb.RecvWait(testTimeout)
+	if err != nil {
+		t.Fatalf("RecvWait after break: %v", err)
+	}
+	if c.Desc != rd {
+		t.Fatalf("unexpected completion %+v", c)
+	}
+	if err := rd.Err(); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("parked recv descriptor error = %v, want ErrLinkDown", err)
+	}
+	if rd.Status() != DescError {
+		t.Fatalf("parked recv descriptor status = %v, want DescError", rd.Status())
+	}
+}
+
 func TestHealRestoresNewConnections(t *testing.T) {
 	f, na, nb, _, _ := pair(t, ReliableDelivery)
 	f.Partition("nodeA", "nodeB")

@@ -81,16 +81,21 @@ func (l *Listener) Accept(vi *VI) (remoteAddr string, err error) {
 // ErrClosed.
 func (l *Listener) Close() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.done {
+		l.mu.Unlock()
 		return
 	}
 	l.done = true
 	close(l.closed)
+	l.mu.Unlock()
+	// Past this point l.mu is released: the NIC lock and the dialer
+	// replies below must not nest under it (found by presslint's
+	// mutex-across-block when the replies still ran under l.mu).
 	l.nic.mu.Lock()
 	delete(l.nic.listeners, l.service)
 	l.nic.mu.Unlock()
-	// Reject queued dialers.
+	// Reject queued dialers. Each reply channel is 1-buffered and
+	// written exactly once, so the sends cannot block.
 	for {
 		select {
 		case req := <-l.ch:
