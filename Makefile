@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check
+.PHONY: build test race lint check benchsmoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ race:
 lint:
 	$(GO) run ./cmd/presslint ./...
 
-# check is the full gate: vet, build, race-enabled tests, presslint.
+# benchsmoke builds every benchmark (failing on compile errors) and
+# runs the cheap via-layer send pair once.
+benchsmoke:
+	$(GO) test -run '^$$' -bench '^$$' ./...
+	$(GO) test -run '^$$' -bench BenchmarkViaSendMetrics -benchtime 1x .
+
+# check is the full gate: vet, build, race-enabled tests, presslint,
+# benchmark smoke.
 check:
 	sh scripts/check.sh

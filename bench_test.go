@@ -14,6 +14,7 @@ import (
 	"press/core"
 	"press/experiments"
 	"press/loadgen"
+	"press/metrics"
 	"press/model"
 	"press/netmodel"
 	"press/server"
@@ -282,9 +283,9 @@ func BenchmarkRealClusterVIAV5(b *testing.B) { benchRealCluster(b, server.Transp
 // Software VIA microbenchmarks (the Section 3.2 measurements against
 // the software implementation).
 
-func viaPair(b *testing.B) (*via.NIC, *via.NIC, *via.VI, *via.VI, func()) {
+func viaPair(b *testing.B, opts ...via.FabricOption) (*via.NIC, *via.NIC, *via.VI, *via.VI, func()) {
 	b.Helper()
-	f := via.NewFabric()
+	f := via.NewFabric(opts...)
 	na, err := f.CreateNIC("a")
 	if err != nil {
 		b.Fatal(err)
@@ -327,8 +328,20 @@ func BenchmarkViaSendRecv32K(b *testing.B) {
 	benchViaSend(b, 32*1024)
 }
 
-func benchViaSend(b *testing.B, size int) {
-	na, nb, va, vb, closeF := viaPair(b)
+// BenchmarkViaSendMetricsOff and ...On bracket the cost of the
+// observability layer on the VIA send path. Off (no registry) is the
+// default everywhere; the nil-instrument no-ops must stay within noise
+// of the pre-metrics send path, and On shows the price of enabling it.
+func BenchmarkViaSendMetricsOff(b *testing.B) {
+	benchViaSend(b, 4)
+}
+
+func BenchmarkViaSendMetricsOn(b *testing.B) {
+	benchViaSend(b, 4, via.WithMetrics(metrics.NewRegistry()))
+}
+
+func benchViaSend(b *testing.B, size int, opts ...via.FabricOption) {
+	na, nb, va, vb, closeF := viaPair(b, opts...)
 	defer closeF()
 	sreg, err := na.RegisterMemory(make([]byte, size))
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"press/cache"
 	"press/core"
+	"press/metrics"
 	"press/netmodel"
 	"press/trace"
 )
@@ -92,6 +93,11 @@ type Config struct {
 	// the node that accepted it, with no intra-cluster communication
 	// and no cache aggregation — each node caches only what it serves.
 	ContentOblivious bool
+	// Metrics, when non-nil, collects per-node observability during the
+	// measurement window: message counts by type, copied bytes, remote
+	// memory writes, completion-latency histograms, and CPU/disk/NIC
+	// utilization gauges. Nil (the default) disables all of it.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -209,10 +215,21 @@ type Result struct {
 
 	// Response-time statistics over the measurement window, in
 	// simulated seconds (client-observed: request arrival to last reply
-	// byte on the external interface).
+	// byte on the external interface). P50/P99 come from a log-bucket
+	// histogram, accurate to ~3% relative error.
 	LatencyMean float64
 	LatencyStd  float64
 	LatencyMax  float64
+	LatencyP50  float64
+	LatencyP99  float64
+
+	// CopiedBytes is the modeled payload-copy volume beyond the
+	// transfers themselves (staging at senders, ring copy-out at
+	// receivers); the zero-copy versions drive it down, mirroring
+	// TransportMetrics.CopiedBytes in the real server.
+	CopiedBytes int64
+	// RMWCount is the number of remote memory writes issued.
+	RMWCount int64
 
 	// Cache behaviour.
 	LocalHits  int64 // serviced from the initial node's cache

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"press/metrics"
+	"press/netmodel"
+)
+
+// TestRunMetricsRegistry wires a registry through a VIA/cLAN run with an
+// RMW-capable version and checks that the per-node instrument families
+// agree with the Result the run returns.
+func TestRunMetricsRegistry(t *testing.T) {
+	tr := testTrace(t, 20000)
+	reg := metrics.NewRegistry()
+	cfg := baseConfig(tr)
+	cfg.Version = netmodel.Versions()[3] // RMW both ways: copies and RMWs flow
+	cfg.Metrics = reg
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	// Registry message totals must match the Result's accounting.
+	var msgs, bytes, copied, rmw int64
+	for k, v := range snap.Counters {
+		fam, _ := metrics.Family(k)
+		switch fam {
+		case "sim_msgs_total":
+			msgs += v
+		case "sim_msg_bytes":
+			bytes += v
+		case "sim_copied_bytes":
+			copied += v
+		case "sim_rmw_total":
+			rmw += v
+		}
+	}
+	wantMsgs, wantBytes := r.Msgs.Total()
+	if msgs != wantMsgs {
+		t.Errorf("sim_msgs_total = %d, Result.Msgs.Total() = %d", msgs, wantMsgs)
+	}
+	if bytes != wantBytes {
+		t.Errorf("sim_msg_bytes = %d, Result bytes = %d", bytes, wantBytes)
+	}
+	if copied != r.CopiedBytes {
+		t.Errorf("sim_copied_bytes = %d, Result.CopiedBytes = %d", copied, r.CopiedBytes)
+	}
+	if rmw != r.RMWCount {
+		t.Errorf("sim_rmw_total = %d, Result.RMWCount = %d", rmw, r.RMWCount)
+	}
+	if rmw == 0 {
+		t.Error("V3 run recorded no remote memory writes")
+	}
+
+	// Latency histograms: total observations equal measured requests, and
+	// the per-node quantiles bracket the Result's cluster-wide ones.
+	var latObs int64
+	for k, h := range snap.Histograms {
+		if fam, _ := metrics.Family(k); fam == "sim_request_latency_ns" {
+			latObs += h.Count
+		}
+	}
+	if latObs != r.Requests {
+		t.Errorf("latency observations = %d, want %d", latObs, r.Requests)
+	}
+	if r.LatencyP50 <= 0 || r.LatencyP99 < r.LatencyP50 {
+		t.Errorf("latency quantiles p50=%v p99=%v", r.LatencyP50, r.LatencyP99)
+	}
+	if r.LatencyP99 > r.LatencyMax*1.05 {
+		t.Errorf("p99 %v above max %v", r.LatencyP99, r.LatencyMax)
+	}
+
+	// Utilization gauges: one triple per node, all in [0, 1], CPU busy.
+	for _, fam := range []string{"sim_cpu_util", "sim_disk_util", "sim_nic_util"} {
+		n := 0
+		for k, v := range snap.FloatGauges {
+			if f, _ := metrics.Family(k); f != fam {
+				continue
+			}
+			n++
+			if v < 0 || v > 1 {
+				t.Errorf("%s = %v out of [0,1]", k, v)
+			}
+		}
+		if n != cfg.Nodes {
+			t.Errorf("%s has %d gauges, want %d", fam, n, cfg.Nodes)
+		}
+	}
+
+	// The rendered report mentions the families.
+	var sb strings.Builder
+	if err := reg.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"sim_msgs_total", "sim_request_latency_ns", "sim_cpu_util"} {
+		if !strings.Contains(sb.String(), fam) {
+			t.Errorf("report missing family %s", fam)
+		}
+	}
+}
+
+// TestRunMetricsDisabled checks that a nil registry still fills the new
+// Result fields and that runs with and without metrics agree.
+func TestRunMetricsDisabled(t *testing.T) {
+	tr := testTrace(t, 8000)
+	cfg := baseConfig(tr)
+	cfg.Version = netmodel.Versions()[3]
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = metrics.NewRegistry()
+	instrumented, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CopiedBytes != instrumented.CopiedBytes ||
+		plain.RMWCount != instrumented.RMWCount ||
+		plain.Throughput != instrumented.Throughput {
+		t.Errorf("metrics changed the simulation: %+v vs %+v", plain, instrumented)
+	}
+	if plain.LatencyP50 <= 0 {
+		t.Errorf("LatencyP50 = %v without registry", plain.LatencyP50)
+	}
+}

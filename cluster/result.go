@@ -53,12 +53,27 @@ func (s *simState) result() *Result {
 	r.LatencyMean = s.latency.Mean()
 	r.LatencyStd = s.latency.Std()
 	r.LatencyMax = s.latencyMax
+	if lat := s.latHist.Snapshot(); lat.Count > 0 {
+		r.LatencyP50 = lat.Quantile(0.50) / 1e9
+		r.LatencyP99 = lat.Quantile(0.99) / 1e9
+	}
 	r.LocalHits = s.localHits
 	r.RemoteHits = s.remoteHits
 	r.DiskReads = s.diskReads
+	r.CopiedBytes = s.copiedBytes
+	r.RMWCount = s.rmwCount
 	if r.Requests > 0 {
 		r.ForwardedFraction = float64(s.forwarded) / float64(r.Requests)
 		r.HitRate = float64(s.localHits+s.remoteHits) / float64(r.Requests)
+	}
+	// Publish end-of-run utilization gauges when a registry is attached:
+	// the per-node CPU/disk/NIC load the paper's saturation arguments
+	// rest on.
+	for i, n := range s.nodes {
+		ins := s.ins[i]
+		ins.cpuUtil.Set(n.cpu.Utilization())
+		ins.diskUtil.Set(n.disk.Utilization())
+		ins.nicUtil.Set((n.intTX.Utilization() + n.intRX.Utilization()) / 2)
 	}
 	return r
 }

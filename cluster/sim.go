@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
 	"press/cache"
 	"press/core"
 	"press/eventsim"
+	"press/metrics"
 	"press/netmodel"
 	"press/stats"
 )
@@ -53,11 +55,75 @@ type simState struct {
 	remoteHits    int64
 	diskReads     int64
 	forwarded     int64
+	copiedBytes   int64
+	rmwCount      int64
 	baseline      []snapshot
 	latency       stats.Welford
 	latencyMax    float64
+	latHist       *metrics.Histogram // completion latency, log buckets
+
+	ins []simNodeInstruments // indexed by node; nil instruments when off
 
 	cursor int // next trace request to issue
+}
+
+// simNodeInstruments are one simulated node's registry instruments.
+// With no registry every field is nil, and the nil-safe instrument
+// methods make the recording sites no-ops.
+type simNodeInstruments struct {
+	msgCount [core.NumMsgTypes]*metrics.Counter
+	msgBytes [core.NumMsgTypes]*metrics.Counter
+	copied   *metrics.Counter
+	rmw      *metrics.Counter
+	latency  *metrics.Histogram
+	cpuUtil  *metrics.FloatGauge
+	diskUtil *metrics.FloatGauge
+	nicUtil  *metrics.FloatGauge
+}
+
+func newSimNodeInstruments(r *metrics.Registry, id int) simNodeInstruments {
+	if !r.Enabled() {
+		return simNodeInstruments{}
+	}
+	node := fmt.Sprintf("node=%d", id)
+	var ins simNodeInstruments
+	for t := core.MsgType(0); t < core.NumMsgTypes; t++ {
+		typ := "type=" + t.String()
+		ins.msgCount[t] = r.Counter("sim_msgs_total", node, typ)
+		ins.msgBytes[t] = r.Counter("sim_msg_bytes", node, typ)
+	}
+	ins.copied = r.Counter("sim_copied_bytes", node)
+	ins.rmw = r.Counter("sim_rmw_total", node)
+	ins.latency = r.Histogram("sim_request_latency_ns", node)
+	ins.cpuUtil = r.FloatGauge("sim_cpu_util", node)
+	ins.diskUtil = r.FloatGauge("sim_disk_util", node)
+	ins.nicUtil = r.FloatGauge("sim_nic_util", node)
+	return ins
+}
+
+// copyBytes records payload bytes copied at node nid beyond the
+// transfer itself (staging at senders, buffer copies at receivers).
+func (s *simState) copyBytes(nid int, n int64) {
+	if !s.measuring || n <= 0 {
+		return
+	}
+	s.copiedBytes += n
+	s.ins[nid].copied.Add(n)
+}
+
+// rmwWrite records one remote memory write issued by node src.
+func (s *simState) rmwWrite(src int) {
+	if !s.measuring {
+		return
+	}
+	s.rmwCount++
+	s.ins[src].rmw.Inc()
+}
+
+// isRMW reports whether messages of the given style cross the wire as
+// remote memory writes under the configured protocol.
+func (s *simState) isRMW(style netmodel.Style) bool {
+	return style == netmodel.StyleRMW && s.cfg.Combo.Protocol == netmodel.ProtoVIA
 }
 
 // eventsimConfig is Config after defaulting, kept under a distinct name
@@ -114,7 +180,9 @@ func Run(c Config) (*Result, error) {
 			peerLoad: make([]int, cfg.Nodes),
 		}
 		s.nodes = append(s.nodes, n)
+		s.ins = append(s.ins, newSimNodeInstruments(cfg.Metrics, i))
 	}
+	s.latHist = metrics.NewHistogram()
 	if !cfg.NoPrewarm {
 		s.prewarm()
 	}
@@ -142,8 +210,10 @@ func (s *simState) beginMeasurement() {
 	s.msgs = core.MsgStats{}
 	s.reasons = [core.NumReasons]int64{}
 	s.localHits, s.remoteHits, s.diskReads, s.forwarded = 0, 0, 0, 0
+	s.copiedBytes, s.rmwCount = 0, 0
 	s.latency = stats.Welford{}
 	s.latencyMax = 0
+	s.latHist = metrics.NewHistogram()
 	s.baseline = s.baseline[:0]
 	for _, n := range s.nodes {
 		// Busy-time baselines: snapshot now, subtract at the end.
@@ -289,6 +359,9 @@ func (s *simState) serviceLocal(nid int, fileID cache.FileID, size int64, t0 eve
 // client.
 func (s *simState) forward(initial, svc int, fileID cache.FileID, size int64, t0 eventsim.Time) {
 	fwd := s.cfg.Combo.Cost(s.cfg.Version.Forward, core.ForwardMsgBytes, true, true)
+	if s.isRMW(s.cfg.Version.Forward) {
+		s.rmwWrite(initial)
+	}
 	s.sendMsg(initial, svc, core.MsgForward, core.ForwardMsgBytes, fwd.SendCPU, fwd.RecvCPU, func() {
 		n := s.nodes[svc]
 		if n.cache.Touch(fileID) {
@@ -335,9 +408,13 @@ func (s *simState) broadcastCaching(from int) {
 		return
 	}
 	c := s.cfg.Combo.Cost(s.cfg.Version.Caching, core.CachingMsgBytes, true, true)
+	cachingRMW := s.isRMW(s.cfg.Version.Caching)
 	for p := 0; p < s.cfg.Nodes; p++ {
 		if p == from {
 			continue
+		}
+		if cachingRMW {
+			s.rmwWrite(from)
 		}
 		s.sendMsg(from, p, core.MsgCaching, core.CachingMsgBytes, c.SendCPU, c.RecvCPU, nil)
 	}
@@ -368,18 +445,25 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
 			sendCPU = m.SendFixed
 			if !v.ZeroCopyTX {
 				sendCPU += netmodel.DurationOver(payload, m.CopyRate)
+				// Sender-side staging copy, eliminated by version 5.
+				s.copyBytes(svc, payload)
 			}
 			recvCPU = 0
 			finishRecv := m.PollCost
 			if !v.ZeroCopyRX {
 				finishRecv += netmodel.DurationOver(size, m.CopyRate)
 			}
+			s.rmwWrite(svc)
 			if s.cfg.RMWSingleMessage {
 				// Ablation: completion piggy-backs on the last data
 				// write; no metadata message.
 				var done func()
 				if last {
 					recvCPU = finishRecv
+					if !v.ZeroCopyRX {
+						// Receiver copies the file out of the data ring.
+						s.copyBytes(initial, size)
+					}
 					done = func() { s.replyToClient(initial, size, t0) }
 				}
 				s.sendMsg(svc, initial, core.MsgFile, payload, sendCPU, recvCPU, done)
@@ -387,6 +471,11 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
 			}
 			s.sendMsg(svc, initial, core.MsgFile, payload, sendCPU, recvCPU, nil)
 			if last {
+				if !v.ZeroCopyRX {
+					// Receiver copies the file out of the data ring.
+					s.copyBytes(initial, size)
+				}
+				s.rmwWrite(svc)
 				s.sendMsg(svc, initial, core.MsgFile, core.FileMetaBytes, m.SendFixed, finishRecv, func() {
 					s.replyToClient(initial, size, t0)
 				})
@@ -394,7 +483,9 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
 			continue
 		}
 		// Regular messages: copies at both ends, interrupt + receive
-		// thread at the receiver.
+		// thread at the receiver. The sender's staging copy is the one
+		// the server-side accounting reports too.
+		s.copyBytes(svc, payload)
 		c := m.Cost(netmodel.StyleRegular, payload, true, true)
 		var done func()
 		if last {
@@ -414,12 +505,12 @@ func (s *simState) replyToClient(nid int, size int64, t0 eventsim.Time) {
 		wire := h.ExtNICFixed + netmodel.DurationOver(size+h.ReplyHeaderBytes, h.ExtWireRate)
 		n.extTX.Acquire(0, wire, func() {
 			s.loadChange(nid, -1)
-			s.finishRequest(t0)
+			s.finishRequest(nid, t0)
 		})
 	})
 }
 
-func (s *simState) finishRequest(t0 eventsim.Time) {
+func (s *simState) finishRequest(nid int, t0 eventsim.Time) {
 	s.completed++
 	if s.measuring {
 		s.measCompleted++
@@ -428,6 +519,9 @@ func (s *simState) finishRequest(t0 eventsim.Time) {
 		if d > s.latencyMax {
 			s.latencyMax = d
 		}
+		ns := int64(s.sim.Now() - t0)
+		s.latHist.Observe(ns)
+		s.ins[nid].latency.Observe(ns)
 	} else if s.completed >= int64(s.cfg.WarmupRequests) {
 		s.beginMeasurement()
 	}
@@ -446,12 +540,16 @@ func (s *simState) loadChange(nid, delta int) {
 		style = netmodel.StyleRMW
 	}
 	c := s.cfg.Combo.Cost(style, core.LoadMsgBytes, true, true)
+	loadRMW := s.isRMW(style)
 	load := n.tracker.Load()
 	for p := 0; p < s.cfg.Nodes; p++ {
 		if p == nid {
 			continue
 		}
 		p := p
+		if loadRMW {
+			s.rmwWrite(nid)
+		}
 		s.sendMsg(nid, p, core.MsgLoad, core.LoadMsgBytes, c.SendCPU, c.RecvCPU, func() {
 			s.nodes[p].peerLoad[nid] = load
 		})
@@ -472,6 +570,8 @@ func (s *simState) sendMsg(src, dst int, mt core.MsgType, wireBytes int64,
 	}
 	if s.measuring {
 		s.msgs.Add(mt, wireBytes)
+		s.ins[src].msgCount[mt].Inc()
+		s.ins[src].msgBytes[mt].Add(wireBytes)
 	}
 	from, to := s.nodes[src], s.nodes[dst]
 	deliver := func() {
@@ -506,6 +606,9 @@ func (s *simState) sendMsg(src, dst int, mt core.MsgType, wireBytes int64,
 // sendCredit returns flow-control credits from a receiver to a sender.
 func (s *simState) sendCredit(src, dst int) {
 	c := s.cfg.Combo.Cost(s.cfg.Version.Flow, core.FlowMsgBytes, true, true)
+	if s.isRMW(s.cfg.Version.Flow) {
+		s.rmwWrite(src)
+	}
 	s.sendMsg(src, dst, core.MsgFlow, core.FlowMsgBytes, c.SendCPU, c.RecvCPU, nil)
 }
 

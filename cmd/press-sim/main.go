@@ -7,6 +7,12 @@
 //	press-sim -experiment all|fig1|fig3|fig4|fig5|fig6|table2|table4|
 //	                      validate|nodesweep|sensitivity|locality|ablations
 //	          [-requests N] [-nodes N] [-trace clarknet|forth|nasa|rutgers] [-seed S]
+//	press-sim -metrics [-version V0..V5] [-requests N] [-nodes N] [-trace T] [-seed S]
+//
+// With -metrics, press-sim runs one instrumented VIA/cLAN simulation of
+// the configured trace and dumps the full per-node metrics report on
+// exit: message counts by type, copied bytes, remote memory writes,
+// completion-latency quantiles, and CPU/disk/NIC utilization.
 package main
 
 import (
@@ -16,9 +22,13 @@ import (
 	"log"
 	"os"
 
+	"press/cluster"
 	"press/core"
 	"press/experiments"
+	"press/metrics"
+	"press/netmodel"
 	"press/stats"
+	"press/trace"
 )
 
 func main() {
@@ -32,9 +42,18 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		chart      = flag.Bool("chart", false, "render figure experiments as ASCII bar charts too")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		metricsRun = flag.Bool("metrics", false, "run one instrumented simulation and dump the per-node metrics report")
+		version    = flag.String("version", "V5", "communication version for -metrics runs")
 	)
 	flag.Parse()
 	chartMode = *chart
+
+	if *metricsRun {
+		if err := metricsReport(*traceName, *requests, *nodes, *seed, *version); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	o := experiments.Options{Requests: *requests, Nodes: *nodes, Seed: *seed, Trace: *traceName}
 	if *jsonOut {
@@ -119,6 +138,44 @@ func emitJSON(name string, o experiments.Options) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// metricsReport runs one instrumented VIA/cLAN simulation and writes the
+// registry's per-node report: message counts by type, copied bytes,
+// remote memory writes, completion-latency quantiles, and utilization.
+func metricsReport(traceName string, requests, nodes int, seed int64, version string) error {
+	spec, err := trace.SpecByName(traceName)
+	if err != nil {
+		return err
+	}
+	if requests > 0 && requests < spec.NumRequests {
+		spec.NumRequests = requests
+	}
+	tr, err := trace.Synthesize(spec)
+	if err != nil {
+		return err
+	}
+	ver, err := netmodel.VersionByName(version)
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	r, err := cluster.Run(cluster.Config{
+		Nodes:         nodes,
+		Trace:         tr,
+		Combo:         netmodel.VIAOverCLAN(),
+		Version:       ver,
+		Dissemination: core.PB(),
+		Seed:          seed,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instrumented run: %s, %d nodes, VIA/cLAN %s: %.0f req/s, p50 %.2f ms, p99 %.2f ms, copied %s, RMWs %d\n\n",
+		r.TraceName, r.Nodes, r.Version, r.Throughput,
+		r.LatencyP50*1e3, r.LatencyP99*1e3, stats.FormatBytes(r.CopiedBytes), r.RMWCount)
+	return reg.Report(os.Stdout)
 }
 
 func header(title string) {

@@ -7,7 +7,11 @@
 //
 //	pressd [-nodes 4] [-transport via|tcp] [-version V0..V5]
 //	       [-strategy PB|L16|L4|L1|NLB] [-trace clarknet] [-files N]
-//	       [-cache BYTES] [-disk-delay 2ms]
+//	       [-cache BYTES] [-disk-delay 2ms] [-metrics]
+//
+// With -metrics, pressd collects per-NIC and per-node instrument
+// families in a metrics registry and dumps the report on exit; SIGUSR1
+// dumps a live report without stopping the server.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"press/core"
+	"press/metrics"
 	"press/netmodel"
 	"press/server"
 	"press/trace"
@@ -37,6 +42,7 @@ func main() {
 		files     = flag.Int("files", 2000, "limit the file population (0 = full trace)")
 		cache     = flag.Int64("cache", 64<<20, "per-node cache bytes")
 		diskDelay = flag.Duration("disk-delay", 2*time.Millisecond, "artificial disk read latency")
+		withMet   = flag.Bool("metrics", false, "collect a metrics registry; dump on exit and on SIGUSR1")
 	)
 	flag.Parse()
 
@@ -68,6 +74,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var reg *metrics.Registry
+	if *withMet {
+		reg = metrics.NewRegistry()
+	}
 	cl, err := server.Start(server.Config{
 		Nodes:         *nodes,
 		Trace:         tr,
@@ -76,6 +86,7 @@ func main() {
 		Dissemination: st,
 		CacheBytes:    *cache,
 		DiskDelay:     *diskDelay,
+		Metrics:       reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -91,6 +102,18 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if reg != nil {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				fmt.Println("\n--- metrics (SIGUSR1) ---")
+				if err := reg.Report(os.Stdout); err != nil {
+					log.Print(err)
+				}
+			}
+		}()
+	}
 	<-sig
 
 	s := cl.Stats()
@@ -99,5 +122,11 @@ func main() {
 		s.Nodes.Forwarded, s.Nodes.DiskReads, s.Nodes.Replicas, s.Nodes.Errors)
 	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
 		fmt.Printf("  %-8s %8d msgs %12d bytes\n", mt, s.Msgs.Count[mt], s.Msgs.Bytes[mt])
+	}
+	if reg != nil {
+		fmt.Println("\n--- metrics ---")
+		if err := reg.Report(os.Stdout); err != nil {
+			log.Print(err)
+		}
 	}
 }

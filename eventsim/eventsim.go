@@ -132,11 +132,14 @@ func (s *Sim) step() {
 // split, e.g., CPU time into intra-cluster communication vs request
 // service (the paper's Figure 1).
 type Resource struct {
-	sim    *Sim
-	name   string
-	freeAt Time
-	busy   []time.Duration
-	served uint64
+	sim        *Sim
+	name       string
+	freeAt     Time
+	busy       []time.Duration
+	served     uint64
+	waited     uint64
+	waitTime   time.Duration
+	maxBacklog time.Duration
 }
 
 // NewResource returns an idle resource attached to the simulation.
@@ -157,6 +160,14 @@ func (r *Resource) Acquire(class int, demand time.Duration, done func()) Time {
 	start := r.freeAt
 	if now := r.sim.Now(); start < now {
 		start = now
+	} else if wait := time.Duration(start - r.sim.Now()); wait > 0 {
+		// The arrival queues behind committed work: record the delay it
+		// will see, the queueing metric behind the NIC-saturation story.
+		r.waited++
+		r.waitTime += wait
+		if wait > r.maxBacklog {
+			r.maxBacklog = wait
+		}
 	}
 	end := start + Time(demand)
 	r.freeAt = end
@@ -190,6 +201,16 @@ func (r *Resource) TotalBusy() time.Duration {
 
 // Served returns the number of demands accepted.
 func (r *Resource) Served() uint64 { return r.served }
+
+// Waited returns the number of demands that arrived while the resource
+// was busy and had to queue.
+func (r *Resource) Waited() uint64 { return r.waited }
+
+// WaitTime returns the total queueing delay accumulated by all demands.
+func (r *Resource) WaitTime() time.Duration { return r.waitTime }
+
+// MaxBacklog returns the largest queueing delay any single demand saw.
+func (r *Resource) MaxBacklog() time.Duration { return r.maxBacklog }
 
 // Backlog returns how far the resource's committed work extends past the
 // current instant — the queueing delay a new arrival would see.

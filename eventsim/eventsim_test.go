@@ -269,3 +269,28 @@ func BenchmarkScheduleRun(b *testing.B) {
 		s.Run()
 	}
 }
+
+func TestResourceWaitAccounting(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu")
+	// First demand starts immediately: no wait.
+	r.Acquire(0, 10*time.Millisecond, nil)
+	// Second queues behind 10ms of committed work, third behind 25ms.
+	r.Acquire(0, 15*time.Millisecond, nil)
+	r.Acquire(0, 5*time.Millisecond, nil)
+	if r.Waited() != 2 {
+		t.Errorf("Waited = %d, want 2", r.Waited())
+	}
+	if want := 35 * time.Millisecond; r.WaitTime() != want {
+		t.Errorf("WaitTime = %v, want %v", r.WaitTime(), want)
+	}
+	if want := 25 * time.Millisecond; r.MaxBacklog() != want {
+		t.Errorf("MaxBacklog = %v, want %v", r.MaxBacklog(), want)
+	}
+	s.RunFor(time.Second)
+	// After the queue drains, a fresh arrival does not wait.
+	r.Acquire(0, time.Millisecond, nil)
+	if r.Waited() != 2 {
+		t.Errorf("post-drain Waited = %d, want 2", r.Waited())
+	}
+}

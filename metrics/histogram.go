@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: values below 2^subBits land in exact
+// unit-wide buckets; above that, each power-of-two octave is split into
+// 2^subBits linear sub-buckets. Reporting a bucket's midpoint therefore
+// bounds the relative reconstruction error by 2^-(subBits+1) — 3.125%
+// with subBits = 4 — which is the error bound the quantile tests assert.
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // linear sub-buckets per octave
+	// numBuckets covers all non-negative int64 values: exact buckets
+	// [0, 16), then (63-subBits) octaves of subBuckets each.
+	numBuckets = (62 - subBits + 1 + 1) * subBuckets
+)
+
+// bucketIndex maps a value to its bucket. Negative values clamp to
+// bucket 0 (they do not occur for the durations and sizes recorded
+// here, but must not corrupt the histogram).
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // 2^exp <= v < 2^(exp+1)
+	shift := uint(exp - subBits)
+	sub := int((uint64(v) >> shift) & (subBuckets - 1))
+	return (exp-subBits+1)<<subBits + sub
+}
+
+// bucketBounds returns a bucket's inclusive lower bound and its width.
+func bucketBounds(idx int) (low, width int64) {
+	if idx < subBuckets {
+		return int64(idx), 1
+	}
+	block := idx >> subBits
+	sub := int64(idx & (subBuckets - 1))
+	exp := uint(block + subBits - 1)
+	width = 1 << (exp - subBits)
+	return 1<<exp + sub*width, width
+}
+
+// bucketMid returns the value a bucket reports for its members: the
+// midpoint of the integers it can hold, which is exact for the
+// unit-wide buckets below 2^subBits.
+func bucketMid(idx int) float64 {
+	low, width := bucketBounds(idx)
+	return float64(low) + float64(width-1)/2
+}
+
+// Histogram records a distribution of non-negative int64 observations
+// (latencies in nanoseconds, sizes in bytes) in log-scale buckets with
+// bounded relative error. Observations are a single atomic add on the
+// owning bucket plus count/sum/extrema updates — safe for concurrent
+// writers, no locks. A nil Histogram discards observations.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	min   atomic.Int64 // valid only when count > 0
+	max   atomic.Int64
+	bkts  [numBuckets]atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram not attached to any
+// registry.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.bkts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures a point-in-time copy of the histogram for quantile
+// queries and diffing. Safe on a nil Histogram (empty snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
+// snapshot captures a consistent-enough view for reporting. Concurrent
+// observers may land between the bucket reads; the per-bucket counts are
+// each atomic, and Diff against a later snapshot heals any skew.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range h.bkts {
+		if n := h.bkts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Index: i, Count: n})
+		}
+	}
+	return s
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	Index int   `json:"index"`
+	Count int64 `json:"count"`
+}
+
+// Low returns the bucket's inclusive lower bound.
+func (b Bucket) Low() int64 { low, _ := bucketBounds(b.Index); return low }
+
+// HistogramSnapshot is a point-in-time copy of a histogram, suitable
+// for quantile queries and diffing.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the exact mean of the observations (sum is tracked
+// outside the buckets), or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded
+// distribution. The answer is the midpoint of the bucket holding the
+// rank, clamped to the observed min/max, so its relative error is
+// bounded by the bucket width: at most 2^-(subBits+1) ≈ 3.125% for
+// values ≥ 16 and exact below. Returns 0 with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			v := bucketMid(b.Index)
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+	}
+	return float64(s.Max)
+}
+
+// Diff returns the distribution of observations made after base was
+// taken: per-bucket counts, Count, and Sum subtract; Min/Max keep this
+// snapshot's values (extrema are not invertible).
+func (s HistogramSnapshot) Diff(base HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: s.Count - base.Count,
+		Sum:   s.Sum - base.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	baseCount := make(map[int]int64, len(base.Buckets))
+	for _, b := range base.Buckets {
+		baseCount[b.Index] = b.Count
+	}
+	for _, b := range s.Buckets {
+		if n := b.Count - baseCount[b.Index]; n > 0 {
+			out.Buckets = append(out.Buckets, Bucket{Index: b.Index, Count: n})
+		}
+	}
+	return out
+}

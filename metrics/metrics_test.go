@@ -1,0 +1,321 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	g := NewGauge()
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	f := NewFloatGauge()
+	f.Set(0.625)
+	if got := f.Value(); got != 0.625 {
+		t.Errorf("float gauge = %v, want 0.625", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var f *FloatGauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	f.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+
+	var r *Registry
+	if r.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.FloatGauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry must hand out nil instruments")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var b bytes.Buffer
+	if err := r.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "disabled") {
+		t.Errorf("nil registry report = %q, want disabled note", b.String())
+	}
+}
+
+// TestBucketRoundTrip checks the bucket layout invariants the quantile
+// error bound rests on: every value lands in a bucket whose bounds
+// contain it, and indices are monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 1000, 4095, 4096,
+		1 << 20, 1<<20 + 1, 1<<40 - 1, 1 << 40, math.MaxInt64}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Int63())
+	}
+	prevIdx, prevVal := -1, int64(-1)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		low, width := bucketBounds(idx)
+		// v-low < width, written to avoid low+width overflowing in the
+		// topmost octave.
+		if v < low || v-low >= width {
+			t.Fatalf("value %d outside bucket %d bounds [%d, +%d)", v, idx, low, width)
+		}
+		if v > prevVal && idx < prevIdx {
+			t.Fatalf("bucket index not monotone: %d(%d) after %d(%d)", v, idx, prevVal, prevIdx)
+		}
+		prevIdx, prevVal = idx, v
+	}
+}
+
+// TestHistogramSmallValuesExact: values below 2^subBits are recorded in
+// unit buckets, so their quantiles are exact.
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	for i := 1; i <= 16; i++ {
+		q := float64(i) / 16
+		want := float64(i - 1)
+		if got := s.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy asserts the documented log-bucket error
+// bound: reported quantiles are within 2^-(subBits+1) relative error of
+// the exact sample quantile for values >= 2^subBits.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	const n = 50000
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	samples := make([]int64, n)
+	for i := range samples {
+		// Log-uniform over [16, ~1e9): exercises many octaves.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e9-16)) + 16)
+		samples[i] = v
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	s := h.snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	bound := 1.0 / float64(int64(2)<<subBits) // 2^-(subBits+1)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := float64(samples[rank])
+		got := s.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > bound {
+			t.Errorf("Quantile(%v) = %v, exact %v: relative error %.4f > bound %.4f",
+				q, got, exact, rel, bound)
+		}
+	}
+	// The exact-sum mean has no bucketing error at all.
+	var sum float64
+	for _, v := range samples {
+		sum += float64(v)
+	}
+	if got, want := s.Mean(), sum/n; math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if s.Min != samples[0] || s.Max != samples[n-1] {
+		t.Errorf("min/max = %d/%d, want %d/%d", s.Min, s.Max, samples[0], samples[n-1])
+	}
+}
+
+func TestRegistryInternsInstruments(t *testing.T) {
+	r := NewRegistry()
+	if !r.Enabled() {
+		t.Error("real registry reports disabled")
+	}
+	a := r.Counter("msgs_total", "node=0", "type=File")
+	b := r.Counter("msgs_total", "node=0", "type=File")
+	if a != b {
+		t.Error("same family+labels must intern to one counter")
+	}
+	if c := r.Counter("msgs_total", "node=1", "type=File"); c == a {
+		t.Error("different labels must be distinct instruments")
+	}
+	if r.Histogram("lat_ns") != r.Histogram("lat_ns") {
+		t.Error("histogram interning broken")
+	}
+	key := Key("msgs_total", "node=0", "type=File")
+	if key != "msgs_total{node=0,type=File}" {
+		t.Errorf("Key = %q", key)
+	}
+	fam, labels := Family(key)
+	if fam != "msgs_total" || labels != "node=0,type=File" {
+		t.Errorf("Family(%q) = %q, %q", key, fam, labels)
+	}
+}
+
+func TestSnapshotDiffSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat_ns")
+	c.Add(10)
+	g.Set(3)
+	h.Observe(100)
+	base := r.Snapshot()
+	c.Add(5)
+	g.Set(9)
+	h.Observe(200)
+	h.Observe(300)
+	d := r.Snapshot().Diff(base)
+	if got := d.Counters["reqs_total"]; got != 5 {
+		t.Errorf("diffed counter = %d, want 5", got)
+	}
+	if got := d.Gauges["depth"]; got != 9 {
+		t.Errorf("diffed gauge = %d, want current level 9", got)
+	}
+	hd := d.Histograms["lat_ns"]
+	if hd.Count != 2 || hd.Sum != 500 {
+		t.Errorf("diffed histogram count/sum = %d/%d, want 2/500", hd.Count, hd.Sum)
+	}
+}
+
+// TestSnapshotDiffConcurrent hammers one registry from many writers
+// while the reader snapshots and diffs. Run under -race (the check gate
+// does); the assertions verify that diffs of monotonic instruments
+// never go negative and that the final totals add up.
+func TestSnapshotDiffConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perW    = 20000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("ops_total")
+			h := r.Histogram("size_bytes")
+			g := r.Gauge("level")
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				h.Observe(int64(i % 4096))
+				g.Add(1)
+			}
+		}(w)
+	}
+	readerDone := make(chan error, 1)
+	go func() {
+		prev := r.Snapshot()
+		for {
+			select {
+			case <-stop:
+				readerDone <- nil
+				return
+			default:
+			}
+			cur := r.Snapshot()
+			d := cur.Diff(prev)
+			if d.Counters["ops_total"] < 0 {
+				readerDone <- errNegative("counter")
+				return
+			}
+			if hd := d.Histograms["size_bytes"]; hd.Count < 0 {
+				readerDone <- errNegative("histogram count")
+				return
+			}
+			prev = cur
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+	final := r.Snapshot()
+	if got := final.Counters["ops_total"]; got != writers*perW {
+		t.Errorf("final counter = %d, want %d", got, writers*perW)
+	}
+	if got := final.Histograms["size_bytes"].Count; got != writers*perW {
+		t.Errorf("final histogram count = %d, want %d", got, writers*perW)
+	}
+	if got := final.Gauges["level"]; got != writers*perW {
+		t.Errorf("final gauge = %d, want %d", got, writers*perW)
+	}
+}
+
+type errNegative string
+
+func (e errNegative) Error() string { return "negative diff on monotonic " + string(e) }
+
+func TestReportTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("press_msgs_total", "node=0", "type=File").Add(1200)
+	r.Counter("press_copied_bytes", "node=0").Add(5 << 20)
+	r.Gauge("via_workq_depth", "nic=node0").Set(4)
+	r.FloatGauge("sim_cpu_util", "node=0").Set(0.42)
+	h := r.Histogram("via_send_latency_ns", "nic=node0")
+	h.Observe(1500)
+	h.Observe(90000)
+
+	text := r.Snapshot().Text()
+	for _, want := range []string{
+		"press_msgs_total{node=0,type=File}",
+		"press_copied_bytes{node=0}", "5.0 MB",
+		"via_workq_depth{nic=node0}",
+		"sim_cpu_util{node=0}", "42.0%",
+		"via_send_latency_ns{nic=node0}", "p99",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q in:\n%s", want, text)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[Key("press_msgs_total", "node=0", "type=File")] != 1200 {
+		t.Error("JSON round-trip lost counter")
+	}
+	if back.Histograms[Key("via_send_latency_ns", "nic=node0")].Count != 2 {
+		t.Error("JSON round-trip lost histogram")
+	}
+}

@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Registry groups instruments into labeled families: a family names
+// one measured quantity ("via_sends_total"), labels distinguish the
+// sources ("nic=node0"). Lookups intern instruments — asking twice for
+// the same family+labels returns the same instrument — so hot paths
+// resolve their instruments once at setup and then touch only atomics.
+//
+// A nil *Registry is the disabled registry: every lookup returns a nil
+// instrument whose methods no-op, and Snapshot returns an empty view.
+type Registry struct {
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether instruments from this registry record
+// anything; it is false exactly for a nil Registry.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Key builds the canonical instrument key for a family and its labels:
+// family{label1,label2}. Labels are conventionally "k=v" strings; they
+// are kept in the order given, so callers should use a fixed order.
+func Key(family string, labels ...string) string {
+	if len(labels) == 0 {
+		return family
+	}
+	return family + "{" + strings.Join(labels, ",") + "}"
+}
+
+// Family splits an instrument key back into its family and label part
+// (label part is empty when the key carries no labels).
+func Family(key string) (family, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], strings.TrimSuffix(key[i+1:], "}")
+	}
+	return key, ""
+}
+
+// Counter returns the counter for family+labels, creating it on first
+// use. Returns nil on a nil Registry.
+func (r *Registry) Counter(family string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key(family, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = NewCounter()
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for family+labels, creating it on first use.
+// Returns nil on a nil Registry.
+func (r *Registry) Gauge(family string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key(family, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = NewGauge()
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// FloatGauge returns the float gauge for family+labels, creating it on
+// first use. Returns nil on a nil Registry.
+func (r *Registry) FloatGauge(family string, labels ...string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	k := Key(family, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.floatGauges[k]
+	if !ok {
+		g = NewFloatGauge()
+		r.floatGauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for family+labels, creating it on
+// first use. Returns nil on a nil Registry.
+func (r *Registry) Histogram(family string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key(family, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[k]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[k] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every instrument in a registry,
+// keyed by the canonical family{labels} key. Snapshots are plain data:
+// they marshal to JSON, render as text, and Diff against an earlier
+// snapshot of the same registry.
+type Snapshot struct {
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"floatGauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. On a nil Registry
+// it returns an empty snapshot. Individual reads are atomic; the
+// snapshot as a whole is not a consistent cut under concurrent writers,
+// which is fine for the monotonic counters and statistical views it
+// serves.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:    map[string]int64{},
+		Gauges:      map[string]int64{},
+		FloatGauges: map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	floatGauges := make(map[string]*FloatGauge, len(r.floatGauges))
+	for k, g := range r.floatGauges {
+		floatGauges[k] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, h := range r.histograms {
+		histograms[k] = h
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, g := range floatGauges {
+		s.FloatGauges[k] = g.Value()
+	}
+	for k, h := range histograms {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// Diff returns the activity between base and this snapshot: counters
+// and histograms subtract; gauges and float gauges keep this snapshot's
+// level (levels have no meaningful delta). Instruments absent from base
+// diff against zero.
+func (s Snapshot) Diff(base Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:    make(map[string]int64, len(s.Counters)),
+		Gauges:      make(map[string]int64, len(s.Gauges)),
+		FloatGauges: make(map[string]float64, len(s.FloatGauges)),
+		Histograms:  make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v - base.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.FloatGauges {
+		out.FloatGauges[k] = v
+	}
+	for k, h := range s.Histograms {
+		out.Histograms[k] = h.Diff(base.Histograms[k])
+	}
+	return out
+}
+
+// sortedKeys returns map keys in deterministic report order: by family,
+// then by label string (so "f{node=0}" sorts before "f{node=1}").
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String summarizes the snapshot's size, mostly for debugging.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("metrics.Snapshot{%d counters, %d gauges, %d histograms}",
+		len(s.Counters), len(s.Gauges)+len(s.FloatGauges), len(s.Histograms))
+}

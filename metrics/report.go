@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"press/stats"
+)
+
+// Unit-aware value formatting: families follow the convention of
+// suffixing the unit, and the text report renders accordingly.
+//
+//	*_ns     → humanized duration
+//	*_bytes  → humanized byte size
+//	anything else → count with K/M suffixes
+func formatValue(key string, v int64) string {
+	family, _ := Family(key)
+	switch {
+	case strings.HasSuffix(family, "_ns"):
+		return time.Duration(v).Round(time.Microsecond).String()
+	case strings.HasSuffix(family, "_bytes"):
+		return stats.FormatBytes(v)
+	default:
+		return stats.FormatCount(v)
+	}
+}
+
+func formatFloatValue(key string, v float64) string {
+	family, _ := Family(key)
+	switch {
+	case strings.HasSuffix(family, "_ns"):
+		return time.Duration(v).Round(time.Microsecond).String()
+	case strings.HasSuffix(family, "_bytes"):
+		return stats.FormatBytes(int64(v))
+	case strings.HasSuffix(family, "_util") || strings.HasSuffix(family, "_frac"):
+		return fmt.Sprintf("%.1f%%", v*100)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Tables renders the snapshot into stats.Renderer blocks: one table of
+// counters, one of gauges, one of histograms with count/mean/quantiles.
+// Empty sections are omitted.
+func (s Snapshot) Tables() []stats.Renderer {
+	var blocks []stats.Renderer
+	if len(s.Counters) > 0 {
+		t := stats.NewTable("counter", "value", "raw")
+		for _, k := range sortedKeys(s.Counters) {
+			v := s.Counters[k]
+			t.AddRow(k, formatValue(k, v), fmt.Sprint(v))
+		}
+		blocks = append(blocks, t)
+	}
+	if len(s.Gauges) > 0 || len(s.FloatGauges) > 0 {
+		t := stats.NewTable("gauge", "value")
+		for _, k := range sortedKeys(s.Gauges) {
+			t.AddRow(k, formatValue(k, s.Gauges[k]))
+		}
+		for _, k := range sortedKeys(s.FloatGauges) {
+			t.AddRow(k, formatFloatValue(k, s.FloatGauges[k]))
+		}
+		blocks = append(blocks, t)
+	}
+	if len(s.Histograms) > 0 {
+		t := stats.NewTable("histogram", "count", "mean", "p50", "p90", "p99", "max")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			t.AddRow(k,
+				stats.FormatCount(h.Count),
+				formatFloatValue(k, h.Mean()),
+				formatFloatValue(k, h.Quantile(0.50)),
+				formatFloatValue(k, h.Quantile(0.90)),
+				formatFloatValue(k, h.Quantile(0.99)),
+				formatValue(k, h.Max))
+		}
+		blocks = append(blocks, t)
+	}
+	return blocks
+}
+
+// Text renders the snapshot as a fixed-width text report via the shared
+// stats.Renderer path.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	_ = stats.RenderAll(&b, s.Tables()...)
+	return b.String()
+}
+
+// WriteJSON writes the snapshot as indented JSON, for scraping and
+// external plotting.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Report writes the registry's current contents as a text report; a
+// disabled (nil) registry writes a one-line note so operators see that
+// metrics were off rather than empty.
+func (r *Registry) Report(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "metrics: disabled (nil registry)\n")
+		return err
+	}
+	_, err := io.WriteString(w, r.Snapshot().Text())
+	return err
+}

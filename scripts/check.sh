@@ -13,7 +13,22 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The metrics package is all lock-free concurrency; run its suite again
+# uncached so the race detector sees every interleaving attempt fresh.
+echo "==> go test -race -count=1 ./metrics"
+go test -race -count=1 ./metrics
+
 echo "==> presslint ./..."
 go run ./cmd/presslint ./...
+
+echo "==> presslint ./metrics"
+go run ./cmd/presslint ./metrics
+
+# Benchmarks are part of the observability surface (the registry on/off
+# overhead proof lives there); make sure they still build and the via
+# send pair still runs.
+echo "==> benchmark smoke"
+go test -run '^$' -bench '^$' ./...
+go test -run '^$' -bench BenchmarkViaSendMetrics -benchtime 1x .
 
 echo "check: all gates passed"

@@ -13,6 +13,7 @@ import (
 
 	"press/cache"
 	"press/core"
+	"press/metrics"
 	"press/netmodel"
 	"press/trace"
 	"press/via"
@@ -69,6 +70,11 @@ type Config struct {
 	FileRingBytes int
 	// FabricOptions shape the VIA fabric (latency, bandwidth, loss).
 	FabricOptions []via.FabricOption
+	// Metrics, when non-nil, collects the cluster's observability
+	// counters: per-node/per-type message accounting, copied bytes,
+	// credit stalls, NIC activity, and service-decision counts. Nil
+	// (the default) disables all of it at near-zero cost.
+	Metrics *metrics.Registry
 	// ListenHost is the HTTP bind host (default 127.0.0.1).
 	ListenHost string
 	// ContentOblivious turns the cluster into the baseline server class
@@ -173,7 +179,7 @@ func Start(c Config) (*Cluster, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				t, err := newTCPTransport(i, cfg.Nodes, lns[i], addrs)
+				t, err := newTCPTransport(i, cfg.Nodes, lns[i], addrs, cfg.Metrics)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil && firstErr == nil {
@@ -192,7 +198,11 @@ func Start(c Config) (*Cluster, error) {
 			return nil, firstErr
 		}
 	case TransportVIA:
-		cl.fabric = via.NewFabric(cfg.FabricOptions...)
+		fabricOpts := cfg.FabricOptions
+		if cfg.Metrics.Enabled() {
+			fabricOpts = append(fabricOpts[:len(fabricOpts):len(fabricOpts)], via.WithMetrics(cfg.Metrics))
+		}
+		cl.fabric = via.NewFabric(fabricOpts...)
 		addrs := make([]string, cfg.Nodes)
 		vts := make([]*viaTransport, cfg.Nodes)
 		for i := range addrs {
@@ -207,7 +217,7 @@ func Start(c Config) (*Cluster, error) {
 				self: i, nodes: cfg.Nodes, version: cfg.Version,
 				loadViaRMW: cfg.LoadViaRMW, window: cfg.Window,
 				batch: cfg.Batch, chunk: cfg.ChunkBytes,
-				fileRing: cfg.FileRingBytes,
+				fileRing: cfg.FileRingBytes, metrics: cfg.Metrics,
 			})
 			if err != nil {
 				cl.fabric.Close()
@@ -383,8 +393,11 @@ type Stats struct {
 	Nodes NodeStats
 	Msgs  core.MsgStats
 	// CopiedBytes is the transports' staging/receive copy volume; see
-	// Transport.CopiedBytes.
+	// TransportMetrics.CopiedBytes.
 	CopiedBytes int64
+	// CreditStalls is the cluster-wide count of sends that blocked on
+	// window-based flow control; see TransportMetrics.CreditStalls.
+	CreditStalls int64
 }
 
 // Stats sums counters across the cluster.
@@ -399,9 +412,10 @@ func (cl *Cluster) Stats() Stats {
 		s.Nodes.DiskReads += ns.DiskReads
 		s.Nodes.Replicas += ns.Replicas
 		s.Nodes.Errors += ns.Errors
-		ms := n.MsgStats()
-		s.Msgs.Merge(&ms)
-		s.CopiedBytes += n.transport.CopiedBytes()
+		tm := n.transport.Metrics()
+		s.Msgs.Merge(&tm.Msgs)
+		s.CopiedBytes += tm.CopiedBytes
+		s.CreditStalls += tm.CreditStalls
 	}
 	return s
 }

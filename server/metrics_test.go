@@ -1,0 +1,142 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"press/core"
+	"press/metrics"
+	"press/netmodel"
+)
+
+// TestClusterMetricsVIA wires a registry through a VIA cluster and
+// checks that the registry's counters agree with the legacy aggregate
+// Stats path — they are the same counters, so any divergence is a bug.
+func TestClusterMetricsVIA(t *testing.T) {
+	tr := serverTestTrace(t, 16)
+	reg := metrics.NewRegistry()
+	cfg := testClusterConfig(tr, TransportVIA)
+	cfg.Version = netmodel.Versions()[3] // V3: RMW control + file rings
+	cfg.Metrics = reg
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 2, 7)
+
+	s := cl.Stats()
+	snap := reg.Snapshot()
+
+	var msgTotal, copied int64
+	for k, v := range snap.Counters {
+		fam, _ := metrics.Family(k)
+		switch fam {
+		case "press_msgs_total":
+			msgTotal += v
+		case "press_copied_bytes":
+			copied += v
+		}
+	}
+	count, _ := s.Msgs.Total()
+	if msgTotal != count {
+		t.Errorf("registry msgs %d != Stats msgs %d", msgTotal, count)
+	}
+	if copied != s.CopiedBytes {
+		t.Errorf("registry copied %d != Stats copied %d", copied, s.CopiedBytes)
+	}
+
+	// Per-type labels exist for file transfers.
+	if n := snap.Counters[metrics.Key("press_msgs_total", "node=0", "type="+core.MsgFile.String())]; n == 0 {
+		t.Error("no per-type file message counter on node 0")
+	}
+	// Forward vs. local service counters must cover every request.
+	var local, forward int64
+	for i := range cl.Nodes() {
+		node := metrics.Key("press_serve_local_total", nodeLabel(i))
+		local += snap.Counters[node]
+		forward += snap.Counters[metrics.Key("press_serve_forward_total", nodeLabel(i))]
+	}
+	if local+forward < s.Nodes.Requests {
+		t.Errorf("local %d + forward %d < requests %d", local, forward, s.Nodes.Requests)
+	}
+	// The fabric got the registry too: NIC families must be present.
+	found := false
+	for k := range snap.Counters {
+		if strings.HasPrefix(k, "via_sends_posted_total{") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("VIA NIC counters missing from cluster registry")
+	}
+	// V3 moves control and file traffic to remote writes.
+	var rmw int64
+	for k, v := range snap.Counters {
+		if fam, _ := metrics.Family(k); fam == "via_rmw_total" {
+			rmw += v
+		}
+	}
+	if rmw == 0 {
+		t.Error("no remote memory writes recorded under V3")
+	}
+	// Completion latency histograms fill in when metrics are on.
+	var latObs int64
+	for k, h := range snap.Histograms {
+		if fam, _ := metrics.Family(k); fam == "via_send_latency_ns" {
+			latObs += h.Count
+		}
+	}
+	if latObs == 0 {
+		t.Error("no send completion latencies recorded")
+	}
+}
+
+func nodeLabel(i int) string {
+	return "node=" + string(rune('0'+i))
+}
+
+// TestClusterMetricsTCP: the TCP baseline reports through the same
+// unified Metrics surface, with credit stalls pinned at zero.
+func TestClusterMetricsTCP(t *testing.T) {
+	tr := serverTestTrace(t, 12)
+	reg := metrics.NewRegistry()
+	cfg := testClusterConfig(tr, TransportTCP)
+	cfg.Metrics = reg
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 3, 3)
+
+	for _, n := range cl.Nodes() {
+		tm := n.transport.Metrics()
+		if tm.CreditStalls != 0 {
+			t.Errorf("node %d: TCP transport reports %d credit stalls", n.ID(), tm.CreditStalls)
+		}
+		if c, _ := tm.Msgs.Total(); c == 0 && len(cl.Nodes()) > 1 {
+			t.Errorf("node %d: no messages accounted", n.ID())
+		}
+	}
+	if cl.Stats().CopiedBytes == 0 {
+		t.Error("TCP transport must report kernel copies")
+	}
+}
+
+// TestTransportMetricsDisabled: a nil registry leaves the Metrics
+// surface fully functional (standalone counters back it).
+func TestTransportMetricsDisabled(t *testing.T) {
+	tr := serverTestTrace(t, 8)
+	cl, err := Start(testClusterConfig(tr, TransportVIA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 1, 5)
+	s := cl.Stats()
+	if c, _ := s.Msgs.Total(); c == 0 {
+		t.Error("message accounting must work without a registry")
+	}
+}

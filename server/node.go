@@ -7,6 +7,7 @@ import (
 
 	"press/cache"
 	"press/core"
+	"press/metrics"
 	"press/trace"
 	"press/via"
 )
@@ -55,6 +56,32 @@ type pendingRemote struct {
 	req      *clientRequest
 	buf      []byte
 	received int
+}
+
+// nodeInstruments are the node-level registry counters separating
+// forward from local (and on-behalf-of-peers) service. All fields are
+// nil — and their methods no-ops — when observability is off; the
+// NodeStats mutex path stays the authoritative accounting either way.
+type nodeInstruments struct {
+	requests *metrics.Counter
+	local    *metrics.Counter
+	remote   *metrics.Counter
+	forward  *metrics.Counter
+	disk     *metrics.Counter
+}
+
+func newNodeInstruments(r *metrics.Registry, id int) nodeInstruments {
+	if !r.Enabled() {
+		return nodeInstruments{}
+	}
+	node := fmt.Sprintf("node=%d", id)
+	return nodeInstruments{
+		requests: r.Counter("press_requests_total", node),
+		local:    r.Counter("press_serve_local_total", node),
+		remote:   r.Counter("press_serve_remote_total", node),
+		forward:  r.Counter("press_serve_forward_total", node),
+		disk:     r.Counter("press_disk_reads_total", node),
+	}
 }
 
 // NodeStats counts one node's request handling.
@@ -107,6 +134,8 @@ type Node struct {
 	// touching main-loop state.
 	loadMirror atomic.Int64
 
+	m nodeInstruments
+
 	statsMu sync.Mutex
 	stats   NodeStats
 }
@@ -148,6 +177,7 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 		diskDone:  make(chan diskDone, 256),
 		sendQ:     newUnboundedQueue[outMsg](),
 		stop:      make(chan struct{}),
+		m:         newNodeInstruments(cfg.Metrics, id),
 	}
 	for i, f := range cfg.Trace.Files {
 		n.nameToID[f.Name] = cache.FileID(i)
@@ -203,6 +233,7 @@ func (n *Node) mainLoop() {
 
 func (n *Node) handleClient(r *clientRequest) {
 	n.count(func(s *NodeStats) { s.Requests++ })
+	n.m.requests.Inc()
 	n.loadChange(+1)
 	id, ok := n.nameToID[r.name]
 	if !ok {
@@ -223,6 +254,7 @@ func (n *Node) handleClient(r *clientRequest) {
 		return
 	}
 	n.count(func(s *NodeStats) { s.Forwarded++ })
+	n.m.forward.Inc()
 	n.nextReqID++
 	reqID := n.nextReqID
 	n.pending[reqID] = &pendingRemote{req: r}
@@ -230,6 +262,7 @@ func (n *Node) handleClient(r *clientRequest) {
 }
 
 func (n *Node) serveLocal(r *clientRequest, id cache.FileID) {
+	n.m.local.Inc()
 	if n.lru.Touch(id) {
 		n.count(func(s *NodeStats) { s.LocalHits++ })
 		r.resp <- clientResult{data: n.content[id]}
@@ -247,6 +280,7 @@ func (n *Node) readDisk(name string, w diskWaiter) {
 	}
 	n.waiting[name] = []diskWaiter{w}
 	n.count(func(s *NodeStats) { s.DiskReads++ })
+	n.m.disk.Inc()
 	n.diskQ.push(diskJob{name: name})
 }
 
@@ -354,6 +388,7 @@ func (n *Node) handleForward(m *Message) {
 	}
 	if n.lru.Touch(id) {
 		n.count(func(s *NodeStats) { s.RemoteHits++ })
+		n.m.remote.Inc()
 		n.sendFile(m.From, m.ReqID, id, n.content[id])
 		return
 	}
@@ -469,4 +504,4 @@ func (n *Node) shutdown() {
 func (n *Node) ID() int { return n.id }
 
 // MsgStats returns the node's send-side message accounting.
-func (n *Node) MsgStats() core.MsgStats { return n.transport.Stats() }
+func (n *Node) MsgStats() core.MsgStats { return n.transport.Metrics().Msgs }

@@ -298,7 +298,12 @@ func newDataGate(capacity uint64) *dataGate {
 func (d *dataGate) acquire(virtEnd uint64, closedErr error) bool {
 	d.g.mu.Lock()
 	defer d.g.mu.Unlock()
+	stalled := false
 	for int64(virtEnd)-d.g.consumed > int64(d.capacity) && !d.g.closed {
+		if !stalled {
+			stalled = true
+			d.g.stalls.Inc()
+		}
 		d.g.cond.Wait()
 	}
 	return !d.g.closed

@@ -6,9 +6,9 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 
 	"press/core"
+	"press/metrics"
 )
 
 // tcpTransport connects the cluster over kernel TCP sockets, the
@@ -18,13 +18,12 @@ type tcpTransport struct {
 	self    int
 	peers   []*tcpPeer // indexed by node, nil for self
 	inbound chan *Message
-	acct    msgAccounting
+	ins     transportInstruments
 	done    chan struct{}
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 	ln        net.Listener
-	copied    atomic.Int64
 }
 
 type tcpPeer struct {
@@ -38,13 +37,14 @@ const maxFrame = 8 << 20
 // listens on its own loopback address; node i dials every j > i and
 // identifies itself with a 2-byte hello, mirroring how the VIA version
 // sets up VI end-points with each other node.
-func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string) (*tcpTransport, error) {
+func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *metrics.Registry) (*tcpTransport, error) {
 	t := &tcpTransport{
 		self:    self,
 		peers:   make([]*tcpPeer, nodes),
 		inbound: make(chan *Message, 1024),
 		done:    make(chan struct{}),
 		ln:      ln,
+		ins:     newTransportInstruments(reg, self),
 	}
 
 	errc := make(chan error, nodes)
@@ -126,9 +126,9 @@ func (t *tcpTransport) Send(dst int, m *Message) error {
 		return err
 	}
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
-	t.acct.add(m.Type, int64(len(frame)-4))
+	t.ins.acct.add(m.Type, int64(len(frame)-4))
 	if m.Type == core.MsgFile {
-		t.copied.Add(int64(len(m.Data)))
+		t.ins.copied.Add(int64(len(m.Data)))
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -167,11 +167,11 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 
 func (t *tcpTransport) Inbound() <-chan *Message { return t.inbound }
 
-// CopiedBytes: the kernel TCP stack copies every payload at the sender
-// and again at the receiver; we report the send-side volume.
-func (t *tcpTransport) CopiedBytes() int64 { return t.copied.Load() }
-
-func (t *tcpTransport) Stats() core.MsgStats { return t.acct.snapshot() }
+// Metrics snapshots the transport's counters. CopiedBytes is the
+// send-side volume handed to the kernel TCP stack, which copies every
+// payload at the sender and again at the receiver; CreditStalls is
+// always zero, as TCP's flow control is the kernel's.
+func (t *tcpTransport) Metrics() TransportMetrics { return t.ins.metrics() }
 
 func (t *tcpTransport) Close() error {
 	t.closeOnce.Do(func() {

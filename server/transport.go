@@ -1,10 +1,31 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 
 	"press/core"
+	"press/metrics"
 )
+
+// TransportMetrics is a transport's unified observability snapshot. It
+// replaces the former Stats()+CopiedBytes() pair with one value read
+// atomically enough for reporting.
+type TransportMetrics struct {
+	// Msgs is the per-type message accounting (counts and byte
+	// volumes), the data behind the paper's Table 4.
+	Msgs core.MsgStats
+	// CopiedBytes is the payload bytes the server had to copy beyond
+	// the transfer itself: staging copies at senders and the
+	// copy-to-another-buffer at receivers. Zero-copy versions eliminate
+	// them (Section 3.4). The TCP transport reports the bytes handed to
+	// the kernel, which copies at both ends.
+	CopiedBytes int64
+	// CreditStalls counts sends that had to block on the window-based
+	// flow control before a slot freed up. Always zero on TCP, whose
+	// flow control is the kernel's.
+	CreditStalls int64
+}
 
 // Transport moves Messages between cluster nodes. Implementations:
 // kernel TCP over loopback (tcpTransport) and software VIA
@@ -17,34 +38,75 @@ type Transport interface {
 	// Inbound is the merged stream of messages from all peers, fed by
 	// the transport's receive machinery.
 	Inbound() <-chan *Message
-	// Stats snapshots the per-type message accounting.
-	Stats() core.MsgStats
-	// CopiedBytes reports the payload bytes the server had to copy
-	// beyond the transfer itself: staging copies at senders and the
-	// copy-to-another-buffer at receivers. Zero-copy versions eliminate
-	// them (Section 3.4). The TCP transport reports the bytes handed to
-	// the kernel, which copies at both ends.
-	CopiedBytes() int64
+	// Metrics snapshots the transport's counters.
+	Metrics() TransportMetrics
 	// Close tears the transport down; Inbound is closed afterwards.
 	Close() error
 }
 
-// msgAccounting is thread-safe per-type message counting.
+// msgAccounting counts messages per type on lock-free counters, either
+// standalone or interned in a metrics registry under the owning node's
+// label — the counters themselves are the accounting, so enabling
+// observability adds no second bookkeeping path.
 type msgAccounting struct {
-	mu    sync.Mutex
-	stats core.MsgStats
+	count [core.NumMsgTypes]*metrics.Counter
+	bytes [core.NumMsgTypes]*metrics.Counter
 }
 
 func (a *msgAccounting) add(t core.MsgType, bytes int64) {
-	a.mu.Lock()
-	a.stats.Add(t, bytes)
-	a.mu.Unlock()
+	a.count[t].Inc()
+	a.bytes[t].Add(bytes)
 }
 
 func (a *msgAccounting) snapshot() core.MsgStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	var s core.MsgStats
+	for t := core.MsgType(0); t < core.NumMsgTypes; t++ {
+		s.Count[t] = a.count[t].Value()
+		s.Bytes[t] = a.bytes[t].Value()
+	}
+	return s
+}
+
+// transportInstruments bundles the counters every transport maintains.
+// With a registry they appear as press_msgs_total{node=N,type=T},
+// press_msg_bytes{node=N,type=T}, press_copied_bytes{node=N}, and
+// press_credit_stalls_total{node=N}; without one they are standalone
+// and only back Metrics().
+type transportInstruments struct {
+	acct   msgAccounting
+	copied *metrics.Counter
+	stalls *metrics.Counter
+}
+
+func newTransportInstruments(r *metrics.Registry, self int) transportInstruments {
+	var ins transportInstruments
+	if !r.Enabled() {
+		for t := core.MsgType(0); t < core.NumMsgTypes; t++ {
+			ins.acct.count[t] = metrics.NewCounter()
+			ins.acct.bytes[t] = metrics.NewCounter()
+		}
+		ins.copied = metrics.NewCounter()
+		ins.stalls = metrics.NewCounter()
+		return ins
+	}
+	node := fmt.Sprintf("node=%d", self)
+	for t := core.MsgType(0); t < core.NumMsgTypes; t++ {
+		typ := "type=" + t.String()
+		ins.acct.count[t] = r.Counter("press_msgs_total", node, typ)
+		ins.acct.bytes[t] = r.Counter("press_msg_bytes", node, typ)
+	}
+	ins.copied = r.Counter("press_copied_bytes", node)
+	ins.stalls = r.Counter("press_credit_stalls_total", node)
+	return ins
+}
+
+// metrics assembles the TransportMetrics snapshot from the instruments.
+func (ins *transportInstruments) metrics() TransportMetrics {
+	return TransportMetrics{
+		Msgs:         ins.acct.snapshot(),
+		CopiedBytes:  ins.copied.Value(),
+		CreditStalls: ins.stalls.Value(),
+	}
 }
 
 // creditGate implements the sender half of window-based flow control:
@@ -58,6 +120,10 @@ type creditGate struct {
 	sent     int64
 	consumed int64
 	closed   bool
+	// stalls, when set, counts acquires that had to wait (one per
+	// acquire, not per wakeup). Nil-safe, so gates on disabled
+	// transports leave it unset.
+	stalls *metrics.Counter
 }
 
 func newCreditGate(window int) *creditGate {
@@ -71,7 +137,12 @@ func newCreditGate(window int) *creditGate {
 func (g *creditGate) acquire() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	stalled := false
 	for g.sent-g.consumed >= g.window && !g.closed {
+		if !stalled {
+			stalled = true
+			g.stalls.Inc()
+		}
 		g.cond.Wait()
 	}
 	if g.closed {

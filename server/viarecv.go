@@ -105,7 +105,7 @@ func (t *viaTransport) returnCredits(p *viaPeer, n int64) {
 	p.ackMu.Lock()
 	defer p.ackMu.Unlock()
 	p.regAcked += n
-	t.acct.add(core.MsgFlow, 8)
+	t.ins.acct.add(core.MsgFlow, 8)
 	t.writeFlowCounter(p, flowRegChannel, uint64(p.regAcked))
 }
 
@@ -161,6 +161,11 @@ func (t *viaTransport) handleSetup(p *viaPeer, frame []byte) {
 	p.peerFlowHandle = flow
 	p.outCtrl = newRingOut(ctrl, ctrlSlots)
 	p.outFile = newFileRingOut(meta, data, dataSize)
+	// The ring gates are credit gates too: count their stalls with the
+	// regular channel's.
+	p.outCtrl.gate.stalls = t.ins.stalls
+	p.outFile.metaGate.stalls = t.ins.stalls
+	p.outFile.dataGate.g.stalls = t.ins.stalls
 	p.peerMu.Unlock()
 	close(p.ready)
 }
@@ -223,7 +228,7 @@ func (t *viaTransport) pollPeer(p *viaPeer) bool {
 		}
 		if ack, due := p.inCtrl.ackDue(uint64(t.cfg.batch)); due {
 			p.ackMu.Lock()
-			t.acct.add(core.MsgFlow, 8)
+			t.ins.acct.add(core.MsgFlow, 8)
 			t.writeFlowCounter(p, flowCtrlRing, ack)
 			p.ackMu.Unlock()
 		}
@@ -239,7 +244,7 @@ func (t *viaTransport) pollPeer(p *viaPeer) bool {
 		if !t.cfg.version.ZeroCopyRX {
 			// Receiver-side copy to another buffer (version 3),
 			// eliminated by zero-copy receive (versions 4-5).
-			t.copied.Add(int64(len(arr.payload)))
+			t.ins.copied.Add(int64(len(arr.payload)))
 		}
 		progressed = true
 		m := &Message{
@@ -253,7 +258,7 @@ func (t *viaTransport) pollPeer(p *viaPeer) bool {
 		}
 		if metaAck, virtAck, due := p.inFile.ackDue(uint64(t.cfg.batch)); due {
 			p.ackMu.Lock()
-			t.acct.add(core.MsgFlow, 16)
+			t.ins.acct.add(core.MsgFlow, 16)
 			t.writeFlowCounter(p, flowFileMeta, metaAck)
 			t.writeFlowCounter(p, flowFileData, virtAck)
 			p.ackMu.Unlock()

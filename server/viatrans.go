@@ -5,10 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"press/core"
+	"press/metrics"
 	"press/netmodel"
 	"press/via"
 )
@@ -26,12 +26,11 @@ type viaTransport struct {
 	peers   []*viaPeer
 	inbound chan *Message
 	recvCQ  *via.CompletionQueue
-	acct    msgAccounting
+	ins     transportInstruments
 
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
-	copied    atomic.Int64
 }
 
 // viaConfig is the transport slice of the server configuration.
@@ -44,6 +43,7 @@ type viaConfig struct {
 	batch      int
 	chunk      int
 	fileRing   int
+	metrics    *metrics.Registry
 }
 
 type viaPeer struct {
@@ -89,6 +89,7 @@ func newViaTransport(nic *via.NIC, cfg viaConfig) (*viaTransport, error) {
 		inbound: make(chan *Message, 1024),
 		done:    make(chan struct{}),
 		peers:   make([]*viaPeer, cfg.nodes),
+		ins:     newTransportInstruments(cfg.metrics, cfg.self),
 	}
 	cq, err := via.NewCompletionQueue(cfg.nodes * (cfg.window + 16))
 	if err != nil {
@@ -225,6 +226,7 @@ func (t *viaTransport) newPeer() (*viaPeer, error) {
 		regGate:     newCreditGate(t.cfg.window),
 		recvRegions: make(map[*via.Descriptor]*via.MemoryRegion),
 	}
+	p.regGate.stalls = t.ins.stalls
 	if p.regStage, err = t.nic.RegisterMemory(make([]byte, regMsgBuf)); err != nil {
 		return nil, err
 	}
@@ -380,11 +382,11 @@ func (t *viaTransport) sendRegular(p *viaPeer, m *Message, takeCredit bool) erro
 	if err != nil {
 		return err
 	}
-	t.acct.add(m.Type, int64(len(frame)))
+	t.ins.acct.add(m.Type, int64(len(frame)))
 	if m.Type == core.MsgFile {
 		// Regular messages stage the payload into the registered send
 		// buffer: the sender-side copy of versions 0-2.
-		t.copied.Add(int64(len(m.Data)))
+		t.ins.copied.Add(int64(len(m.Data)))
 	}
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
@@ -417,7 +419,7 @@ func (t *viaTransport) sendCtrlRMW(p *viaPeer, m *Message) error {
 	if err != nil {
 		return err
 	}
-	t.acct.add(m.Type, int64(len(frame)))
+	t.ins.acct.add(m.Type, int64(len(frame)))
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
 	out := p.ring()
@@ -433,8 +435,8 @@ func (t *viaTransport) sendCtrlRMW(p *viaPeer, m *Message) error {
 // straight from the registered cache page; otherwise it is staged first
 // (the sender-side copy of versions 0-4).
 func (t *viaTransport) sendFileRMW(p *viaPeer, m *Message) error {
-	t.acct.add(core.MsgFile, int64(len(m.Data)))
-	t.acct.add(core.MsgFile, core.FileMetaBytes)
+	t.ins.acct.add(core.MsgFile, int64(len(m.Data)))
+	t.ins.acct.add(core.MsgFile, core.FileMetaBytes)
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
 	out := p.fileRing()
@@ -449,7 +451,7 @@ func (t *viaTransport) sendFileRMW(p *viaPeer, m *Message) error {
 		if err := p.fileStage.Write(m.Data, 0); err != nil {
 			return err
 		}
-		t.copied.Add(int64(len(m.Data)))
+		t.ins.copied.Add(int64(len(m.Data)))
 		src, srcOff = p.fileStage, 0
 	}
 	return out.write(p.vi, p.metaStage, 0, src, srcOff, len(m.Data), m.ReqID)
@@ -469,11 +471,10 @@ func (p *viaPeer) fileRing() *fileRingOut {
 
 func (t *viaTransport) Inbound() <-chan *Message { return t.inbound }
 
-func (t *viaTransport) Stats() core.MsgStats { return t.acct.snapshot() }
-
-// CopiedBytes reports staging and receive-side copies of file payloads;
-// version 5 drives it to zero.
-func (t *viaTransport) CopiedBytes() int64 { return t.copied.Load() }
+// Metrics snapshots the transport's counters. CopiedBytes reports
+// staging and receive-side copies of file payloads; version 5 drives
+// it to zero.
+func (t *viaTransport) Metrics() TransportMetrics { return t.ins.metrics() }
 
 func (t *viaTransport) Close() error {
 	t.closeOnce.Do(func() {

@@ -34,6 +34,9 @@ func (c *BarChart) Add(label string, value float64) {
 	c.rows = append(c.rows, barRow{label: label, value: value})
 }
 
+// Render implements Renderer.
+func (c *BarChart) Render() string { return c.String() }
+
 // String renders the chart.
 func (c *BarChart) String() string {
 	if len(c.rows) == 0 {

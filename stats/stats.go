@@ -6,9 +6,48 @@ package stats
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"strings"
 )
+
+// Renderer is the shared contract for text-report blocks: anything that
+// renders itself as a fixed-width text block. Table and BarChart
+// implement it, and the metrics package formats its reports through it,
+// so experiment tables and observability reports share one formatting
+// path.
+type Renderer interface {
+	Render() string
+}
+
+// RenderAll writes each block in order, separated by blank lines.
+func RenderAll(w io.Writer, blocks ...Renderer) error {
+	for i, b := range blocks {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, b.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Titled wraps a Renderer with a heading line, for multi-block reports.
+func Titled(title string, r Renderer) Renderer {
+	return titled{title: title, inner: r}
+}
+
+type titled struct {
+	title string
+	inner Renderer
+}
+
+func (t titled) Render() string {
+	return t.title + "\n" + t.inner.Render()
+}
 
 // Welford accumulates a running mean and variance using Welford's
 // algorithm. The zero value is ready to use.
@@ -106,6 +145,9 @@ func (t *Table) AddRowf(cells ...interface{}) {
 	}
 	t.AddRow(row...)
 }
+
+// Render implements Renderer.
+func (t *Table) Render() string { return t.String() }
 
 // String renders the table with aligned columns. Numeric-looking cells
 // are right-aligned, text cells left-aligned.

@@ -184,3 +184,28 @@ func TestBarChartEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+func TestRendererSharedPath(t *testing.T) {
+	// Table and BarChart satisfy the shared Renderer contract and
+	// compose through RenderAll, the path metrics reports also use.
+	tb := NewTable("k", "v")
+	tb.AddRow("a", "1")
+	bc := NewBarChart(10)
+	bc.Add("a", 1)
+	var sb strings.Builder
+	if err := RenderAll(&sb, Titled("T1", tb), Titled("T2", bc)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T1", "T2", "k  v", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll output missing %q:\n%s", want, out)
+		}
+	}
+	var rs []Renderer = []Renderer{tb, bc}
+	for _, r := range rs {
+		if r.Render() == "" {
+			t.Error("Render returned empty block")
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"press/metrics"
 )
 
 // FabricOption configures a Fabric.
@@ -22,15 +24,32 @@ func WithBandwidth(bytesPerSec float64) FabricOption {
 	return func(f *Fabric) { f.bandwidth = bytesPerSec }
 }
 
-// WithLossRate drops the given fraction of unreliable transfers
+// WithLoss drops the given fraction of unreliable transfers
 // (reliable-delivery VIs are unaffected, as the hardware retransmits).
-func WithLossRate(rate float64) FabricOption {
+func WithLoss(rate float64) FabricOption {
 	return func(f *Fabric) { f.lossRate = rate }
+}
+
+// WithLossRate is the older name for WithLoss.
+//
+// Deprecated: use WithLoss. Kept as a shim for one release.
+func WithLossRate(rate float64) FabricOption {
+	return WithLoss(rate)
 }
 
 // WithSeed seeds the deterministic loss process.
 func WithSeed(seed int64) FabricOption {
 	return func(f *Fabric) { f.seed = seed }
+}
+
+// WithMetrics attaches an observability registry: every NIC created on
+// the fabric registers per-NIC counters (sends, receives, remote
+// writes, bytes, drops), a descriptor work-queue depth gauge, and a
+// send completion-latency histogram. A nil registry (the default)
+// disables the latency/depth instrumentation entirely; the counters
+// always run, as they back NIC.Stats.
+func WithMetrics(r *metrics.Registry) FabricOption {
+	return func(f *Fabric) { f.metrics = r }
 }
 
 // Fabric is the cluster interconnect: it owns the NIC address space and
@@ -41,6 +60,7 @@ type Fabric struct {
 	bandwidth float64
 	lossRate  float64
 	seed      int64
+	metrics   *metrics.Registry
 
 	mu      sync.Mutex
 	nics    map[string]*NIC
@@ -61,7 +81,7 @@ func NewFabric(opts ...FabricOption) *Fabric {
 
 // CreateNIC attaches a new NIC with the given address to the fabric
 // and starts its processing engine.
-func (f *Fabric) CreateNIC(addr string) (*NIC, error) {
+func (f *Fabric) CreateNIC(addr string, opts ...NICOption) (*NIC, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("via: empty NIC address")
 	}
@@ -73,7 +93,7 @@ func (f *Fabric) CreateNIC(addr string) (*NIC, error) {
 	if _, dup := f.nics[addr]; dup {
 		return nil, fmt.Errorf("via: address %q already on fabric", addr)
 	}
-	n := newNIC(f, addr)
+	n := newNIC(f, addr, opts...)
 	f.nics[addr] = n
 	return n, nil
 }

@@ -1,0 +1,149 @@
+package via
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"press/metrics"
+)
+
+// metricsPair builds two connected reliable VIs on a fabric carrying a
+// live metrics registry.
+func metricsPair(t *testing.T, r *metrics.Registry) (*NIC, *NIC, *VI, *VI) {
+	t.Helper()
+	f := NewFabric(WithMetrics(r))
+	t.Cleanup(f.Close)
+	na, err := f.CreateNIC("nodeA", WithWorkDepth(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := f.CreateNIC("nodeB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := nb.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := nb.CreateVI(ReliableDelivery, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := na.CreateVI(ReliableDelivery, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept(vb)
+		acceptErr <- err
+	}()
+	if err := va.Connect("nodeB", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+	return na, nb, va, vb
+}
+
+func TestNICMetricsRegistered(t *testing.T) {
+	r := metrics.NewRegistry()
+	na, nb, va, vb := metricsPair(t, r)
+	msg := []byte("instrumented send")
+	got := sendRecv(t, na, nb, va, vb, msg)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+
+	s := r.Snapshot()
+	if n := s.Counters[metrics.Key("via_sends_posted_total", "nic=nodeA")]; n != 1 {
+		t.Errorf("sends posted counter = %d, want 1", n)
+	}
+	if n := s.Counters[metrics.Key("via_recvs_posted_total", "nic=nodeB")]; n != 1 {
+		t.Errorf("recvs posted counter = %d, want 1", n)
+	}
+	if n := s.Counters[metrics.Key("via_sent_bytes", "nic=nodeA")]; n != int64(len(msg)) {
+		t.Errorf("sent bytes counter = %d, want %d", n, len(msg))
+	}
+	h := s.Histograms[metrics.Key("via_send_latency_ns", "nic=nodeA")]
+	if h.Count != 1 {
+		t.Errorf("send latency histogram count = %d, want 1", h.Count)
+	}
+	if _, ok := s.Gauges[metrics.Key("via_workq_depth", "nic=nodeA")]; !ok {
+		t.Error("work-queue depth gauge missing")
+	}
+	// Registry and NIC.Stats must agree: the counters are shared.
+	if st := na.Stats(); st.SendsPosted != 1 || st.BytesSent != int64(len(msg)) {
+		t.Errorf("NIC.Stats diverges from registry: %+v", st)
+	}
+}
+
+// TestNICMetricsDisabled: without a registry the NIC keeps its Stats
+// counters but records no latency (the clock is never read).
+func TestNICMetricsDisabled(t *testing.T) {
+	_, na, nb, va, vb := pair(t, ReliableDelivery)
+	sendRecv(t, na, nb, va, vb, []byte("x"))
+	if na.m.sendLatency != nil || na.m.workDepth != nil {
+		t.Error("disabled NIC must not carry latency/depth instruments")
+	}
+	if st := na.Stats(); st.SendsPosted != 1 || st.SendsComplete != 1 {
+		t.Errorf("Stats must still count when metrics are disabled: %+v", st)
+	}
+}
+
+func TestWithLossOption(t *testing.T) {
+	f := NewFabric(WithLoss(1.0), WithSeed(1))
+	defer f.Close()
+	if f.lossRate != 1.0 {
+		t.Errorf("WithLoss did not set loss rate: %v", f.lossRate)
+	}
+	// Deprecated shim must behave identically.
+	f2 := NewFabric(WithLossRate(0.25))
+	defer f2.Close()
+	if f2.lossRate != 0.25 {
+		t.Errorf("WithLossRate shim broken: %v", f2.lossRate)
+	}
+}
+
+func TestWithWorkDepth(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	n, err := f.CreateNIC("a", WithWorkDepth(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(n.work) != 7 {
+		t.Errorf("work depth = %d, want 7", cap(n.work))
+	}
+	n2, err := f.CreateNIC("b", WithWorkDepth(0)) // <= 0 keeps the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(n2.work) != defaultWorkDepth {
+		t.Errorf("work depth = %d, want default %d", cap(n2.work), defaultWorkDepth)
+	}
+}
+
+func TestFabricMetricsReport(t *testing.T) {
+	r := metrics.NewRegistry()
+	na, nb, va, vb := metricsPair(t, r)
+	sendRecv(t, na, nb, va, vb, bytes.Repeat([]byte("p"), 2048))
+	_, _, _, _ = na, nb, va, vb
+
+	var b strings.Builder
+	if err := r.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"via_sends_posted_total{nic=nodeA}", "via_sent_bytes", "2.0 KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Latency values render as durations.
+	if !strings.Contains(out, "via_send_latency_ns") {
+		t.Errorf("report missing latency family:\n%s", out)
+	}
+}

@@ -3,7 +3,9 @@ package via
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"press/metrics"
 )
 
 // Stats counts a NIC's activity.
@@ -15,6 +17,49 @@ type Stats struct {
 	RDMAWrites    int64
 	BytesSent     int64
 	Drops         int64
+}
+
+// nicMetrics holds a NIC's instruments. The counters always exist —
+// they back Stats — either standalone or interned in the fabric's
+// registry under a nic=<addr> label. The depth gauge and the send
+// completion-latency histogram exist only with a registry attached, so
+// the disabled path never reads the clock.
+type nicMetrics struct {
+	sendsPosted   *metrics.Counter
+	recvsPosted   *metrics.Counter
+	sendsComplete *metrics.Counter
+	recvsComplete *metrics.Counter
+	rdmaWrites    *metrics.Counter
+	bytesSent     *metrics.Counter
+	drops         *metrics.Counter
+	workDepth     *metrics.Gauge
+	sendLatency   *metrics.Histogram
+}
+
+func newNICMetrics(r *metrics.Registry, addr string) nicMetrics {
+	if !r.Enabled() {
+		return nicMetrics{
+			sendsPosted:   metrics.NewCounter(),
+			recvsPosted:   metrics.NewCounter(),
+			sendsComplete: metrics.NewCounter(),
+			recvsComplete: metrics.NewCounter(),
+			rdmaWrites:    metrics.NewCounter(),
+			bytesSent:     metrics.NewCounter(),
+			drops:         metrics.NewCounter(),
+		}
+	}
+	label := "nic=" + addr
+	return nicMetrics{
+		sendsPosted:   r.Counter("via_sends_posted_total", label),
+		recvsPosted:   r.Counter("via_recvs_posted_total", label),
+		sendsComplete: r.Counter("via_sends_complete_total", label),
+		recvsComplete: r.Counter("via_recvs_complete_total", label),
+		rdmaWrites:    r.Counter("via_rmw_total", label),
+		bytesSent:     r.Counter("via_sent_bytes", label),
+		drops:         r.Counter("via_drops_total", label),
+		workDepth:     r.Gauge("via_workq_depth", label),
+		sendLatency:   r.Histogram("via_send_latency_ns", label),
+	}
 }
 
 // NIC is one node's network interface. Processes gain user-level access
@@ -36,13 +81,7 @@ type NIC struct {
 	work chan workItem
 	done chan struct{}
 
-	sendsPosted   atomic.Int64
-	recvsPosted   atomic.Int64
-	sendsComplete atomic.Int64
-	recvsComplete atomic.Int64
-	rdmaWrites    atomic.Int64
-	bytesSent     atomic.Int64
-	drops         atomic.Int64
+	m nicMetrics
 }
 
 type opcode int
@@ -53,22 +92,47 @@ const (
 )
 
 type workItem struct {
-	vi   *VI
-	desc *Descriptor
-	op   opcode
+	vi     *VI
+	desc   *Descriptor
+	op     opcode
+	posted time.Time // set only when the send-latency histogram is live
 }
 
-const workDepth = 4096
+// defaultWorkDepth is the descriptor work-queue capacity when
+// WithWorkDepth is not given.
+const defaultWorkDepth = 4096
 
-func newNIC(f *Fabric, addr string) *NIC {
+// NICOption configures a NIC at creation.
+type NICOption func(*nicConfig)
+
+type nicConfig struct {
+	workDepth int
+}
+
+// WithWorkDepth sets the NIC's descriptor work-queue capacity
+// (default 4096). n <= 0 keeps the default.
+func WithWorkDepth(n int) NICOption {
+	return func(c *nicConfig) {
+		if n > 0 {
+			c.workDepth = n
+		}
+	}
+}
+
+func newNIC(f *Fabric, addr string, opts ...NICOption) *NIC {
+	cfg := nicConfig{workDepth: defaultWorkDepth}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	n := &NIC{
 		fabric:    f,
 		addr:      addr,
 		regions:   make(map[Handle]*MemoryRegion),
 		vis:       make(map[uint32]*VI),
 		listeners: make(map[string]*Listener),
-		work:      make(chan workItem, workDepth),
+		work:      make(chan workItem, cfg.workDepth),
 		done:      make(chan struct{}),
+		m:         newNICMetrics(f.metrics, addr),
 	}
 	go n.engine()
 	return n
@@ -107,13 +171,13 @@ func (n *NIC) Attributes() Attributes {
 // Stats returns a snapshot of the NIC's counters.
 func (n *NIC) Stats() Stats {
 	return Stats{
-		SendsPosted:   n.sendsPosted.Load(),
-		RecvsPosted:   n.recvsPosted.Load(),
-		SendsComplete: n.sendsComplete.Load(),
-		RecvsComplete: n.recvsComplete.Load(),
-		RDMAWrites:    n.rdmaWrites.Load(),
-		BytesSent:     n.bytesSent.Load(),
-		Drops:         n.drops.Load(),
+		SendsPosted:   n.m.sendsPosted.Value(),
+		RecvsPosted:   n.m.recvsPosted.Value(),
+		SendsComplete: n.m.sendsComplete.Value(),
+		RecvsComplete: n.m.recvsComplete.Value(),
+		RDMAWrites:    n.m.rdmaWrites.Value(),
+		BytesSent:     n.m.bytesSent.Value(),
+		Drops:         n.m.drops.Value(),
 	}
 }
 
@@ -196,8 +260,12 @@ func (n *NIC) post(w workItem) error {
 	if closed {
 		return ErrClosed
 	}
+	if n.m.sendLatency != nil {
+		w.posted = time.Now()
+	}
 	select {
 	case n.work <- w:
+		n.m.workDepth.Set(int64(len(n.work)))
 		return nil
 	case <-n.done:
 		return ErrClosed
@@ -230,6 +298,7 @@ func (n *NIC) drainWork() {
 }
 
 func (n *NIC) process(w workItem) {
+	n.m.workDepth.Set(int64(len(n.work)))
 	payload, err := w.desc.gather()
 	if err != nil {
 		n.completeSend(w, 0, err)
@@ -246,7 +315,7 @@ func (n *NIC) process(w workItem) {
 	if !n.fabric.linkUp(n.addr, peer.addr) {
 		if w.vi.reliability == Unreliable {
 			// Lost without detection.
-			n.drops.Add(1)
+			n.m.drops.Inc()
 			n.completeSend(w, len(payload), nil)
 			return
 		}
@@ -256,7 +325,7 @@ func (n *NIC) process(w workItem) {
 		return
 	}
 	if w.vi.reliability == Unreliable && n.fabric.drop() {
-		n.drops.Add(1)
+		n.m.drops.Inc()
 		// Lost on the wire: the local completion still succeeds, as the
 		// interface has no way to know.
 		n.completeSend(w, len(payload), nil)
@@ -268,25 +337,28 @@ func (n *NIC) process(w workItem) {
 	case opRDMA:
 		err = peer.deliverRDMA(w.desc.remoteHandle, w.desc.remoteOffset, payload)
 		if err == nil {
-			n.rdmaWrites.Add(1)
+			n.m.rdmaWrites.Inc()
 		}
 	}
 	if err != nil && w.vi.reliability == Unreliable {
 		// Undetected loss: a missing receive descriptor or protection
 		// fault at the receiver is silent for unreliable service.
-		n.drops.Add(1)
+		n.m.drops.Inc()
 		err = nil
 	}
 	if err != nil {
 		w.vi.breakConn(err)
 	}
-	n.bytesSent.Add(int64(len(payload)))
+	n.m.bytesSent.Add(int64(len(payload)))
 	n.completeSend(w, len(payload), err)
 }
 
 func (n *NIC) completeSend(w workItem, bytes int, err error) {
 	w.desc.complete(bytes, err)
-	n.sendsComplete.Add(1)
+	n.m.sendsComplete.Inc()
+	if n.m.sendLatency != nil && !w.posted.IsZero() {
+		n.m.sendLatency.Observe(int64(time.Since(w.posted)))
+	}
 	w.vi.sendCompleted(w.desc, err)
 }
 
@@ -304,12 +376,12 @@ func (n *NIC) deliverSend(viID uint32, payload []byte, rel Reliability) error {
 			vi.breakConn(err)
 			return err
 		}
-		n.drops.Add(1)
+		n.m.drops.Inc()
 		return nil
 	}
 	written, err := d.scatter(payload)
 	d.complete(written, err)
-	n.recvsComplete.Add(1)
+	n.m.recvsComplete.Inc()
 	vi.recvCompleted(d, err)
 	if err != nil && rel == ReliableDelivery {
 		vi.breakConn(err)

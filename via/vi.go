@@ -199,7 +199,7 @@ func (v *VI) postOut(d *Descriptor, op opcode) error {
 		d.complete(0, err)
 		return err
 	}
-	v.nic.sendsPosted.Add(1)
+	v.nic.m.sendsPosted.Inc()
 	return nil
 }
 
@@ -218,7 +218,7 @@ func (v *VI) PostRecv(d *Descriptor) error {
 		return err
 	}
 	v.recvQ = append(v.recvQ, d)
-	v.nic.recvsPosted.Add(1)
+	v.nic.m.recvsPosted.Inc()
 	return nil
 }
 
