@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check benchsmoke
+.PHONY: build test race lint check benchsmoke bench
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ lint:
 benchsmoke:
 	$(GO) test -run '^$$' -bench '^$$' ./...
 	$(GO) test -run '^$$' -bench BenchmarkViaSendMetrics -benchtime 1x .
+
+# bench records the observability-overhead baseline (tracing and
+# metrics on/off) into BENCH_trace.json.
+bench:
+	sh scripts/bench.sh BENCH_trace.json
 
 # check is the full gate: vet, build, race-enabled tests, presslint,
 # benchmark smoke.

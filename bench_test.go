@@ -19,6 +19,7 @@ import (
 	"press/netmodel"
 	"press/server"
 	"press/trace"
+	"press/tracing"
 	"press/via"
 )
 
@@ -338,6 +339,41 @@ func BenchmarkViaSendMetricsOff(b *testing.B) {
 
 func BenchmarkViaSendMetricsOn(b *testing.B) {
 	benchViaSend(b, 4, via.WithMetrics(metrics.NewRegistry()))
+}
+
+// BenchmarkServeTracingOff and ...On bracket the cost of the tracing
+// layer on the request serve path. Off drives the exact span
+// choreography of one served request — root, accept-queue, dispatch,
+// net-send, reply — against a nil collector, the default, and must do
+// zero allocations; On records the same spans into a live collector and
+// shows the price of enabling tracing.
+func BenchmarkServeTracingOff(b *testing.B) {
+	benchServeTracing(b, nil)
+}
+
+func BenchmarkServeTracingOn(b *testing.B) {
+	tr := tracing.New(tracing.WithSampleRate(1))
+	benchServeTracing(b, tr.Collector(0))
+}
+
+func benchServeTracing(b *testing.B, c *tracing.Collector) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := c.StartTrace("request")
+		root.AnnotateStr("file", "/bench.html")
+		acc := root.StartChild("accept-queue")
+		acc.End()
+		dsp := root.StartChild("dispatch")
+		dsp.Annotate("service", 1)
+		dsp.End()
+		ns := c.StartSpan("net-send", root.Trace(), root.ID())
+		ns.End()
+		rep := root.StartChild("reply")
+		rep.Annotate("bytes", 4096)
+		rep.End()
+		root.End()
+	}
 }
 
 func benchViaSend(b *testing.B, size int, opts ...via.FabricOption) {

@@ -19,6 +19,7 @@ import (
 	"press/metrics"
 	"press/netmodel"
 	"press/trace"
+	"press/tracing"
 )
 
 // Config describes one simulated experiment.
@@ -98,6 +99,11 @@ type Config struct {
 	// memory writes, completion-latency histograms, and CPU/disk/NIC
 	// utilization gauges. Nil (the default) disables all of it.
 	Metrics *metrics.Registry
+	// Tracing, when non-nil, records per-request span trees on simulated
+	// time: the run installs the simulator's virtual clock on the tracer,
+	// so exported traces read in simulated nanoseconds and forwarded
+	// requests stitch across node tracks exactly like real-server traces.
+	Tracing *tracing.Tracer
 }
 
 func (c *Config) withDefaults() (Config, error) {

@@ -11,6 +11,7 @@ import (
 	"press/metrics"
 	"press/netmodel"
 	"press/stats"
+	"press/tracing"
 )
 
 // CPU busy-time classes for the Figure 1 breakdown.
@@ -63,6 +64,7 @@ type simState struct {
 	latHist       *metrics.Histogram // completion latency, log buckets
 
 	ins []simNodeInstruments // indexed by node; nil instruments when off
+	trc []*tracing.Collector // indexed by node; all nil when tracing off
 
 	cursor int // next trace request to issue
 }
@@ -181,7 +183,10 @@ func Run(c Config) (*Result, error) {
 		}
 		s.nodes = append(s.nodes, n)
 		s.ins = append(s.ins, newSimNodeInstruments(cfg.Metrics, i))
+		s.trc = append(s.trc, cfg.Tracing.Collector(i))
 	}
+	// Span timestamps must read simulated time, not the wall clock.
+	cfg.Tracing.SetClock(s.sim.NowNanos)
 	s.latHist = metrics.NewHistogram()
 	if !cfg.NoPrewarm {
 		s.prewarm()
@@ -304,23 +309,32 @@ func (s *simState) startRequest(initial int, fileID cache.FileID) {
 	n := s.nodes[initial]
 	h := s.cfg.Host
 	t0 := s.sim.Now()
+	// Root trace span; children mirror the real server's phase names so
+	// press-trace summarizes simulated and live dumps identically.
+	root := s.trc[initial].StartTrace("request")
+	root.Annotate("file", int64(fileID))
+	acc := root.StartChild("accept-queue")
 	// Client request crosses the external interface, then the CPU reads
 	// and parses it.
 	rxTime := h.ExtNICFixed + netmodel.DurationOver(h.RequestWireBytes, h.ExtWireRate)
 	n.extRX.Acquire(0, rxTime, func() {
+		acc.End()
 		s.loadChange(initial, +1)
+		dsp := root.StartChild("dispatch")
 		n.cpu.Acquire(classService, h.ParseCPU, func() {
-			s.distribute(initial, fileID, t0)
+			s.distribute(initial, fileID, t0, root, dsp)
 		})
 	})
 }
 
-func (s *simState) distribute(initial int, fileID cache.FileID, t0 eventsim.Time) {
+func (s *simState) distribute(initial int, fileID cache.FileID, t0 eventsim.Time,
+	root, dsp *tracing.Span) {
 	n := s.nodes[initial]
 	size := s.cfg.Trace.Files[fileID].Size
 	if s.cfg.ContentOblivious {
 		// Content-oblivious baseline: no distribution decision at all.
-		s.serviceLocal(initial, fileID, size, t0)
+		dsp.End()
+		s.serviceLocal(initial, fileID, size, t0, root)
 		return
 	}
 	first := s.dir.FirstRequest(fileID)
@@ -328,51 +342,66 @@ func (s *simState) distribute(initial int, fileID cache.FileID, t0 eventsim.Time
 	if s.measuring {
 		s.reasons[d.Reason]++
 	}
+	dsp.Annotate("service", int64(d.Service))
+	dsp.End()
 	if d.Service == initial {
-		s.serviceLocal(initial, fileID, size, t0)
+		s.serviceLocal(initial, fileID, size, t0, root)
 		return
 	}
 	if s.measuring {
 		s.forwarded++
 	}
-	s.forward(initial, d.Service, fileID, size, t0)
+	s.forward(initial, d.Service, fileID, size, t0, root)
 }
 
 // serviceLocal satisfies the request at the initial node: from its cache
 // if present, else from disk (caching the file afterwards).
-func (s *simState) serviceLocal(nid int, fileID cache.FileID, size int64, t0 eventsim.Time) {
+func (s *simState) serviceLocal(nid int, fileID cache.FileID, size int64, t0 eventsim.Time,
+	root *tracing.Span) {
 	n := s.nodes[nid]
 	if n.cache.Touch(fileID) {
 		if s.measuring {
 			s.localHits++
 		}
-		s.replyToClient(nid, size, t0)
+		s.replyToClient(nid, size, t0, root)
 		return
 	}
+	dsk := root.StartChild("disk")
 	s.readFromDisk(nid, fileID, size, func() {
-		s.replyToClient(nid, size, t0)
+		dsk.End()
+		s.replyToClient(nid, size, t0, root)
 	})
 }
 
 // forward sends the request to the service node, which returns the file
 // over the internal network; the initial node then replies to the
-// client.
-func (s *simState) forward(initial, svc int, fileID cache.FileID, size int64, t0 eventsim.Time) {
+// client. The forward span covers the round trip; the service node's
+// work records under a serve-remote span parented to it — the
+// cross-node edge trace stitching hinges on.
+func (s *simState) forward(initial, svc int, fileID cache.FileID, size int64, t0 eventsim.Time,
+	root *tracing.Span) {
+	fwdSpan := root.StartChild("forward")
+	fwdSpan.Annotate("dst", int64(svc))
 	fwd := s.cfg.Combo.Cost(s.cfg.Version.Forward, core.ForwardMsgBytes, true, true)
 	if s.isRMW(s.cfg.Version.Forward) {
 		s.rmwWrite(initial)
 	}
 	s.sendMsg(initial, svc, core.MsgForward, core.ForwardMsgBytes, fwd.SendCPU, fwd.RecvCPU, func() {
+		srv := s.trc[svc].StartSpan("serve-remote", fwdSpan.Trace(), fwdSpan.ID())
 		n := s.nodes[svc]
 		if n.cache.Touch(fileID) {
 			if s.measuring {
 				s.remoteHits++
 			}
-			s.sendFile(svc, initial, size, t0)
+			s.sendFile(svc, initial, size, t0, root, fwdSpan)
+			srv.End()
 			return
 		}
+		dsk := srv.StartChild("disk")
 		s.readFromDisk(svc, fileID, size, func() {
-			s.sendFile(svc, initial, size, t0)
+			dsk.End()
+			s.sendFile(svc, initial, size, t0, root, fwdSpan)
+			srv.End()
 		})
 	})
 }
@@ -425,11 +454,19 @@ func (s *simState) broadcastCaching(from int) {
 // under RMW (the two-messages-per-file cost the paper highlights for
 // version 3). When the last message arrives, the initial node replies
 // to the client.
-func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
+func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time,
+	root, fwdSpan *tracing.Span) {
 	m := s.cfg.Combo
 	v := s.cfg.Version
 	seg := s.cfg.FileSegmentBytes
 	remaining := size
+	// The forward span ends when the file has fully arrived back at the
+	// initial node, right before the reply to the client starts.
+	arrived := func() {
+		fwdSpan.Annotate("bytes", size)
+		fwdSpan.End()
+		s.replyToClient(initial, size, t0, root)
+	}
 	for remaining > 0 {
 		payload := remaining
 		if payload > seg {
@@ -464,7 +501,7 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
 						// Receiver copies the file out of the data ring.
 						s.copyBytes(initial, size)
 					}
-					done = func() { s.replyToClient(initial, size, t0) }
+					done = arrived
 				}
 				s.sendMsg(svc, initial, core.MsgFile, payload, sendCPU, recvCPU, done)
 				continue
@@ -476,9 +513,7 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
 					s.copyBytes(initial, size)
 				}
 				s.rmwWrite(svc)
-				s.sendMsg(svc, initial, core.MsgFile, core.FileMetaBytes, m.SendFixed, finishRecv, func() {
-					s.replyToClient(initial, size, t0)
-				})
+				s.sendMsg(svc, initial, core.MsgFile, core.FileMetaBytes, m.SendFixed, finishRecv, arrived)
 			}
 			continue
 		}
@@ -489,7 +524,7 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
 		c := m.Cost(netmodel.StyleRegular, payload, true, true)
 		var done func()
 		if last {
-			done = func() { s.replyToClient(initial, size, t0) }
+			done = arrived
 		}
 		s.sendMsg(svc, initial, core.MsgFile, payload, c.SendCPU, c.RecvCPU, done)
 	}
@@ -497,20 +532,24 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time) {
 
 // replyToClient sends the file to the client through the kernel TCP
 // stack and the external interface, then completes the request.
-func (s *simState) replyToClient(nid int, size int64, t0 eventsim.Time) {
+func (s *simState) replyToClient(nid int, size int64, t0 eventsim.Time, root *tracing.Span) {
 	n := s.nodes[nid]
 	h := s.cfg.Host
+	rep := root.StartChild("reply")
 	cpuTime := h.ClientSendFixed + netmodel.DurationOver(size, h.ClientSendRate)
 	n.cpu.Acquire(classService, cpuTime, func() {
 		wire := h.ExtNICFixed + netmodel.DurationOver(size+h.ReplyHeaderBytes, h.ExtWireRate)
 		n.extTX.Acquire(0, wire, func() {
+			rep.Annotate("bytes", size)
+			rep.End()
 			s.loadChange(nid, -1)
-			s.finishRequest(nid, t0)
+			s.finishRequest(nid, t0, root)
 		})
 	})
 }
 
-func (s *simState) finishRequest(nid int, t0 eventsim.Time) {
+func (s *simState) finishRequest(nid int, t0 eventsim.Time, root *tracing.Span) {
+	root.End()
 	s.completed++
 	if s.measuring {
 		s.measCompleted++

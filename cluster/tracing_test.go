@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+
+	"press/tracing"
+)
+
+// TestRunTracing records spans through a simulated run and checks the
+// cross-node stitching contract on simulated time: forwarded requests
+// produce serve-remote spans on the service node parented to forward
+// spans on the initial node, all under one TraceID, with timestamps
+// inside the simulated horizon.
+func TestRunTracing(t *testing.T) {
+	tr := testTrace(t, 6000)
+	tracer := tracing.New(tracing.WithSampleRate(1))
+	cfg := baseConfig(tr)
+	cfg.Nodes = 4
+	cfg.Tracing = tracer
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := tracer.Records()
+	if len(recs) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	horizon := int64(r.Elapsed) * 10 // generous: Elapsed covers only the window
+	byID := make(map[tracing.SpanID]*tracing.SpanRecord, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		byID[r.Span] = r
+		if r.Start < 0 || r.Dur < 0 || r.Start+r.Dur > horizon {
+			t.Fatalf("span %q at [%d, +%d] outside the simulated horizon %d",
+				r.Name, r.Start, r.Dur, horizon)
+		}
+	}
+	stitched := 0
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Parent == 0 {
+			continue
+		}
+		p, ok := byID[rec.Parent]
+		if !ok {
+			continue
+		}
+		if p.Trace != rec.Trace {
+			t.Fatalf("span %q (trace %x) parented to %q (trace %x)",
+				rec.Name, rec.Trace, p.Name, p.Trace)
+		}
+		if rec.Name == "serve-remote" {
+			if p.Name != "forward" || p.Node == rec.Node {
+				t.Errorf("serve-remote on node %d parented to %q on node %d",
+					rec.Node, p.Name, p.Node)
+			}
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatal("no forwarded request stitched across nodes")
+	}
+
+	forwarded := 0
+	for _, s := range tracing.Summarize(recs) {
+		if s.Forwarded {
+			forwarded++
+		}
+	}
+	if forwarded == 0 {
+		t.Error("no summary marked Forwarded")
+	}
+}
+
+// TestRunTracingDoesNotPerturb: the same seed with and without tracing
+// must produce identical simulation results — observation is free.
+func TestRunTracingDoesNotPerturb(t *testing.T) {
+	tr := testTrace(t, 4000)
+	cfg := baseConfig(tr)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracing = tracing.New(tracing.WithSampleRate(1))
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Throughput != traced.Throughput || plain.Requests != traced.Requests ||
+		plain.Msgs != traced.Msgs {
+		t.Errorf("tracing changed the simulation: %+v vs %+v", plain, traced)
+	}
+}

@@ -13,6 +13,12 @@
 // the configured trace and dumps the full per-node metrics report on
 // exit: message counts by type, copied bytes, remote memory writes,
 // completion-latency quantiles, and CPU/disk/NIC utilization.
+//
+// With -trace-out FILE, the same instrumented run also records
+// per-request span trees on simulated time and writes them as Chrome
+// trace-event JSON (load in chrome://tracing or Perfetto, or analyze
+// with press-trace). -trace-sample controls head sampling (default 1.0:
+// every request).
 package main
 
 import (
@@ -29,27 +35,31 @@ import (
 	"press/netmodel"
 	"press/stats"
 	"press/trace"
+	"press/tracing"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("press-sim: ")
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run")
-		requests   = flag.Int("requests", 120000, "requests per trace (negative = full paper-scale traces)")
-		nodes      = flag.Int("nodes", 8, "cluster size")
-		traceName  = flag.String("trace", "clarknet", "trace for single-trace experiments (tables 2 and 4)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		chart      = flag.Bool("chart", false, "render figure experiments as ASCII bar charts too")
-		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
-		metricsRun = flag.Bool("metrics", false, "run one instrumented simulation and dump the per-node metrics report")
-		version    = flag.String("version", "V5", "communication version for -metrics runs")
+		experiment  = flag.String("experiment", "all", "which experiment to run")
+		requests    = flag.Int("requests", 120000, "requests per trace (negative = full paper-scale traces)")
+		nodes       = flag.Int("nodes", 8, "cluster size")
+		traceName   = flag.String("trace", "clarknet", "trace for single-trace experiments (tables 2 and 4)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		chart       = flag.Bool("chart", false, "render figure experiments as ASCII bar charts too")
+		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		metricsRun  = flag.Bool("metrics", false, "run one instrumented simulation and dump the per-node metrics report")
+		version     = flag.String("version", "V5", "communication version for -metrics runs")
+		traceOut    = flag.String("trace-out", "", "record request traces during an instrumented run and write Chrome trace-event JSON to FILE")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests to trace (head sampling)")
 	)
 	flag.Parse()
 	chartMode = *chart
 
-	if *metricsRun {
-		if err := metricsReport(*traceName, *requests, *nodes, *seed, *version); err != nil {
+	if *metricsRun || *traceOut != "" {
+		if err := instrumentedRun(*traceName, *requests, *nodes, *seed, *version,
+			*metricsRun, *traceOut, *traceSample); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -140,10 +150,13 @@ func emitJSON(name string, o experiments.Options) error {
 	return enc.Encode(out)
 }
 
-// metricsReport runs one instrumented VIA/cLAN simulation and writes the
-// registry's per-node report: message counts by type, copied bytes,
-// remote memory writes, completion-latency quantiles, and utilization.
-func metricsReport(traceName string, requests, nodes int, seed int64, version string) error {
+// instrumentedRun runs one instrumented VIA/cLAN simulation. With
+// withMetrics it writes the registry's per-node report: message counts
+// by type, copied bytes, remote memory writes, completion-latency
+// quantiles, and utilization. With traceOut it records per-request span
+// trees on simulated time and dumps them as Chrome trace-event JSON.
+func instrumentedRun(traceName string, requests, nodes int, seed int64, version string,
+	withMetrics bool, traceOut string, traceSample float64) error {
 	spec, err := trace.SpecByName(traceName)
 	if err != nil {
 		return err
@@ -160,6 +173,10 @@ func metricsReport(traceName string, requests, nodes int, seed int64, version st
 		return err
 	}
 	reg := metrics.NewRegistry()
+	var tracer *tracing.Tracer
+	if traceOut != "" {
+		tracer = tracing.New(tracing.WithSampleRate(traceSample), tracing.WithMetrics(reg))
+	}
 	r, err := cluster.Run(cluster.Config{
 		Nodes:         nodes,
 		Trace:         tr,
@@ -168,6 +185,7 @@ func metricsReport(traceName string, requests, nodes int, seed int64, version st
 		Dissemination: core.PB(),
 		Seed:          seed,
 		Metrics:       reg,
+		Tracing:       tracer,
 	})
 	if err != nil {
 		return err
@@ -175,7 +193,31 @@ func metricsReport(traceName string, requests, nodes int, seed int64, version st
 	fmt.Printf("instrumented run: %s, %d nodes, VIA/cLAN %s: %.0f req/s, p50 %.2f ms, p99 %.2f ms, copied %s, RMWs %d\n\n",
 		r.TraceName, r.Nodes, r.Version, r.Throughput,
 		r.LatencyP50*1e3, r.LatencyP99*1e3, stats.FormatBytes(r.CopiedBytes), r.RMWCount)
-	return reg.Report(os.Stdout)
+	if traceOut != "" {
+		if err := writeTraceFile(tracer, traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d spans to %s (chrome://tracing or press-trace)\n",
+			len(tracer.Records()), traceOut)
+	}
+	if withMetrics {
+		return reg.Report(os.Stdout)
+	}
+	return nil
+}
+
+// writeTraceFile dumps the tracer's recorded spans as Chrome
+// trace-event JSON.
+func writeTraceFile(tr *tracing.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func header(title string) {

@@ -1,0 +1,131 @@
+// Command press-trace analyzes a Chrome trace-event JSON dump written
+// by press-sim -trace-out or pressd -trace-out: it rebuilds each
+// request's span tree, attributes self time to the instrumented phases
+// (accept-queue, dispatch, net, credit-stall, staging-copy, disk,
+// reply), and prints the aggregate critical-path breakdown plus the
+// slowest requests — the software analogue of the paper's Table 2
+// overhead decomposition.
+//
+// Usage:
+//
+//	press-trace [-top N] FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"press/stats"
+	"press/tracing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("press-trace: ")
+	top := flag.Int("top", 10, "how many slowest requests to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: press-trace [-top N] FILE")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *top); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(path string, top int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := tracing.ReadChrome(f)
+	if err != nil {
+		return err
+	}
+	sums := tracing.Summarize(recs)
+	if len(sums) == 0 {
+		return fmt.Errorf("%s: no request traces (was the run sampled to zero?)", path)
+	}
+
+	forwarded := 0
+	for _, s := range sums {
+		if s.Forwarded {
+			forwarded++
+		}
+	}
+	fmt.Printf("%s: %d spans, %d requests (%d forwarded)\n\n", path, len(recs), len(sums), forwarded)
+
+	return stats.RenderAll(os.Stdout,
+		stats.Titled("Critical path: per-phase self time across all requests", phaseTable(sums)),
+		stats.Titled(fmt.Sprintf("\nSlowest %d requests (per-phase self time, us)", top), slowTable(sums, top)),
+	)
+}
+
+// phaseTable aggregates per-phase self time over all requests.
+func phaseTable(sums []tracing.TraceSummary) *stats.Table {
+	totals := map[string]int64{}
+	counts := map[string]int{}
+	var grand int64
+	for _, s := range sums {
+		for ph, ns := range s.Phases {
+			totals[ph] += ns
+			counts[ph]++
+			grand += ns
+		}
+	}
+	t := stats.NewTable("Phase", "Total (ms)", "Share", "Requests", "Mean/req (us)")
+	for _, ph := range tracing.Phases() {
+		ns, ok := totals[ph]
+		if !ok {
+			continue
+		}
+		share := 0.0
+		if grand > 0 {
+			share = float64(ns) / float64(grand)
+		}
+		t.AddRowf(ph,
+			fmt.Sprintf("%.3f", float64(ns)/1e6),
+			fmt.Sprintf("%.1f%%", share*100),
+			counts[ph],
+			fmt.Sprintf("%.1f", float64(ns)/1e3/float64(counts[ph])))
+	}
+	t.AddRowf("TOTAL", fmt.Sprintf("%.3f", float64(grand)/1e6), "", len(sums), "")
+	return t
+}
+
+// slowTable lists the slowest requests with their phase breakdown.
+func slowTable(sums []tracing.TraceSummary, top int) *stats.Table {
+	byDur := make([]tracing.TraceSummary, len(sums))
+	copy(byDur, sums)
+	sort.Slice(byDur, func(i, j int) bool { return byDur[i].Dur > byDur[j].Dur })
+	if top > len(byDur) {
+		top = len(byDur)
+	}
+	header := []string{"Trace", "Dur (us)", "Spans", "Nodes", "Fwd"}
+	header = append(header, tracing.Phases()...)
+	t := stats.NewTable(header...)
+	for _, s := range byDur[:top] {
+		fwd := ""
+		if s.Forwarded {
+			fwd = "yes"
+		}
+		row := []interface{}{
+			fmt.Sprintf("%016x", uint64(s.Trace)),
+			fmt.Sprintf("%.1f", float64(s.Dur)/1e3),
+			s.Spans, s.Nodes, fwd,
+		}
+		for _, ph := range tracing.Phases() {
+			if ns, ok := s.Phases[ph]; ok {
+				row = append(row, fmt.Sprintf("%.1f", float64(ns)/1e3))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}

@@ -8,16 +8,25 @@
 //	pressd [-nodes 4] [-transport via|tcp] [-version V0..V5]
 //	       [-strategy PB|L16|L4|L1|NLB] [-trace clarknet] [-files N]
 //	       [-cache BYTES] [-disk-delay 2ms] [-metrics]
+//	       [-trace-out FILE] [-trace-sample RATE] [-pprof ADDR]
 //
 // With -metrics, pressd collects per-NIC and per-node instrument
 // families in a metrics registry and dumps the report on exit; SIGUSR1
 // dumps a live report without stopping the server.
+//
+// With -trace-out FILE, pressd records end-to-end request traces —
+// accept, dispatch, forward, credit-stall, staging-copy, disk, and
+// reply spans stitched across nodes — and writes them as Chrome
+// trace-event JSON on exit and on SIGUSR1. -trace-sample controls head
+// sampling. -pprof ADDR serves net/http/pprof on the given address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,23 +37,36 @@ import (
 	"press/netmodel"
 	"press/server"
 	"press/trace"
+	"press/tracing"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pressd: ")
 	var (
-		nodes     = flag.Int("nodes", 4, "cluster size")
-		transport = flag.String("transport", "via", "intra-cluster transport: via or tcp")
-		version   = flag.String("version", "V5", "communication version V0..V5 (VIA only)")
-		strategy  = flag.String("strategy", "PB", "load dissemination: PB, L16, L4, L1, NLB")
-		traceName = flag.String("trace", "clarknet", "file population: clarknet, forth, nasa, rutgers")
-		files     = flag.Int("files", 2000, "limit the file population (0 = full trace)")
-		cache     = flag.Int64("cache", 64<<20, "per-node cache bytes")
-		diskDelay = flag.Duration("disk-delay", 2*time.Millisecond, "artificial disk read latency")
-		withMet   = flag.Bool("metrics", false, "collect a metrics registry; dump on exit and on SIGUSR1")
+		nodes       = flag.Int("nodes", 4, "cluster size")
+		transport   = flag.String("transport", "via", "intra-cluster transport: via or tcp")
+		version     = flag.String("version", "V5", "communication version V0..V5 (VIA only)")
+		strategy    = flag.String("strategy", "PB", "load dissemination: PB, L16, L4, L1, NLB")
+		traceName   = flag.String("trace", "clarknet", "file population: clarknet, forth, nasa, rutgers")
+		files       = flag.Int("files", 2000, "limit the file population (0 = full trace)")
+		cache       = flag.Int64("cache", 64<<20, "per-node cache bytes")
+		diskDelay   = flag.Duration("disk-delay", 2*time.Millisecond, "artificial disk read latency")
+		withMet     = flag.Bool("metrics", false, "collect a metrics registry; dump on exit and on SIGUSR1")
+		traceOut    = flag.String("trace-out", "", "record request traces; write Chrome trace-event JSON to FILE on exit and on SIGUSR1")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests to trace (head sampling)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the
+			// net/http/pprof blank import.
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	spec, err := trace.SpecByName(*traceName)
 	if err != nil {
@@ -78,6 +100,10 @@ func main() {
 	if *withMet {
 		reg = metrics.NewRegistry()
 	}
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.WithSampleRate(*traceSample), tracing.WithMetrics(reg))
+	}
 	cl, err := server.Start(server.Config{
 		Nodes:         *nodes,
 		Trace:         tr,
@@ -87,6 +113,7 @@ func main() {
 		CacheBytes:    *cache,
 		DiskDelay:     *diskDelay,
 		Metrics:       reg,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -100,21 +127,30 @@ func main() {
 	}
 	fmt.Println("serving; Ctrl-C to stop")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	if reg != nil {
-		usr1 := make(chan os.Signal, 1)
-		signal.Notify(usr1, syscall.SIGUSR1)
-		go func() {
-			for range usr1 {
-				fmt.Println("\n--- metrics (SIGUSR1) ---")
-				if err := reg.Report(os.Stdout); err != nil {
-					log.Print(err)
-				}
+	// One goroutine owns all signal handling: SIGUSR1 dumps live
+	// observability (metrics report and trace file) without stopping the
+	// server; SIGINT/SIGTERM fall through to the shutdown path below,
+	// which dumps both a final time.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for s := range sig {
+		if s != syscall.SIGUSR1 {
+			break
+		}
+		if reg != nil {
+			fmt.Println("\n--- metrics (SIGUSR1) ---")
+			if err := reg.Report(os.Stdout); err != nil {
+				log.Print(err)
 			}
-		}()
+		}
+		if tracer != nil {
+			if err := dumpTraces(tracer, *traceOut); err != nil {
+				log.Print(err)
+			} else {
+				fmt.Printf("--- traces (SIGUSR1): wrote %s ---\n", *traceOut)
+			}
+		}
 	}
-	<-sig
 
 	s := cl.Stats()
 	fmt.Printf("\nrequests=%d localHits=%d remoteHits=%d forwarded=%d diskReads=%d replicas=%d errors=%d\n",
@@ -129,4 +165,26 @@ func main() {
 			log.Print(err)
 		}
 	}
+	if tracer != nil {
+		if err := dumpTraces(tracer, *traceOut); err != nil {
+			log.Print(err)
+		} else {
+			fmt.Printf("\nwrote %d spans to %s (chrome://tracing or press-trace)\n",
+				len(tracer.Records()), *traceOut)
+		}
+	}
+}
+
+// dumpTraces writes the tracer's recorded spans as Chrome trace-event
+// JSON, replacing any previous dump at path.
+func dumpTraces(tr *tracing.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

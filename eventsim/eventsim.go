@@ -68,6 +68,10 @@ func New() *Sim {
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
+// NowNanos returns the current simulated time in nanoseconds — the
+// shape external clock hooks (e.g. a tracing timestamp source) consume.
+func (s *Sim) NowNanos() int64 { return int64(s.now) }
+
 // Steps returns how many events have been executed.
 func (s *Sim) Steps() uint64 { return s.steps }
 

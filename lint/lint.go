@@ -76,6 +76,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		mutexAcrossBlock,
 		descriptorLifecycle,
+		spanLeak,
 		uncheckedCommsError,
 		goroutineLeak,
 		nakedSleep,

@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// spanLeak enforces the tracing span lifecycle (tracing.Span): every
+// span obtained from StartTrace/StartSpan/StartChild must reach End or
+// Cancel, or the ring buffer never records it and its annotations are
+// lost. The analyzer flags, within one function:
+//
+//   - a started span still open when the function returns;
+//   - the result of a Start* call discarded outright.
+//
+// Tracking is conservative, mirroring descriptor-lifecycle: a span that
+// escapes the function — passed as an argument, stored into a struct or
+// map, sent on a channel, returned, aliased, or captured by a function
+// literal — is assumed handed off (the server stores spans in pending
+// tables and closures end them on completion paths) and is no longer
+// tracked. Annotate/AnnotateStr/Trace/ID and starting a child keep
+// ownership with the caller. A deferred End/Cancel closes the span.
+const spanLeakName = "span-leak"
+
+var spanLeak = &Analyzer{
+	Name: spanLeakName,
+	Doc:  "tracing span started but neither ended, cancelled, nor handed off on some path",
+	Run:  runSpanLeak,
+}
+
+// spanStartMethods hand a live span to the caller.
+var spanStartMethods = map[string]bool{
+	"StartTrace": true,
+	"StartSpan":  true,
+	"StartChild": true,
+}
+
+// spanCloseMethods finish the lifecycle.
+var spanCloseMethods = map[string]bool{
+	"End":    true,
+	"Cancel": true,
+}
+
+// spanUseMethods read or annotate a span without transferring
+// ownership.
+var spanUseMethods = map[string]bool{
+	"Annotate":    true,
+	"AnnotateStr": true,
+	"Trace":       true,
+	"ID":          true,
+}
+
+func runSpanLeak(p *Package, f *File) []Finding {
+	var out []Finding
+	funcScopes(f, func(name string, body *ast.BlockStmt) {
+		s := &spanScan{
+			p:        p,
+			f:        f,
+			open:     make(map[string]token.Pos),
+			reported: make(map[string]bool),
+		}
+		s.stmts(body.List)
+		s.reportOpen("by the end of the function")
+		out = append(out, s.out...)
+	})
+	return out
+}
+
+type spanScan struct {
+	p *Package
+	f *File
+	// open maps a span variable to the position of its Start* call.
+	open     map[string]token.Pos
+	reported map[string]bool
+	out      []Finding
+}
+
+func (s *spanScan) report(pos token.Pos, msg string) {
+	key := fmt.Sprintf("%d:%s", s.p.line(pos), msg)
+	if s.reported[key] {
+		return
+	}
+	s.reported[key] = true
+	s.out = append(s.out, Finding{
+		File:     s.f.Name,
+		Line:     s.p.line(pos),
+		Analyzer: spanLeakName,
+		Message:  msg,
+	})
+}
+
+// reportOpen flags every still-open span at a scope exit.
+func (s *spanScan) reportOpen(where string) {
+	for name, pos := range s.open {
+		s.report(pos, fmt.Sprintf(
+			"span %s started here never reaches End or Cancel %s; unfinished spans are never recorded",
+			name, where))
+	}
+}
+
+// startCall reports whether call is a Start* method call, returning the
+// receiver identifier when the receiver is a plain identifier.
+func startCall(call *ast.CallExpr) (recv *ast.Ident, ok bool) {
+	r, name, isSel := selectorCall(call)
+	if !isSel || !spanStartMethods[name] {
+		return nil, false
+	}
+	id, _ := r.(*ast.Ident)
+	return id, true
+}
+
+// --- statement walk ---------------------------------------------------
+
+func (s *spanScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *spanScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if _, isStart := startCall(call); isStart {
+				s.report(call.Pos(), fmt.Sprintf(
+					"result of %s discarded; the span can never be ended", calleeName(call)))
+				s.expr(call.Fun)
+				for _, a := range call.Args {
+					s.expr(a)
+				}
+				return
+			}
+		}
+		s.expr(st.X)
+	case *ast.AssignStmt:
+		s.assign(st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					s.expr(v)
+				}
+				for _, n := range vs.Names {
+					delete(s.open, n.Name)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond)
+		s.stmt(st.Body)
+		s.stmt(st.Else)
+	case *ast.ForStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond)
+		s.stmt(st.Body)
+		s.stmt(st.Post)
+	case *ast.RangeStmt:
+		s.expr(st.X)
+		if id, ok := st.Key.(*ast.Ident); ok {
+			delete(s.open, id.Name)
+		}
+		if id, ok := st.Value.(*ast.Ident); ok {
+			delete(s.open, id.Name)
+		}
+		s.stmt(st.Body)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init)
+		s.expr(st.Tag)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.expr(e)
+				}
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init)
+		s.stmt(st.Assign)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmt(cc.Comm)
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SendStmt:
+		s.expr(st.Chan)
+		s.expr(st.Value) // a span sent away is handed off
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e)
+		}
+		s.reportOpen("before this return")
+		// Spans reported here would be re-reported at every later exit;
+		// one finding per leak is enough.
+		s.open = make(map[string]token.Pos)
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.GoStmt:
+		s.expr(st.Call)
+	case *ast.DeferStmt:
+		// defer span.End() closes the span at return; any other deferred
+		// use (including a capturing func literal) is a hand-off.
+		s.expr(st.Call)
+	}
+}
+
+// assign tracks span creation (sp := c.StartSpan(...)) and otherwise
+// treats assigned-to spans as overwritten and right-hand uses as
+// escapes.
+func (s *spanScan) assign(st *ast.AssignStmt) {
+	if len(st.Rhs) == 1 && len(st.Lhs) == 1 {
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+			if _, isStart := startCall(call); isStart {
+				s.expr(st.Rhs[0]) // receiver keeps ownership; args may escape spans
+				if id, ok := st.Lhs[0].(*ast.Ident); ok {
+					if id.Name == "_" {
+						s.report(call.Pos(), fmt.Sprintf(
+							"result of %s discarded; the span can never be ended", calleeName(call)))
+						return
+					}
+					s.open[id.Name] = call.Pos()
+					return
+				}
+				// Stored straight into a field or element: handed off.
+				s.expr(st.Lhs[0])
+				return
+			}
+		}
+	}
+	for _, rhs := range st.Rhs {
+		s.expr(rhs)
+	}
+	for _, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			delete(s.open, id.Name)
+		} else {
+			s.expr(lhs)
+		}
+	}
+}
+
+// --- expression walk --------------------------------------------------
+
+// expr scans an expression: End/Cancel close their receiver,
+// use methods and child starts keep it tracked, and any other
+// appearance of a tracked span — including capture by a function
+// literal — is a hand-off that stops tracking.
+func (s *spanScan) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	consumed := make(map[*ast.Ident]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			s.escapeFuncLit(lit)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, isSel := selectorCall(call)
+		if !isSel {
+			return true
+		}
+		id, isIdent := recv.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		switch {
+		case spanCloseMethods[name]:
+			consumed[id] = true
+			delete(s.open, id.Name)
+		case spanUseMethods[name] || spanStartMethods[name]:
+			consumed[id] = true
+		}
+		return true
+	})
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// Only the receiver side of a selector can be a span variable;
+			// the Sel identifier is a member name.
+			ast.Inspect(sel.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && !consumed[id] {
+					delete(s.open, id.Name)
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && !consumed[id] {
+			delete(s.open, id.Name)
+		}
+		return true
+	})
+}
+
+// escapeFuncLit treats every tracked span mentioned inside a function
+// literal as handed off: the simulator and server routinely end spans
+// inside completion closures, which run outside this scope.
+func (s *spanScan) escapeFuncLit(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			delete(s.open, id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,167 @@
+package lint
+
+import "testing"
+
+func TestSpanLeak(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "started and never ended",
+			src: `package fx
+
+func f(c *Collector) {
+	sp := c.StartTrace("request") // want
+	work()
+}
+`,
+		},
+		{
+			name: "leak on early return path",
+			src: `package fx
+
+func f(c *Collector, err error) error {
+	sp := c.StartTrace("request") // want
+	if err != nil {
+		return err
+	}
+	sp.End()
+	return nil
+}
+`,
+		},
+		{
+			name: "discarded result",
+			src: `package fx
+
+func f(c *Collector) {
+	c.StartTrace("request") // want
+}
+`,
+		},
+		{
+			name: "assigned to blank",
+			src: `package fx
+
+func f(c *Collector) {
+	_ = c.StartSpan("net-send", t, p) // want
+}
+`,
+		},
+		{
+			name: "ended on the straight path",
+			src: `package fx
+
+func f(c *Collector) {
+	sp := c.StartTrace("request")
+	sp.Annotate("bytes", n)
+	sp.End()
+}
+`,
+		},
+		{
+			name: "cancelled counts as closed",
+			src: `package fx
+
+func f(c *Collector, ok bool) {
+	sp := c.StartSpan("credit-stall", t, p)
+	if ok {
+		sp.End()
+	} else {
+		sp.Cancel()
+	}
+}
+`,
+		},
+		{
+			name: "deferred end counts as closed",
+			src: `package fx
+
+func f(c *Collector) error {
+	sp := c.StartTrace("request")
+	defer sp.End()
+	return work()
+}
+`,
+		},
+		{
+			name: "child tracked independently of parent",
+			src: `package fx
+
+func f(c *Collector) {
+	root := c.StartTrace("request")
+	child := root.StartChild("disk") // want
+	root.End()
+}
+`,
+		},
+		{
+			name: "passed to a helper is a hand-off",
+			src: `package fx
+
+func f(c *Collector) {
+	sp := c.StartTrace("request")
+	finishLater(sp)
+}
+`,
+		},
+		{
+			name: "stored into a struct is a hand-off",
+			src: `package fx
+
+func f(c *Collector, w *waiter) {
+	w.span = c.StartTrace("request")
+}
+`,
+		},
+		{
+			name: "sent on a channel is a hand-off",
+			src: `package fx
+
+func f(c *Collector, ch chan *Span) {
+	sp := c.StartTrace("request")
+	ch <- sp
+}
+`,
+		},
+		{
+			name: "captured by a closure is a hand-off",
+			src: `package fx
+
+func f(c *Collector, sim *Sim) {
+	sp := c.StartTrace("request")
+	sim.After(d, func() {
+		sp.End()
+	})
+}
+`,
+		},
+		{
+			name: "returned span is a hand-off",
+			src: `package fx
+
+func f(c *Collector) *Span {
+	sp := c.StartTrace("request")
+	return sp
+}
+`,
+		},
+		{
+			name: "suppressed leak",
+			src: `package fx
+
+func f(c *Collector) {
+	//presslint:ignore span-leak closed by the registry on shutdown
+	sp := c.StartTrace("request")
+	work(sp.ID())
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, spanLeakName, tc.src, false)
+		})
+	}
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench.sh — record the observability-overhead benchmark baseline as
+# machine-readable JSON (default BENCH_trace.json). The interesting
+# claim is the Off rows: with tracing (and metrics) disabled the serve
+# and send paths must stay allocation-free, so regressions show up as a
+# diff in the committed baseline's allocs_per_op.
+set -eu
+
+out=${1:-BENCH_trace.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServeTracing|BenchmarkViaSendMetrics' \
+    -benchtime 10000x -benchmem . | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$tmp" >"$out"
+
+echo "wrote $out"

@@ -18,17 +18,34 @@ go test -race ./...
 echo "==> go test -race -count=1 ./metrics"
 go test -race -count=1 ./metrics
 
+# The tracing collector is one atomic ring per node fed by every server
+# goroutine; same treatment, plus the cross-node stitching tests that
+# live with the server and simulator.
+echo "==> go test -race -count=1 ./tracing"
+go test -race -count=1 ./tracing
+
+echo "==> go test -race -count=1 tracing integration"
+go test -race -count=1 -run 'TestClusterTrac' ./server
+go test -race -count=1 -run 'TestRunTracing' ./cluster
+
 echo "==> presslint ./..."
 go run ./cmd/presslint ./...
 
-echo "==> presslint ./metrics"
-go run ./cmd/presslint ./metrics
+echo "==> presslint ./metrics ./tracing"
+go run ./cmd/presslint ./metrics ./tracing
 
-# Benchmarks are part of the observability surface (the registry on/off
-# overhead proof lives there); make sure they still build and the via
-# send pair still runs.
+# Benchmarks are part of the observability surface (the registry and
+# tracer on/off overhead proofs live there); make sure they still build,
+# the via send pair still runs, and disabled tracing stays free: the
+# ServeTracingOff benchmark must report 0 allocs/op.
 echo "==> benchmark smoke"
 go test -run '^$' -bench '^$' ./...
 go test -run '^$' -bench BenchmarkViaSendMetrics -benchtime 1x .
+out=$(go test -run '^$' -bench BenchmarkServeTracing -benchtime 1000x -benchmem .)
+echo "$out"
+if ! echo "$out" | grep 'ServeTracingOff' | grep -q '	 *0 allocs/op'; then
+    echo "check: BenchmarkServeTracingOff allocates; disabled tracing must be free" >&2
+    exit 1
+fi
 
 echo "check: all gates passed"

@@ -16,6 +16,7 @@ import (
 	"press/metrics"
 	"press/netmodel"
 	"press/trace"
+	"press/tracing"
 	"press/via"
 )
 
@@ -75,6 +76,12 @@ type Config struct {
 	// credit stalls, NIC activity, and service-decision counts. Nil
 	// (the default) disables all of it at near-zero cost.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records end-to-end request traces: every
+	// sampled HTTP request becomes a span tree that follows the request
+	// through dispatch, the intra-cluster fabric, the remote node's
+	// cache/disk path and back. Nil (the default) disables tracing on
+	// every hot path at the cost of one pointer test.
+	Tracer *tracing.Tracer
 	// ListenHost is the HTTP bind host (default 127.0.0.1).
 	ListenHost string
 	// ContentOblivious turns the cluster into the baseline server class
@@ -179,7 +186,7 @@ func Start(c Config) (*Cluster, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				t, err := newTCPTransport(i, cfg.Nodes, lns[i], addrs, cfg.Metrics)
+				t, err := newTCPTransport(i, cfg.Nodes, lns[i], addrs, cfg.Metrics, cfg.Tracer.Collector(i))
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil && firstErr == nil {
@@ -218,6 +225,7 @@ func Start(c Config) (*Cluster, error) {
 				loadViaRMW: cfg.LoadViaRMW, window: cfg.Window,
 				batch: cfg.Batch, chunk: cfg.ChunkBytes,
 				fileRing: cfg.FileRingBytes, metrics: cfg.Metrics,
+				trc: cfg.Tracer.Collector(i),
 			})
 			if err != nil {
 				cl.fabric.Close()
@@ -309,6 +317,9 @@ func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		name = "/" + name
 	}
 	req := &clientRequest{name: name, resp: make(chan clientResult, 1)}
+	req.span = h.node.trc.StartTrace("request")
+	req.span.AnnotateStr("file", name)
+	req.accept = req.span.StartChild("accept-queue")
 	defer func() {
 		// Connection closed: the load (open-connection count) drops.
 		select {
@@ -319,24 +330,35 @@ func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	select {
 	case h.node.httpCh <- req:
 	case <-h.node.stop:
+		req.accept.Cancel()
+		req.span.Cancel()
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 		return
 	case <-r.Context().Done():
+		req.accept.Cancel()
+		req.span.Cancel()
 		return
 	}
 	select {
 	case res := <-req.resp:
 		if res.err != nil {
+			req.span.AnnotateStr("error", res.err.Error())
+			req.span.End()
 			http.Error(w, res.err.Error(), http.StatusNotFound)
 			return
 		}
+		rep := req.span.StartChild("reply")
 		w.Header().Set("Content-Length", fmt.Sprint(len(res.data)))
 		w.Header().Set("Content-Type", "application/octet-stream")
-		if r.Method == http.MethodHead {
-			return
+		if r.Method != http.MethodHead {
+			_, _ = w.Write(res.data)
 		}
-		_, _ = w.Write(res.data)
+		rep.Annotate("bytes", int64(len(res.data)))
+		rep.End()
+		req.span.End()
 	case <-time.After(clientTimeout):
+		req.span.AnnotateStr("error", "timeout")
+		req.span.End()
 		http.Error(w, "cluster timeout", http.StatusGatewayTimeout)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"press/core"
+	"press/tracing"
 	"press/via"
 )
 
@@ -45,6 +46,15 @@ type Message struct {
 	Offset uint32
 	Total  uint32
 
+	// TraceID and ParentSpan propagate the request-tracing context
+	// across nodes. Zero TraceID (the unsampled/untraced case) encodes
+	// to the exact pre-tracing wire format; a non-zero TraceID sets the
+	// trace flag bit on the type byte and appends a 16-byte extension
+	// after the fixed header, which pre-tracing decoders reject cleanly
+	// as an invalid type.
+	TraceID    tracing.TraceID
+	ParentSpan tracing.SpanID
+
 	// SrcRegion optionally points at registered memory already holding
 	// Data (zero-copy transmit, version 5 over VIA); it never goes on
 	// the wire and transports without zero-copy support ignore it.
@@ -54,12 +64,25 @@ type Message struct {
 
 const msgHeaderLen = 1 + 2 + 4 + 8 + 1 + 4 + 4 + 4 + 2 + 4
 
+// msgTraceFlag on the type byte signals the tracing extension: TraceID
+// and ParentSpan, appended right after the fixed header. The flag sits
+// above every valid core.MsgType value, so a decoder unaware of it sees
+// an invalid type and fails cleanly rather than misparsing.
+const msgTraceFlag = 0x80
+
+// msgTraceExtLen is the wire size of the tracing extension.
+const msgTraceExtLen = 8 + 8
+
 // maxNameLen bounds file names on the wire.
 const maxNameLen = 1 << 15
 
 // EncodedLen returns the wire size of the message.
 func (m *Message) EncodedLen() int {
-	return msgHeaderLen + len(m.Name) + len(m.Data)
+	n := msgHeaderLen + len(m.Name) + len(m.Data)
+	if m.TraceID != 0 {
+		n += msgTraceExtLen
+	}
+	return n
 }
 
 // Encode appends the wire form of m to dst and returns the result.
@@ -72,6 +95,9 @@ func (m *Message) Encode(dst []byte) ([]byte, error) {
 	}
 	var h [msgHeaderLen]byte
 	h[0] = byte(m.Type)
+	if m.TraceID != 0 {
+		h[0] |= msgTraceFlag
+	}
 	binary.LittleEndian.PutUint16(h[1:], uint16(m.From))
 	binary.LittleEndian.PutUint32(h[3:], uint32(m.Load))
 	binary.LittleEndian.PutUint64(h[7:], m.ReqID)
@@ -84,6 +110,12 @@ func (m *Message) Encode(dst []byte) ([]byte, error) {
 	binary.LittleEndian.PutUint16(h[28:], uint16(len(m.Name)))
 	binary.LittleEndian.PutUint32(h[30:], uint32(len(m.Data)))
 	dst = append(dst, h[:]...)
+	if m.TraceID != 0 {
+		var ext [msgTraceExtLen]byte
+		binary.LittleEndian.PutUint64(ext[0:], uint64(m.TraceID))
+		binary.LittleEndian.PutUint64(ext[8:], uint64(m.ParentSpan))
+		dst = append(dst, ext[:]...)
+	}
 	dst = append(dst, m.Name...)
 	dst = append(dst, m.Data...)
 	return dst, nil
@@ -96,7 +128,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		return nil, fmt.Errorf("server: short message (%d bytes)", len(buf))
 	}
 	m := &Message{
-		Type:    core.MsgType(buf[0]),
+		Type:    core.MsgType(buf[0] &^ msgTraceFlag),
 		From:    int(binary.LittleEndian.Uint16(buf[1:])),
 		Load:    int32(binary.LittleEndian.Uint32(buf[3:])),
 		ReqID:   binary.LittleEndian.Uint64(buf[7:]),
@@ -110,11 +142,23 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	}
 	nameLen := int(binary.LittleEndian.Uint16(buf[28:]))
 	dataLen := int(binary.LittleEndian.Uint32(buf[30:]))
-	if msgHeaderLen+nameLen+dataLen > len(buf) {
-		return nil, fmt.Errorf("server: truncated message: header wants %d+%d bytes, have %d",
-			nameLen, dataLen, len(buf)-msgHeaderLen)
+	body := msgHeaderLen
+	if buf[0]&msgTraceFlag != 0 {
+		if len(buf) < msgHeaderLen+msgTraceExtLen {
+			return nil, fmt.Errorf("server: short trace extension (%d bytes)", len(buf))
+		}
+		m.TraceID = tracing.TraceID(binary.LittleEndian.Uint64(buf[msgHeaderLen:]))
+		m.ParentSpan = tracing.SpanID(binary.LittleEndian.Uint64(buf[msgHeaderLen+8:]))
+		if m.TraceID == 0 {
+			return nil, fmt.Errorf("server: trace extension with zero trace id")
+		}
+		body += msgTraceExtLen
 	}
-	m.Name = string(buf[msgHeaderLen : msgHeaderLen+nameLen])
-	m.Data = buf[msgHeaderLen+nameLen : msgHeaderLen+nameLen+dataLen]
+	if body+nameLen+dataLen > len(buf) {
+		return nil, fmt.Errorf("server: truncated message: header wants %d+%d bytes, have %d",
+			nameLen, dataLen, len(buf)-body)
+	}
+	m.Name = string(buf[body : body+nameLen])
+	m.Data = buf[body+nameLen : body+nameLen+dataLen]
 	return m, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"press/core"
+	"press/tracing"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -94,6 +95,149 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 	if _, err := m2.Encode(nil); err == nil {
 		t.Error("invalid type accepted")
 	}
+}
+
+func TestMessageTraceRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Type: core.MsgForward, From: 0, ReqID: 77, Name: "/a/b.html", Load: 5,
+			TraceID: 0xdeadbeefcafe, ParentSpan: 0x1234},
+		{Type: core.MsgFile, From: 2, ReqID: 9, Data: []byte("payload"), Offset: 1, Total: 8,
+			TraceID: 1, ParentSpan: 0},
+		{Type: core.MsgLoad, From: 3, Load: 42, TraceID: ^tracing.TraceID(0), ParentSpan: ^tracing.SpanID(0)},
+	}
+	for i, m := range cases {
+		m := m
+		buf, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(buf) != m.EncodedLen() {
+			t.Errorf("case %d: encoded %d bytes, EncodedLen %d", i, len(buf), m.EncodedLen())
+		}
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.TraceID != m.TraceID || got.ParentSpan != m.ParentSpan {
+			t.Errorf("case %d: trace context %x/%x, want %x/%x",
+				i, got.TraceID, got.ParentSpan, m.TraceID, m.ParentSpan)
+		}
+		if got.Type != m.Type || got.ReqID != m.ReqID || got.Name != m.Name ||
+			!bytes.Equal(got.Data, m.Data) {
+			t.Errorf("case %d: round trip mismatch: %+v vs %+v", i, got, m)
+		}
+	}
+}
+
+// TestMessageTraceCompat pins the wire-format versioning contract: an
+// untraced message is byte-identical to the pre-tracing format, a
+// traced message is invalid to a pre-tracing decoder (the flag bit
+// lands outside the valid type range), and malformed trace extensions
+// are rejected rather than misparsed.
+func TestMessageTraceCompat(t *testing.T) {
+	m := Message{Type: core.MsgForward, From: 4, ReqID: 11, Name: "/f.html", Load: 2}
+	plain, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != msgHeaderLen+len(m.Name) {
+		t.Errorf("untraced message is %d bytes, old format is %d", len(plain), msgHeaderLen+len(m.Name))
+	}
+	if plain[0]&msgTraceFlag != 0 {
+		t.Error("untraced message carries the trace flag")
+	}
+	got, err := DecodeMessage(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.ParentSpan != 0 {
+		t.Errorf("untraced decode invented trace context %x/%x", got.TraceID, got.ParentSpan)
+	}
+
+	m.TraceID, m.ParentSpan = 0xabc, 0xdef
+	traced, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+msgTraceExtLen {
+		t.Errorf("traced message is %d bytes, want %d", len(traced), len(plain)+msgTraceExtLen)
+	}
+	// A pre-tracing decoder validated buf[0] against the type range; the
+	// flag bit must push it out of range so old software fails cleanly
+	// instead of misreading the extension as name/data bytes.
+	if oldType := core.MsgType(traced[0]); oldType >= 0 && oldType < core.NumMsgTypes {
+		t.Errorf("traced type byte %#x still decodes as valid type %v for pre-tracing software",
+			traced[0], oldType)
+	}
+	// Everything outside the flag bit and the extension is unchanged.
+	if traced[0]&^byte(msgTraceFlag) != plain[0] {
+		t.Error("type byte differs beyond the flag bit")
+	}
+	if !bytes.Equal(traced[1:msgHeaderLen], plain[1:msgHeaderLen]) {
+		t.Error("fixed header differs between traced and untraced encodings")
+	}
+	if !bytes.Equal(traced[msgHeaderLen+msgTraceExtLen:], plain[msgHeaderLen:]) {
+		t.Error("body differs between traced and untraced encodings")
+	}
+
+	if _, err := DecodeMessage(traced[:msgHeaderLen+4]); err == nil {
+		t.Error("short trace extension accepted")
+	}
+	zero := append([]byte{}, traced...)
+	for i := 0; i < msgTraceExtLen; i++ {
+		zero[msgHeaderLen+i] = 0
+	}
+	if _, err := DecodeMessage(zero); err == nil {
+		t.Error("zero trace id in extension accepted")
+	}
+}
+
+// FuzzMessageRoundTrip feeds arbitrary bytes to the decoder and checks
+// that whatever decodes re-encodes to a decodable message with the same
+// wire-visible fields. The seeds cover every message type, both trace
+// states, and the malformed-extension edges.
+func FuzzMessageRoundTrip(f *testing.F) {
+	seeds := []Message{
+		{Type: core.MsgLoad, From: 3, Load: 42},
+		{Type: core.MsgFlow, From: 1, Credits: 8, Load: -1},
+		{Type: core.MsgForward, From: 0, ReqID: 77, Name: "/a/b.html", Load: 5},
+		{Type: core.MsgCaching, From: 7, Name: "/c.gif", Cached: true},
+		{Type: core.MsgFile, From: 2, ReqID: 9, Data: []byte("payload"), Offset: 32768, Total: 32775},
+		{Type: core.MsgForward, From: 1, ReqID: 5, Name: "/t.html", TraceID: 0xfeed, ParentSpan: 0xbeef},
+		{Type: core.MsgFile, From: 6, ReqID: 2, Data: []byte("x"), TraceID: 1},
+	}
+	for _, m := range seeds {
+		m := m
+		buf, err := m.Encode(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, msgHeaderLen))               // zero type, empty body
+	f.Add(append(make([]byte, msgHeaderLen), 0xFF)) // trailing garbage
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		m, err := DecodeMessage(buf)
+		if err != nil {
+			return // rejecting garbage is fine; crashing is not
+		}
+		re, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v (%+v)", err, m)
+		}
+		m2, err := DecodeMessage(re)
+		if err != nil {
+			t.Fatalf("re-encoded message fails to decode: %v", err)
+		}
+		if m2.Type != m.Type || m2.From != m.From || m2.Load != m.Load ||
+			m2.ReqID != m.ReqID || m2.Name != m.Name || m2.Cached != m.Cached ||
+			m2.Credits != m.Credits || m2.Offset != m.Offset || m2.Total != m.Total ||
+			m2.TraceID != m.TraceID || m2.ParentSpan != m.ParentSpan ||
+			!bytes.Equal(m2.Data, m.Data) {
+			t.Fatalf("round trip drift: %+v vs %+v", m2, m)
+		}
+	})
 }
 
 func TestSynthesizeContentDeterministic(t *testing.T) {

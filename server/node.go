@@ -9,6 +9,7 @@ import (
 	"press/core"
 	"press/metrics"
 	"press/trace"
+	"press/tracing"
 	"press/via"
 )
 
@@ -18,10 +19,15 @@ type clientResult struct {
 	err  error
 }
 
-// clientRequest is an HTTP request handed to the main loop.
+// clientRequest is an HTTP request handed to the main loop. span is the
+// request's root trace span (nil when untraced); accept times the wait
+// in httpCh until the main loop picks the request up. Spans cross
+// goroutines only via channel hand-off, which orders their use.
 type clientRequest struct {
-	name string
-	resp chan clientResult
+	name   string
+	resp   chan clientResult
+	span   *tracing.Span
+	accept *tracing.Span
 }
 
 // diskJob asks the disk helper threads to read a file.
@@ -43,19 +49,26 @@ type outMsg struct {
 }
 
 // diskWaiter is a party waiting for a disk read: a local client or a
-// peer that forwarded a request here.
+// peer that forwarded a request here. span is the waiter's "disk" span;
+// serve is the serve-remote span of a forwarded request, ended once the
+// file reply has been queued.
 type diskWaiter struct {
 	local    *clientRequest
 	peer     int
 	reqID    uint64
 	forServe bool
+	span     *tracing.Span
+	serve    *tracing.Span
 }
 
-// pendingRemote reassembles a file reply for a forwarded request.
+// pendingRemote reassembles a file reply for a forwarded request. span
+// is the "forward" span covering queue-to-wire, wire, remote service,
+// and the reply's way back; it ends when the last chunk arrives.
 type pendingRemote struct {
 	req      *clientRequest
 	buf      []byte
 	received int
+	span     *tracing.Span
 }
 
 // nodeInstruments are the node-level registry counters separating
@@ -134,7 +147,8 @@ type Node struct {
 	// touching main-loop state.
 	loadMirror atomic.Int64
 
-	m nodeInstruments
+	m   nodeInstruments
+	trc *tracing.Collector
 
 	statsMu sync.Mutex
 	stats   NodeStats
@@ -178,6 +192,7 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 		sendQ:     newUnboundedQueue[outMsg](),
 		stop:      make(chan struct{}),
 		m:         newNodeInstruments(cfg.Metrics, id),
+		trc:       cfg.Tracer.Collector(id),
 	}
 	for i, f := range cfg.Trace.Files {
 		n.nameToID[f.Name] = cache.FileID(i)
@@ -232,6 +247,7 @@ func (n *Node) mainLoop() {
 }
 
 func (n *Node) handleClient(r *clientRequest) {
+	r.accept.End()
 	n.count(func(s *NodeStats) { s.Requests++ })
 	n.m.requests.Inc()
 	n.loadChange(+1)
@@ -246,9 +262,12 @@ func (n *Node) handleClient(r *clientRequest) {
 		n.serveLocal(r, id)
 		return
 	}
+	dsp := r.span.StartChild("dispatch")
 	size := n.files[id].Size
 	first := n.dir.FirstRequest(id)
 	d := n.policy.Decide(n.id, id, size, first, nodeView{n})
+	dsp.Annotate("service", int64(d.Service))
+	dsp.End()
 	if d.Service == n.id {
 		n.serveLocal(r, id)
 		return
@@ -257,8 +276,11 @@ func (n *Node) handleClient(r *clientRequest) {
 	n.m.forward.Inc()
 	n.nextReqID++
 	reqID := n.nextReqID
-	n.pending[reqID] = &pendingRemote{req: r}
-	n.send(d.Service, &Message{Type: core.MsgForward, ReqID: reqID, Name: r.name})
+	fwd := r.span.StartChild("forward")
+	fwd.Annotate("dst", int64(d.Service))
+	n.pending[reqID] = &pendingRemote{req: r, span: fwd}
+	n.send(d.Service, &Message{Type: core.MsgForward, ReqID: reqID, Name: r.name,
+		TraceID: fwd.Trace(), ParentSpan: fwd.ID()})
 }
 
 func (n *Node) serveLocal(r *clientRequest, id cache.FileID) {
@@ -268,7 +290,7 @@ func (n *Node) serveLocal(r *clientRequest, id cache.FileID) {
 		r.resp <- clientResult{data: n.content[id]}
 		return
 	}
-	n.readDisk(n.files[id].Name, diskWaiter{local: r})
+	n.readDisk(n.files[id].Name, diskWaiter{local: r, span: r.span.StartChild("disk")})
 }
 
 // readDisk queues a disk read, coalescing concurrent readers of the
@@ -290,6 +312,8 @@ func (n *Node) handleDiskDone(d diskDone) {
 	if d.err != nil {
 		n.count(func(s *NodeStats) { s.Errors++ })
 		for _, w := range waiters {
+			w.span.End()
+			w.serve.End()
 			if w.local != nil {
 				w.local.resp <- clientResult{err: d.err}
 			}
@@ -299,11 +323,14 @@ func (n *Node) handleDiskDone(d diskDone) {
 	id := n.nameToID[d.name]
 	n.insertCache(id, d.data)
 	for _, w := range waiters {
+		w.span.Annotate("bytes", int64(len(d.data)))
+		w.span.End()
 		if w.local != nil {
 			w.local.resp <- clientResult{data: d.data}
 			continue
 		}
-		n.sendFile(w.peer, w.reqID, id, d.data)
+		n.sendFile(w.peer, w.reqID, id, d.data, w.serve)
+		w.serve.End()
 	}
 }
 
@@ -349,8 +376,12 @@ func (n *Node) broadcastCaching(id cache.FileID, cached bool) {
 	}
 }
 
-func (n *Node) sendFile(dst int, reqID uint64, id cache.FileID, data []byte) {
-	m := &Message{Type: core.MsgFile, ReqID: reqID, Data: data, Total: uint32(len(data))}
+// sendFile queues a file reply; parent (the serve-remote span, nil when
+// untraced) stamps the reply's trace context so transport-side spans
+// attribute to the right request.
+func (n *Node) sendFile(dst int, reqID uint64, id cache.FileID, data []byte, parent *tracing.Span) {
+	m := &Message{Type: core.MsgFile, ReqID: reqID, Data: data, Total: uint32(len(data)),
+		TraceID: parent.Trace(), ParentSpan: parent.ID()}
 	if reg := n.regions[id]; reg != nil {
 		m.SrcRegion = reg
 	}
@@ -382,18 +413,25 @@ func (n *Node) handleMessage(m *Message) {
 // if present, from the local disk otherwise (caching the file — this is
 // how replication materializes).
 func (n *Node) handleForward(m *Message) {
+	// serve-remote parents to the initiator's forward span: the
+	// cross-node edge every stitched trace hinges on.
+	srv := n.trc.StartSpan("serve-remote", m.TraceID, m.ParentSpan)
+	srv.AnnotateStr("file", m.Name)
 	id, ok := n.nameToID[m.Name]
 	if !ok {
+		srv.End()
 		return
 	}
 	if n.lru.Touch(id) {
 		n.count(func(s *NodeStats) { s.RemoteHits++ })
 		n.m.remote.Inc()
-		n.sendFile(m.From, m.ReqID, id, n.content[id])
+		n.sendFile(m.From, m.ReqID, id, n.content[id], srv)
+		srv.End()
 		return
 	}
 	n.count(func(s *NodeStats) { s.Replicas++ })
-	n.readDisk(m.Name, diskWaiter{peer: m.From, reqID: m.ReqID, forServe: true})
+	n.readDisk(m.Name, diskWaiter{peer: m.From, reqID: m.ReqID, forServe: true,
+		span: srv.StartChild("disk"), serve: srv})
 }
 
 // handleFileChunk reassembles a file reply and answers the waiting
@@ -410,6 +448,7 @@ func (n *Node) handleFileChunk(m *Message) {
 	if int(m.Offset)+len(m.Data) > len(p.buf) {
 		n.count(func(s *NodeStats) { s.Errors++ })
 		delete(n.pending, m.ReqID)
+		p.span.End()
 		p.req.resp <- clientResult{err: fmt.Errorf("server: corrupt file reply")}
 		return
 	}
@@ -419,6 +458,8 @@ func (n *Node) handleFileChunk(m *Message) {
 		return
 	}
 	delete(n.pending, m.ReqID)
+	p.span.Annotate("bytes", int64(m.Total))
+	p.span.End()
 	p.req.resp <- clientResult{data: p.buf}
 }
 
@@ -462,7 +503,13 @@ func (n *Node) sendThread() {
 				item.msg.Load = -1
 			}
 		}
-		if err := n.transport.Send(item.dst, item.msg); err != nil {
+		// net-send covers the transport call for traced messages: queue
+		// drain to wire hand-off, including any flow-control wait inside.
+		ns := n.trc.StartSpan("net-send", item.msg.TraceID, item.msg.ParentSpan)
+		ns.AnnotateStr("type", item.msg.Type.String())
+		err := n.transport.Send(item.dst, item.msg)
+		ns.End()
+		if err != nil {
 			select {
 			case <-n.stop:
 				return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"press/tracing"
 	"press/via"
 )
 
@@ -49,12 +50,23 @@ func newRingOut(handle via.Handle, slots int) *rmwRingOut {
 }
 
 // write stages the payload into a slot image and remote-writes it.
-// The caller serializes writes per peer.
-func (r *rmwRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff int, payload []byte) error {
+// The caller serializes writes per peer. trc/trace/parent carry the
+// sender's trace context so a blocked slot acquire records as a
+// credit-stall span (nil collector or zero trace: no span, no cost).
+func (r *rmwRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff int, payload []byte,
+	trc *tracing.Collector, trace tracing.TraceID, parent tracing.SpanID) error {
 	if len(payload) > ctrlSlotSize-8 {
 		return fmt.Errorf("server: control message of %d bytes exceeds ring slot", len(payload))
 	}
-	if !r.gate.acquire() {
+	stall := trc.StartSpan("credit-stall", trace, parent)
+	ok, stalled := r.gate.acquire()
+	if stalled {
+		stall.AnnotateStr("gate", "ctrl-ring")
+		stall.End()
+	} else {
+		stall.Cancel()
+	}
+	if !ok {
 		return via.ErrClosed
 	}
 	var slot [ctrlSlotSize]byte
@@ -158,8 +170,11 @@ func newFileRingOut(metaHandle, dataHandle via.Handle, dataSize int) *fileRingOu
 //
 // src must be registered memory holding the payload (the cache page
 // itself under zero-copy transmit, a staging copy otherwise).
+// trc/trace/parent record blocked ring-space acquires as credit-stall
+// spans, one per gate that actually waited.
 func (f *fileRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff int,
-	src *via.MemoryRegion, srcOff, n int, reqID uint64) error {
+	src *via.MemoryRegion, srcOff, n int, reqID uint64,
+	trc *tracing.Collector, trace tracing.TraceID, parent tracing.SpanID) error {
 	if uint64(n) > f.dataSize {
 		return fmt.Errorf("server: file of %d bytes exceeds %d-byte data ring", n, f.dataSize)
 	}
@@ -171,7 +186,15 @@ func (f *fileRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff in
 		f.virt += f.dataSize - phys
 		phys = 0
 	}
-	if !f.dataGate.acquire(f.virt+uint64(n), via.ErrClosed) {
+	stall := trc.StartSpan("credit-stall", trace, parent)
+	ok, stalled := f.dataGate.acquire(f.virt+uint64(n), via.ErrClosed)
+	if stalled {
+		stall.AnnotateStr("gate", "file-data")
+		stall.End()
+	} else {
+		stall.Cancel()
+	}
+	if !ok {
 		return via.ErrClosed
 	}
 	dd := via.MustDescriptor(via.Segment{Region: src, Offset: srcOff, Len: n})
@@ -183,7 +206,15 @@ func (f *fileRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff in
 	}
 	virtEnd := f.virt + uint64(n)
 
-	if !f.metaGate.acquire() {
+	stall = trc.StartSpan("credit-stall", trace, parent)
+	ok, stalled = f.metaGate.acquire()
+	if stalled {
+		stall.AnnotateStr("gate", "file-meta")
+		stall.End()
+	} else {
+		stall.Cancel()
+	}
+	if !ok {
 		return via.ErrClosed
 	}
 	var meta [fileMetaSlotSize]byte
@@ -294,11 +325,11 @@ func newDataGate(capacity uint64) *dataGate {
 	return &dataGate{g: g, capacity: capacity}
 }
 
-// acquire blocks until virtEnd - consumed <= capacity.
-func (d *dataGate) acquire(virtEnd uint64, closedErr error) bool {
+// acquire blocks until virtEnd - consumed <= capacity. stalled reports
+// whether it had to wait, mirroring creditGate.acquire.
+func (d *dataGate) acquire(virtEnd uint64, closedErr error) (ok, stalled bool) {
 	d.g.mu.Lock()
 	defer d.g.mu.Unlock()
-	stalled := false
 	for int64(virtEnd)-d.g.consumed > int64(d.capacity) && !d.g.closed {
 		if !stalled {
 			stalled = true
@@ -306,7 +337,7 @@ func (d *dataGate) acquire(virtEnd uint64, closedErr error) bool {
 		}
 		d.g.cond.Wait()
 	}
-	return !d.g.closed
+	return !d.g.closed, stalled
 }
 
 func (d *dataGate) setConsumed(v uint64) { d.g.setConsumed(int64(v)) }

@@ -129,7 +129,7 @@ func TestCtrlRingDeliversInOrder(t *testing.T) {
 	fx := newRingFixture(t, 1<<16)
 	for i := 0; i < 10; i++ {
 		msg := []byte(fmt.Sprintf("ctrl-%03d", i))
-		if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg); err != nil {
+		if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg, nil, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -156,7 +156,7 @@ func TestCtrlRingWrapsAround(t *testing.T) {
 		// loop is not consuming.
 		for wrote < total && wrote-read < ctrlSlots-8 {
 			msg := []byte(fmt.Sprintf("wrap-%04d", wrote))
-			if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg); err != nil {
+			if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg, nil, 0, 0); err != nil {
 				t.Fatal(err)
 			}
 			wrote++
@@ -176,7 +176,7 @@ func TestCtrlRingWrapsAround(t *testing.T) {
 func TestCtrlRingRejectsOversized(t *testing.T) {
 	fx := newRingFixture(t, 1<<16)
 	big := make([]byte, ctrlSlotSize)
-	if err := fx.ctrlOut.write(fx.va, fx.staging, 0, big); err == nil {
+	if err := fx.ctrlOut.write(fx.va, fx.staging, 0, big, nil, 0, 0); err == nil {
 		t.Fatal("oversized control message accepted")
 	}
 }
@@ -187,7 +187,7 @@ func TestFileRingRoundTrip(t *testing.T) {
 	if err := fx.src.Write(payload, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 42); err != nil {
+	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 42, nil, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	arr := fx.pollFile(t, false)
@@ -211,7 +211,7 @@ func TestFileRingWrapSkipsTail(t *testing.T) {
 		if err := fx.src.Write(payload, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i)); err != nil {
+		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i), nil, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 		arr := fx.pollFile(t, i%2 == 0) // alternate extra-copy mode
@@ -235,7 +235,7 @@ func TestFileRingRejectsOversized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, src, 0, len(payload), 1); err == nil {
+	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, src, 0, len(payload), 1, nil, 0, 0); err == nil {
 		t.Fatal("file larger than data ring accepted")
 	}
 }
@@ -250,13 +250,13 @@ func TestFileRingBlocksUntilAcked(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i)); err != nil {
+		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i), nil, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 99)
+		done <- fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 99, nil, 0, 0)
 	}()
 	select {
 	case err := <-done:
@@ -283,11 +283,20 @@ func TestFileRingBlocksUntilAcked(t *testing.T) {
 
 func TestCreditGate(t *testing.T) {
 	g := newCreditGate(2)
-	if !g.acquire() || !g.acquire() {
+	ok1, s1 := g.acquire()
+	ok2, s2 := g.acquire()
+	if !ok1 || !ok2 {
 		t.Fatal("initial acquires failed")
 	}
-	acquired := make(chan bool, 1)
-	go func() { acquired <- g.acquire() }()
+	if s1 || s2 {
+		t.Fatal("uncontended acquires reported a stall")
+	}
+	type res struct{ ok, stalled bool }
+	acquired := make(chan res, 1)
+	go func() {
+		ok, stalled := g.acquire()
+		acquired <- res{ok, stalled}
+	}()
 	select {
 	case <-acquired:
 		t.Fatal("third acquire did not block")
@@ -295,9 +304,12 @@ func TestCreditGate(t *testing.T) {
 	}
 	g.credit(1)
 	select {
-	case ok := <-acquired:
-		if !ok {
+	case r := <-acquired:
+		if !r.ok {
 			t.Fatal("acquire failed after credit")
+		}
+		if !r.stalled {
+			t.Fatal("blocked acquire did not report a stall")
 		}
 	case <-time.After(time.Second):
 		t.Fatal("acquire still blocked after credit")
@@ -308,14 +320,17 @@ func TestCreditGate(t *testing.T) {
 	// setConsumed is monotone: going backwards is ignored.
 	g.setConsumed(5)
 	g.setConsumed(2)
-	if !g.acquire() {
+	if ok, _ := g.acquire(); !ok {
 		t.Fatal("acquire after setConsumed failed")
 	}
 	// close releases waiters with failure.
 	g2 := newCreditGate(1)
 	g2.acquire()
 	released := make(chan bool, 1)
-	go func() { released <- g2.acquire() }()
+	go func() {
+		ok, _ := g2.acquire()
+		released <- ok
+	}()
 	time.Sleep(10 * time.Millisecond)
 	g2.close()
 	if ok := <-released; ok {

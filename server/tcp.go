@@ -9,6 +9,7 @@ import (
 
 	"press/core"
 	"press/metrics"
+	"press/tracing"
 )
 
 // tcpTransport connects the cluster over kernel TCP sockets, the
@@ -19,6 +20,7 @@ type tcpTransport struct {
 	peers   []*tcpPeer // indexed by node, nil for self
 	inbound chan *Message
 	ins     transportInstruments
+	trc     *tracing.Collector
 	done    chan struct{}
 
 	closeOnce sync.Once
@@ -37,7 +39,7 @@ const maxFrame = 8 << 20
 // listens on its own loopback address; node i dials every j > i and
 // identifies itself with a 2-byte hello, mirroring how the VIA version
 // sets up VI end-points with each other node.
-func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *metrics.Registry) (*tcpTransport, error) {
+func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *metrics.Registry, trc *tracing.Collector) (*tcpTransport, error) {
 	t := &tcpTransport{
 		self:    self,
 		peers:   make([]*tcpPeer, nodes),
@@ -45,6 +47,7 @@ func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *
 		done:    make(chan struct{}),
 		ln:      ln,
 		ins:     newTransportInstruments(reg, self),
+		trc:     trc,
 	}
 
 	errc := make(chan error, nodes)
@@ -120,16 +123,25 @@ func (t *tcpTransport) Send(dst int, m *Message) error {
 	if p == nil {
 		return fmt.Errorf("server: no connection to %d", dst)
 	}
+	var cp *tracing.Span
+	if m.Type == core.MsgFile {
+		// The frame build is the payload copy handed to the kernel, the
+		// TCP analogue of the VIA staging copy.
+		cp = t.trc.StartSpan("staging-copy", m.TraceID, m.ParentSpan)
+	}
 	frame := make([]byte, 4, 4+m.EncodedLen())
 	frame, err := m.Encode(frame)
 	if err != nil {
+		cp.Cancel()
 		return err
 	}
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 	t.ins.acct.add(m.Type, int64(len(frame)-4))
 	if m.Type == core.MsgFile {
 		t.ins.copied.Add(int64(len(m.Data)))
+		cp.Annotate("bytes", int64(len(m.Data)))
 	}
+	cp.End()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	_, err = p.conn.Write(frame)

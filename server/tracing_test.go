@@ -1,0 +1,113 @@
+package server
+
+import (
+	"testing"
+
+	"press/tracing"
+)
+
+// TestClusterTraceStitching drives a VIA cluster with tracing on and
+// checks the cross-node contract: every span of a trace shares one
+// TraceID, every resolvable parent edge is consistent, and at least one
+// forwarded request stitches a serve-remote span on the service node to
+// a forward span on the initial node.
+func TestClusterTraceStitching(t *testing.T) {
+	tr := serverTestTrace(t, 16)
+	tracer := tracing.New(tracing.WithSampleRate(1))
+	cfg := testClusterConfig(tr, TransportVIA)
+	cfg.Tracer = tracer
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 2, 7)
+	cl.Close()
+
+	recs := tracer.Records()
+	if len(recs) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	byID := make(map[tracing.SpanID]*tracing.SpanRecord, len(recs))
+	roots := 0
+	for i := range recs {
+		r := &recs[i]
+		if r.Trace == 0 {
+			t.Fatalf("recorded span %q with zero trace id", r.Name)
+		}
+		if r.Dur < 0 {
+			t.Errorf("span %q has negative duration %d", r.Name, r.Dur)
+		}
+		byID[r.Span] = r
+		if r.Parent == 0 {
+			roots++
+			if r.Name != "request" {
+				t.Errorf("root span named %q, want request", r.Name)
+			}
+		}
+	}
+	if roots == 0 {
+		t.Fatal("no root request spans recorded")
+	}
+	stitched := 0
+	for i := range recs {
+		r := &recs[i]
+		if r.Parent == 0 {
+			continue
+		}
+		p, ok := byID[r.Parent]
+		if !ok {
+			continue // parent may have been evicted or abandoned
+		}
+		if p.Trace != r.Trace {
+			t.Fatalf("span %q (trace %x) parented to %q (trace %x)", r.Name, r.Trace, p.Name, p.Trace)
+		}
+		if r.Name == "serve-remote" {
+			if p.Name != "forward" {
+				t.Errorf("serve-remote parented to %q, want forward", p.Name)
+			}
+			if p.Node == r.Node {
+				t.Errorf("serve-remote on node %d parented to forward on the same node", r.Node)
+			}
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatal("no forwarded request stitched across nodes")
+	}
+
+	sums := tracing.Summarize(recs)
+	if len(sums) == 0 {
+		t.Fatal("Summarize produced nothing")
+	}
+	forwarded := 0
+	for _, s := range sums {
+		if s.Forwarded {
+			forwarded++
+			if s.Nodes < 2 {
+				t.Errorf("forwarded trace %x spans %d node(s)", s.Trace, s.Nodes)
+			}
+		}
+	}
+	if forwarded == 0 {
+		t.Error("no summary marked Forwarded despite stitched spans")
+	}
+}
+
+// TestClusterTracingSampledOut: rate 0 must serve correctly and record
+// nothing — the unsampled path is the zero-cost path.
+func TestClusterTracingSampledOut(t *testing.T) {
+	tr := serverTestTrace(t, 8)
+	tracer := tracing.New(tracing.WithSampleRate(0))
+	cfg := testClusterConfig(tr, TransportVIA)
+	cfg.Tracer = tracer
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fetchAll(t, cl, tr, 1, 3)
+	if recs := tracer.Records(); len(recs) != 0 {
+		t.Fatalf("sample rate 0 recorded %d spans", len(recs))
+	}
+}

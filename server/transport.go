@@ -132,12 +132,13 @@ func newCreditGate(window int) *creditGate {
 	return g
 }
 
-// acquire blocks until a window slot is free, then claims it. It
-// reports false if the gate was closed.
-func (g *creditGate) acquire() bool {
+// acquire blocks until a window slot is free, then claims it. ok is
+// false if the gate was closed; stalled reports whether the acquire had
+// to wait, so callers can attribute the wait to a credit-stall trace
+// span.
+func (g *creditGate) acquire() (ok, stalled bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	stalled := false
 	for g.sent-g.consumed >= g.window && !g.closed {
 		if !stalled {
 			stalled = true
@@ -146,10 +147,10 @@ func (g *creditGate) acquire() bool {
 		g.cond.Wait()
 	}
 	if g.closed {
-		return false
+		return false, stalled
 	}
 	g.sent++
-	return true
+	return true, stalled
 }
 
 // credit grants n slots back (explicit flow message).

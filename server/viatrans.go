@@ -10,6 +10,7 @@ import (
 	"press/core"
 	"press/metrics"
 	"press/netmodel"
+	"press/tracing"
 	"press/via"
 )
 
@@ -44,6 +45,9 @@ type viaConfig struct {
 	chunk      int
 	fileRing   int
 	metrics    *metrics.Registry
+	// trc, when non-nil, records credit-stall and staging-copy spans for
+	// traced messages passing through the transport.
+	trc *tracing.Collector
 }
 
 type viaPeer struct {
@@ -374,12 +378,29 @@ func (t *viaTransport) Send(dst int, m *Message) error {
 // data messages consume a flow-control credit, flow messages ride the
 // reserved slack.
 func (t *viaTransport) sendRegular(p *viaPeer, m *Message, takeCredit bool) error {
-	if takeCredit && !p.regGate.acquire() {
-		return via.ErrClosed
+	if takeCredit {
+		// Speculative credit-stall span: recorded only if the window was
+		// actually exhausted, discarded otherwise.
+		stall := t.cfg.trc.StartSpan("credit-stall", m.TraceID, m.ParentSpan)
+		ok, stalled := p.regGate.acquire()
+		if stalled {
+			stall.AnnotateStr("gate", "regular")
+			stall.End()
+		} else {
+			stall.Cancel()
+		}
+		if !ok {
+			return via.ErrClosed
+		}
+	}
+	var cp *tracing.Span
+	if m.Type == core.MsgFile {
+		cp = t.cfg.trc.StartSpan("staging-copy", m.TraceID, m.ParentSpan)
 	}
 	frame := make([]byte, 0, m.EncodedLen())
 	frame, err := m.Encode(frame)
 	if err != nil {
+		cp.Cancel()
 		return err
 	}
 	t.ins.acct.add(m.Type, int64(len(frame)))
@@ -387,7 +408,9 @@ func (t *viaTransport) sendRegular(p *viaPeer, m *Message, takeCredit bool) erro
 		// Regular messages stage the payload into the registered send
 		// buffer: the sender-side copy of versions 0-2.
 		t.ins.copied.Add(int64(len(m.Data)))
+		cp.Annotate("bytes", int64(len(m.Data)))
 	}
+	cp.End()
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
 	return t.rawSend(p, frame)
@@ -404,6 +427,7 @@ func (t *viaTransport) sendFileChunked(p *viaPeer, m *Message) error {
 		chunk := &Message{
 			Type: core.MsgFile, From: m.From, Load: m.Load, ReqID: m.ReqID,
 			Data: m.Data[off:end], Offset: uint32(off), Total: uint32(total),
+			TraceID: m.TraceID, ParentSpan: m.ParentSpan,
 		}
 		if err := t.sendRegular(p, chunk, true); err != nil {
 			return err
@@ -426,7 +450,7 @@ func (t *viaTransport) sendCtrlRMW(p *viaPeer, m *Message) error {
 	if out == nil {
 		return via.ErrClosed
 	}
-	return out.write(p.vi, p.ringStage, 0, frame)
+	return out.write(p.vi, p.ringStage, 0, frame, t.cfg.trc, m.TraceID, m.ParentSpan)
 }
 
 // sendFileRMW transfers a file with remote memory writes: the data into
@@ -448,13 +472,18 @@ func (t *viaTransport) sendFileRMW(p *viaPeer, m *Message) error {
 	if !t.cfg.version.ZeroCopyTX || src == nil {
 		// Sender-side staging copy, eliminated by version 5's
 		// registration of all cached pages.
+		cp := t.cfg.trc.StartSpan("staging-copy", m.TraceID, m.ParentSpan)
 		if err := p.fileStage.Write(m.Data, 0); err != nil {
+			cp.Cancel()
 			return err
 		}
+		cp.Annotate("bytes", int64(len(m.Data)))
+		cp.End()
 		t.ins.copied.Add(int64(len(m.Data)))
 		src, srcOff = p.fileStage, 0
 	}
-	return out.write(p.vi, p.metaStage, 0, src, srcOff, len(m.Data), m.ReqID)
+	return out.write(p.vi, p.metaStage, 0, src, srcOff, len(m.Data), m.ReqID,
+		t.cfg.trc, m.TraceID, m.ParentSpan)
 }
 
 func (p *viaPeer) ring() *rmwRingOut {

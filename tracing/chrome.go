@@ -1,0 +1,168 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export: the dump format of press-sim -trace-out
+// and pressd -trace-out, loadable in Perfetto / chrome://tracing. Every
+// node renders as its own process track ("X" complete events, one track
+// per node), and every cross-node parent/child edge renders as a flow
+// event pair ("s" at the parent, "f" at the child), so a forwarded
+// request visibly hops between node tracks.
+
+// chromeEvent is one entry of the traceEvents array. Timestamps and
+// durations are microseconds (floats keep sub-microsecond spans
+// visible).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Cat  string                 `json:"cat,omitempty"`
+	ID   string                 `json:"id,omitempty"`
+	BP   string                 `json:"bp,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit hints Chrome's UI; spans are short, so ns.
+	DisplayTimeUnit string `json:"displayTimeUnit,omitempty"`
+}
+
+func hexID(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// WriteChrome renders the records as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, recs []SpanRecord) error {
+	byID := make(map[SpanID]*SpanRecord, len(recs))
+	nodes := map[int]bool{}
+	for i := range recs {
+		byID[recs[i].Span] = &recs[i]
+		nodes[recs[i].Node] = true
+	}
+
+	var events []chromeEvent
+	nodeIDs := make([]int, 0, len(nodes))
+	for n := range nodes {
+		nodeIDs = append(nodeIDs, n)
+	}
+	sort.Ints(nodeIDs)
+	for _, n := range nodeIDs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: n, Tid: 1,
+			Args: map[string]interface{}{"name": fmt.Sprintf("node %d", n)},
+		})
+	}
+	for i := range recs {
+		r := &recs[i]
+		args := map[string]interface{}{
+			"trace":  hexID(uint64(r.Trace)),
+			"span":   hexID(uint64(r.Span)),
+			"parent": hexID(uint64(r.Parent)),
+		}
+		for _, a := range r.Attrs {
+			if a.IsStr {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Val
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: r.Name, Ph: "X", Pid: r.Node, Tid: 1,
+			Ts: float64(r.Start) / 1e3, Dur: float64(r.Dur) / 1e3,
+			Args: args,
+		})
+		// A child on a different node than its parent is a cross-node
+		// hop: emit a flow arrow from the parent's start to the child's.
+		if p, ok := byID[r.Parent]; ok && p.Node != r.Node {
+			id := hexID(uint64(r.Span))
+			events = append(events, chromeEvent{
+				Name: "hop", Ph: "s", Cat: "hop", Pid: p.Node, Tid: 1,
+				Ts: float64(p.Start) / 1e3, ID: id,
+			})
+			events = append(events, chromeEvent{
+				Name: "hop", Ph: "f", Cat: "hop", BP: "e", Pid: r.Node, Tid: 1,
+				Ts: float64(r.Start) / 1e3, ID: id,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// WriteChrome dumps every collected span of the tracer. No-op on nil.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return WriteChrome(w, t.Records())
+}
+
+// ReadChrome parses a Chrome trace-event JSON dump back into span
+// records — the press-trace analyzer's input path. Only "X" events
+// carrying the trace/span args this package wrote are reconstructed;
+// metadata and flow events are skipped.
+func ReadChrome(r io.Reader) ([]SpanRecord, error) {
+	var f chromeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("tracing: parse chrome trace: %w", err)
+	}
+	var out []SpanRecord
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		rec := SpanRecord{
+			Node:  e.Pid,
+			Name:  e.Name,
+			Start: int64(e.Ts * 1e3),
+			Dur:   int64(e.Dur * 1e3),
+		}
+		ok := true
+		for _, field := range []struct {
+			key string
+			dst *uint64
+		}{
+			{"trace", (*uint64)(&rec.Trace)},
+			{"span", (*uint64)(&rec.Span)},
+			{"parent", (*uint64)(&rec.Parent)},
+		} {
+			s, found := e.Args[field.key].(string)
+			if !found {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseUint(s, 16, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			*field.dst = v
+		}
+		if !ok {
+			continue
+		}
+		for k, v := range e.Args {
+			if k == "trace" || k == "span" || k == "parent" {
+				continue
+			}
+			switch val := v.(type) {
+			case string:
+				rec.Attrs = append(rec.Attrs, Attr{Key: k, Str: val, IsStr: true})
+			case float64:
+				rec.Attrs = append(rec.Attrs, Attr{Key: k, Val: int64(val)})
+			}
+		}
+		// Deterministic attr order for round-trip comparisons.
+		sort.Slice(rec.Attrs, func(i, j int) bool { return rec.Attrs[i].Key < rec.Attrs[j].Key })
+		out = append(out, rec)
+	}
+	return out, nil
+}

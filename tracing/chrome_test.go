@@ -1,0 +1,125 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleRecords builds a two-node forwarded request: root + disk on
+// node 0, serve-remote on node 1 parented to the root. Times are whole
+// microseconds so the float µs round-trip through Chrome JSON is exact.
+func sampleRecords() []SpanRecord {
+	return []SpanRecord{
+		{Trace: 0xaaa, Span: 0xaaa, Parent: 0, Node: 0, Name: "request",
+			Start: 1000, Dur: 90000,
+			Attrs: []Attr{{Key: "file", Str: "index.html", IsStr: true}}},
+		{Trace: 0xaaa, Span: 0xbbb, Parent: 0xaaa, Node: 1, Name: "serve-remote",
+			Start: 21000, Dur: 40000,
+			Attrs: []Attr{{Key: "bytes", Val: 8192}}},
+		{Trace: 0xaaa, Span: 0xccc, Parent: 0xbbb, Node: 1, Name: "disk",
+			Start: 30000, Dur: 20000},
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	counts := map[string]int{}
+	pids := map[float64]bool{}
+	for _, e := range f.TraceEvents {
+		ph := e["ph"].(string)
+		counts[ph]++
+		if ph == "X" {
+			pids[e["pid"].(float64)] = true
+		}
+	}
+	// Two nodes -> two process_name metadata events and two pids.
+	if counts["M"] != 2 {
+		t.Fatalf("got %d metadata events, want 2", counts["M"])
+	}
+	if counts["X"] != 3 {
+		t.Fatalf("got %d complete events, want 3", counts["X"])
+	}
+	if !pids[0] || !pids[1] {
+		t.Fatalf("X events cover pids %v, want {0, 1}", pids)
+	}
+	// Exactly one cross-node edge (root@0 -> serve-remote@1): one s/f
+	// flow pair. The disk span's parent is on the same node, no flow.
+	if counts["s"] != 1 || counts["f"] != 1 {
+		t.Fatalf("flow events s=%d f=%d, want 1/1", counts["s"], counts["f"])
+	}
+	var flowStart, flowEnd map[string]interface{}
+	for _, e := range f.TraceEvents {
+		switch e["ph"].(string) {
+		case "s":
+			flowStart = e
+		case "f":
+			flowEnd = e
+		}
+	}
+	if flowStart["id"] != flowEnd["id"] {
+		t.Fatalf("flow ids differ: %v vs %v", flowStart["id"], flowEnd["id"])
+	}
+	if flowStart["pid"].(float64) != 0 || flowEnd["pid"].(float64) != 1 {
+		t.Fatalf("flow hops %v -> %v, want node 0 -> node 1",
+			flowStart["pid"], flowEnd["pid"])
+	}
+	if !strings.Contains(buf.String(), "node 1") {
+		t.Fatal("missing node track name")
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, recs)
+	}
+}
+
+func TestTracerWriteChrome(t *testing.T) {
+	var nilTracer *Tracer
+	if err := nilTracer.WriteChrome(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil tracer WriteChrome: %v", err)
+	}
+
+	tr := New()
+	s := tr.Collector(0).StartTrace("request")
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "request" {
+		t.Fatalf("round trip lost the span: %+v", back)
+	}
+}
+
+func TestReadChromeRejectsGarbage(t *testing.T) {
+	if _, err := ReadChrome(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}

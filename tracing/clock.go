@@ -1,0 +1,14 @@
+package tracing
+
+import "time"
+
+// processStart anchors the default clock: span timestamps are
+// monotonic nanoseconds since process start, which keeps them small,
+// strictly ordered under clock adjustments, and directly usable as
+// Chrome trace-event timestamps.
+var processStart = time.Now()
+
+// monotonicNanos is the default timestamp source. time.Since reads the
+// runtime's monotonic clock, so wall-clock steps never produce
+// negative-duration spans.
+func monotonicNanos() int64 { return int64(time.Since(processStart)) }

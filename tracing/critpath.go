@@ -1,0 +1,184 @@
+package tracing
+
+import "sort"
+
+// Critical-path analysis: turn one trace's span tree into a per-phase
+// time breakdown, the software analogue of the paper's Table 2 overhead
+// decomposition. Each span contributes its SELF time — duration minus
+// the union of its children's intervals clipped to its own — to the
+// phase its name maps to, so nested instrumentation never double-counts
+// and whatever a phase did not delegate is attributed to it.
+
+// The phase buckets, in report order. Spans whose names map to no
+// bucket (including root self time) land in PhaseOther.
+const (
+	PhaseAccept  = "accept-queue"
+	PhaseDispatc = "dispatch"
+	PhaseNet     = "net"
+	PhaseStall   = "credit-stall"
+	PhaseCopy    = "staging-copy"
+	PhaseDisk    = "disk"
+	PhaseReply   = "reply"
+	PhaseOther   = "other"
+)
+
+// Phases returns the report-order phase list.
+func Phases() []string {
+	return []string{PhaseAccept, PhaseDispatc, PhaseNet, PhaseStall,
+		PhaseCopy, PhaseDisk, PhaseReply, PhaseOther}
+}
+
+// spanPhase maps instrumented span names to phase buckets. The forward
+// span's self time is wire + remote turnaround not otherwise accounted,
+// so it reads as network; serve-remote's self time is the remote node's
+// processing, so it reads as dispatch.
+var spanPhase = map[string]string{
+	"accept-queue": PhaseAccept,
+	"dispatch":     PhaseDispatc,
+	"forward":      PhaseNet,
+	"net-send":     PhaseNet,
+	"credit-stall": PhaseStall,
+	"staging-copy": PhaseCopy,
+	"serve-remote": PhaseDispatc,
+	"disk":         PhaseDisk,
+	"reply":        PhaseReply,
+}
+
+// PhaseOf returns the phase bucket for a span name.
+func PhaseOf(name string) string {
+	if p, ok := spanPhase[name]; ok {
+		return p
+	}
+	return PhaseOther
+}
+
+// TraceSummary is one request's critical-path breakdown.
+type TraceSummary struct {
+	Trace TraceID
+	// Root identifies the root span; Name/Start/Dur mirror it. Traces
+	// whose root span is missing (evicted from the ring) summarize over
+	// the spans that remain, with Dur covering their envelope.
+	Root  SpanID
+	Name  string
+	Start int64
+	Dur   int64
+	// Phases maps phase name to attributed self time (ns). Keys are a
+	// subset of Phases().
+	Phases map[string]int64
+	// Spans is the number of spans in the trace; Nodes the distinct
+	// nodes they ran on; Forwarded whether any parent/child edge crosses
+	// nodes.
+	Spans     int
+	Nodes     int
+	Forwarded bool
+}
+
+// interval is a [start, end) slice of a span's time.
+type interval struct{ start, end int64 }
+
+// selfTime returns dur minus the union of child intervals clipped to
+// [start, start+dur).
+func selfTime(start, dur int64, children []interval) int64 {
+	end := start + dur
+	clipped := make([]interval, 0, len(children))
+	for _, c := range children {
+		if c.end <= start || c.start >= end {
+			continue
+		}
+		if c.start < start {
+			c.start = start
+		}
+		if c.end > end {
+			c.end = end
+		}
+		clipped = append(clipped, c)
+	}
+	sort.Slice(clipped, func(i, j int) bool { return clipped[i].start < clipped[j].start })
+	var covered int64
+	var curStart, curEnd int64
+	active := false
+	flush := func() {
+		if active {
+			covered += curEnd - curStart
+		}
+	}
+	for _, c := range clipped {
+		if !active || c.start > curEnd {
+			flush()
+			curStart, curEnd, active = c.start, c.end, true
+			continue
+		}
+		if c.end > curEnd {
+			curEnd = c.end
+		}
+	}
+	flush()
+	self := dur - covered
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// Summarize groups records by trace and computes each trace's per-phase
+// breakdown, ordered by trace start time.
+func Summarize(recs []SpanRecord) []TraceSummary {
+	byTrace := map[TraceID][]*SpanRecord{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Trace == 0 {
+			continue
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	out := make([]TraceSummary, 0, len(byTrace))
+	for id, spans := range byTrace {
+		s := TraceSummary{Trace: id, Phases: map[string]int64{}, Spans: len(spans)}
+		children := map[SpanID][]interval{}
+		nodeOf := map[SpanID]int{}
+		nodes := map[int]bool{}
+		for _, r := range spans {
+			nodeOf[r.Span] = r.Node
+			nodes[r.Node] = true
+			if r.Parent != 0 {
+				children[r.Parent] = append(children[r.Parent], interval{r.Start, r.Start + r.Dur})
+			}
+		}
+		s.Nodes = len(nodes)
+		var envStart, envEnd int64
+		first := true
+		for _, r := range spans {
+			if pn, ok := nodeOf[r.Parent]; ok && pn != r.Node {
+				s.Forwarded = true
+			}
+			if first || r.Start < envStart {
+				envStart = r.Start
+			}
+			if first || r.Start+r.Dur > envEnd {
+				envEnd = r.Start + r.Dur
+			}
+			first = false
+			s.Phases[PhaseOf(r.Name)] += selfTime(r.Start, r.Dur, children[r.Span])
+			if r.Parent == 0 || r.Span == SpanID(r.Trace) {
+				s.Root = r.Span
+				s.Name = r.Name
+				s.Start = r.Start
+				s.Dur = r.Dur
+			}
+		}
+		if s.Root == 0 {
+			// Root evicted: fall back to the envelope of what remains.
+			s.Start = envStart
+			s.Dur = envEnd - envStart
+			s.Name = spans[0].Name
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}

@@ -1,0 +1,124 @@
+package tracing
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSelfTime(t *testing.T) {
+	cases := []struct {
+		name     string
+		start    int64
+		dur      int64
+		children []interval
+		want     int64
+	}{
+		{"no children", 100, 50, nil, 50},
+		{"one child inside", 100, 50, []interval{{110, 130}}, 30},
+		{"overlapping children merge", 100, 100,
+			[]interval{{110, 150}, {140, 180}}, 30},
+		{"disjoint children", 100, 100,
+			[]interval{{110, 120}, {150, 170}}, 70},
+		{"child overhangs span", 100, 50, []interval{{90, 200}}, 0},
+		{"child outside span", 100, 50, []interval{{200, 300}}, 50},
+		{"unsorted input", 100, 100,
+			[]interval{{160, 170}, {110, 120}}, 80},
+	}
+	for _, c := range cases {
+		if got := selfTime(c.start, c.dur, c.children); got != c.want {
+			t.Errorf("%s: selfTime = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	if PhaseOf("disk") != PhaseDisk {
+		t.Fatal("disk span not bucketed as disk")
+	}
+	if PhaseOf("serve-remote") != PhaseDispatc {
+		t.Fatal("serve-remote not bucketed as dispatch")
+	}
+	if PhaseOf("request") != PhaseOther {
+		t.Fatal("unknown span not bucketed as other")
+	}
+	want := []string{PhaseAccept, PhaseDispatc, PhaseNet, PhaseStall,
+		PhaseCopy, PhaseDisk, PhaseReply, PhaseOther}
+	if !reflect.DeepEqual(Phases(), want) {
+		t.Fatalf("Phases() = %v", Phases())
+	}
+}
+
+// TestSummarizeForwardedTrace models the instrumented forwarded-request
+// shape: request(0-100)@n0 containing forward(10-90)@n0, which parents
+// serve-remote(20-70)@n1 containing disk(30-60)@n1.
+func TestSummarizeForwardedTrace(t *testing.T) {
+	recs := []SpanRecord{
+		{Trace: 1, Span: 1, Parent: 0, Node: 0, Name: "request", Start: 0, Dur: 100},
+		{Trace: 1, Span: 2, Parent: 1, Node: 0, Name: "forward", Start: 10, Dur: 80},
+		{Trace: 1, Span: 3, Parent: 2, Node: 1, Name: "serve-remote", Start: 20, Dur: 50},
+		{Trace: 1, Span: 4, Parent: 3, Node: 1, Name: "disk", Start: 30, Dur: 30},
+		// A second, purely local trace.
+		{Trace: 2, Span: 5, Parent: 0, Node: 0, Name: "request", Start: 200, Dur: 40},
+		{Trace: 2, Span: 6, Parent: 5, Node: 0, Name: "disk", Start: 210, Dur: 20},
+		// Untraced records are skipped.
+		{Trace: 0, Span: 7, Node: 0, Name: "noise", Start: 0, Dur: 1},
+	}
+	sums := Summarize(recs)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+
+	fwd := sums[0]
+	if fwd.Trace != 1 || fwd.Root != 1 || fwd.Name != "request" {
+		t.Fatalf("first summary = %+v", fwd)
+	}
+	if !fwd.Forwarded || fwd.Nodes != 2 || fwd.Spans != 4 {
+		t.Fatalf("forwarded trace shape = %+v", fwd)
+	}
+	if fwd.Dur != 100 {
+		t.Fatalf("forwarded dur = %d", fwd.Dur)
+	}
+	// Self times: request 100-80=20 (other), forward 80-50=30 (net),
+	// serve-remote 50-30=20 (dispatch), disk 30 (disk).
+	want := map[string]int64{
+		PhaseOther:   20,
+		PhaseNet:     30,
+		PhaseDispatc: 20,
+		PhaseDisk:    30,
+	}
+	if !reflect.DeepEqual(fwd.Phases, want) {
+		t.Fatalf("phases = %v, want %v", fwd.Phases, want)
+	}
+
+	local := sums[1]
+	if local.Trace != 2 || local.Forwarded || local.Nodes != 1 {
+		t.Fatalf("local summary = %+v", local)
+	}
+	if local.Phases[PhaseDisk] != 20 || local.Phases[PhaseOther] != 20 {
+		t.Fatalf("local phases = %v", local.Phases)
+	}
+}
+
+func TestSummarizeRootEvicted(t *testing.T) {
+	recs := []SpanRecord{
+		{Trace: 9, Span: 10, Parent: 9, Node: 0, Name: "disk", Start: 50, Dur: 30},
+		{Trace: 9, Span: 11, Parent: 9, Node: 0, Name: "reply", Start: 90, Dur: 10},
+	}
+	sums := Summarize(recs)
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	s := sums[0]
+	if s.Root != 0 {
+		t.Fatalf("rootless trace claims root %d", s.Root)
+	}
+	if s.Start != 50 || s.Dur != 50 {
+		t.Fatalf("envelope = start %d dur %d, want 50/50", s.Start, s.Dur)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); len(got) != 0 {
+		t.Fatalf("Summarize(nil) = %v", got)
+	}
+}

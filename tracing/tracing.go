@@ -1,0 +1,441 @@
+// Package tracing is the per-request observability layer: end-to-end
+// request traces built from spans that propagate across cluster nodes.
+//
+// Where press/metrics answers "how much, in aggregate" (counters and
+// latency histograms), tracing answers "where did THIS request's time
+// go": one trace follows a request from HTTP accept through the forward
+// decision, across the intra-cluster fabric, into the remote node's
+// cache/disk path and back — the software analogue of the paper's
+// per-component overhead decomposition (Sections 3-4, Table 2).
+//
+// The design mirrors the nil-registry pattern of press/metrics: a nil
+// *Tracer hands out nil *Collectors, a nil *Collector hands out nil
+// *Spans, and every method on a nil receiver is a no-op, so disabled
+// tracing costs a pointer test and no allocations on hot paths.
+// Sampling is probabilistic and decided once per trace at the root
+// (head sampling): an unsampled request carries TraceID zero everywhere
+// and creates no spans at all.
+//
+// Completed spans land in a fixed-capacity per-node ring buffer that
+// drops the oldest record under pressure; drops are counted in the
+// metrics registry when one is attached. The package is stdlib-only.
+package tracing
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"press/metrics"
+)
+
+// TraceID identifies one end-to-end request trace; zero means "not
+// sampled / no trace", and is what untraced messages carry on the wire.
+type TraceID uint64
+
+// SpanID identifies one span within a trace; zero means "no parent".
+type SpanID uint64
+
+// Attr is one typed span annotation: a numeric value (bytes copied,
+// credits waited on) or a short string (file name, decision reason).
+// Exactly one of Val/Str is meaningful, per IsStr.
+type Attr struct {
+	Key   string
+	Val   int64
+	Str   string
+	IsStr bool
+}
+
+// SpanRecord is one completed span, as stored in a Collector's ring and
+// exported to Chrome trace JSON. Times are in nanoseconds on the
+// tracer's clock (monotonic wall time by default, simulated time under
+// the cluster simulator).
+type SpanRecord struct {
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	Node   int
+	Name   string
+	Start  int64
+	Dur    int64
+	Attrs  []Attr
+}
+
+// DefaultCapacity is the per-node span ring capacity when WithCapacity
+// is not given.
+const DefaultCapacity = 1 << 16
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithSampleRate sets the head-sampling probability in [0, 1]; the
+// default is 1 (trace everything). The decision is made once per
+// request at StartTrace and inherited by every child span, local and
+// remote.
+func WithSampleRate(rate float64) Option {
+	return func(t *Tracer) { t.setSampleRate(rate) }
+}
+
+// WithCapacity sets each node collector's ring capacity (minimum 1).
+func WithCapacity(n int) Option {
+	return func(t *Tracer) {
+		if n < 1 {
+			n = 1
+		}
+		t.capacity = n
+	}
+}
+
+// WithMetrics counts committed and dropped spans in the given registry
+// (families trace_spans_total{node=N} and trace_dropped_spans_total{node=N}).
+func WithMetrics(r *metrics.Registry) Option {
+	return func(t *Tracer) { t.reg = r }
+}
+
+// WithClock replaces the span timestamp source (nanoseconds). The
+// default is the monotonic wall clock; the cluster simulator installs
+// its virtual clock so simulated traces carry simulated time.
+func WithClock(now func() int64) Option {
+	return func(t *Tracer) { t.clock.Store(&now) }
+}
+
+// Tracer is the process-wide tracing root: it owns the sampling
+// decision, the ID generator, the clock, and one Collector per node.
+// A nil Tracer is the disabled tracer; Collector returns nil on it.
+type Tracer struct {
+	capacity int
+	reg      *metrics.Registry
+
+	// sampleBar is the head-sampling threshold: a trace is sampled when
+	// the per-trace pseudo-random draw is below it. ^uint64(0) means
+	// always, 0 means never.
+	sampleBar atomic.Uint64
+	clock     atomic.Pointer[func() int64]
+	seq       atomic.Uint64 // ID generator; IDs are splitmix64(seq)
+
+	mu         sync.Mutex
+	collectors map[int]*Collector
+}
+
+// New returns an enabled tracer. With no options it samples every
+// trace, stamps monotonic wall time, and keeps DefaultCapacity spans
+// per node.
+func New(opts ...Option) *Tracer {
+	t := &Tracer{
+		capacity:   DefaultCapacity,
+		collectors: make(map[int]*Collector),
+	}
+	t.sampleBar.Store(^uint64(0))
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer records anything; it is false
+// exactly for a nil Tracer.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) setSampleRate(rate float64) {
+	switch {
+	case rate >= 1:
+		t.sampleBar.Store(^uint64(0))
+	case rate <= 0:
+		t.sampleBar.Store(0)
+	default:
+		t.sampleBar.Store(uint64(rate * float64(1<<63) * 2))
+	}
+}
+
+// SetClock installs a replacement timestamp source on a live tracer
+// (the simulator does this after building its virtual clock). No-op on
+// a nil tracer.
+func (t *Tracer) SetClock(now func() int64) {
+	if t == nil || now == nil {
+		return
+	}
+	t.clock.Store(&now)
+}
+
+func (t *Tracer) now() int64 {
+	if p := t.clock.Load(); p != nil {
+		return (*p)()
+	}
+	return monotonicNanos()
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// turns the sequential ID counter into well-spread, non-zero-looking
+// identifiers and drives the sampling draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nextID returns a fresh non-zero identifier.
+func (t *Tracer) nextID() uint64 {
+	for {
+		if id := splitmix64(t.seq.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// Collector returns the span collector for one node, creating it on
+// first use; repeated calls return the same collector. Returns nil on a
+// nil Tracer.
+func (t *Tracer) Collector(node int) *Collector {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.collectors[node]
+	if !ok {
+		c = &Collector{
+			t:       t,
+			node:    node,
+			ring:    make([]SpanRecord, t.capacity),
+			spans:   t.reg.Counter("trace_spans_total", fmt.Sprintf("node=%d", node)),
+			dropped: t.reg.Counter("trace_dropped_spans_total", fmt.Sprintf("node=%d", node)),
+		}
+		t.collectors[node] = c
+	}
+	return c
+}
+
+// Records snapshots every collector's ring, ordered by node then by
+// commit order (oldest first). Empty on a nil Tracer.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	nodes := make([]*Collector, 0, len(t.collectors))
+	for _, c := range t.collectors {
+		nodes = append(nodes, c)
+	}
+	t.mu.Unlock()
+	// Deterministic node order.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j-1].node > nodes[j].node; j-- {
+			nodes[j-1], nodes[j] = nodes[j], nodes[j-1]
+		}
+	}
+	var out []SpanRecord
+	for _, c := range nodes {
+		out = append(out, c.Records()...)
+	}
+	return out
+}
+
+// Collector buffers one node's completed spans in a fixed-capacity ring
+// (drop-oldest). A nil Collector hands out nil no-op spans, so the
+// disabled path costs one pointer test.
+type Collector struct {
+	t    *Tracer
+	node int
+
+	spans   *metrics.Counter
+	dropped *metrics.Counter
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int // next write slot
+	filled  int // valid records (<= len(ring))
+	evicted int64
+}
+
+// Node returns the collector's node index (-1 on nil).
+func (c *Collector) Node() int {
+	if c == nil {
+		return -1
+	}
+	return c.node
+}
+
+// StartTrace makes the head-sampling decision and, if sampled, starts
+// the root span of a new trace. It returns nil — no trace, no cost —
+// when the collector is nil or the draw falls outside the sample rate.
+func (c *Collector) StartTrace(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	id := c.t.nextID()
+	if splitmix64(id) >= c.t.sampleBar.Load() {
+		return nil
+	}
+	return &Span{
+		c:     c,
+		trace: TraceID(id),
+		id:    SpanID(id), // the root span reuses the trace identifier
+		name:  name,
+		start: c.t.now(),
+	}
+}
+
+// StartSpan starts a span inside an existing trace — the receiving side
+// of cross-node propagation, where trace and parent arrive on the wire.
+// It returns nil when the collector is nil or the trace is unsampled
+// (zero TraceID), so callers stamp wire fields unconditionally.
+func (c *Collector) StartSpan(name string, trace TraceID, parent SpanID) *Span {
+	if c == nil || trace == 0 {
+		return nil
+	}
+	return &Span{
+		c:      c,
+		trace:  trace,
+		id:     SpanID(c.t.nextID()),
+		parent: parent,
+		name:   name,
+		start:  c.t.now(),
+	}
+}
+
+// commit stores one finished span, evicting the oldest under pressure.
+func (c *Collector) commit(rec SpanRecord) {
+	evicting := false
+	c.mu.Lock()
+	if c.filled == len(c.ring) {
+		c.evicted++
+		evicting = true
+	} else {
+		c.filled++
+	}
+	c.ring[c.next] = rec
+	c.next++
+	if c.next == len(c.ring) {
+		c.next = 0
+	}
+	c.mu.Unlock()
+	c.spans.Inc()
+	if evicting {
+		c.dropped.Inc()
+	}
+}
+
+// Dropped returns how many spans the ring has evicted.
+func (c *Collector) Dropped() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// Records snapshots the ring's contents, oldest first.
+func (c *Collector) Records() []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SpanRecord, 0, c.filled)
+	start := c.next - c.filled
+	if start < 0 {
+		start += len(c.ring)
+	}
+	for i := 0; i < c.filled; i++ {
+		out = append(out, c.ring[(start+i)%len(c.ring)])
+	}
+	return out
+}
+
+// Span is one in-flight timed operation. Spans are not safe for
+// concurrent use; hand-off between goroutines must be synchronized (the
+// server hands spans over channels, which is enough). All methods are
+// no-ops on a nil Span.
+type Span struct {
+	c      *Collector
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	start  int64
+	attrs  []Attr
+	ended  bool
+}
+
+// Trace returns the span's trace identifier (zero on nil: the wire
+// value meaning "untraced").
+func (s *Span) Trace() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// ID returns the span identifier (zero on nil).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// StartChild starts a child span on the same collector.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		c:      s.c,
+		trace:  s.trace,
+		id:     SpanID(s.c.t.nextID()),
+		parent: s.id,
+		name:   name,
+		start:  s.c.t.now(),
+	}
+}
+
+// Annotate attaches a numeric attribute.
+func (s *Span) Annotate(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// AnnotateStr attaches a string attribute.
+func (s *Span) AnnotateStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
+}
+
+// End finishes the span and commits it to the collector. Ending twice
+// commits once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	now := s.c.t.now()
+	s.c.commit(SpanRecord{
+		Trace:  s.trace,
+		Span:   s.id,
+		Parent: s.parent,
+		Node:   s.c.node,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    now - s.start,
+		Attrs:  s.attrs,
+	})
+}
+
+// Cancel finishes the span without recording it — for spans opened
+// speculatively (e.g. around a credit acquire that turned out not to
+// stall). After Cancel, End is a no-op.
+func (s *Span) Cancel() {
+	if s == nil {
+		return
+	}
+	s.ended = true
+}

@@ -1,0 +1,276 @@
+package tracing
+
+import (
+	"sync"
+	"testing"
+
+	"press/metrics"
+)
+
+// fixedClock returns an option installing a deterministic clock that
+// advances by step on every read.
+func fixedClock(step int64) (Option, *int64) {
+	var t int64
+	return WithClock(func() int64 {
+		t += step
+		return t
+	}), &t
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	c := tr.Collector(0)
+	if c != nil {
+		t.Fatal("nil tracer handed out a collector")
+	}
+	if c.Node() != -1 {
+		t.Fatalf("nil collector node = %d, want -1", c.Node())
+	}
+	s := c.StartTrace("root")
+	if s != nil {
+		t.Fatal("nil collector handed out a span")
+	}
+	// Every span method must be a safe no-op on nil.
+	s.Annotate("k", 1)
+	s.AnnotateStr("k", "v")
+	child := s.StartChild("child")
+	if child != nil {
+		t.Fatal("nil span handed out a child")
+	}
+	s.End()
+	s.Cancel()
+	if s.Trace() != 0 || s.ID() != 0 {
+		t.Fatal("nil span has non-zero identifiers")
+	}
+	if got := tr.Records(); got != nil {
+		t.Fatalf("nil tracer records = %v", got)
+	}
+	if c.Dropped() != 0 {
+		t.Fatal("nil collector reports drops")
+	}
+}
+
+func TestNilPathAllocationFree(t *testing.T) {
+	var tr *Tracer
+	c := tr.Collector(3)
+	allocs := testing.AllocsPerRun(100, func() {
+		s := c.StartTrace("root")
+		s.Annotate("bytes", 4096)
+		ch := s.StartChild("disk")
+		ch.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per request, want 0", allocs)
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	clk, _ := fixedClock(10)
+	tr := New(clk)
+	c := tr.Collector(2)
+
+	root := c.StartTrace("request")
+	if root == nil {
+		t.Fatal("sampled StartTrace returned nil")
+	}
+	if root.Trace() == 0 || SpanID(root.Trace()) != root.ID() {
+		t.Fatalf("root span id %d should equal trace id %d", root.ID(), root.Trace())
+	}
+	root.AnnotateStr("file", "index.html")
+	child := root.StartChild("disk")
+	child.Annotate("bytes", 8192)
+	child.End()
+	root.End()
+	root.End() // double End must not commit twice
+
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Commit order: child ends first.
+	d, r := recs[0], recs[1]
+	if d.Name != "disk" || r.Name != "request" {
+		t.Fatalf("record order = %q, %q", d.Name, r.Name)
+	}
+	if d.Trace != r.Trace {
+		t.Fatalf("trace ids differ: %d vs %d", d.Trace, r.Trace)
+	}
+	if d.Parent != r.Span {
+		t.Fatalf("child parent %d != root span %d", d.Parent, r.Span)
+	}
+	if r.Parent != 0 {
+		t.Fatalf("root has parent %d", r.Parent)
+	}
+	if d.Node != 2 || r.Node != 2 {
+		t.Fatalf("node = %d/%d, want 2", d.Node, r.Node)
+	}
+	if d.Dur <= 0 || r.Dur <= 0 {
+		t.Fatalf("non-positive durations: %d, %d", d.Dur, r.Dur)
+	}
+	if r.Start >= d.Start {
+		t.Fatalf("root start %d not before child start %d", r.Start, d.Start)
+	}
+	if len(d.Attrs) != 1 || d.Attrs[0].Key != "bytes" || d.Attrs[0].Val != 8192 {
+		t.Fatalf("child attrs = %+v", d.Attrs)
+	}
+	if len(r.Attrs) != 1 || !r.Attrs[0].IsStr || r.Attrs[0].Str != "index.html" {
+		t.Fatalf("root attrs = %+v", r.Attrs)
+	}
+}
+
+func TestRemoteSpanJoinsTrace(t *testing.T) {
+	tr := New()
+	local := tr.Collector(0)
+	remote := tr.Collector(1)
+
+	root := local.StartTrace("request")
+	// The wire carries (TraceID, ParentSpan); the remote node joins with
+	// StartSpan.
+	srv := remote.StartSpan("serve-remote", root.Trace(), root.ID())
+	if srv == nil {
+		t.Fatal("StartSpan with live trace returned nil")
+	}
+	srv.End()
+	root.End()
+
+	// Unsampled context: zero trace must produce no span.
+	if s := remote.StartSpan("serve-remote", 0, 7); s != nil {
+		t.Fatal("StartSpan with zero trace returned a span")
+	}
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Records() orders by node.
+	if recs[0].Node != 0 || recs[1].Node != 1 {
+		t.Fatalf("node order = %d, %d", recs[0].Node, recs[1].Node)
+	}
+	if recs[1].Trace != recs[0].Trace || recs[1].Parent != recs[0].Span {
+		t.Fatalf("remote span not stitched: %+v vs %+v", recs[1], recs[0])
+	}
+}
+
+func TestSampleRateZeroAndCancel(t *testing.T) {
+	tr := New(WithSampleRate(0))
+	c := tr.Collector(0)
+	for i := 0; i < 100; i++ {
+		if s := c.StartTrace("request"); s != nil {
+			t.Fatal("sample rate 0 produced a span")
+		}
+	}
+
+	full := New()
+	c = full.Collector(0)
+	s := c.StartTrace("credit-stall")
+	s.Cancel()
+	s.End() // End after Cancel must not commit
+	if got := len(c.Records()); got != 0 {
+		t.Fatalf("cancelled span committed: %d records", got)
+	}
+}
+
+func TestSampleRatePartial(t *testing.T) {
+	tr := New(WithSampleRate(0.5))
+	c := tr.Collector(0)
+	sampled := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if s := c.StartTrace("request"); s != nil {
+			s.End()
+			sampled++
+		}
+	}
+	if sampled < n/4 || sampled > 3*n/4 {
+		t.Fatalf("rate 0.5 sampled %d/%d", sampled, n)
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(WithCapacity(4), WithMetrics(reg))
+	c := tr.Collector(0)
+	for i := 0; i < 10; i++ {
+		s := c.StartTrace("request")
+		s.Annotate("seq", int64(i))
+		s.End()
+	}
+	recs := c.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	for i, r := range recs {
+		want := int64(6 + i) // oldest six evicted
+		if r.Attrs[0].Val != want {
+			t.Fatalf("slot %d holds seq %d, want %d", i, r.Attrs[0].Val, want)
+		}
+	}
+	if c.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", c.Dropped())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["trace_spans_total{node=0}"]; got != 10 {
+		t.Fatalf("trace_spans_total = %d, want 10", got)
+	}
+	if got := snap.Counters["trace_dropped_spans_total{node=0}"]; got != 6 {
+		t.Fatalf("trace_dropped_spans_total = %d, want 6", got)
+	}
+}
+
+func TestCollectorInterned(t *testing.T) {
+	tr := New()
+	if tr.Collector(5) != tr.Collector(5) {
+		t.Fatal("same node returned distinct collectors")
+	}
+	if tr.Collector(5) == tr.Collector(6) {
+		t.Fatal("distinct nodes share a collector")
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	tr := New(WithCapacity(128))
+	const workers = 8
+	const each = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			c := tr.Collector(node % 4)
+			for i := 0; i < each; i++ {
+				s := c.StartTrace("request")
+				ch := s.StartChild("disk")
+				ch.End()
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	recs := tr.Records()
+	total := int64(len(recs))
+	for n := 0; n < 4; n++ {
+		total += tr.Collector(n).Dropped()
+	}
+	if total != workers*each*2 {
+		t.Fatalf("recorded+dropped = %d, want %d", total, workers*each*2)
+	}
+}
+
+func TestIDsNonZeroAndDistinct(t *testing.T) {
+	tr := New()
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := tr.nextID()
+		if id == 0 {
+			t.Fatal("nextID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %#x", id)
+		}
+		seen[id] = true
+	}
+}
