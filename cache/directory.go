@@ -85,6 +85,22 @@ func (d *Directory) SetCached(id FileID, n int, cached bool) {
 	}
 }
 
+// PurgeNode removes node n from every file's cacher set and returns how
+// many entries were dropped. A node declared dead must disappear from
+// the caching view at once: forwarding to it would strand requests, and
+// its cache contents are unknown once it recovers (it re-announces them
+// via caching broadcasts on re-integration).
+func (d *Directory) PurgeNode(n int) int {
+	purged := 0
+	for id, set := range d.cachers {
+		if set.Has(n) {
+			d.cachers[id] = set.Remove(n)
+			purged++
+		}
+	}
+	return purged
+}
+
 // FirstRequest reports whether the file has never been requested before
 // and marks it seen.
 func (d *Directory) FirstRequest(id FileID) bool {

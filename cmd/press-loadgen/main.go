@@ -69,6 +69,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("requests:   %d (%d errors)\n", res.Requests, res.Errors)
+	if res.Errors > 0 {
+		fmt.Printf("errors:     timeout %d  refused %d  server %d  other %d\n",
+			res.ErrTimeout, res.ErrRefused, res.ErrServer, res.ErrOther)
+	}
 	fmt.Printf("elapsed:    %v\n", res.Elapsed)
 	fmt.Printf("throughput: %.1f req/s\n", res.Throughput)
 	fmt.Printf("bytes:      %d\n", res.Bytes)

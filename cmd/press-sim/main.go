@@ -19,20 +19,37 @@
 // trace-event JSON (load in chrome://tracing or Perfetto, or analyze
 // with press-trace). -trace-sample controls head sampling (default 1.0:
 // every request).
+//
+// With -chaos, press-sim runs a REAL VIA cluster (server.Start, HTTP on
+// loopback) under closed-loop client load while a seeded fault plan
+// partitions, heals, crashes, and restarts nodes, then reports
+// availability: error classes, failovers by reason, retries,
+// reconnects, and the final health view. Combine with -metrics for the
+// full registry report and -trace-out to see failover annotations in
+// press-trace.
+//
+//	press-sim -chaos [-chaos-faults N] [-chaos-duration D] [-metrics]
+//	          [-requests N] [-nodes N] [-trace T] [-seed S] [-version V]
+//	          [-trace-out FILE] [-trace-sample F]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"press/cluster"
 	"press/core"
 	"press/experiments"
+	"press/loadgen"
 	"press/metrics"
 	"press/netmodel"
+	"press/server"
 	"press/stats"
 	"press/trace"
 	"press/tracing"
@@ -53,9 +70,21 @@ func main() {
 		version     = flag.String("version", "V5", "communication version for -metrics runs")
 		traceOut    = flag.String("trace-out", "", "record request traces during an instrumented run and write Chrome trace-event JSON to FILE")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests to trace (head sampling)")
+		chaos       = flag.Bool("chaos", false, "run a real VIA cluster under client load with a seeded fault plan and report availability")
+		chaosDur    = flag.Duration("chaos-duration", 3*time.Second, "length of the chaos fault plan")
+		chaosFaults = flag.Int("chaos-faults", 2, "fault pairs (partition/heal or crash/restart) in the chaos plan")
+		dissem      = flag.String("dissemination", "PB", "load dissemination strategy for -chaos runs (PB, L16, L4, L1, NLB)")
 	)
 	flag.Parse()
 	chartMode = *chart
+
+	if *chaos {
+		if err := chaosRun(*traceName, *requests, *nodes, *seed, *version, *dissem,
+			*metricsRun, *traceOut, *traceSample, *chaosDur, *chaosFaults); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *metricsRun || *traceOut != "" {
 		if err := instrumentedRun(*traceName, *requests, *nodes, *seed, *version,
@@ -204,6 +233,229 @@ func instrumentedRun(traceName string, requests, nodes int, seed int64, version 
 		return reg.Report(os.Stdout)
 	}
 	return nil
+}
+
+// chaosMaxRequests caps the trace replay in chaos mode: unlike the
+// discrete-event simulator, -chaos drives a real cluster over loopback
+// HTTP, where a paper-scale request count would run for minutes.
+const chaosMaxRequests = 20000
+
+// chaosRun starts a real VIA cluster (server.Start, HTTP on loopback),
+// drives closed-loop client load at it, and replays a seeded fault plan
+// — partitions, heals, crashes, restarts — while it runs. When the plan
+// has played out and the cluster has had a settle window to re-mesh,
+// the load stops and the run reports availability (error classes from
+// the load generator) plus the fault-tolerance counters: failovers by
+// reason, retries, reconnects, directory purges, heartbeats, and each
+// node's final health view.
+func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem string,
+	withMetrics bool, traceOut string, traceSample float64,
+	duration time.Duration, faults int) error {
+	if nodes < 2 {
+		return fmt.Errorf("chaos needs at least 2 nodes")
+	}
+	strategy, err := strategyByName(dissem)
+	if err != nil {
+		return err
+	}
+	spec, err := trace.SpecByName(traceName)
+	if err != nil {
+		return err
+	}
+	if requests <= 0 || requests > chaosMaxRequests {
+		requests = chaosMaxRequests
+	}
+	if requests < spec.NumRequests {
+		spec.NumRequests = requests
+	}
+	tr, err := trace.Synthesize(spec)
+	if err != nil {
+		return err
+	}
+	ver, err := netmodel.VersionByName(version)
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	var tracer *tracing.Tracer
+	if traceOut != "" {
+		tracer = tracing.New(tracing.WithSampleRate(traceSample), tracing.WithMetrics(reg))
+	}
+	cl, err := server.Start(server.Config{
+		Nodes:         nodes,
+		Trace:         tr,
+		Transport:     server.TransportVIA,
+		Version:       ver,
+		Dissemination: strategy,
+		CacheBytes:    8 << 20,
+		DiskDelay:     200 * time.Microsecond,
+		// Failure detection fast enough that a sub-second partition is
+		// noticed, suffered through, and healed within the plan.
+		Health: server.HealthConfig{
+			HeartbeatInterval: 100 * time.Millisecond,
+			SuspectAfter:      300 * time.Millisecond,
+			DeadAfter:         600 * time.Millisecond,
+			FailoverTimeout:   1500 * time.Millisecond,
+		},
+		Metrics: reg,
+		Tracer:  tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	plan := server.RandomFaultPlan(seed, nodes, duration, faults)
+	fmt.Printf("chaos run: %s, %d requests, %d-node VIA cluster on loopback, dissemination %s\n",
+		tr.Name, requests, nodes, strategy)
+	fmt.Printf("fault plan (seed %d, %d fault pairs over %v):\n", seed, faults, duration)
+	for _, ev := range plan.Events {
+		fmt.Printf("  t+%-7v %-9s node %d\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Node)
+	}
+	fmt.Println()
+
+	targets := make([]string, nodes)
+	for i, a := range cl.Addrs() {
+		targets[i] = "http://" + a
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type lgDone struct {
+		res *loadgen.Result
+		err error
+	}
+	lgCh := make(chan lgDone, 1)
+	go func() {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Targets:     targets,
+			Trace:       tr,
+			Concurrency: 8,
+			Requests:    requests,
+			Seed:        seed,
+			Timeout:     10 * time.Second,
+		})
+		lgCh <- lgDone{res, err}
+	}()
+
+	start := time.Now()
+	stop := make(chan struct{})
+	defer close(stop)
+	done, err := cl.StartFaultPlan(plan, stop, func(ev server.FaultEvent, err error) {
+		at := time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			fmt.Printf("t+%-7v %s node %d: %v\n", at, ev.Kind, ev.Node, err)
+			return
+		}
+		fmt.Printf("t+%-7v %s node %d\n", at, ev.Kind, ev.Node)
+	})
+	if err != nil {
+		return err
+	}
+	<-done
+	// Settle window: lifted partitions re-dial, health re-integrates,
+	// and in-flight failovers drain before the verdict is taken.
+	select {
+	case <-time.After(2 * time.Second):
+	case <-ctx.Done():
+	}
+	cancel()
+	lg := <-lgCh
+	if lg.err != nil {
+		return lg.err
+	}
+	res := lg.res
+
+	served := res.Requests - res.Errors
+	avail := 100.0
+	if res.Requests > 0 {
+		avail = 100 * float64(served) / float64(res.Requests)
+	}
+	fmt.Printf("\navailability: %d/%d requests served (%.2f%%) in %v, %.0f req/s, p_max %.1f ms\n",
+		served, res.Requests, avail, res.Elapsed.Round(time.Millisecond),
+		res.Throughput, res.LatencyMax*1e3)
+	fmt.Printf("error classes: timeout %d, refused %d, server %d, other %d\n",
+		res.ErrTimeout, res.ErrRefused, res.ErrServer, res.ErrOther)
+
+	chaosNodeTable(cl, reg, nodes)
+
+	if traceOut != "" {
+		if err := writeTraceFile(tracer, traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d spans to %s (failover annotations visible in press-trace)\n",
+			len(tracer.Records()), traceOut)
+	}
+	if withMetrics {
+		fmt.Println()
+		return reg.Report(os.Stdout)
+	}
+	return nil
+}
+
+// strategyByName resolves a Figure 4 bar label ("PB", "L16", "L4",
+// "L1", "NLB") to its dissemination strategy.
+func strategyByName(name string) (core.Strategy, error) {
+	for _, s := range core.Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	var known []string
+	for _, s := range core.Strategies() {
+		known = append(known, s.String())
+	}
+	return core.Strategy{}, fmt.Errorf("unknown dissemination strategy %q (choose from %s)",
+		name, strings.Join(known, ", "))
+}
+
+// chaosNodeTable prints the per-node fault-tolerance counters and each
+// node's final health view of its peers.
+func chaosNodeTable(cl *server.Cluster, reg *metrics.Registry, nodes int) {
+	fmt.Println()
+	t := stats.NewTable("Node", "Failovers", "Retries", "Reconnects", "Purged",
+		"HB sent", "HB missed", "Send errs", "Peers not alive")
+	reasons := []string{"peer-dead", "send-error", "timeout"}
+	byReason := make(map[string]int64, len(reasons))
+	for i := 0; i < nodes; i++ {
+		node := fmt.Sprintf("node=%d", i)
+		var failovers int64
+		for _, reason := range reasons {
+			v := reg.Counter("press_failovers_total", node, "reason="+reason).Value()
+			failovers += v
+			byReason[reason] += v
+		}
+		var sendErrs int64
+		for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
+			sendErrs += reg.Counter("press_node_send_errors_total", node, "type="+mt.String()).Value()
+		}
+		view := "-"
+		n := cl.Nodes()[i]
+		var sick []string
+		for p := 0; p < nodes; p++ {
+			if p == i {
+				continue
+			}
+			if st := n.PeerState(p); st != server.StateAlive {
+				sick = append(sick, fmt.Sprintf("%d:%s", p, st))
+			}
+		}
+		if len(sick) > 0 {
+			view = strings.Join(sick, " ")
+		}
+		if n.Degraded() {
+			view += " (degraded)"
+		}
+		t.AddRowf(i, failovers,
+			reg.Counter("press_retries_total", node).Value(),
+			reg.Counter("press_reconnects_total", node).Value(),
+			reg.Counter("press_dir_purged_total", node).Value(),
+			reg.Counter("press_heartbeats_sent_total", node).Value(),
+			reg.Counter("press_heartbeat_misses_total", node).Value(),
+			sendErrs, view)
+	}
+	fmt.Print(t)
+	fmt.Printf("failovers by reason: peer-dead %d, send-error %d, timeout %d\n",
+		byReason["peer-dead"], byReason["send-error"], byReason["timeout"])
 }
 
 // writeTraceFile dumps the tracer's recorded spans as Chrome

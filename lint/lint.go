@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		descriptorLifecycle,
 		spanLeak,
 		uncheckedCommsError,
+		retryWithoutBackoff,
 		goroutineLeak,
 		nakedSleep,
 	}

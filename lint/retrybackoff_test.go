@@ -1,0 +1,172 @@
+package lint
+
+import "testing"
+
+func TestRetryWithoutBackoff(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		test bool
+	}{
+		{
+			name: "tight retry with error in the condition",
+			src: `package fx
+
+func f(vi *VI, d *Descriptor) {
+	err := vi.PostSend(d)
+	for err != nil { // want
+		err = vi.PostSend(d)
+	}
+}
+`,
+		},
+		{
+			name: "tight retry with continue on failure",
+			src: `package fx
+
+func f(t Transport, dst int, m *Message) {
+	for { // want
+		err := t.Send(dst, m)
+		if err != nil {
+			continue
+		}
+		return
+	}
+}
+`,
+		},
+		{
+			name: "tight retry exiting only on success",
+			src: `package fx
+
+func f(vi *VI, a, s string) {
+	for { // want
+		if err := vi.Connect(a, s); err == nil {
+			break
+		}
+	}
+}
+`,
+		},
+		{
+			name: "transport call directly in the condition",
+			src: `package fx
+
+func f(vi *VI, d *Descriptor) {
+	for vi.PostSend(d) != nil { // want
+	}
+}
+`,
+		},
+		{
+			name: "retry paced by time.After is clean",
+			src: `package fx
+
+func f(t Transport, dst int, m *Message, done chan struct{}) {
+	for {
+		err := t.Send(dst, m)
+		if err == nil {
+			break
+		}
+		select {
+		case <-done:
+			return
+		case <-time.After(pause):
+		}
+	}
+}
+`,
+		},
+		{
+			name: "retry paced by a backoff schedule is clean",
+			src: `package fx
+
+func f(t Transport, dst int, m *Message, bo *backoff) {
+	err := t.Send(dst, m)
+	for err != nil {
+		pause, more := bo.next()
+		if !more {
+			break
+		}
+		time.Sleep(pause)
+		err = t.Send(dst, m)
+	}
+}
+`,
+		},
+		{
+			name: "per-item send loop is not a retry",
+			src: `package fx
+
+func f(t Transport, items []item) error {
+	for _, it := range items {
+		if err := t.Send(it.dst, it.msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+		},
+		{
+			name: "drain loop skipping failed items is not flagged as retry of the same op",
+			src: `package fx
+
+func f(t Transport, q *queue) {
+	for {
+		item, ok := q.pop()
+		if !ok {
+			return
+		}
+		err := t.Send(item.dst, item.msg)
+		if err == nil {
+			continue
+		}
+		report(err)
+	}
+}
+`,
+		},
+		{
+			name: "non-transport retry is out of scope",
+			src: `package fx
+
+func f(c *conn) {
+	for {
+		if err := c.ping(); err != nil {
+			continue
+		}
+		return
+	}
+}
+`,
+		},
+		{
+			name: "test files are exempt",
+			src: `package fx
+
+func f(vi *VI, d *Descriptor) {
+	for vi.PostSend(d) != nil {
+	}
+}
+`,
+			test: true,
+		},
+		{
+			name: "suppressed with justification",
+			src: `package fx
+
+func f(vi *VI, d *Descriptor) {
+	//presslint:ignore retry-without-backoff queue drains in nanoseconds in the simulator
+	for vi.PostSend(d) != nil {
+	}
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, retryWithoutBackoffName, tc.src, tc.test)
+		})
+	}
+}

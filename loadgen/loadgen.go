@@ -7,12 +7,15 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"press/stats"
@@ -48,6 +51,16 @@ type Result struct {
 	LatencyMean float64
 	LatencyStd  float64
 	LatencyMax  float64
+
+	// Error classes, for availability analysis: a node that hangs shows
+	// up as timeouts, a node whose listener is gone as refused
+	// connections, and a node that answers but fails internally as
+	// server errors. They sum to Errors (content-verification and other
+	// transport failures land in ErrOther).
+	ErrTimeout int64 // request or connection deadline exceeded
+	ErrRefused int64 // TCP connection refused or reset
+	ErrServer  int64 // HTTP 5xx from a responding node
+	ErrOther   int64
 }
 
 // Run replays the trace and reports throughput. The context cancels the
@@ -80,7 +93,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	var cursor atomic.Int64
-	var requests, errors, bytes atomic.Int64
+	var requests, errs, bytes atomic.Int64
+	var errTimeout, errRefused, errServer, errOther atomic.Int64
 	var mu sync.Mutex
 	var lat stats.Welford
 	latMax := 0.0
@@ -103,14 +117,31 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				name := cfg.Trace.Files[cfg.Trace.Requests[i]].Name
 				target := cfg.Targets[rng.Intn(len(cfg.Targets))]
 				t0 := time.Now()
-				body, err := get(ctx, client, target+name)
+				body, status, err := get(ctx, client, target+name)
 				d := time.Since(t0).Seconds()
 				requests.Add(1)
 				if err == nil && cfg.Verify != nil {
 					err = cfg.Verify(name, body)
 				}
+				if err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled) {
+					// The run was canceled with this request in flight.
+					// Its failure says nothing about the cluster, so it
+					// leaves the books entirely.
+					requests.Add(-1)
+					return
+				}
 				if err != nil {
-					errors.Add(1)
+					errs.Add(1)
+					switch classify(err, status) {
+					case classTimeout:
+						errTimeout.Add(1)
+					case classRefused:
+						errRefused.Add(1)
+					case classServer:
+						errServer.Add(1)
+					default:
+						errOther.Add(1)
+					}
 					continue
 				}
 				bytes.Add(int64(len(body)))
@@ -128,10 +159,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	r := &Result{
 		Requests:   requests.Load(),
-		Errors:     errors.Load(),
+		Errors:     errs.Load(),
 		Bytes:      bytes.Load(),
 		Elapsed:    elapsed,
 		LatencyMax: latMax,
+		ErrTimeout: errTimeout.Load(),
+		ErrRefused: errRefused.Load(),
+		ErrServer:  errServer.Load(),
+		ErrOther:   errOther.Load(),
 	}
 	if elapsed > 0 {
 		r.Throughput = float64(r.Requests-r.Errors) / elapsed.Seconds()
@@ -141,22 +176,54 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return r, nil
 }
 
-func get(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+// errClass buckets one failed request for availability analysis.
+type errClass int
+
+const (
+	classOther errClass = iota
+	classTimeout
+	classRefused
+	classServer
+)
+
+// classify maps a request failure to its class. status is the HTTP
+// status when a response arrived, 0 otherwise.
+func classify(err error, status int) errClass {
+	if err == nil {
+		return classOther
+	}
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return classTimeout
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return classRefused
+	}
+	if status >= 500 {
+		return classServer
+	}
+	return classOther
+}
+
+// get fetches one URL. status is the HTTP status of any response that
+// arrived (0 when the request never produced one); a non-2xx status is
+// also reported as an error.
+func get(ctx context.Context, client *http.Client, url string) ([]byte, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("loadgen: GET %s: %s", url, resp.Status)
+		return nil, resp.StatusCode, fmt.Errorf("loadgen: GET %s: %s", url, resp.Status)
 	}
-	return body, nil
+	return body, resp.StatusCode, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"syscall"
 	"testing"
 	"time"
 
@@ -73,6 +74,106 @@ func TestRunAgainstRealCluster(t *testing.T) {
 	}
 }
 
+// TestAvailabilityKillNodeMidRun crashes one node of a VIA cluster
+// while a load run is in flight. The cluster's failover machinery keeps
+// it available: the run completes, the overwhelming majority of
+// requests succeed, and whatever failed is accounted to an error class.
+func TestAvailabilityKillNodeMidRun(t *testing.T) {
+	tr, err := trace.Synthesize(trace.Spec{
+		Name: "avail", NumFiles: 16, AvgFileKB: 4,
+		NumRequests: 1200, AvgReqKB: 3, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes = 4
+	const victim = 2
+	cl, err := server.Start(server.Config{
+		Nodes: nodes, Trace: tr, Transport: server.TransportVIA,
+		CacheBytes: 1 << 20, DiskDelay: 50 * time.Microsecond,
+		Health: server.HealthConfig{
+			HeartbeatInterval: 100 * time.Millisecond,
+			SuspectAfter:      300 * time.Millisecond,
+			DeadAfter:         600 * time.Millisecond,
+			FailoverTimeout:   1500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	targets := make([]string, nodes)
+	for i, a := range cl.Addrs() {
+		targets[i] = "http://" + a
+	}
+	resCh := make(chan *Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := Run(context.Background(), Config{
+			Targets:     targets,
+			Trace:       tr,
+			Concurrency: 4,
+			Seed:        9,
+			Timeout:     10 * time.Second,
+		})
+		resCh <- res
+		errCh <- err
+	}()
+
+	time.Sleep(150 * time.Millisecond) // run against a healthy cluster first
+	if err := cl.CrashNode(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != int64(len(tr.Requests)) {
+		t.Errorf("run stopped early: %d of %d requests", res.Requests, len(tr.Requests))
+	}
+	if classes := res.ErrTimeout + res.ErrRefused + res.ErrServer + res.ErrOther; classes != res.Errors {
+		t.Errorf("error classes sum to %d, total errors %d", classes, res.Errors)
+	}
+	// Availability: a single crashed node must not take down the run.
+	// The crash legitimately fails its in-flight requests, nothing more.
+	if res.Errors > res.Requests/5 {
+		t.Errorf("%d of %d requests failed; cluster did not stay available", res.Errors, res.Requests)
+	}
+	// The cluster is still serving after the run, on every live node.
+	for i := 0; i < nodes; i++ {
+		if i == victim {
+			continue
+		}
+		if _, err := server.Fetch(cl.URL(i), tr.Files[0].Name); err != nil {
+			t.Errorf("fetch via node %d after crash: %v", i, err)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		want   errClass
+	}{
+		{nil, 200, classOther},
+		{context.DeadlineExceeded, 0, classTimeout},
+		{fmt.Errorf("wrap: %w", syscall.ECONNREFUSED), 0, classRefused},
+		{fmt.Errorf("wrap: %w", syscall.ECONNRESET), 0, classRefused},
+		{fmt.Errorf("loadgen: GET x: 500 Internal Server Error"), 500, classServer},
+		{fmt.Errorf("loadgen: GET x: 503 Service Unavailable"), 503, classServer},
+		{fmt.Errorf("content mismatch"), 200, classOther},
+		{fmt.Errorf("some transport error"), 0, classOther},
+	}
+	for i, c := range cases {
+		if got := classify(c.err, c.status); got != c.want {
+			t.Errorf("case %d: classify(%v, %d) = %v, want %v", i, c.err, c.status, got, c.want)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	tr := loadgenTrace(t)
 	if _, err := Run(context.Background(), Config{Trace: tr}); err == nil {
@@ -103,6 +204,9 @@ func TestRunContextCancel(t *testing.T) {
 		}
 		if res.Errors == 0 {
 			t.Error("expected connection errors")
+		}
+		if res.ErrRefused == 0 {
+			t.Error("refused connections not classified")
 		}
 	}()
 	time.Sleep(20 * time.Millisecond)

@@ -28,6 +28,13 @@ echo "==> go test -race -count=1 tracing integration"
 go test -race -count=1 -run 'TestClusterTrac' ./server
 go test -race -count=1 -run 'TestRunTracing' ./cluster
 
+# The fault-tolerance layer is where the concurrency is hardest: the
+# health state machine, failover of in-flight forwards, and fabric-level
+# chaos all race the main loops by construction. Run the chaos suite
+# uncached under the race detector.
+echo "==> go test -race chaos suite"
+go test -race -count=1 -run 'Chaos|Failover|Health' ./server/... ./cluster/...
+
 echo "==> presslint ./..."
 go run ./cmd/presslint ./...
 

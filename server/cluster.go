@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -82,6 +83,16 @@ type Config struct {
 	// cache/disk path and back. Nil (the default) disables tracing on
 	// every hot path at the cost of one pointer test.
 	Tracer *tracing.Tracer
+	// RMWTimeout bounds the wait for a remote-memory-write completion
+	// (default DefaultRMWTimeout). Expiry surfaces as *RMWTimeoutError,
+	// distinguishable from a hard via.ErrLinkDown.
+	RMWTimeout time.Duration
+	// Retry bounds in-place retries of transient transport failures;
+	// zero value selects the defaults.
+	Retry RetryConfig
+	// Health tunes failure detection and failover; zero value selects
+	// the defaults, Health.Disabled turns the subsystem off.
+	Health HealthConfig
 	// ListenHost is the HTTP bind host (default 127.0.0.1).
 	ListenHost string
 	// ContentOblivious turns the cluster into the baseline server class
@@ -138,6 +149,19 @@ func (c *Config) withDefaults() (Config, error) {
 		return cfg, fmt.Errorf("server: file ring (%d) smaller than the large-file cutoff (%d)",
 			cfg.FileRingBytes, cfg.Policy.LargeFileBytes)
 	}
+	if cfg.RMWTimeout == 0 {
+		cfg.RMWTimeout = DefaultRMWTimeout
+	}
+	if cfg.RMWTimeout < 0 {
+		return cfg, fmt.Errorf("server: negative RMWTimeout %v", cfg.RMWTimeout)
+	}
+	var err error
+	if cfg.Retry, err = cfg.Retry.withDefaults(); err != nil {
+		return cfg, err
+	}
+	if cfg.Health, err = cfg.Health.withDefaults(); err != nil {
+		return cfg, err
+	}
 	if cfg.ListenHost == "" {
 		cfg.ListenHost = "127.0.0.1"
 	}
@@ -146,14 +170,15 @@ func (c *Config) withDefaults() (Config, error) {
 
 // Cluster is a running PRESS cluster serving HTTP on loopback.
 type Cluster struct {
-	cfg       Config
-	nodes     []*Node
-	fabric    *via.Fabric
-	httpLns   []net.Listener
-	httpSrvs  []*http.Server
-	addrs     []string
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	cfg         Config
+	nodes       []*Node
+	fabric      *via.Fabric
+	fabricAddrs []string // VIA NIC addresses, indexed by node
+	httpLns     []net.Listener
+	httpSrvs    []*http.Server
+	addrs       []string
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
 }
 
 // Start builds and launches the cluster: transports meshed, nodes
@@ -211,6 +236,7 @@ func Start(c Config) (*Cluster, error) {
 		}
 		cl.fabric = via.NewFabric(fabricOpts...)
 		addrs := make([]string, cfg.Nodes)
+		cl.fabricAddrs = addrs
 		vts := make([]*viaTransport, cfg.Nodes)
 		for i := range addrs {
 			addrs[i] = fmt.Sprintf("node%d", i)
@@ -225,6 +251,7 @@ func Start(c Config) (*Cluster, error) {
 				loadViaRMW: cfg.LoadViaRMW, window: cfg.Window,
 				batch: cfg.Batch, chunk: cfg.ChunkBytes,
 				fileRing: cfg.FileRingBytes, metrics: cfg.Metrics,
+				rmwTimeout: cfg.RMWTimeout, retry: cfg.Retry,
 				trc: cfg.Tracer.Collector(i),
 			})
 			if err != nil {
@@ -344,7 +371,15 @@ func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if res.err != nil {
 			req.span.AnnotateStr("error", res.err.Error())
 			req.span.End()
-			http.Error(w, res.err.Error(), http.StatusNotFound)
+			// A name outside the file population is the client's 404;
+			// anything else — a crashed service node, an exhausted
+			// failover — is the cluster failing and must look like it
+			// (5xx) so availability tooling classifies it as such.
+			code := http.StatusBadGateway
+			if errors.Is(res.err, ErrNoSuchFile) {
+				code = http.StatusNotFound
+			}
+			http.Error(w, res.err.Error(), code)
 			return
 		}
 		rep := req.span.StartChild("reply")
@@ -374,11 +409,20 @@ type nodeStatsJSON struct {
 	Replicas int64               `json:"replicas"`
 	Errors   int64               `json:"errors"`
 	Messages map[string][2]int64 `json:"messages"` // type -> [count, bytes]
+	// Peers is this node's health verdict per node ("alive", "suspect",
+	// "dead"; its own entry always "alive"); Degraded reports the
+	// content-oblivious fallback.
+	Peers    []string `json:"peers"`
+	Degraded bool     `json:"degraded"`
 }
 
 func (h *nodeHandler) serveStats(w http.ResponseWriter) {
 	ns := h.node.Stats()
 	ms := h.node.MsgStats()
+	peers := make([]string, h.node.cfg.Nodes)
+	for p := range peers {
+		peers[p] = h.node.PeerState(p).String()
+	}
 	out := nodeStatsJSON{
 		Node:     h.node.ID(),
 		Requests: ns.Requests,
@@ -389,6 +433,8 @@ func (h *nodeHandler) serveStats(w http.ResponseWriter) {
 		Replicas: ns.Replicas,
 		Errors:   ns.Errors,
 		Messages: map[string][2]int64{},
+		Peers:    peers,
+		Degraded: h.node.Degraded(),
 	}
 	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
 		out.Messages[mt.String()] = [2]int64{ms.Count[mt], ms.Bytes[mt]}

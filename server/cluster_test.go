@@ -287,6 +287,9 @@ func TestClusterDissemination(t *testing.T) {
 		t.Run(st.String(), func(t *testing.T) {
 			cfg := testClusterConfig(tr, TransportVIA)
 			cfg.Dissemination = st
+			// Idle heartbeats ride on load messages; disable health so the
+			// dissemination strategy alone decides the MsgLoad count.
+			cfg.Health.Disabled = true
 			cl, err := Start(cfg)
 			if err != nil {
 				t.Fatal(err)

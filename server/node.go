@@ -1,9 +1,11 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"press/cache"
 	"press/core"
@@ -63,12 +65,26 @@ type diskWaiter struct {
 
 // pendingRemote reassembles a file reply for a forwarded request. span
 // is the "forward" span covering queue-to-wire, wire, remote service,
-// and the reply's way back; it ends when the last chunk arrives.
+// and the reply's way back; it ends when the last chunk arrives. dst is
+// the node currently serving the request; tried accumulates every node
+// the request has been dispatched to so a failover never bounces back;
+// deadline re-dispatches the request even without a detected death.
 type pendingRemote struct {
 	req      *clientRequest
 	buf      []byte
 	received int
 	span     *tracing.Span
+	dst      int
+	tried    cache.NodeSet
+	deadline time.Time
+}
+
+// sendFailure is the send thread's report of a delivery it gave up on,
+// handed to the main loop which owns the health and failover state.
+type sendFailure struct {
+	dst int
+	msg *Message
+	err error
 }
 
 // nodeInstruments are the node-level registry counters separating
@@ -81,20 +97,46 @@ type nodeInstruments struct {
 	remote   *metrics.Counter
 	forward  *metrics.Counter
 	disk     *metrics.Counter
+
+	// Fault-tolerance families. sendErrs is indexed by message type
+	// (press_node_send_errors_total{node,type}); failovers by reason.
+	sendErrs  [core.NumMsgTypes]*metrics.Counter
+	retries   *metrics.Counter
+	failovers map[string]*metrics.Counter
+	purged    *metrics.Counter
+	degraded  *metrics.Gauge
 }
+
+// The failover reasons press_failovers_total distinguishes.
+const (
+	failoverPeerDead  = "peer-dead"  // health declared the service node dead
+	failoverSendError = "send-error" // the forward itself could not be delivered
+	failoverTimeout   = "timeout"    // reply overdue past FailoverTimeout
+)
 
 func newNodeInstruments(r *metrics.Registry, id int) nodeInstruments {
 	if !r.Enabled() {
 		return nodeInstruments{}
 	}
 	node := fmt.Sprintf("node=%d", id)
-	return nodeInstruments{
-		requests: r.Counter("press_requests_total", node),
-		local:    r.Counter("press_serve_local_total", node),
-		remote:   r.Counter("press_serve_remote_total", node),
-		forward:  r.Counter("press_serve_forward_total", node),
-		disk:     r.Counter("press_disk_reads_total", node),
+	ni := nodeInstruments{
+		requests:  r.Counter("press_requests_total", node),
+		local:     r.Counter("press_serve_local_total", node),
+		remote:    r.Counter("press_serve_remote_total", node),
+		forward:   r.Counter("press_serve_forward_total", node),
+		disk:      r.Counter("press_disk_reads_total", node),
+		retries:   r.Counter("press_retries_total", node),
+		purged:    r.Counter("press_dir_purged_total", node),
+		degraded:  r.Gauge("press_degraded", node),
+		failovers: make(map[string]*metrics.Counter, 3),
 	}
+	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
+		ni.sendErrs[mt] = r.Counter("press_node_send_errors_total", node, "type="+mt.String())
+	}
+	for _, reason := range []string{failoverPeerDead, failoverSendError, failoverTimeout} {
+		ni.failovers[reason] = r.Counter("press_failovers_total", node, "reason="+reason)
+	}
+	return ni
 }
 
 // NodeStats counts one node's request handling.
@@ -133,11 +175,19 @@ type Node struct {
 	nextReqID uint64
 	waiting   map[string][]diskWaiter
 
-	httpCh   chan *clientRequest
-	doneCh   chan struct{} // HTTP completion events (load decrement)
-	diskQ    *unboundedQueue[diskJob]
-	diskDone chan diskDone
-	sendQ    *unboundedQueue[outMsg]
+	// Fault tolerance, owned by the main loop except where noted.
+	health   *healthTracker
+	degraded bool // all peers dead: content-oblivious fallback
+	probing  []bool
+	degFlag  atomic.Bool // published copy of degraded
+
+	httpCh     chan *clientRequest
+	doneCh     chan struct{} // HTTP completion events (load decrement)
+	diskQ      *unboundedQueue[diskJob]
+	diskDone   chan diskDone
+	sendQ      *unboundedQueue[outMsg]
+	ctrlCh     chan func()      // closures run on the main loop
+	sendFailCh chan sendFailure // send thread -> main loop
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -157,10 +207,17 @@ type Node struct {
 // view adapts the node's state to core.View.
 type nodeView struct{ n *Node }
 
-func (v nodeView) Cachers(id cache.FileID) cache.NodeSet { return v.n.dir.Cachers(id) }
+// Cachers masks dead nodes out of the directory view: the policy must
+// never pick a node the cluster has routed around.
+func (v nodeView) Cachers(id cache.FileID) cache.NodeSet {
+	return v.n.dir.Cachers(id) & cache.NodeSet(v.n.health.AliveMask())
+}
 func (v nodeView) Load(node int) int {
 	if node == v.n.id {
 		return v.n.tracker.Load()
+	}
+	if v.n.health.isDead(node) {
+		return int(^uint(0) >> 1) // least-loaded search never lands here
 	}
 	return v.n.peerLoad[node]
 }
@@ -169,31 +226,35 @@ func (v nodeView) Nodes() int      { return v.n.cfg.Nodes }
 
 func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 	n := &Node{
-		id:        id,
-		cfg:       cfg,
-		store:     NewStore(cfg.Trace, cfg.DiskDelay),
-		transport: tr,
-		nic:       nic,
-		lru:       cache.NewLRU(cfg.CacheBytes),
-		content:   make(map[cache.FileID][]byte),
-		regions:   make(map[cache.FileID]*via.MemoryRegion),
-		dir:       cache.NewDirectory(cfg.Nodes, len(cfg.Trace.Files)),
-		policy:    core.NewPolicy(cfg.Policy),
-		tracker:   core.NewLoadTracker(cfg.Dissemination),
-		peerLoad:  make([]int, cfg.Nodes),
-		nameToID:  make(map[string]cache.FileID, len(cfg.Trace.Files)),
-		files:     cfg.Trace.Files,
-		pending:   make(map[uint64]*pendingRemote),
-		waiting:   make(map[string][]diskWaiter),
-		httpCh:    make(chan *clientRequest, 256),
-		doneCh:    make(chan struct{}, 1024),
-		diskQ:     newUnboundedQueue[diskJob](),
-		diskDone:  make(chan diskDone, 256),
-		sendQ:     newUnboundedQueue[outMsg](),
-		stop:      make(chan struct{}),
-		m:         newNodeInstruments(cfg.Metrics, id),
-		trc:       cfg.Tracer.Collector(id),
+		id:         id,
+		cfg:        cfg,
+		store:      NewStore(cfg.Trace, cfg.DiskDelay),
+		transport:  tr,
+		nic:        nic,
+		lru:        cache.NewLRU(cfg.CacheBytes),
+		content:    make(map[cache.FileID][]byte),
+		regions:    make(map[cache.FileID]*via.MemoryRegion),
+		dir:        cache.NewDirectory(cfg.Nodes, len(cfg.Trace.Files)),
+		policy:     core.NewPolicy(cfg.Policy),
+		tracker:    core.NewLoadTracker(cfg.Dissemination),
+		peerLoad:   make([]int, cfg.Nodes),
+		nameToID:   make(map[string]cache.FileID, len(cfg.Trace.Files)),
+		files:      cfg.Trace.Files,
+		pending:    make(map[uint64]*pendingRemote),
+		waiting:    make(map[string][]diskWaiter),
+		httpCh:     make(chan *clientRequest, 256),
+		doneCh:     make(chan struct{}, 1024),
+		diskQ:      newUnboundedQueue[diskJob](),
+		diskDone:   make(chan diskDone, 256),
+		sendQ:      newUnboundedQueue[outMsg](),
+		ctrlCh:     make(chan func(), 64),
+		sendFailCh: make(chan sendFailure, 256),
+		probing:    make([]bool, cfg.Nodes),
+		stop:       make(chan struct{}),
+		m:          newNodeInstruments(cfg.Metrics, id),
+		trc:        cfg.Tracer.Collector(id),
 	}
+	n.health = newHealthTracker(id, cfg.Nodes, cfg.Health, cfg.Retry.Seed, cfg.Metrics)
 	for i, f := range cfg.Trace.Files {
 		n.nameToID[f.Name] = cache.FileID(i)
 	}
@@ -227,6 +288,15 @@ func (n *Node) count(f func(*NodeStats)) {
 func (n *Node) mainLoop() {
 	defer n.wg.Done()
 	inbound := n.transport.Inbound()
+	// The health tick drives failure detection, idle heartbeats,
+	// reconnect probes, and overdue-reply failover; a nil channel (health
+	// off or a single-node cluster) removes the case entirely.
+	var tickCh <-chan time.Time
+	if n.healthActive() {
+		ticker := time.NewTicker(n.cfg.Health.HeartbeatInterval / 2)
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
 	for {
 		select {
 		case <-n.stop:
@@ -242,8 +312,22 @@ func (n *Node) mainLoop() {
 			n.handleMessage(m)
 		case d := <-n.diskDone:
 			n.handleDiskDone(d)
+		case f := <-n.ctrlCh:
+			f()
+		case sf := <-n.sendFailCh:
+			n.handleSendFailure(sf)
+		case now := <-tickCh:
+			n.healthTick(now)
 		}
 	}
+}
+
+// healthActive reports whether failure detection runs on this node. A
+// content-oblivious cluster does no intra-cluster communication at all
+// — the baseline PRESS is measured against — so it gets no heartbeats
+// either.
+func (n *Node) healthActive() bool {
+	return !n.cfg.Health.Disabled && n.cfg.Nodes > 1 && !n.cfg.ContentOblivious
 }
 
 func (n *Node) handleClient(r *clientRequest) {
@@ -254,11 +338,12 @@ func (n *Node) handleClient(r *clientRequest) {
 	id, ok := n.nameToID[r.name]
 	if !ok {
 		n.count(func(s *NodeStats) { s.Errors++ })
-		r.resp <- clientResult{err: fmt.Errorf("server: no such file %q", r.name)}
+		r.resp <- clientResult{err: fmt.Errorf("%w: %q", ErrNoSuchFile, r.name)}
 		return
 	}
-	if n.cfg.ContentOblivious {
-		// Baseline server class: no distribution decision at all.
+	if n.cfg.ContentOblivious || n.degraded {
+		// Baseline server class — or graceful degradation: an isolated
+		// node keeps serving from its own cache and disk.
 		n.serveLocal(r, id)
 		return
 	}
@@ -268,7 +353,7 @@ func (n *Node) handleClient(r *clientRequest) {
 	d := n.policy.Decide(n.id, id, size, first, nodeView{n})
 	dsp.Annotate("service", int64(d.Service))
 	dsp.End()
-	if d.Service == n.id {
+	if d.Service == n.id || n.health.isDead(d.Service) {
 		n.serveLocal(r, id)
 		return
 	}
@@ -278,7 +363,12 @@ func (n *Node) handleClient(r *clientRequest) {
 	reqID := n.nextReqID
 	fwd := r.span.StartChild("forward")
 	fwd.Annotate("dst", int64(d.Service))
-	n.pending[reqID] = &pendingRemote{req: r, span: fwd}
+	p := &pendingRemote{req: r, span: fwd, dst: d.Service,
+		tried: cache.NodeSet(0).Add(n.id).Add(d.Service)}
+	if n.healthActive() {
+		p.deadline = time.Now().Add(n.cfg.Health.FailoverTimeout)
+	}
+	n.pending[reqID] = p
 	n.send(d.Service, &Message{Type: core.MsgForward, ReqID: reqID, Name: r.name,
 		TraceID: fwd.Trace(), ParentSpan: fwd.ID()})
 }
@@ -389,6 +479,13 @@ func (n *Node) sendFile(dst int, reqID uint64, id cache.FileID, data []byte, par
 }
 
 func (n *Node) handleMessage(m *Message) {
+	// Every message from a peer is proof of life; a resurrection means
+	// the peer must be re-integrated into the caching view.
+	if n.healthActive() && m.From != n.id {
+		if n.health.noteRecv(m.From, time.Now()) {
+			n.reintegrate(m.From)
+		}
+	}
 	// Piggy-backed load information updates the sender's entry.
 	if m.Load >= 0 && m.From != n.id {
 		n.peerLoad[m.From] = int(m.Load)
@@ -439,7 +536,9 @@ func (n *Node) handleForward(m *Message) {
 // replication (Section 2.2).
 func (n *Node) handleFileChunk(m *Message) {
 	p := n.pending[m.ReqID]
-	if p == nil {
+	if p == nil || m.From != p.dst {
+		// Unknown request, or a stale reply from a node the request
+		// already failed over away from.
 		return
 	}
 	if p.buf == nil {
@@ -480,17 +579,27 @@ func (n *Node) loadChange(delta int) {
 	}
 }
 
-// send queues a message for the send thread.
+// send queues a message for the send thread. Any outbound message
+// doubles as a heartbeat, so the tracker learns it was sent.
 func (n *Node) send(dst int, m *Message) {
 	m.From = n.id
+	if n.healthActive() {
+		n.health.noteSent(dst, time.Now())
+	}
 	n.sendQ.push(outMsg{dst: dst, msg: m})
 }
 
 // sendThread drains the send queue, stamping the piggy-backed load and
-// calling the (possibly blocking) transport.
+// calling the (possibly blocking) transport. Transient failures — a
+// momentarily full queue, a dropped unreliable frame — are retried in
+// place with capped, jittered backoff; hard faults and exhausted
+// budgets are counted per message type and reported to the main loop,
+// which owns the health state and fails the owning request over instead
+// of silently dropping it.
 func (n *Node) sendThread() {
 	defer n.wg.Done()
 	pb := n.cfg.Dissemination.Kind == core.PiggyBack
+	bo := newBackoff(n.cfg.Retry, int64(n.id))
 	for {
 		item, ok := n.sendQ.pop()
 		if !ok {
@@ -508,17 +617,267 @@ func (n *Node) sendThread() {
 		ns := n.trc.StartSpan("net-send", item.msg.TraceID, item.msg.ParentSpan)
 		ns.AnnotateStr("type", item.msg.Type.String())
 		err := n.transport.Send(item.dst, item.msg)
-		ns.End()
-		if err != nil {
+		for bo.reset(); err != nil && transientSendErr(err); {
+			pause, more := bo.next()
+			if !more {
+				break
+			}
+			n.m.retries.Inc()
 			select {
 			case <-n.stop:
+				ns.End()
 				return
-			default:
-				n.count(func(s *NodeStats) { s.Errors++ })
+			case <-time.After(pause):
 			}
+			err = n.transport.Send(item.dst, item.msg)
+		}
+		ns.End()
+		if err == nil {
+			continue
+		}
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		n.m.sendErrs[item.msg.Type].Inc()
+		select {
+		case n.sendFailCh <- sendFailure{dst: item.dst, msg: item.msg, err: err}:
+		case <-n.stop:
+			return
 		}
 	}
 }
+
+// handleSendFailure reacts to a delivery the send thread gave up on.
+// Hard channel faults are evidence of death; anything else is grounds
+// for suspicion. A failed forward is re-dispatched immediately — the
+// client must not ride out its full timeout for a message that never
+// left this node.
+func (n *Node) handleSendFailure(sf sendFailure) {
+	n.count(func(s *NodeStats) { s.Errors++ })
+	if n.healthActive() {
+		hard := errors.Is(sf.err, ErrPeerDown) || errors.Is(sf.err, via.ErrLinkDown) ||
+			errors.Is(sf.err, via.ErrBroken)
+		if hard {
+			if n.health.markDead(sf.dst, time.Now()) {
+				n.onPeerDead(sf.dst, failoverSendError)
+			}
+		} else {
+			n.health.noteSendFault(sf.dst)
+		}
+	}
+	if sf.msg.Type != core.MsgForward {
+		return
+	}
+	p := n.pending[sf.msg.ReqID]
+	if p == nil || p.dst != sf.dst {
+		return
+	}
+	if !n.healthActive() {
+		// No failover machinery: fail the owning request promptly
+		// instead of letting the client time out.
+		delete(n.pending, sf.msg.ReqID)
+		p.span.AnnotateStr("error", sf.err.Error())
+		p.span.End()
+		p.req.resp <- clientResult{err: fmt.Errorf("server: forward to node %d: %w", sf.dst, sf.err)}
+		return
+	}
+	n.failover(sf.msg.ReqID, p, failoverSendError)
+}
+
+// healthTick advances failure detection and everything driven by it:
+// silence-based state transitions, idle heartbeats, reconnect probes to
+// dead peers, and failover of forwarded requests whose reply is overdue.
+func (n *Node) healthTick(now time.Time) {
+	for _, tr := range n.health.tick(now) {
+		if tr.to == StateDead {
+			n.onPeerDead(tr.peer, failoverPeerDead)
+		}
+	}
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if p == n.id {
+			continue
+		}
+		if n.health.heartbeatDue(p, now) {
+			n.health.hbSent.Inc()
+			n.send(p, &Message{Type: core.MsgLoad, Load: int32(n.tracker.Load())})
+		}
+		if n.health.probeDue(p, now) {
+			n.probe(p)
+		}
+	}
+	for reqID, p := range n.pending {
+		if !p.deadline.IsZero() && now.After(p.deadline) {
+			n.failover(reqID, p, failoverTimeout)
+		}
+	}
+	n.updateDegraded()
+}
+
+// onPeerDead routes the cluster around a dead node: its channel fails
+// fast (parked senders wake), its entries leave the caching view, and
+// every request it was serving is re-dispatched.
+func (n *Node) onPeerDead(peer int, reason string) {
+	if ft, ok := n.transport.(faultTransport); ok {
+		ft.PeerDown(peer, fmt.Errorf("health: declared dead (%s)", reason))
+	}
+	purged := n.dir.PurgeNode(peer)
+	n.m.purged.Add(int64(purged))
+	n.peerLoad[peer] = 0
+	for reqID, p := range n.pending {
+		if p.dst == peer {
+			n.failover(reqID, p, failoverPeerDead)
+		}
+	}
+	n.updateDegraded()
+}
+
+// failover re-dispatches a forwarded request: to the least-loaded alive
+// cacher it has not tried yet, else to the local disk — the paper's
+// locality goal yields to availability. A half-received reply from the
+// previous service node is discarded.
+func (n *Node) failover(reqID uint64, p *pendingRemote, reason string) {
+	delete(n.pending, reqID)
+	n.m.failovers[reason].Inc()
+	p.span.AnnotateStr("failover", reason)
+	id, ok := n.nameToID[p.req.name]
+	if !ok {
+		p.span.End()
+		n.count(func(s *NodeStats) { s.Errors++ })
+		p.req.resp <- clientResult{err: fmt.Errorf("%w: %q", ErrNoSuchFile, p.req.name)}
+		return
+	}
+	dst := n.pickFailover(id, p.tried)
+	if dst < 0 {
+		p.span.Annotate("failover-dst", int64(n.id))
+		p.span.End()
+		n.serveLocal(p.req, id)
+		return
+	}
+	p.dst = dst
+	p.tried = p.tried.Add(dst)
+	p.buf, p.received = nil, 0
+	p.deadline = time.Now().Add(n.cfg.Health.FailoverTimeout)
+	p.span.Annotate("failover-dst", int64(dst))
+	n.pending[reqID] = p
+	n.send(dst, &Message{Type: core.MsgForward, ReqID: reqID, Name: p.req.name,
+		TraceID: p.span.Trace(), ParentSpan: p.span.ID()})
+}
+
+// pickFailover returns the least-loaded alive cacher of the file not
+// yet tried, -1 if none.
+func (n *Node) pickFailover(id cache.FileID, tried cache.NodeSet) int {
+	set := n.dir.Cachers(id) & cache.NodeSet(n.health.AliveMask())
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for _, c := range set.Nodes() {
+		if c == n.id || tried.Has(c) {
+			continue
+		}
+		if l := n.peerLoad[c]; l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	return best
+}
+
+// reintegrate welcomes a peer back from the dead: this node's view of
+// it was purged, and a restarted process lost its directory, so
+// re-announce everything cached here. The peer's own broadcasts rebuild
+// this node's view of its cache.
+func (n *Node) reintegrate(peer int) {
+	n.peerLoad[peer] = 0
+	if !n.cfg.ContentOblivious {
+		for id := range n.content {
+			n.send(peer, &Message{Type: core.MsgCaching, Name: n.files[id].Name, Cached: true})
+		}
+	}
+	n.updateDegraded()
+}
+
+// updateDegraded recomputes the content-oblivious fallback flag: with
+// every peer dead there is no cluster left to aggregate caches with.
+func (n *Node) updateDegraded() {
+	deg := n.healthActive() && n.health.alivePeers() == 0
+	if deg == n.degraded {
+		return
+	}
+	n.degraded = deg
+	n.degFlag.Store(deg)
+	if deg {
+		n.m.degraded.Set(1)
+	} else {
+		n.m.degraded.Set(0)
+	}
+}
+
+// probe tries to re-establish the channel to a dead peer off the main
+// loop. Only the lower-indexed side dials (mirroring mesh construction);
+// the passive side recovers when the peer's dial lands and its traffic
+// resumes. At most one probe per peer is in flight.
+func (n *Node) probe(peer int) {
+	ft, ok := n.transport.(faultTransport)
+	if !ok || peer < n.id || n.probing[peer] {
+		return
+	}
+	n.probing[peer] = true
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		err := ft.Reconnect(peer)
+		n.inject(func() {
+			n.probing[peer] = false
+			if err != nil {
+				return // next probe is already scheduled with backoff
+			}
+			n.health.markAlive(peer, time.Now())
+			n.reintegrate(peer)
+		})
+	}()
+}
+
+// inject runs f on the main loop; dropped when the node is stopping.
+func (n *Node) inject(f func()) {
+	select {
+	case n.ctrlCh <- f:
+	case <-n.stop:
+	}
+}
+
+// crashLocalState models a process crash for the chaos harness: cache
+// contents, directory knowledge, and in-flight forwarded requests all
+// vanish, as they would across a real process restart. Runs on the main
+// loop (via inject).
+func (n *Node) crashLocalState() {
+	for id := range n.content {
+		delete(n.content, id)
+	}
+	for id, reg := range n.regions {
+		_ = n.nic.DeregisterMemory(reg)
+		delete(n.regions, id)
+	}
+	n.lru = cache.NewLRU(n.cfg.CacheBytes)
+	n.dir = cache.NewDirectory(n.cfg.Nodes, len(n.files))
+	for reqID, p := range n.pending {
+		delete(n.pending, reqID)
+		p.span.AnnotateStr("error", "node crashed")
+		p.span.End()
+		p.req.resp <- clientResult{err: fmt.Errorf("server: node %d crashed", n.id)}
+	}
+}
+
+// PeerState is this node's health verdict on a peer, readable from any
+// goroutine; a node's verdict on itself is always StateAlive.
+func (n *Node) PeerState(peer int) NodeState {
+	if peer == n.id {
+		return StateAlive
+	}
+	return n.health.State(peer)
+}
+
+// Degraded reports whether the node has fallen back to content-
+// oblivious local service because every peer is dead.
+func (n *Node) Degraded() bool { return n.degFlag.Load() }
 
 // diskThread performs blocking disk reads so the main loop never does.
 func (n *Node) diskThread() {

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"press/via"
+)
+
+// Bounded retry with capped exponential backoff and jitter. Transient
+// transport failures — a full send queue, a lossy unreliable channel —
+// deserve another attempt after a short pause; hard faults (a severed
+// link, a broken VI, a peer marked down) do not, and retrying them only
+// delays failover. The classification lives here so every retry site in
+// the server agrees on it.
+
+// RetryConfig bounds the retry policy for transient transport failures.
+// The zero value selects the defaults.
+type RetryConfig struct {
+	// Attempts is the maximum number of tries per operation, the first
+	// included. Default 4.
+	Attempts int
+	// Base is the backoff before the first retry. Default 100µs — the
+	// send queue drains in microseconds on the software VIA.
+	Base time.Duration
+	// Cap bounds the exponentially growing backoff. Default 5ms.
+	Cap time.Duration
+	// Seed makes the jitter deterministic for reproducible tests.
+	// Default 1.
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() (RetryConfig, error) {
+	if c.Attempts == 0 {
+		c.Attempts = 4
+	}
+	if c.Base == 0 {
+		c.Base = 100 * time.Microsecond
+	}
+	if c.Cap == 0 {
+		c.Cap = 5 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Attempts < 1 {
+		return c, fmt.Errorf("server: RetryConfig.Attempts %d < 1", c.Attempts)
+	}
+	if c.Base < 0 || c.Cap < c.Base {
+		return c, fmt.Errorf("server: RetryConfig backoff range [%v, %v] invalid", c.Base, c.Cap)
+	}
+	return c, nil
+}
+
+// backoff walks one operation's retry schedule: exponential from Base,
+// capped at Cap, with each step jittered to [step/2, step) so colliding
+// retriers desynchronize. Not safe for concurrent use; each goroutine
+// owns its own.
+type backoff struct {
+	cfg     RetryConfig
+	rng     *rand.Rand
+	attempt int
+}
+
+func newBackoff(cfg RetryConfig, seedOffset int64) *backoff {
+	return &backoff{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + seedOffset))}
+}
+
+// next returns the pause before the next attempt, or ok == false when
+// the attempt budget is exhausted.
+func (b *backoff) next() (time.Duration, bool) {
+	b.attempt++
+	if b.attempt >= b.cfg.Attempts {
+		return 0, false
+	}
+	step := b.cfg.Base << (b.attempt - 1)
+	if step > b.cfg.Cap || step <= 0 {
+		step = b.cfg.Cap
+	}
+	half := step / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1)), true
+}
+
+// reset rewinds the schedule after a success.
+func (b *backoff) reset() { b.attempt = 0 }
+
+// transientSendErr reports whether a send failure is worth retrying in
+// place: backpressure clears, a dropped unreliable frame can be re-sent.
+// Link faults, broken VIs, closed transports, peers marked down, and
+// remote-write timeouts are hard — the caller should fail over instead.
+func transientSendErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, via.ErrLinkDown) || errors.Is(err, via.ErrBroken) ||
+		errors.Is(err, via.ErrClosed) || errors.Is(err, ErrPeerDown) {
+		return false
+	}
+	// A superseded channel means the peer reconnected mid-send: the retry
+	// rides the fresh channel, so this is transient by construction.
+	return errors.Is(err, via.ErrQueueFull) || errors.Is(err, via.ErrNoRecvDescriptor) ||
+		errors.Is(err, errSuperseded)
+}

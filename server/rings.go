@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -50,11 +51,12 @@ func newRingOut(handle via.Handle, slots int) *rmwRingOut {
 }
 
 // write stages the payload into a slot image and remote-writes it.
-// The caller serializes writes per peer. trc/trace/parent carry the
-// sender's trace context so a blocked slot acquire records as a
-// credit-stall span (nil collector or zero trace: no span, no cost).
+// The caller serializes writes per peer and bounds completion waits by
+// timeout. trc/trace/parent carry the sender's trace context so a
+// blocked slot acquire records as a credit-stall span (nil collector or
+// zero trace: no span, no cost).
 func (r *rmwRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff int, payload []byte,
-	trc *tracing.Collector, trace tracing.TraceID, parent tracing.SpanID) error {
+	timeout time.Duration, trc *tracing.Collector, trace tracing.TraceID, parent tracing.SpanID) error {
 	if len(payload) > ctrlSlotSize-8 {
 		return fmt.Errorf("server: control message of %d bytes exceeds ring slot", len(payload))
 	}
@@ -67,7 +69,7 @@ func (r *rmwRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff int
 		stall.Cancel()
 	}
 	if !ok {
-		return via.ErrClosed
+		return r.gate.closedErr()
 	}
 	var slot [ctrlSlotSize]byte
 	binary.LittleEndian.PutUint32(slot[0:], uint32(len(payload)))
@@ -81,7 +83,7 @@ func (r *rmwRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff int
 	if err := vi.PostRDMAWrite(d, r.handle, off); err != nil {
 		return err
 	}
-	if err := d.Wait(rmwWaitTimeout); err != nil {
+	if err := waitRMW(d, "ctrl-ring", timeout); err != nil {
 		return err
 	}
 	r.next++
@@ -174,7 +176,7 @@ func newFileRingOut(metaHandle, dataHandle via.Handle, dataSize int) *fileRingOu
 // spans, one per gate that actually waited.
 func (f *fileRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff int,
 	src *via.MemoryRegion, srcOff, n int, reqID uint64,
-	trc *tracing.Collector, trace tracing.TraceID, parent tracing.SpanID) error {
+	timeout time.Duration, trc *tracing.Collector, trace tracing.TraceID, parent tracing.SpanID) error {
 	if uint64(n) > f.dataSize {
 		return fmt.Errorf("server: file of %d bytes exceeds %d-byte data ring", n, f.dataSize)
 	}
@@ -195,13 +197,13 @@ func (f *fileRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff in
 		stall.Cancel()
 	}
 	if !ok {
-		return via.ErrClosed
+		return f.dataGate.g.closedErr()
 	}
 	dd := via.MustDescriptor(via.Segment{Region: src, Offset: srcOff, Len: n})
 	if err := vi.PostRDMAWrite(dd, f.dataHandle, int(phys)); err != nil {
 		return err
 	}
-	if err := dd.Wait(rmwWaitTimeout); err != nil {
+	if err := waitRMW(dd, "file-data", timeout); err != nil {
 		return err
 	}
 	virtEnd := f.virt + uint64(n)
@@ -215,7 +217,7 @@ func (f *fileRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff in
 		stall.Cancel()
 	}
 	if !ok {
-		return via.ErrClosed
+		return f.metaGate.closedErr()
 	}
 	var meta [fileMetaSlotSize]byte
 	binary.LittleEndian.PutUint64(meta[0:], reqID)
@@ -231,7 +233,7 @@ func (f *fileRingOut) write(vi *via.VI, staging *via.MemoryRegion, stagingOff in
 	if err := vi.PostRDMAWrite(md, f.metaHandle, metaOff); err != nil {
 		return err
 	}
-	if err := md.Wait(rmwWaitTimeout); err != nil {
+	if err := waitRMW(md, "file-meta", timeout); err != nil {
 		return err
 	}
 	f.nextMeta++
@@ -343,6 +345,38 @@ func (d *dataGate) acquire(virtEnd uint64, closedErr error) (ok, stalled bool) {
 func (d *dataGate) setConsumed(v uint64) { d.g.setConsumed(int64(v)) }
 func (d *dataGate) close()               { d.g.close() }
 
-// rmwWaitTimeout bounds the wait for a remote write completion; the
-// engine processes work in bounded time, so expiry indicates shutdown.
-const rmwWaitTimeout = 30 * time.Second
+// DefaultRMWTimeout is the default bound on the wait for a remote
+// write completion (Config.RMWTimeout). The engine processes work in
+// bounded time, so expiry indicates shutdown or a wedged peer.
+const DefaultRMWTimeout = 30 * time.Second
+
+// RMWTimeoutError reports a remote-memory-write completion wait that
+// expired. It is distinct from a link fault: the link may be fine and
+// the peer merely wedged, so callers can choose failover rather than
+// treating it as ErrLinkDown. errors.Is(err, via.ErrTimeout) also
+// matches, via Unwrap.
+type RMWTimeoutError struct {
+	// Op names the ring that timed out: ctrl-ring, file-data, file-meta.
+	Op string
+	// Timeout is the configured bound that expired.
+	Timeout time.Duration
+}
+
+func (e *RMWTimeoutError) Error() string {
+	return fmt.Sprintf("server: remote write (%s) not completed within %v", e.Op, e.Timeout)
+}
+
+func (e *RMWTimeoutError) Unwrap() error { return via.ErrTimeout }
+
+// waitRMW waits for d's completion, converting an expired wait into a
+// typed RMWTimeoutError while passing link faults through untouched.
+func waitRMW(d *via.Descriptor, op string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultRMWTimeout
+	}
+	err := d.Wait(timeout)
+	if errors.Is(err, via.ErrTimeout) {
+		return &RMWTimeoutError{Op: op, Timeout: timeout}
+	}
+	return err
+}

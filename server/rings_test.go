@@ -129,7 +129,7 @@ func TestCtrlRingDeliversInOrder(t *testing.T) {
 	fx := newRingFixture(t, 1<<16)
 	for i := 0; i < 10; i++ {
 		msg := []byte(fmt.Sprintf("ctrl-%03d", i))
-		if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg, nil, 0, 0); err != nil {
+		if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg, 0, nil, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -156,7 +156,7 @@ func TestCtrlRingWrapsAround(t *testing.T) {
 		// loop is not consuming.
 		for wrote < total && wrote-read < ctrlSlots-8 {
 			msg := []byte(fmt.Sprintf("wrap-%04d", wrote))
-			if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg, nil, 0, 0); err != nil {
+			if err := fx.ctrlOut.write(fx.va, fx.staging, 0, msg, 0, nil, 0, 0); err != nil {
 				t.Fatal(err)
 			}
 			wrote++
@@ -176,7 +176,7 @@ func TestCtrlRingWrapsAround(t *testing.T) {
 func TestCtrlRingRejectsOversized(t *testing.T) {
 	fx := newRingFixture(t, 1<<16)
 	big := make([]byte, ctrlSlotSize)
-	if err := fx.ctrlOut.write(fx.va, fx.staging, 0, big, nil, 0, 0); err == nil {
+	if err := fx.ctrlOut.write(fx.va, fx.staging, 0, big, 0, nil, 0, 0); err == nil {
 		t.Fatal("oversized control message accepted")
 	}
 }
@@ -187,7 +187,7 @@ func TestFileRingRoundTrip(t *testing.T) {
 	if err := fx.src.Write(payload, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 42, nil, 0, 0); err != nil {
+	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 42, 0, nil, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	arr := fx.pollFile(t, false)
@@ -211,7 +211,7 @@ func TestFileRingWrapSkipsTail(t *testing.T) {
 		if err := fx.src.Write(payload, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i), nil, 0, 0); err != nil {
+		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i), 0, nil, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 		arr := fx.pollFile(t, i%2 == 0) // alternate extra-copy mode
@@ -235,7 +235,7 @@ func TestFileRingRejectsOversized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, src, 0, len(payload), 1, nil, 0, 0); err == nil {
+	if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, src, 0, len(payload), 1, 0, nil, 0, 0); err == nil {
 		t.Fatal("file larger than data ring accepted")
 	}
 }
@@ -250,13 +250,13 @@ func TestFileRingBlocksUntilAcked(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i), nil, 0, 0); err != nil {
+		if err := fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), uint64(i), 0, nil, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 99, nil, 0, 0)
+		done <- fx.fileOut.write(fx.va, fx.staging, ctrlSlotSize, fx.src, 0, len(payload), 99, 0, nil, 0, 0)
 	}()
 	select {
 	case err := <-done:

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -8,6 +9,12 @@ import (
 
 	"press/trace"
 )
+
+// ErrNoSuchFile reports a request for a name outside the served file
+// population. The HTTP front end maps it to 404; every other internal
+// failure (a crashed service node, an exhausted failover) maps to 502
+// so availability tooling can tell the two apart.
+var ErrNoSuchFile = errors.New("server: no such file")
 
 // Store is a node's local disk: the full site content, as every PRESS
 // node holds the whole document tree on its SCSI disk. Reads pay a
@@ -58,7 +65,7 @@ func (s *Store) Read(name string) ([]byte, error) {
 	data, ok := s.files[name]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("server: no such file %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
 	}
 	if s.delay > 0 {
 		//presslint:ignore naked-sleep the simulated disk latency IS the modeled workload delay (paper's disk-bound working sets)

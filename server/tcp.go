@@ -16,12 +16,19 @@ import (
 // paper's portable baseline. Flow control is TCP's own, transparent to
 // the server (Section 2.2), so no flow messages appear on the wire.
 type tcpTransport struct {
-	self    int
+	self      int
+	nodes     int
+	peerAddrs []string
+	inbound   chan *Message
+	ins       transportInstruments
+	trc       *tracing.Collector
+	done      chan struct{}
+
+	// peersMu guards the peer table and the closed flag; peers[i] is
+	// replaced wholesale when a connection is re-established.
+	peersMu sync.RWMutex
 	peers   []*tcpPeer // indexed by node, nil for self
-	inbound chan *Message
-	ins     transportInstruments
-	trc     *tracing.Collector
-	done    chan struct{}
+	closed  bool
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -31,6 +38,27 @@ type tcpTransport struct {
 type tcpPeer struct {
 	conn net.Conn
 	mu   sync.Mutex // serializes frame writes
+
+	downMu  sync.Mutex
+	downErr error
+}
+
+// markDown records the first failure and closes the socket, unblocking
+// any reader or writer parked on it.
+func (p *tcpPeer) markDown(err error) {
+	p.downMu.Lock()
+	if p.downErr == nil {
+		p.downErr = err
+	}
+	p.downMu.Unlock()
+	p.conn.Close()
+}
+
+// down returns the recorded failure, nil while healthy.
+func (p *tcpPeer) down() error {
+	p.downMu.Lock()
+	defer p.downMu.Unlock()
+	return p.downErr
 }
 
 const maxFrame = 8 << 20
@@ -41,13 +69,15 @@ const maxFrame = 8 << 20
 // sets up VI end-points with each other node.
 func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *metrics.Registry, trc *tracing.Collector) (*tcpTransport, error) {
 	t := &tcpTransport{
-		self:    self,
-		peers:   make([]*tcpPeer, nodes),
-		inbound: make(chan *Message, 1024),
-		done:    make(chan struct{}),
-		ln:      ln,
-		ins:     newTransportInstruments(reg, self),
-		trc:     trc,
+		self:      self,
+		nodes:     nodes,
+		peerAddrs: append([]string(nil), peerAddrs...),
+		peers:     make([]*tcpPeer, nodes),
+		inbound:   make(chan *Message, 1024),
+		done:      make(chan struct{}),
+		ln:        ln,
+		ins:       newTransportInstruments(reg, self),
+		trc:       trc,
 	}
 
 	errc := make(chan error, nodes)
@@ -109,19 +139,137 @@ func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *
 			t.Close()
 			return nil, fmt.Errorf("server: node %d missing connection to %d", self, i)
 		}
-		t.wg.Add(1)
-		go t.readLoop(p.conn)
+		if !t.startReadLoop(p) {
+			break
+		}
 	}
+	// The initial mesh is up; further accepts are peers re-dialing
+	// after a failure.
+	t.peersMu.Lock()
+	if !t.closed {
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	t.peersMu.Unlock()
 	return t, nil
 }
 
+// peer returns the live connection to dst, nil if none.
+func (t *tcpTransport) peer(dst int) *tcpPeer {
+	t.peersMu.RLock()
+	defer t.peersMu.RUnlock()
+	if dst < 0 || dst >= len(t.peers) {
+		return nil
+	}
+	return t.peers[dst]
+}
+
+// setPeer installs a fresh connection, retiring any predecessor so its
+// read loop exits and blocked writers fail over.
+func (t *tcpTransport) setPeer(id int, p *tcpPeer) {
+	t.peersMu.Lock()
+	old := t.peers[id]
+	t.peers[id] = p
+	t.peersMu.Unlock()
+	if old != nil && old != p {
+		old.markDown(fmt.Errorf("%w: node %d connection superseded by reconnect", ErrPeerDown, id))
+	}
+}
+
+// startReadLoop spawns the per-connection reader unless the transport
+// is already closing. Registration happens under the table lock so
+// Close cannot race past wg.Wait while a loop is being added.
+func (t *tcpTransport) startReadLoop(p *tcpPeer) bool {
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.wg.Add(1)
+	go t.readLoop(p)
+	return true
+}
+
+// PeerDown marks the connection to dst dead: blocked writes unblock
+// (the socket closes under them) and future sends fail fast with
+// ErrPeerDown until a reconnect installs a fresh connection.
+func (t *tcpTransport) PeerDown(dst int, reason error) {
+	if p := t.peer(dst); p != nil {
+		p.markDown(fmt.Errorf("%w: node %d: %v", ErrPeerDown, dst, reason))
+	}
+}
+
+// Reconnect re-dials dst with the same hello handshake as the initial
+// mesh; only the lower-indexed side dials, the other side's acceptLoop
+// answers.
+func (t *tcpTransport) Reconnect(dst int) error {
+	if dst == t.self || dst < 0 || dst >= t.nodes {
+		return fmt.Errorf("server: bad reconnect destination %d", dst)
+	}
+	if dst < t.self {
+		return errPassiveRole
+	}
+	select {
+	case <-t.done:
+		return fmt.Errorf("server: transport closed")
+	default:
+	}
+	conn, err := net.Dial("tcp", t.peerAddrs[dst])
+	if err != nil {
+		return err
+	}
+	var hello [2]byte
+	binary.LittleEndian.PutUint16(hello[:], uint16(t.self))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return err
+	}
+	p := &tcpPeer{conn: conn}
+	t.setPeer(dst, p)
+	if !t.startReadLoop(p) {
+		conn.Close()
+	}
+	return nil
+}
+
+// acceptLoop answers post-mesh redials: a peer that lost its connection
+// to us identifies itself with the hello and supersedes the dead one.
+func (t *tcpTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		var hello [2]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		from := int(binary.LittleEndian.Uint16(hello[:]))
+		if from < 0 || from >= t.nodes || from == t.self {
+			conn.Close()
+			continue
+		}
+		p := &tcpPeer{conn: conn}
+		t.setPeer(from, p)
+		if !t.startReadLoop(p) {
+			conn.Close()
+			return
+		}
+	}
+}
+
 func (t *tcpTransport) Send(dst int, m *Message) error {
-	if dst < 0 || dst >= len(t.peers) || dst == t.self {
+	if dst < 0 || dst >= t.nodes || dst == t.self {
 		return fmt.Errorf("server: bad destination %d", dst)
 	}
-	p := t.peers[dst]
+	p := t.peer(dst)
 	if p == nil {
 		return fmt.Errorf("server: no connection to %d", dst)
+	}
+	if err := p.down(); err != nil {
+		return err
 	}
 	var cp *tracing.Span
 	if m.Type == core.MsgFile {
@@ -144,27 +292,43 @@ func (t *tcpTransport) Send(dst int, m *Message) error {
 	cp.End()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	_, err = p.conn.Write(frame)
+	if _, err = p.conn.Write(frame); err != nil {
+		// A TCP write error is a hard connection fault; poison the peer
+		// so subsequent sends fail fast instead of each timing out.
+		p.markDown(err)
+	}
 	return err
 }
 
-func (t *tcpTransport) readLoop(conn net.Conn) {
+func (t *tcpTransport) readLoop(p *tcpPeer) {
 	defer t.wg.Done()
+	conn := p.conn
+	fail := func(err error) {
+		select {
+		case <-t.done: // orderly shutdown, not a peer fault
+		default:
+			p.markDown(err)
+		}
+	}
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-			return // connection closed; expected at shutdown
+			fail(err)
+			return
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if n > maxFrame {
+			fail(fmt.Errorf("server: oversized frame of %d bytes", n))
 			return
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(conn, buf); err != nil {
+			fail(err)
 			return
 		}
 		m, err := DecodeMessage(buf)
 		if err != nil {
+			fail(err)
 			return
 		}
 		// Blocking here is the flow control: TCP backpressure reaches
@@ -188,10 +352,14 @@ func (t *tcpTransport) Metrics() TransportMetrics { return t.ins.metrics() }
 func (t *tcpTransport) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.done)
+		t.peersMu.Lock()
+		t.closed = true
+		peers := append([]*tcpPeer(nil), t.peers...)
+		t.peersMu.Unlock()
 		if t.ln != nil {
 			t.ln.Close()
 		}
-		for _, p := range t.peers {
+		for _, p := range peers {
 			if p != nil {
 				p.conn.Close()
 			}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"press/core"
 	"press/metrics"
+	"press/via"
 )
 
 // TransportMetrics is a transport's unified observability snapshot. It
@@ -42,6 +44,37 @@ type Transport interface {
 	Metrics() TransportMetrics
 	// Close tears the transport down; Inbound is closed afterwards.
 	Close() error
+}
+
+// ErrPeerDown marks a send addressed to a peer the transport has been
+// told is dead (see faultTransport.PeerDown). It is a hard failure:
+// retrying cannot help until the peer is reconnected.
+var ErrPeerDown = errors.New("server: peer down")
+
+// errPassiveRole is returned by Reconnect when re-establishing the
+// channel is the other side's job: the node with the lower index dials,
+// mirroring how the initial mesh was built, so concurrent reconnects of
+// the same pair cannot race.
+var errPassiveRole = errors.New("server: reconnect is dialed from the other side")
+
+// errSuperseded marks a send that failed because the peer re-dialed and
+// a fresh channel replaced the one the send was riding. It is the
+// opposite of evidence of death — the peer just proved it is alive — so
+// it is transient: the retry goes out on the fresh channel.
+var errSuperseded = errors.New("server: channel superseded by reconnect")
+
+// faultTransport is the optional fault-management surface of a
+// Transport. Both built-in transports implement it; the node type-
+// asserts so external Transport implementations keep working (they
+// simply never fail fast or reconnect).
+type faultTransport interface {
+	// PeerDown marks dst dead: in-flight and future sends to it fail
+	// promptly with an error wrapping ErrPeerDown instead of blocking on
+	// flow control.
+	PeerDown(dst int, reason error)
+	// Reconnect re-establishes the channel to dst after a failure. It
+	// returns errPassiveRole when dst is expected to dial us instead.
+	Reconnect(dst int) error
 }
 
 // msgAccounting counts messages per type on lock-free counters, either
@@ -120,6 +153,11 @@ type creditGate struct {
 	sent     int64
 	consumed int64
 	closed   bool
+	// failErr, when non-nil, is why the gate closed: peer death rather
+	// than orderly shutdown. Senders blocked on the window observe it
+	// instead of a generic closed error, so a request waiting for credit
+	// from a dead peer fails over immediately.
+	failErr error
 	// stalls, when set, counts acquires that had to wait (one per
 	// acquire, not per wakeup). Nil-safe, so gates on disabled
 	// transports leave it unset.
@@ -178,6 +216,29 @@ func (g *creditGate) close() {
 	g.closed = true
 	g.mu.Unlock()
 	g.cond.Broadcast()
+}
+
+// fail closes the gate attributing the closure to err; waiters parked
+// on acquire wake and their callers report err. The first failure
+// sticks; a plain close never overwrites it.
+func (g *creditGate) fail(err error) {
+	g.mu.Lock()
+	g.closed = true
+	if g.failErr == nil {
+		g.failErr = err
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// closedErr returns the error a failed acquire should surface.
+func (g *creditGate) closedErr() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.failErr != nil {
+		return g.failErr
+	}
+	return via.ErrClosed
 }
 
 func (g *creditGate) sentCount() int64 {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"time"
 
 	"press/core"
@@ -44,13 +45,19 @@ func (t *viaTransport) recvThread() {
 	}
 }
 
+// peerByVI routes a completion to its peer: the live table first, then
+// the pending set, so a reconnecting peer's first frames are not lost
+// in the window between Accept/Connect and promotion. Frames on a
+// retired VI find neither and are dropped.
 func (t *viaTransport) peerByVI(vi *via.VI) *viaPeer {
+	t.peersMu.RLock()
+	defer t.peersMu.RUnlock()
 	for _, p := range t.peers {
 		if p != nil && p.vi == vi {
 			return p
 		}
 	}
-	return nil
+	return t.pending[vi]
 }
 
 func (t *viaTransport) handleFrame(p *viaPeer, frame []byte) {
@@ -127,23 +134,30 @@ func (t *viaTransport) writeFlowCounter(p *viaPeer, off int, v uint64) {
 	if t.postRDMARetry(p.vi, d, handle, off) != nil {
 		return
 	}
-	_ = d.Wait(rmwWaitTimeout)
+	_ = d.Wait(t.cfg.rmwTimeout)
 }
 
+// postRDMARetry retries a momentarily full work queue a bounded number
+// of times with capped exponential backoff; counters are cumulative, so
+// giving up just leaves the credit for the next batch.
 func (t *viaTransport) postRDMARetry(vi *via.VI, d *via.Descriptor, h via.Handle, off int) error {
-	for {
+	pause := t.cfg.retry.Base
+	for attempt := 1; ; attempt++ {
 		//presslint:ignore descriptor-lifecycle re-post only happens after ErrQueueFull, which means the NIC never accepted the descriptor
 		err := vi.PostRDMAWrite(d, h, off)
-		if err == nil {
-			return nil
+		if !errors.Is(err, via.ErrQueueFull) {
+			return err
 		}
-		if err != via.ErrQueueFull {
+		if attempt >= t.cfg.retry.Attempts {
 			return err
 		}
 		select {
 		case <-t.done:
 			return via.ErrClosed
-		case <-time.After(50 * time.Microsecond):
+		case <-time.After(pause):
+		}
+		if pause *= 2; pause > t.cfg.retry.Cap {
+			pause = t.cfg.retry.Cap
 		}
 	}
 }
@@ -167,7 +181,14 @@ func (t *viaTransport) handleSetup(p *viaPeer, frame []byte) {
 	p.outFile.metaGate.stalls = t.ins.stalls
 	p.outFile.dataGate.g.stalls = t.ins.stalls
 	p.peerMu.Unlock()
-	close(p.ready)
+	// If the peer failed while the setup frame was in flight, the fresh
+	// rings must fail too, or a sender could park on them forever.
+	select {
+	case <-p.failed:
+		p.failGates(p.failErr)
+	default:
+	}
+	p.readyOnce.Do(func() { close(p.ready) })
 }
 
 // pollThread is the main loop's polling duty factored into its own
@@ -185,7 +206,7 @@ func (t *viaTransport) pollThread() {
 		default:
 		}
 		progressed := false
-		for _, p := range t.peers {
+		for _, p := range t.peerList() {
 			if p == nil {
 				continue
 			}

@@ -73,7 +73,7 @@ func TestViaTransportRaceStress(t *testing.T) {
 				smallFile = 256
 				largeFile = 4 << 10 // 4 chunks on the regular channel
 			)
-			wantMsgs := senders * iters    // per control type, per direction
+			wantMsgs := senders * iters // per control type, per direction
 			wantBytes := senders * iters * (smallFile + largeFile)
 
 			small := make([]byte, smallFile)

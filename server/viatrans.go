@@ -24,10 +24,25 @@ type viaTransport struct {
 	cfg     viaConfig
 	nic     *via.NIC
 	ln      *via.Listener
-	peers   []*viaPeer
 	inbound chan *Message
 	recvCQ  *via.CompletionQueue
 	ins     transportInstruments
+
+	// addrs is the fabric address of every node, fixed at connect time;
+	// reconnects dial the same address a crashed-and-restarted peer
+	// re-registers.
+	addrs []string
+
+	// peersMu guards the peer table. peers[i] is the live channel to
+	// node i and is replaced wholesale on reconnect; pending holds peers
+	// whose VI exists (receives posted, setup expected) but which have
+	// not been promoted into the table yet, so the receive thread can
+	// route their frames.
+	peersMu sync.RWMutex
+	peers   []*viaPeer
+	pending map[*via.VI]*viaPeer
+
+	reconnects *metrics.Counter
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -44,6 +59,8 @@ type viaConfig struct {
 	batch      int
 	chunk      int
 	fileRing   int
+	rmwTimeout time.Duration
+	retry      RetryConfig
 	metrics    *metrics.Registry
 	// trc, when non-nil, records credit-stall and staging-copy spans for
 	// traced messages passing through the transport.
@@ -54,6 +71,18 @@ type viaPeer struct {
 	id    int
 	vi    *via.VI
 	ready chan struct{}
+	// readyOnce guards the ready close: a duplicate setup frame must
+	// not panic a reconnecting transport.
+	readyOnce sync.Once
+
+	// failed closes when the channel to this peer is declared dead —
+	// the VI broke, the node was marked down, or the peer was superseded
+	// by a reconnect. failErr (written once, before the close) is the
+	// reason; senders blocked on ready or on a credit gate observe it
+	// instead of hanging.
+	failed   chan struct{}
+	failOnce sync.Once
+	failErr  error
 
 	// Regular channel.
 	sendMu   sync.Mutex
@@ -87,13 +116,26 @@ type viaPeer struct {
 const setupMagic = 0xFF
 
 func newViaTransport(nic *via.NIC, cfg viaConfig) (*viaTransport, error) {
+	if cfg.rmwTimeout <= 0 {
+		cfg.rmwTimeout = DefaultRMWTimeout
+	}
+	var err error
+	if cfg.retry, err = cfg.retry.withDefaults(); err != nil {
+		return nil, err
+	}
 	t := &viaTransport{
 		cfg:     cfg,
 		nic:     nic,
 		inbound: make(chan *Message, 1024),
 		done:    make(chan struct{}),
 		peers:   make([]*viaPeer, cfg.nodes),
+		pending: make(map[*via.VI]*viaPeer),
 		ins:     newTransportInstruments(cfg.metrics, cfg.self),
+	}
+	if cfg.metrics.Enabled() {
+		t.reconnects = cfg.metrics.Counter("press_reconnects_total", fmt.Sprintf("node=%d", cfg.self))
+	} else {
+		t.reconnects = metrics.NewCounter()
 	}
 	cq, err := via.NewCompletionQueue(cfg.nodes * (cfg.window + 16))
 	if err != nil {
@@ -109,8 +151,11 @@ func newViaTransport(nic *via.NIC, cfg viaConfig) (*viaTransport, error) {
 
 // connect establishes the VI mesh: this node accepts from lower-indexed
 // peers and dials higher-indexed ones, then exchanges setup frames
-// carrying the memory handles of the remote-write buffers.
+// carrying the memory handles of the remote-write buffers. Afterwards a
+// persistent accept loop takes over the listener, so peers whose
+// channel later breaks can re-dial.
 func (t *viaTransport) connect(addrs []string) error {
+	t.addrs = addrs
 	errc := make(chan error, t.cfg.nodes)
 	var setup sync.WaitGroup
 	for range make([]struct{}, t.cfg.self) {
@@ -136,7 +181,7 @@ func (t *viaTransport) connect(addrs []string) error {
 				return
 			}
 			p.id = id
-			t.peers[id] = p
+			t.setPeer(id, p)
 			errc <- nil
 		}()
 	}
@@ -154,7 +199,7 @@ func (t *viaTransport) connect(addrs []string) error {
 				return
 			}
 			p.id = j
-			t.peers[j] = p
+			t.setPeer(j, p)
 			errc <- nil
 		}(j)
 	}
@@ -169,7 +214,8 @@ func (t *viaTransport) connect(addrs []string) error {
 	t.wg.Add(2)
 	go t.recvThread()
 	go t.pollThread()
-	for id, p := range t.peers {
+	for id := 0; id < t.cfg.nodes; id++ {
+		p := t.peer(id)
 		if id == t.cfg.self || p == nil {
 			continue
 		}
@@ -179,20 +225,225 @@ func (t *viaTransport) connect(addrs []string) error {
 		}
 	}
 	// Wait for every peer's setup frame.
-	for id, p := range t.peers {
+	for id := 0; id < t.cfg.nodes; id++ {
+		p := t.peer(id)
 		if id == t.cfg.self || p == nil {
 			continue
 		}
 		select {
 		case <-p.ready:
-		case <-time.After(rmwWaitTimeout):
+		case <-time.After(t.cfg.rmwTimeout):
 			t.Close()
 			return fmt.Errorf("server: node %d: no setup frame from %d", t.cfg.self, id)
 		case <-t.done:
 			return via.ErrClosed
 		}
 	}
+	t.wg.Add(1)
+	go t.acceptLoop()
 	return nil
+}
+
+// setPeer installs the live channel for node id.
+func (t *viaTransport) setPeer(id int, p *viaPeer) {
+	t.peersMu.Lock()
+	t.peers[id] = p
+	t.peersMu.Unlock()
+}
+
+// peer returns the live channel to node dst, nil if none.
+func (t *viaTransport) peer(dst int) *viaPeer {
+	t.peersMu.RLock()
+	defer t.peersMu.RUnlock()
+	if dst < 0 || dst >= len(t.peers) {
+		return nil
+	}
+	return t.peers[dst]
+}
+
+// peerList snapshots the live peer table for iteration without holding
+// the lock across per-peer work.
+func (t *viaTransport) peerList() []*viaPeer {
+	t.peersMu.RLock()
+	defer t.peersMu.RUnlock()
+	out := make([]*viaPeer, len(t.peers))
+	copy(out, t.peers)
+	return out
+}
+
+func (t *viaTransport) addPending(p *viaPeer) {
+	t.peersMu.Lock()
+	t.pending[p.vi] = p
+	t.peersMu.Unlock()
+}
+
+func (t *viaTransport) removePending(p *viaPeer) {
+	t.peersMu.Lock()
+	delete(t.pending, p.vi)
+	t.peersMu.Unlock()
+}
+
+// promote makes p the live channel to p.id, retiring any predecessor:
+// its gates fail so parked senders bounce to the new channel, its VI
+// closes, and its registered memory is released.
+func (t *viaTransport) promote(p *viaPeer) {
+	t.peersMu.Lock()
+	old := t.peers[p.id]
+	t.peers[p.id] = p
+	delete(t.pending, p.vi)
+	t.peersMu.Unlock()
+	if old != nil && old != p {
+		old.fail(fmt.Errorf("%w: node %d", errSuperseded, p.id))
+		t.retirePeer(old)
+	}
+}
+
+// retirePeer tears down a superseded channel's resources.
+func (t *viaTransport) retirePeer(p *viaPeer) {
+	p.vi.Close()
+	for _, r := range p.recvRegions {
+		_ = t.nic.DeregisterMemory(r)
+	}
+	for _, r := range []*via.MemoryRegion{
+		p.regStage, p.ringStage, p.metaStage, p.fileStage, p.ackReg,
+		p.flowIn, p.inCtrl.region, p.inFile.meta, p.inFile.data,
+	} {
+		if r != nil {
+			_ = t.nic.DeregisterMemory(r)
+		}
+	}
+}
+
+// PeerDown marks the channel to dst dead: senders blocked on its
+// window or rings fail immediately with the reason, and future sends
+// fail fast until a reconnect promotes a fresh channel.
+func (t *viaTransport) PeerDown(dst int, reason error) {
+	if p := t.peer(dst); p != nil {
+		p.fail(fmt.Errorf("%w: node %d: %v", ErrPeerDown, dst, reason))
+	}
+}
+
+// Reconnect re-establishes the channel to dst after a failure. The VIA
+// error model makes broken VIs permanent, so recovery is a fresh VI
+// plus a new setup-frame exchange — reconfigure-and-resume, not
+// resume-in-place. Only the lower-indexed side dials (errPassiveRole
+// otherwise), mirroring the initial mesh construction.
+func (t *viaTransport) Reconnect(dst int) error {
+	if dst == t.cfg.self || dst < 0 || dst >= t.cfg.nodes {
+		return fmt.Errorf("server: bad reconnect destination %d", dst)
+	}
+	if dst < t.cfg.self {
+		return errPassiveRole
+	}
+	select {
+	case <-t.done:
+		return via.ErrClosed
+	default:
+	}
+	p, err := t.newPeer()
+	if err != nil {
+		return err
+	}
+	p.id = dst
+	t.addPending(p)
+	if err := p.vi.Connect(t.addrs[dst], fmt.Sprintf("press-%d", dst)); err != nil {
+		t.removePending(p)
+		t.retirePeer(p)
+		return err
+	}
+	// Promote before the setup exchange: the peer's frames may arrive
+	// the moment it accepts, and senders should queue on the new
+	// channel (blocking on ready) rather than the dead one.
+	t.promote(p)
+	if err := t.sendSetup(p); err != nil {
+		p.fail(err)
+		return err
+	}
+	select {
+	case <-p.ready:
+	case <-p.failed:
+		return p.failErr
+	case <-time.After(t.cfg.rmwTimeout):
+		err := fmt.Errorf("server: node %d: no setup frame from %d after reconnect", t.cfg.self, dst)
+		p.fail(err)
+		return err
+	case <-t.done:
+		return via.ErrClosed
+	}
+	t.reconnects.Inc()
+	return nil
+}
+
+// acceptLoop serves post-mesh connection attempts: a peer that lost its
+// channel to us dials again, and the fresh VI supersedes the dead one.
+func (t *viaTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		p, err := t.newPeer()
+		if err != nil {
+			return // NIC closing down
+		}
+		t.addPending(p)
+		remote, err := t.ln.Accept(p.vi)
+		if err != nil {
+			t.removePending(p)
+			return // listener closed
+		}
+		id, err := nodeIndex(remote, t.addrs)
+		if err != nil || id == t.cfg.self {
+			t.removePending(p)
+			t.retirePeer(p)
+			continue
+		}
+		p.id = id
+		t.promote(p)
+		if err := t.sendSetup(p); err != nil {
+			p.fail(err)
+		}
+		t.reconnects.Inc()
+	}
+}
+
+// fail declares the channel dead with the given reason. Idempotent;
+// the first reason wins.
+func (p *viaPeer) fail(err error) {
+	p.failOnce.Do(func() {
+		p.failErr = err
+		close(p.failed)
+	})
+	p.failGates(err)
+}
+
+// failGates fails every flow-control gate so blocked senders wake with
+// the reason instead of waiting on credit from a dead peer — the
+// "in-flight waiters fail over immediately" half of failover.
+func (p *viaPeer) failGates(err error) {
+	p.regGate.fail(err)
+	p.peerMu.Lock()
+	oc, of := p.outCtrl, p.outFile
+	p.peerMu.Unlock()
+	if oc != nil {
+		oc.gate.fail(err)
+	}
+	if of != nil {
+		of.metaGate.fail(err)
+		of.dataGate.g.fail(err)
+	}
+}
+
+// downErr is what Send reports for a failed channel. A supersede keeps
+// its own identity — it means "retry on the fresh channel", not "the
+// peer is dead" — everything else is folded into ErrPeerDown.
+func (p *viaPeer) downErr() error {
+	select {
+	case <-p.failed:
+		if errors.Is(p.failErr, ErrPeerDown) || errors.Is(p.failErr, errSuperseded) {
+			return p.failErr
+		}
+		return fmt.Errorf("%w: node %d: %v", ErrPeerDown, p.id, p.failErr)
+	default:
+		return nil
+	}
 }
 
 func nodeIndex(addr string, addrs []string) (int, error) {
@@ -227,6 +478,7 @@ func (t *viaTransport) newPeer() (*viaPeer, error) {
 		id:          -1,
 		vi:          vi,
 		ready:       make(chan struct{}),
+		failed:      make(chan struct{}),
 		regGate:     newCreditGate(t.cfg.window),
 		recvRegions: make(map[*via.Descriptor]*via.MemoryRegion),
 	}
@@ -307,22 +559,31 @@ func (t *viaTransport) rawSend(p *viaPeer, frame []byte) error {
 	if err := t.postSendRetry(p.vi, d); err != nil {
 		return err
 	}
-	return d.Wait(rmwWaitTimeout)
+	return waitRMW(d, "regular-send", t.cfg.rmwTimeout)
 }
 
-// postSendRetry retries briefly when the send queue is momentarily
-// full (flow control keeps this rare).
+// postSendRetry retries a bounded number of times with capped
+// exponential backoff when the send queue is momentarily full (flow
+// control keeps this rare); exhausting the budget surfaces ErrQueueFull
+// to the caller's failure handling.
 func (t *viaTransport) postSendRetry(vi *via.VI, d *via.Descriptor) error {
-	for {
+	pause := t.cfg.retry.Base
+	for attempt := 1; ; attempt++ {
 		//presslint:ignore descriptor-lifecycle re-post only happens after ErrQueueFull, which means the NIC never accepted the descriptor
 		err := vi.PostSend(d)
 		if !errors.Is(err, via.ErrQueueFull) {
 			return err
 		}
+		if attempt >= t.cfg.retry.Attempts {
+			return err
+		}
 		select {
 		case <-t.done:
 			return via.ErrClosed
-		case <-time.After(50 * time.Microsecond):
+		case <-time.After(pause):
+		}
+		if pause *= 2; pause > t.cfg.retry.Cap {
+			pause = t.cfg.retry.Cap
 		}
 	}
 }
@@ -349,29 +610,63 @@ func (t *viaTransport) style(mt core.MsgType) netmodel.Style {
 }
 
 func (t *viaTransport) Send(dst int, m *Message) error {
-	if dst < 0 || dst >= len(t.peers) || dst == t.cfg.self {
+	if dst < 0 || dst >= t.cfg.nodes || dst == t.cfg.self {
 		return fmt.Errorf("server: bad destination %d", dst)
 	}
-	p := t.peers[dst]
-	if p == nil {
-		return fmt.Errorf("server: no channel to %d", dst)
+	// A reconnect can supersede the channel while a send rides it. That
+	// is not a peer failure — the reconnect proves the peer is alive —
+	// so the send bounces to the fresh channel instead of surfacing an
+	// error that would be misread as a death. Bounded: each retry needs
+	// an actually-new peer object, so this cannot spin in place.
+	for attempt := 0; ; attempt++ {
+		p := t.peer(dst)
+		if p == nil {
+			return fmt.Errorf("server: no channel to %d", dst)
+		}
+		err := t.sendOn(p, m)
+		if errors.Is(err, errSuperseded) && attempt < 8 {
+			if np := t.peer(dst); np != nil && np != p {
+				continue
+			}
+		}
+		return err
 	}
+}
+
+// sendOn runs one send attempt over a specific channel.
+func (t *viaTransport) sendOn(p *viaPeer, m *Message) error {
 	select {
 	case <-p.ready:
+		// A channel can be both ready and failed; failed wins.
+		if err := p.downErr(); err != nil {
+			return err
+		}
+	case <-p.failed:
+		return p.downErr()
 	case <-t.done:
 		return via.ErrClosed
 	}
 	m.From = t.cfg.self
-	if t.style(m.Type) == netmodel.StyleRMW {
-		if m.Type == core.MsgFile {
-			return t.sendFileRMW(p, m)
+	var err error
+	switch {
+	case t.style(m.Type) == netmodel.StyleRMW && m.Type == core.MsgFile:
+		err = t.sendFileRMW(p, m)
+	case t.style(m.Type) == netmodel.StyleRMW:
+		err = t.sendCtrlRMW(p, m)
+	case m.Type == core.MsgFile && len(m.Data) > t.cfg.chunk:
+		err = t.sendFileChunked(p, m)
+	default:
+		err = t.sendRegular(p, m, m.Type != core.MsgFlow)
+	}
+	if err != nil {
+		// The VI may have been closed out from under the send by a
+		// concurrent promote; the supersede, not the broken-VI symptom,
+		// is the real story.
+		if de := p.downErr(); errors.Is(de, errSuperseded) {
+			return de
 		}
-		return t.sendCtrlRMW(p, m)
 	}
-	if m.Type == core.MsgFile && len(m.Data) > t.cfg.chunk {
-		return t.sendFileChunked(p, m)
-	}
-	return t.sendRegular(p, m, m.Type != core.MsgFlow)
+	return err
 }
 
 // sendRegular transfers one message over the send/receive channel;
@@ -390,7 +685,7 @@ func (t *viaTransport) sendRegular(p *viaPeer, m *Message, takeCredit bool) erro
 			stall.Cancel()
 		}
 		if !ok {
-			return via.ErrClosed
+			return p.regGate.closedErr()
 		}
 	}
 	var cp *tracing.Span
@@ -450,7 +745,7 @@ func (t *viaTransport) sendCtrlRMW(p *viaPeer, m *Message) error {
 	if out == nil {
 		return via.ErrClosed
 	}
-	return out.write(p.vi, p.ringStage, 0, frame, t.cfg.trc, m.TraceID, m.ParentSpan)
+	return out.write(p.vi, p.ringStage, 0, frame, t.cfg.rmwTimeout, t.cfg.trc, m.TraceID, m.ParentSpan)
 }
 
 // sendFileRMW transfers a file with remote memory writes: the data into
@@ -483,7 +778,7 @@ func (t *viaTransport) sendFileRMW(p *viaPeer, m *Message) error {
 		src, srcOff = p.fileStage, 0
 	}
 	return out.write(p.vi, p.metaStage, 0, src, srcOff, len(m.Data), m.ReqID,
-		t.cfg.trc, m.TraceID, m.ParentSpan)
+		t.cfg.rmwTimeout, t.cfg.trc, m.TraceID, m.ParentSpan)
 }
 
 func (p *viaPeer) ring() *rmwRingOut {
@@ -508,10 +803,18 @@ func (t *viaTransport) Metrics() TransportMetrics { return t.ins.metrics() }
 func (t *viaTransport) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.done)
+		t.peersMu.RLock()
+		all := make([]*viaPeer, 0, len(t.peers)+len(t.pending))
 		for _, p := range t.peers {
-			if p == nil {
-				continue
+			if p != nil {
+				all = append(all, p)
 			}
+		}
+		for _, p := range t.pending {
+			all = append(all, p)
+		}
+		t.peersMu.RUnlock()
+		for _, p := range all {
 			p.regGate.close()
 			p.peerMu.Lock()
 			if p.outCtrl != nil {

@@ -62,11 +62,12 @@ type Fabric struct {
 	seed      int64
 	metrics   *metrics.Registry
 
-	mu      sync.Mutex
-	nics    map[string]*NIC
-	rng     *rand.Rand
-	severed map[linkKey]struct{}
-	closed  bool
+	mu       sync.Mutex
+	nics     map[string]*NIC
+	rng      *rand.Rand
+	severed  map[linkKey]struct{}
+	isolated map[string]struct{}
+	closed   bool
 }
 
 // NewFabric creates an interconnect.

@@ -29,19 +29,46 @@ func (f *Fabric) Partition(a, b string) {
 	f.severed[normLink(a, b)] = struct{}{}
 }
 
-// Heal restores the link between two NIC addresses.
+// Heal restores the link between two NIC addresses. It does not lift a
+// node-level Isolate: a link is up only when it is neither pairwise
+// severed nor touching an isolated NIC.
 func (f *Fabric) Heal(a, b string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.severed, normLink(a, b))
 }
 
+// Isolate severs every link of one NIC address at once — the software
+// analogue of pulling the node's cable rather than cutting individual
+// pairs. It is idempotent and accepts unknown addresses, and it
+// composes with Partition: node-level chaos does not need to enumerate
+// O(n) pairs.
+func (f *Fabric) Isolate(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.isolated == nil {
+		f.isolated = make(map[string]struct{})
+	}
+	f.isolated[addr] = struct{}{}
+}
+
+// HealNode lifts a node-level Isolate. Pairwise Partition cuts touching
+// the address, if any, remain in force until healed individually.
+func (f *Fabric) HealNode(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.isolated, addr)
+}
+
 // linkUp reports whether the two addresses can currently communicate.
 func (f *Fabric) linkUp(a, b string) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.severed == nil {
-		return true
+	if _, cut := f.isolated[a]; cut {
+		return false
+	}
+	if _, cut := f.isolated[b]; cut {
+		return false
 	}
 	_, cut := f.severed[normLink(a, b)]
 	return !cut

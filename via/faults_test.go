@@ -179,6 +179,178 @@ func TestHealRestoresNewConnections(t *testing.T) {
 	}
 }
 
+func TestConnectOverSeveredLink(t *testing.T) {
+	f, na, nb, _, _ := pair(t, ReliableDelivery)
+	f.Partition("nodeA", "nodeB")
+
+	ln, err := nb.Listen("svc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	va2, _ := na.CreateVI(ReliableDelivery, 8)
+	if err := va2.Connect("nodeB", "svc2"); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("Connect over severed link: %v, want ErrLinkDown", err)
+	}
+	// Healing restores dialability.
+	f.Heal("nodeA", "nodeB")
+	vb2, _ := nb.CreateVI(ReliableDelivery, 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept(vb2)
+		done <- err
+	}()
+	if err := va2.Connect("nodeB", "svc2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// triad builds a three-NIC fabric with a connected reliable VI pair
+// between every pair of nodes, returned as vis[i][j] = the VI on node i
+// facing node j.
+func triad(t *testing.T) (*Fabric, [3]*NIC, [3][3]*VI) {
+	t.Helper()
+	f := NewFabric()
+	t.Cleanup(f.Close)
+	addrs := [3]string{"n0", "n1", "n2"}
+	var nics [3]*NIC
+	for i, a := range addrs {
+		n, err := f.CreateNIC(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nics[i] = n
+	}
+	var vis [3][3]*VI
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			svc := addrs[i] + "-" + addrs[j]
+			ln, err := nics[j].Listen(svc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vj, _ := nics[j].CreateVI(ReliableDelivery, 8)
+			vi, _ := nics[i].CreateVI(ReliableDelivery, 8)
+			done := make(chan error, 1)
+			go func() {
+				_, err := ln.Accept(vj)
+				done <- err
+			}()
+			if err := vi.Connect(addrs[j], svc); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			ln.Close()
+			vis[i][j], vis[j][i] = vi, vj
+		}
+	}
+	return f, nics, vis
+}
+
+// expectSend posts a 1-byte send on vi from nic and waits for the
+// completion, returning its error.
+func expectSend(t *testing.T, nic *NIC, vi *VI) error {
+	t.Helper()
+	reg, err := nic.RegisterMemory([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := MustDescriptor(Segment{Region: reg, Offset: 0, Len: 1})
+	if err := vi.PostSend(d); err != nil {
+		return err
+	}
+	return d.Wait(testTimeout)
+}
+
+func TestIsolateSeversAllLinks(t *testing.T) {
+	f, nics, vis := triad(t)
+
+	// Receivers on every link touching n1, plus the bystander link.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			reg, _ := nics[i].RegisterMemory(make([]byte, 4))
+			rd := MustDescriptor(Segment{Region: reg, Offset: 0, Len: 4})
+			if err := vis[i][j].PostRecv(rd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	f.Isolate("n1")
+	if err := expectSend(t, nics[0], vis[0][1]); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("n0->n1 after Isolate(n1): %v, want ErrLinkDown", err)
+	}
+	if err := expectSend(t, nics[1], vis[1][2]); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("n1->n2 after Isolate(n1): %v, want ErrLinkDown", err)
+	}
+	// The bystander pair is untouched.
+	if err := expectSend(t, nics[0], vis[0][2]); err != nil {
+		t.Fatalf("n0->n2 after Isolate(n1): %v, want success", err)
+	}
+}
+
+func TestHealNodeRestoresDialing(t *testing.T) {
+	f, nics, _ := triad(t)
+	f.Isolate("n1")
+
+	ln, err := nics[1].Listen("svc-heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	dial, _ := nics[0].CreateVI(ReliableDelivery, 8)
+	if err := dial.Connect("n1", "svc-heal"); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("Connect to isolated node: %v, want ErrLinkDown", err)
+	}
+
+	// A pairwise Heal must not lift node-level isolation...
+	f.Heal("n0", "n1")
+	if err := dial.Connect("n1", "svc-heal"); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("Connect after pairwise Heal of isolated node: %v, want ErrLinkDown", err)
+	}
+
+	// ...but HealNode does, restoring every link at once.
+	f.HealNode("n1")
+	acc, _ := nics[1].CreateVI(ReliableDelivery, 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept(acc)
+		done <- err
+	}()
+	if err := dial.Connect("n1", "svc-heal"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := expectSend(t, nics[0], vis0to1Recv(t, nics[1], acc, dial)); err != nil {
+		t.Fatalf("send over healed node: %v", err)
+	}
+}
+
+// vis0to1Recv posts a receive on the accepted side and hands back the
+// dialing VI so expectSend exercises the full path.
+func vis0to1Recv(t *testing.T, rnic *NIC, acc, dial *VI) *VI {
+	t.Helper()
+	reg, err := rnic.RegisterMemory(make([]byte, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := MustDescriptor(Segment{Region: reg, Offset: 0, Len: 4})
+	if err := acc.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	return dial
+}
+
 func TestVIPeer(t *testing.T) {
 	_, _, _, va, vb := pair(t, ReliableDelivery)
 	addr, id, ok := va.Peer()

@@ -93,6 +93,12 @@ func (v *VI) Connect(remoteAddr, service string) error {
 	if err != nil {
 		return err
 	}
+	// Connection management rides the same wires as data: dialing across
+	// a severed or isolated link fails, so reconnect probes cannot
+	// succeed while the fault is still in force.
+	if !v.nic.fabric.linkUp(v.nic.addr, remoteAddr) {
+		return fmt.Errorf("%w: %s -> %s", ErrLinkDown, v.nic.addr, remoteAddr)
+	}
 	l, err := remote.listener(service)
 	if err != nil {
 		return err
