@@ -1,10 +1,16 @@
 // Command press-loadgen drives a running PRESS cluster (see pressd)
-// with a synthesized trace, closed-loop, and reports throughput.
+// with a synthesized trace and reports throughput. The default mode is
+// closed-loop (paper methodology: clients issue as fast as possible);
+// -rate switches to an open-loop Poisson arrival process that keeps
+// offering load no matter how slowly the cluster answers — the mode
+// that pushes a cluster past saturation and exercises its overload
+// control.
 //
 // Usage:
 //
 //	press-loadgen -targets http://127.0.0.1:PORT1,http://127.0.0.1:PORT2 \
-//	              [-trace clarknet] [-files 2000] [-requests 20000] [-concurrency 32]
+//	              [-trace clarknet] [-files 2000] [-requests 20000] [-concurrency 32] \
+//	              [-rate R] [-duration D]
 //
 // The -trace/-files flags must match the pressd instance so the
 // requested names exist.
@@ -18,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"press/loadgen"
 	"press/trace"
@@ -30,8 +37,10 @@ func main() {
 		targets     = flag.String("targets", "", "comma-separated base URLs of cluster nodes")
 		traceName   = flag.String("trace", "clarknet", "trace name (must match pressd)")
 		files       = flag.Int("files", 2000, "file population limit (must match pressd)")
-		requests    = flag.Int("requests", 20000, "number of requests to issue")
+		requests    = flag.Int("requests", 20000, "number of requests to issue (open loop: cap, 0 = until -duration)")
 		concurrency = flag.Int("concurrency", 32, "closed-loop clients")
+		rate        = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s (0 = closed loop)")
+		duration    = flag.Duration("duration", 10*time.Second, "open-loop run length")
 		seed        = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -48,7 +57,7 @@ func main() {
 	if *files > 0 && *files < spec.NumFiles {
 		spec.NumFiles = *files
 	}
-	if *requests < spec.NumRequests {
+	if *requests > 0 && *requests < spec.NumRequests {
 		spec.NumRequests = *requests
 	}
 	tr, err := trace.Synthesize(spec)
@@ -63,6 +72,8 @@ func main() {
 		Trace:       tr,
 		Concurrency: *concurrency,
 		Requests:    *requests,
+		Rate:        *rate,
+		Duration:    *duration,
 		Seed:        *seed,
 	})
 	if err != nil {
@@ -70,12 +81,13 @@ func main() {
 	}
 	fmt.Printf("requests:   %d (%d errors)\n", res.Requests, res.Errors)
 	if res.Errors > 0 {
-		fmt.Printf("errors:     timeout %d  refused %d  server %d  other %d\n",
-			res.ErrTimeout, res.ErrRefused, res.ErrServer, res.ErrOther)
+		fmt.Printf("errors:     timeout %d  refused %d  shed %d  server %d  other %d\n",
+			res.ErrTimeout, res.ErrRefused, res.ErrShed, res.ErrServer, res.ErrOther)
 	}
 	fmt.Printf("elapsed:    %v\n", res.Elapsed)
-	fmt.Printf("throughput: %.1f req/s\n", res.Throughput)
+	fmt.Printf("goodput:    %.1f req/s (successful)\n", res.Throughput)
 	fmt.Printf("bytes:      %d\n", res.Bytes)
-	fmt.Printf("latency:    mean %.2fms  std %.2fms  max %.2fms\n",
-		res.LatencyMean*1e3, res.LatencyStd*1e3, res.LatencyMax*1e3)
+	fmt.Printf("latency:    mean %.2fms  std %.2fms  p50 %.2fms  p99 %.2fms  max %.2fms\n",
+		res.LatencyMean*1e3, res.LatencyStd*1e3,
+		res.LatencyP50*1e3, res.LatencyP99*1e3, res.LatencyMax*1e3)
 }

@@ -31,6 +31,17 @@
 //	press-sim -chaos [-chaos-faults N] [-chaos-duration D] [-metrics]
 //	          [-requests N] [-nodes N] [-trace T] [-seed S] [-version V]
 //	          [-trace-out FILE] [-trace-sample F]
+//
+// With -overload, press-sim starts a real VIA cluster with overload
+// control enabled, calibrates its saturation throughput with a
+// closed-loop burst, then ramps an open-loop Poisson arrival process
+// through 0.5x-3x of saturation, reporting goodput, latency quantiles,
+// and shed counts per step — the goodput-vs-offered-load knee.
+// -dissemination all repeats the ramp for every strategy.
+//
+//	press-sim -overload [-overload-duration D] [-overload-deadline D]
+//	          [-dissemination PB|L16|L4|L1|NLB|all]
+//	          [-requests N] [-nodes N] [-trace T] [-seed S] [-version V]
 package main
 
 import (
@@ -73,10 +84,21 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run a real VIA cluster under client load with a seeded fault plan and report availability")
 		chaosDur    = flag.Duration("chaos-duration", 3*time.Second, "length of the chaos fault plan")
 		chaosFaults = flag.Int("chaos-faults", 2, "fault pairs (partition/heal or crash/restart) in the chaos plan")
-		dissem      = flag.String("dissemination", "PB", "load dissemination strategy for -chaos runs (PB, L16, L4, L1, NLB)")
+		dissem      = flag.String("dissemination", "PB", "load dissemination strategy for -chaos and -overload runs (PB, L16, L4, L1, NLB; -overload also takes all)")
+		overload    = flag.Bool("overload", false, "ramp open-loop load past saturation on a real VIA cluster and report the goodput knee")
+		ovStepDur   = flag.Duration("overload-duration", 2*time.Second, "length of each offered-rate step in the -overload ramp")
+		ovDeadline  = flag.Duration("overload-deadline", 500*time.Millisecond, "per-request deadline for -overload runs")
 	)
 	flag.Parse()
 	chartMode = *chart
+
+	if *overload {
+		if err := overloadRun(*traceName, *requests, *nodes, *seed, *version, *dissem,
+			*ovStepDur, *ovDeadline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *chaos {
 		if err := chaosRun(*traceName, *requests, *nodes, *seed, *version, *dissem,

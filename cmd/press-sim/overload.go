@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"press/core"
+	"press/loadgen"
+	"press/netmodel"
+	"press/server"
+	"press/stats"
+	"press/trace"
+)
+
+// overloadMaxRequests caps the synthesized trace and the closed-loop
+// calibration burst: like -chaos, -overload drives a real cluster over
+// loopback HTTP, so paper-scale request counts would run for minutes.
+const overloadMaxRequests = 4000
+
+// overloadRateSteps are the offered-rate multipliers of the calibrated
+// saturation throughput. The interesting region is the knee: below 1x
+// goodput tracks offered load, past it a controlled cluster holds
+// goodput near saturation and sheds the excess promptly.
+var overloadRateSteps = []float64{0.5, 1.0, 1.5, 2.0, 3.0}
+
+// overloadRun starts a real VIA cluster with overload control enabled
+// and ramps an open-loop Poisson arrival process past its saturation
+// point, one step per multiplier in overloadRateSteps. Each step
+// reports client-side goodput and latency quantiles plus the cluster's
+// own shed/expired/goodput deltas, exposing the goodput-vs-offered-load
+// knee. With dissemination "all" the ramp repeats for every strategy,
+// showing how much offered load each one absorbs before shedding.
+func overloadRun(traceName string, requests, nodes int, seed int64, version, dissem string,
+	stepDur, deadline time.Duration) error {
+	if nodes < 2 {
+		return fmt.Errorf("overload needs at least 2 nodes")
+	}
+	var strategies []core.Strategy
+	if dissem == "all" {
+		strategies = core.Strategies()
+	} else {
+		s, err := strategyByName(dissem)
+		if err != nil {
+			return err
+		}
+		strategies = []core.Strategy{s}
+	}
+	spec, err := trace.SpecByName(traceName)
+	if err != nil {
+		return err
+	}
+	if requests <= 0 || requests > overloadMaxRequests {
+		requests = overloadMaxRequests
+	}
+	if requests < spec.NumRequests {
+		spec.NumRequests = requests
+	}
+	tr, err := trace.Synthesize(spec)
+	if err != nil {
+		return err
+	}
+	ver, err := netmodel.VersionByName(version)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("overload run: %s, %d-node VIA cluster on loopback, deadline %v, %v per step\n",
+		tr.Name, nodes, deadline, stepDur)
+	for _, strategy := range strategies {
+		if err := overloadRamp(tr, nodes, seed, ver, strategy, stepDur, deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// overloadRamp runs the calibration burst and the rate ramp against one
+// cluster. The cluster is torn down between strategies so each ramp
+// starts from cold caches and a fresh saturation estimate.
+func overloadRamp(tr *trace.Trace, nodes int, seed int64, ver netmodel.Version,
+	strategy core.Strategy, stepDur, deadline time.Duration) error {
+	cl, err := server.Start(server.Config{
+		Nodes:         nodes,
+		Trace:         tr,
+		Transport:     server.TransportVIA,
+		Version:       ver,
+		Dissemination: strategy,
+		// Small caches and a real (simulated) disk penalty give the
+		// cluster a saturation point the generator can actually reach
+		// over loopback.
+		CacheBytes: 1 << 20,
+		DiskDelay:  2 * time.Millisecond,
+		Overload: server.OverloadConfig{
+			Enabled:        true,
+			RequestTimeout: deadline,
+			// Queues sized to the deadline, not to memory: a deep accept
+			// queue admits requests that are doomed to expire. The CoDel
+			// delay target sheds on sustained queue delay even when the
+			// occupancy bound alone would admit seconds of backlog.
+			AcceptQueue:      64,
+			DiskQueue:        32,
+			QueueDelayTarget: deadline / 2,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	targets := make([]string, nodes)
+	for i, a := range cl.Addrs() {
+		targets[i] = "http://" + a
+	}
+	ctx := context.Background()
+
+	// Closed-loop calibration: as-fast-as-possible clients measure the
+	// cluster's saturation throughput (and warm its caches) so the ramp
+	// multipliers mean the same thing on any machine.
+	cal, err := loadgen.Run(ctx, loadgen.Config{
+		Targets:     targets,
+		Trace:       tr,
+		Concurrency: 4 * nodes,
+		Requests:    len(tr.Requests),
+		Seed:        seed,
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	saturation := cal.Throughput
+	if saturation < 100 {
+		saturation = 100 // floor: keep the ramp meaningful on a degenerate run
+	}
+	fmt.Printf("\ndissemination %s: saturation ~%.0f req/s (closed-loop calibration, %d requests)\n",
+		strategy, saturation, cal.Requests)
+
+	t := stats.NewTable("Offered", "req/s", "Issued", "Goodput/s", "p50 ms", "p99 ms",
+		"Shed", "Timeout", "Errs", "Srv shed", "Expired")
+	before := cl.Stats()
+	for i, mult := range overloadRateSteps {
+		rate := mult * saturation
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Targets:  targets,
+			Trace:    tr,
+			Rate:     rate,
+			Duration: stepDur,
+			Seed:     seed + int64(i) + 1,
+			// Generous client timeout: overload control answers promptly
+			// (503 or within-deadline data), so timeouts here mean the
+			// cluster lost control of its queues.
+			Timeout: 4 * deadline,
+		})
+		if err != nil {
+			return err
+		}
+		after := cl.Stats()
+		goodput := float64(res.Requests-res.Errors) / res.Elapsed.Seconds()
+		t.AddRowf(fmt.Sprintf("%.1fx", mult), fmt.Sprintf("%.0f", rate), res.Requests,
+			fmt.Sprintf("%.0f", goodput),
+			fmt.Sprintf("%.1f", res.LatencyP50*1e3), fmt.Sprintf("%.1f", res.LatencyP99*1e3),
+			res.ErrShed, res.ErrTimeout, res.Errors,
+			after.Nodes.Shed-before.Nodes.Shed,
+			after.Nodes.DeadlineExpired-before.Nodes.DeadlineExpired)
+		before = after
+	}
+	fmt.Print(t)
+	return nil
+}

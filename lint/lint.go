@@ -81,6 +81,7 @@ func Analyzers() []*Analyzer {
 		retryWithoutBackoff,
 		goroutineLeak,
 		nakedSleep,
+		timeAfterLoop,
 	}
 }
 

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// timeAfterLoop flags time.After calls inside for loops. Every
+// time.After allocates a timer that is not collected until it fires:
+// in a hot receive or retry loop with a long timeout, each iteration
+// strands another timer, and the steady-state heap grows with the
+// message rate instead of the in-flight count. The fix is one reusable
+// time.NewTimer outside the loop, Reset per iteration (draining the
+// channel after a failed Stop). Test files are exempt — their loops run
+// a bounded number of iterations and die with the test process.
+const timeAfterLoopName = "time-after-loop"
+
+var timeAfterLoop = &Analyzer{
+	Name:      timeAfterLoopName,
+	Doc:       "time.After in a loop leaks one timer per iteration; hoist a reusable time.NewTimer",
+	SkipTests: true,
+	Run:       runTimeAfterLoop,
+}
+
+func runTimeAfterLoop(p *Package, f *File) []Finding {
+	var out []Finding
+	funcScopes(f, func(_ string, body *ast.BlockStmt) {
+		out = append(out, timeAfterInLoops(p, f, body, 0)...)
+	})
+	return out
+}
+
+// timeAfterInLoops walks one function body tracking lexical loop depth.
+// Function literals are NOT descended into: funcScopes yields each as
+// its own scope, and a literal spawned inside a loop runs once per
+// call, so a time.After in its straight-line body is not per-iteration.
+func timeAfterInLoops(p *Package, f *File, n ast.Node, depth int) []Finding {
+	var out []Finding
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // its body is a separate funcScopes scope
+		case *ast.ForStmt:
+			// Init/Cond/Post run per iteration too, but time.After there
+			// is vanishingly rare; the body is what matters.
+			walk(n.Body, depth+1)
+			return
+		case *ast.RangeStmt:
+			walk(n.Body, depth+1)
+			return
+		case *ast.CallExpr:
+			if depth > 0 {
+				if recv, name, ok := selectorCall(n); ok && name == "After" {
+					if id, ok := recv.(*ast.Ident); ok && id.Name == "time" {
+						out = append(out, Finding{
+							File:     f.Name,
+							Line:     p.line(n.Pos()),
+							Analyzer: timeAfterLoopName,
+							Message:  "time.After in a loop allocates an uncollectable timer per iteration; hoist a time.NewTimer and Reset it",
+						})
+					}
+				}
+			}
+		}
+		// Generic descent over children.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, depth)
+			return false
+		})
+	}
+	walk(n, depth)
+	return out
+}

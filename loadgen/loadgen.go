@@ -1,8 +1,13 @@
-// Package loadgen drives a running PRESS cluster with a workload trace,
-// following the paper's methodology (Section 3.1): closed-loop clients
-// issue requests as fast as possible — timing information in the trace
-// is disregarded — against the cluster nodes in randomized fashion with
-// equal probabilities.
+// Package loadgen drives a running PRESS cluster with a workload trace.
+// The default mode follows the paper's methodology (Section 3.1):
+// closed-loop clients issue requests as fast as possible — timing
+// information in the trace is disregarded — against the cluster nodes
+// in randomized fashion with equal probabilities. Setting Rate switches
+// to an open-loop Poisson arrival process, which keeps offering load no
+// matter how slowly the cluster answers — the only way to push a
+// cluster past saturation and observe its overload behavior (a
+// closed-loop generator self-throttles: every slow response delays the
+// next request).
 package loadgen
 
 import (
@@ -18,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"press/metrics"
 	"press/stats"
 	"press/trace"
 )
@@ -29,14 +35,23 @@ type Config struct {
 	// Trace supplies the request stream.
 	Trace *trace.Trace
 	// Concurrency is the number of closed-loop clients (default 16).
+	// Ignored in open-loop mode (Rate > 0).
 	Concurrency int
-	// Requests caps the run; 0 replays the whole trace.
+	// Requests caps the run; 0 replays the whole trace (closed loop) or
+	// runs until Duration (open loop).
 	Requests int
+	// Rate, when positive, switches to open-loop mode: requests arrive
+	// as a Poisson process at this many per second (seeded exponential
+	// inter-arrival times), each on its own goroutine, regardless of how
+	// many are still in flight.
+	Rate float64
+	// Duration bounds an open-loop run (default 10 s; ignored closed-loop).
+	Duration time.Duration
 	// Verify, if set, checks each response body.
 	Verify func(name string, body []byte) error
 	// Timeout bounds one request (default 30 s).
 	Timeout time.Duration
-	// Seed drives the random target choice.
+	// Seed drives the random target choice and the arrival process.
 	Seed int64
 }
 
@@ -46,25 +61,100 @@ type Result struct {
 	Errors     int64
 	Bytes      int64
 	Elapsed    time.Duration
-	Throughput float64 // requests per wall-clock second
-	// Latency statistics in seconds.
+	Throughput float64 // successful requests per wall-clock second
+	// Latency statistics in seconds (successful requests only).
 	LatencyMean float64
 	LatencyStd  float64
 	LatencyMax  float64
+	LatencyP50  float64
+	LatencyP99  float64
 
 	// Error classes, for availability analysis: a node that hangs shows
 	// up as timeouts, a node whose listener is gone as refused
-	// connections, and a node that answers but fails internally as
-	// server errors. They sum to Errors (content-verification and other
-	// transport failures land in ErrOther).
+	// connections, a node shedding load under overload control as 503s,
+	// and a node that answers but fails internally as server errors.
+	// They sum to Errors (content-verification and other transport
+	// failures land in ErrOther).
 	ErrTimeout int64 // request or connection deadline exceeded
 	ErrRefused int64 // TCP connection refused or reset
-	ErrServer  int64 // HTTP 5xx from a responding node
+	ErrShed    int64 // HTTP 503: admission control or expired deadline
+	ErrServer  int64 // other HTTP 5xx from a responding node
 	ErrOther   int64
 }
 
+// books is the shared run accounting both generator modes write into.
+type books struct {
+	requests, errs, bytes                                atomic.Int64
+	errTimeout, errRefused, errShed, errServer, errOther atomic.Int64
+
+	mu     sync.Mutex
+	lat    stats.Welford
+	latMax float64
+	hist   *metrics.Histogram // nanoseconds, for P50/P99
+}
+
+// record books one finished request. Returns false when the request
+// left the books (canceled mid-flight: says nothing about the cluster).
+func (b *books) record(ctx context.Context, err error, status int, body []byte, d time.Duration) bool {
+	b.requests.Add(1)
+	if err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		b.requests.Add(-1)
+		return false
+	}
+	if err != nil {
+		b.errs.Add(1)
+		switch classify(err, status) {
+		case classTimeout:
+			b.errTimeout.Add(1)
+		case classRefused:
+			b.errRefused.Add(1)
+		case classShed:
+			b.errShed.Add(1)
+		case classServer:
+			b.errServer.Add(1)
+		default:
+			b.errOther.Add(1)
+		}
+		return true
+	}
+	b.bytes.Add(int64(len(body)))
+	b.hist.Observe(d.Nanoseconds())
+	sec := d.Seconds()
+	b.mu.Lock()
+	b.lat.Add(sec)
+	if sec > b.latMax {
+		b.latMax = sec
+	}
+	b.mu.Unlock()
+	return true
+}
+
+func (b *books) result(elapsed time.Duration) *Result {
+	r := &Result{
+		Requests:   b.requests.Load(),
+		Errors:     b.errs.Load(),
+		Bytes:      b.bytes.Load(),
+		Elapsed:    elapsed,
+		LatencyMax: b.latMax,
+		ErrTimeout: b.errTimeout.Load(),
+		ErrRefused: b.errRefused.Load(),
+		ErrShed:    b.errShed.Load(),
+		ErrServer:  b.errServer.Load(),
+		ErrOther:   b.errOther.Load(),
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(r.Requests-r.Errors) / elapsed.Seconds()
+	}
+	r.LatencyMean = b.lat.Mean()
+	r.LatencyStd = b.lat.Std()
+	snap := b.hist.Snapshot()
+	r.LatencyP50 = float64(snap.Quantile(0.5)) / 1e9
+	r.LatencyP99 = float64(snap.Quantile(0.99)) / 1e9
+	return r
+}
+
 // Run replays the trace and reports throughput. The context cancels the
-// run early.
+// run early. Rate > 0 selects the open-loop Poisson mode.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Targets) == 0 {
 		return nil, fmt.Errorf("loadgen: no targets")
@@ -72,33 +162,41 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Trace == nil || len(cfg.Trace.Requests) == 0 {
 		return nil, fmt.Errorf("loadgen: empty trace")
 	}
-	concurrency := cfg.Concurrency
-	if concurrency <= 0 {
-		concurrency = 16
-	}
-	total := len(cfg.Trace.Requests)
-	if cfg.Requests > 0 && cfg.Requests < total {
-		total = cfg.Requests
-	}
 	timeout := cfg.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = 16
+	}
+	maxConns := concurrency
+	if cfg.Rate > 0 {
+		// Open loop: in-flight requests are unbounded by design; give the
+		// client enough pooled connections that the generator itself is
+		// not the bottleneck being measured.
+		maxConns = 256
+	}
 	client := &http.Client{
 		Timeout: timeout,
 		Transport: &http.Transport{
-			MaxIdleConnsPerHost: concurrency,
-			MaxIdleConns:        concurrency * len(cfg.Targets),
+			MaxIdleConnsPerHost: maxConns,
+			MaxIdleConns:        maxConns * len(cfg.Targets),
 		},
 	}
+	b := &books{hist: metrics.NewHistogram()}
+	if cfg.Rate > 0 {
+		return runOpenLoop(ctx, cfg, client, b)
+	}
+	return runClosedLoop(ctx, cfg, client, b, concurrency)
+}
 
+func runClosedLoop(ctx context.Context, cfg Config, client *http.Client, b *books, concurrency int) (*Result, error) {
+	total := len(cfg.Trace.Requests)
+	if cfg.Requests > 0 && cfg.Requests < total {
+		total = cfg.Requests
+	}
 	var cursor atomic.Int64
-	var requests, errs, bytes atomic.Int64
-	var errTimeout, errRefused, errServer, errOther atomic.Int64
-	var mu sync.Mutex
-	var lat stats.Welford
-	latMax := 0.0
-
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < concurrency; c++ {
@@ -114,66 +212,88 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				if i >= int64(total) {
 					return
 				}
-				name := cfg.Trace.Files[cfg.Trace.Requests[i]].Name
-				target := cfg.Targets[rng.Intn(len(cfg.Targets))]
-				t0 := time.Now()
-				body, status, err := get(ctx, client, target+name)
-				d := time.Since(t0).Seconds()
-				requests.Add(1)
-				if err == nil && cfg.Verify != nil {
-					err = cfg.Verify(name, body)
-				}
-				if err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled) {
-					// The run was canceled with this request in flight.
-					// Its failure says nothing about the cluster, so it
-					// leaves the books entirely.
-					requests.Add(-1)
+				if !doOne(ctx, cfg, client, b, rng.Intn(len(cfg.Targets)), i) {
 					return
 				}
-				if err != nil {
-					errs.Add(1)
-					switch classify(err, status) {
-					case classTimeout:
-						errTimeout.Add(1)
-					case classRefused:
-						errRefused.Add(1)
-					case classServer:
-						errServer.Add(1)
-					default:
-						errOther.Add(1)
-					}
-					continue
-				}
-				bytes.Add(int64(len(body)))
-				mu.Lock()
-				lat.Add(d)
-				if d > latMax {
-					latMax = d
-				}
-				mu.Unlock()
 			}
 		}(c)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return b.result(time.Since(start)), nil
+}
 
-	r := &Result{
-		Requests:   requests.Load(),
-		Errors:     errs.Load(),
-		Bytes:      bytes.Load(),
-		Elapsed:    elapsed,
-		LatencyMax: latMax,
-		ErrTimeout: errTimeout.Load(),
-		ErrRefused: errRefused.Load(),
-		ErrServer:  errServer.Load(),
-		ErrOther:   errOther.Load(),
+// runOpenLoop offers requests at cfg.Rate per second with exponential
+// inter-arrival times (a Poisson process), each dispatched on its own
+// goroutine the moment it is due: a slow cluster does not slow the
+// arrivals down, it just accumulates in-flight work — exactly the
+// regime overload control exists for.
+func runOpenLoop(ctx context.Context, cfg Config, client *http.Client, b *books) (*Result, error) {
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 10 * time.Second
 	}
-	if elapsed > 0 {
-		r.Throughput = float64(r.Requests-r.Errors) / elapsed.Seconds()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nTrace := int64(len(cfg.Trace.Requests))
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
 	}
-	r.LatencyMean = lat.Mean()
-	r.LatencyStd = lat.Std()
-	return r, nil
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	next := start // absolute schedule: timer overshoot does not drift the rate
+	var wg sync.WaitGroup
+	var issued int64
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		if cfg.Requests > 0 && issued >= int64(cfg.Requests) {
+			break
+		}
+		// Exponential inter-arrival with mean 1/Rate.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		i := issued % nTrace
+		tgt := rng.Intn(len(cfg.Targets))
+		issued++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doOne(ctx, cfg, client, b, tgt, i)
+		}()
+	}
+	wg.Wait()
+	return b.result(time.Since(start)), nil
+}
+
+// doOne issues request i of the trace against the given target and
+// books the outcome; false means the run is being canceled.
+func doOne(ctx context.Context, cfg Config, client *http.Client, b *books, target int, i int64) bool {
+	name := cfg.Trace.Files[cfg.Trace.Requests[i]].Name
+	t0 := time.Now()
+	body, status, err := get(ctx, client, cfg.Targets[target]+name)
+	d := time.Since(t0)
+	if err == nil && cfg.Verify != nil {
+		err = cfg.Verify(name, body)
+	}
+	return b.record(ctx, err, status, body, d)
 }
 
 // errClass buckets one failed request for availability analysis.
@@ -183,11 +303,15 @@ const (
 	classOther errClass = iota
 	classTimeout
 	classRefused
+	classShed
 	classServer
 )
 
 // classify maps a request failure to its class. status is the HTTP
-// status when a response arrived, 0 otherwise.
+// status when a response arrived, 0 otherwise. 503 is its own class:
+// under overload control it means the cluster shed the request on
+// purpose (admission or expired deadline), which availability analysis
+// must not conflate with the cluster failing.
 func classify(err error, status int) errClass {
 	if err == nil {
 		return classOther
@@ -198,6 +322,9 @@ func classify(err error, status int) errClass {
 	}
 	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
 		return classRefused
+	}
+	if status == http.StatusServiceUnavailable {
+		return classShed
 	}
 	if status >= 500 {
 		return classServer

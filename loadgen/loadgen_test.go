@@ -133,7 +133,7 @@ func TestAvailabilityKillNodeMidRun(t *testing.T) {
 	if res.Requests != int64(len(tr.Requests)) {
 		t.Errorf("run stopped early: %d of %d requests", res.Requests, len(tr.Requests))
 	}
-	if classes := res.ErrTimeout + res.ErrRefused + res.ErrServer + res.ErrOther; classes != res.Errors {
+	if classes := res.ErrTimeout + res.ErrRefused + res.ErrShed + res.ErrServer + res.ErrOther; classes != res.Errors {
 		t.Errorf("error classes sum to %d, total errors %d", classes, res.Errors)
 	}
 	// Availability: a single crashed node must not take down the run.
@@ -163,7 +163,7 @@ func TestClassify(t *testing.T) {
 		{fmt.Errorf("wrap: %w", syscall.ECONNREFUSED), 0, classRefused},
 		{fmt.Errorf("wrap: %w", syscall.ECONNRESET), 0, classRefused},
 		{fmt.Errorf("loadgen: GET x: 500 Internal Server Error"), 500, classServer},
-		{fmt.Errorf("loadgen: GET x: 503 Service Unavailable"), 503, classServer},
+		{fmt.Errorf("loadgen: GET x: 503 Service Unavailable"), 503, classShed},
 		{fmt.Errorf("content mismatch"), 200, classOther},
 		{fmt.Errorf("some transport error"), 0, classOther},
 	}
@@ -171,6 +171,104 @@ func TestClassify(t *testing.T) {
 		if got := classify(c.err, c.status); got != c.want {
 			t.Errorf("case %d: classify(%v, %d) = %v, want %v", i, c.err, c.status, got, c.want)
 		}
+	}
+}
+
+// TestOpenLoopPoisson drives a small cluster in open-loop mode and
+// checks the arrival process delivered roughly Rate * Duration
+// requests, independent of service time, with quantiles populated.
+func TestOpenLoopPoisson(t *testing.T) {
+	tr := loadgenTrace(t)
+	cl, err := server.Start(server.Config{
+		Nodes: 2, Trace: tr, Transport: server.TransportVIA,
+		CacheBytes: 1 << 20, DiskDelay: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	targets := make([]string, 2)
+	for i, a := range cl.Addrs() {
+		targets[i] = "http://" + a
+	}
+	const rate = 400.0
+	duration := 1500 * time.Millisecond
+	res, err := Run(context.Background(), Config{
+		Targets:  targets,
+		Trace:    tr,
+		Rate:     rate,
+		Duration: duration,
+		Seed:     41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Poisson process with lambda = rate*duration = 600 has stddev
+	// ~24.5; a 5-sigma band is [477, 723]. Far looser than the bound a
+	// closed-loop generator would show if service time gated arrivals.
+	want := rate * duration.Seconds()
+	if float64(res.Requests) < want*0.8 || float64(res.Requests) > want*1.2 {
+		t.Errorf("open loop issued %d requests, want ~%.0f", res.Requests, want)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d (timeout %d refused %d shed %d server %d other %d)",
+			res.Errors, res.ErrTimeout, res.ErrRefused, res.ErrShed, res.ErrServer, res.ErrOther)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP99 < res.LatencyP50 {
+		t.Errorf("quantiles p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+	// Seeded arrivals are reproducible: same seed, same request count.
+	res2, err := Run(context.Background(), Config{
+		Targets: targets, Trace: tr, Rate: rate, Duration: duration, Seed: 41,
+		Requests: 100, // cap to keep the rerun quick
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Requests != 100 {
+		t.Errorf("request cap in open loop: got %d, want 100", res2.Requests)
+	}
+}
+
+// TestOpenLoopShedClass points the open-loop generator at an
+// overload-controlled single node whose accept queue is tiny; the 503s
+// it sheds must land in ErrShed, not ErrServer.
+func TestOpenLoopShedClass(t *testing.T) {
+	tr := loadgenTrace(t)
+	cl, err := server.Start(server.Config{
+		Nodes: 1, Trace: tr, Transport: server.TransportVIA,
+		CacheBytes: 1 << 20, DiskDelay: 2 * time.Millisecond,
+		Overload: server.OverloadConfig{
+			Enabled:     true,
+			AcceptQueue: 1,
+			DiskQueue:   1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{"http://" + cl.Addrs()[0]},
+		Trace:    tr,
+		Rate:     2000, // far past what a 2ms-disk single node can serve
+		Duration: 500 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrShed == 0 {
+		t.Errorf("no sheds recorded under 2000 req/s against a 1-deep accept queue (errors: timeout %d refused %d shed %d server %d other %d)",
+			res.ErrTimeout, res.ErrRefused, res.ErrShed, res.ErrServer, res.ErrOther)
+	}
+	if res.ErrServer != 0 {
+		t.Errorf("%d sheds misclassified as server errors", res.ErrServer)
+	}
+	if sum := res.ErrTimeout + res.ErrRefused + res.ErrShed + res.ErrServer + res.ErrOther; sum != res.Errors {
+		t.Errorf("error classes sum to %d, total errors %d", sum, res.Errors)
 	}
 }
 

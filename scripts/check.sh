@@ -35,6 +35,13 @@ go test -race -count=1 -run 'TestRunTracing' ./cluster
 echo "==> go test -race chaos suite"
 go test -race -count=1 -run 'Chaos|Failover|Health' ./server/... ./cluster/...
 
+# The overload layer races admission, deadline expiry, and brownout
+# against the main loops at 2x saturation by design; run it uncached
+# under the race detector alongside the open-loop generator tests.
+echo "==> go test -race overload suite"
+go test -race -count=1 -run 'TestOverload|TestBrownout' ./server
+go test -race -count=1 -run 'TestOpenLoop' ./loadgen
+
 echo "==> presslint ./..."
 go run ./cmd/presslint ./...
 
@@ -52,6 +59,15 @@ out=$(go test -run '^$' -bench BenchmarkServeTracing -benchtime 1000x -benchmem 
 echo "$out"
 if ! echo "$out" | grep 'ServeTracingOff' | grep -q '	 *0 allocs/op'; then
     echo "check: BenchmarkServeTracingOff allocates; disabled tracing must be free" >&2
+    exit 1
+fi
+
+# Same proof for overload control: with Overload disabled the hot-path
+# gates (admission, deadline, brownout checks) must stay allocation-free.
+out=$(go test -run '^$' -bench BenchmarkOverloadOff -benchtime 1000x -benchmem ./server)
+echo "$out"
+if ! echo "$out" | grep 'OverloadOff' | grep -q '	 *0 allocs/op'; then
+    echo "check: BenchmarkOverloadOff allocates; disabled overload control must be free" >&2
     exit 1
 fi
 

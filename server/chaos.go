@@ -123,6 +123,35 @@ func (cl *Cluster) HealNode(i int) error {
 	return nil
 }
 
+// SlowNode adds extra delay to every fabric transfer touching node i —
+// a slow-but-alive gray failure: the node keeps answering, just too
+// late. The brownout layer, not the dead-or-alive health tracker, is
+// what routes around it.
+func (cl *Cluster) SlowNode(i int, extra time.Duration) error {
+	f, err := cl.faultFabric()
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= len(cl.fabricAddrs) {
+		return fmt.Errorf("server: bad node %d", i)
+	}
+	f.SlowNode(cl.fabricAddrs[i], extra)
+	return nil
+}
+
+// HealSlowNode restores node i's normal fabric speed.
+func (cl *Cluster) HealSlowNode(i int) error {
+	f, err := cl.faultFabric()
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= len(cl.fabricAddrs) {
+		return fmt.Errorf("server: bad node %d", i)
+	}
+	f.HealSlowNode(cl.fabricAddrs[i])
+	return nil
+}
+
 // CrashNode partitions node i and wipes its in-memory state, modeling a
 // process crash. The wipe runs on the node's main loop.
 func (cl *Cluster) CrashNode(i int) error {
@@ -164,11 +193,22 @@ func (cl *Cluster) StartFaultPlan(plan FaultPlan, stop <-chan struct{}, observe 
 	go func() {
 		defer close(done)
 		start := time.Now()
+		var timer *time.Timer // reused: time.After in the loop would leak one per event
+		defer func() {
+			if timer != nil {
+				timer.Stop()
+			}
+		}()
 		for _, ev := range events {
 			delay := ev.At - time.Since(start)
 			if delay > 0 {
+				if timer == nil {
+					timer = time.NewTimer(delay)
+				} else {
+					timer.Reset(delay)
+				}
 				select {
-				case <-time.After(delay):
+				case <-timer.C:
 				case <-stop:
 					return
 				}

@@ -93,6 +93,10 @@ type Config struct {
 	// Health tunes failure detection and failover; zero value selects
 	// the defaults, Health.Disabled turns the subsystem off.
 	Health HealthConfig
+	// Overload tunes admission control, deadline propagation, and
+	// slow-peer brownout; the zero value (Enabled false) keeps the
+	// pre-overload behavior: unbounded queues and no deadlines.
+	Overload OverloadConfig
 	// ListenHost is the HTTP bind host (default 127.0.0.1).
 	ListenHost string
 	// ContentOblivious turns the cluster into the baseline server class
@@ -160,6 +164,9 @@ func (c *Config) withDefaults() (Config, error) {
 		return cfg, err
 	}
 	if cfg.Health, err = cfg.Health.withDefaults(); err != nil {
+		return cfg, err
+	}
+	if cfg.Overload, err = cfg.Overload.withDefaults(); err != nil {
 		return cfg, err
 	}
 	if cfg.ListenHost == "" {
@@ -347,39 +354,89 @@ func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	req.span = h.node.trc.StartTrace("request")
 	req.span.AnnotateStr("file", name)
 	req.accept = req.span.StartChild("accept-queue")
+	ov := h.node.ov.on
+	if ov {
+		now := time.Now()
+		req.enqueued = now
+		req.deadline = now.Add(h.node.ov.cfg.RequestTimeout)
+	}
+	// The load decrement must only fire for requests the main loop will
+	// actually see (it does the matching increment at dequeue).
+	enqueued := false
 	defer func() {
+		if !enqueued {
+			return
+		}
 		// Connection closed: the load (open-connection count) drops.
 		select {
 		case h.node.doneCh <- struct{}{}:
 		case <-h.node.stop:
 		}
 	}()
-	select {
-	case h.node.httpCh <- req:
-	case <-h.node.stop:
-		req.accept.Cancel()
-		req.span.Cancel()
-		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-		return
-	case <-r.Context().Done():
-		req.accept.Cancel()
-		req.span.Cancel()
-		return
+	if ov {
+		// Admission: a full accept queue sheds the newest arrival with a
+		// prompt 503 instead of queueing it forever.
+		select {
+		case h.node.httpCh <- req:
+			enqueued = true
+		case <-h.node.stop:
+			req.accept.Cancel()
+			req.span.Cancel()
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		default:
+			req.accept.Cancel()
+			req.span.AnnotateStr("shed", shedQueueAccept+"/"+shedReasonFull)
+			req.span.End()
+			h.node.count(func(s *NodeStats) { s.Shed++ })
+			h.node.ov.im.shedInc(shedQueueAccept, shedReasonFull)
+			h.reject(w, "request shed: accept queue full")
+			return
+		}
+	} else {
+		select {
+		case h.node.httpCh <- req:
+			enqueued = true
+		case <-h.node.stop:
+			req.accept.Cancel()
+			req.span.Cancel()
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		case <-r.Context().Done():
+			req.accept.Cancel()
+			req.span.Cancel()
+			return
+		}
 	}
 	select {
 	case res := <-req.resp:
 		if res.err != nil {
 			req.span.AnnotateStr("error", res.err.Error())
 			req.span.End()
-			// A name outside the file population is the client's 404;
+			// A name outside the file population is the client's 404; a
+			// shed or expired request is back-pressure (503 + Retry-After);
 			// anything else — a crashed service node, an exhausted
 			// failover — is the cluster failing and must look like it
 			// (5xx) so availability tooling classifies it as such.
+			if errors.Is(res.err, ErrShed) || errors.Is(res.err, ErrDeadlineExpired) {
+				h.reject(w, res.err.Error())
+				return
+			}
 			code := http.StatusBadGateway
 			if errors.Is(res.err, ErrNoSuchFile) {
 				code = http.StatusNotFound
 			}
 			http.Error(w, res.err.Error(), code)
+			return
+		}
+		if ov && time.Now().After(req.deadline) {
+			// The answer exists but arrived too late to be goodput:
+			// serving it would reward the queue, not the client.
+			req.span.AnnotateStr("deadline-expired", dlStageReply)
+			req.span.End()
+			h.node.count(func(s *NodeStats) { s.DeadlineExpired++ })
+			h.node.ov.im.expiredInc(dlStageReply)
+			h.reject(w, ErrDeadlineExpired.Error())
 			return
 		}
 		rep := req.span.StartChild("reply")
@@ -391,11 +448,26 @@ func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rep.Annotate("bytes", int64(len(res.data)))
 		rep.End()
 		req.span.End()
+		if ov {
+			h.node.count(func(s *NodeStats) { s.Goodput++ })
+			h.node.ov.im.goodput.Inc()
+		}
 	case <-time.After(clientTimeout):
 		req.span.AnnotateStr("error", "timeout")
 		req.span.End()
 		http.Error(w, "cluster timeout", http.StatusGatewayTimeout)
 	}
+}
+
+// reject writes a 503 with the configured Retry-After hint: the
+// client should back off, not hammer an overloaded cluster.
+func (h *nodeHandler) reject(w http.ResponseWriter, msg string) {
+	retry := int(h.node.ov.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(retry))
+	http.Error(w, msg, http.StatusServiceUnavailable)
 }
 
 // nodeStatsJSON is the wire form of the stats endpoint.
@@ -414,6 +486,12 @@ type nodeStatsJSON struct {
 	// content-oblivious fallback.
 	Peers    []string `json:"peers"`
 	Degraded bool     `json:"degraded"`
+	// Overload accounting (zero when the layer is off). BrownedOut lists
+	// the peers this node has browned out of its forwarding path.
+	Shed            int64 `json:"shed"`
+	DeadlineExpired int64 `json:"deadlineExpired"`
+	Goodput         int64 `json:"goodput"`
+	BrownedOut      []int `json:"brownedOut,omitempty"`
 }
 
 func (h *nodeHandler) serveStats(w http.ResponseWriter) {
@@ -435,6 +513,15 @@ func (h *nodeHandler) serveStats(w http.ResponseWriter) {
 		Messages: map[string][2]int64{},
 		Peers:    peers,
 		Degraded: h.node.Degraded(),
+
+		Shed:            ns.Shed,
+		DeadlineExpired: ns.DeadlineExpired,
+		Goodput:         ns.Goodput,
+	}
+	for p := 0; p < h.node.cfg.Nodes; p++ {
+		if h.node.PeerBrownedOut(p) {
+			out.BrownedOut = append(out.BrownedOut, p)
+		}
 	}
 	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
 		out.Messages[mt.String()] = [2]int64{ms.Count[mt], ms.Bytes[mt]}
@@ -480,6 +567,9 @@ func (cl *Cluster) Stats() Stats {
 		s.Nodes.DiskReads += ns.DiskReads
 		s.Nodes.Replicas += ns.Replicas
 		s.Nodes.Errors += ns.Errors
+		s.Nodes.Shed += ns.Shed
+		s.Nodes.DeadlineExpired += ns.DeadlineExpired
+		s.Nodes.Goodput += ns.Goodput
 		tm := n.transport.Metrics()
 		s.Msgs.Merge(&tm.Msgs)
 		s.CopiedBytes += tm.CopiedBytes

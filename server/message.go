@@ -16,6 +16,7 @@ package server
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"press/core"
 	"press/tracing"
@@ -55,6 +56,22 @@ type Message struct {
 	TraceID    tracing.TraceID
 	ParentSpan tracing.SpanID
 
+	// Budget propagates the request deadline across nodes: the time the
+	// originating node still had left when it handed the forward to its
+	// send thread. Zero (no deadline) encodes to the exact pre-overload
+	// wire format; a positive budget sets the deadline flag bit on the
+	// type byte and appends an 8-byte extension after the trace
+	// extension (if any), which earlier decoders reject cleanly as an
+	// invalid type. The receiver anchors its local deadline at
+	// arrival + Budget and drops the work unserved once it passes.
+	Budget time.Duration
+
+	// deadline is the sender-local absolute form of the budget: the
+	// send thread stamps Budget = time.Until(deadline) at the transport
+	// hand-off, so time spent in the send queue erodes the budget
+	// rather than being silently forgiven. Never on the wire.
+	deadline time.Time
+
 	// SrcRegion optionally points at registered memory already holding
 	// Data (zero-copy transmit, version 5 over VIA); it never goes on
 	// the wire and transports without zero-copy support ignore it.
@@ -70,8 +87,21 @@ const msgHeaderLen = 1 + 2 + 4 + 8 + 1 + 4 + 4 + 4 + 2 + 4
 // an invalid type and fails cleanly rather than misparsing.
 const msgTraceFlag = 0x80
 
+// msgDeadlineFlag on the type byte signals the deadline extension: the
+// remaining request budget in nanoseconds, appended after the tracing
+// extension (when both are present). Like the trace flag it sits above
+// every valid core.MsgType value, so pre-deadline decoders fail
+// cleanly on it.
+const msgDeadlineFlag = 0x40
+
+// msgFlagMask covers every wire-extension flag bit on the type byte.
+const msgFlagMask = msgTraceFlag | msgDeadlineFlag
+
 // msgTraceExtLen is the wire size of the tracing extension.
 const msgTraceExtLen = 8 + 8
+
+// msgDeadlineExtLen is the wire size of the deadline extension.
+const msgDeadlineExtLen = 8
 
 // maxNameLen bounds file names on the wire.
 const maxNameLen = 1 << 15
@@ -81,6 +111,9 @@ func (m *Message) EncodedLen() int {
 	n := msgHeaderLen + len(m.Name) + len(m.Data)
 	if m.TraceID != 0 {
 		n += msgTraceExtLen
+	}
+	if m.Budget > 0 {
+		n += msgDeadlineExtLen
 	}
 	return n
 }
@@ -93,10 +126,16 @@ func (m *Message) Encode(dst []byte) ([]byte, error) {
 	if m.Type < 0 || m.Type >= core.NumMsgTypes {
 		return nil, fmt.Errorf("server: invalid message type %d", m.Type)
 	}
+	if m.Budget < 0 {
+		return nil, fmt.Errorf("server: negative deadline budget %v", m.Budget)
+	}
 	var h [msgHeaderLen]byte
 	h[0] = byte(m.Type)
 	if m.TraceID != 0 {
 		h[0] |= msgTraceFlag
+	}
+	if m.Budget > 0 {
+		h[0] |= msgDeadlineFlag
 	}
 	binary.LittleEndian.PutUint16(h[1:], uint16(m.From))
 	binary.LittleEndian.PutUint32(h[3:], uint32(m.Load))
@@ -116,6 +155,11 @@ func (m *Message) Encode(dst []byte) ([]byte, error) {
 		binary.LittleEndian.PutUint64(ext[8:], uint64(m.ParentSpan))
 		dst = append(dst, ext[:]...)
 	}
+	if m.Budget > 0 {
+		var ext [msgDeadlineExtLen]byte
+		binary.LittleEndian.PutUint64(ext[:], uint64(m.Budget))
+		dst = append(dst, ext[:]...)
+	}
 	dst = append(dst, m.Name...)
 	dst = append(dst, m.Data...)
 	return dst, nil
@@ -128,7 +172,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		return nil, fmt.Errorf("server: short message (%d bytes)", len(buf))
 	}
 	m := &Message{
-		Type:    core.MsgType(buf[0] &^ msgTraceFlag),
+		Type:    core.MsgType(buf[0] &^ byte(msgFlagMask)),
 		From:    int(binary.LittleEndian.Uint16(buf[1:])),
 		Load:    int32(binary.LittleEndian.Uint32(buf[3:])),
 		ReqID:   binary.LittleEndian.Uint64(buf[7:]),
@@ -144,15 +188,25 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	dataLen := int(binary.LittleEndian.Uint32(buf[30:]))
 	body := msgHeaderLen
 	if buf[0]&msgTraceFlag != 0 {
-		if len(buf) < msgHeaderLen+msgTraceExtLen {
+		if len(buf) < body+msgTraceExtLen {
 			return nil, fmt.Errorf("server: short trace extension (%d bytes)", len(buf))
 		}
-		m.TraceID = tracing.TraceID(binary.LittleEndian.Uint64(buf[msgHeaderLen:]))
-		m.ParentSpan = tracing.SpanID(binary.LittleEndian.Uint64(buf[msgHeaderLen+8:]))
+		m.TraceID = tracing.TraceID(binary.LittleEndian.Uint64(buf[body:]))
+		m.ParentSpan = tracing.SpanID(binary.LittleEndian.Uint64(buf[body+8:]))
 		if m.TraceID == 0 {
 			return nil, fmt.Errorf("server: trace extension with zero trace id")
 		}
 		body += msgTraceExtLen
+	}
+	if buf[0]&msgDeadlineFlag != 0 {
+		if len(buf) < body+msgDeadlineExtLen {
+			return nil, fmt.Errorf("server: short deadline extension (%d bytes)", len(buf))
+		}
+		m.Budget = time.Duration(binary.LittleEndian.Uint64(buf[body:]))
+		if m.Budget <= 0 {
+			return nil, fmt.Errorf("server: deadline extension with non-positive budget %v", m.Budget)
+		}
+		body += msgDeadlineExtLen
 	}
 	if body+nameLen+dataLen > len(buf) {
 		return nil, fmt.Errorf("server: truncated message: header wants %d+%d bytes, have %d",

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"press/core"
 	"press/tracing"
@@ -192,6 +193,123 @@ func TestMessageTraceCompat(t *testing.T) {
 	}
 }
 
+func TestMessageDeadlineRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Type: core.MsgForward, From: 0, ReqID: 77, Name: "/a/b.html", Load: 5,
+			Budget: 250 * time.Millisecond},
+		{Type: core.MsgFile, From: 2, ReqID: 9, Data: []byte("payload"), Offset: 1, Total: 8,
+			Budget: time.Nanosecond},
+		{Type: core.MsgForward, From: 1, ReqID: 5, Name: "/t.html", Load: 3,
+			TraceID: 0xfeed, ParentSpan: 0xbeef, Budget: 5 * time.Second},
+	}
+	for i, m := range cases {
+		m := m
+		buf, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(buf) != m.EncodedLen() {
+			t.Errorf("case %d: encoded %d bytes, EncodedLen %d", i, len(buf), m.EncodedLen())
+		}
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Budget != m.Budget {
+			t.Errorf("case %d: budget %v, want %v", i, got.Budget, m.Budget)
+		}
+		if got.TraceID != m.TraceID || got.ParentSpan != m.ParentSpan {
+			t.Errorf("case %d: trace context %x/%x, want %x/%x",
+				i, got.TraceID, got.ParentSpan, m.TraceID, m.ParentSpan)
+		}
+		if got.Type != m.Type || got.ReqID != m.ReqID || got.Name != m.Name ||
+			!bytes.Equal(got.Data, m.Data) {
+			t.Errorf("case %d: round trip mismatch: %+v vs %+v", i, got, m)
+		}
+	}
+}
+
+// TestMessageDeadlineCompat pins the second wire extension to the same
+// versioning contract as the trace extension: an undeadlined message is
+// byte-identical to the previous format, a deadlined one is invalid to
+// earlier decoders, the extension follows the trace extension when both
+// are present, and malformed extensions are rejected.
+func TestMessageDeadlineCompat(t *testing.T) {
+	m := Message{Type: core.MsgForward, From: 4, ReqID: 11, Name: "/f.html", Load: 2}
+	plain, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0]&msgDeadlineFlag != 0 {
+		t.Error("undeadlined message carries the deadline flag")
+	}
+
+	m.Budget = 100 * time.Millisecond
+	dl, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dl) != len(plain)+msgDeadlineExtLen {
+		t.Errorf("deadlined message is %d bytes, want %d", len(dl), len(plain)+msgDeadlineExtLen)
+	}
+	// Pre-deadline decoders validated buf[0] against the type range; the
+	// flag bit must push it out of range so they fail cleanly.
+	if oldType := core.MsgType(dl[0]); oldType >= 0 && oldType < core.NumMsgTypes {
+		t.Errorf("deadlined type byte %#x still decodes as valid type %v for earlier software",
+			dl[0], oldType)
+	}
+	if dl[0]&^byte(msgDeadlineFlag) != plain[0] {
+		t.Error("type byte differs beyond the flag bit")
+	}
+	if !bytes.Equal(dl[1:msgHeaderLen], plain[1:msgHeaderLen]) {
+		t.Error("fixed header differs between deadlined and plain encodings")
+	}
+	if !bytes.Equal(dl[msgHeaderLen+msgDeadlineExtLen:], plain[msgHeaderLen:]) {
+		t.Error("body differs between deadlined and plain encodings")
+	}
+
+	// Both extensions: trace first, deadline second.
+	m.TraceID, m.ParentSpan = 0xabc, 0xdef
+	both, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != len(plain)+msgTraceExtLen+msgDeadlineExtLen {
+		t.Errorf("combined message is %d bytes, want %d",
+			len(both), len(plain)+msgTraceExtLen+msgDeadlineExtLen)
+	}
+	got, err := DecodeMessage(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0xabc || got.ParentSpan != 0xdef || got.Budget != m.Budget {
+		t.Errorf("combined decode: trace %x/%x budget %v", got.TraceID, got.ParentSpan, got.Budget)
+	}
+
+	if _, err := DecodeMessage(dl[:msgHeaderLen+4]); err == nil {
+		t.Error("short deadline extension accepted")
+	}
+	zero := append([]byte{}, dl...)
+	for i := 0; i < msgDeadlineExtLen; i++ {
+		zero[msgHeaderLen+i] = 0
+	}
+	if _, err := DecodeMessage(zero); err == nil {
+		t.Error("zero budget in extension accepted")
+	}
+	neg := append([]byte{}, dl...)
+	for i := 0; i < msgDeadlineExtLen; i++ {
+		neg[msgHeaderLen+i] = 0xFF // uint64 with the top bit set = negative duration
+	}
+	if _, err := DecodeMessage(neg); err == nil {
+		t.Error("negative budget in extension accepted")
+	}
+
+	bad := Message{Type: core.MsgForward, Name: "/x", Budget: -time.Second}
+	if _, err := bad.Encode(nil); err == nil {
+		t.Error("negative budget encoded")
+	}
+}
+
 // FuzzMessageRoundTrip feeds arbitrary bytes to the decoder and checks
 // that whatever decodes re-encodes to a decodable message with the same
 // wire-visible fields. The seeds cover every message type, both trace
@@ -205,6 +323,9 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		{Type: core.MsgFile, From: 2, ReqID: 9, Data: []byte("payload"), Offset: 32768, Total: 32775},
 		{Type: core.MsgForward, From: 1, ReqID: 5, Name: "/t.html", TraceID: 0xfeed, ParentSpan: 0xbeef},
 		{Type: core.MsgFile, From: 6, ReqID: 2, Data: []byte("x"), TraceID: 1},
+		{Type: core.MsgForward, From: 4, ReqID: 8, Name: "/d.html", Budget: 250 * time.Millisecond},
+		{Type: core.MsgForward, From: 5, ReqID: 13, Name: "/td.html",
+			TraceID: 0xfeed, ParentSpan: 0xbeef, Budget: time.Second},
 	}
 	for _, m := range seeds {
 		m := m
@@ -234,6 +355,7 @@ func FuzzMessageRoundTrip(f *testing.F) {
 			m2.ReqID != m.ReqID || m2.Name != m.Name || m2.Cached != m.Cached ||
 			m2.Credits != m.Credits || m2.Offset != m.Offset || m2.Total != m.Total ||
 			m2.TraceID != m.TraceID || m2.ParentSpan != m.ParentSpan ||
+			m2.Budget != m.Budget ||
 			!bytes.Equal(m2.Data, m.Data) {
 			t.Fatalf("round trip drift: %+v vs %+v", m2, m)
 		}

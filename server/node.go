@@ -25,11 +25,16 @@ type clientResult struct {
 // request's root trace span (nil when untraced); accept times the wait
 // in httpCh until the main loop picks the request up. Spans cross
 // goroutines only via channel hand-off, which orders their use.
+// enqueued and deadline are set only under overload control: enqueued
+// feeds the queue-delay shed check, deadline is the request's budget
+// (RequestTimeout from accept) that every stage honors.
 type clientRequest struct {
-	name   string
-	resp   chan clientResult
-	span   *tracing.Span
-	accept *tracing.Span
+	name     string
+	resp     chan clientResult
+	span     *tracing.Span
+	accept   *tracing.Span
+	enqueued time.Time
+	deadline time.Time
 }
 
 // diskJob asks the disk helper threads to read a file.
@@ -53,7 +58,9 @@ type outMsg struct {
 // diskWaiter is a party waiting for a disk read: a local client or a
 // peer that forwarded a request here. span is the waiter's "disk" span;
 // serve is the serve-remote span of a forwarded request, ended once the
-// file reply has been queued.
+// file reply has been queued. deadline, when set, drops the waiter
+// unserved if the read completes too late (the file is still cached —
+// the work is only wasted for this request).
 type diskWaiter struct {
 	local    *clientRequest
 	peer     int
@@ -61,6 +68,7 @@ type diskWaiter struct {
 	forServe bool
 	span     *tracing.Span
 	serve    *tracing.Span
+	deadline time.Time
 }
 
 // pendingRemote reassembles a file reply for a forwarded request. span
@@ -77,6 +85,7 @@ type pendingRemote struct {
 	dst      int
 	tried    cache.NodeSet
 	deadline time.Time
+	sentAt   time.Time // dispatch time of the current forward (brownout latency sample)
 }
 
 // sendFailure is the send thread's report of a delivery it gave up on,
@@ -148,6 +157,11 @@ type NodeStats struct {
 	DiskReads  int64
 	Replicas   int64 // disk reads caused by the replication path
 	Errors     int64
+	// Overload accounting: requests refused by admission control,
+	// dropped past their deadline, and served within it (goodput).
+	Shed            int64
+	DeadlineExpired int64
+	Goodput         int64
 }
 
 // Node is one PRESS server node: an event-driven main loop owning the
@@ -181,11 +195,14 @@ type Node struct {
 	probing  []bool
 	degFlag  atomic.Bool // published copy of degraded
 
+	// Overload control (admission, deadlines, brownout); see overload.go.
+	ov overloadCtl
+
 	httpCh     chan *clientRequest
 	doneCh     chan struct{} // HTTP completion events (load decrement)
-	diskQ      *unboundedQueue[diskJob]
+	diskQ      *workQueue[diskJob]
 	diskDone   chan diskDone
-	sendQ      *unboundedQueue[outMsg]
+	sendQ      *workQueue[outMsg]
 	ctrlCh     chan func()      // closures run on the main loop
 	sendFailCh chan sendFailure // send thread -> main loop
 
@@ -225,6 +242,14 @@ func (v nodeView) LoadKnown() bool { return v.n.cfg.Dissemination.Kind != core.N
 func (v nodeView) Nodes() int      { return v.n.cfg.Nodes }
 
 func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
+	// Overload control bounds the queues; disabled keeps them unbounded
+	// (the pre-overload behavior, byte for byte).
+	acceptQ, dispatchQ, diskQ := 256, 0, 0
+	if cfg.Overload.Enabled {
+		acceptQ = cfg.Overload.AcceptQueue
+		dispatchQ = cfg.Overload.DispatchQueue
+		diskQ = cfg.Overload.DiskQueue
+	}
 	n := &Node{
 		id:         id,
 		cfg:        cfg,
@@ -242,11 +267,11 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 		files:      cfg.Trace.Files,
 		pending:    make(map[uint64]*pendingRemote),
 		waiting:    make(map[string][]diskWaiter),
-		httpCh:     make(chan *clientRequest, 256),
+		httpCh:     make(chan *clientRequest, acceptQ),
 		doneCh:     make(chan struct{}, 1024),
-		diskQ:      newUnboundedQueue[diskJob](),
+		diskQ:      newWorkQueue[diskJob](diskQ),
 		diskDone:   make(chan diskDone, 256),
-		sendQ:      newUnboundedQueue[outMsg](),
+		sendQ:      newWorkQueue[outMsg](dispatchQ),
 		ctrlCh:     make(chan func(), 64),
 		sendFailCh: make(chan sendFailure, 256),
 		probing:    make([]bool, cfg.Nodes),
@@ -255,6 +280,7 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 		trc:        cfg.Tracer.Collector(id),
 	}
 	n.health = newHealthTracker(id, cfg.Nodes, cfg.Health, cfg.Retry.Seed, cfg.Metrics)
+	n.ov = newOverloadCtl(cfg, id)
 	for i, f := range cfg.Trace.Files {
 		n.nameToID[f.Name] = cache.FileID(i)
 	}
@@ -288,12 +314,13 @@ func (n *Node) count(f func(*NodeStats)) {
 func (n *Node) mainLoop() {
 	defer n.wg.Done()
 	inbound := n.transport.Inbound()
-	// The health tick drives failure detection, idle heartbeats,
-	// reconnect probes, and overdue-reply failover; a nil channel (health
-	// off or a single-node cluster) removes the case entirely.
+	// The periodic tick drives failure detection (heartbeats, probes,
+	// overdue-reply failover) and the overload layer's expired-pending
+	// sweep; a nil channel (both subsystems off) removes the case
+	// entirely.
 	var tickCh <-chan time.Time
-	if n.healthActive() {
-		ticker := time.NewTicker(n.cfg.Health.HeartbeatInterval / 2)
+	if interval := n.tickInterval(); interval > 0 {
+		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		tickCh = ticker.C
 	}
@@ -317,9 +344,30 @@ func (n *Node) mainLoop() {
 		case sf := <-n.sendFailCh:
 			n.handleSendFailure(sf)
 		case now := <-tickCh:
-			n.healthTick(now)
+			if n.healthActive() {
+				n.healthTick(now)
+			}
+			if n.ov.on {
+				n.overloadTick(now)
+			}
 		}
 	}
+}
+
+// tickInterval sizes the main-loop ticker: half the heartbeat interval
+// for failure detection, and never slower than a quarter of the request
+// timeout so expired pending work is swept promptly. Zero = no ticker.
+func (n *Node) tickInterval() time.Duration {
+	var interval time.Duration
+	if n.healthActive() {
+		interval = n.cfg.Health.HeartbeatInterval / 2
+	}
+	if n.ov.on {
+		if sweep := n.ov.cfg.RequestTimeout / 4; interval == 0 || sweep < interval {
+			interval = sweep
+		}
+	}
+	return interval
 }
 
 // healthActive reports whether failure detection runs on this node. A
@@ -335,6 +383,21 @@ func (n *Node) handleClient(r *clientRequest) {
 	n.count(func(s *NodeStats) { s.Requests++ })
 	n.m.requests.Inc()
 	n.loadChange(+1)
+	if n.ov.on {
+		// Dequeue-side admission: both checks run after loadChange(+1),
+		// so the HTTP handler's completion event balances the books.
+		now := time.Now()
+		wait := now.Sub(r.enqueued)
+		n.ov.im.acceptDelay.Observe(int64(wait))
+		if now.After(r.deadline) {
+			n.expireClient(r, dlStageAccept)
+			return
+		}
+		if t := n.ov.cfg.QueueDelayTarget; t > 0 && wait > t {
+			n.shedClient(r, ErrShed, shedQueueAccept, shedReasonQueueDelay)
+			return
+		}
+	}
 	id, ok := n.nameToID[r.name]
 	if !ok {
 		n.count(func(s *NodeStats) { s.Errors++ })
@@ -353,7 +416,19 @@ func (n *Node) handleClient(r *clientRequest) {
 	d := n.policy.Decide(n.id, id, size, first, nodeView{n})
 	dsp.Annotate("service", int64(d.Service))
 	dsp.End()
-	if d.Service == n.id || n.health.isDead(d.Service) {
+	dst := d.Service
+	if dst != n.id && !n.health.isDead(dst) && !n.ovAllowForward(dst, time.Now()) {
+		// The chosen service node is browned out (slow but alive): route
+		// around it without touching its directory entries — next-best
+		// cacher, else local disk.
+		r.span.Annotate("brownout-redirect", int64(dst))
+		if alt := n.pickRedirect(id, dst); alt >= 0 {
+			dst = alt
+		} else {
+			dst = n.id
+		}
+	}
+	if dst == n.id || n.health.isDead(dst) {
 		n.serveLocal(r, id)
 		return
 	}
@@ -362,15 +437,18 @@ func (n *Node) handleClient(r *clientRequest) {
 	n.nextReqID++
 	reqID := n.nextReqID
 	fwd := r.span.StartChild("forward")
-	fwd.Annotate("dst", int64(d.Service))
-	p := &pendingRemote{req: r, span: fwd, dst: d.Service,
-		tried: cache.NodeSet(0).Add(n.id).Add(d.Service)}
+	fwd.Annotate("dst", int64(dst))
+	p := &pendingRemote{req: r, span: fwd, dst: dst,
+		tried: cache.NodeSet(0).Add(n.id).Add(dst)}
+	now := time.Now()
+	p.sentAt = now
 	if n.healthActive() {
-		p.deadline = time.Now().Add(n.cfg.Health.FailoverTimeout)
+		p.deadline = now.Add(n.cfg.Health.FailoverTimeout)
 	}
 	n.pending[reqID] = p
-	n.send(d.Service, &Message{Type: core.MsgForward, ReqID: reqID, Name: r.name,
-		TraceID: fwd.Trace(), ParentSpan: fwd.ID()})
+	n.ovForwardSent(dst, now)
+	n.send(dst, &Message{Type: core.MsgForward, ReqID: reqID, Name: r.name,
+		TraceID: fwd.Trace(), ParentSpan: fwd.ID(), deadline: r.deadline})
 }
 
 func (n *Node) serveLocal(r *clientRequest, id cache.FileID) {
@@ -380,20 +458,33 @@ func (n *Node) serveLocal(r *clientRequest, id cache.FileID) {
 		r.resp <- clientResult{data: n.content[id]}
 		return
 	}
-	n.readDisk(n.files[id].Name, diskWaiter{local: r, span: r.span.StartChild("disk")})
+	n.readDisk(n.files[id].Name, diskWaiter{local: r, span: r.span.StartChild("disk"),
+		deadline: r.deadline})
 }
 
 // readDisk queues a disk read, coalescing concurrent readers of the
-// same file onto one disk access.
+// same file onto one disk access. A full (bounded) disk queue sheds the
+// waiter: a local client gets a prompt 503, a peer's forward is dropped
+// and recovered by its failover timeout.
 func (n *Node) readDisk(name string, w diskWaiter) {
 	if ws, inFlight := n.waiting[name]; inFlight {
 		n.waiting[name] = append(ws, w)
 		return
 	}
+	if !n.diskQ.push(diskJob{name: name}) {
+		w.span.End()
+		w.serve.End()
+		if w.local != nil {
+			n.shedClient(w.local, ErrShed, shedQueueDisk, shedReasonFull)
+			return
+		}
+		n.count(func(s *NodeStats) { s.Shed++ })
+		n.ov.im.shedInc(shedQueueDisk, shedReasonFull)
+		return
+	}
 	n.waiting[name] = []diskWaiter{w}
 	n.count(func(s *NodeStats) { s.DiskReads++ })
 	n.m.disk.Inc()
-	n.diskQ.push(diskJob{name: name})
 }
 
 func (n *Node) handleDiskDone(d diskDone) {
@@ -412,14 +503,31 @@ func (n *Node) handleDiskDone(d diskDone) {
 	}
 	id := n.nameToID[d.name]
 	n.insertCache(id, d.data)
+	now := time.Time{}
+	if n.ov.on {
+		now = time.Now()
+	}
 	for _, w := range waiters {
 		w.span.Annotate("bytes", int64(len(d.data)))
 		w.span.End()
+		if !w.deadline.IsZero() && now.After(w.deadline) {
+			// The read outlived the request: the file is cached, but
+			// serving it now would not be goodput.
+			if w.local != nil {
+				n.expireClient(w.local, dlStageDisk)
+			} else {
+				n.count(func(s *NodeStats) { s.DeadlineExpired++ })
+				n.ov.im.expiredInc(dlStageDisk)
+				w.serve.AnnotateStr("deadline-expired", dlStageDisk)
+				w.serve.End()
+			}
+			continue
+		}
 		if w.local != nil {
 			w.local.resp <- clientResult{data: d.data}
 			continue
 		}
-		n.sendFile(w.peer, w.reqID, id, d.data, w.serve)
+		n.sendFile(w.peer, w.reqID, id, d.data, w.serve, w.deadline)
 		w.serve.End()
 	}
 }
@@ -468,10 +576,11 @@ func (n *Node) broadcastCaching(id cache.FileID, cached bool) {
 
 // sendFile queues a file reply; parent (the serve-remote span, nil when
 // untraced) stamps the reply's trace context so transport-side spans
-// attribute to the right request.
-func (n *Node) sendFile(dst int, reqID uint64, id cache.FileID, data []byte, parent *tracing.Span) {
+// attribute to the right request. deadline, when set, lets the send
+// thread drop the reply if its budget runs out in the queue.
+func (n *Node) sendFile(dst int, reqID uint64, id cache.FileID, data []byte, parent *tracing.Span, deadline time.Time) {
 	m := &Message{Type: core.MsgFile, ReqID: reqID, Data: data, Total: uint32(len(data)),
-		TraceID: parent.Trace(), ParentSpan: parent.ID()}
+		TraceID: parent.Trace(), ParentSpan: parent.ID(), deadline: deadline}
 	if reg := n.regions[id]; reg != nil {
 		m.SrcRegion = reg
 	}
@@ -514,6 +623,14 @@ func (n *Node) handleForward(m *Message) {
 	// cross-node edge every stitched trace hinges on.
 	srv := n.trc.StartSpan("serve-remote", m.TraceID, m.ParentSpan)
 	srv.AnnotateStr("file", m.Name)
+	// The propagated budget anchors a local deadline at arrival: every
+	// stage from here on — disk wait, reply queueing — honors it, so a
+	// service node never burns work on a request the origin's client
+	// has already given up on.
+	var deadline time.Time
+	if m.Budget > 0 {
+		deadline = time.Now().Add(m.Budget)
+	}
 	id, ok := n.nameToID[m.Name]
 	if !ok {
 		srv.End()
@@ -522,13 +639,13 @@ func (n *Node) handleForward(m *Message) {
 	if n.lru.Touch(id) {
 		n.count(func(s *NodeStats) { s.RemoteHits++ })
 		n.m.remote.Inc()
-		n.sendFile(m.From, m.ReqID, id, n.content[id], srv)
+		n.sendFile(m.From, m.ReqID, id, n.content[id], srv, deadline)
 		srv.End()
 		return
 	}
 	n.count(func(s *NodeStats) { s.Replicas++ })
 	n.readDisk(m.Name, diskWaiter{peer: m.From, reqID: m.ReqID, forServe: true,
-		span: srv.StartChild("disk"), serve: srv})
+		span: srv.StartChild("disk"), serve: srv, deadline: deadline})
 }
 
 // handleFileChunk reassembles a file reply and answers the waiting
@@ -547,6 +664,10 @@ func (n *Node) handleFileChunk(m *Message) {
 	if int(m.Offset)+len(m.Data) > len(p.buf) {
 		n.count(func(s *NodeStats) { s.Errors++ })
 		delete(n.pending, m.ReqID)
+		if n.ov.on {
+			now := time.Now()
+			n.ovForwardFailed(p.dst, now.Sub(p.sentAt), now)
+		}
 		p.span.End()
 		p.req.resp <- clientResult{err: fmt.Errorf("server: corrupt file reply")}
 		return
@@ -557,6 +678,10 @@ func (n *Node) handleFileChunk(m *Message) {
 		return
 	}
 	delete(n.pending, m.ReqID)
+	if n.ov.on {
+		now := time.Now()
+		n.ovForwardDone(p.dst, now.Sub(p.sentAt), now)
+	}
 	p.span.Annotate("bytes", int64(m.Total))
 	p.span.End()
 	p.req.resp <- clientResult{data: p.buf}
@@ -580,13 +705,17 @@ func (n *Node) loadChange(delta int) {
 }
 
 // send queues a message for the send thread. Any outbound message
-// doubles as a heartbeat, so the tracker learns it was sent.
+// doubles as a heartbeat, so the tracker learns it was sent. A full
+// (bounded) dispatch queue sheds by message class instead of growing
+// without bound; see ovShedDispatch.
 func (n *Node) send(dst int, m *Message) {
 	m.From = n.id
 	if n.healthActive() {
 		n.health.noteSent(dst, time.Now())
 	}
-	n.sendQ.push(outMsg{dst: dst, msg: m})
+	if !n.sendQ.push(outMsg{dst: dst, msg: m}) {
+		n.ovShedDispatch(dst, m)
+	}
 }
 
 // sendThread drains the send queue, stamping the piggy-backed load and
@@ -600,6 +729,12 @@ func (n *Node) sendThread() {
 	defer n.wg.Done()
 	pb := n.cfg.Dissemination.Kind == core.PiggyBack
 	bo := newBackoff(n.cfg.Retry, int64(n.id))
+	var pauseTimer *time.Timer // reused across retries: time.After would leak one per attempt
+	defer func() {
+		if pauseTimer != nil {
+			pauseTimer.Stop()
+		}
+	}()
 	for {
 		item, ok := n.sendQ.pop()
 		if !ok {
@@ -612,6 +747,22 @@ func (n *Node) sendThread() {
 				item.msg.Load = -1
 			}
 		}
+		if !item.msg.deadline.IsZero() {
+			// Stamp the remaining budget at the transport hand-off: time
+			// spent waiting in the send queue erodes it. A message whose
+			// budget ran out here is dropped, not sent — the main loop
+			// answers the owning request instead of a slow wire.
+			b := time.Until(item.msg.deadline)
+			if b <= 0 {
+				select {
+				case n.sendFailCh <- sendFailure{dst: item.dst, msg: item.msg, err: ErrDeadlineExpired}:
+				case <-n.stop:
+					return
+				}
+				continue
+			}
+			item.msg.Budget = b
+		}
 		// net-send covers the transport call for traced messages: queue
 		// drain to wire hand-off, including any flow-control wait inside.
 		ns := n.trc.StartSpan("net-send", item.msg.TraceID, item.msg.ParentSpan)
@@ -623,11 +774,16 @@ func (n *Node) sendThread() {
 				break
 			}
 			n.m.retries.Inc()
+			if pauseTimer == nil {
+				pauseTimer = time.NewTimer(pause)
+			} else {
+				pauseTimer.Reset(pause)
+			}
 			select {
 			case <-n.stop:
 				ns.End()
 				return
-			case <-time.After(pause):
+			case <-pauseTimer.C:
 			}
 			err = n.transport.Send(item.dst, item.msg)
 		}
@@ -655,6 +811,28 @@ func (n *Node) sendThread() {
 // client must not ride out its full timeout for a message that never
 // left this node.
 func (n *Node) handleSendFailure(sf sendFailure) {
+	if errors.Is(sf.err, ErrDeadlineExpired) {
+		// The budget ran out in the send queue — our own backlog, not
+		// the peer's fault: no health suspicion. Answer the owning
+		// request promptly; an expired file reply just vanishes (the
+		// origin's own deadline sweep covers it).
+		n.count(func(s *NodeStats) { s.DeadlineExpired++ })
+		n.ov.im.expiredInc(dlStageSend)
+		if sf.msg.Type != core.MsgForward {
+			return
+		}
+		p := n.pending[sf.msg.ReqID]
+		if p == nil || p.dst != sf.dst {
+			return
+		}
+		delete(n.pending, sf.msg.ReqID)
+		now := time.Now()
+		n.ovForwardFailed(sf.dst, now.Sub(p.sentAt), now)
+		p.span.AnnotateStr("deadline-expired", dlStageSend)
+		p.span.End()
+		p.req.resp <- clientResult{err: fmt.Errorf("%w (%s)", ErrDeadlineExpired, dlStageSend)}
+		return
+	}
 	n.count(func(s *NodeStats) { s.Errors++ })
 	if n.healthActive() {
 		hard := errors.Is(sf.err, ErrPeerDown) || errors.Is(sf.err, via.ErrLinkDown) ||
@@ -725,6 +903,7 @@ func (n *Node) onPeerDead(peer int, reason string) {
 	purged := n.dir.PurgeNode(peer)
 	n.m.purged.Add(int64(purged))
 	n.peerLoad[peer] = 0
+	n.ovResetPeer(peer)
 	for reqID, p := range n.pending {
 		if p.dst == peer {
 			n.failover(reqID, p, failoverPeerDead)
@@ -739,6 +918,8 @@ func (n *Node) onPeerDead(peer int, reason string) {
 // previous service node is discarded.
 func (n *Node) failover(reqID uint64, p *pendingRemote, reason string) {
 	delete(n.pending, reqID)
+	now := time.Now()
+	n.ovForwardFailed(p.dst, now.Sub(p.sentAt), now)
 	n.m.failovers[reason].Inc()
 	p.span.AnnotateStr("failover", reason)
 	id, ok := n.nameToID[p.req.name]
@@ -758,25 +939,40 @@ func (n *Node) failover(reqID uint64, p *pendingRemote, reason string) {
 	p.dst = dst
 	p.tried = p.tried.Add(dst)
 	p.buf, p.received = nil, 0
-	p.deadline = time.Now().Add(n.cfg.Health.FailoverTimeout)
+	p.sentAt = now
+	p.deadline = now.Add(n.cfg.Health.FailoverTimeout)
 	p.span.Annotate("failover-dst", int64(dst))
 	n.pending[reqID] = p
+	n.ovForwardSent(dst, now)
 	n.send(dst, &Message{Type: core.MsgForward, ReqID: reqID, Name: p.req.name,
-		TraceID: p.span.Trace(), ParentSpan: p.span.ID()})
+		TraceID: p.span.Trace(), ParentSpan: p.span.ID(), deadline: p.req.deadline})
 }
 
 // pickFailover returns the least-loaded alive cacher of the file not
-// yet tried, -1 if none.
+// yet tried, -1 if none. Browned-out peers are passed over when a
+// healthy candidate exists, but — unlike dead ones — remain eligible as
+// a last resort: slow beats local disk when the disk path is the
+// bottleneck being escaped.
 func (n *Node) pickFailover(id cache.FileID, tried cache.NodeSet) int {
 	set := n.dir.Cachers(id) & cache.NodeSet(n.health.AliveMask())
 	best, bestLoad := -1, int(^uint(0)>>1)
+	bestBrowned, bestBrownedLoad := -1, int(^uint(0)>>1)
 	for _, c := range set.Nodes() {
 		if c == n.id || tried.Has(c) {
+			continue
+		}
+		if n.ovBrowned(c) {
+			if l := n.peerLoad[c]; l < bestBrownedLoad {
+				bestBrowned, bestBrownedLoad = c, l
+			}
 			continue
 		}
 		if l := n.peerLoad[c]; l < bestLoad {
 			best, bestLoad = c, l
 		}
+	}
+	if best < 0 {
+		return bestBrowned
 	}
 	return best
 }
@@ -787,6 +983,7 @@ func (n *Node) pickFailover(id cache.FileID, tried cache.NodeSet) int {
 // this node's view of its cache.
 func (n *Node) reintegrate(peer int) {
 	n.peerLoad[peer] = 0
+	n.ovResetPeer(peer)
 	if !n.cfg.ContentOblivious {
 		for id := range n.content {
 			n.send(peer, &Message{Type: core.MsgCaching, Name: n.files[id].Name, Cached: true})

@@ -142,6 +142,12 @@ func (t *viaTransport) writeFlowCounter(p *viaPeer, off int, v uint64) {
 // giving up just leaves the credit for the next batch.
 func (t *viaTransport) postRDMARetry(vi *via.VI, d *via.Descriptor, h via.Handle, off int) error {
 	pause := t.cfg.retry.Base
+	var timer *time.Timer // reused: time.After would leak one per attempt
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for attempt := 1; ; attempt++ {
 		//presslint:ignore descriptor-lifecycle re-post only happens after ErrQueueFull, which means the NIC never accepted the descriptor
 		err := vi.PostRDMAWrite(d, h, off)
@@ -151,10 +157,15 @@ func (t *viaTransport) postRDMARetry(vi *via.VI, d *via.Descriptor, h via.Handle
 		if attempt >= t.cfg.retry.Attempts {
 			return err
 		}
+		if timer == nil {
+			timer = time.NewTimer(pause)
+		} else {
+			timer.Reset(pause)
+		}
 		select {
 		case <-t.done:
 			return via.ErrClosed
-		case <-time.After(pause):
+		case <-timer.C:
 		}
 		if pause *= 2; pause > t.cfg.retry.Cap {
 			pause = t.cfg.retry.Cap

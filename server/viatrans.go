@@ -224,15 +224,25 @@ func (t *viaTransport) connect(addrs []string) error {
 			return err
 		}
 	}
-	// Wait for every peer's setup frame.
+	// Wait for every peer's setup frame. One timer is reused across the
+	// loop; each peer gets a fresh full timeout.
+	setupTimer := time.NewTimer(t.cfg.rmwTimeout)
+	defer setupTimer.Stop()
 	for id := 0; id < t.cfg.nodes; id++ {
 		p := t.peer(id)
 		if id == t.cfg.self || p == nil {
 			continue
 		}
+		if !setupTimer.Stop() {
+			select {
+			case <-setupTimer.C:
+			default:
+			}
+		}
+		setupTimer.Reset(t.cfg.rmwTimeout)
 		select {
 		case <-p.ready:
-		case <-time.After(t.cfg.rmwTimeout):
+		case <-setupTimer.C:
 			t.Close()
 			return fmt.Errorf("server: node %d: no setup frame from %d", t.cfg.self, id)
 		case <-t.done:
@@ -568,6 +578,12 @@ func (t *viaTransport) rawSend(p *viaPeer, frame []byte) error {
 // to the caller's failure handling.
 func (t *viaTransport) postSendRetry(vi *via.VI, d *via.Descriptor) error {
 	pause := t.cfg.retry.Base
+	var timer *time.Timer // reused: time.After would leak one per attempt
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for attempt := 1; ; attempt++ {
 		//presslint:ignore descriptor-lifecycle re-post only happens after ErrQueueFull, which means the NIC never accepted the descriptor
 		err := vi.PostSend(d)
@@ -577,10 +593,15 @@ func (t *viaTransport) postSendRetry(vi *via.VI, d *via.Descriptor) error {
 		if attempt >= t.cfg.retry.Attempts {
 			return err
 		}
+		if timer == nil {
+			timer = time.NewTimer(pause)
+		} else {
+			timer.Reset(pause)
+		}
 		select {
 		case <-t.done:
 			return via.ErrClosed
-		case <-time.After(pause):
+		case <-timer.C:
 		}
 		if pause *= 2; pause > t.cfg.retry.Cap {
 			pause = t.cfg.retry.Cap

@@ -67,6 +67,7 @@ type Fabric struct {
 	rng      *rand.Rand
 	severed  map[linkKey]struct{}
 	isolated map[string]struct{}
+	slowed   map[string]time.Duration
 	closed   bool
 }
 

@@ -1,12 +1,18 @@
 package via
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Fault injection: the fabric can sever the link between two NICs, the
 // software analogue of pulling a cLAN cable. Transfers over a severed
 // link fail — detected and reported on reliable-delivery VIs (breaking
 // the connection, per the VIA error model), silently lost on
-// unreliable ones.
+// unreliable ones. It can also slow a node without severing anything —
+// the gray-failure mode (overcommitted host, failing disk, congested
+// uplink) that health checks built on dead-or-alive evidence cannot
+// see.
 
 type linkKey struct{ a, b string }
 
@@ -58,6 +64,43 @@ func (f *Fabric) HealNode(addr string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.isolated, addr)
+}
+
+// SlowNode adds extra one-way delay to every transfer touching the
+// given NIC address — a slow-but-alive node: its links stay up, its
+// messages all arrive, they just take longer. Idempotent (the latest
+// delay wins); unknown addresses are accepted. extra <= 0 is HealSlowNode.
+func (f *Fabric) SlowNode(addr string, extra time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if extra <= 0 {
+		delete(f.slowed, addr)
+		return
+	}
+	if f.slowed == nil {
+		f.slowed = make(map[string]time.Duration)
+	}
+	f.slowed[addr] = extra
+}
+
+// HealSlowNode restores the node's normal speed.
+func (f *Fabric) HealSlowNode(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.slowed, addr)
+}
+
+// slowDelay returns the extra delay for a transfer between the two
+// addresses: the larger of their SlowNode penalties (delays do not
+// stack — the slowest party on the path sets the pace).
+func (f *Fabric) slowDelay(a, b string) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	da, db := f.slowed[a], f.slowed[b]
+	if db > da {
+		return db
+	}
+	return da
 }
 
 // linkUp reports whether the two addresses can currently communicate.

@@ -312,6 +312,10 @@ func (n *NIC) process(w workItem) {
 	if d := n.fabric.transferDelay(len(payload)); d > 0 {
 		sleep(d)
 	}
+	if d := n.fabric.slowDelay(n.addr, peer.addr); d > 0 {
+		// Slow-node fault injection: the transfer succeeds, just late.
+		sleep(d)
+	}
 	if !n.fabric.linkUp(n.addr, peer.addr) {
 		if w.vi.reliability == Unreliable {
 			// Lost without detection.
