@@ -4,16 +4,28 @@
 //
 // Usage:
 //
-//	go run ./cmd/presslint [-json] [packages...]
+//	go run ./cmd/presslint [-json|-sarif] [-analyzer a,b] [packages...]
 //
 // Package arguments are directories; a trailing /... walks
-// recursively. Findings print as
+// recursively. All packages are parsed and type-checked ONCE into a
+// whole-program view shared by every analyzer — the interprocedural
+// analyzers (hotpath-alloc, lock-order, atomic-consistency) need the
+// cross-package call graph, and the per-file analyzers reuse the same
+// type information instead of re-checking per package.
+//
+// Findings print as
 //
 //	file:line: [analyzer] message
 //
 // or, with -json, as one JSON object per line:
 //
 //	{"file":...,"line":...,"analyzer":...,"message":...}
+//
+// or, with -sarif, as a single SARIF 2.1.0 document for code-scanning
+// upload.
+//
+// -analyzer restricts the run to a comma-separated subset, e.g.
+// -analyzer hotpath-alloc,lock-order.
 //
 // Suppress a finding with //presslint:ignore <analyzer> <justification>
 // on the flagged line or the line directly above it.
@@ -35,14 +47,29 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 document")
+	analyzerFlag := flag.String("analyzer", "", "comma-separated analyzer names to run (default all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: presslint [-json] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: presslint [-json|-sarif] [-analyzer a,b] [packages...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-22s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range lint.ProgramAnalyzers() {
 			fmt.Fprintf(os.Stderr, "  %-22s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "presslint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+
+	only, err := parseAnalyzers(*analyzerFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "presslint: %v\n", err)
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -55,12 +82,8 @@ func main() {
 	}
 
 	fset := token.NewFileSet()
-	// One source importer for every package: it resolves stdlib imports
-	// (sync, time, ...) so analyzers get real types, and caches across
-	// packages. Intra-module imports fail harmlessly; see lint.TypeCheck.
-	imp := importer.ForCompiler(fset, "source", nil)
-
-	var findings []lint.Finding
+	modPath := modulePath()
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := lint.LoadDir(fset, dir)
 		if err != nil {
@@ -72,25 +95,92 @@ func main() {
 		if len(pkg.Files) == 0 {
 			continue
 		}
-		pkg.TypeCheck(imp)
-		findings = append(findings, lint.Check(pkg)...)
+		pkg.Path = importPathFor(modPath, dir)
+		pkgs = append(pkgs, pkg)
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	for _, f := range findings {
-		if *jsonOut {
+	// One program: every package type-checked once, in dependency order,
+	// with intra-module imports resolved against each other and stdlib
+	// imports through a shared source importer.
+	prog := lint.LoadProgram(fset, pkgs, importer.ForCompiler(fset, "source", nil))
+	findings := prog.CheckAnalyzers(only)
+
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "presslint: %v\n", err)
+			os.Exit(2)
+		}
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
 			if err := enc.Encode(f); err != nil {
 				fmt.Fprintf(os.Stderr, "presslint: %v\n", err)
 				os.Exit(2)
 			}
-			continue
 		}
-		fmt.Println(f)
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "presslint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// parseAnalyzers turns the -analyzer flag into a set, rejecting names
+// the suite does not know so a typo fails loudly instead of silently
+// running nothing.
+func parseAnalyzers(s string) (map[string]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	for _, name := range lint.AnalyzerNames() {
+		known[name] = true
+	}
+	only := make(map[string]bool)
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q (see -h for the list)", name)
+		}
+		only[name] = true
+	}
+	return only, nil
+}
+
+// modulePath reads the module path from go.mod in the working
+// directory, so package directories map to import paths. Outside a
+// module the directory itself serves as the path.
+func modulePath() string {
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+func importPathFor(modPath, dir string) string {
+	dir = filepath.ToSlash(filepath.Clean(dir))
+	if modPath == "" {
+		return dir
+	}
+	if dir == "." {
+		return modPath
+	}
+	return modPath + "/" + dir
 }
 
 // expand turns package patterns into the list of directories to lint.
@@ -140,4 +230,97 @@ func expand(patterns []string) ([]string, error) {
 		}
 	}
 	return dirs, nil
+}
+
+// --- SARIF output -----------------------------------------------------
+
+// sarifLog is the subset of SARIF 2.1.0 that code-scanning consumers
+// require: one run, one rule per analyzer, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+func writeSARIF(w *os.File, findings []lint.Finding) error {
+	docs := make(map[string]string)
+	for _, a := range lint.Analyzers() {
+		docs[a.Name] = a.Doc
+	}
+	for _, a := range lint.ProgramAnalyzers() {
+		docs[a.Name] = a.Doc
+	}
+	var rules []sarifRule
+	ruleSeen := make(map[string]bool)
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		if !ruleSeen[f.Analyzer] {
+			ruleSeen[f.Analyzer] = true
+			rules = append(rules, sarifRule{ID: f.Analyzer, ShortDescription: sarifMessage{Text: docs[f.Analyzer]}})
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(f.File)},
+				Region:           sarifRegion{StartLine: f.Line},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "presslint", Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }

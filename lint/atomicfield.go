@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+const atomicConsistencyName = "atomic-consistency"
+
+var atomicConsistency = &ProgramAnalyzer{
+	Name: atomicConsistencyName,
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicConsistency,
+}
+
+// The classic smear: one goroutine publishes a counter with
+// atomic.AddInt64 while another reads it with a plain load two files
+// away — the race detector only catches it if a test happens to
+// overlap the two, but the program graph shows it statically. The
+// analyzer finds every variable or field whose address is passed to a
+// sync/atomic function, then reports every plain (non-atomic) read or
+// write of the same object anywhere in the program.
+//
+// Initialization inside a composite literal is exempt: construction
+// happens before the object is shared. Typed atomics (atomic.Int64
+// and friends) need no checking — the type system already makes plain
+// access impossible — which is why the press runtime packages use
+// them exclusively; this analyzer keeps the door shut on the
+// function-style form creeping in half-converted.
+func runAtomicConsistency(prog *Program) []Finding {
+	// Pass 1: collect objects accessed through sync/atomic functions,
+	// and remember the exact identifier nodes in atomic position so
+	// pass 2 can skip them.
+	atomicObjs := make(map[types.Object]token.Pos)
+	inAtomic := make(map[*ast.Ident]bool)
+	names := make(map[types.Object]string)
+	for _, p := range prog.Pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(p, call) || len(call.Args) == 0 {
+					return true
+				}
+				// Every sync/atomic function takes the target address
+				// as its first argument.
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				target := ast.Unparen(un.X)
+				obj, id := accessObject(p, target)
+				if obj == nil {
+					return true
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+					names[obj] = accessDisplay(p, target, obj)
+				}
+				if id != nil {
+					inAtomic[id] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	// Pass 2: every other use of those objects is a plain access.
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			var compositeLits []*ast.CompositeLit
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				if cl, ok := n.(*ast.CompositeLit); ok {
+					compositeLits = append(compositeLits, cl)
+				}
+				id, ok := n.(*ast.Ident)
+				if !ok || inAtomic[id] {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				pos, tracked := atomicObjs[obj]
+				if !tracked {
+					return true
+				}
+				// Construction-time initialization is pre-publication.
+				for _, cl := range compositeLits {
+					if id.Pos() > cl.Pos() && id.Pos() < cl.End() {
+						return true
+					}
+				}
+				at := prog.Fset.Position(pos)
+				out = append(out, prog.finding(id.Pos(), atomicConsistencyName,
+					fmt.Sprintf("%s is accessed with sync/atomic (%s:%d) but plainly here; every access must be atomic",
+						names[obj], at.Filename, at.Line)))
+				return true
+			})
+			_ = compositeLits
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function.
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pn.Imported().Path() == "sync/atomic"
+}
+
+// accessObject resolves the variable or field behind an access
+// expression, returning the identifying object and the identifier
+// that names it (x for plain x, the field identifier for s.f).
+func accessObject(p *Package, e ast.Expr) (types.Object, *ast.Ident) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[e].(*types.Var); ok {
+			return obj, e
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), e.Sel
+		}
+		if obj, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+			return obj, e.Sel
+		}
+	case *ast.IndexExpr:
+		// &xs[i]: atomic access to a slice/array element; track the
+		// backing variable so plain element access is caught too.
+		return accessObject(p, ast.Unparen(e.X))
+	}
+	return nil, nil
+}
+
+// accessDisplay renders a readable name for the tracked object.
+func accessDisplay(p *Package, e ast.Expr, obj types.Object) string {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if owner := p.namedTypeString(sel.X); owner != "" {
+			return shortName(owner) + "." + sel.Sel.Name
+		}
+	}
+	if obj.Pkg() != nil {
+		return shortName(obj.Pkg().Path()) + "." + obj.Name()
+	}
+	return obj.Name()
+}

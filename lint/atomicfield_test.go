@@ -1,0 +1,185 @@
+package lint
+
+import "testing"
+
+// A field or variable whose address reaches sync/atomic anywhere must
+// be accessed atomically everywhere; findings land on the plain access.
+func TestAtomicConsistency(t *testing.T) {
+	cases := []struct {
+		name string
+		srcs map[string]string
+	}{
+		{
+			name: "mixed atomic and plain field access",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func (c *C) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) read() int64 {
+	return c.n // want
+}
+`},
+		},
+		{
+			name: "all-atomic access is clean",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func (c *C) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+`},
+		},
+		{
+			name: "plain-only field is not tracked",
+			srcs: map[string]string{"fx": `package fx
+
+type C struct{ n int64 }
+
+func (c *C) inc() { c.n++ }
+
+func (c *C) read() int64 { return c.n }
+`},
+		},
+		{
+			name: "composite-literal initialization is exempt",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func (c *C) inc() { atomic.AddInt64(&c.n, 1) }
+
+func newC() *C {
+	return &C{n: 1}
+}
+`},
+		},
+		{
+			name: "plain write flagged",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func (c *C) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) reset() {
+	c.n = 0 // want
+}
+`},
+		},
+		{
+			name: "package-level variable",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+func snapshot() int64 {
+	return hits // want
+}
+`},
+		},
+		{
+			name: "atomic load poisons a plain increment",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func (c *C) load() int64 { return atomic.LoadInt64(&c.n) }
+
+func (c *C) inc() {
+	c.n++ // want
+}
+`},
+		},
+		{
+			name: "same-named field on another type stays untracked",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+type A struct{ n int64 }
+
+type B struct{ n int64 }
+
+func fa(a *A) { atomic.AddInt64(&a.n, 1) }
+
+func fb(b *B) { b.n++ }
+`},
+		},
+		{
+			name: "suppressed plain read",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func (c *C) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) read() int64 {
+	return c.n //presslint:ignore atomic-consistency snapshot read under the owner's lock during teardown
+}
+`},
+		},
+		{
+			name: "slice element atomics track the backing variable",
+			srcs: map[string]string{"fx": `package fx
+
+import "sync/atomic"
+
+var slots []int64
+
+func mark(i int) { atomic.StoreInt64(&slots[i], 1) }
+
+func peek() int64 {
+	return slots[0] // want
+}
+`},
+		},
+		{
+			name: "cross-package plain access of an atomic field",
+			srcs: map[string]string{
+				"fxa": `package fxa
+
+import "sync/atomic"
+
+type Gauge struct{ N int64 }
+
+func (g *Gauge) Inc() { atomic.AddInt64(&g.N, 1) }
+`,
+				"fxb": `package fxb
+
+import "fxa"
+
+func Read(g *fxa.Gauge) int64 {
+	return g.N // want
+}
+`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertProgramFindings(t, atomicConsistencyName, tc.srcs)
+		})
+	}
+}

@@ -1,0 +1,573 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The whole-program call graph. Nodes are function declarations and
+// function literals from non-test files; edges are call sites resolved
+// as precisely as go/types allows:
+//
+//   - static calls and method calls resolve to their one target,
+//     including methods promoted through embedding and instantiated
+//     generics (resolved to their origin declaration);
+//   - interface method calls resolve conservatively to the matching
+//     method of every concrete type in the program that implements the
+//     interface;
+//   - calls through function-typed variables and fields resolve to
+//     every function ever assigned to that variable or field anywhere
+//     in the program (covering `var sleep = defaultSleep` style
+//     injection points and method values); calls through values the
+//     assignment scan cannot track (parameters, channel receives,
+//     map lookups) stay unresolved and are marked Dynamic;
+//   - a function literal referenced without being called gets a Ref
+//     edge from its enclosing function: the graph assumes it may run
+//     synchronously where it is created, which over-approximates
+//     (callback registries) but never misses a same-goroutine call.
+//
+// Calls and literals launched with `go` keep a Go flag so analyzers
+// can exclude work that runs on another goroutine.
+type CallGraph struct {
+	Prog *Program
+	// All holds every node in deterministic source order.
+	All []*CGNode
+	// Funcs indexes declared functions and methods by their (origin)
+	// type object.
+	Funcs map[*types.Func]*CGNode
+	// Decls indexes nodes by their declaration, for annotation scans.
+	Decls map[*ast.FuncDecl]*CGNode
+	// Sites indexes every resolved call site by its call expression.
+	Sites map[*ast.CallExpr]*CallSite
+}
+
+// CGNode is one function (declaration or literal) in the call graph.
+type CGNode struct {
+	// Func is the type object of a declared function or method; nil
+	// for function literals.
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Pkg  *Package
+	File *File
+	// Name is a human-readable identity: "press/via.bind",
+	// "(*press/via.VI).PostSend", or "press/via.bind$lit" for literals.
+	Name string
+	// Calls lists the node's outgoing call sites in source order.
+	Calls []*CallSite
+}
+
+// Body returns the function's body block.
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Pos returns the function's declaration position.
+func (n *CGNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// CallSite is one outgoing edge set: a call expression (or literal
+// reference) and the targets it may reach.
+type CallSite struct {
+	// Call is the call expression; nil for Ref edges (a literal
+	// referenced, not called).
+	Call *ast.CallExpr
+	Pos  token.Pos
+	// Callees are the in-program targets this site may invoke.
+	Callees []*CGNode
+	// Ext names targets outside the program ("fmt.Errorf"), for leaf
+	// knowledge like known-allocating stdlib calls.
+	Ext []string
+	// Dynamic marks a call through a function value the assignment
+	// scan could not resolve; analyzers must treat it conservatively.
+	Dynamic bool
+	// Go marks a call or literal launched on a new goroutine.
+	Go bool
+	// Defer marks a deferred call; it still runs on this goroutine.
+	Defer bool
+	// Ref marks a function literal referenced without an immediate
+	// call (stored, passed as callback).
+	Ref bool
+}
+
+// funcTarget is one value a function-typed variable may hold.
+type funcTarget struct {
+	fn  *types.Func
+	lit *ast.FuncLit
+}
+
+type graphBuilder struct {
+	prog  *Program
+	graph *CallGraph
+	// assigned maps function-typed variables and fields to every
+	// function value assigned to them anywhere in the program.
+	assigned map[types.Object][]funcTarget
+	// concrete lists every named non-interface type, for interface
+	// dispatch resolution.
+	concrete []*types.Named
+	// methodSets caches name→method lookups per concrete type.
+	methodSets map[*types.Named]map[string]*types.Func
+	// litNodes maps literals to their nodes while walking.
+	litNodes map[*ast.FuncLit]*CGNode
+	// pending defers calls through function values until every
+	// literal node exists.
+	pending []pendingDyn
+}
+
+type pendingDyn struct {
+	site *CallSite
+	obj  types.Object
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	b := &graphBuilder{
+		prog: prog,
+		graph: &CallGraph{
+			Prog:  prog,
+			Funcs: make(map[*types.Func]*CGNode),
+			Decls: make(map[*ast.FuncDecl]*CGNode),
+			Sites: make(map[*ast.CallExpr]*CallSite),
+		},
+		assigned:   make(map[types.Object][]funcTarget),
+		methodSets: make(map[*types.Named]map[string]*types.Func),
+		litNodes:   make(map[*ast.FuncLit]*CGNode),
+	}
+	b.collectTypes()
+	b.collectAssignments()
+	// Create declaration nodes first so edges can target any function.
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				b.addDecl(p, f, fd)
+			}
+		}
+	}
+	for _, n := range b.graph.All {
+		if n.Decl != nil {
+			b.walkBody(n, n.Decl.Body)
+		}
+	}
+	for _, pd := range b.pending {
+		b.resolveDynamic(pd.site, pd.obj)
+	}
+	return b.graph
+}
+
+func (b *graphBuilder) addDecl(p *Package, f *File, fd *ast.FuncDecl) {
+	n := &CGNode{Decl: fd, Pkg: p, File: f, Name: declName(p, fd)}
+	if p.Info != nil {
+		if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+			n.Func = fn
+			n.Name = fn.FullName()
+			b.graph.Funcs[fn] = n
+		}
+	}
+	b.graph.Decls[fd] = n
+	b.graph.All = append(b.graph.All, n)
+}
+
+// declName renders a fallback identity when type information is
+// missing.
+func declName(p *Package, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		name = types.ExprString(fd.Recv.List[0].Type) + "." + name
+	}
+	if len(p.Files) > 0 {
+		name = p.Files[0].AST.Name.Name + "." + name
+	}
+	return name
+}
+
+// collectTypes gathers every named concrete type for interface
+// dispatch.
+func (b *graphBuilder) collectTypes() {
+	for _, p := range b.prog.Pkgs {
+		if p.Types == nil {
+			continue
+		}
+		scope := p.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			b.concrete = append(b.concrete, named)
+		}
+	}
+}
+
+// collectAssignments records every function value assigned to a
+// variable or struct field, program-wide.
+func (b *graphBuilder) collectAssignments() {
+	for _, p := range b.prog.Pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(node ast.Node) bool {
+				switch n := node.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, lhs := range n.Lhs {
+						b.recordAssign(p, lhs, n.Rhs[i])
+					}
+				case *ast.ValueSpec:
+					if len(n.Names) != len(n.Values) {
+						return true
+					}
+					for i, name := range n.Names {
+						b.recordAssign(p, name, n.Values[i])
+					}
+				case *ast.CompositeLit:
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						b.recordAssign(p, kv.Key, kv.Value)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (b *graphBuilder) recordAssign(p *Package, lhs, rhs ast.Expr) {
+	tgt, ok := b.funcValue(p, rhs)
+	if !ok {
+		return
+	}
+	obj := lhsObject(p, lhs)
+	if obj == nil {
+		return
+	}
+	b.assigned[obj] = append(b.assigned[obj], tgt)
+}
+
+// funcValue recognizes an expression that denotes a specific function:
+// a function or method name used as a value, a method value x.M, or a
+// function literal.
+func (b *graphBuilder) funcValue(p *Package, e ast.Expr) (funcTarget, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return funcTarget{lit: e}, true
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[e].(*types.Func); ok {
+			return funcTarget{fn: origin(fn)}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return funcTarget{fn: origin(fn)}, true
+			}
+			return funcTarget{}, false
+		}
+		if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok {
+			return funcTarget{fn: origin(fn)}, true
+		}
+	}
+	return funcTarget{}, false
+}
+
+// lhsObject resolves the variable or field object an assignment writes.
+func lhsObject(p *Package, lhs ast.Expr) types.Object {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Defs[lhs]; obj != nil {
+			return obj
+		}
+		return p.Info.Uses[lhs]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[lhs]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+// walkBody scans a function body, creating call sites on n and nodes
+// for nested literals. Literal bodies are walked with the literal as
+// the owner, so a call inside a closure belongs to the closure.
+func (b *graphBuilder) walkBody(n *CGNode, body *ast.BlockStmt) {
+	var walk func(node ast.Node, goCtx, deferCtx bool)
+	var walkExpr func(e ast.Expr)
+
+	litNode := func(lit *ast.FuncLit) *CGNode {
+		ln, ok := b.litNodes[lit]
+		if !ok {
+			ln = &CGNode{Lit: lit, Pkg: n.Pkg, File: n.File, Name: n.Name + "$lit"}
+			b.litNodes[lit] = ln
+			b.graph.All = append(b.graph.All, ln)
+			b.walkBody(ln, lit.Body)
+		}
+		return ln
+	}
+
+	addSite := func(s *CallSite) {
+		n.Calls = append(n.Calls, s)
+		if s.Call != nil {
+			b.graph.Sites[s.Call] = s
+		}
+	}
+
+	handleCall := func(call *ast.CallExpr, goCtx, deferCtx bool) {
+		// A conversion is not a call.
+		if n.Pkg.Info != nil {
+			if tv, ok := n.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+				walkExpr(ast.Unparen(call.Fun))
+				for _, a := range call.Args {
+					walkExpr(a)
+				}
+				return
+			}
+		}
+		site := &CallSite{Call: call, Pos: call.Pos(), Go: goCtx, Defer: deferCtx}
+		b.resolve(n.Pkg, call, site, litNode)
+		addSite(site)
+		// Arguments may contain literals and nested calls.
+		if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); !ok {
+			walkExpr(ast.Unparen(call.Fun))
+		}
+		for _, a := range call.Args {
+			walkExpr(a)
+		}
+	}
+
+	walkExpr = func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.FuncLit:
+				ln := litNode(node)
+				addSite(&CallSite{Pos: node.Pos(), Callees: []*CGNode{ln}, Ref: true})
+				return false
+			case *ast.CallExpr:
+				handleCall(node, false, false)
+				return false
+			}
+			return true
+		})
+	}
+
+	walk = func(node ast.Node, goCtx, deferCtx bool) {
+		if node == nil {
+			return
+		}
+		ast.Inspect(node, func(nd ast.Node) bool {
+			switch nd := nd.(type) {
+			case *ast.GoStmt:
+				handleCall(nd.Call, true, false)
+				return false
+			case *ast.DeferStmt:
+				handleCall(nd.Call, goCtx, true)
+				return false
+			case *ast.CallExpr:
+				handleCall(nd, goCtx, deferCtx)
+				return false
+			case *ast.FuncLit:
+				ln := litNode(nd)
+				addSite(&CallSite{Pos: nd.Pos(), Callees: []*CGNode{ln}, Ref: true, Go: goCtx})
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false, false)
+}
+
+// resolve fills site.Callees/Ext/Dynamic for a call expression.
+func (b *graphBuilder) resolve(p *Package, call *ast.CallExpr, site *CallSite, litNode func(*ast.FuncLit) *CGNode) {
+	info := p.Info
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation: f[T](...) or m[T1, T2](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	if info == nil {
+		site.Dynamic = true
+		return
+	}
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		site.Callees = append(site.Callees, litNode(fun))
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			b.addTarget(site, origin(obj))
+		case *types.Builtin, *types.TypeName:
+			// builtin or conversion; not an edge
+		default:
+			b.dynamicTargets(site, info.Uses[fun])
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				fn, _ := sel.Obj().(*types.Func)
+				if fn == nil {
+					site.Dynamic = true
+					return
+				}
+				if isInterface(sel.Recv()) {
+					b.dispatch(site, sel.Recv(), fn)
+				} else {
+					b.addTarget(site, origin(fn))
+				}
+			case types.FieldVal:
+				b.dynamicTargets(site, sel.Obj())
+			default:
+				site.Dynamic = true
+			}
+			return
+		}
+		// Package-qualified reference pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			b.addTarget(site, origin(fn))
+			return
+		}
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return // conversion
+		}
+		b.dynamicTargets(site, info.Uses[fun.Sel])
+	default:
+		site.Dynamic = true
+	}
+}
+
+// addTarget records fn as a callee: an in-program node when one
+// exists, an external name otherwise.
+func (b *graphBuilder) addTarget(site *CallSite, fn *types.Func) {
+	if n, ok := b.graph.Funcs[fn]; ok {
+		site.Callees = append(site.Callees, n)
+		return
+	}
+	site.Ext = append(site.Ext, fn.FullName())
+}
+
+// dynamicTargets queues a call through a function-typed variable or
+// field; resolution runs after every literal node exists.
+func (b *graphBuilder) dynamicTargets(site *CallSite, obj types.Object) {
+	if obj == nil {
+		site.Dynamic = true
+		return
+	}
+	b.pending = append(b.pending, pendingDyn{site: site, obj: obj})
+}
+
+// resolveDynamic applies the program-wide assignment scan to a queued
+// function-value call.
+func (b *graphBuilder) resolveDynamic(site *CallSite, obj types.Object) {
+	targets, ok := b.assigned[obj]
+	if !ok {
+		site.Dynamic = true
+		return
+	}
+	for _, t := range targets {
+		if t.fn != nil {
+			b.addTarget(site, t.fn)
+		} else if ln, ok := b.litNodes[t.lit]; ok {
+			site.Callees = append(site.Callees, ln)
+		} else {
+			// Literal in a test file or unwalked body; conservative.
+			site.Dynamic = true
+		}
+	}
+}
+
+// dispatch resolves an interface method call to the matching method of
+// every concrete type implementing the interface.
+func (b *graphBuilder) dispatch(site *CallSite, recv types.Type, decl *types.Func) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		site.Dynamic = true
+		return
+	}
+	name := decl.Name()
+	found := false
+	for _, named := range b.concrete {
+		ptr := types.NewPointer(named)
+		if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+			continue
+		}
+		fn := b.methodOf(named, name, decl.Pkg())
+		if fn == nil {
+			continue
+		}
+		found = true
+		b.addTarget(site, fn)
+	}
+	if !found {
+		// No implementation in the program: external or dead dispatch.
+		site.Ext = append(site.Ext, decl.FullName())
+	}
+}
+
+// methodOf finds named's concrete method (through pointers and
+// embedding) called name, as visible from pkg.
+func (b *graphBuilder) methodOf(named *types.Named, name string, pkg *types.Package) *types.Func {
+	cache, ok := b.methodSets[named]
+	if !ok {
+		cache = make(map[string]*types.Func)
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			if fn, ok := ms.At(i).Obj().(*types.Func); ok {
+				cache[fn.Name()] = origin(fn)
+			}
+		}
+		b.methodSets[named] = cache
+	}
+	_ = pkg
+	return cache[name]
+}
+
+// origin maps an instantiated generic function or method back to its
+// declaration.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -20,10 +20,15 @@ import (
 //     descriptor's segments (the transfer races the mutation).
 //
 // Tracking is conservative: any completion-reaping call clears all
-// posted state, and a descriptor that escapes (passed to another
-// function, sent on a channel, aliased) is no longer tracked. Loop
-// bodies are scanned twice so a post-without-wait inside a loop is
-// seen as the re-post it is on the second iteration.
+// posted state, and a descriptor that escapes (sent on a channel,
+// aliased, stored) is no longer tracked. Passing a descriptor to a
+// function declared in the same package follows it one call boundary
+// down: a one-level summary of the callee decides whether the call
+// posts the descriptor, reaps its completion, merely inspects it (all
+// keep it tracked here), or does something the summary cannot model
+// (escapes as before). Loop bodies are scanned twice so a
+// post-without-wait inside a loop is seen as the re-post it is on the
+// second iteration.
 const descriptorLifecycleName = "descriptor-lifecycle"
 
 var descriptorLifecycle = &Analyzer{
@@ -313,6 +318,7 @@ func (s *descScan) call(c *ast.CallExpr, consumed map[*ast.Ident]bool) {
 	recv, name, isSel := selectorCall(c)
 	recvIdent, _ := recv.(*ast.Ident)
 	if !isSel {
+		s.summaryArgs(c, consumed)
 		return
 	}
 	switch {
@@ -363,8 +369,9 @@ func (s *descScan) call(c *ast.CallExpr, consumed map[*ast.Ident]bool) {
 			}
 		}
 	default:
-		// Unknown method on a tracked descriptor, or a tracked
-		// descriptor passed as an argument: it escapes the analysis.
+		// Unknown method on a tracked descriptor: it escapes the
+		// analysis. A tracked descriptor passed as an argument gets one
+		// chance at a callee summary before escaping the same way.
 		if recvIdent != nil {
 			if _, ok := s.created[recvIdent.Name]; ok {
 				consumed[recvIdent] = true
@@ -375,5 +382,48 @@ func (s *descScan) call(c *ast.CallExpr, consumed map[*ast.Ident]bool) {
 				s.clearVar(recvIdent.Name)
 			}
 		}
+		s.summaryArgs(c, consumed)
+	}
+}
+
+// summaryArgs follows tracked descriptors one call boundary down: when
+// the callee is a unique in-package declaration whose summary shows it
+// only posts, reaps, or inspects the parameter, the descriptor stays
+// tracked here with that event applied instead of escaping.
+func (s *descScan) summaryArgs(c *ast.CallExpr, consumed map[*ast.Ident]bool) {
+	fd := s.p.localDecl(c)
+	if fd == nil {
+		return
+	}
+	for i, a := range c.Args {
+		id := descArg(a)
+		if id == nil || consumed[id] {
+			continue
+		}
+		_, created := s.created[id.Name]
+		_, posted := s.posted[id.Name]
+		if !created && !posted {
+			continue
+		}
+		pn := paramName(fd, i)
+		if pn == "" {
+			continue
+		}
+		switch descParamFate(fd, pn) {
+		case fatePosts:
+			consumed[id] = true
+			if prev, ok := s.posted[id.Name]; ok {
+				s.report(c.Pos(), fmt.Sprintf(
+					"descriptor %s re-posted while still posted (previous post at line %d, this call posts it via %s); the NIC owns a posted descriptor",
+					id.Name, s.p.line(prev), fd.Name.Name))
+			}
+			s.posted[id.Name] = c.Pos()
+		case fateReaps:
+			consumed[id] = true
+			s.clearAllPosted()
+		case fateInspect:
+			consumed[id] = true
+		}
+		// fateUnknown: left unconsumed, so the escape pass clears it.
 	}
 }

@@ -126,3 +126,104 @@ func f() {
 		})
 	}
 }
+
+// TestDescriptorLifecycleSummaries covers the one-call-boundary
+// upgrade: a tracked descriptor handed to a same-package callee keeps
+// its state when the callee's summary is post/reap/inspect, and only
+// escapes when the callee does something the summary cannot follow.
+func TestDescriptorLifecycleSummaries(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "callee that posts makes the hand-off a re-post",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	shipOut(d) // want
+}
+
+func shipOut(d *Descriptor) {
+	vi.PostSend(d)
+}
+`,
+		},
+		{
+			name: "callee that reaps clears posted state",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	settle(d)
+	vi.PostSend(d)
+}
+
+func settle(d *Descriptor) {
+	d.Wait(0)
+}
+`,
+		},
+		{
+			name: "inspect-only callee keeps the descriptor tracked",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	note(d)
+	vi.PostSend(d) // want
+}
+
+func note(d *Descriptor) {
+	_ = d.Len()
+}
+`,
+		},
+		{
+			name: "callee passing it a level deeper stays conservative",
+			src: `package fx
+
+func f() {
+	vi.PostSend(d)
+	relay(d)
+	vi.PostSend(d)
+}
+
+func relay(d *Descriptor) {
+	forward(d)
+}
+
+func forward(d *Descriptor) {
+	vi.PostSend(d)
+}
+`,
+		},
+		{
+			name: "ambiguous callee name stays conservative",
+			src: `package fx
+
+type W struct{}
+
+func f() {
+	vi.PostSend(d)
+	handle(d)
+	vi.PostSend(d)
+}
+
+func handle(d *Descriptor) {
+	vi.PostSend(d)
+}
+
+func (w *W) handle(d *Descriptor) {
+	d.Wait(0)
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, descriptorLifecycleName, tc.src, false)
+		})
+	}
+}

@@ -61,6 +61,16 @@ type Package struct {
 	// when the type-checker hit errors (e.g. unresolvable imports) it is
 	// only partially filled; analyzers must treat it as advisory.
 	Info *types.Info
+	// Path is the package's import path when loaded as part of a
+	// Program ("" for standalone fixture packages).
+	Path string
+	// Types is the type-checked package object, used to serve this
+	// package to importers of other module packages. Nil until
+	// TypeCheck runs.
+	Types *types.Package
+	// funcsByName lazily indexes function declarations for the
+	// one-call-boundary summaries; see funcIndex.
+	funcsByName map[string][]*ast.FuncDecl
 }
 
 // Analyzer is one check.
@@ -85,10 +95,32 @@ func Analyzers() []*Analyzer {
 	}
 }
 
-// AnalyzerNames returns the names of every registered analyzer.
+// ProgramAnalyzer is one whole-program check: it sees every package at
+// once through the interprocedural engine (call graph + fact
+// propagation) instead of one file at a time.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program) []Finding
+}
+
+// ProgramAnalyzers returns the interprocedural suite in a stable order.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		hotpathAlloc,
+		lockOrder,
+		atomicConsistency,
+	}
+}
+
+// AnalyzerNames returns the names of every registered analyzer,
+// file-level and program-level.
 func AnalyzerNames() []string {
 	var names []string
 	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	for _, a := range ProgramAnalyzers() {
 		names = append(names, a.Name)
 	}
 	return names
@@ -151,8 +183,14 @@ func (p *Package) TypeCheck(imp types.Importer) {
 	for _, f := range p.Files {
 		files = append(files, f.AST)
 	}
-	_, _ = conf.Check(p.Files[0].AST.Name.Name, p.Fset, files, info)
+	name := p.Files[0].AST.Name.Name
+	path := p.Path
+	if path == "" {
+		path = name
+	}
+	pkg, _ := conf.Check(path, p.Fset, files, info)
 	p.Info = info
+	p.Types = pkg
 }
 
 // Check runs every analyzer over the package, applies suppression

@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const lockOrderName = "lock-order"
+
+var lockOrder = &ProgramAnalyzer{
+	Name: lockOrderName,
+	Doc:  "build the global mutex-acquisition-order graph and report cycles as potential deadlocks",
+	Run:  runLockOrder,
+}
+
+// The analyzer upgrades mutex-across-block's "suspicious shape" to
+// "provable inversion": it scans every function for the locks it
+// acquires (sync.Mutex / sync.RWMutex, keyed by the types.Object of
+// the lock variable or field), tracks which locks are held at each
+// statement, and propagates per-function acquired-lock sets bottom-up
+// through the call graph. Acquiring L (directly or anywhere inside a
+// callee) while holding H adds the order edge H → L; a cycle in the
+// resulting graph is a potential deadlock.
+//
+// Locks are identified per declaration, not per instance: two
+// instances of the same field locked together form a self-edge, which
+// is reported as an inversion unless every such double-acquisition
+// follows a global order (the classic fix — annotate those with a
+// suppression stating the order). RLock/RLock self-edges are not
+// reported (read locks admit each other); every other cycle is.
+// Goroutine launches are excluded (a `go` callee acquires on its own
+// stack), and calls through unresolved function values are skipped,
+// so the graph under-approximates there.
+
+// lockEdge is one observed acquisition order H then L.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos
+	// via names the callee the acquisition happened through, "" for a
+	// direct Lock in the same function.
+	via string
+	// rlockOnly marks a self-edge where both acquisitions are RLock.
+	rlockOnly bool
+}
+
+type lockScan struct {
+	prog *Program
+	g    *CallGraph
+	// acquires[n] is the set of locks n acquires directly, with one
+	// representative position and kind each.
+	acquires map[*CGNode]map[types.Object]lockAcq
+	// edges accumulates the global order graph.
+	edges []lockEdge
+	// names holds a display name per lock object.
+	names map[types.Object]string
+}
+
+type lockAcq struct {
+	pos   token.Pos
+	rlock bool
+}
+
+func runLockOrder(prog *Program) []Finding {
+	g := prog.CallGraph()
+	ls := &lockScan{
+		prog:     prog,
+		g:        g,
+		acquires: make(map[*CGNode]map[types.Object]lockAcq),
+		names:    make(map[types.Object]string),
+	}
+	// Pass 1: per-function held-set scan. Direct edges and the
+	// held-at-call-site snapshots fall out of the same walk.
+	type heldCall struct {
+		n    *CGNode
+		site *CallSite
+		held []heldLock
+	}
+	var calls []heldCall
+	for _, n := range g.All {
+		ls.acquires[n] = make(map[types.Object]lockAcq)
+		ls.scanNode(n, func(site *CallSite, held []heldLock) {
+			snap := make([]heldLock, len(held))
+			copy(snap, held)
+			calls = append(calls, heldCall{n: n, site: site, held: snap})
+		})
+	}
+	// Pass 2: propagate "may acquire" sets bottom-up; a callee's set
+	// includes everything its own callees may acquire.
+	follow := func(_ *CGNode, site *CallSite) bool { return !site.Go }
+	type acqFact struct {
+		obj   types.Object
+		rlock bool
+	}
+	facts := propagate(g, func(n *CGNode) map[acqFact]bool {
+		set := make(map[acqFact]bool, len(ls.acquires[n]))
+		for obj, acq := range ls.acquires[n] {
+			set[acqFact{obj: obj, rlock: acq.rlock}] = true
+		}
+		return set
+	}, follow)
+	// Pass 3: held-at-call-site × callee-may-acquire edges.
+	for _, hc := range calls {
+		if hc.site.Go {
+			continue
+		}
+		for _, callee := range hc.site.Callees {
+			for f := range facts[callee] {
+				for _, h := range hc.held {
+					ls.edges = append(ls.edges, lockEdge{
+						from: h.obj, to: f.obj, pos: hc.site.Pos,
+						via:       calleeLabel(callee),
+						rlockOnly: h.rlock && f.rlock,
+					})
+				}
+			}
+		}
+	}
+	return ls.report()
+}
+
+func calleeLabel(n *CGNode) string { return shortName(n.Name) }
+
+// heldLock is one lock in the held set during the scan.
+type heldLock struct {
+	obj   types.Object
+	rlock bool
+}
+
+// scanNode walks one function body in source order, maintaining the
+// held-lock set. onCall receives every call site made while at least
+// one lock is held. Function literals are their own nodes and are
+// skipped here; goroutine bodies never extend the holder's order.
+func (ls *lockScan) scanNode(n *CGNode, onCall func(*CallSite, []heldLock)) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	var held []heldLock
+
+	release := func(obj types.Object) {
+		for i, h := range held {
+			if h.obj == obj {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	acquire := func(obj types.Object, rlock bool, pos token.Pos) {
+		if _, seen := ls.acquires[n][obj]; !seen {
+			ls.acquires[n][obj] = lockAcq{pos: pos, rlock: rlock}
+		} else if !rlock {
+			// Upgrade the record if a write lock appears too.
+			acq := ls.acquires[n][obj]
+			acq.rlock = false
+			ls.acquires[n][obj] = acq
+		}
+		for _, h := range held {
+			ls.edges = append(ls.edges, lockEdge{
+				from: h.obj, to: obj, pos: pos,
+				rlockOnly: h.rlock && rlock,
+			})
+		}
+		held = append(held, heldLock{obj: obj, rlock: rlock})
+	}
+
+	var scanList func(list []ast.Stmt)
+	var scanStmt func(s ast.Stmt)
+	var scanExpr func(e ast.Expr)
+
+	handleCall := func(call *ast.CallExpr, deferred bool) {
+		if obj, rlock, isLock, isUnlock := ls.lockOp(n.Pkg, call); obj != nil {
+			switch {
+			case isLock && !deferred:
+				acquire(obj, rlock, call.Pos())
+			case isUnlock && !deferred:
+				release(obj)
+			case isUnlock && deferred:
+				// Held until return; keep it in the held set.
+			}
+			return
+		}
+		for _, a := range call.Args {
+			scanExpr(a)
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			scanExpr(sel.X)
+		}
+		if len(held) > 0 {
+			if site, ok := ls.g.Sites[call]; ok {
+				onCall(site, held)
+			}
+		}
+	}
+
+	scanExpr = func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.FuncLit:
+				return false // its own node
+			case *ast.CallExpr:
+				handleCall(node, false)
+				return false
+			}
+			return true
+		})
+	}
+
+	// terminates reports whether a list ends in return/panic — its
+	// lock-state changes (early-exit unlocks) must not leak into the
+	// code after the enclosing statement.
+	terminates := func(list []ast.Stmt) bool {
+		if len(list) == 0 {
+			return false
+		}
+		switch last := list[len(list)-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	scanBranch := func(list []ast.Stmt) {
+		if terminates(list) {
+			saved := make([]heldLock, len(held))
+			copy(saved, held)
+			scanList(list)
+			held = saved
+			return
+		}
+		scanList(list)
+	}
+
+	scanStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			scanBranch(s.List)
+		case *ast.IfStmt:
+			scanStmt(s.Init)
+			scanExpr(s.Cond)
+			scanBranch(s.Body.List)
+			scanStmt(s.Else)
+		case *ast.ForStmt:
+			scanStmt(s.Init)
+			scanExpr(s.Cond)
+			scanBranch(s.Body.List)
+			scanStmt(s.Post)
+		case *ast.RangeStmt:
+			scanExpr(s.X)
+			scanBranch(s.Body.List)
+		case *ast.SwitchStmt:
+			scanStmt(s.Init)
+			scanExpr(s.Tag)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						scanExpr(e)
+					}
+					scanBranch(cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			scanStmt(s.Init)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanBranch(cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanStmt(cc.Comm)
+					scanBranch(cc.Body)
+				}
+			}
+		case *ast.GoStmt:
+			// Runs on its own stack: no order edge from this holder.
+		case *ast.DeferStmt:
+			handleCall(s.Call, true)
+		case *ast.ExprStmt:
+			scanExpr(s.X)
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				scanExpr(e)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				scanExpr(e)
+			}
+		case *ast.SendStmt:
+			scanExpr(s.Chan)
+			scanExpr(s.Value)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							scanExpr(v)
+						}
+					}
+				}
+			}
+		case *ast.LabeledStmt:
+			scanStmt(s.Stmt)
+		case *ast.IncDecStmt:
+			scanExpr(s.X)
+		}
+	}
+	scanList = func(list []ast.Stmt) {
+		for _, s := range list {
+			scanStmt(s)
+		}
+	}
+	scanList(body.List)
+}
+
+// lockOp recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock on a sync
+// mutex and resolves the lock's identity object.
+func (ls *lockScan) lockOp(p *Package, call *ast.CallExpr) (obj types.Object, rlock, isLock, isUnlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, false, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		isLock = true
+	case "RLock":
+		isLock, rlock = true, true
+	case "Unlock":
+		isUnlock = true
+	case "RUnlock":
+		isUnlock, rlock = true, true
+	default:
+		return nil, false, false, false
+	}
+	recv := ast.Unparen(sel.X)
+	switch p.namedTypeString(recv) {
+	case "sync.Mutex", "sync.RWMutex":
+	default:
+		return nil, false, false, false
+	}
+	obj = lockObject(p, recv)
+	if obj == nil {
+		return nil, false, false, false
+	}
+	if _, ok := ls.names[obj]; !ok {
+		ls.names[obj] = ls.lockDisplay(p, recv, obj)
+	}
+	return obj, rlock, isLock, isUnlock
+}
+
+// lockObject resolves the identity of the lock expression: the field
+// object for x.mu, the variable object for a plain mu.
+func lockObject(p *Package, recv ast.Expr) types.Object {
+	switch recv := recv.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[recv]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[recv]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[recv.Sel]
+	case *ast.UnaryExpr:
+		if recv.Op == token.AND {
+			return lockObject(p, ast.Unparen(recv.X))
+		}
+	}
+	return nil
+}
+
+// lockDisplay renders a stable human name for a lock: owner type plus
+// field for fields, package-qualified name for variables.
+func (ls *lockScan) lockDisplay(p *Package, recv ast.Expr, obj types.Object) string {
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if owner := p.namedTypeString(sel.X); owner != "" {
+			return shortName(owner) + "." + sel.Sel.Name
+		}
+	}
+	if obj.Pkg() != nil {
+		return shortName(obj.Pkg().Path()) + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// report finds cycles in the accumulated order graph and renders one
+// finding per cycle at its earliest edge.
+func (ls *lockScan) report() []Finding {
+	// Collapse parallel edges, keeping the earliest occurrence; drop
+	// RLock-only self-edges (read locks admit each other).
+	best := make(map[key2]lockEdge)
+	for _, e := range ls.edges {
+		if e.from == e.to && e.rlockOnly {
+			continue
+		}
+		k := key2{e.from, e.to}
+		if prev, ok := best[k]; !ok || e.pos < prev.pos {
+			best[k] = e
+		}
+	}
+	adj := make(map[types.Object][]types.Object)
+	for k := range best {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	for _, outs := range adj {
+		sort.Slice(outs, func(i, j int) bool { return ls.names[outs[i]] < ls.names[outs[j]] })
+	}
+	var out []Finding
+	seenCycle := make(map[string]bool)
+	// Self-edges: the same lock declaration acquired while an instance
+	// of it is already held.
+	for k, e := range best {
+		if k.from != k.to {
+			continue
+		}
+		msg := fmt.Sprintf("lock-order: %s acquired while another instance of it is already held", ls.names[k.from])
+		if e.via != "" {
+			msg += " (via " + e.via + ")"
+		}
+		msg += "; provable deadlock unless all such acquisitions follow one global order"
+		out = append(out, ls.prog.finding(e.pos, lockOrderName, msg))
+	}
+	// Proper cycles between distinct locks: DFS from each node in
+	// deterministic order.
+	nodes := make([]types.Object, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return ls.names[nodes[i]] < ls.names[nodes[j]] })
+	for _, start := range nodes {
+		var stack []types.Object
+		onStack := make(map[types.Object]int)
+		var dfs func(types.Object)
+		dfs = func(at types.Object) {
+			onStack[at] = len(stack)
+			stack = append(stack, at)
+			for _, next := range adj[at] {
+				if next == at {
+					continue
+				}
+				if i, ok := onStack[next]; ok {
+					cycle := append([]types.Object(nil), stack[i:]...)
+					ls.reportCycle(cycle, best, seenCycle, &out)
+					continue
+				}
+				dfs(next)
+			}
+			stack = stack[:len(stack)-1]
+			delete(onStack, at)
+		}
+		dfs(start)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+func (ls *lockScan) reportCycle(cycle []types.Object, best map[key2]lockEdge, seen map[string]bool, out *[]Finding) {
+	// Canonicalize: rotate so the lexicographically smallest name
+	// leads, so each cycle reports once no matter where DFS entered.
+	min := 0
+	for i := range cycle {
+		if ls.names[cycle[i]] < ls.names[cycle[min]] {
+			min = i
+		}
+	}
+	rotated := append(append([]types.Object(nil), cycle[min:]...), cycle[:min]...)
+	var parts []string
+	var firstEdge *lockEdge
+	for i := range rotated {
+		from := rotated[i]
+		to := rotated[(i+1)%len(rotated)]
+		e := best[key2{from, to}]
+		pos := ls.prog.Fset.Position(e.pos)
+		hop := fmt.Sprintf("%s → %s (%s:%d", ls.names[from], ls.names[to], pos.Filename, pos.Line)
+		if e.via != "" {
+			hop += " via " + e.via
+		}
+		hop += ")"
+		parts = append(parts, hop)
+		if firstEdge == nil || e.pos < firstEdge.pos {
+			ec := e
+			firstEdge = &ec
+		}
+	}
+	id := strings.Join(parts, "; ")
+	if seen[id] {
+		return
+	}
+	seen[id] = true
+	msg := "lock-order cycle (potential deadlock): " + id
+	*out = append(*out, ls.prog.finding(firstEdge.pos, lockOrderName, msg))
+}
+
+// key2 mirrors the edge-collapse key for reportCycle.
+type key2 struct{ from, to types.Object }

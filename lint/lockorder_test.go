@@ -1,0 +1,338 @@
+package lint
+
+import "testing"
+
+// Cycle findings land on the earliest edge of the cycle — for a
+// two-function inversion that is the second Lock of the function that
+// appears first in the file — and self-edge findings land on the
+// acquisition made while an instance was already held.
+func TestLockOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "two-lock inversion deadlock",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.b.Lock() // want
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+		},
+		{
+			name: "consistent global order is clean",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+`,
+		},
+		{
+			name: "three-lock cycle",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.b.Lock() // want
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.c.Lock()
+	s.c.Unlock()
+	s.b.Unlock()
+}
+
+func (s *S) h() {
+	s.c.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.c.Unlock()
+}
+`,
+		},
+		{
+			name: "inversion through a callee",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.lockB() // want
+	s.a.Unlock()
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+		},
+		{
+			name: "deferred unlock keeps the lock held",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want
+	s.b.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+`,
+		},
+		{
+			name: "two instances of one lock declaration",
+			src: `package fx
+
+import "sync"
+
+type Acct struct {
+	mu  sync.Mutex
+	bal int
+}
+
+func transfer(from, to *Acct, n int) {
+	from.mu.Lock()
+	to.mu.Lock() // want
+	from.bal -= n
+	to.bal += n
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+`,
+		},
+		{
+			name: "rlock-only self-edge is admitted",
+			src: `package fx
+
+import "sync"
+
+type Acct struct {
+	mu  sync.RWMutex
+	bal int
+}
+
+func compare(x, y *Acct) bool {
+	x.mu.RLock()
+	y.mu.RLock()
+	same := x.bal == y.bal
+	y.mu.RUnlock()
+	x.mu.RUnlock()
+	return same
+}
+`,
+		},
+		{
+			name: "goroutine acquisitions do not extend the order",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	go s.lockB()
+	s.a.Unlock()
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+		},
+		{
+			name: "release before the next acquisition breaks the edge",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+		},
+		{
+			name: "early-return branch does not leak its unlock",
+			src: `package fx
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f(short bool) {
+	s.a.Lock()
+	if short {
+		s.a.Unlock()
+		return
+	}
+	s.b.Lock() // want
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+		},
+		{
+			name: "suppressed ordered double-acquisition",
+			src: `package fx
+
+import "sync"
+
+type Acct struct {
+	mu  sync.Mutex
+	bal int
+}
+
+func transfer(from, to *Acct, n int) {
+	from.mu.Lock()
+	//presslint:ignore lock-order accounts are locked in ascending ID order by the caller
+	to.mu.Lock()
+	from.bal -= n
+	to.bal += n
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+`,
+		},
+		{
+			name: "package-level mutex inversion",
+			src: `package fx
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func f() {
+	muA.Lock()
+	muB.Lock() // want
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func g() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertProgramFindings(t, lockOrderName, map[string]string{"fx": tc.src})
+		})
+	}
+}

@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The program fixtures share one file set and one source importer so
+// the stdlib is type-checked once for the whole test run instead of
+// once per case.
+var (
+	fixtureFset     = token.NewFileSet()
+	fixtureImporter = importer.ForCompiler(fixtureFset, "source", nil)
+)
+
+// fixtureName is the on-disk-style file name a fixture package gets.
+func fixtureName(path string) string {
+	return strings.ReplaceAll(path, "/", "_") + ".go"
+}
+
+// fixtureProgram type-checks a set of in-memory packages (import path
+// → source) into a whole Program, the substrate the interprocedural
+// analyzer tests run on.
+func fixtureProgram(t *testing.T, srcs map[string]string) *Program {
+	t.Helper()
+	paths := make([]string, 0, len(srcs))
+	for path := range srcs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var pkgs []*Package
+	for _, path := range paths {
+		af, err := parser.ParseFile(fixtureFset, fixtureName(path), srcs[path], parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Fset:  fixtureFset,
+			Path:  path,
+			Files: []*File{{Name: fixtureName(path), AST: af}},
+		})
+	}
+	prog := LoadProgram(fixtureFset, pkgs, fixtureImporter)
+	for _, p := range prog.Pkgs {
+		if p.Info == nil {
+			t.Fatal("type checking produced no info; source importer unavailable")
+		}
+	}
+	return prog
+}
+
+// assertProgramFindings runs one program analyzer over the fixture and
+// compares its findings against the `// want` markers, per file: every
+// marked line must be reported, every reported line must be marked.
+func assertProgramFindings(t *testing.T, analyzer string, srcs map[string]string) {
+	t.Helper()
+	prog := fixtureProgram(t, srcs)
+	got := make(map[string]map[int]bool)
+	for _, fd := range prog.CheckAnalyzers(map[string]bool{analyzer: true}) {
+		if fd.Analyzer != analyzer {
+			continue
+		}
+		if got[fd.File] == nil {
+			got[fd.File] = make(map[int]bool)
+		}
+		got[fd.File][fd.Line] = true
+	}
+	for path, src := range srcs {
+		name := fixtureName(path)
+		want := make(map[int]bool)
+		for i, line := range strings.Split(src, "\n") {
+			if strings.Contains(line, "// want") {
+				want[i+1] = true
+			}
+		}
+		for l := range want {
+			if !got[name][l] {
+				t.Errorf("%s:%d: expected a %s finding, got none", name, l, analyzer)
+			}
+		}
+		for l := range got[name] {
+			if !want[l] {
+				t.Errorf("%s:%d: unexpected %s finding", name, l, analyzer)
+			}
+		}
+	}
+}
+
+// --- call graph -------------------------------------------------------
+
+func cgNode(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.All {
+		if n.Name == name {
+			return n
+		}
+	}
+	var names []string
+	for _, n := range g.All {
+		names = append(names, n.Name)
+	}
+	t.Fatalf("no node %q in graph (have %s)", name, strings.Join(names, ", "))
+	return nil
+}
+
+// calleeNames flattens a node's outgoing edges into a sorted set of
+// in-program callee names.
+func calleeNames(n *CGNode) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range n.Calls {
+		for _, c := range s.Callees {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				out = append(out, c.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCallGraphStaticAndMethodCalls(t *testing.T) {
+	prog := fixtureProgram(t, map[string]string{"fx": `package fx
+
+type C struct{ n int }
+
+func (c *C) Work() { c.n++ }
+
+func helper() {}
+
+func caller(c *C) {
+	helper()
+	c.Work()
+}
+`})
+	g := prog.CallGraph()
+	got := calleeNames(cgNode(t, g, "fx.caller"))
+	want := []string{"(*fx.C).Work", "fx.helper"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("caller callees = %v, want %v", got, want)
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	prog := fixtureProgram(t, map[string]string{"fx": `package fx
+
+type C struct{ n int }
+
+func (c *C) Work() { c.n++ }
+
+func caller(c *C) {
+	h := c.Work
+	h()
+}
+`})
+	g := prog.CallGraph()
+	got := calleeNames(cgNode(t, g, "fx.caller"))
+	want := []string{"(*fx.C).Work"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("method-value call resolved to %v, want %v", got, want)
+	}
+}
+
+func TestCallGraphEmbeddedPromotion(t *testing.T) {
+	prog := fixtureProgram(t, map[string]string{"fx": `package fx
+
+type Inner struct{ n int }
+
+func (i *Inner) Run() { i.n++ }
+
+type Outer struct{ Inner }
+
+func caller(o *Outer) {
+	o.Run()
+}
+`})
+	g := prog.CallGraph()
+	got := calleeNames(cgNode(t, g, "fx.caller"))
+	want := []string{"(*fx.Inner).Run"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("promoted method resolved to %v, want %v", got, want)
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	prog := fixtureProgram(t, map[string]string{"fx": `package fx
+
+type doer interface{ Do() }
+
+type d1 struct{}
+
+func (d1) Do() {}
+
+type d2 struct{ n int }
+
+func (d *d2) Do() { d.n++ }
+
+type other struct{}
+
+func (other) NotDo() {}
+
+func caller(d doer) {
+	d.Do()
+}
+`})
+	g := prog.CallGraph()
+	got := calleeNames(cgNode(t, g, "fx.caller"))
+	want := []string{"(*fx.d2).Do", "(fx.d1).Do"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("interface dispatch resolved to %v, want %v", got, want)
+	}
+}
+
+func TestCallGraphGoAndDynamicFlags(t *testing.T) {
+	prog := fixtureProgram(t, map[string]string{"fx": `package fx
+
+func worker() {}
+
+func caller(fn func()) {
+	go worker()
+	fn()
+}
+`})
+	g := prog.CallGraph()
+	n := cgNode(t, g, "fx.caller")
+	var goSite, dynSite *CallSite
+	for _, s := range n.Calls {
+		if s.Go {
+			goSite = s
+		}
+		if s.Dynamic {
+			dynSite = s
+		}
+	}
+	if goSite == nil || len(goSite.Callees) != 1 || goSite.Callees[0].Name != "fx.worker" {
+		t.Errorf("go worker() site = %+v, want one Go-flagged edge to fx.worker", goSite)
+	}
+	if dynSite == nil {
+		t.Error("fn() through an unassigned parameter should be marked Dynamic")
+	}
+}
+
+func TestCallGraphFunctionValueAssignment(t *testing.T) {
+	prog := fixtureProgram(t, map[string]string{"fx": `package fx
+
+func fast() {}
+
+func slow() {}
+
+var impl = fast
+
+func swap() { impl = slow }
+
+func caller() {
+	impl()
+}
+`})
+	g := prog.CallGraph()
+	got := calleeNames(cgNode(t, g, "fx.caller"))
+	want := []string{"fx.fast", "fx.slow"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("function-value call resolved to %v, want every assigned target %v", got, want)
+	}
+}
+
+// TestProgramCrossPackageTypes checks that LoadProgram chains module
+// packages through one importer: a type declared in one fixture
+// package resolves to the same types.Object when used from another.
+func TestProgramCrossPackageTypes(t *testing.T) {
+	prog := fixtureProgram(t, map[string]string{
+		"fxa": `package fxa
+
+type Gauge struct{ N int64 }
+`,
+		"fxb": `package fxb
+
+import "fxa"
+
+func Read(g *fxa.Gauge) int64 { return g.N }
+`,
+	})
+	pa := prog.ByPath["fxa"]
+	pb := prog.ByPath["fxb"]
+	if pa == nil || pb == nil || pa.Types == nil || pb.Types == nil {
+		t.Fatal("packages missing from program")
+	}
+	if len(pb.Types.Imports()) == 0 || pb.Types.Imports()[0] != pa.Types {
+		t.Errorf("fxb imports %v, want the checked fxa package object", pb.Types.Imports())
+	}
+}

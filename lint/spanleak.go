@@ -15,12 +15,17 @@ import (
 //   - the result of a Start* call discarded outright.
 //
 // Tracking is conservative, mirroring descriptor-lifecycle: a span that
-// escapes the function — passed as an argument, stored into a struct or
-// map, sent on a channel, returned, aliased, or captured by a function
-// literal — is assumed handed off (the server stores spans in pending
-// tables and closures end them on completion paths) and is no longer
-// tracked. Annotate/AnnotateStr/Trace/ID and starting a child keep
-// ownership with the caller. A deferred End/Cancel closes the span.
+// escapes the function — stored into a struct or map, sent on a
+// channel, returned, aliased, or captured by a function literal — is
+// assumed handed off (the server stores spans in pending tables and
+// closures end them on completion paths) and is no longer tracked.
+// Passing a span to a function declared in the same package follows it
+// one call boundary down: if a one-level summary shows the callee ends
+// or cancels it, the span closes here; if the callee only annotates or
+// starts children from it, the span stays open and the caller still
+// owes the End; otherwise it is a hand-off as before.
+// Annotate/AnnotateStr/Trace/ID and starting a child keep ownership
+// with the caller. A deferred End/Cancel closes the span.
 const spanLeakName = "span-leak"
 
 var spanLeak = &Analyzer{
@@ -278,20 +283,18 @@ func (s *spanScan) expr(e ast.Expr) {
 			return true
 		}
 		recv, name, isSel := selectorCall(call)
-		if !isSel {
-			return true
+		if isSel {
+			if id, isIdent := recv.(*ast.Ident); isIdent {
+				switch {
+				case spanCloseMethods[name]:
+					consumed[id] = true
+					delete(s.open, id.Name)
+				case spanUseMethods[name] || spanStartMethods[name]:
+					consumed[id] = true
+				}
+			}
 		}
-		id, isIdent := recv.(*ast.Ident)
-		if !isIdent {
-			return true
-		}
-		switch {
-		case spanCloseMethods[name]:
-			consumed[id] = true
-			delete(s.open, id.Name)
-		case spanUseMethods[name] || spanStartMethods[name]:
-			consumed[id] = true
-		}
+		s.summaryArgs(call, consumed)
 		return true
 	})
 	ast.Inspect(e, func(n ast.Node) bool {
@@ -314,6 +317,41 @@ func (s *spanScan) expr(e ast.Expr) {
 		}
 		return true
 	})
+}
+
+// summaryArgs follows tracked spans one call boundary down: when the
+// callee is a unique in-package declaration whose summary shows it ends
+// or cancels the parameter, the span closes here; when the callee only
+// annotates or starts children from it, the span STAYS OPEN and the
+// caller still owes the End — previously any hand-off stopped tracking,
+// which is exactly the blind spot this closes. Anything the summary
+// cannot model is still a hand-off.
+func (s *spanScan) summaryArgs(c *ast.CallExpr, consumed map[*ast.Ident]bool) {
+	fd := s.p.localDecl(c)
+	if fd == nil {
+		return
+	}
+	for i, a := range c.Args {
+		id, ok := ast.Unparen(a).(*ast.Ident)
+		if !ok || consumed[id] {
+			continue
+		}
+		if _, open := s.open[id.Name]; !open {
+			continue
+		}
+		pn := paramName(fd, i)
+		if pn == "" {
+			continue
+		}
+		switch spanParamFate(fd, pn) {
+		case fateReaps:
+			consumed[id] = true
+			delete(s.open, id.Name)
+		case fateInspect:
+			consumed[id] = true // callee only reads it; still open here
+		}
+		// fateUnknown: left unconsumed, the escape pass hands it off.
+	}
 }
 
 // escapeFuncLit treats every tracked span mentioned inside a function

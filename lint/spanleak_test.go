@@ -165,3 +165,94 @@ func f(c *Collector) {
 		})
 	}
 }
+
+// TestSpanLeakSummaries covers the one-call-boundary upgrade: a span
+// handed to a same-package callee is closed when the callee's summary
+// ends or cancels it, stays open (and leaks) when the callee only
+// annotates, and escapes when the summary cannot follow it.
+func TestSpanLeakSummaries(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "callee that ends the span closes it",
+			src: `package fx
+
+func f(c *Collector) {
+	sp := c.StartTrace("request")
+	finish(sp)
+}
+
+func finish(sp *Span) {
+	sp.End()
+}
+`,
+		},
+		{
+			name: "callee that cancels the span closes it",
+			src: `package fx
+
+func f(c *Collector) {
+	sp := c.StartSpan("net-send", t, p)
+	abort(sp)
+}
+
+func abort(sp *Span) {
+	sp.Cancel()
+}
+`,
+		},
+		{
+			name: "annotate-only callee leaves the span open",
+			src: `package fx
+
+func f(c *Collector) {
+	sp := c.StartTrace("request") // want
+	decorate(sp)
+}
+
+func decorate(sp *Span) {
+	sp.Annotate("bytes", 1)
+}
+`,
+		},
+		{
+			name: "callee passing it a level deeper is a hand-off",
+			src: `package fx
+
+func f(c *Collector) {
+	sp := c.StartTrace("request")
+	relay(sp)
+}
+
+func relay(sp *Span) {
+	stash(sp)
+}
+
+func stash(sp *Span) {}
+`,
+		},
+		{
+			name: "callee that stores the span is a hand-off",
+			src: `package fx
+
+type holder struct{ sp *Span }
+
+func f(c *Collector, h *holder) {
+	sp := c.StartTrace("request")
+	keep(h, sp)
+}
+
+func keep(h *holder, sp *Span) {
+	h.sp = sp
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, spanLeakName, tc.src, false)
+		})
+	}
+}

@@ -48,6 +48,26 @@ go run ./cmd/presslint ./...
 echo "==> presslint ./metrics ./tracing"
 go run ./cmd/presslint ./metrics ./tracing
 
+# The linter holds itself and its driver to the same bar it holds the
+# runtime packages to.
+echo "==> presslint self-lint ./lint ./cmd/..."
+go run ./cmd/presslint ./lint ./cmd/...
+
+# Static half of the 0-alloc proofs: every //presslint:hotpath root
+# (the VIA Post* send path, the tracing-off path, the overload-off
+# path) must be provably within budget across the whole call graph.
+# The dynamic half is the benchmark gates below (ViaSendMetrics,
+# ServeTracingOff, OverloadOff), which also justify the
+# //presslint:alloc-gated exemptions the static pass accepts.
+echo "==> presslint -analyzer hotpath-alloc,lock-order,atomic-consistency ./..."
+go run ./cmd/presslint -analyzer hotpath-alloc,lock-order,atomic-consistency ./...
+
+# Fuzz smoke over the wire format: ten seconds of mutation on the
+# Message encode/decode round-trip catches framing regressions the
+# table tests miss.
+echo "==> fuzz smoke (FuzzMessageRoundTrip)"
+go test -run '^$' -fuzz 'FuzzMessageRoundTrip' -fuzztime 10s ./server
+
 # Benchmarks are part of the observability surface (the registry and
 # tracer on/off overhead proofs live there); make sure they still build,
 # the via send pair still runs, and disabled tracing stays free: the

@@ -229,6 +229,8 @@ const (
 )
 
 // ovForwardSent records a forward dispatched to dst.
+//
+//presslint:hotpath budget=0
 func (n *Node) ovForwardSent(dst int, now time.Time) {
 	if !n.ov.on {
 		return
@@ -238,6 +240,8 @@ func (n *Node) ovForwardSent(dst int, now time.Time) {
 }
 
 // ovForwardDone records a completed forward and its latency sample.
+//
+//presslint:hotpath budget=0
 func (n *Node) ovForwardDone(dst int, elapsed time.Duration, now time.Time) {
 	if !n.ov.on {
 		return
@@ -288,6 +292,8 @@ func (n *Node) ovUpdateBrown(dst int, now time.Time) {
 // ovAllowForward decides whether a forward to dst may proceed. A
 // healthy peer always may; a browned-out one only gets the trickle of
 // probes that lets recovery be observed.
+//
+//presslint:hotpath budget=0
 func (n *Node) ovAllowForward(dst int, now time.Time) bool {
 	if !n.ov.on {
 		return true
@@ -304,6 +310,8 @@ func (n *Node) ovAllowForward(dst int, now time.Time) bool {
 }
 
 // ovBrowned is the main-loop view of dst's brownout state.
+//
+//presslint:hotpath budget=0
 func (n *Node) ovBrowned(dst int) bool {
 	return n.ov.on && n.ov.pace[dst].browned
 }
@@ -320,6 +328,8 @@ func (n *Node) ovResetPeer(peer int) {
 
 // PeerBrownedOut reports whether this node has browned peer out of its
 // forwarding path; readable from any goroutine.
+//
+//presslint:hotpath budget=0
 func (n *Node) PeerBrownedOut(peer int) bool {
 	return n.ov.on && peer >= 0 && peer < len(n.ov.brownedPub) &&
 		n.ov.brownedPub[peer].Load()

@@ -42,12 +42,15 @@ func newUnboundedQueue[T any]() *workQueue[T] { return newWorkQueue[T](0) }
 // push enqueues an item; it never blocks. On a bounded queue it
 // reports false — and enqueues nothing — when the backlog already sits
 // at the limit; the caller owns the shed decision.
+//
+//presslint:hotpath budget=0
 func (q *workQueue[T]) push(item T) bool {
 	q.mu.Lock()
 	if q.limit > 0 && len(q.items)-q.head >= q.limit {
 		q.mu.Unlock()
 		return false
 	}
+	//presslint:alloc-gated amortized-free: append reuses capacity reclaimed by compactLocked; steady state proven by BenchmarkOverloadOff
 	q.items = append(q.items, item)
 	q.mu.Unlock()
 	q.cond.Signal()
@@ -56,6 +59,8 @@ func (q *workQueue[T]) push(item T) bool {
 
 // pop dequeues the next item, blocking until one is available or the
 // queue is closed (ok == false).
+//
+//presslint:hotpath budget=0
 func (q *workQueue[T]) pop() (item T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()

@@ -157,6 +157,7 @@ func (t *Tracer) SetClock(now func() int64) {
 	t.clock.Store(&now)
 }
 
+//presslint:alloc-gated clock indirection is a test hook (SetClock); the production path is monotonicNanos, which does not allocate
 func (t *Tracer) now() int64 {
 	if p := t.clock.Load(); p != nil {
 		return (*p)()
@@ -262,6 +263,8 @@ func (c *Collector) Node() int {
 // StartTrace makes the head-sampling decision and, if sampled, starts
 // the root span of a new trace. It returns nil — no trace, no cost —
 // when the collector is nil or the draw falls outside the sample rate.
+//
+//presslint:hotpath budget=0
 func (c *Collector) StartTrace(name string) *Span {
 	if c == nil {
 		return nil
@@ -270,6 +273,7 @@ func (c *Collector) StartTrace(name string) *Span {
 	if splitmix64(id) >= c.t.sampleBar.Load() {
 		return nil
 	}
+	//presslint:alloc-gated sampled-trace construction; the disabled path is the nil returns above, proven free by BenchmarkServeTracingOff
 	return &Span{
 		c:     c,
 		trace: TraceID(id),
@@ -283,10 +287,13 @@ func (c *Collector) StartTrace(name string) *Span {
 // of cross-node propagation, where trace and parent arrive on the wire.
 // It returns nil when the collector is nil or the trace is unsampled
 // (zero TraceID), so callers stamp wire fields unconditionally.
+//
+//presslint:hotpath budget=0
 func (c *Collector) StartSpan(name string, trace TraceID, parent SpanID) *Span {
 	if c == nil || trace == 0 {
 		return nil
 	}
+	//presslint:alloc-gated sampled-trace construction; the disabled path is the nil return above, proven free by BenchmarkServeTracingOff
 	return &Span{
 		c:      c,
 		trace:  trace,
@@ -364,6 +371,8 @@ type Span struct {
 
 // Trace returns the span's trace identifier (zero on nil: the wire
 // value meaning "untraced").
+//
+//presslint:hotpath budget=0
 func (s *Span) Trace() TraceID {
 	if s == nil {
 		return 0
@@ -372,6 +381,8 @@ func (s *Span) Trace() TraceID {
 }
 
 // ID returns the span identifier (zero on nil).
+//
+//presslint:hotpath budget=0
 func (s *Span) ID() SpanID {
 	if s == nil {
 		return 0
@@ -380,10 +391,13 @@ func (s *Span) ID() SpanID {
 }
 
 // StartChild starts a child span on the same collector.
+//
+//presslint:hotpath budget=0
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
+	//presslint:alloc-gated live-span construction; the disabled path is the nil return above, proven free by BenchmarkServeTracingOff
 	return &Span{
 		c:      s.c,
 		trace:  s.trace,
@@ -395,23 +409,31 @@ func (s *Span) StartChild(name string) *Span {
 }
 
 // Annotate attaches a numeric attribute.
+//
+//presslint:hotpath budget=0
 func (s *Span) Annotate(key string, v int64) {
 	if s == nil {
 		return
 	}
+	//presslint:alloc-gated attribute storage on a live (sampled) span; nil-span path proven free by BenchmarkServeTracingOff
 	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
 }
 
 // AnnotateStr attaches a string attribute.
+//
+//presslint:hotpath budget=0
 func (s *Span) AnnotateStr(key, v string) {
 	if s == nil {
 		return
 	}
+	//presslint:alloc-gated attribute storage on a live (sampled) span; nil-span path proven free by BenchmarkServeTracingOff
 	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
 }
 
 // End finishes the span and commits it to the collector. Ending twice
 // commits once.
+//
+//presslint:hotpath budget=0
 func (s *Span) End() {
 	if s == nil || s.ended {
 		return
@@ -433,6 +455,8 @@ func (s *Span) End() {
 // Cancel finishes the span without recording it — for spans opened
 // speculatively (e.g. around a credit acquire that turned out not to
 // stall). After Cancel, End is a no-op.
+//
+//presslint:hotpath budget=0
 func (s *Span) Cancel() {
 	if s == nil {
 		return

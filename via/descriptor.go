@@ -54,7 +54,11 @@ type Descriptor struct {
 	status DescStatus
 	xfer   int
 	err    error
-	done   chan struct{}
+	// done is allocated lazily by the first Wait on an in-flight
+	// descriptor and closed (then cleared) by complete. Pollers that
+	// never block — the steady-state send path checks Status/Err — pay
+	// no channel allocation per reuse cycle.
+	done chan struct{}
 }
 
 // NewDescriptor builds a descriptor over the given segments.
@@ -64,7 +68,7 @@ func NewDescriptor(segments ...Segment) (*Descriptor, error) {
 			return nil, err
 		}
 	}
-	return &Descriptor{segments: segments, done: make(chan struct{})}, nil
+	return &Descriptor{segments: segments}, nil
 }
 
 // MustDescriptor is NewDescriptor for segments known to be valid.
@@ -109,14 +113,25 @@ func (d *Descriptor) Transferred() int {
 // Wait blocks until the descriptor completes or the timeout elapses
 // (timeout <= 0 waits forever). It returns the completion error.
 func (d *Descriptor) Wait(timeout time.Duration) error {
+	d.mu.Lock()
+	if d.status == DescDone || d.status == DescError {
+		err := d.err
+		d.mu.Unlock()
+		return err
+	}
+	if d.done == nil {
+		d.done = make(chan struct{})
+	}
+	ch := d.done
+	d.mu.Unlock()
 	if timeout <= 0 {
-		<-d.done
+		<-ch
 		return d.Err()
 	}
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
-	case <-d.done:
+	case <-ch:
 		return d.Err()
 	case <-t.C:
 		return ErrTimeout
@@ -135,7 +150,6 @@ func (d *Descriptor) Reset() {
 	d.status = DescIdle
 	d.err = nil
 	d.xfer = 0
-	d.done = make(chan struct{})
 }
 
 // markPosted transitions to DescPosted; the caller must be the owning
@@ -147,10 +161,10 @@ func (d *Descriptor) markPosted() error {
 		return fmt.Errorf("via: descriptor already posted")
 	}
 	if d.status != DescIdle {
-		// Auto-reset completed descriptors on repost for convenience.
+		// Auto-reset completed descriptors on repost for convenience
+		// (complete already cleared the done channel).
 		d.err = nil
 		d.xfer = 0
-		d.done = make(chan struct{})
 	}
 	d.status = DescPosted
 	return nil
@@ -170,20 +184,24 @@ func (d *Descriptor) complete(n int, err error) {
 		d.status = DescDone
 	}
 	done := d.done
+	d.done = nil
 	d.mu.Unlock()
-	close(done)
+	if done != nil {
+		close(done)
+	}
 }
 
 // gather serializes the descriptor's segments ("DMA out" of sender
-// memory onto the wire).
+// memory onto the wire) into one buffer, copying each segment directly
+// into its slice of the result.
 func (d *Descriptor) gather() ([]byte, error) {
-	out := make([]byte, 0, d.Len())
+	out := make([]byte, d.Len())
+	n := 0
 	for _, s := range d.segments {
-		b, err := s.Region.copyOut(s.Offset, s.Len)
-		if err != nil {
+		if err := s.Region.Read(out[n:n+s.Len], s.Offset); err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
+		n += s.Len
 	}
 	return out, nil
 }

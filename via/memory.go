@@ -164,22 +164,6 @@ func (r *MemoryRegion) copyIn(src []byte, off, limit int) (int, error) {
 	return n, nil
 }
 
-// copyOut reads [off, off+n) from the region (send DMA out of the
-// sender's registered buffer).
-func (r *MemoryRegion) copyOut(off, n int) ([]byte, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.buf == nil {
-		return nil, ErrRegionReleased
-	}
-	if off < 0 || off+n > len(r.buf) {
-		return nil, fmt.Errorf("%w: send [%d,%d) of %d", ErrProtection, off, off+n, len(r.buf))
-	}
-	out := make([]byte, n)
-	copy(out, r.buf[off:])
-	return out, nil
-}
-
 func (r *MemoryRegion) released() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()

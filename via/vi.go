@@ -26,12 +26,17 @@ type VI struct {
 	reliability Reliability
 	depth       int
 
-	mu          sync.Mutex
-	state       viState
-	brokenErr   error
-	peerNIC     *NIC
-	peerVIID    uint32
+	mu        sync.Mutex
+	state     viState
+	brokenErr error
+	peerNIC   *NIC
+	peerVIID  uint32
+	// recvQ is a fixed ring of depth slots: posting a receive writes the
+	// tail, the fabric pops the head. Sized once at creation so the
+	// steady-state post/pop cycle never allocates.
 	recvQ       []*Descriptor
+	recvHead    int
+	recvLen     int
 	sendPending int
 	sendCQ      *CompletionQueue
 	recvCQ      *CompletionQueue
@@ -45,6 +50,7 @@ func newVI(n *NIC, id uint32, rel Reliability, depth int) *VI {
 		id:          id,
 		reliability: rel,
 		depth:       depth,
+		recvQ:       make([]*Descriptor, depth),
 		sendDone:    make(chan Completion, 4*depth),
 		recvDone:    make(chan Completion, 4*depth),
 	}
@@ -131,6 +137,7 @@ func bind(a, b *VI) error {
 	}
 	first.mu.Lock()
 	defer first.mu.Unlock()
+	//presslint:ignore lock-order both VIs are locked in the global (addr, id) order chosen above, so concurrent binds cannot deadlock
 	second.mu.Lock()
 	defer second.mu.Unlock()
 	if a.state != viIdle || b.state != viIdle {
@@ -159,6 +166,8 @@ func (v *VI) peerRef() (*NIC, uint32, error) {
 
 // PostSend posts a send descriptor: the payload described by its
 // segments is transferred to the peer VI's next receive descriptor.
+//
+//presslint:hotpath budget=0
 func (v *VI) PostSend(d *Descriptor) error {
 	return v.postOut(d, opSend)
 }
@@ -167,6 +176,8 @@ func (v *VI) PostSend(d *Descriptor) error {
 // directly into the peer NIC's registered region at the given offset,
 // without involving the remote processor or consuming a receive
 // descriptor. The remote region must have remote writes enabled.
+//
+//presslint:hotpath budget=0
 func (v *VI) PostRDMAWrite(d *Descriptor, remote Handle, remoteOffset int) error {
 	d.remoteHandle = remote
 	d.remoteOffset = remoteOffset
@@ -211,19 +222,22 @@ func (v *VI) postOut(d *Descriptor, op opcode) error {
 
 // PostRecv posts a receive descriptor; incoming sends consume posted
 // descriptors in FIFO order.
+//
+//presslint:hotpath budget=0
 func (v *VI) PostRecv(d *Descriptor) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.state == viClosed {
 		return ErrClosed
 	}
-	if len(v.recvQ) >= v.depth {
+	if v.recvLen >= v.depth {
 		return ErrQueueFull
 	}
 	if err := d.markPosted(); err != nil {
 		return err
 	}
-	v.recvQ = append(v.recvQ, d)
+	v.recvQ[(v.recvHead+v.recvLen)%len(v.recvQ)] = d
+	v.recvLen++
 	v.nic.m.recvsPosted.Inc()
 	return nil
 }
@@ -231,12 +245,31 @@ func (v *VI) PostRecv(d *Descriptor) error {
 func (v *VI) popRecv() *Descriptor {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if len(v.recvQ) == 0 {
+	if v.recvLen == 0 {
 		return nil
 	}
-	d := v.recvQ[0]
-	v.recvQ = v.recvQ[1:]
+	d := v.recvQ[v.recvHead]
+	v.recvQ[v.recvHead] = nil
+	v.recvHead = (v.recvHead + 1) % len(v.recvQ)
+	v.recvLen--
 	return d
+}
+
+// drainRecvLocked empties the receive ring, returning the pending
+// descriptors in post order; callers hold v.mu and complete them after
+// unlocking (teardown paths).
+func (v *VI) drainRecvLocked() []*Descriptor {
+	if v.recvLen == 0 {
+		return nil
+	}
+	out := make([]*Descriptor, 0, v.recvLen)
+	for v.recvLen > 0 {
+		out = append(out, v.recvQ[v.recvHead])
+		v.recvQ[v.recvHead] = nil
+		v.recvHead = (v.recvHead + 1) % len(v.recvQ)
+		v.recvLen--
+	}
+	return out
 }
 
 // Completion reports one finished descriptor.
@@ -329,8 +362,7 @@ func (v *VI) breakConn(err error) {
 	v.brokenErr = err
 	peer := v.peerNIC
 	peerID := v.peerVIID
-	pending := v.recvQ
-	v.recvQ = nil
+	pending := v.drainRecvLocked()
 	v.mu.Unlock()
 	for _, d := range pending {
 		d.complete(0, err)
@@ -373,8 +405,7 @@ func (v *VI) Close() {
 	v.state = viClosed
 	peer := v.peerNIC
 	peerID := v.peerVIID
-	pending := v.recvQ
-	v.recvQ = nil
+	pending := v.drainRecvLocked()
 	v.mu.Unlock()
 	for _, d := range pending {
 		d.complete(0, ErrClosed)
