@@ -23,9 +23,12 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkViaSendMetrics -benchtime 1x .
 
 # bench records the observability-overhead baseline (tracing and
-# metrics on/off) into BENCH_trace.json.
+# metrics on/off) into BENCH_trace.json and the directory-scaling
+# baseline (directory messages per request vs cluster size, broadcast
+# vs sharded vs gossip) into BENCH_directory.json.
 bench:
 	sh scripts/bench.sh BENCH_trace.json
+	sh scripts/bench_directory.sh BENCH_directory.json
 
 # check is the full gate: vet, build, race-enabled tests, presslint,
 # benchmark smoke.

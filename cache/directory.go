@@ -5,38 +5,101 @@ import (
 	"math/bits"
 )
 
-// NodeSet is a set of cluster node indices, limited to 64 nodes — ample
-// for the experimental cluster sizes (the analytical model handles
-// larger clusters without a directory).
-type NodeSet uint64
+// nodeSetWords is the number of 64-bit words backing a NodeSet.
+const nodeSetWords = 4
 
-// MaxNodes is the largest cluster a NodeSet can describe.
-const MaxNodes = 64
+// MaxNodes is the largest cluster a NodeSet can describe. The sharded
+// directory makes 256-node clusters meaningful: caching state no longer
+// has to be broadcast everywhere, so the directory scales past the
+// paper's 8-node testbed.
+const MaxNodes = nodeSetWords * 64
+
+// NodeSet is a set of cluster node indices, up to MaxNodes. It is a
+// value type: all operations return new sets and the zero value
+// (NodeSet{}) is the empty set.
+type NodeSet [nodeSetWords]uint64
+
+// NodeSetFromMask builds a set from a 64-node bitmask (bit i = node i),
+// the form the server's health tracker publishes atomically.
+func NodeSetFromMask(mask uint64) NodeSet { return NodeSet{mask} }
+
+// NodeSetOf builds a set from the listed node indices.
+func NodeSetOf(nodes ...int) NodeSet {
+	var s NodeSet
+	for _, n := range nodes {
+		s = s.Add(n)
+	}
+	return s
+}
 
 // Add returns the set with node n added.
-func (s NodeSet) Add(n int) NodeSet { return s | 1<<uint(n) }
+func (s NodeSet) Add(n int) NodeSet {
+	s[uint(n)/64] |= 1 << (uint(n) % 64)
+	return s
+}
 
 // Remove returns the set with node n removed.
-func (s NodeSet) Remove(n int) NodeSet { return s &^ (1 << uint(n)) }
+func (s NodeSet) Remove(n int) NodeSet {
+	s[uint(n)/64] &^= 1 << (uint(n) % 64)
+	return s
+}
 
 // Has reports whether node n is in the set.
-func (s NodeSet) Has(n int) bool { return s&(1<<uint(n)) != 0 }
+func (s NodeSet) Has(n int) bool {
+	return n >= 0 && n < MaxNodes && s[uint(n)/64]&(1<<(uint(n)%64)) != 0
+}
 
 // Len returns the set's cardinality.
-func (s NodeSet) Len() int { return bits.OnesCount64(uint64(s)) }
+func (s NodeSet) Len() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
 
 // Empty reports whether the set has no members.
-func (s NodeSet) Empty() bool { return s == 0 }
+func (s NodeSet) Empty() bool { return s == NodeSet{} }
+
+// Intersect returns the nodes present in both sets.
+func (s NodeSet) Intersect(o NodeSet) NodeSet {
+	for i := range s {
+		s[i] &= o[i]
+	}
+	return s
+}
+
+// Union returns the nodes present in either set.
+func (s NodeSet) Union(o NodeSet) NodeSet {
+	for i := range s {
+		s[i] |= o[i]
+	}
+	return s
+}
 
 // Nodes returns the members in ascending order.
 func (s NodeSet) Nodes() []int {
 	out := make([]int, 0, s.Len())
-	for v := uint64(s); v != 0; {
-		n := bits.TrailingZeros64(v)
-		out = append(out, n)
-		v &^= 1 << uint(n)
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << uint(b)
+		}
 	}
 	return out
+}
+
+// ForEach calls fn for each member in ascending order, without
+// allocating.
+func (s NodeSet) ForEach(fn func(n int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
 }
 
 // Directory is a cluster-wide view of which nodes cache which files, as

@@ -25,9 +25,9 @@ func TestNodeSetOperations(t *testing.T) {
 }
 
 func TestNodeSetNodesSorted(t *testing.T) {
-	s := NodeSet(0).Add(63).Add(0).Add(17)
+	s := NodeSet{}.Add(255).Add(63).Add(0).Add(17).Add(128)
 	got := s.Nodes()
-	want := []int{0, 17, 63}
+	want := []int{0, 17, 63, 128, 255}
 	if len(got) != len(want) {
 		t.Fatalf("nodes = %v", got)
 	}
@@ -44,7 +44,7 @@ func TestNodeSetProperty(t *testing.T) {
 		var s NodeSet
 		distinct := map[int]bool{}
 		for _, r := range raw {
-			n := int(r % 64)
+			n := int(r) % MaxNodes
 			s = s.Add(n)
 			distinct[n] = true
 			if !s.Has(n) {
@@ -94,7 +94,7 @@ func TestDirectoryFirstRequest(t *testing.T) {
 }
 
 func TestDirectoryBounds(t *testing.T) {
-	for _, nodes := range []int{0, -1, 65} {
+	for _, nodes := range []int{0, -1, MaxNodes + 1} {
 		nodes := nodes
 		func() {
 			defer func() {

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring maps keys to owning nodes by consistent hashing, the partitioned
+// ownership scheme behind the sharded caching directory: each node owns
+// the keys that land in its arc, lookups and updates go to the owner
+// alone, and a membership change moves only the keys of the affected
+// arcs (~K/N of them) instead of rehashing everything.
+//
+// The ring is deterministic in (nodes, vnodes): every node computes the
+// same point set independently, so all nodes agree on ownership as long
+// as they agree on which nodes are alive — no coordination messages.
+type Ring struct {
+	nodes  int
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// DefaultVnodes is the default number of virtual nodes per real node:
+// enough that per-node key share stays within a few percent of 1/N at
+// the cluster sizes the sweep covers (8..256).
+const DefaultVnodes = 64
+
+// NewRing builds a ring for nodes 0..nodes-1 with the given number of
+// virtual nodes each (0 means DefaultVnodes).
+func NewRing(nodes, vnodes int) *Ring {
+	if nodes <= 0 || nodes > MaxNodes {
+		panic(fmt.Sprintf("cache: ring node count %d out of range 1..%d", nodes, MaxNodes))
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		nodes:  nodes,
+		points: make([]ringPoint, 0, nodes*vnodes),
+	}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			h := splitmix64(uint64(n)<<32 | uint64(v))
+			r.points = append(r.points, ringPoint{hash: h, node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Duplicate hashes (astronomically rare) break ties by node so
+		// every ring instance sorts identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's node count.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Owner returns the node owning the key among the members of alive: the
+// first alive node clockwise from the key's point. An empty (or fully
+// dead) alive set returns -1.
+func (r *Ring) Owner(key uint64, alive NodeSet) int {
+	h := splitmix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for probe := 0; probe < len(r.points); probe++ {
+		p := r.points[(i+probe)%len(r.points)]
+		if p.node < r.nodes && alive.Has(p.node) {
+			return p.node
+		}
+	}
+	return -1
+}
+
+// KeyForName hashes a file name into a ring key. All nodes must derive
+// keys the same way for ownership to agree, so the directory uses the
+// file name — the one identifier that is globally stable — rather than
+// any locally assigned ID.
+func KeyForName(name string) uint64 {
+	// FNV-1a, inlined to keep the hot path allocation-free.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}
+
+// splitmix64 is the finalizing mixer of the splitmix64 generator: a
+// cheap, high-quality 64-bit avalanche used to spread ring points and
+// keys uniformly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

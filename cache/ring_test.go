@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"testing"
+)
+
+// fullSet returns the set {0..n-1}.
+func fullSet(n int) NodeSet {
+	var s NodeSet
+	for i := 0; i < n; i++ {
+		s = s.Add(i)
+	}
+	return s
+}
+
+func TestNodeSetWideOperations(t *testing.T) {
+	s := NodeSetOf(1, 64, 129, 200)
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for _, n := range []int{1, 64, 129, 200} {
+		if !s.Has(n) {
+			t.Errorf("missing %d", n)
+		}
+	}
+	if s.Has(-1) || s.Has(MaxNodes) {
+		t.Error("out-of-range membership")
+	}
+	o := NodeSetOf(64, 200, 3)
+	inter := s.Intersect(o)
+	if inter.Len() != 2 || !inter.Has(64) || !inter.Has(200) {
+		t.Errorf("intersect = %v", inter.Nodes())
+	}
+	uni := s.Union(o)
+	if uni.Len() != 5 || !uni.Has(3) || !uni.Has(129) {
+		t.Errorf("union = %v", uni.Nodes())
+	}
+	if got := NodeSetFromMask(1<<0 | 1<<63); !got.Has(0) || !got.Has(63) || got.Len() != 2 {
+		t.Errorf("from mask = %v", got.Nodes())
+	}
+	var seen []int
+	uni.ForEach(func(n int) { seen = append(seen, n) })
+	want := uni.Nodes()
+	if len(seen) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestRingAgreementAcrossInstances(t *testing.T) {
+	// Ownership must be a pure function of (nodes, vnodes, key, alive):
+	// two independently built rings agree on every key.
+	a := NewRing(16, 0)
+	b := NewRing(16, 0)
+	alive := fullSet(16).Remove(3).Remove(11)
+	for k := uint64(0); k < 5000; k++ {
+		if oa, ob := a.Owner(k, alive), b.Owner(k, alive); oa != ob {
+			t.Fatalf("key %d: owners disagree (%d vs %d)", k, oa, ob)
+		}
+	}
+}
+
+func TestRingSkipsDeadNodes(t *testing.T) {
+	r := NewRing(8, 0)
+	alive := fullSet(8).Remove(2)
+	for k := uint64(0); k < 2000; k++ {
+		if o := r.Owner(k, alive); o == 2 {
+			t.Fatalf("key %d owned by dead node", k)
+		} else if o < 0 || o >= 8 {
+			t.Fatalf("key %d: owner %d out of range", k, o)
+		}
+	}
+	if o := r.Owner(1, NodeSet{}); o != -1 {
+		t.Fatalf("empty alive set returned owner %d", o)
+	}
+}
+
+// TestRingStabilityUnderLeave checks the consistent-hashing promise:
+// when one node dies, only the keys it owned move (they re-home onto
+// survivors); every other key keeps its owner.
+func TestRingStabilityUnderLeave(t *testing.T) {
+	const nodes, keys = 32, 20000
+	r := NewRing(nodes, 0)
+	all := fullSet(nodes)
+	dead := 7
+	without := all.Remove(dead)
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		before := r.Owner(k, all)
+		after := r.Owner(k, without)
+		if before != dead && after != before {
+			t.Fatalf("key %d moved %d -> %d though node %d died", k, before, after, dead)
+		}
+		if before == dead {
+			moved++
+			if after == dead {
+				t.Fatalf("key %d still owned by dead node", k)
+			}
+		}
+	}
+	// The dead node's share is ~1/32 of the keys; allow generous slack.
+	if lo, hi := keys/nodes/3, keys*3/nodes; moved < lo || moved > hi {
+		t.Errorf("moved %d keys on one death, want roughly %d", moved, keys/nodes)
+	}
+}
+
+// TestRingStabilityUnderJoin checks the rejoin direction: when a dead
+// node comes back, the only keys that move are those it reclaims.
+func TestRingStabilityUnderJoin(t *testing.T) {
+	const nodes, keys = 32, 20000
+	r := NewRing(nodes, 0)
+	all := fullSet(nodes)
+	joining := 19
+	without := all.Remove(joining)
+	for k := uint64(0); k < keys; k++ {
+		before := r.Owner(k, without)
+		after := r.Owner(k, all)
+		if after != before && after != joining {
+			t.Fatalf("key %d moved %d -> %d on join of %d", k, before, after, joining)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 64, 100000
+	r := NewRing(nodes, 0)
+	alive := fullSet(nodes)
+	counts := make([]int, nodes)
+	for k := uint64(0); k < keys; k++ {
+		counts[r.Owner(k, alive)]++
+	}
+	mean := keys / nodes
+	for n, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("node %d owns %d keys, mean %d: badly unbalanced", n, c, mean)
+		}
+	}
+}
+
+func TestKeyForNameDeterministic(t *testing.T) {
+	if KeyForName("/a.html") != KeyForName("/a.html") {
+		t.Fatal("key not deterministic")
+	}
+	if KeyForName("/a.html") == KeyForName("/b.html") {
+		t.Fatal("distinct names collide (FNV broken)")
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	for _, n := range []int{0, -1, MaxNodes + 1} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d, 0) did not panic", n)
+				}
+			}()
+			NewRing(n, 0)
+		}()
+	}
+}

@@ -166,7 +166,7 @@ func (c *Config) withDefaults() (Config, error) {
 		// Replication is PRESS's load-balancing mechanism: without load
 		// information there is nothing to trigger it, so NLB runs start
 		// from unreplicated caches.
-		if cfg.Dissemination.Kind == core.NoLoadBalancing {
+		if !cfg.Dissemination.LoadAware() {
 			cfg.ReplicationFraction = -1
 		} else {
 			cfg.ReplicationFraction = 0.08

@@ -21,18 +21,18 @@ const (
 )
 
 type node struct {
-	id      int
-	cpu     *eventsim.Resource
-	disk    *eventsim.Resource
-	intTX   *eventsim.Resource
-	intRX   *eventsim.Resource
-	extTX   *eventsim.Resource
-	extRX   *eventsim.Resource
-	cache   *cache.LRU
-	policy  *core.Policy
-	tracker *core.LoadTracker
+	id     int
+	cpu    *eventsim.Resource
+	disk   *eventsim.Resource
+	intTX  *eventsim.Resource
+	intRX  *eventsim.Resource
+	extTX  *eventsim.Resource
+	extRX  *eventsim.Resource
+	cache  *cache.LRU
+	policy *core.Policy
+	diss   core.Disseminator
 	// peerLoad is this node's (possibly stale) view of peer loads,
-	// updated by load broadcasts or piggy-backed values.
+	// updated by load broadcasts, piggy-backed values, or gossip.
 	peerLoad []int
 }
 
@@ -44,6 +44,24 @@ type simState struct {
 	nodes []*node
 	dir   *cache.Directory
 	fc    *core.FlowControl
+
+	// pb is true when every intra-cluster message carries the sender's
+	// load (PiggyBack strategies).
+	pb bool
+
+	// Sharded-directory model (Dissemination.Dir == core.DirSharded).
+	// The shared dir above stays the ground truth — every node lives in
+	// this one process — so the sharded mode changes only which messages
+	// flow: a read-side cache of directory entries per node (validity
+	// tracked in rcValid) is filled by a directed lookup/reply exchange
+	// with the entry's consistent-hash owner and invalidated by the owner
+	// when the entry changes, instead of N-1 caching broadcasts.
+	sharded  bool
+	ring     *cache.Ring
+	fileKey  []uint64        // consistent-hash key per file
+	allNodes cache.NodeSet   // every node; the sim models no failures
+	rcValid  [][]bool        // [node][file]: read-cached entry still valid
+	interest []cache.NodeSet // [file]: readers holding a cached entry
 
 	// measurement
 	measuring     bool
@@ -142,13 +160,13 @@ func (v nodeView) Cachers(id cache.FileID) cache.NodeSet { return v.s.dir.Cacher
 
 func (v nodeView) Load(n int) int {
 	if n == v.id {
-		return v.s.nodes[n].tracker.Load()
+		return v.s.nodes[n].diss.Load()
 	}
 	return v.s.nodes[v.id].peerLoad[n]
 }
 
 func (v nodeView) LoadKnown() bool {
-	return v.s.cfg.Dissemination.Kind != core.NoLoadBalancing
+	return v.s.cfg.Dissemination.LoadAware()
 }
 
 func (v nodeView) Nodes() int { return v.s.cfg.Nodes }
@@ -178,12 +196,26 @@ func Run(c Config) (*Result, error) {
 			extRX:    s.sim.NewResource("ext-rx"),
 			cache:    cache.NewLRU(cfg.CacheBytes),
 			policy:   core.NewPolicy(cfg.Policy),
-			tracker:  core.NewLoadTracker(cfg.Dissemination),
+			diss:     core.NewDisseminator(cfg.Dissemination, i, cfg.Nodes, cfg.Seed),
 			peerLoad: make([]int, cfg.Nodes),
 		}
 		s.nodes = append(s.nodes, n)
 		s.ins = append(s.ins, newSimNodeInstruments(cfg.Metrics, i))
 		s.trc = append(s.trc, cfg.Tracing.Collector(i))
+	}
+	s.pb = s.nodes[0].diss.Piggyback()
+	if cfg.Dissemination.Dir == core.DirSharded && !cfg.ContentOblivious {
+		s.sharded = true
+		s.ring = cache.NewRing(cfg.Nodes, cache.DefaultVnodes)
+		s.fileKey = make([]uint64, len(cfg.Trace.Files))
+		for fi, f := range cfg.Trace.Files {
+			s.fileKey[fi] = cache.KeyForName(f.Name)
+		}
+		for i := 0; i < cfg.Nodes; i++ {
+			s.allNodes = s.allNodes.Add(i)
+			s.rcValid = append(s.rcValid, make([]bool, len(cfg.Trace.Files)))
+		}
+		s.interest = make([]cache.NodeSet, len(cfg.Trace.Files))
 	}
 	// Span timestamps must read simulated time, not the wall clock.
 	cfg.Tracing.SetClock(s.sim.NowNanos)
@@ -202,6 +234,11 @@ func Run(c Config) (*Result, error) {
 	}
 	for i := 0; i < clients; i++ {
 		s.issueNext()
+	}
+	if cfg.Dissemination.Kind == core.Gossip && cfg.Nodes > 1 {
+		for i := range s.nodes {
+			s.scheduleGossip(i)
+		}
 	}
 	s.sim.Run()
 
@@ -329,7 +366,6 @@ func (s *simState) startRequest(initial int, fileID cache.FileID) {
 
 func (s *simState) distribute(initial int, fileID cache.FileID, t0 eventsim.Time,
 	root, dsp *tracing.Span) {
-	n := s.nodes[initial]
 	size := s.cfg.Trace.Files[fileID].Size
 	if s.cfg.ContentOblivious {
 		// Content-oblivious baseline: no distribution decision at all.
@@ -337,7 +373,19 @@ func (s *simState) distribute(initial int, fileID cache.FileID, t0 eventsim.Time
 		s.serviceLocal(initial, fileID, size, t0, root)
 		return
 	}
-	first := s.dir.FirstRequest(fileID)
+	if s.sharded {
+		s.shardedLookup(initial, fileID, size, t0, root, dsp)
+		return
+	}
+	s.decide(initial, fileID, size, s.dir.FirstRequest(fileID), t0, root, dsp)
+}
+
+// decide runs the distribution decision once directory information is at
+// hand — immediately under a replicated directory, after the owner's
+// reply under a sharded one — then routes the request.
+func (s *simState) decide(initial int, fileID cache.FileID, size int64, first bool,
+	t0 eventsim.Time, root, dsp *tracing.Span) {
+	n := s.nodes[initial]
 	d := n.policy.Decide(initial, fileID, size, first, nodeView{s: s, id: initial})
 	if s.measuring {
 		s.reasons[d.Reason]++
@@ -352,6 +400,52 @@ func (s *simState) distribute(initial int, fileID cache.FileID, t0 eventsim.Time
 		s.forwarded++
 	}
 	s.forward(initial, d.Service, fileID, size, t0, root)
+}
+
+// owner returns the consistent-hash owner of a file's directory entry.
+func (s *simState) owner(fileID cache.FileID) int {
+	return s.ring.Owner(s.fileKey[fileID], s.allNodes)
+}
+
+// shardedLookup resolves the cacher set under directory sharding: free
+// when the initial node owns the entry or still holds a valid read-cached
+// copy, one directed lookup/reply round trip with the owner otherwise.
+// The first-request verdict is the owner's and rides the reply.
+func (s *simState) shardedLookup(initial int, fileID cache.FileID, size int64,
+	t0 eventsim.Time, root, dsp *tracing.Span) {
+	owner := s.owner(fileID)
+	if owner == initial {
+		s.decide(initial, fileID, size, s.dir.FirstRequest(fileID), t0, root, dsp)
+		return
+	}
+	if s.rcValid[initial][fileID] {
+		// Looked up before and no invalidation since: decide on the
+		// cached entry, no messages. An invalidation still in flight
+		// would briefly have the reader deciding on fresher data than
+		// its real stale copy — the model keeps the message pattern
+		// exact, not the staleness window.
+		s.decide(initial, fileID, size, false, t0, root, dsp)
+		return
+	}
+	style := s.cfg.Version.Caching
+	lc := s.cfg.Combo.Cost(style, core.DirLookupBytes, true, true)
+	rc := s.cfg.Combo.Cost(style, core.DirReplyBytes, true, true)
+	if s.isRMW(style) {
+		s.rmwWrite(initial)
+	}
+	s.sendMsg(initial, owner, core.MsgDirLookup, core.DirLookupBytes, lc.SendCPU, lc.RecvCPU, func() {
+		// The owner answers with the entry and its first-request verdict,
+		// registering the reader's interest for later invalidation.
+		first := s.dir.FirstRequest(fileID)
+		s.interest[fileID] = s.interest[fileID].Add(initial)
+		if s.isRMW(style) {
+			s.rmwWrite(owner)
+		}
+		s.sendMsg(owner, initial, core.MsgDirReply, core.DirReplyBytes, rc.SendCPU, rc.RecvCPU, func() {
+			s.rcValid[initial][fileID] = true
+			s.decide(initial, fileID, size, first, t0, root, dsp)
+		})
+	})
 }
 
 // serviceLocal satisfies the request at the initial node: from its cache
@@ -419,23 +513,67 @@ func (s *simState) readFromDisk(nid int, fileID cache.FileID, size int64, done f
 	n.disk.Acquire(0, demand, func() {
 		evicted, inserted := n.cache.Insert(fileID, size)
 		for _, ev := range evicted {
-			s.dir.SetCached(ev, nid, false)
-			s.broadcastCaching(nid)
+			s.cachingChange(nid, ev, false)
 		}
 		if inserted {
-			s.dir.SetCached(fileID, nid, true)
-			s.broadcastCaching(nid)
+			s.cachingChange(nid, fileID, true)
 		}
 		done()
 	})
 }
 
-// broadcastCaching sends one caching-information message to every peer.
-func (s *simState) broadcastCaching(from int) {
+// cachingChange applies one caching-information change to the directory
+// and models its dissemination: an N-1 broadcast under the replicated
+// directory, a single directed update to the entry's owner (plus
+// invalidations to interested readers) under the sharded one.
+func (s *simState) cachingChange(nid int, fileID cache.FileID, cached bool) {
+	s.dir.SetCached(fileID, nid, cached)
 	if s.cfg.ContentOblivious {
 		// No one consults the directory; no messages flow.
 		return
 	}
+	if !s.sharded {
+		s.broadcastCaching(nid)
+		return
+	}
+	owner := s.owner(fileID)
+	if owner == nid {
+		s.shardInval(nid, fileID)
+		return
+	}
+	c := s.cfg.Combo.Cost(s.cfg.Version.Caching, core.CachingMsgBytes, true, true)
+	if s.isRMW(s.cfg.Version.Caching) {
+		s.rmwWrite(nid)
+	}
+	s.sendMsg(nid, owner, core.MsgCaching, core.CachingMsgBytes, c.SendCPU, c.RecvCPU, func() {
+		s.shardInval(owner, fileID)
+	})
+}
+
+// shardInval has the entry's owner invalidate every interested reader's
+// cached copy; they pay a fresh lookup on their next decision.
+func (s *simState) shardInval(owner int, fileID cache.FileID) {
+	in := s.interest[fileID]
+	if in.Empty() {
+		return
+	}
+	s.interest[fileID] = cache.NodeSet{}
+	c := s.cfg.Combo.Cost(s.cfg.Version.Caching, core.DirInvalBytes, true, true)
+	invalRMW := s.isRMW(s.cfg.Version.Caching)
+	in.ForEach(func(r int) {
+		s.rcValid[r][fileID] = false
+		if r == owner {
+			return
+		}
+		if invalRMW {
+			s.rmwWrite(owner)
+		}
+		s.sendMsg(owner, r, core.MsgDirInval, core.DirInvalBytes, c.SendCPU, c.RecvCPU, nil)
+	})
+}
+
+// broadcastCaching sends one caching-information message to every peer.
+func (s *simState) broadcastCaching(from int) {
 	c := s.cfg.Combo.Cost(s.cfg.Version.Caching, core.CachingMsgBytes, true, true)
 	cachingRMW := s.isRMW(s.cfg.Version.Caching)
 	for p := 0; p < s.cfg.Nodes; p++ {
@@ -571,7 +709,7 @@ func (s *simState) finishRequest(nid int, t0 eventsim.Time, root *tracing.Span) 
 // new load if the dissemination strategy demands it.
 func (s *simState) loadChange(nid, delta int) {
 	n := s.nodes[nid]
-	if !n.tracker.Change(delta) {
+	if !n.diss.Change(delta) {
 		return
 	}
 	style := netmodel.StyleRegular
@@ -580,7 +718,7 @@ func (s *simState) loadChange(nid, delta int) {
 	}
 	c := s.cfg.Combo.Cost(style, core.LoadMsgBytes, true, true)
 	loadRMW := s.isRMW(style)
-	load := n.tracker.Load()
+	load := n.diss.Load()
 	for p := 0; p < s.cfg.Nodes; p++ {
 		if p == nid {
 			continue
@@ -595,6 +733,51 @@ func (s *simState) loadChange(nid, delta int) {
 	}
 }
 
+// scheduleGossip arms node nid's next gossip round. Rounds stop firing
+// once the trace is exhausted and every request has completed, so the
+// periodic timers never keep the event loop alive past the workload.
+func (s *simState) scheduleGossip(nid int) {
+	s.sim.After(s.cfg.Dissemination.Interval, func() {
+		if s.cursor >= len(s.cfg.Trace.Requests) && s.completed >= int64(s.cursor) {
+			return
+		}
+		s.gossipRound(nid)
+		s.scheduleGossip(nid)
+	})
+}
+
+// gossipRound pushes node nid's versioned load digest to its fanout
+// random peers; receivers adopt fresher entries into their peer-load
+// views and relay them on their own next round.
+func (s *simState) gossipRound(nid int) {
+	n := s.nodes[nid]
+	digest := n.diss.Digest(nil)
+	targets := n.diss.GossipTargets(nil)
+	if len(digest) == 0 || len(targets) == 0 {
+		return
+	}
+	style := netmodel.StyleRegular
+	if s.cfg.LoadViaRMW {
+		style = netmodel.StyleRMW
+	}
+	wire := int64(core.LoadMsgBytes + len(digest))
+	c := s.cfg.Combo.Cost(style, wire, true, true)
+	gossipRMW := s.isRMW(style)
+	for _, p := range targets {
+		p := p
+		if gossipRMW {
+			s.rmwWrite(nid)
+		}
+		s.sendMsg(nid, p, core.MsgLoad, wire, c.SendCPU, c.RecvCPU, func() {
+			s.nodes[p].diss.Merge(digest, func(node, load int) {
+				if node != p {
+					s.nodes[p].peerLoad[node] = load
+				}
+			})
+		})
+	}
+}
+
 // sendMsg models one intra-cluster message: sender CPU, sender NIC,
 // propagation, receiver NIC, receiver CPU, then onRecv. Piggy-backing
 // appends the sender's load; flow control may owe a credit message
@@ -603,7 +786,7 @@ func (s *simState) sendMsg(src, dst int, mt core.MsgType, wireBytes int64,
 	sendCPU, recvCPU time.Duration, onRecv func()) {
 
 	m := s.cfg.Combo
-	pb := s.cfg.Dissemination.Kind == core.PiggyBack && mt != core.MsgLoad
+	pb := s.pb && mt != core.MsgLoad
 	if pb {
 		wireBytes += core.PiggybackBytes
 	}
@@ -615,7 +798,7 @@ func (s *simState) sendMsg(src, dst int, mt core.MsgType, wireBytes int64,
 	from, to := s.nodes[src], s.nodes[dst]
 	deliver := func() {
 		if pb {
-			to.peerLoad[src] = from.tracker.Load()
+			to.peerLoad[src] = from.diss.Load()
 		}
 		if m.Protocol == netmodel.ProtoVIA && (mt == core.MsgForward || mt == core.MsgCaching || mt == core.MsgFile) {
 			if s.fc.OnData(src, dst) {

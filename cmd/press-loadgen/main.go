@@ -10,22 +10,28 @@
 //
 //	press-loadgen -targets http://127.0.0.1:PORT1,http://127.0.0.1:PORT2 \
 //	              [-trace clarknet] [-files 2000] [-requests 20000] [-concurrency 32] \
-//	              [-rate R] [-duration D]
+//	              [-rate R] [-duration D] [-dissemination PB|...|SHARD|GOSSIP]
 //
 // The -trace/-files flags must match the pressd instance so the
-// requested names exist.
+// requested names exist. With -dissemination, the generator asks the
+// first target's /_press/stats endpoint which strategy the cluster
+// runs and refuses to start on a mismatch — catching the classic
+// benchmarking error of loading a differently-configured cluster.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"press/cliflag"
 	"press/loadgen"
 	"press/trace"
 )
@@ -42,12 +48,19 @@ func main() {
 		rate        = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s (0 = closed loop)")
 		duration    = flag.Duration("duration", 10*time.Second, "open-loop run length")
 		seed        = flag.Int64("seed", 1, "random seed")
+		dissem      = flag.String("dissemination", "", "verify the cluster runs this strategy before driving it ("+cliflag.DisseminationNames()+"; empty = don't check)")
 	)
 	flag.Parse()
 	if *targets == "" {
 		log.Print("missing -targets")
 		flag.Usage()
 		os.Exit(2)
+	}
+	targetList := strings.Split(*targets, ",")
+	if *dissem != "" {
+		if err := verifyStrategy(targetList[0], *dissem); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	spec, err := trace.SpecByName(*traceName)
@@ -68,7 +81,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := loadgen.Run(ctx, loadgen.Config{
-		Targets:     strings.Split(*targets, ","),
+		Targets:     targetList,
 		Trace:       tr,
 		Concurrency: *concurrency,
 		Requests:    *requests,
@@ -90,4 +103,35 @@ func main() {
 	fmt.Printf("latency:    mean %.2fms  std %.2fms  p50 %.2fms  p99 %.2fms  max %.2fms\n",
 		res.LatencyMean*1e3, res.LatencyStd*1e3,
 		res.LatencyP50*1e3, res.LatencyP99*1e3, res.LatencyMax*1e3)
+}
+
+// verifyStrategy asks one cluster node's stats endpoint which
+// dissemination strategy it runs and errors on a mismatch with want —
+// the flag value is validated against the shared strategy surface
+// first, so a typo fails before the network round trip.
+func verifyStrategy(target, want string) error {
+	if _, err := cliflag.DisseminationList(want); err != nil || want == "all" {
+		return fmt.Errorf("bad -dissemination %q (choose from %s)", want, cliflag.DisseminationNames())
+	}
+	url := strings.TrimSuffix(target, "/") + "/_press/stats"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("strategy check: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("strategy check: %s returned %s", url, resp.Status)
+	}
+	var stats struct {
+		Strategy string `json:"strategy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return fmt.Errorf("strategy check: decoding %s: %w", url, err)
+	}
+	if stats.Strategy != want {
+		return fmt.Errorf("cluster runs dissemination %s, not %s; restart pressd or drop -dissemination",
+			stats.Strategy, want)
+	}
+	return nil
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	press-sim -experiment all|fig1|fig3|fig4|fig5|fig6|table2|table4|
-//	                      validate|nodesweep|sensitivity|locality|ablations
+//	                      validate|nodesweep|dirsweep|sensitivity|locality|ablations
 //	          [-requests N] [-nodes N] [-trace clarknet|forth|nasa|rutgers] [-seed S]
 //	press-sim -metrics [-version V0..V5] [-requests N] [-nodes N] [-trace T] [-seed S]
 //
@@ -54,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"press/cliflag"
 	"press/cluster"
 	"press/core"
 	"press/experiments"
@@ -84,7 +85,7 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run a real VIA cluster under client load with a seeded fault plan and report availability")
 		chaosDur    = flag.Duration("chaos-duration", 3*time.Second, "length of the chaos fault plan")
 		chaosFaults = flag.Int("chaos-faults", 2, "fault pairs (partition/heal or crash/restart) in the chaos plan")
-		dissem      = flag.String("dissemination", "PB", "load dissemination strategy for -chaos and -overload runs (PB, L16, L4, L1, NLB; -overload also takes all)")
+		dissem      = flag.String("dissemination", "PB", "load dissemination strategy for -chaos and -overload runs ("+cliflag.DisseminationNames()+"; -overload also takes all)")
 		overload    = flag.Bool("overload", false, "ramp open-loop load past saturation on a real VIA cluster and report the goodput knee")
 		ovStepDur   = flag.Duration("overload-duration", 2*time.Second, "length of each offered-rate step in the -overload ramp")
 		ovDeadline  = flag.Duration("overload-deadline", 500*time.Millisecond, "per-request deadline for -overload runs")
@@ -134,11 +135,12 @@ func main() {
 		"validate":    validate,
 		"ablations":   ablations,
 		"nodesweep":   nodeSweep,
+		"dirsweep":    dirSweep,
 		"sensitivity": sensitivity,
 		"locality":    locality,
 	}
 	order := []string{"fig1", "fig3", "fig4", "table2", "fig5", "table4", "fig6",
-		"validate", "nodesweep", "sensitivity", "locality", "ablations"}
+		"validate", "nodesweep", "dirsweep", "sensitivity", "locality", "ablations"}
 	if *experiment == "all" {
 		for _, name := range order {
 			if err := runners[name](o); err != nil {
@@ -172,6 +174,7 @@ func emitJSON(name string, o experiments.Options) error {
 		"nodesweep": func() (interface{}, error) {
 			return experiments.NodeSweep(o, []int{2, 4, 8, 16, 32})
 		},
+		"dirsweep": func() (interface{}, error) { return experiments.DirectoryScaling(o) },
 		"locality": func() (interface{}, error) {
 			return experiments.LocalityBenefit(o, []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 512 << 20})
 		},
@@ -276,7 +279,7 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 	if nodes < 2 {
 		return fmt.Errorf("chaos needs at least 2 nodes")
 	}
-	strategy, err := strategyByName(dissem)
+	strategy, err := core.StrategyByName(dissem)
 	if err != nil {
 		return err
 	}
@@ -412,22 +415,6 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 		return reg.Report(os.Stdout)
 	}
 	return nil
-}
-
-// strategyByName resolves a Figure 4 bar label ("PB", "L16", "L4",
-// "L1", "NLB") to its dissemination strategy.
-func strategyByName(name string) (core.Strategy, error) {
-	for _, s := range core.Strategies() {
-		if s.String() == name {
-			return s, nil
-		}
-	}
-	var known []string
-	for _, s := range core.Strategies() {
-		known = append(known, s.String())
-	}
-	return core.Strategy{}, fmt.Errorf("unknown dissemination strategy %q (choose from %s)",
-		name, strings.Join(known, ", "))
 }
 
 // chaosNodeTable prints the per-node fault-tolerance counters and each
@@ -686,6 +673,26 @@ func nodeSweep(o experiments.Options) error {
 		t.AddRowf(p.Nodes, p.TCP, p.VIA,
 			fmt.Sprintf("%+.1f%%", p.Gain*100),
 			fmt.Sprintf("%+.1f%%", p.ModelGain*100))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func dirSweep(o experiments.Options) error {
+	rows, err := experiments.DirectoryScaling(o)
+	if err != nil {
+		return err
+	}
+	header("Directory scaling: broadcast vs sharded vs gossip directory traffic (trace " + o.Trace + ")")
+	t := stats.NewTable("Nodes", "Strategy", "Throughput", "Dir msgs",
+		"Dir/req", "Dir/req/node", "Load msgs")
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			t.AddRowf(r.Nodes, c.Strategy, c.Throughput, c.DirMsgs,
+				fmt.Sprintf("%.2f", c.DirPerReq),
+				fmt.Sprintf("%.4f", c.DirPerNodeReq),
+				c.LoadMsgs)
+		}
 	}
 	fmt.Print(t)
 	return nil

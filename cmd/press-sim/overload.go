@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"press/cliflag"
 	"press/core"
 	"press/loadgen"
 	"press/netmodel"
@@ -36,15 +37,9 @@ func overloadRun(traceName string, requests, nodes int, seed int64, version, dis
 	if nodes < 2 {
 		return fmt.Errorf("overload needs at least 2 nodes")
 	}
-	var strategies []core.Strategy
-	if dissem == "all" {
-		strategies = core.Strategies()
-	} else {
-		s, err := strategyByName(dissem)
-		if err != nil {
-			return err
-		}
-		strategies = []core.Strategy{s}
+	strategies, err := cliflag.DisseminationList(dissem)
+	if err != nil {
+		return err
 	}
 	spec, err := trace.SpecByName(traceName)
 	if err != nil {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pressd [-nodes 4] [-transport via|tcp] [-version V0..V5]
-//	       [-strategy PB|L16|L4|L1|NLB] [-trace clarknet] [-files N]
+//	       [-dissemination PB|L16|L4|L1|NLB|SHARD|GOSSIP] [-trace clarknet] [-files N]
 //	       [-cache BYTES] [-disk-delay 2ms] [-metrics]
 //	       [-trace-out FILE] [-trace-sample RATE] [-pprof ADDR]
 //
@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"press/cliflag"
 	"press/core"
 	"press/metrics"
 	"press/netmodel"
@@ -47,7 +48,6 @@ func main() {
 		nodes       = flag.Int("nodes", 4, "cluster size")
 		transport   = flag.String("transport", "via", "intra-cluster transport: via or tcp")
 		version     = flag.String("version", "V5", "communication version V0..V5 (VIA only)")
-		strategy    = flag.String("strategy", "PB", "load dissemination: PB, L16, L4, L1, NLB")
 		traceName   = flag.String("trace", "clarknet", "file population: clarknet, forth, nasa, rutgers")
 		files       = flag.Int("files", 2000, "limit the file population (0 = full trace)")
 		cache       = flag.Int64("cache", 64<<20, "per-node cache bytes")
@@ -57,6 +57,7 @@ func main() {
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests to trace (head sampling)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	strategy := cliflag.Dissemination(flag.CommandLine, "dissemination", core.PB(), "")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -91,11 +92,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := core.StrategyByName(*strategy)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	var reg *metrics.Registry
 	if *withMet {
 		reg = metrics.NewRegistry()
@@ -109,7 +105,7 @@ func main() {
 		Trace:         tr,
 		Transport:     kind,
 		Version:       ver,
-		Dissemination: st,
+		Dissemination: *strategy,
 		CacheBytes:    *cache,
 		DiskDelay:     *diskDelay,
 		Metrics:       reg,
@@ -121,7 +117,7 @@ func main() {
 	defer cl.Close()
 
 	fmt.Printf("PRESS cluster up: %d nodes, %s transport, version %s, strategy %s, %d files\n",
-		*nodes, kind, ver.Name, st, len(tr.Files))
+		*nodes, kind, ver.Name, *strategy, len(tr.Files))
 	for i, a := range cl.Addrs() {
 		fmt.Printf("  node %d: http://%s\n", i, a)
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestStrategyLabels(t *testing.T) {
-	want := []string{"PB", "L16", "L4", "L1", "NLB"}
+	want := []string{"PB", "L16", "L4", "L1", "NLB", "SHARD", "GOSSIP"}
 	got := Strategies()
 	if len(got) != len(want) {
 		t.Fatalf("strategies = %d", len(got))
@@ -18,8 +18,24 @@ func TestStrategyLabels(t *testing.T) {
 	}
 }
 
+func TestPaperStrategiesBarOrder(t *testing.T) {
+	want := []string{"PB", "L16", "L4", "L1", "NLB"}
+	got := PaperStrategies()
+	if len(got) != len(want) {
+		t.Fatalf("paper strategies = %d", len(got))
+	}
+	for i, s := range got {
+		if s.String() != want[i] {
+			t.Errorf("strategy %d = %q, want %q", i, s.String(), want[i])
+		}
+		if s.Dir != DirReplicated {
+			t.Errorf("paper strategy %q is not replicated", s)
+		}
+	}
+}
+
 func TestStrategyByName(t *testing.T) {
-	for _, name := range []string{"PB", "L16", "L4", "L1", "NLB"} {
+	for _, name := range []string{"PB", "L16", "L4", "L1", "NLB", "SHARD", "GOSSIP"} {
 		s, err := StrategyByName(name)
 		if err != nil || s.String() != name {
 			t.Errorf("StrategyByName(%q) = %v, %v", name, s, err)
@@ -27,6 +43,12 @@ func TestStrategyByName(t *testing.T) {
 	}
 	if _, err := StrategyByName("L7"); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+	if s, _ := StrategyByName("GOSSIP"); s.Fanout != DefaultGossipFanout || s.Interval != DefaultGossipInterval || s.Dir != DirSharded {
+		t.Errorf("GOSSIP defaults = %+v", s)
+	}
+	if s, _ := StrategyByName("SHARD"); s.Kind != PiggyBack || s.Dir != DirSharded {
+		t.Errorf("SHARD = %+v", s)
 	}
 }
 
@@ -204,6 +226,7 @@ func TestMsgTypeStrings(t *testing.T) {
 	want := map[MsgType]string{
 		MsgLoad: "Load", MsgFlow: "Flow", MsgForward: "Forward",
 		MsgCaching: "Caching", MsgFile: "File",
+		MsgDirLookup: "DirLookup", MsgDirReply: "DirReply", MsgDirInval: "DirInval",
 	}
 	for mt, w := range want {
 		if mt.String() != w {

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisseminatorPaperStrategies(t *testing.T) {
+	for _, s := range PaperStrategies() {
+		d := NewDisseminator(s, 0, 8, 1)
+		if d.Strategy() != s {
+			t.Errorf("%v: strategy mismatch", s)
+		}
+		if got, want := d.Piggyback(), s.Kind == PiggyBack; got != want {
+			t.Errorf("%v: Piggyback = %v", s, got)
+		}
+		if got, want := d.LoadKnown(), s.Kind != NoLoadBalancing; got != want {
+			t.Errorf("%v: LoadKnown = %v", s, got)
+		}
+		if d.GossipInterval() != 0 || d.GossipTargets(nil) != nil || d.Digest(nil) != nil {
+			t.Errorf("%v: gossip surface not inert", s)
+		}
+	}
+	// Threshold behavior must be unchanged through the interface.
+	d := NewDisseminator(LThreshold(4), 0, 8, 1)
+	casts := 0
+	for i := 0; i < 10; i++ {
+		if d.Change(+1) {
+			casts++
+		}
+	}
+	if casts != 2 || d.Load() != 10 {
+		t.Fatalf("L4 via Disseminator: casts=%d load=%d", casts, d.Load())
+	}
+}
+
+func TestGossipDisseminatorBasics(t *testing.T) {
+	d := NewDisseminator(EpidemicGossip(0, 0), 2, 8, 42)
+	if !d.LoadKnown() || d.Piggyback() {
+		t.Fatal("gossip load-knowledge flags wrong")
+	}
+	if d.GossipInterval() != DefaultGossipInterval {
+		t.Fatalf("interval = %v", d.GossipInterval())
+	}
+	if d.Change(+1) {
+		t.Fatal("gossip strategy asked for a broadcast")
+	}
+	if d.Load() != 1 {
+		t.Fatalf("load = %d", d.Load())
+	}
+	targets := d.GossipTargets(nil)
+	if len(targets) != DefaultGossipFanout {
+		t.Fatalf("targets = %v", targets)
+	}
+	seen := map[int]bool{}
+	for _, n := range targets {
+		if n == 2 || n < 0 || n >= 8 || seen[n] {
+			t.Fatalf("bad target set %v", targets)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGossipDigestMergeSpreadsLoad(t *testing.T) {
+	a := NewDisseminator(EpidemicGossip(0, 0), 0, 4, 7)
+	b := NewDisseminator(EpidemicGossip(0, 0), 1, 4, 7)
+	c := NewDisseminator(EpidemicGossip(0, 0), 2, 4, 7)
+	for i := 0; i < 5; i++ {
+		a.Change(+1)
+	}
+	// a -> b: b learns a's load.
+	got := map[int]int{}
+	b.Merge(a.Digest(nil), func(node, load int) { got[node] = load })
+	if got[0] != 5 {
+		t.Fatalf("b learned %v", got)
+	}
+	// b -> c relays a's entry even though c never heard a directly.
+	got = map[int]int{}
+	c.Merge(b.Digest(nil), func(node, load int) { got[node] = load })
+	if got[0] != 5 {
+		t.Fatalf("relay through b delivered %v", got)
+	}
+	// Replaying the same digest is news to no one.
+	c.Merge(b.Digest(nil), func(node, load int) {
+		t.Fatalf("stale entry re-applied: node %d", node)
+	})
+	// A fresher version wins over the relayed copy.
+	a.Change(-1)
+	got = map[int]int{}
+	c.Merge(a.Digest(nil), func(node, load int) { got[node] = load })
+	if got[0] != 4 {
+		t.Fatalf("fresher version not adopted: %v", got)
+	}
+}
+
+func TestGossipMergeRejectsGarbage(t *testing.T) {
+	g := NewDisseminator(EpidemicGossip(0, 0), 0, 4, 1)
+	// Short digest, out-of-range node, negative load, self-entry: all
+	// ignored without panicking.
+	var bad []byte
+	bad = append(bad, 0x01, 0x02, 0x03) // truncated entry
+	g.Merge(bad, func(node, load int) { t.Fatalf("applied garbage: %d", node) })
+
+	evil := make([]byte, GossipEntryBytes)
+	evil[0] = 200 // node 200 in a 4-node cluster
+	evil[2] = 9   // version 9
+	g.Merge(evil, func(node, load int) { t.Fatalf("applied out-of-range node %d", node) })
+
+	self := make([]byte, GossipEntryBytes)
+	self[2] = 0xFF // huge version for node 0 == self
+	g.Merge(self, func(node, load int) { t.Fatalf("self entry applied: %d", node) })
+	if g.Load() != 0 {
+		t.Fatal("local load overwritten by digest")
+	}
+}
+
+func TestGossipTargetsFanoutClamps(t *testing.T) {
+	d := NewDisseminator(EpidemicGossip(16, time.Millisecond), 0, 4, 3)
+	targets := d.GossipTargets(nil)
+	if len(targets) != 3 {
+		t.Fatalf("fanout 16 in a 4-node cluster gave %v", targets)
+	}
+}
+
+func TestEpidemicGossipValidates(t *testing.T) {
+	for _, f := range []func(){
+		func() { EpidemicGossip(-1, 0) },
+		func() { EpidemicGossip(0, -time.Second) },
+	} {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid gossip parameters accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

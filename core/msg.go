@@ -26,6 +26,15 @@ const (
 	// MsgFile carries file data (and, for RMW transfers, the metadata
 	// message pointing into the data buffer).
 	MsgFile
+	// MsgDirLookup asks a sharded directory's shard owner for a file's
+	// cacher set (one directed message instead of holding a replica).
+	MsgDirLookup
+	// MsgDirReply answers a MsgDirLookup with the cacher set and the
+	// first-request verdict.
+	MsgDirReply
+	// MsgDirInval tells a node that its cached read of a directory entry
+	// is stale; the entry is re-fetched on next use.
+	MsgDirInval
 	// NumMsgTypes is the number of message types.
 	NumMsgTypes
 )
@@ -43,6 +52,12 @@ func (t MsgType) String() string {
 		return "Caching"
 	case MsgFile:
 		return "File"
+	case MsgDirLookup:
+		return "DirLookup"
+	case MsgDirReply:
+		return "DirReply"
+	case MsgDirInval:
+		return "DirInval"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -65,6 +80,18 @@ const (
 	// PiggybackBytes is the load information appended to every message
 	// under the piggy-backing strategy.
 	PiggybackBytes = 4
+	// DirLookupBytes is a directed directory lookup (a file name), same
+	// shape as a forward.
+	DirLookupBytes = 53
+	// DirReplyBytes is a directory reply: the lookup echo plus a 32-byte
+	// cacher set and the first-request verdict.
+	DirReplyBytes = 86
+	// DirInvalBytes is a directory invalidation (a file name plus the
+	// changed node).
+	DirInvalBytes = 57
+	// GossipEntryBytes is one entry of an epidemic load digest: node id
+	// (2), per-origin version (8), load (4).
+	GossipEntryBytes = 14
 )
 
 // MsgStats accumulates message counts and byte volumes per type, the

@@ -33,7 +33,7 @@ func testPolicy() *Policy { return NewPolicy(DefaultPolicy()) }
 func TestDecideLargeFileStaysLocal(t *testing.T) {
 	v := newFakeView(8)
 	// Even though node 3 caches the file, a 512 KB request stays local.
-	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.cachers[1] = cache.NodeSet{}.Add(3)
 	d := testPolicy().Decide(0, 1, 512*1024, false, v)
 	if d.Service != 0 || d.Reason != ReasonLargeFile {
 		t.Fatalf("decision = %+v", d)
@@ -45,7 +45,7 @@ func TestDecideLargeFileStaysLocal(t *testing.T) {
 
 func TestDecideJustUnderCutoffForwards(t *testing.T) {
 	v := newFakeView(8)
-	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.cachers[1] = cache.NodeSet{}.Add(3)
 	d := testPolicy().Decide(0, 1, 512*1024-1, false, v)
 	if d.Service != 3 || d.Reason != ReasonRemote {
 		t.Fatalf("decision = %+v", d)
@@ -62,7 +62,7 @@ func TestDecideFirstRequestLocal(t *testing.T) {
 
 func TestDecideLocalHit(t *testing.T) {
 	v := newFakeView(8)
-	v.cachers[5] = cache.NodeSet(0).Add(2).Add(6)
+	v.cachers[5] = cache.NodeSet{}.Add(2).Add(6)
 	d := testPolicy().Decide(2, 5, 1000, false, v)
 	if d.Service != 2 || d.Reason != ReasonLocalHit {
 		t.Fatalf("decision = %+v", d)
@@ -79,7 +79,7 @@ func TestDecideNotCachedAnywhere(t *testing.T) {
 
 func TestDecidePicksLeastLoadedCacher(t *testing.T) {
 	v := newFakeView(8)
-	v.cachers[1] = cache.NodeSet(0).Add(3).Add(5).Add(7)
+	v.cachers[1] = cache.NodeSet{}.Add(3).Add(5).Add(7)
 	v.loads[3] = 50
 	v.loads[5] = 10
 	v.loads[7] = 30
@@ -92,7 +92,7 @@ func TestDecidePicksLeastLoadedCacher(t *testing.T) {
 func TestDecideCandidateAtThresholdNotOverloaded(t *testing.T) {
 	// Overloaded means strictly greater than T.
 	v := newFakeView(8)
-	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.cachers[1] = cache.NodeSet{}.Add(3)
 	v.loads[3] = 80 // exactly T
 	d := testPolicy().Decide(0, 1, 1000, false, v)
 	if d.Service != 3 || d.Reason != ReasonRemote {
@@ -102,7 +102,7 @@ func TestDecideCandidateAtThresholdNotOverloaded(t *testing.T) {
 
 func TestDecideReplicateAtInitial(t *testing.T) {
 	v := newFakeView(8)
-	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.cachers[1] = cache.NodeSet{}.Add(3)
 	v.loads[3] = 90 // candidate overloaded
 	v.loads[0] = 10 // initial fine
 	d := testPolicy().Decide(0, 1, 1000, false, v)
@@ -113,7 +113,7 @@ func TestDecideReplicateAtInitial(t *testing.T) {
 
 func TestDecideReplicateAtLeastLoaded(t *testing.T) {
 	v := newFakeView(8)
-	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.cachers[1] = cache.NodeSet{}.Add(3)
 	v.loads[3] = 90 // candidate overloaded
 	v.loads[0] = 85 // initial overloaded
 	for i := 1; i < 8; i++ {
@@ -129,7 +129,7 @@ func TestDecideReplicateAtLeastLoaded(t *testing.T) {
 
 func TestDecideAllOverloadedStaysWithCandidate(t *testing.T) {
 	v := newFakeView(8)
-	v.cachers[1] = cache.NodeSet(0).Add(3)
+	v.cachers[1] = cache.NodeSet{}.Add(3)
 	for i := range v.loads {
 		v.loads[i] = 100
 	}
@@ -143,7 +143,7 @@ func TestDecideAllOverloadedStaysWithCandidate(t *testing.T) {
 func TestDecideLoadBlindRotates(t *testing.T) {
 	v := newFakeView(8)
 	v.loadKnown = false
-	v.cachers[1] = cache.NodeSet(0).Add(2).Add(5)
+	v.cachers[1] = cache.NodeSet{}.Add(2).Add(5)
 	p := testPolicy()
 	seen := map[int]int{}
 	for i := 0; i < 10; i++ {

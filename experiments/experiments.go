@@ -199,11 +199,13 @@ type Fig4Row struct {
 	Throughput map[string]float64 // keyed by strategy label (PB, L16, ...)
 }
 
-// Figure4 reproduces Figure 4: dissemination strategies.
+// Figure4 reproduces Figure 4: the paper's five dissemination
+// strategies. The post-paper directory modes (SHARD, GOSSIP) are swept
+// separately by DirectoryScaling.
 func Figure4(o Options) ([]Fig4Row, error) {
 	o = o.withDefaults()
 	names := traceNames()
-	strategies := core.Strategies()
+	strategies := core.PaperStrategies()
 	rows := make([]Fig4Row, len(names))
 	var mu sync.Mutex
 	for i, name := range names {

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_directory.sh — record the directory-scaling baseline as
+# machine-readable JSON (default BENCH_directory.json): directory
+# messages per request vs cluster size for the replicated broadcast
+# directory (PB), the consistent-hash sharded directory (SHARD), and
+# sharding plus epidemic load gossip (GOSSIP). The interesting claim is
+# the growth shape — dirPerReq grows ~O(N) under broadcast and stays
+# ~flat under sharding — so a regression in the dissemination seam
+# shows up as a diff in the committed baseline.
+set -eu
+
+out=${1:-BENCH_directory.json}
+requests=${2:-8000}
+
+go run ./cmd/press-sim -experiment dirsweep -json -requests "$requests" >"$out"
+
+echo "wrote $out"

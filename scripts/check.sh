@@ -42,6 +42,14 @@ echo "==> go test -race overload suite"
 go test -race -count=1 -run 'TestOverload|TestBrownout' ./server
 go test -race -count=1 -run 'TestOpenLoop' ./loadgen
 
+# The dissemination seam (consistent-hash ring ownership, sharded
+# directory lookup/invalidation, gossip views) runs concurrently with
+# the chaos harness and the server main loops; run its suites uncached
+# under the race detector.
+echo "==> go test -race directory/gossip suite"
+go test -race -count=1 -run 'TestRing|TestSharded|TestGossip|TestDisseminator|TestStrategy' ./cache ./core ./server
+go test -race -count=1 -run 'TestSimSharded|TestSimGossip' ./cluster
+
 echo "==> presslint ./..."
 go run ./cmd/presslint ./...
 

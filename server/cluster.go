@@ -12,7 +12,6 @@ import (
 	"sync"
 	"time"
 
-	"press/cache"
 	"press/core"
 	"press/metrics"
 	"press/netmodel"
@@ -106,10 +105,16 @@ type Config struct {
 	ContentOblivious bool
 }
 
+// MaxNodes is the largest cluster the real server supports. It is
+// smaller than cache.MaxNodes (which the simulator uses to sweep to 256
+// nodes) because the health tracker publishes liveness as a single
+// atomic 64-bit mask.
+const MaxNodes = 64
+
 func (c *Config) withDefaults() (Config, error) {
 	cfg := *c
-	if cfg.Nodes <= 0 || cfg.Nodes > cache.MaxNodes {
-		return cfg, fmt.Errorf("server: node count %d out of range 1..%d", cfg.Nodes, cache.MaxNodes)
+	if cfg.Nodes <= 0 || cfg.Nodes > MaxNodes {
+		return cfg, fmt.Errorf("server: node count %d out of range 1..%d", cfg.Nodes, MaxNodes)
 	}
 	if cfg.Trace == nil || len(cfg.Trace.Files) == 0 {
 		return cfg, fmt.Errorf("server: config needs a trace with files")
@@ -473,6 +478,7 @@ func (h *nodeHandler) reject(w http.ResponseWriter, msg string) {
 // nodeStatsJSON is the wire form of the stats endpoint.
 type nodeStatsJSON struct {
 	Node     int                 `json:"node"`
+	Strategy string              `json:"strategy"`
 	Requests int64               `json:"requests"`
 	Local    int64               `json:"localHits"`
 	Remote   int64               `json:"remoteHits"`
@@ -503,6 +509,7 @@ func (h *nodeHandler) serveStats(w http.ResponseWriter) {
 	}
 	out := nodeStatsJSON{
 		Node:     h.node.ID(),
+		Strategy: h.node.cfg.Dissemination.String(),
 		Requests: ns.Requests,
 		Local:    ns.LocalHits,
 		Remote:   ns.RemoteHits,

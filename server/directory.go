@@ -1,0 +1,417 @@
+package server
+
+import (
+	"time"
+
+	"press/cache"
+	"press/core"
+)
+
+// Directory is the pluggable caching-state ownership policy: who holds
+// the mapping from files to cacher sets, and what it costs to read or
+// change it. The replicated form is the paper's design — every node
+// holds the full directory, every change is broadcast. The sharded form
+// partitions ownership over a consistent-hash ring so both reads and
+// writes become single directed messages, the property that lets the
+// directory scale past broadcast's O(N²) traffic.
+//
+// All methods run on the owning node's main loop; done callbacks fire
+// there too (synchronously for a replicated directory, on message
+// arrival or timeout for a sharded one).
+type Directory interface {
+	// Lookup resolves the file's cacher set and first-request verdict
+	// for a dispatch decision. The verdict is consumed: the first
+	// lookup cluster-wide returns first=true, every later one false.
+	Lookup(id cache.FileID, done func(cachers cache.NodeSet, first bool))
+	// Cachers returns the best locally known cacher set without
+	// messaging — the failover and redirect paths' view, allowed to be
+	// stale or empty (callers fall back to local service).
+	Cachers(id cache.FileID) cache.NodeSet
+	// LocalCached records that this node started (cached=true) or
+	// stopped caching the file, and propagates the change.
+	LocalCached(id cache.FileID, cached bool)
+	// HandleMessage consumes a directory-related message (caching
+	// updates, sharded lookups/replies/invalidations); false means the
+	// message is not the directory's.
+	HandleMessage(m *Message) bool
+	// PeerDead routes the directory around a dead node, returning how
+	// many cacher entries were dropped.
+	PeerDead(peer int) int
+	// PeerJoined re-announces this node's cache to a peer that came
+	// back (replicated: to the peer; sharded: to the current owners,
+	// whose arcs the rejoin reshaped).
+	PeerJoined(peer int)
+	// Crash models a process restart: all directory state vanishes.
+	Crash()
+	// Tick advances time-based machinery (sharded lookup timeouts).
+	Tick(now time.Time)
+	// TickInterval is the cadence Tick needs, 0 for none.
+	TickInterval() time.Duration
+}
+
+// dirEnv is the narrow slice of node state a Directory runs against,
+// kept as funcs so the implementations never reach into Node.
+type dirEnv struct {
+	self      int
+	nodes     int
+	files     int
+	oblivious bool
+	send      func(dst int, m *Message)
+	fileName  func(id cache.FileID) string
+	fileID    func(name string) (cache.FileID, bool)
+	// localFiles iterates the node's currently cached files.
+	localFiles func(fn func(id cache.FileID))
+	// alive is the health tracker's current non-dead set (self always
+	// included).
+	alive func() cache.NodeSet
+}
+
+// newDirectory builds the Directory the strategy asks for.
+func newDirectory(s core.Strategy, env dirEnv) Directory {
+	if s.Dir == core.DirSharded {
+		return newShardedDirectory(env)
+	}
+	return newReplicatedDirectory(env)
+}
+
+// replicatedDirectory is the paper's design: a full local replica fed
+// by caching-information broadcasts from every peer (Section 2.2).
+type replicatedDirectory struct {
+	env dirEnv
+	d   *cache.Directory
+}
+
+func newReplicatedDirectory(env dirEnv) *replicatedDirectory {
+	return &replicatedDirectory{env: env, d: cache.NewDirectory(env.nodes, env.files)}
+}
+
+func (r *replicatedDirectory) Lookup(id cache.FileID, done func(cache.NodeSet, bool)) {
+	done(r.d.Cachers(id), r.d.FirstRequest(id))
+}
+
+func (r *replicatedDirectory) Cachers(id cache.FileID) cache.NodeSet { return r.d.Cachers(id) }
+
+func (r *replicatedDirectory) LocalCached(id cache.FileID, cached bool) {
+	r.d.SetCached(id, r.env.self, cached)
+	if r.env.oblivious {
+		return // no one consults the directory
+	}
+	name := r.env.fileName(id)
+	for p := 0; p < r.env.nodes; p++ {
+		if p != r.env.self {
+			r.env.send(p, &Message{Type: core.MsgCaching, Name: name, Cached: cached})
+		}
+	}
+}
+
+func (r *replicatedDirectory) HandleMessage(m *Message) bool {
+	if m.Type != core.MsgCaching {
+		return false
+	}
+	if id, ok := r.env.fileID(m.Name); ok {
+		r.d.SetCached(id, m.From, m.Cached)
+		// A file cached elsewhere is no first request here.
+		r.d.MarkSeen(id)
+	}
+	return true
+}
+
+func (r *replicatedDirectory) PeerDead(peer int) int { return r.d.PurgeNode(peer) }
+
+func (r *replicatedDirectory) PeerJoined(peer int) {
+	if r.env.oblivious {
+		return
+	}
+	r.env.localFiles(func(id cache.FileID) {
+		r.env.send(peer, &Message{Type: core.MsgCaching, Name: r.env.fileName(id), Cached: true})
+	})
+}
+
+func (r *replicatedDirectory) Crash() {
+	r.d = cache.NewDirectory(r.env.nodes, r.env.files)
+}
+
+func (r *replicatedDirectory) Tick(time.Time) {}
+
+func (r *replicatedDirectory) TickInterval() time.Duration { return 0 }
+
+// Sharded-directory timing: a lookup that outlives dirLookupTimeout is
+// answered with an empty set (the request is serviced locally — the
+// availability fallback), and Tick runs often enough to notice.
+const (
+	dirLookupTimeout      = 250 * time.Millisecond
+	dirLookupTickInterval = 50 * time.Millisecond
+)
+
+// pendingDirLookup is one dispatch decision waiting on a shard owner.
+type pendingDirLookup struct {
+	done     func(cache.NodeSet, bool)
+	deadline time.Time
+}
+
+// shardedDirectory partitions directory ownership over a consistent-
+// hash ring: the owner of a file's key holds the authoritative cacher
+// set and first-request bit. Reads are one MsgDirLookup/MsgDirReply
+// exchange, cached locally until the owner invalidates (MsgDirInval);
+// writes are one directed MsgCaching to the owner. Per-node directory
+// traffic is O(1) per event instead of O(N).
+type shardedDirectory struct {
+	env  dirEnv
+	ring *cache.Ring
+	keys []uint64 // per file, the ring key of its name
+
+	// Authoritative shard state, meaningful for files this node owns.
+	// Full-population slices: ownership moves with membership, so any
+	// file can become ours. A non-owner's stale slice entries are
+	// harmless — only the current owner's are consulted.
+	cachers  []cache.NodeSet
+	seen     []bool
+	interest []cache.NodeSet // readers holding a cached copy of the entry
+
+	// Read-side cache of other owners' entries.
+	rc      []cache.NodeSet
+	rcValid []bool
+
+	pending map[cache.FileID][]pendingDirLookup
+}
+
+func newShardedDirectory(env dirEnv) *shardedDirectory {
+	s := &shardedDirectory{
+		env:      env,
+		ring:     cache.NewRing(env.nodes, 0),
+		keys:     make([]uint64, env.files),
+		cachers:  make([]cache.NodeSet, env.files),
+		seen:     make([]bool, env.files),
+		interest: make([]cache.NodeSet, env.files),
+		rc:       make([]cache.NodeSet, env.files),
+		rcValid:  make([]bool, env.files),
+		pending:  make(map[cache.FileID][]pendingDirLookup),
+	}
+	for id := 0; id < env.files; id++ {
+		s.keys[id] = cache.KeyForName(env.fileName(cache.FileID(id)))
+	}
+	return s
+}
+
+// owner returns the file's current shard owner among alive nodes.
+func (s *shardedDirectory) owner(id cache.FileID) int {
+	return s.ring.Owner(s.keys[id], s.env.alive())
+}
+
+func (s *shardedDirectory) Lookup(id cache.FileID, done func(cache.NodeSet, bool)) {
+	own := s.owner(id)
+	if own == s.env.self || own < 0 {
+		// Own shard (or no peers left): resolve authoritatively.
+		first := !s.seen[id]
+		s.seen[id] = true
+		done(s.cachers[id], first)
+		return
+	}
+	if s.rcValid[id] {
+		done(s.rc[id], false)
+		return
+	}
+	waiters := s.pending[id]
+	s.pending[id] = append(waiters, pendingDirLookup{
+		done: done, deadline: time.Now().Add(dirLookupTimeout)})
+	if len(waiters) == 0 {
+		s.env.send(own, &Message{Type: core.MsgDirLookup, Name: s.env.fileName(id)})
+	}
+}
+
+func (s *shardedDirectory) Cachers(id cache.FileID) cache.NodeSet {
+	own := s.owner(id)
+	if own == s.env.self || own < 0 {
+		return s.cachers[id]
+	}
+	if s.rcValid[id] {
+		return s.rc[id]
+	}
+	return cache.NodeSet{} // unknown beats stale: callers fall back to local
+}
+
+func (s *shardedDirectory) LocalCached(id cache.FileID, cached bool) {
+	own := s.owner(id)
+	if own == s.env.self || own < 0 {
+		s.applyOwned(id, s.env.self, cached)
+		return
+	}
+	if s.rcValid[id] {
+		// Keep the read copy coherent with our own change; the owner's
+		// invalidation for it is redundant but harmless.
+		if cached {
+			s.rc[id] = s.rc[id].Add(s.env.self)
+		} else {
+			s.rc[id] = s.rc[id].Remove(s.env.self)
+		}
+	}
+	if !s.env.oblivious {
+		s.env.send(own, &Message{Type: core.MsgCaching,
+			Name: s.env.fileName(id), Cached: cached})
+	}
+}
+
+// applyOwned mutates an entry of this node's shard and invalidates
+// every reader holding a cached copy.
+func (s *shardedDirectory) applyOwned(id cache.FileID, node int, cached bool) {
+	if cached {
+		s.cachers[id] = s.cachers[id].Add(node)
+	} else {
+		s.cachers[id] = s.cachers[id].Remove(node)
+	}
+	s.seen[id] = true
+	if s.interest[id].Empty() {
+		return
+	}
+	name := s.env.fileName(id)
+	s.interest[id].ForEach(func(reader int) {
+		s.env.send(reader, &Message{Type: core.MsgDirInval, Name: name})
+	})
+	s.interest[id] = cache.NodeSet{} // readers re-register on next lookup
+}
+
+func (s *shardedDirectory) HandleMessage(m *Message) bool {
+	switch m.Type {
+	case core.MsgCaching:
+		// Directed update from a peer to the shard owner (us — or a
+		// stale view of us; recording it is harmless either way).
+		if id, ok := s.env.fileID(m.Name); ok {
+			s.applyOwned(id, m.From, m.Cached)
+		}
+		return true
+	case core.MsgDirLookup:
+		id, ok := s.env.fileID(m.Name)
+		if !ok {
+			return true
+		}
+		first := !s.seen[id]
+		s.seen[id] = true
+		s.interest[id] = s.interest[id].Add(m.From)
+		// The reply reuses the Cached header byte for the first-request
+		// verdict and carries the cacher set in the dir extension.
+		s.env.send(m.From, &Message{Type: core.MsgDirReply, Name: m.Name,
+			Cached: first, DirSet: s.cachers[id], DirSetValid: true})
+		return true
+	case core.MsgDirReply:
+		id, ok := s.env.fileID(m.Name)
+		if !ok {
+			return true
+		}
+		if m.DirSetValid {
+			s.rc[id] = m.DirSet
+			s.rcValid[id] = true
+		}
+		waiters := s.pending[id]
+		delete(s.pending, id)
+		for i, w := range waiters {
+			// Only the lookup that reached the owner first can be the
+			// file's first request.
+			w.done(m.DirSet, m.Cached && i == 0)
+		}
+		return true
+	case core.MsgDirInval:
+		if id, ok := s.env.fileID(m.Name); ok {
+			s.rcValid[id] = false
+		}
+		return true
+	}
+	return false
+}
+
+func (s *shardedDirectory) PeerDead(peer int) int {
+	purged := 0
+	for id := range s.cachers {
+		if s.cachers[id].Has(peer) {
+			s.cachers[id] = s.cachers[id].Remove(peer)
+			purged++
+		}
+		s.interest[id] = s.interest[id].Remove(peer)
+	}
+	// Ownership arcs moved: every cached read may now name the wrong
+	// owner, and entries the dead node owned are gone. Drop the read
+	// cache, fail pending lookups fast (local service), and re-announce
+	// our own cache so the new owners rebuild their shards.
+	s.invalidateReadCache()
+	s.flushPending()
+	s.reannounce()
+	return purged
+}
+
+func (s *shardedDirectory) PeerJoined(peer int) {
+	if s.env.oblivious {
+		return
+	}
+	// The rejoined node reclaims its arcs (with empty shard state) and
+	// every other owner's arc boundaries shifted back.
+	s.invalidateReadCache()
+	s.reannounce()
+}
+
+func (s *shardedDirectory) Crash() {
+	for id := range s.cachers {
+		s.cachers[id] = cache.NodeSet{}
+		s.seen[id] = false
+		s.interest[id] = cache.NodeSet{}
+	}
+	s.invalidateReadCache()
+	s.flushPending()
+}
+
+func (s *shardedDirectory) Tick(now time.Time) {
+	for id, waiters := range s.pending {
+		kept := waiters[:0]
+		for _, w := range waiters {
+			if now.After(w.deadline) {
+				w.done(cache.NodeSet{}, false)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.pending, id)
+		} else {
+			s.pending[id] = kept
+		}
+	}
+}
+
+func (s *shardedDirectory) TickInterval() time.Duration { return dirLookupTickInterval }
+
+func (s *shardedDirectory) invalidateReadCache() {
+	for id := range s.rcValid {
+		s.rcValid[id] = false
+	}
+}
+
+// flushPending answers every waiting lookup with an empty set: the
+// dispatch falls back to local service, trading a cache miss for not
+// stalling the request on a directory in flux.
+func (s *shardedDirectory) flushPending() {
+	if len(s.pending) == 0 {
+		return
+	}
+	flushed := s.pending
+	s.pending = make(map[cache.FileID][]pendingDirLookup)
+	for _, waiters := range flushed {
+		for _, w := range waiters {
+			w.done(cache.NodeSet{}, false)
+		}
+	}
+}
+
+// reannounce re-registers this node's cache contents with the current
+// shard owners, rebuilding entries lost to an ownership change.
+func (s *shardedDirectory) reannounce() {
+	if s.env.oblivious {
+		return
+	}
+	s.env.localFiles(func(id cache.FileID) {
+		own := s.owner(id)
+		if own == s.env.self || own < 0 {
+			s.applyOwned(id, s.env.self, true)
+			return
+		}
+		s.env.send(own, &Message{Type: core.MsgCaching,
+			Name: s.env.fileName(id), Cached: true})
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"press/cache"
 	"press/core"
 	"press/tracing"
 	"press/via"
@@ -55,6 +56,15 @@ type Message struct {
 	// as an invalid type.
 	TraceID    tracing.TraceID
 	ParentSpan tracing.SpanID
+
+	// DirSet carries a caching-directory cacher set (sharded-directory
+	// replies); DirSetValid distinguishes an empty-but-authoritative set
+	// from no set at all. A valid set sets the dir flag bit on the type
+	// byte and appends a 32-byte extension after the deadline extension
+	// (if any); decoders predating the sharded directory reject the flag
+	// cleanly as an invalid type.
+	DirSet      cache.NodeSet
+	DirSetValid bool
 
 	// Budget propagates the request deadline across nodes: the time the
 	// originating node still had left when it handed the forward to its
@@ -94,14 +104,23 @@ const msgTraceFlag = 0x80
 // cleanly on it.
 const msgDeadlineFlag = 0x40
 
+// msgDirFlag on the type byte signals the directory-set extension: a
+// 32-byte cacher NodeSet, appended after the deadline extension (when
+// present). Like the other flags it sits above every valid core.MsgType
+// value, so earlier decoders fail cleanly on it.
+const msgDirFlag = 0x20
+
 // msgFlagMask covers every wire-extension flag bit on the type byte.
-const msgFlagMask = msgTraceFlag | msgDeadlineFlag
+const msgFlagMask = msgTraceFlag | msgDeadlineFlag | msgDirFlag
 
 // msgTraceExtLen is the wire size of the tracing extension.
 const msgTraceExtLen = 8 + 8
 
 // msgDeadlineExtLen is the wire size of the deadline extension.
 const msgDeadlineExtLen = 8
+
+// msgDirExtLen is the wire size of the directory-set extension.
+const msgDirExtLen = 32
 
 // maxNameLen bounds file names on the wire.
 const maxNameLen = 1 << 15
@@ -114,6 +133,9 @@ func (m *Message) EncodedLen() int {
 	}
 	if m.Budget > 0 {
 		n += msgDeadlineExtLen
+	}
+	if m.DirSetValid {
+		n += msgDirExtLen
 	}
 	return n
 }
@@ -137,6 +159,9 @@ func (m *Message) Encode(dst []byte) ([]byte, error) {
 	if m.Budget > 0 {
 		h[0] |= msgDeadlineFlag
 	}
+	if m.DirSetValid {
+		h[0] |= msgDirFlag
+	}
 	binary.LittleEndian.PutUint16(h[1:], uint16(m.From))
 	binary.LittleEndian.PutUint32(h[3:], uint32(m.Load))
 	binary.LittleEndian.PutUint64(h[7:], m.ReqID)
@@ -158,6 +183,13 @@ func (m *Message) Encode(dst []byte) ([]byte, error) {
 	if m.Budget > 0 {
 		var ext [msgDeadlineExtLen]byte
 		binary.LittleEndian.PutUint64(ext[:], uint64(m.Budget))
+		dst = append(dst, ext[:]...)
+	}
+	if m.DirSetValid {
+		var ext [msgDirExtLen]byte
+		for i, w := range m.DirSet {
+			binary.LittleEndian.PutUint64(ext[i*8:], w)
+		}
 		dst = append(dst, ext[:]...)
 	}
 	dst = append(dst, m.Name...)
@@ -207,6 +239,16 @@ func DecodeMessage(buf []byte) (*Message, error) {
 			return nil, fmt.Errorf("server: deadline extension with non-positive budget %v", m.Budget)
 		}
 		body += msgDeadlineExtLen
+	}
+	if buf[0]&msgDirFlag != 0 {
+		if len(buf) < body+msgDirExtLen {
+			return nil, fmt.Errorf("server: short directory-set extension (%d bytes)", len(buf))
+		}
+		for i := range m.DirSet {
+			m.DirSet[i] = binary.LittleEndian.Uint64(buf[body+i*8:])
+		}
+		m.DirSetValid = true
+		body += msgDirExtLen
 	}
 	if body+nameLen+dataLen > len(buf) {
 		return nil, fmt.Errorf("server: truncated message: header wants %d+%d bytes, have %d",

@@ -179,15 +179,21 @@ type Node struct {
 	lru       *cache.LRU
 	content   map[cache.FileID][]byte
 	regions   map[cache.FileID]*via.MemoryRegion // zero-copy TX (V5)
-	dir       *cache.Directory
+	dir       Directory
 	policy    *core.Policy
-	tracker   *core.LoadTracker
+	diss      core.Disseminator
 	peerLoad  []int
 	nameToID  map[string]cache.FileID
 	files     []trace.File
 	pending   map[uint64]*pendingRemote
 	nextReqID uint64
 	waiting   map[string][]diskWaiter
+
+	// Gossip dissemination state (main loop).
+	lastGossip time.Time
+	gossipDst  []int
+	// pb mirrors diss.Piggyback() for the send thread (immutable).
+	pb bool
 
 	// Fault tolerance, owned by the main loop except where noted.
 	health   *healthTracker
@@ -227,19 +233,35 @@ type nodeView struct{ n *Node }
 // Cachers masks dead nodes out of the directory view: the policy must
 // never pick a node the cluster has routed around.
 func (v nodeView) Cachers(id cache.FileID) cache.NodeSet {
-	return v.n.dir.Cachers(id) & cache.NodeSet(v.n.health.AliveMask())
+	return v.n.dir.Cachers(id).Intersect(cache.NodeSetFromMask(v.n.health.AliveMask()))
 }
 func (v nodeView) Load(node int) int {
 	if node == v.n.id {
-		return v.n.tracker.Load()
+		return v.n.diss.Load()
 	}
 	if v.n.health.isDead(node) {
 		return int(^uint(0) >> 1) // least-loaded search never lands here
 	}
 	return v.n.peerLoad[node]
 }
-func (v nodeView) LoadKnown() bool { return v.n.cfg.Dissemination.Kind != core.NoLoadBalancing }
+func (v nodeView) LoadKnown() bool { return v.n.diss.LoadKnown() }
 func (v nodeView) Nodes() int      { return v.n.cfg.Nodes }
+
+// lookupView pins the dispatched file's cacher set to the directory
+// lookup's result — by the time an asynchronous (sharded) lookup
+// resolves, the live view may not cover the file at all.
+type lookupView struct {
+	nodeView
+	id  cache.FileID
+	set cache.NodeSet
+}
+
+func (v lookupView) Cachers(id cache.FileID) cache.NodeSet {
+	if id == v.id {
+		return v.set
+	}
+	return v.nodeView.Cachers(id)
+}
 
 func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 	// Overload control bounds the queues; disabled keeps them unbounded
@@ -259,9 +281,8 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 		lru:        cache.NewLRU(cfg.CacheBytes),
 		content:    make(map[cache.FileID][]byte),
 		regions:    make(map[cache.FileID]*via.MemoryRegion),
-		dir:        cache.NewDirectory(cfg.Nodes, len(cfg.Trace.Files)),
 		policy:     core.NewPolicy(cfg.Policy),
-		tracker:    core.NewLoadTracker(cfg.Dissemination),
+		diss:       core.NewDisseminator(cfg.Dissemination, id, cfg.Nodes, cfg.Retry.Seed),
 		peerLoad:   make([]int, cfg.Nodes),
 		nameToID:   make(map[string]cache.FileID, len(cfg.Trace.Files)),
 		files:      cfg.Trace.Files,
@@ -281,9 +302,28 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 	}
 	n.health = newHealthTracker(id, cfg.Nodes, cfg.Health, cfg.Retry.Seed, cfg.Metrics)
 	n.ov = newOverloadCtl(cfg, id)
+	n.pb = n.diss.Piggyback()
 	for i, f := range cfg.Trace.Files {
 		n.nameToID[f.Name] = cache.FileID(i)
 	}
+	n.dir = newDirectory(cfg.Dissemination, dirEnv{
+		self:      id,
+		nodes:     cfg.Nodes,
+		files:     len(cfg.Trace.Files),
+		oblivious: cfg.ContentOblivious,
+		send:      n.send,
+		fileName:  func(id cache.FileID) string { return n.files[id].Name },
+		fileID: func(name string) (cache.FileID, bool) {
+			id, ok := n.nameToID[name]
+			return id, ok
+		},
+		localFiles: func(fn func(id cache.FileID)) {
+			for id := range n.content {
+				fn(id)
+			}
+		},
+		alive: func() cache.NodeSet { return cache.NodeSetFromMask(n.health.AliveMask()) },
+	})
 	return n
 }
 
@@ -350,6 +390,8 @@ func (n *Node) mainLoop() {
 			if n.ov.on {
 				n.overloadTick(now)
 			}
+			n.dir.Tick(now)
+			n.gossipTick(now)
 		}
 	}
 }
@@ -359,15 +401,48 @@ func (n *Node) mainLoop() {
 // timeout so expired pending work is swept promptly. Zero = no ticker.
 func (n *Node) tickInterval() time.Duration {
 	var interval time.Duration
-	if n.healthActive() {
-		interval = n.cfg.Health.HeartbeatInterval / 2
-	}
-	if n.ov.on {
-		if sweep := n.ov.cfg.RequestTimeout / 4; interval == 0 || sweep < interval {
-			interval = sweep
+	lower := func(d time.Duration) {
+		if d > 0 && (interval == 0 || d < interval) {
+			interval = d
 		}
 	}
+	if n.healthActive() {
+		lower(n.cfg.Health.HeartbeatInterval / 2)
+	}
+	if n.ov.on {
+		lower(n.ov.cfg.RequestTimeout / 4)
+	}
+	// Sharded-directory lookup timeouts and gossip rounds also ride the
+	// main-loop ticker.
+	lower(n.dir.TickInterval())
+	if n.gossipActive() {
+		lower(n.diss.GossipInterval() / 2)
+	}
 	return interval
+}
+
+// gossipActive reports whether epidemic load rounds run on this node.
+func (n *Node) gossipActive() bool {
+	return n.diss.GossipInterval() > 0 && n.cfg.Nodes > 1 && !n.cfg.ContentOblivious
+}
+
+// gossipTick pushes the node's versioned load digest to this round's
+// fanout targets; called from the main-loop ticker.
+func (n *Node) gossipTick(now time.Time) {
+	if !n.gossipActive() || now.Sub(n.lastGossip) < n.diss.GossipInterval() {
+		return
+	}
+	n.lastGossip = now
+	// One digest allocation per round, shared read-only by the fanout
+	// messages (the send thread never mutates Data).
+	digest := n.diss.Digest(nil)
+	n.gossipDst = n.diss.GossipTargets(n.gossipDst)
+	for _, dst := range n.gossipDst {
+		if n.health.isDead(dst) {
+			continue
+		}
+		n.send(dst, &Message{Type: core.MsgLoad, Load: int32(n.diss.Load()), Data: digest})
+	}
 }
 
 // healthActive reports whether failure detection runs on this node. A
@@ -411,9 +486,26 @@ func (n *Node) handleClient(r *clientRequest) {
 		return
 	}
 	dsp := r.span.StartChild("dispatch")
+	n.dir.Lookup(id, func(cachers cache.NodeSet, first bool) {
+		n.dispatchDecided(r, id, cachers, first, dsp)
+	})
+}
+
+// dispatchDecided is the second half of handleClient, entered once the
+// directory has resolved the file's cacher set — immediately for a
+// replicated directory, after a directed lookup for a sharded one. Runs
+// on the main loop.
+func (n *Node) dispatchDecided(r *clientRequest, id cache.FileID, cachers cache.NodeSet, first bool, dsp *tracing.Span) {
+	if n.ov.on && !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		// An asynchronous lookup can outlive the request's budget.
+		dsp.End()
+		n.expireClient(r, dlStageAccept)
+		return
+	}
 	size := n.files[id].Size
-	first := n.dir.FirstRequest(id)
-	d := n.policy.Decide(n.id, id, size, first, nodeView{n})
+	view := lookupView{nodeView: nodeView{n}, id: id,
+		set: cachers.Intersect(cache.NodeSetFromMask(n.health.AliveMask()))}
+	d := n.policy.Decide(n.id, id, size, first, view)
 	dsp.Annotate("service", int64(d.Service))
 	dsp.End()
 	dst := d.Service
@@ -439,7 +531,7 @@ func (n *Node) handleClient(r *clientRequest) {
 	fwd := r.span.StartChild("forward")
 	fwd.Annotate("dst", int64(dst))
 	p := &pendingRemote{req: r, span: fwd, dst: dst,
-		tried: cache.NodeSet(0).Add(n.id).Add(dst)}
+		tried: cache.NodeSetOf(n.id, dst)}
 	now := time.Now()
 	p.sentAt = now
 	if n.healthActive() {
@@ -543,8 +635,7 @@ func (n *Node) insertCache(id cache.FileID, data []byte) {
 			_ = n.nic.DeregisterMemory(reg)
 			delete(n.regions, ev)
 		}
-		n.dir.SetCached(ev, n.id, false)
-		n.broadcastCaching(ev, false)
+		n.dir.LocalCached(ev, false)
 	}
 	if !inserted {
 		return
@@ -557,21 +648,7 @@ func (n *Node) insertCache(id cache.FileID, data []byte) {
 			n.regions[id] = reg
 		}
 	}
-	n.dir.SetCached(id, n.id, true)
-	n.broadcastCaching(id, true)
-}
-
-func (n *Node) broadcastCaching(id cache.FileID, cached bool) {
-	if n.cfg.ContentOblivious {
-		return // no one consults the directory
-	}
-	name := n.files[id].Name
-	for p := 0; p < n.cfg.Nodes; p++ {
-		if p == n.id {
-			continue
-		}
-		n.send(p, &Message{Type: core.MsgCaching, Name: name, Cached: cached})
-	}
+	n.dir.LocalCached(id, true)
 }
 
 // sendFile queues a file reply; parent (the serve-remote span, nil when
@@ -601,13 +678,17 @@ func (n *Node) handleMessage(m *Message) {
 	}
 	switch m.Type {
 	case core.MsgLoad:
-		// Explicit broadcast, already applied above.
-	case core.MsgCaching:
-		if id, ok := n.nameToID[m.Name]; ok {
-			n.dir.SetCached(id, m.From, m.Cached)
-			// A file cached elsewhere is no first request here.
-			n.dir.MarkSeen(id)
+		// Explicit broadcast, already applied above; a gossip digest in
+		// the payload spreads relayed load entries epidemically.
+		if len(m.Data) > 0 {
+			n.diss.Merge(m.Data, func(node, load int) {
+				if node != n.id && !n.health.isDead(node) {
+					n.peerLoad[node] = load
+				}
+			})
 		}
+	case core.MsgCaching, core.MsgDirLookup, core.MsgDirReply, core.MsgDirInval:
+		n.dir.HandleMessage(m)
 	case core.MsgForward:
 		n.handleForward(m)
 	case core.MsgFile:
@@ -690,12 +771,12 @@ func (n *Node) handleFileChunk(m *Message) {
 // loadChange tracks open client connections, broadcasting under the
 // threshold strategies.
 func (n *Node) loadChange(delta int) {
-	broadcast := n.tracker.Change(delta)
-	n.loadMirror.Store(int64(n.tracker.Load()))
+	broadcast := n.diss.Change(delta)
+	n.loadMirror.Store(int64(n.diss.Load()))
 	if !broadcast {
 		return
 	}
-	load := int32(n.tracker.Load())
+	load := int32(n.diss.Load())
 	for p := 0; p < n.cfg.Nodes; p++ {
 		if p == n.id {
 			continue
@@ -727,7 +808,7 @@ func (n *Node) send(dst int, m *Message) {
 // of silently dropping it.
 func (n *Node) sendThread() {
 	defer n.wg.Done()
-	pb := n.cfg.Dissemination.Kind == core.PiggyBack
+	pb := n.pb
 	bo := newBackoff(n.cfg.Retry, int64(n.id))
 	var pauseTimer *time.Timer // reused across retries: time.After would leak one per attempt
 	defer func() {
@@ -879,7 +960,7 @@ func (n *Node) healthTick(now time.Time) {
 		}
 		if n.health.heartbeatDue(p, now) {
 			n.health.hbSent.Inc()
-			n.send(p, &Message{Type: core.MsgLoad, Load: int32(n.tracker.Load())})
+			n.send(p, &Message{Type: core.MsgLoad, Load: int32(n.diss.Load())})
 		}
 		if n.health.probeDue(p, now) {
 			n.probe(p)
@@ -900,7 +981,7 @@ func (n *Node) onPeerDead(peer int, reason string) {
 	if ft, ok := n.transport.(faultTransport); ok {
 		ft.PeerDown(peer, fmt.Errorf("health: declared dead (%s)", reason))
 	}
-	purged := n.dir.PurgeNode(peer)
+	purged := n.dir.PeerDead(peer)
 	n.m.purged.Add(int64(purged))
 	n.peerLoad[peer] = 0
 	n.ovResetPeer(peer)
@@ -954,7 +1035,7 @@ func (n *Node) failover(reqID uint64, p *pendingRemote, reason string) {
 // a last resort: slow beats local disk when the disk path is the
 // bottleneck being escaped.
 func (n *Node) pickFailover(id cache.FileID, tried cache.NodeSet) int {
-	set := n.dir.Cachers(id) & cache.NodeSet(n.health.AliveMask())
+	set := n.dir.Cachers(id).Intersect(cache.NodeSetFromMask(n.health.AliveMask()))
 	best, bestLoad := -1, int(^uint(0)>>1)
 	bestBrowned, bestBrownedLoad := -1, int(^uint(0)>>1)
 	for _, c := range set.Nodes() {
@@ -984,11 +1065,7 @@ func (n *Node) pickFailover(id cache.FileID, tried cache.NodeSet) int {
 func (n *Node) reintegrate(peer int) {
 	n.peerLoad[peer] = 0
 	n.ovResetPeer(peer)
-	if !n.cfg.ContentOblivious {
-		for id := range n.content {
-			n.send(peer, &Message{Type: core.MsgCaching, Name: n.files[id].Name, Cached: true})
-		}
-	}
+	n.dir.PeerJoined(peer)
 	n.updateDegraded()
 }
 
@@ -1054,7 +1131,7 @@ func (n *Node) crashLocalState() {
 		delete(n.regions, id)
 	}
 	n.lru = cache.NewLRU(n.cfg.CacheBytes)
-	n.dir = cache.NewDirectory(n.cfg.Nodes, len(n.files))
+	n.dir.Crash()
 	for reqID, p := range n.pending {
 		delete(n.pending, reqID)
 		p.span.AnnotateStr("error", "node crashed")

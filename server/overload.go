@@ -340,7 +340,7 @@ func (n *Node) PeerBrownedOut(peer int) bool {
 // none. Used to route around a browned-out service node without
 // touching its directory entries.
 func (n *Node) pickRedirect(id cache.FileID, avoid int) int {
-	set := n.dir.Cachers(id) & cache.NodeSet(n.health.AliveMask())
+	set := n.dir.Cachers(id).Intersect(cache.NodeSetFromMask(n.health.AliveMask()))
 	best, bestLoad := -1, int(^uint(0)>>1)
 	for _, c := range set.Nodes() {
 		if c == n.id || c == avoid || n.ov.pace[c].browned {

@@ -616,6 +616,11 @@ func (t *viaTransport) style(mt core.MsgType) netmodel.Style {
 		return t.cfg.version.Forward
 	case core.MsgCaching:
 		return t.cfg.version.Caching
+	case core.MsgDirLookup, core.MsgDirReply, core.MsgDirInval:
+		// Sharded-directory traffic is directory control, same class as
+		// caching broadcasts: under V1+ it rides the RMW path, which is
+		// what invalidates read-side caches "over the existing RMW path".
+		return t.cfg.version.Caching
 	case core.MsgFile:
 		return t.cfg.version.File
 	case core.MsgFlow:

@@ -30,13 +30,6 @@ func WithLoss(rate float64) FabricOption {
 	return func(f *Fabric) { f.lossRate = rate }
 }
 
-// WithLossRate is the older name for WithLoss.
-//
-// Deprecated: use WithLoss. Kept as a shim for one release.
-func WithLossRate(rate float64) FabricOption {
-	return WithLoss(rate)
-}
-
 // WithSeed seeds the deterministic loss process.
 func WithSeed(seed int64) FabricOption {
 	return func(f *Fabric) { f.seed = seed }

@@ -99,11 +99,10 @@ func TestWithLossOption(t *testing.T) {
 	if f.lossRate != 1.0 {
 		t.Errorf("WithLoss did not set loss rate: %v", f.lossRate)
 	}
-	// Deprecated shim must behave identically.
-	f2 := NewFabric(WithLossRate(0.25))
+	f2 := NewFabric(WithLoss(0.25))
 	defer f2.Close()
 	if f2.lossRate != 0.25 {
-		t.Errorf("WithLossRate shim broken: %v", f2.lossRate)
+		t.Errorf("WithLoss did not set loss rate: %v", f2.lossRate)
 	}
 }
 

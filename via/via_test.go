@@ -220,7 +220,7 @@ func TestUnreliableDropsSilently(t *testing.T) {
 }
 
 func TestUnreliableLossRate(t *testing.T) {
-	f := NewFabric(WithLossRate(0.5), WithSeed(42))
+	f := NewFabric(WithLoss(0.5), WithSeed(42))
 	defer f.Close()
 	na, _ := f.CreateNIC("a")
 	nb, _ := f.CreateNIC("b")
