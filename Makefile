@@ -23,12 +23,15 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkViaSendMetrics -benchtime 1x .
 
 # bench records the observability-overhead baseline (tracing and
-# metrics on/off) into BENCH_trace.json and the directory-scaling
+# metrics on/off) into BENCH_trace.json, the directory-scaling
 # baseline (directory messages per request vs cluster size, broadcast
-# vs sharded vs gossip) into BENCH_directory.json.
+# vs sharded vs gossip) into BENCH_directory.json, and the
+# telemetry-plane overhead baseline (sampler off/on, event hot path,
+# exposition render) into BENCH_telemetry.json.
 bench:
 	sh scripts/bench.sh BENCH_trace.json
 	sh scripts/bench_directory.sh BENCH_directory.json
+	sh scripts/bench_telemetry.sh BENCH_telemetry.json
 
 # check is the full gate: vet, build, race-enabled tests, presslint,
 # benchmark smoke.

@@ -18,6 +18,7 @@ import (
 	"press/core"
 	"press/metrics"
 	"press/netmodel"
+	"press/telemetry"
 	"press/trace"
 	"press/tracing"
 )
@@ -104,6 +105,12 @@ type Config struct {
 	// so exported traces read in simulated nanoseconds and forwarded
 	// requests stitch across node tracks exactly like real-server traces.
 	Tracing *tracing.Tracer
+	// Telemetry, when non-nil, samples the Metrics registry on
+	// simulated time: the run installs the virtual clock on the plane
+	// and polls it every plane interval of simulated time, so the
+	// resulting series plot the experiment's timeline (goodput over
+	// time, the overload knee) rather than wall-clock noise.
+	Telemetry *telemetry.Plane
 }
 
 func (c *Config) withDefaults() (Config, error) {

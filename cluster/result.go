@@ -35,7 +35,14 @@ func (s *simState) result() *Result {
 		Msgs:      s.msgs,
 		Reasons:   s.reasons,
 	}
-	r.Elapsed = time.Duration(s.sim.Now() - s.measStart)
+	// The window ends at the last measured completion, not the final
+	// event: trailing timer ticks (gossip rounds, telemetry polls) run
+	// after the workload drains and must not stretch Elapsed.
+	end := s.measEnd
+	if end < s.measStart {
+		end = s.sim.Now()
+	}
+	r.Elapsed = time.Duration(end - s.measStart)
 	if r.Elapsed > 0 {
 		r.Throughput = float64(r.Requests) / r.Elapsed.Seconds()
 	}

@@ -67,6 +67,7 @@ type simState struct {
 	measuring     bool
 	completed     int64
 	measStart     eventsim.Time
+	measEnd       eventsim.Time
 	measCompleted int64
 	msgs          core.MsgStats
 	reasons       [core.NumReasons]int64
@@ -219,6 +220,15 @@ func Run(c Config) (*Result, error) {
 	}
 	// Span timestamps must read simulated time, not the wall clock.
 	cfg.Tracing.SetClock(s.sim.NowNanos)
+	// Telemetry series likewise: the plane samples the registry every
+	// plane interval of simulated time, stopping with the workload.
+	if cfg.Telemetry.Enabled() {
+		cfg.Telemetry.SetClock(s.sim.NowNanos)
+		s.sim.Every(cfg.Telemetry.Interval(), func() bool {
+			s.cfg.Telemetry.Poll(s.sim.NowNanos())
+			return !s.workloadDrained()
+		})
+	}
 	s.latHist = metrics.NewHistogram()
 	if !cfg.NoPrewarm {
 		s.prewarm()
@@ -241,6 +251,11 @@ func Run(c Config) (*Result, error) {
 		}
 	}
 	s.sim.Run()
+	if cfg.Telemetry.Enabled() {
+		// One final sample so the series cover the workload's tail even
+		// when the run ends mid-interval.
+		cfg.Telemetry.Poll(s.sim.NowNanos())
+	}
 
 	return s.result(), nil
 }
@@ -691,6 +706,7 @@ func (s *simState) finishRequest(nid int, t0 eventsim.Time, root *tracing.Span) 
 	s.completed++
 	if s.measuring {
 		s.measCompleted++
+		s.measEnd = s.sim.Now()
 		d := (s.sim.Now() - t0).Seconds()
 		s.latency.Add(d)
 		if d > s.latencyMax {
@@ -733,17 +749,24 @@ func (s *simState) loadChange(nid, delta int) {
 	}
 }
 
-// scheduleGossip arms node nid's next gossip round. Rounds stop firing
+// scheduleGossip arms node nid's gossip rounds. Rounds stop firing
 // once the trace is exhausted and every request has completed, so the
 // periodic timers never keep the event loop alive past the workload.
 func (s *simState) scheduleGossip(nid int) {
-	s.sim.After(s.cfg.Dissemination.Interval, func() {
-		if s.cursor >= len(s.cfg.Trace.Requests) && s.completed >= int64(s.cursor) {
-			return
+	s.sim.Every(s.cfg.Dissemination.Interval, func() bool {
+		if s.workloadDrained() {
+			return false
 		}
 		s.gossipRound(nid)
-		s.scheduleGossip(nid)
+		return true
 	})
+}
+
+// workloadDrained reports that the trace is exhausted and every issued
+// request has completed — the stop condition shared by the periodic
+// timers (gossip, telemetry sampling).
+func (s *simState) workloadDrained() bool {
+	return s.cursor >= len(s.cfg.Trace.Requests) && s.completed >= int64(s.cursor)
 }
 
 // gossipRound pushes node nid's versioned load digest to its fanout

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"press/metrics"
+	"press/telemetry"
+)
+
+// TestRunTelemetry: the simulator drives the plane on its virtual
+// clock, so the series cover exactly the simulated timeline — points
+// spaced by the plane interval in simulated nanoseconds, never wall
+// time.
+func TestRunTelemetry(t *testing.T) {
+	tr := testTrace(t, 6000)
+	reg := metrics.NewRegistry()
+	plane := telemetry.New(telemetry.Config{
+		Registry: reg,
+		Interval: 2 * time.Millisecond, // simulated
+		Capacity: 4096,
+	})
+	cfg := baseConfig(tr)
+	cfg.Nodes = 4
+	cfg.Metrics = reg
+	cfg.Telemetry = plane
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	series := plane.Series()
+	if len(series) == 0 {
+		t.Fatal("no series sampled")
+	}
+	horizon := int64(r.Elapsed) * 10
+	var rates int
+	for _, d := range series {
+		for i, pt := range d.Points {
+			if pt.T < 0 || pt.T > horizon {
+				t.Fatalf("series %s point %d at %d outside simulated horizon %d", d.Key, i, pt.T, horizon)
+			}
+			if i > 0 && pt.T <= d.Points[i-1].T {
+				t.Fatalf("series %s not strictly increasing in time at %d", d.Key, i)
+			}
+		}
+		if strings.HasPrefix(d.Key, "sim_request_latency_ns{") && strings.HasSuffix(d.Key, ":rate") {
+			rates++
+			var sum float64
+			for _, pt := range d.Points {
+				sum += pt.V
+			}
+			if sum <= 0 {
+				t.Errorf("series %s has no positive completion rate", d.Key)
+			}
+		}
+	}
+	if rates == 0 {
+		keys := make([]string, 0, len(series))
+		for _, d := range series {
+			keys = append(keys, d.Key)
+		}
+		t.Fatalf("no per-node completion-rate series; got keys %v", keys)
+	}
+}
+
+// TestRunTelemetryDoesNotPerturb: sampling must not change the
+// simulated outcome — the plane only reads the registry.
+func TestRunTelemetryDoesNotPerturb(t *testing.T) {
+	tr := testTrace(t, 4000)
+	cfg := baseConfig(tr)
+	cfg.Metrics = metrics.NewRegistry()
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = metrics.NewRegistry()
+	cfg.Telemetry = telemetry.New(telemetry.Config{Registry: cfg.Metrics, Interval: time.Millisecond})
+	sampled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Throughput != sampled.Throughput || plain.Requests != sampled.Requests {
+		t.Errorf("telemetry perturbed the run: %v/%d vs %v/%d",
+			plain.Throughput, plain.Requests, sampled.Throughput, sampled.Requests)
+	}
+}

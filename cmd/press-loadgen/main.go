@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -120,18 +121,38 @@ func verifyStrategy(target, want string) error {
 		return fmt.Errorf("strategy check: %w", err)
 	}
 	defer resp.Body.Close()
+	// Read the body up front (capped: an error page can be arbitrarily
+	// large) so every failure mode below can quote what the server
+	// actually said instead of leaving the operator to re-curl it.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if err != nil {
+		return fmt.Errorf("strategy check: reading %s: %w", url, err)
+	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("strategy check: %s returned %s", url, resp.Status)
+		return fmt.Errorf("strategy check: %s returned %s: %s", url, resp.Status, excerpt(body))
 	}
 	var stats struct {
 		Strategy string `json:"strategy"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return fmt.Errorf("strategy check: decoding %s: %w", url, err)
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return fmt.Errorf("strategy check: decoding %s: %w (body: %s)", url, err, excerpt(body))
 	}
 	if stats.Strategy != want {
-		return fmt.Errorf("cluster runs dissemination %s, not %s; restart pressd or drop -dissemination",
-			stats.Strategy, want)
+		return fmt.Errorf("cluster runs dissemination %s, not %s (%s said: %s); restart pressd or drop -dissemination",
+			stats.Strategy, want, url, excerpt(body))
 	}
 	return nil
+}
+
+// excerpt flattens a response body onto one log line.
+func excerpt(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	s = strings.ReplaceAll(s, "\n", " ")
+	if s == "" {
+		return "(empty body)"
+	}
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
 }

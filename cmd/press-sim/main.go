@@ -26,11 +26,14 @@
 // availability: error classes, failovers by reason, retries,
 // reconnects, and the final health view. Combine with -metrics for the
 // full registry report and -trace-out to see failover annotations in
-// press-trace.
+// press-trace. -incident-out FILE arms a telemetry flight recorder
+// (100ms sampling) that writes a JSON incident report — the pre-fault
+// series window plus the failover/brownout event log — when the first
+// peer is declared dead, or at end of run if no trigger fires.
 //
 //	press-sim -chaos [-chaos-faults N] [-chaos-duration D] [-metrics]
 //	          [-requests N] [-nodes N] [-trace T] [-seed S] [-version V]
-//	          [-trace-out FILE] [-trace-sample F]
+//	          [-trace-out FILE] [-trace-sample F] [-incident-out FILE]
 //
 // With -overload, press-sim starts a real VIA cluster with overload
 // control enabled, calibrates its saturation throughput with a
@@ -52,6 +55,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"press/cliflag"
@@ -63,6 +67,7 @@ import (
 	"press/netmodel"
 	"press/server"
 	"press/stats"
+	"press/telemetry"
 	"press/trace"
 	"press/tracing"
 )
@@ -85,6 +90,7 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run a real VIA cluster under client load with a seeded fault plan and report availability")
 		chaosDur    = flag.Duration("chaos-duration", 3*time.Second, "length of the chaos fault plan")
 		chaosFaults = flag.Int("chaos-faults", 2, "fault pairs (partition/heal or crash/restart) in the chaos plan")
+		incidentOut = flag.String("incident-out", "", "run a telemetry flight recorder during -chaos or -overload and write a JSON incident report to FILE on the first peer death / shed burst (or at end of run)")
 		dissem      = flag.String("dissemination", "PB", "load dissemination strategy for -chaos and -overload runs ("+cliflag.DisseminationNames()+"; -overload also takes all)")
 		overload    = flag.Bool("overload", false, "ramp open-loop load past saturation on a real VIA cluster and report the goodput knee")
 		ovStepDur   = flag.Duration("overload-duration", 2*time.Second, "length of each offered-rate step in the -overload ramp")
@@ -95,7 +101,7 @@ func main() {
 
 	if *overload {
 		if err := overloadRun(*traceName, *requests, *nodes, *seed, *version, *dissem,
-			*ovStepDur, *ovDeadline); err != nil {
+			*incidentOut, *ovStepDur, *ovDeadline); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -103,7 +109,7 @@ func main() {
 
 	if *chaos {
 		if err := chaosRun(*traceName, *requests, *nodes, *seed, *version, *dissem,
-			*metricsRun, *traceOut, *traceSample, *chaosDur, *chaosFaults); err != nil {
+			*metricsRun, *traceOut, *incidentOut, *traceSample, *chaosDur, *chaosFaults); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -274,7 +280,7 @@ const chaosMaxRequests = 20000
 // reason, retries, reconnects, directory purges, heartbeats, and each
 // node's final health view.
 func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem string,
-	withMetrics bool, traceOut string, traceSample float64,
+	withMetrics bool, traceOut, incidentOut string, traceSample float64,
 	duration time.Duration, faults int) error {
 	if nodes < 2 {
 		return fmt.Errorf("chaos needs at least 2 nodes")
@@ -306,6 +312,33 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 	if traceOut != "" {
 		tracer = tracing.New(tracing.WithSampleRate(traceSample), tracing.WithMetrics(reg))
 	}
+	var plane *telemetry.Plane
+	var incidents atomic.Int32
+	if incidentOut != "" {
+		// Fast sampling so a sub-second fault plan still leaves a usable
+		// pre-fault series window in the report.
+		plane = telemetry.New(telemetry.Config{
+			Registry: reg,
+			Interval: 100 * time.Millisecond,
+			Tracer:   tracer,
+			Trigger:  telemetry.TriggerConfig{OnPeerDeath: true},
+		})
+		plane.OnIncident(func(inc *telemetry.Incident) {
+			incidents.Add(1)
+			if err := writeIncidentFile(inc, incidentOut); err != nil {
+				fmt.Printf("incident dump: %v\n", err)
+				return
+			}
+			fmt.Printf("incident (%s): wrote %s\n", inc.Reason, incidentOut)
+		})
+		// Disarmed until the cluster is up: while nodes start one by
+		// one, peers that have not started yet look dead, and that
+		// transient must not burn the trigger (and its cooldown) on a
+		// false positive.
+		plane.SetArmed(false)
+		plane.Start()
+		defer plane.Stop()
+	}
 	cl, err := server.Start(server.Config{
 		Nodes:         nodes,
 		Trace:         tr,
@@ -322,13 +355,16 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 			DeadAfter:         600 * time.Millisecond,
 			FailoverTimeout:   1500 * time.Millisecond,
 		},
-		Metrics: reg,
-		Tracer:  tracer,
+		Metrics:   reg,
+		Tracer:    tracer,
+		Telemetry: plane,
 	})
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+	// Cluster meshed: peer deaths from here on are the fault plan's.
+	plane.SetArmed(true)
 
 	plan := server.RandomFaultPlan(seed, nodes, duration, faults)
 	fmt.Printf("chaos run: %s, %d requests, %d-node VIA cluster on loopback, dissemination %s\n",
@@ -384,6 +420,9 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 	case <-ctx.Done():
 	}
 	cancel()
+	// Plan played out and settled; disarm so the teardown's peer-death
+	// storm cannot overwrite a real incident's report.
+	plane.SetArmed(false)
 	lg := <-lgCh
 	if lg.err != nil {
 		return lg.err
@@ -402,6 +441,13 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 		res.ErrTimeout, res.ErrRefused, res.ErrServer, res.ErrOther)
 
 	chaosNodeTable(cl, reg, nodes)
+
+	if plane != nil && incidents.Load() == 0 {
+		// No trigger fired (the plan may have been all partitions that
+		// healed before DeadAfter): dump the whole run so the report is
+		// never empty.
+		plane.DumpIncident("end of chaos run")
+	}
 
 	if traceOut != "" {
 		if err := writeTraceFile(tracer, traceOut); err != nil {
@@ -465,6 +511,20 @@ func chaosNodeTable(cl *server.Cluster, reg *metrics.Registry, nodes int) {
 	fmt.Print(t)
 	fmt.Printf("failovers by reason: peer-dead %d, send-error %d, timeout %d\n",
 		byReason["peer-dead"], byReason["send-error"], byReason["timeout"])
+}
+
+// writeIncidentFile writes one flight-recorder incident report as
+// JSON, replacing any previous report at path.
+func writeIncidentFile(inc *telemetry.Incident, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := inc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTraceFile dumps the tracer's recorded spans as Chrome

@@ -3,14 +3,17 @@ package main
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"press/cliflag"
 	"press/core"
 	"press/loadgen"
+	"press/metrics"
 	"press/netmodel"
 	"press/server"
 	"press/stats"
+	"press/telemetry"
 	"press/trace"
 )
 
@@ -25,6 +28,12 @@ const overloadMaxRequests = 4000
 // goodput near saturation and sheds the excess promptly.
 var overloadRateSteps = []float64{0.5, 1.0, 1.5, 2.0, 3.0}
 
+// overloadShedTrigger is the cluster-wide shed rate (sheds/s per
+// sampling window) that fires the flight recorder during a ramp. At the
+// knee the controlled cluster sheds hundreds per second, so crossing 50
+// reliably marks the first real shed burst while ignoring stragglers.
+const overloadShedTrigger = 50
+
 // overloadRun starts a real VIA cluster with overload control enabled
 // and ramps an open-loop Poisson arrival process past its saturation
 // point, one step per multiplier in overloadRateSteps. Each step
@@ -32,8 +41,13 @@ var overloadRateSteps = []float64{0.5, 1.0, 1.5, 2.0, 3.0}
 // own shed/expired/goodput deltas, exposing the goodput-vs-offered-load
 // knee. With dissemination "all" the ramp repeats for every strategy,
 // showing how much offered load each one absorbs before shedding.
+//
+// With incidentOut, each ramp runs a telemetry flight recorder sampling
+// the cluster's registry at 250ms; the first shed burst past the knee
+// dumps the goodput-over-time series and event log as a JSON incident
+// report (or the last ramp dumps at end of run if no burst fired).
 func overloadRun(traceName string, requests, nodes int, seed int64, version, dissem string,
-	stepDur, deadline time.Duration) error {
+	incidentOut string, stepDur, deadline time.Duration) error {
 	if nodes < 2 {
 		return fmt.Errorf("overload needs at least 2 nodes")
 	}
@@ -62,8 +76,13 @@ func overloadRun(traceName string, requests, nodes int, seed int64, version, dis
 
 	fmt.Printf("overload run: %s, %d-node VIA cluster on loopback, deadline %v, %v per step\n",
 		tr.Name, nodes, deadline, stepDur)
-	for _, strategy := range strategies {
-		if err := overloadRamp(tr, nodes, seed, ver, strategy, stepDur, deadline); err != nil {
+	// Shared across ramps so a real shed-burst incident from an early
+	// strategy is not overwritten by a later ramp's end-of-run fallback.
+	var incidents atomic.Int32
+	for i, strategy := range strategies {
+		last := i == len(strategies)-1
+		if err := overloadRamp(tr, nodes, seed, ver, strategy, stepDur, deadline,
+			incidentOut, &incidents, last); err != nil {
 			return err
 		}
 	}
@@ -74,7 +93,32 @@ func overloadRun(traceName string, requests, nodes int, seed int64, version, dis
 // cluster. The cluster is torn down between strategies so each ramp
 // starts from cold caches and a fresh saturation estimate.
 func overloadRamp(tr *trace.Trace, nodes int, seed int64, ver netmodel.Version,
-	strategy core.Strategy, stepDur, deadline time.Duration) error {
+	strategy core.Strategy, stepDur, deadline time.Duration,
+	incidentOut string, incidents *atomic.Int32, lastRamp bool) error {
+	var reg *metrics.Registry
+	var plane *telemetry.Plane
+	if incidentOut != "" {
+		reg = metrics.NewRegistry()
+		plane = telemetry.New(telemetry.Config{
+			Registry: reg,
+			Interval: 250 * time.Millisecond,
+			Trigger:  telemetry.TriggerConfig{ShedRate: overloadShedTrigger},
+		})
+		plane.OnIncident(func(inc *telemetry.Incident) {
+			incidents.Add(1)
+			if err := writeIncidentFile(inc, incidentOut); err != nil {
+				fmt.Printf("incident dump: %v\n", err)
+				return
+			}
+			fmt.Printf("incident (%s, dissemination %s): wrote %s\n", inc.Reason, strategy, incidentOut)
+		})
+		// Disarmed through startup and calibration: the closed-loop
+		// burst deliberately saturates the cluster, and its sheds must
+		// not burn the trigger before the ramp it is calibrating.
+		plane.SetArmed(false)
+		plane.Start()
+		defer plane.Stop()
+	}
 	cl, err := server.Start(server.Config{
 		Nodes:         nodes,
 		Trace:         tr,
@@ -97,6 +141,8 @@ func overloadRamp(tr *trace.Trace, nodes int, seed int64, ver netmodel.Version,
 			DiskQueue:        32,
 			QueueDelayTarget: deadline / 2,
 		},
+		Metrics:   reg,
+		Telemetry: plane,
 	})
 	if err != nil {
 		return err
@@ -129,6 +175,7 @@ func overloadRamp(tr *trace.Trace, nodes int, seed int64, ver netmodel.Version,
 	}
 	fmt.Printf("\ndissemination %s: saturation ~%.0f req/s (closed-loop calibration, %d requests)\n",
 		strategy, saturation, cal.Requests)
+	plane.SetArmed(true)
 
 	t := stats.NewTable("Offered", "req/s", "Issued", "Goodput/s", "p50 ms", "p99 ms",
 		"Shed", "Timeout", "Errs", "Srv shed", "Expired")
@@ -160,5 +207,13 @@ func overloadRamp(tr *trace.Trace, nodes int, seed int64, ver netmodel.Version,
 		before = after
 	}
 	fmt.Print(t)
+	// Teardown's transients must not overwrite a real shed-burst
+	// report; if no ramp triggered at all, the last one still dumps
+	// the full series so -incident-out always produces a report.
+	plane.SetArmed(false)
+	if plane != nil && lastRamp && incidents.Load() == 0 {
+		plane.Stop()
+		plane.DumpIncident("end of overload ramp")
+	}
 	return nil
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"press/telemetry"
+)
+
+func sample(name string, v float64, labels ...string) telemetry.PromSample {
+	s := telemetry.PromSample{Name: name, Value: v, Labels: map[string]string{}}
+	for i := 0; i+1 < len(labels); i += 2 {
+		s.Labels[labels[i]] = labels[i+1]
+	}
+	return s
+}
+
+// Scraping every node of an in-process cluster returns the same shared
+// registry N times; collect must dedupe, not sum.
+func TestCollectDedupesSharedRegistry(t *testing.T) {
+	one := []telemetry.PromSample{
+		sample("press_requests_total", 100, "node", "0"),
+		sample("press_requests_total", 50, "node", "1"),
+		sample("press_msg_bytes", 4096, "node", "0", "type", "load"),
+		sample("press_msg_bytes", 1024, "node", "0", "type", "file"),
+	}
+	got := collect(append(append([]telemetry.PromSample{}, one...), one...))
+	if got["0"].requests != 100 || got["1"].requests != 50 {
+		t.Errorf("requests = %+v", got)
+	}
+	if got["0"].msgBytes != 5120 {
+		t.Errorf("msgBytes sums types but dedupes targets: %v", got["0"].msgBytes)
+	}
+}
+
+func TestObserveRates(t *testing.T) {
+	top := newTop(10)
+	t0 := time.Unix(1000, 0)
+	top.observe(t0, []telemetry.PromSample{
+		sample("press_requests_total", 100, "node", "0"),
+		sample("press_queue_delay_ns_sum", 1e6, "node", "0"),
+		sample("press_queue_delay_ns_count", 1, "node", "0"),
+	})
+	if len(top.panels) != 0 {
+		t.Fatal("first scrape must only prime")
+	}
+	top.observe(t0.Add(2*time.Second), []telemetry.PromSample{
+		sample("press_requests_total", 300, "node", "0"),
+		sample("press_queue_delay_ns_sum", 5e6, "node", "0"),
+		sample("press_queue_delay_ns_count", 3, "node", "0"),
+	})
+	p := top.panels["0"]
+	if p == nil {
+		t.Fatal("no panel for node 0")
+	}
+	if got := p.rps.Last(); got != 100 {
+		t.Errorf("req/s = %v, want 100", got)
+	}
+	// (5e6-1e6) ns over 2 new observations = 2ms mean delay.
+	if got := p.delay.Last(); got != 2 {
+		t.Errorf("delay = %v ms, want 2", got)
+	}
+}
+
+func TestRateCounterRestart(t *testing.T) {
+	if got := rate(30, 100, 2); got != 15 {
+		t.Errorf("restart rate = %v, want 15 (counter wiped, new value is the delta)", got)
+	}
+	if got := rate(100, 40, 2); got != 30 {
+		t.Errorf("rate = %v, want 30", got)
+	}
+}
+
+func TestRenderShowsNodesInOrder(t *testing.T) {
+	top := newTop(10)
+	t0 := time.Unix(1000, 0)
+	mk := func(v float64) []telemetry.PromSample {
+		return []telemetry.PromSample{
+			sample("press_requests_total", v, "node", "2"),
+			sample("press_requests_total", v, "node", "10"),
+			sample("press_requests_total", v, "node", "0"),
+		}
+	}
+	top.observe(t0, mk(10))
+	top.observe(t0.Add(time.Second), mk(20))
+	var b strings.Builder
+	if err := top.render(&b); err != nil {
+		t.Fatal(err)
+	}
+	f := b.String()
+	i0 := strings.Index(f, "node 0")
+	i2 := strings.Index(f, "node 2")
+	i10 := strings.Index(f, "node 10")
+	if i0 < 0 || i2 < 0 || i10 < 0 {
+		t.Fatalf("missing node blocks:\n%s", f)
+	}
+	if !(i0 < i2 && i2 < i10) {
+		t.Errorf("nodes out of numeric order (0 at %d, 2 at %d, 10 at %d)", i0, i2, i10)
+	}
+}

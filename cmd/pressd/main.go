@@ -7,12 +7,23 @@
 //
 //	pressd [-nodes 4] [-transport via|tcp] [-version V0..V5]
 //	       [-dissemination PB|L16|L4|L1|NLB|SHARD|GOSSIP] [-trace clarknet] [-files N]
-//	       [-cache BYTES] [-disk-delay 2ms] [-metrics]
-//	       [-trace-out FILE] [-trace-sample RATE] [-pprof ADDR]
+//	       [-cache BYTES] [-disk-delay 2ms] [-metrics] [-expose]
+//	       [-incident-out FILE] [-trace-out FILE] [-trace-sample RATE]
+//	       [-pprof ADDR]
 //
 // With -metrics, pressd collects per-NIC and per-node instrument
 // families in a metrics registry and dumps the report on exit; SIGUSR1
 // dumps a live report without stopping the server.
+//
+// With -expose (implies -metrics), every node serves the registry in
+// Prometheus text format at /_press/metrics — point press-top or any
+// scraper at the printed URLs.
+//
+// With -incident-out FILE (implies -metrics), pressd runs a telemetry
+// plane — a flight recorder sampling the registry once a second and
+// logging cluster events (peer death, failover, brownouts) — and writes
+// a JSON incident report to FILE when a peer dies, when the shed rate
+// spikes, or on SIGQUIT.
 //
 // With -trace-out FILE, pressd records end-to-end request traces —
 // accept, dispatch, forward, credit-stall, staging-copy, disk, and
@@ -37,6 +48,7 @@ import (
 	"press/metrics"
 	"press/netmodel"
 	"press/server"
+	"press/telemetry"
 	"press/trace"
 	"press/tracing"
 )
@@ -53,6 +65,8 @@ func main() {
 		cache       = flag.Int64("cache", 64<<20, "per-node cache bytes")
 		diskDelay   = flag.Duration("disk-delay", 2*time.Millisecond, "artificial disk read latency")
 		withMet     = flag.Bool("metrics", false, "collect a metrics registry; dump on exit and on SIGUSR1")
+		expose      = flag.Bool("expose", false, "serve Prometheus exposition at /_press/metrics on every node (implies -metrics)")
+		incidentOut = flag.String("incident-out", "", "run the telemetry flight recorder; write a JSON incident report to FILE on peer death, shed spike, or SIGQUIT (implies -metrics)")
 		traceOut    = flag.String("trace-out", "", "record request traces; write Chrome trace-event JSON to FILE on exit and on SIGUSR1")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests to trace (head sampling)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -93,12 +107,33 @@ func main() {
 		log.Fatal(err)
 	}
 	var reg *metrics.Registry
-	if *withMet {
+	if *withMet || *expose || *incidentOut != "" {
 		reg = metrics.NewRegistry()
 	}
 	var tracer *tracing.Tracer
 	if *traceOut != "" {
 		tracer = tracing.New(tracing.WithSampleRate(*traceSample), tracing.WithMetrics(reg))
+	}
+	var plane *telemetry.Plane
+	if *incidentOut != "" {
+		plane = telemetry.New(telemetry.Config{
+			Registry: reg,
+			Tracer:   tracer,
+			Trigger:  telemetry.TriggerConfig{OnPeerDeath: true},
+		})
+		plane.OnIncident(func(inc *telemetry.Incident) {
+			if err := writeIncident(inc, *incidentOut); err != nil {
+				log.Printf("incident dump: %v", err)
+				return
+			}
+			fmt.Printf("--- incident (%s): wrote %s ---\n", inc.Reason, *incidentOut)
+		})
+		// Disarmed until the cluster is up: nodes starting one by one
+		// look dead to each other, and that transient must not burn
+		// the trigger (and its cooldown) on a false positive.
+		plane.SetArmed(false)
+		plane.Start()
+		defer plane.Stop()
 	}
 	cl, err := server.Start(server.Config{
 		Nodes:         *nodes,
@@ -110,27 +145,46 @@ func main() {
 		DiskDelay:     *diskDelay,
 		Metrics:       reg,
 		Tracer:        tracer,
+		Telemetry:     plane,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
+	plane.SetArmed(true)
 
 	fmt.Printf("PRESS cluster up: %d nodes, %s transport, version %s, strategy %s, %d files\n",
 		*nodes, kind, ver.Name, *strategy, len(tr.Files))
 	for i, a := range cl.Addrs() {
 		fmt.Printf("  node %d: http://%s\n", i, a)
 	}
+	if *expose {
+		for i, a := range cl.Addrs() {
+			fmt.Printf("  scrape node %d: http://%s/_press/metrics\n", i, a)
+		}
+	}
 	fmt.Println("serving; Ctrl-C to stop")
 
 	// One goroutine owns all signal handling: SIGUSR1 dumps live
 	// observability (metrics report and trace file) without stopping the
-	// server; SIGINT/SIGTERM fall through to the shutdown path below,
-	// which dumps both a final time.
+	// server; SIGQUIT forces a flight-recorder incident dump;
+	// SIGINT/SIGTERM fall through to the shutdown path below, which
+	// dumps everything a final time.
 	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGQUIT)
 	for s := range sig {
+		if s == syscall.SIGQUIT {
+			if plane != nil {
+				plane.DumpIncident("SIGQUIT")
+			} else {
+				log.Print("SIGQUIT: no telemetry plane (run with -incident-out)")
+			}
+			continue
+		}
 		if s != syscall.SIGUSR1 {
+			// Shutting down: the teardown's peer-death storm must not
+			// overwrite a real incident's report.
+			plane.SetArmed(false)
 			break
 		}
 		if reg != nil {
@@ -169,6 +223,20 @@ func main() {
 				len(tracer.Records()), *traceOut)
 		}
 	}
+}
+
+// writeIncident writes one incident report as JSON, replacing any
+// previous report at path.
+func writeIncident(inc *telemetry.Incident, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := inc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpTraces writes the tracer's recorded spans as Chrome trace-event

@@ -97,6 +97,22 @@ func (s *Sim) After(d time.Duration, fn func()) {
 	s.Schedule(s.now+Time(d), fn)
 }
 
+// Every runs fn every d of simulated time, starting d from now, until
+// fn returns false. Periodic instrumentation (gossip rounds, telemetry
+// sampling) uses the return value to stop once the workload drains, so
+// recurring timers never keep the event loop alive on their own.
+// Non-positive d panics: it would spin the clock in place.
+func (s *Sim) Every(d time.Duration, fn func() bool) {
+	if d <= 0 {
+		panic(fmt.Sprintf("eventsim: non-positive period %v", d))
+	}
+	s.After(d, func() {
+		if fn() {
+			s.Every(d, fn)
+		}
+	})
+}
+
 // Run executes events until the queue is empty.
 func (s *Sim) Run() {
 	for len(s.queue) > 0 {

@@ -294,3 +294,43 @@ func TestResourceWaitAccounting(t *testing.T) {
 		t.Errorf("post-drain Waited = %d, want 2", r.Waited())
 	}
 }
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var ticks []Time
+	s.Every(10*time.Millisecond, func() bool {
+		ticks = append(ticks, s.Now())
+		return len(ticks) < 3
+	})
+	s.Run()
+	want := []Time{
+		Time(10 * time.Millisecond),
+		Time(20 * time.Millisecond),
+		Time(30 * time.Millisecond),
+	}
+	if len(ticks) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(ticks), len(want))
+	}
+	for i, at := range ticks {
+		if at != want[i] {
+			t.Errorf("tick %d at %d, want %d", i, at, want[i])
+		}
+	}
+	// Once fn returns false the timer is disarmed: the queue is empty
+	// and the clock stops at the last tick.
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d after stop, want 0", s.Pending())
+	}
+	if s.Now() != want[len(want)-1] {
+		t.Errorf("clock at %d, want %d", s.Now(), want[len(want)-1])
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	New().Every(0, func() bool { return true })
+}

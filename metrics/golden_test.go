@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestKeyCanonicalizesLabelOrder: two call sites naming the same label
+// set in different orders must intern the same instrument.
+func TestKeyCanonicalizesLabelOrder(t *testing.T) {
+	a := Key("f", "node=0", "type=Load")
+	b := Key("f", "type=Load", "node=0")
+	if a != b {
+		t.Errorf("Key label order leaked: %q != %q", a, b)
+	}
+	if want := "f{node=0,type=Load}"; a != want {
+		t.Errorf("canonical key = %q, want %q", a, want)
+	}
+	reg := NewRegistry()
+	if reg.Counter("f", "node=0", "type=Load") != reg.Counter("f", "type=Load", "node=0") {
+		t.Error("label order produced two instruments for one label set")
+	}
+}
+
+// TestSortKeysGroupsFamilies: byte order alone puts "f_sub" between
+// "f" and "f{...}" because '_' < '{'; report order must keep each
+// family's series contiguous.
+func TestSortKeysGroupsFamilies(t *testing.T) {
+	keys := []string{"f{node=1}", "f_sub", "f{node=0}", "f", "a{x=2}"}
+	SortKeys(keys)
+	want := []string{"a{x=2}", "f", "f{node=0}", "f{node=1}", "f_sub"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("SortKeys order = %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestReportGolden locks the text report byte-for-byte against a
+// registry populated in scrambled order: sorted families, sorted label
+// sets, and no map-iteration-order leakage across renders.
+func TestReportGolden(t *testing.T) {
+	build := func(perm []int) *Registry {
+		reg := NewRegistry()
+		add := []func(){
+			func() { reg.Counter("press_requests_total", "node=1").Add(7) },
+			func() { reg.Counter("press_requests_total", "node=0").Add(42) },
+			func() { reg.Counter("press_msgs_total", "type=Load", "node=0").Add(3) },
+			func() { reg.Gauge("press_queue_depth", "node=0").Set(5) },
+			func() { reg.FloatGauge("press_disk_util", "node=0").Set(0.25) },
+			func() {
+				h := reg.Histogram("press_queue_delay_ns", "node=0")
+				for i := 0; i < 4; i++ {
+					h.Observe(8)
+				}
+			},
+		}
+		for _, i := range perm {
+			add[i]()
+		}
+		return reg
+	}
+
+	first := build([]int{0, 1, 2, 3, 4, 5}).Snapshot().Text()
+	if !strings.Contains(first, "press_msgs_total{node=0,type=Load}") {
+		t.Errorf("report does not use the canonical sorted label spelling:\n%s", first)
+	}
+	// The exact rendering is pinned by comparing permuted insertion
+	// orders and repeated renders: all must be byte-identical.
+	for _, perm := range [][]int{{5, 4, 3, 2, 1, 0}, {2, 0, 5, 3, 1, 4}} {
+		if got := build(perm).Snapshot().Text(); got != first {
+			t.Errorf("report depends on insertion order:\ngot:\n%s\nwant:\n%s", got, first)
+		}
+	}
+	snap := build([]int{0, 1, 2, 3, 4, 5}).Snapshot()
+	for i := 0; i < 5; i++ {
+		if got := snap.Text(); got != first {
+			t.Fatalf("render %d differs — map iteration order leaking", i)
+		}
+	}
+	// Counters render before gauges before histograms, each family
+	// block contiguous and sorted.
+	idx := func(s string) int { return strings.Index(first, s) }
+	if !(idx("press_msgs_total") < idx("press_requests_total{node=0}") &&
+		idx("press_requests_total{node=0}") < idx("press_requests_total{node=1}") &&
+		idx("press_requests_total{node=1}") < idx("press_queue_depth") &&
+		idx("press_queue_depth") < idx("press_disk_util") &&
+		idx("press_disk_util") < idx("press_queue_delay_ns")) {
+		t.Errorf("report order wrong:\n%s", first)
+	}
+}
+
+// TestHistogramEmptyQuantiles: a histogram with no observations answers
+// 0 for every quantile and mean, not NaN or a panic.
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+	// Diffing two empty snapshots stays empty.
+	d := s.Diff(HistogramSnapshot{})
+	if d.Count != 0 || len(d.Buckets) != 0 {
+		t.Errorf("empty Diff = %+v, want empty", d)
+	}
+}
+
+// TestHistogramSingleBucket: all mass in one unit-wide bucket answers
+// that exact value at every quantile.
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(7)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("buckets = %d, want 1", len(s.Buckets))
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+// TestHistogramDiffReset: diffing against a base with *higher* counts
+// (a wiped-and-rebuilt instrument under the same key) must not emit
+// negative buckets; Count/Sum go negative by arithmetic, which is the
+// caller's reset signal.
+func TestHistogramDiffReset(t *testing.T) {
+	young := NewHistogram()
+	young.Observe(5)
+	old := NewHistogram()
+	for i := 0; i < 100; i++ {
+		old.Observe(5)
+		old.Observe(1000)
+	}
+	d := young.Snapshot().Diff(old.Snapshot())
+	if d.Count >= 0 {
+		t.Errorf("reset Diff Count = %d, want negative (the reset signal)", d.Count)
+	}
+	for _, b := range d.Buckets {
+		if b.Count <= 0 {
+			t.Errorf("Diff emitted non-positive bucket %+v", b)
+		}
+	}
+}
+
+// TestSnapshotConcurrentWithWrites hammers every instrument kind while
+// snapshotting and diffing; meaningful under -race, and asserts
+// monotonic counter reads across snapshots.
+func TestSnapshotConcurrentWithWrites(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h_ns")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					g.Set(i)
+					h.Observe(i % 4096)
+				}
+			}
+		}()
+	}
+	prev := reg.Snapshot()
+	for i := 0; i < 200; i++ {
+		cur := reg.Snapshot()
+		d := cur.Diff(prev)
+		if d.Counters["c_total"] < 0 {
+			t.Fatalf("counter went backwards: diff %d", d.Counters["c_total"])
+		}
+		if dh := d.Histograms["h_ns"]; dh.Count < 0 {
+			t.Fatalf("histogram count went backwards: diff %d", dh.Count)
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}

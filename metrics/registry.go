@@ -38,11 +38,18 @@ func NewRegistry() *Registry {
 func (r *Registry) Enabled() bool { return r != nil }
 
 // Key builds the canonical instrument key for a family and its labels:
-// family{label1,label2}. Labels are conventionally "k=v" strings; they
-// are kept in the order given, so callers should use a fixed order.
+// family{label1,label2}. Labels are conventionally "k=v" strings and
+// are canonicalized to sorted order, so two call sites naming the same
+// label set in different orders intern the same instrument and every
+// exposition surface (report tables, Prometheus text) emits one stable
+// spelling.
 func Key(family string, labels ...string) string {
 	if len(labels) == 0 {
 		return family
+	}
+	if !sort.StringsAreSorted(labels) {
+		labels = append([]string(nil), labels...)
+		sort.Strings(labels)
 	}
 	return family + "{" + strings.Join(labels, ",") + "}"
 }
@@ -210,6 +217,23 @@ func (s Snapshot) Diff(base Snapshot) Snapshot {
 	return out
 }
 
+// SortKeys sorts instrument keys in place into deterministic report
+// order: by family, then by label string. Plain byte order is not
+// enough — '{' sorts after '_', so "f_sub" would wedge between "f" and
+// "f{node=0}" and split the f family apart. Every exposition surface
+// (report tables, JSON consumers, telemetry's Prometheus writer) uses
+// this order so output is byte-stable run to run.
+func SortKeys(keys []string) {
+	sort.Slice(keys, func(i, j int) bool {
+		fi, li := Family(keys[i])
+		fj, lj := Family(keys[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return li < lj
+	})
+}
+
 // sortedKeys returns map keys in deterministic report order: by family,
 // then by label string (so "f{node=0}" sorts before "f{node=1}").
 func sortedKeys[V any](m map[string]V) []string {
@@ -217,7 +241,7 @@ func sortedKeys[V any](m map[string]V) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	SortKeys(keys)
 	return keys
 }
 

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_telemetry.sh — record the telemetry-plane overhead baseline as
+# machine-readable JSON (default BENCH_telemetry.json). The interesting
+# claims: SamplerOff (no plane wired) must stay at 0 allocs/op — the
+# disabled flight recorder is free, same bar as tracing and overload —
+# and EventOn/SamplerTick/WriteProm quantify what an armed plane costs
+# per event, per sampling tick, and per scrape.
+set -eu
+
+out=${1:-BENCH_telemetry.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSamplerOff|BenchmarkEventOn|BenchmarkSamplerTick|BenchmarkWriteProm' \
+    -benchtime 10000x -benchmem ./telemetry | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$tmp" >"$out"
+
+echo "wrote $out"

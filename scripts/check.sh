@@ -42,6 +42,16 @@ echo "==> go test -race overload suite"
 go test -race -count=1 -run 'TestOverload|TestBrownout' ./server
 go test -race -count=1 -run 'TestOpenLoop' ./loadgen
 
+# The telemetry plane races its sampler (ticker goroutine) against
+# event producers (server main loops) and incident dumps (signal
+# goroutine) by design; run its suite uncached under the race detector,
+# plus the cluster endpoints and simulated-clock integrations that live
+# with the server and simulator.
+echo "==> go test -race -count=1 ./telemetry"
+go test -race -count=1 ./telemetry
+go test -race -count=1 -run 'TestMetricsEndpoint|TestClusterTelemetry' ./server
+go test -race -count=1 -run 'TestRunTelemetry' ./cluster
+
 # The dissemination seam (consistent-hash ring ownership, sharded
 # directory lookup/invalidation, gossip views) runs concurrently with
 # the chaos harness and the server main loops; run its suites uncached
@@ -96,6 +106,17 @@ out=$(go test -run '^$' -bench BenchmarkOverloadOff -benchtime 1000x -benchmem .
 echo "$out"
 if ! echo "$out" | grep 'OverloadOff' | grep -q '	 *0 allocs/op'; then
     echo "check: BenchmarkOverloadOff allocates; disabled overload control must be free" >&2
+    exit 1
+fi
+
+# And for the telemetry plane: servers always call plane.Event at the
+# fault-tolerance call sites, so with no plane wired (nil receiver) the
+# hot path must stay allocation-free. The static half is the
+# //presslint:hotpath annotation on Event, checked above.
+out=$(go test -run '^$' -bench BenchmarkSamplerOff -benchtime 1000x -benchmem ./telemetry)
+echo "$out"
+if ! echo "$out" | grep 'SamplerOff' | grep -q '	 *0 allocs/op'; then
+    echo "check: BenchmarkSamplerOff allocates; a disabled telemetry plane must be free" >&2
     exit 1
 fi
 

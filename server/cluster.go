@@ -15,6 +15,7 @@ import (
 	"press/core"
 	"press/metrics"
 	"press/netmodel"
+	"press/telemetry"
 	"press/trace"
 	"press/tracing"
 	"press/via"
@@ -82,6 +83,12 @@ type Config struct {
 	// cache/disk path and back. Nil (the default) disables tracing on
 	// every hot path at the cost of one pointer test.
 	Tracer *tracing.Tracer
+	// Telemetry, when non-nil, is the continuous-observability plane:
+	// the nodes record cluster events (failover, brownout, peer state,
+	// shed bursts, directory purges) into its flight recorder, and its
+	// sampler turns the Metrics registry into time series. Nil (the
+	// default) disables every hook at the cost of one pointer test.
+	Telemetry *telemetry.Plane
 	// RMWTimeout bounds the wait for a remote-memory-write completion
 	// (default DefaultRMWTimeout). Expiry surfaces as *RMWTimeoutError,
 	// distinguishable from a hard via.ErrLinkDown.
@@ -342,6 +349,11 @@ const clientTimeout = 30 * time.Second
 // tests; it bypasses the main loop.
 const statsPath = "/_press/stats"
 
+// metricsPath serves the shared registry in the Prometheus text
+// exposition format for scrapers and press-top; it also bypasses the
+// main loop.
+const metricsPath = "/_press/metrics"
+
 func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -349,6 +361,10 @@ func (h *nodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Path == statsPath {
 		h.serveStats(w)
+		return
+	}
+	if r.URL.Path == metricsPath {
+		h.serveMetrics(w)
 		return
 	}
 	name := r.URL.Path
@@ -535,6 +551,21 @@ func (h *nodeHandler) serveStats(w http.ResponseWriter) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
+}
+
+// serveMetrics renders the registry as Prometheus exposition text.
+// In-process clusters share one registry, so every node's endpoint
+// serves the full cluster's families with node=N labels telling the
+// series apart — exactly what a future multi-process deployment serves
+// per node, merged.
+func (h *nodeHandler) serveMetrics(w http.ResponseWriter) {
+	reg := h.node.cfg.Metrics
+	if !reg.Enabled() {
+		http.Error(w, "metrics disabled (start the cluster with a registry)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	_ = telemetry.WriteProm(w, reg.Snapshot())
 }
 
 // Addrs returns the nodes' HTTP addresses (host:port).

@@ -5,6 +5,7 @@ import (
 
 	"press/cache"
 	"press/core"
+	"press/telemetry"
 )
 
 // Directory is the pluggable caching-state ownership policy: who holds
@@ -64,10 +65,16 @@ type dirEnv struct {
 	// alive is the health tracker's current non-dead set (self always
 	// included).
 	alive func() cache.NodeSet
+	// event feeds the telemetry flight recorder (nil-safe through the
+	// owning node's plane); peer is -1 when no single peer is at fault.
+	event func(typ telemetry.EventType, peer int, detail string, value int64)
 }
 
 // newDirectory builds the Directory the strategy asks for.
 func newDirectory(s core.Strategy, env dirEnv) Directory {
+	if env.event == nil {
+		env.event = func(telemetry.EventType, int, string, int64) {}
+	}
 	if s.Dir == core.DirSharded {
 		return newShardedDirectory(env)
 	}
@@ -176,6 +183,9 @@ type shardedDirectory struct {
 }
 
 func newShardedDirectory(env dirEnv) *shardedDirectory {
+	if env.event == nil {
+		env.event = func(telemetry.EventType, int, string, int64) {}
+	}
 	s := &shardedDirectory{
 		env:      env,
 		ring:     cache.NewRing(env.nodes, 0),
@@ -358,10 +368,12 @@ func (s *shardedDirectory) Crash() {
 }
 
 func (s *shardedDirectory) Tick(now time.Time) {
+	var timedOut int64
 	for id, waiters := range s.pending {
 		kept := waiters[:0]
 		for _, w := range waiters {
 			if now.After(w.deadline) {
+				timedOut++
 				w.done(cache.NodeSet{}, false)
 			} else {
 				kept = append(kept, w)
@@ -372,6 +384,9 @@ func (s *shardedDirectory) Tick(now time.Time) {
 		} else {
 			s.pending[id] = kept
 		}
+	}
+	if timedOut > 0 {
+		s.env.event(telemetry.EvDirLookupTimeout, -1, "lookups fell back to local service", timedOut)
 	}
 }
 

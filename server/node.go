@@ -10,6 +10,7 @@ import (
 	"press/cache"
 	"press/core"
 	"press/metrics"
+	"press/telemetry"
 	"press/trace"
 	"press/tracing"
 	"press/via"
@@ -222,6 +223,7 @@ type Node struct {
 
 	m   nodeInstruments
 	trc *tracing.Collector
+	tel *telemetry.Plane // flight-recorder event sink; nil-safe
 
 	statsMu sync.Mutex
 	stats   NodeStats
@@ -299,6 +301,7 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 		stop:       make(chan struct{}),
 		m:          newNodeInstruments(cfg.Metrics, id),
 		trc:        cfg.Tracer.Collector(id),
+		tel:        cfg.Telemetry,
 	}
 	n.health = newHealthTracker(id, cfg.Nodes, cfg.Health, cfg.Retry.Seed, cfg.Metrics)
 	n.ov = newOverloadCtl(cfg, id)
@@ -323,6 +326,9 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 			}
 		},
 		alive: func() cache.NodeSet { return cache.NodeSetFromMask(n.health.AliveMask()) },
+		event: func(typ telemetry.EventType, peer int, detail string, value int64) {
+			n.tel.Event(typ, n.id, peer, detail, value)
+		},
 	})
 	return n
 }
@@ -950,7 +956,10 @@ func (n *Node) handleSendFailure(sf sendFailure) {
 // dead peers, and failover of forwarded requests whose reply is overdue.
 func (n *Node) healthTick(now time.Time) {
 	for _, tr := range n.health.tick(now) {
-		if tr.to == StateDead {
+		switch tr.to {
+		case StateSuspect:
+			n.tel.Event(telemetry.EvPeerSuspect, n.id, tr.peer, "probe overdue", 0)
+		case StateDead:
 			n.onPeerDead(tr.peer, failoverPeerDead)
 		}
 	}
@@ -981,8 +990,12 @@ func (n *Node) onPeerDead(peer int, reason string) {
 	if ft, ok := n.transport.(faultTransport); ok {
 		ft.PeerDown(peer, fmt.Errorf("health: declared dead (%s)", reason))
 	}
+	n.tel.Event(telemetry.EvPeerDead, n.id, peer, reason, 0)
 	purged := n.dir.PeerDead(peer)
 	n.m.purged.Add(int64(purged))
+	if purged > 0 {
+		n.tel.Event(telemetry.EvDirPurge, n.id, peer, "", int64(purged))
+	}
 	n.peerLoad[peer] = 0
 	n.ovResetPeer(peer)
 	for reqID, p := range n.pending {
@@ -1002,6 +1015,7 @@ func (n *Node) failover(reqID uint64, p *pendingRemote, reason string) {
 	now := time.Now()
 	n.ovForwardFailed(p.dst, now.Sub(p.sentAt), now)
 	n.m.failovers[reason].Inc()
+	n.tel.Event(telemetry.EvFailover, n.id, p.dst, reason, 0)
 	p.span.AnnotateStr("failover", reason)
 	id, ok := n.nameToID[p.req.name]
 	if !ok {
@@ -1063,6 +1077,7 @@ func (n *Node) pickFailover(id cache.FileID, tried cache.NodeSet) int {
 // re-announce everything cached here. The peer's own broadcasts rebuild
 // this node's view of its cache.
 func (n *Node) reintegrate(peer int) {
+	n.tel.Event(telemetry.EvPeerAlive, n.id, peer, "reintegrated", 0)
 	n.peerLoad[peer] = 0
 	n.ovResetPeer(peer)
 	n.dir.PeerJoined(peer)
@@ -1080,8 +1095,10 @@ func (n *Node) updateDegraded() {
 	n.degFlag.Store(deg)
 	if deg {
 		n.m.degraded.Set(1)
+		n.tel.Event(telemetry.EvDegradedEnter, n.id, -1, "all peers dead", 0)
 	} else {
 		n.m.degraded.Set(0)
+		n.tel.Event(telemetry.EvDegradedExit, n.id, -1, "", 0)
 	}
 }
 
@@ -1123,6 +1140,7 @@ func (n *Node) inject(f func()) {
 // vanish, as they would across a real process restart. Runs on the main
 // loop (via inject).
 func (n *Node) crashLocalState() {
+	n.tel.Event(telemetry.EvCrash, n.id, -1, "local state wiped", 0)
 	for id := range n.content {
 		delete(n.content, id)
 	}

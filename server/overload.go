@@ -9,6 +9,7 @@ import (
 	"press/cache"
 	"press/core"
 	"press/metrics"
+	"press/telemetry"
 )
 
 // Overload control keeps the cluster doing useful work past saturation
@@ -278,6 +279,7 @@ func (n *Node) ovUpdateBrown(dst int, now time.Time) {
 		p.lastProbe = now
 		n.ov.brownedPub[dst].Store(true)
 		n.ov.im.brownoutInc(dst)
+		n.tel.Event(telemetry.EvBrownoutEnter, n.id, dst, "latency/backlog over threshold", int64(p.ewma))
 		return
 	}
 	if p.browned {
@@ -285,6 +287,7 @@ func (n *Node) ovUpdateBrown(dst int, now time.Time) {
 		if ok {
 			p.browned = false
 			n.ov.brownedPub[dst].Store(false)
+			n.tel.Event(telemetry.EvBrownoutExit, n.id, dst, "recovered", int64(p.ewma))
 		}
 	}
 }

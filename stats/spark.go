@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs a sparkline cell can take,
+// lowest to highest.
+var sparkLevels = []rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// Sparkline renders a fixed-width one-line chart of recent values: the
+// press-top idiom for goodput/latency/queue-depth over time. Values
+// are scaled to the window's own min..max so shape survives any unit;
+// NaN/Inf cells render as spaces.
+type Sparkline struct {
+	width  int
+	label  string
+	unit   string
+	values []float64
+}
+
+// NewSparkline creates a sparkline of the given cell width (minimum 8;
+// default 40 when width <= 0). The label prefixes the line; unit
+// suffixes the latest value.
+func NewSparkline(label string, width int, unit string) *Sparkline {
+	if width <= 0 {
+		width = 40
+	}
+	if width < 8 {
+		width = 8
+	}
+	return &Sparkline{width: width, label: label, unit: unit}
+}
+
+// Add appends one value, discarding the oldest once the window is full.
+func (s *Sparkline) Add(v float64) {
+	s.values = append(s.values, v)
+	if len(s.values) > s.width {
+		s.values = s.values[len(s.values)-s.width:]
+	}
+}
+
+// Last returns the most recent value, or NaN when empty.
+func (s *Sparkline) Last() float64 {
+	for i := len(s.values) - 1; i >= 0; i-- {
+		if !math.IsNaN(s.values[i]) {
+			return s.values[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Render implements Renderer.
+func (s *Sparkline) Render() string { return s.String() }
+
+// String renders one line: label, the windowed cells right-aligned so
+// fresh values enter at the right edge, and the latest value.
+func (s *Sparkline) String() string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s.values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	cells := make([]rune, s.width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	for i, v := range s.values {
+		c := cells[s.width-len(s.values)+i : s.width-len(s.values)+i+1]
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			c[0] = ' '
+		case hi <= lo: // flat window: mid-level, shape-free
+			c[0] = sparkLevels[len(sparkLevels)/2]
+		default:
+			lvl := int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			c[0] = sparkLevels[lvl]
+		}
+	}
+	last := s.Last()
+	lastStr := "-"
+	if !math.IsNaN(last) {
+		lastStr = formatSparkValue(last)
+	}
+	line := fmt.Sprintf("%s %s %s", s.label, string(cells), lastStr)
+	if s.unit != "" && lastStr != "-" {
+		line += " " + s.unit
+	}
+	return strings.TrimRight(line, " ")
+}
+
+// formatSparkValue prints a value compactly: integers without noise,
+// small magnitudes with enough precision to still move.
+func formatSparkValue(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case a >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

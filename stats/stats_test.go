@@ -209,3 +209,56 @@ func TestRendererSharedPath(t *testing.T) {
 		}
 	}
 }
+
+func TestSparklineShape(t *testing.T) {
+	s := NewSparkline("rps", 8, "req/s")
+	for _, v := range []float64{0, 1, 2, 3, 4, 5, 6, 7} {
+		s.Add(v)
+	}
+	out := s.String()
+	if !strings.HasPrefix(out, "rps ") {
+		t.Fatalf("missing label: %q", out)
+	}
+	if !strings.Contains(out, "▁") || !strings.Contains(out, "█") {
+		t.Errorf("ramp should span lowest to highest glyph: %q", out)
+	}
+	if !strings.HasSuffix(out, "7 req/s") {
+		t.Errorf("latest value missing: %q", out)
+	}
+}
+
+func TestSparklineWindowSlides(t *testing.T) {
+	s := NewSparkline("x", 8, "")
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Last(); got != 99 {
+		t.Errorf("Last = %v, want 99", got)
+	}
+	// Only the final 8 values remain; the window's own min is 92, so
+	// the oldest visible cell renders as the lowest glyph.
+	if out := s.String(); !strings.Contains(out, "▁") {
+		t.Errorf("window did not rescale after slide: %q", out)
+	}
+}
+
+func TestSparklineFlatAndEmpty(t *testing.T) {
+	s := NewSparkline("flat", 8, "")
+	if got := s.String(); !strings.HasPrefix(got, "flat") {
+		t.Errorf("empty render: %q", got)
+	}
+	if !math.IsNaN(s.Last()) {
+		t.Error("empty Last should be NaN")
+	}
+	for i := 0; i < 4; i++ {
+		s.Add(5)
+	}
+	out := s.String()
+	if strings.Count(out, "▅") != 4 {
+		t.Errorf("flat window should render mid-level cells: %q", out)
+	}
+	s.Add(math.NaN())
+	if got := s.Last(); got != 5 {
+		t.Errorf("Last skips NaN: got %v", got)
+	}
+}

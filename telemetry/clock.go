@@ -1,0 +1,10 @@
+package telemetry
+
+import "time"
+
+// processStart anchors the default clock; like the tracer, the plane
+// timestamps with monotonic nanoseconds since process start so series,
+// events, and spans share one time base.
+var processStart = time.Now()
+
+func monotonicNanos() int64 { return int64(time.Since(processStart)) }

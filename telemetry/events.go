@@ -1,0 +1,85 @@
+package telemetry
+
+import "sync"
+
+// EventType names one kind of cluster state transition. The values are
+// the JSON spellings, so incident reports read without a legend.
+type EventType string
+
+// Event types recorded by the server's fault-tolerance and overload
+// layers. Peer indices refer to cluster node IDs; -1 means
+// not-applicable.
+const (
+	EvPeerSuspect      EventType = "peer-suspect"       // health: alive → suspect
+	EvPeerDead         EventType = "peer-dead"          // health: declared dead (detail = reason)
+	EvPeerAlive        EventType = "peer-alive"         // health: reintegrated
+	EvFailover         EventType = "failover"           // in-flight forward re-homed (detail = reason)
+	EvBrownoutEnter    EventType = "brownout-enter"     // overload: stopped forwarding to peer
+	EvBrownoutExit     EventType = "brownout-exit"      // overload: peer readmitted
+	EvShedBurst        EventType = "shed-burst"         // shed rate crossed the trigger threshold
+	EvDegradedEnter    EventType = "degraded-enter"     // node entered degraded ownership mode
+	EvDegradedExit     EventType = "degraded-exit"      // node recovered full membership view
+	EvCrash            EventType = "crash"              // chaos: node state wiped
+	EvDirPurge         EventType = "dir-purge"          // directory entries purged for a dead peer (value = count)
+	EvDirLookupTimeout EventType = "dir-lookup-timeout" // sharded directory lookups timed out (value = count)
+	EvIncident         EventType = "incident"           // an incident report was dumped (detail = reason)
+)
+
+// Event is one entry in the black-box ring.
+type Event struct {
+	T      int64     `json:"t"` // plane clock, nanoseconds
+	Type   EventType `json:"type"`
+	Node   int       `json:"node"`
+	Peer   int       `json:"peer"`
+	Detail string    `json:"detail,omitempty"`
+	Value  int64     `json:"value,omitempty"`
+}
+
+// EventLog is a fixed-capacity ring of Events. Recording overwrites the
+// oldest entry and never allocates; the ring is sized once at
+// construction.
+type EventLog struct {
+	mu  sync.Mutex
+	buf []Event
+	n   int64 // total recorded; buf[n % len] is the next slot
+}
+
+func newEventLog(capacity int) *EventLog {
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// record writes one event into the ring. Field-by-field assignment into
+// the resident slot keeps the enabled path allocation-free.
+//
+//presslint:hotpath budget=0
+func (l *EventLog) record(t int64, typ EventType, node, peer int, detail string, value int64) {
+	l.mu.Lock()
+	slot := &l.buf[l.n%int64(len(l.buf))]
+	slot.T = t
+	slot.Type = typ
+	slot.Node = node
+	slot.Peer = peer
+	slot.Detail = detail
+	slot.Value = value
+	l.n++
+	l.mu.Unlock()
+}
+
+// snapshot copies out events with T >= since, oldest first.
+func (l *EventLog) snapshot(since int64) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := int64(len(l.buf))
+	start := l.n - size
+	if start < 0 {
+		start = 0
+	}
+	var out []Event
+	for i := start; i < l.n; i++ {
+		ev := l.buf[i%size]
+		if ev.T >= since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"press/tracing"
+)
+
+// Incident is one flight-recorder dump: the recent series window, the
+// event log, and a trace excerpt, stamped with both the plane clock
+// (matching series/event/span timestamps) and wall time (for the
+// operator reading the report later).
+type Incident struct {
+	Reason string `json:"reason"`
+	Wall   string `json:"wall"` // RFC3339Nano wall-clock time of the dump
+	T      int64  `json:"t"`    // plane clock at the dump, nanoseconds
+	// WindowNanos is the lookback the series/events were filtered to;
+	// 0 means everything the rings held.
+	WindowNanos int64                `json:"windowNanos"`
+	Series      []SeriesDump         `json:"series,omitempty"`
+	Events      []Event              `json:"events,omitempty"`
+	Trace       []tracing.SpanRecord `json:"trace,omitempty"`
+}
+
+// WriteJSON writes the incident as indented JSON.
+func (i *Incident) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(i)
+}
+
+// DumpIncident builds an incident report right now and hands it to the
+// OnIncident sink (if any); it also records an EvIncident event so the
+// dump itself shows up in later reports. Returns the report (also when
+// no sink is installed) or nil on a nil Plane. Used directly for
+// operator-initiated dumps (SIGQUIT, end of a chaos run); automatic
+// triggers arrive here via Poll.
+func (p *Plane) DumpIncident(reason string) *Incident {
+	if p == nil {
+		return nil
+	}
+	now := p.now()
+	since := int64(0)
+	if p.cfg.Window > 0 {
+		since = now - int64(p.cfg.Window)
+	}
+	inc := &Incident{
+		Reason:      reason,
+		Wall:        time.Now().Format(time.RFC3339Nano),
+		T:           now,
+		WindowNanos: int64(p.cfg.Window),
+	}
+	if p.sampler != nil {
+		inc.Series = p.sampler.Dump(since)
+	}
+	inc.Events = p.events.snapshot(since)
+	if p.cfg.Tracer.Enabled() {
+		recs := p.cfg.Tracer.Records()
+		if len(recs) > p.cfg.TraceExcerpt {
+			recs = recs[len(recs)-p.cfg.TraceExcerpt:]
+		}
+		inc.Trace = recs
+	}
+	p.Event(EvIncident, -1, -1, reason, 0)
+	p.sinkMu.Lock()
+	sink := p.sink
+	p.sinkMu.Unlock()
+	if sink != nil {
+		sink(inc)
+	}
+	return inc
+}

@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"press/metrics"
+	"press/tracing"
+)
+
+func TestNilPlaneIsSafe(t *testing.T) {
+	var p *Plane
+	if p.Enabled() {
+		t.Error("nil plane reports enabled")
+	}
+	p.Event(EvFailover, 0, 1, "timeout", 0)
+	p.Poll(123)
+	p.Start()
+	p.Stop()
+	p.SetClock(func() int64 { return 0 })
+	p.OnIncident(func(*Incident) {})
+	if p.DumpIncident("x") != nil {
+		t.Error("nil plane dumped an incident")
+	}
+	if p.Series() != nil || p.Events() != nil {
+		t.Error("nil plane returned data")
+	}
+	if p.Interval() != 0 {
+		t.Error("nil plane has an interval")
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	p := New(Config{EventCapacity: 4})
+	var now int64
+	p.SetClock(func() int64 { return now })
+	for i := 0; i < 10; i++ {
+		now = int64(i)
+		p.Event(EvFailover, i, -1, "timeout", 0)
+	}
+	evs := p.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want capacity 4", len(evs))
+	}
+	if evs[0].Node != 6 || evs[3].Node != 9 {
+		t.Errorf("events = %+v, want the last four, oldest first", evs)
+	}
+}
+
+func TestPeerDeathTriggerDumpsIncident(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("reqs_total").Add(1)
+	p := New(Config{
+		Registry: reg,
+		Trigger:  TriggerConfig{OnPeerDeath: true},
+	})
+	var got *Incident
+	p.OnIncident(func(i *Incident) { got = i })
+
+	p.Poll(0)
+	p.Event(EvPeerSuspect, 0, 2, "", 0)
+	p.Poll(1 * sec)
+	if got != nil {
+		t.Fatal("suspect alone fired the peer-death trigger")
+	}
+	p.Event(EvPeerDead, 0, 2, "probe timeout", 0)
+	p.Poll(2 * sec)
+	if got == nil {
+		t.Fatal("peer death did not dump an incident")
+	}
+	if got.Reason != "peer-death" {
+		t.Errorf("reason = %q, want peer-death", got.Reason)
+	}
+	if len(got.Events) == 0 || len(got.Series) == 0 {
+		t.Errorf("incident missing data: %d events, %d series", len(got.Events), len(got.Series))
+	}
+	var sawDead bool
+	for _, ev := range got.Events {
+		if ev.Type == EvPeerDead && ev.Peer == 2 && ev.Detail == "probe timeout" {
+			sawDead = true
+		}
+	}
+	if !sawDead {
+		t.Error("incident event log does not contain the triggering peer-dead event")
+	}
+}
+
+func TestTriggerCooldown(t *testing.T) {
+	p := New(Config{
+		Trigger: TriggerConfig{OnPeerDeath: true, Cooldown: 10 * time.Second},
+	})
+	dumps := 0
+	p.OnIncident(func(*Incident) { dumps++ })
+
+	p.Event(EvPeerDead, 0, 1, "", 0)
+	p.Poll(1 * sec)
+	p.Event(EvPeerDead, 0, 2, "", 0)
+	p.Poll(2 * sec) // within cooldown: suppressed
+	if dumps != 1 {
+		t.Fatalf("dumps = %d after back-to-back deaths, want 1 (cooldown)", dumps)
+	}
+	p.Event(EvPeerDead, 0, 3, "", 0)
+	p.Poll(12 * sec) // past cooldown
+	if dumps != 2 {
+		t.Errorf("dumps = %d after cooldown expired, want 2", dumps)
+	}
+}
+
+func TestShedSpikeTrigger(t *testing.T) {
+	reg := metrics.NewRegistry()
+	shed := reg.Counter("press_shed_total", "node=0", "queue=accept")
+	p := New(Config{
+		Registry: reg,
+		Trigger:  TriggerConfig{ShedRate: 100},
+	})
+	var got *Incident
+	p.OnIncident(func(i *Incident) { got = i })
+
+	p.Poll(0)
+	shed.Add(50) // 50/s: under threshold
+	p.Poll(1 * sec)
+	if got != nil {
+		t.Fatal("under-threshold shed rate fired the trigger")
+	}
+	shed.Add(500) // 500/s: spike
+	p.Poll(2 * sec)
+	if got == nil {
+		t.Fatal("shed spike did not dump an incident")
+	}
+	if got.Reason != "shed-spike" {
+		t.Errorf("reason = %q, want shed-spike", got.Reason)
+	}
+	var burst bool
+	for _, ev := range got.Events {
+		if ev.Type == EvShedBurst && ev.Value == 500 {
+			burst = true
+		}
+	}
+	if !burst {
+		t.Errorf("no shed-burst event carrying the rate; events = %+v", got.Events)
+	}
+}
+
+func TestIncidentWindowFiltering(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.Gauge("depth")
+	p := New(Config{Registry: reg, Window: 5 * time.Second})
+	var now int64
+	p.SetClock(func() int64 { return now })
+
+	for i := 0; i <= 20; i++ {
+		now = int64(i) * sec
+		g.Set(int64(i))
+		p.Poll(now)
+		p.Event(EvFailover, 0, 1, "timeout", int64(i))
+	}
+	inc := p.DumpIncident("manual")
+	if inc.WindowNanos != 5*sec {
+		t.Errorf("windowNanos = %d, want 5s", inc.WindowNanos)
+	}
+	for _, d := range inc.Series {
+		for _, pt := range d.Points {
+			if pt.T < 15*sec {
+				t.Fatalf("series %s contains point at %ds, outside the 5s window", d.Key, pt.T/sec)
+			}
+		}
+	}
+	for _, ev := range inc.Events {
+		if ev.T < 15*sec && ev.Type != EvIncident {
+			t.Fatalf("event at %ds outside the 5s window: %+v", ev.T/sec, ev)
+		}
+	}
+}
+
+func TestIncidentTraceExcerpt(t *testing.T) {
+	tr := tracing.New(tracing.WithCapacity(64))
+	col := tr.Collector(0)
+	for i := 0; i < 10; i++ {
+		col.StartTrace("serve").End()
+	}
+	p := New(Config{Tracer: tr, TraceExcerpt: 4})
+	inc := p.DumpIncident("manual")
+	if len(inc.Trace) != 4 {
+		t.Errorf("trace excerpt = %d spans, want capped at 4", len(inc.Trace))
+	}
+}
+
+func TestDumpIncidentRecordsEvent(t *testing.T) {
+	p := New(Config{})
+	p.DumpIncident("operator")
+	evs := p.Events()
+	if len(evs) != 1 || evs[0].Type != EvIncident || evs[0].Detail != "operator" {
+		t.Errorf("events after dump = %+v, want one incident event", evs)
+	}
+}
+
+// TestEventZeroAlloc is the dynamic half of the //presslint:hotpath
+// proof: recording an event on an enabled plane, and everything on a
+// disabled one, must not allocate.
+func TestEventZeroAlloc(t *testing.T) {
+	p := New(Config{})
+	if n := testing.AllocsPerRun(100, func() {
+		p.Event(EvFailover, 0, 1, "timeout", 42)
+	}); n != 0 {
+		t.Errorf("enabled Event allocates %v/op, want 0", n)
+	}
+	var off *Plane
+	if n := testing.AllocsPerRun(100, func() {
+		off.Event(EvFailover, 0, 1, "timeout", 42)
+		off.Poll(0)
+	}); n != 0 {
+		t.Errorf("disabled plane allocates %v/op, want 0", n)
+	}
+}
+
+// Disarmed, the plane keeps recording but discards trigger requests —
+// the startup/teardown guard the CLIs lean on. Re-arming restores the
+// trigger for the next event, not retroactively.
+func TestSetArmedSuppressesTriggers(t *testing.T) {
+	p := New(Config{
+		Registry: metrics.NewRegistry(),
+		Trigger:  TriggerConfig{OnPeerDeath: true, Cooldown: time.Nanosecond},
+	})
+	var dumps int
+	p.OnIncident(func(*Incident) { dumps++ })
+
+	p.SetArmed(false)
+	p.Event(EvPeerDead, 0, 1, "startup transient", 0)
+	p.Poll(1 * sec)
+	if dumps != 0 {
+		t.Fatal("disarmed plane dumped an incident")
+	}
+	if n := len(p.Events()); n != 1 {
+		t.Fatalf("disarmed plane stopped recording: %d events", n)
+	}
+
+	p.SetArmed(true)
+	p.Poll(2 * sec)
+	if dumps != 0 {
+		t.Fatal("re-arming fired a stale (already discarded) trigger")
+	}
+	p.Event(EvPeerDead, 0, 2, "real death", 0)
+	p.Poll(3 * sec)
+	if dumps != 1 {
+		t.Fatalf("armed trigger did not dump: %d dumps", dumps)
+	}
+
+	// Manual dumps ignore arming: SIGQUIT must always work.
+	p.SetArmed(false)
+	if inc := p.DumpIncident("SIGQUIT"); inc == nil {
+		t.Fatal("manual dump refused while disarmed")
+	}
+}

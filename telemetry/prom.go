@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+
+	"press/metrics"
+)
+
+// PromContentType is the Content-Type for the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promQuantiles are the summary quantiles exposed per histogram; fixed
+// so scrape output is stable regardless of sampler configuration.
+var promQuantiles = []float64{0.50, 0.90, 0.99}
+
+// WriteProm renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as-is,
+// histograms as summaries with quantile/_sum/_count lines. Output
+// order is fixed: counters, then gauges, then float gauges, then
+// histograms; within each kind families sort by name and series within
+// a family by label string (metrics.SortKeys order). The result is
+// byte-stable for a stable registry — golden-testable and
+// diff-friendly.
+func WriteProm(w io.Writer, s metrics.Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	writeFamilies(bw, s.Counters, "counter", func(b *bufio.Writer, key string, v int64) {
+		writeSample(b, key, "", "", strconv.FormatInt(v, 10))
+	})
+	writeFamilies(bw, s.Gauges, "gauge", func(b *bufio.Writer, key string, v int64) {
+		writeSample(b, key, "", "", strconv.FormatInt(v, 10))
+	})
+	writeFamilies(bw, s.FloatGauges, "gauge", func(b *bufio.Writer, key string, v float64) {
+		writeSample(b, key, "", "", formatFloat(v))
+	})
+	writeFamilies(bw, s.Histograms, "summary", func(b *bufio.Writer, key string, h metrics.HistogramSnapshot) {
+		for _, q := range promQuantiles {
+			writeSample(b, key, "", `quantile="`+formatFloat(q)+`"`, formatFloat(h.Quantile(q)))
+		}
+		writeSample(b, key, "_sum", "", strconv.FormatInt(h.Sum, 10))
+		writeSample(b, key, "_count", "", strconv.FormatInt(h.Count, 10))
+	})
+	return bw.Flush()
+}
+
+// writeFamilies emits one map of instruments in sorted-key order with a
+// # TYPE header per family.
+func writeFamilies[V any](b *bufio.Writer, m map[string]V, typ string, emit func(*bufio.Writer, string, V)) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	metrics.SortKeys(keys)
+	lastFam := ""
+	for _, k := range keys {
+		fam, _ := metrics.Family(k)
+		if fam != lastFam {
+			b.WriteString("# TYPE ")
+			b.WriteString(fam)
+			b.WriteByte(' ')
+			b.WriteString(typ)
+			b.WriteByte('\n')
+			lastFam = fam
+		}
+		emit(b, k, m[k])
+	}
+}
+
+// writeSample emits one sample line:
+//
+//	family[suffix]{k="v",...,extra} value
+//
+// converting the registry's "k=v,k=v" label string into quoted
+// Prometheus label pairs.
+func writeSample(b *bufio.Writer, key, suffix, extra, value string) {
+	fam, labels := metrics.Family(key)
+	b.WriteString(fam)
+	b.WriteString(suffix)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		first := true
+		for labels != "" {
+			var pair string
+			if i := strings.IndexByte(labels, ','); i >= 0 {
+				pair, labels = labels[:i], labels[i+1:]
+			} else {
+				pair, labels = labels, ""
+			}
+			k, v, _ := strings.Cut(pair, "=")
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(k)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(v))
+			b.WriteByte('"')
+		}
+		if extra != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extra)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"press/metrics"
+)
+
+// TestWritePromGolden locks the exposition format byte-for-byte:
+// families sorted by name, series within a family by label string, a
+// single # TYPE header per family, histograms as summaries.
+func TestWritePromGolden(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// Insertion order is deliberately scrambled relative to output
+	// order; map iteration must not leak through.
+	reg.Counter("press_requests_total", "node=1").Add(7)
+	reg.Counter("press_shed_total", "node=0", "queue=accept").Add(3)
+	reg.Counter("press_requests_total", "node=0").Add(42)
+	reg.Gauge("press_queue_depth", "node=0").Set(5)
+	reg.FloatGauge("press_disk_util", "node=0").Set(0.25)
+	h := reg.Histogram("press_queue_delay_ns", "node=0")
+	for i := 0; i < 4; i++ {
+		h.Observe(8)
+	}
+
+	var b strings.Builder
+	if err := WriteProm(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE press_requests_total counter
+press_requests_total{node="0"} 42
+press_requests_total{node="1"} 7
+# TYPE press_shed_total counter
+press_shed_total{node="0",queue="accept"} 3
+# TYPE press_queue_depth gauge
+press_queue_depth{node="0"} 5
+# TYPE press_disk_util gauge
+press_disk_util{node="0"} 0.25
+# TYPE press_queue_delay_ns summary
+press_queue_delay_ns{node="0",quantile="0.5"} 8
+press_queue_delay_ns{node="0",quantile="0.9"} 8
+press_queue_delay_ns{node="0",quantile="0.99"} 8
+press_queue_delay_ns_sum{node="0"} 32
+press_queue_delay_ns_count{node="0"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePromDeterministic renders the same registry repeatedly and
+// demands identical bytes — the map-iteration-order leak detector.
+func TestWritePromDeterministic(t *testing.T) {
+	reg := metrics.NewRegistry()
+	for i := 0; i < 16; i++ {
+		reg.Counter("c_total", "node="+string(rune('a'+i))).Inc()
+		reg.Gauge("g", "node="+string(rune('a'+i))).Set(int64(i))
+	}
+	snap := reg.Snapshot()
+	var first string
+	for i := 0; i < 10; i++ {
+		var b strings.Builder
+		if err := WriteProm(&b, snap); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("render %d differs from render 0", i)
+		}
+	}
+}
+
+func TestPromRoundTrip(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("reqs_total", "node=0", `path=/a"b\c`).Add(9)
+	reg.Gauge("depth").Set(-3)
+	reg.Histogram("lat_ns", "node=2").Observe(100)
+
+	var b strings.Builder
+	if err := WriteProm(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parsing our own output: %v", err)
+	}
+	byName := func(name string) []PromSample {
+		var out []PromSample
+		for _, s := range samples {
+			if s.Name == name {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	reqs := byName("reqs_total")
+	if len(reqs) != 1 || reqs[0].Value != 9 {
+		t.Fatalf("reqs_total = %+v, want one sample of 9", reqs)
+	}
+	if got := reqs[0].Label("path"); got != `/a"b\c` {
+		t.Errorf("escaped label round-trip = %q, want %q", got, `/a"b\c`)
+	}
+	if d := byName("depth"); len(d) != 1 || d[0].Value != -3 {
+		t.Errorf("depth = %+v, want -3", d)
+	}
+	if c := byName("lat_ns_count"); len(c) != 1 || c[0].Value != 1 || c[0].Label("node") != "2" {
+		t.Errorf("lat_ns_count = %+v, want count 1 on node 2", c)
+	}
+	qs := byName("lat_ns")
+	if len(qs) != len(promQuantiles) {
+		t.Fatalf("lat_ns quantile samples = %d, want %d", len(qs), len(promQuantiles))
+	}
+	for _, q := range qs {
+		if q.Label("quantile") == "" {
+			t.Errorf("quantile sample missing quantile label: %+v", q)
+		}
+		if q.Value != 100 {
+			t.Errorf("single-observation quantile = %v, want 100", q.Value)
+		}
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	for _, bad := range []string{
+		`x{a="1" 5`,       // unterminated labels
+		`x{a=1} 5`,        // unquoted value
+		`x{a="1"} notnum`, // bad value
+		`justaname`,       // no value
+	} {
+		if _, err := ParseProm(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseProm(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample. Labels hold the decoded
+// label pairs (quantile included, for summary lines); Name carries any
+// _sum/_count suffix, so a summary parses into distinct names.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label's value, or "" when absent.
+func (s PromSample) Label(key string) string { return s.Labels[key] }
+
+// ParseProm reads the Prometheus text exposition format back into
+// samples — the consumer half that press-top uses against
+// /_press/metrics, and the round-trip partner WriteProm is tested
+// against. Comment and blank lines are skipped; NaN values are kept
+// (the caller decides relevance); malformed lines error with their
+// content.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		rest = rest[i+1:]
+		end := strings.LastIndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("prom: unterminated labels: %q", line)
+		}
+		labels := rest[:end]
+		rest = strings.TrimSpace(rest[end+1:])
+		for labels != "" {
+			eq := strings.IndexByte(labels, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("prom: bad label pair in %q", line)
+			}
+			key := labels[:eq]
+			val, remain, err := scanLabelValue(labels[eq+1:])
+			if err != nil {
+				return s, fmt.Errorf("prom: %v in %q", err, line)
+			}
+			s.Labels[key] = val
+			labels = strings.TrimPrefix(remain, ",")
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("prom: missing value: %q", line)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	// Value, optionally followed by a timestamp we ignore.
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("prom: bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// scanLabelValue consumes a quoted label value (with \\, \", \n
+// escapes) and returns the decoded value and the unconsumed remainder.
+func scanLabelValue(in string) (val, rest string, err error) {
+	if len(in) == 0 || in[0] != '"' {
+		return "", in, fmt.Errorf("label value not quoted")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		c := in[i]
+		switch c {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", in, fmt.Errorf("dangling escape")
+			}
+			switch in[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(in[i+1])
+			default:
+				b.WriteByte(in[i+1])
+			}
+			i += 2
+			continue
+		default:
+			b.WriteByte(c)
+		}
+		i++
+	}
+	return "", in, fmt.Errorf("unterminated label value")
+}

@@ -1,0 +1,315 @@
+// Package telemetry is the continuous-observability plane layered on
+// the metrics registry: where metrics answer "how much since start"
+// and traces answer "what happened to this request", telemetry answers
+// "what was happening over time" — the axis the paper's sustained-load
+// arguments live on.
+//
+// Three pieces share one Plane:
+//
+//   - A time-series Sampler periodically Snapshot()/Diff()s a registry
+//     into fixed-capacity per-family ring buffers: counters become
+//     rates, gauges become levels, histograms become quantile series
+//     over each window. The clock is pluggable (SetClock), so the
+//     event-driven simulator produces simulated-time series with the
+//     same code that samples wall time in a live cluster.
+//   - A structured EventLog records cluster state transitions
+//     (failover, brownout, shed burst, peer death, directory purge) in
+//     a black-box ring, allocation-free, so the seconds before an
+//     anomaly are always on hand.
+//   - A flight recorder turns both into an Incident: when a trigger
+//     fires (peer death, shed-rate spike, or an operator signal), the
+//     plane dumps the recent series window, the event log, and a trace
+//     excerpt as one JSON report.
+//
+// A nil *Plane is the disabled plane: Event and Poll no-op without
+// allocating, so instrumented code needs no guards and costs nothing
+// when telemetry is off.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"press/metrics"
+	"press/tracing"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultInterval      = time.Second
+	DefaultCapacity      = 256  // points per series ring
+	DefaultEventCapacity = 1024 // events in the black-box ring
+	DefaultTraceExcerpt  = 200  // spans attached to an incident
+	DefaultCooldown      = 30 * time.Second
+)
+
+// Config assembles a Plane. Zero fields take the defaults above.
+type Config struct {
+	// Registry is the sampled registry; nil disables the series half
+	// (events and incidents still work).
+	Registry *metrics.Registry
+	// Interval is the sampling cadence — the spacing of Poll calls
+	// made by Start's ticker; callers driving Poll themselves (the
+	// simulator) read it back via Interval().
+	Interval time.Duration
+	// Capacity bounds each series ring; older points are overwritten,
+	// so a ring holds the last Capacity×Interval of history.
+	Capacity int
+	// Quantiles are the histogram quantiles sampled per window
+	// (default 0.5 and 0.99).
+	Quantiles []float64
+	// EventCapacity bounds the event ring.
+	EventCapacity int
+	// Window is the incident lookback; 0 means everything the rings
+	// still hold.
+	Window time.Duration
+	// Tracer, when non-nil, contributes the trace excerpt to
+	// incidents.
+	Tracer *tracing.Tracer
+	// TraceExcerpt caps how many of the most recent spans an incident
+	// carries.
+	TraceExcerpt int
+	// Trigger configures automatic incident dumps.
+	Trigger TriggerConfig
+}
+
+// TriggerConfig says when the flight recorder auto-dumps an incident.
+type TriggerConfig struct {
+	// OnPeerDeath dumps when an EvPeerDead event is recorded.
+	OnPeerDeath bool
+	// ShedRate dumps when the cluster-wide shed rate (sum of
+	// press_shed_total deltas per second, measured each sampling
+	// window) exceeds this many sheds/s. 0 disables the trigger.
+	ShedRate float64
+	// Cooldown is the minimum spacing between automatic dumps.
+	Cooldown time.Duration
+}
+
+// Pending-trigger codes: Event (any goroutine) posts one, Poll (the
+// sampling loop) consumes it and builds the incident off the hot path.
+const (
+	trigNone int32 = iota
+	trigPeerDeath
+	trigShedSpike
+)
+
+// Plane ties the sampler, event log, and flight recorder to one clock.
+// Event is safe from any goroutine; Poll must have a single caller
+// (Start's ticker or the simulator loop).
+type Plane struct {
+	cfg     Config
+	sampler *Sampler
+	events  *EventLog
+	clock   atomic.Pointer[func() int64]
+
+	pending  atomic.Int32 // trigNone or the trigger code awaiting Poll
+	disarmed atomic.Bool  // true while automatic triggers are suppressed
+
+	// Poll-only state (single caller by contract).
+	lastDump   int64
+	dumped     bool
+	shedActive bool
+
+	sinkMu sync.Mutex
+	sink   func(*Incident)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Plane from cfg, applying defaults for zero fields.
+func New(cfg Config) *Plane {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if len(cfg.Quantiles) == 0 {
+		cfg.Quantiles = []float64{0.50, 0.99}
+	}
+	if cfg.EventCapacity <= 0 {
+		cfg.EventCapacity = DefaultEventCapacity
+	}
+	if cfg.TraceExcerpt <= 0 {
+		cfg.TraceExcerpt = DefaultTraceExcerpt
+	}
+	if cfg.Trigger.Cooldown <= 0 {
+		cfg.Trigger.Cooldown = DefaultCooldown
+	}
+	p := &Plane{
+		cfg:    cfg,
+		events: newEventLog(cfg.EventCapacity),
+	}
+	if cfg.Registry != nil {
+		p.sampler = newSampler(cfg.Registry, cfg.Capacity, cfg.Quantiles, shedFamily)
+	}
+	return p
+}
+
+// shedFamily is the counter family whose rate the shed-spike trigger
+// watches; every shed path (accept, dispatch, disk) increments it.
+const shedFamily = "press_shed_total"
+
+// Enabled reports whether the plane records anything; false exactly for
+// a nil Plane.
+func (p *Plane) Enabled() bool { return p != nil }
+
+// Interval returns the configured sampling cadence (0 on a nil Plane).
+func (p *Plane) Interval() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.Interval
+}
+
+// SetClock installs a replacement timestamp source (the simulator does
+// this so series and events carry simulated time). No-op on a nil
+// Plane.
+func (p *Plane) SetClock(now func() int64) {
+	if p == nil || now == nil {
+		return
+	}
+	p.clock.Store(&now)
+}
+
+//presslint:alloc-gated clock indirection is a sim hook (SetClock); the production path is monotonicNanos, which does not allocate
+func (p *Plane) now() int64 {
+	if f := p.clock.Load(); f != nil {
+		return (*f)()
+	}
+	return monotonicNanos()
+}
+
+// SetArmed enables or disables the automatic triggers. Disarmed, the
+// plane keeps sampling and recording events but Poll discards trigger
+// requests instead of dumping incidents; DumpIncident still works.
+// Planes start armed. The CLIs disarm around cluster startup and
+// shutdown so the transient peer-death storm (nodes that have not
+// started yet, or are being torn down, look dead) cannot burn the
+// trigger — and its cooldown — on a false positive, or overwrite a
+// real incident's report on the way out.
+func (p *Plane) SetArmed(armed bool) {
+	if p == nil {
+		return
+	}
+	p.disarmed.Store(!armed)
+}
+
+// OnIncident installs the incident sink called by Poll when a trigger
+// fires. Install before Start; the sink runs on the polling goroutine.
+func (p *Plane) OnIncident(fn func(*Incident)) {
+	if p == nil {
+		return
+	}
+	p.sinkMu.Lock()
+	p.sink = fn
+	p.sinkMu.Unlock()
+}
+
+// Event records one cluster event in the black-box ring and, when the
+// matching trigger is armed, requests an incident dump (built later by
+// Poll, off this hot path). Safe from any goroutine; free on a nil
+// Plane.
+//
+//presslint:hotpath budget=0
+func (p *Plane) Event(typ EventType, node, peer int, detail string, value int64) {
+	if p == nil {
+		return
+	}
+	p.events.record(p.now(), typ, node, peer, detail, value)
+	if p.cfg.Trigger.OnPeerDeath && typ == EvPeerDead {
+		p.pending.CompareAndSwap(trigNone, trigPeerDeath)
+	}
+}
+
+// Poll advances the plane's clock to now: takes one sample, evaluates
+// the shed-rate trigger, and dumps a pending incident. The simulator
+// calls it on simulated time; Start's ticker calls it on wall time.
+// Single caller by contract.
+func (p *Plane) Poll(now int64) {
+	if p == nil {
+		return
+	}
+	if p.sampler != nil {
+		p.sampler.Sample(now)
+		if r := p.cfg.Trigger.ShedRate; r > 0 {
+			rate := p.sampler.WatchRate()
+			if rate > r && !p.shedActive {
+				p.shedActive = true
+				p.Event(EvShedBurst, -1, -1, "shed rate above trigger", int64(rate))
+				p.pending.CompareAndSwap(trigNone, trigShedSpike)
+			} else if rate <= r {
+				p.shedActive = false
+			}
+		}
+	}
+	code := p.pending.Swap(trigNone)
+	if code == trigNone || p.disarmed.Load() {
+		return
+	}
+	if p.dumped && now-p.lastDump < int64(p.cfg.Trigger.Cooldown) {
+		return
+	}
+	reason := "peer-death"
+	if code == trigShedSpike {
+		reason = "shed-spike"
+	}
+	if inc := p.DumpIncident(reason); inc != nil {
+		p.lastDump = now
+		p.dumped = true
+	}
+}
+
+// Start launches a wall-clock sampling loop at the configured interval.
+// Stop halts it. No-op on a nil Plane or when already started.
+func (p *Plane) Start() {
+	if p == nil || p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Poll(p.now())
+			}
+		}
+	}()
+}
+
+// Stop halts the Start loop after one final sample, so short runs still
+// record their tail.
+func (p *Plane) Stop() {
+	if p == nil || p.stop == nil {
+		return
+	}
+	close(p.stop)
+	p.wg.Wait()
+	p.stop = nil
+	p.Poll(p.now())
+}
+
+// Series returns every sampled series, oldest point first, keys sorted.
+// Empty without a registry or on a nil Plane.
+func (p *Plane) Series() []SeriesDump {
+	if p == nil || p.sampler == nil {
+		return nil
+	}
+	return p.sampler.Dump(0)
+}
+
+// Events returns the black-box ring's contents, oldest first.
+func (p *Plane) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	return p.events.snapshot(0)
+}
