@@ -25,13 +25,16 @@ benchsmoke:
 # bench records the observability-overhead baseline (tracing and
 # metrics on/off) into BENCH_trace.json, the directory-scaling
 # baseline (directory messages per request vs cluster size, broadcast
-# vs sharded vs gossip) into BENCH_directory.json, and the
-# telemetry-plane overhead baseline (sampler off/on, event hot path,
-# exposition render) into BENCH_telemetry.json.
+# vs sharded vs gossip) into BENCH_directory.json, the telemetry-plane
+# overhead baseline (sampler off/on, event hot path, exposition render)
+# into BENCH_telemetry.json, and the hot-object replication baseline
+# (goodput/p99 across Zipf exponents, replication off vs on) into
+# BENCH_replication.json.
 bench:
 	sh scripts/bench.sh BENCH_trace.json
 	sh scripts/bench_directory.sh BENCH_directory.json
 	sh scripts/bench_telemetry.sh BENCH_telemetry.json
+	sh scripts/bench_replication.sh BENCH_replication.json
 
 # check is the full gate: vet, build, race-enabled tests, presslint,
 # benchmark smoke.

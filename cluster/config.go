@@ -47,6 +47,14 @@ type Config struct {
 	// Policy holds the distribution tunables. Zero value means
 	// core.DefaultPolicy.
 	Policy core.PolicyConfig
+	// Replication enables the dynamic hot-object replication policy:
+	// per-file request-rate EWMAs drive replica pushes to lightly
+	// loaded peers and de-replication of cold pulled copies, with
+	// power-of-two-choices routing over the resulting multi-member
+	// cacher sets. This is the online policy behind the steady-state
+	// ReplicationFraction below; enabling it models the replication
+	// traffic explicitly instead of assuming its outcome.
+	Replication core.ReplicationConfig
 	// CacheBytes is the per-node file cache capacity. Defaults to
 	// 128 MB, the C of Table 5.
 	CacheBytes int64
@@ -139,6 +147,13 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.Policy == (core.PolicyConfig{}) {
 		cfg.Policy = core.DefaultPolicy()
+	}
+	if cfg.Replication.Enabled {
+		cfg.Replication = cfg.Replication.WithDefaults()
+		// Multi-member cacher sets only pay off if routing spreads
+		// load across them; mirror the real server and switch the
+		// policy to power-of-two-choices when replication is on.
+		cfg.Policy.PowerOfTwoChoices = true
 	}
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 128 << 20
@@ -254,4 +269,10 @@ type Result struct {
 	// HitRate is the fraction of requests serviced from some memory
 	// cache.
 	HitRate float64
+
+	// Replication activity during the measurement window, when the
+	// dynamic hot-object replication policy is enabled: replica pushes
+	// initiated by hot cachers and cold pulled copies dropped.
+	ReplicaPushes int64
+	ReplicaDrops  int64
 }

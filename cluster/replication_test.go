@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+
+	"press/core"
+	"press/trace"
+)
+
+// hotTrace synthesizes a strongly head-skewed workload: a 1.8 Zipf
+// exponent concentrates most requests on a handful of files, the
+// single-cacher regime the replication policy exists for.
+func hotTrace(t testing.TB, requests int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Synthesize(trace.Spec{
+		Name: "hot", NumFiles: 800, AvgFileKB: 14.2, Alpha: 1.8,
+		NumRequests: requests, AvgReqKB: 9.7, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSimReplicationActivity checks the simulator's hot-object
+// replication model end to end on a hotspot workload: the policy
+// triggers (pushes happen), the run completes the same request count as
+// the unreplicated baseline, and spreading the head across replicas
+// takes disk pressure off the system — the baseline's overload-driven
+// disk re-reads of hot files are replaced by cache-to-cache copies.
+func TestSimReplicationActivity(t *testing.T) {
+	tr := hotTrace(t, 20000)
+
+	// Both arms start from unreplicated caches (no static head prewarm):
+	// the point of comparison is what the dynamic policy does about the
+	// single-cacher hotspot, so the baseline must actually have one.
+	base := baseConfig(tr)
+	base.ReplicationFraction = -1
+
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.ReplicaPushes != 0 || off.ReplicaDrops != 0 {
+		t.Fatalf("replication disabled but pushes=%d drops=%d",
+			off.ReplicaPushes, off.ReplicaDrops)
+	}
+
+	cfg := base
+	cfg.Replication = core.ReplicationConfig{Enabled: true}
+	on, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Requests != off.Requests {
+		t.Fatalf("replicated run measured %d requests, baseline %d",
+			on.Requests, off.Requests)
+	}
+	if on.ReplicaPushes == 0 {
+		t.Error("hotspot workload triggered no replica pushes")
+	}
+	if on.Throughput <= 0 {
+		t.Fatalf("throughput = %v", on.Throughput)
+	}
+	if on.DiskReads >= off.DiskReads {
+		t.Errorf("replication did not reduce disk reads: on %d, off %d",
+			on.DiskReads, off.DiskReads)
+	}
+}
+
+// TestSimReplicationDeterministic: two identical replicated runs agree
+// exactly — the replication model rides the simulator clock, not wall
+// time.
+func TestSimReplicationDeterministic(t *testing.T) {
+	tr := hotTrace(t, 20000)
+	cfg := baseConfig(tr)
+	cfg.ReplicationFraction = -1
+	cfg.Replication = core.ReplicationConfig{Enabled: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.ReplicaPushes != b.ReplicaPushes ||
+		a.ReplicaDrops != b.ReplicaDrops || a.DiskReads != b.DiskReads {
+		t.Errorf("replicated runs diverged: %+v vs %+v", a, b)
+	}
+}

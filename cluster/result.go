@@ -67,6 +67,8 @@ func (s *simState) result() *Result {
 	r.LocalHits = s.localHits
 	r.RemoteHits = s.remoteHits
 	r.DiskReads = s.diskReads
+	r.ReplicaPushes = s.replicaPushes
+	r.ReplicaDrops = s.replicaDrops
 	r.CopiedBytes = s.copiedBytes
 	r.RMWCount = s.rmwCount
 	if r.Requests > 0 {

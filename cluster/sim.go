@@ -63,6 +63,19 @@ type simState struct {
 	rcValid  [][]bool        // [node][file]: read-cached entry still valid
 	interest []cache.NodeSet // [file]: readers holding a cached entry
 
+	// Hot-object replication model (cfg.Replication.Enabled): per-node
+	// per-file serve counts fold into rate EWMAs on a periodic scan;
+	// hot files push replicas to lightly loaded peers over the modeled
+	// forward/file-transfer path, and cold pulled copies drop.
+	replOn        bool
+	replCounts    [][]uint32                       // [node][file] serves since last fold
+	replRates     [][]float64                      // [node][file] request-rate EWMA
+	replLast      []map[cache.FileID]eventsim.Time // last push/drop per file
+	replPulled    []map[cache.FileID]bool          // local copies created by a pull
+	replPulling   []map[cache.FileID]bool          // pulls in flight at the target
+	replicaPushes int64
+	replicaDrops  int64
+
 	// measurement
 	measuring     bool
 	completed     int64
@@ -250,6 +263,24 @@ func Run(c Config) (*Result, error) {
 			s.scheduleGossip(i)
 		}
 	}
+	if cfg.Replication.Enabled && !cfg.ContentOblivious && cfg.Nodes > 1 {
+		s.replOn = true
+		nf := len(cfg.Trace.Files)
+		for i := 0; i < cfg.Nodes; i++ {
+			s.replCounts = append(s.replCounts, make([]uint32, nf))
+			s.replRates = append(s.replRates, make([]float64, nf))
+			s.replLast = append(s.replLast, map[cache.FileID]eventsim.Time{})
+			s.replPulled = append(s.replPulled, map[cache.FileID]bool{})
+			s.replPulling = append(s.replPulling, map[cache.FileID]bool{})
+		}
+		s.sim.Every(cfg.Replication.Interval, func() bool {
+			if s.workloadDrained() {
+				return false
+			}
+			s.replScan()
+			return true
+		})
+	}
 	s.sim.Run()
 	if cfg.Telemetry.Enabled() {
 		// One final sample so the series cover the workload's tail even
@@ -268,6 +299,7 @@ func (s *simState) beginMeasurement() {
 	s.reasons = [core.NumReasons]int64{}
 	s.localHits, s.remoteHits, s.diskReads, s.forwarded = 0, 0, 0, 0
 	s.copiedBytes, s.rmwCount = 0, 0
+	s.replicaPushes, s.replicaDrops = 0, 0
 	s.latency = stats.Welford{}
 	s.latencyMax = 0
 	s.latHist = metrics.NewHistogram()
@@ -468,6 +500,7 @@ func (s *simState) shardedLookup(initial int, fileID cache.FileID, size int64,
 func (s *simState) serviceLocal(nid int, fileID cache.FileID, size int64, t0 eventsim.Time,
 	root *tracing.Span) {
 	n := s.nodes[nid]
+	s.replNote(nid, fileID)
 	if n.cache.Touch(fileID) {
 		if s.measuring {
 			s.localHits++
@@ -498,6 +531,7 @@ func (s *simState) forward(initial, svc int, fileID cache.FileID, size int64, t0
 	s.sendMsg(initial, svc, core.MsgForward, core.ForwardMsgBytes, fwd.SendCPU, fwd.RecvCPU, func() {
 		srv := s.trc[svc].StartSpan("serve-remote", fwdSpan.Trace(), fwdSpan.ID())
 		n := s.nodes[svc]
+		s.replNote(svc, fileID)
 		if n.cache.Touch(fileID) {
 			if s.measuring {
 				s.remoteHits++
@@ -609,17 +643,24 @@ func (s *simState) broadcastCaching(from int) {
 // to the client.
 func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time,
 	root, fwdSpan *tracing.Span) {
+	// The forward span ends when the file has fully arrived back at the
+	// initial node, right before the reply to the client starts.
+	s.transferFile(svc, initial, size, func() {
+		fwdSpan.Annotate("bytes", size)
+		fwdSpan.End()
+		s.replyToClient(initial, size, t0, root)
+	})
+}
+
+// transferFile models the file-data leg shared by request forwarding
+// and replica pulls: segment messages from src to dst (plus the RMW
+// metadata message where the version demands one), calling arrived at
+// dst when the last byte is in.
+func (s *simState) transferFile(src, dst int, size int64, arrived func()) {
 	m := s.cfg.Combo
 	v := s.cfg.Version
 	seg := s.cfg.FileSegmentBytes
 	remaining := size
-	// The forward span ends when the file has fully arrived back at the
-	// initial node, right before the reply to the client starts.
-	arrived := func() {
-		fwdSpan.Annotate("bytes", size)
-		fwdSpan.End()
-		s.replyToClient(initial, size, t0, root)
-	}
 	for remaining > 0 {
 		payload := remaining
 		if payload > seg {
@@ -636,14 +677,14 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time,
 			if !v.ZeroCopyTX {
 				sendCPU += netmodel.DurationOver(payload, m.CopyRate)
 				// Sender-side staging copy, eliminated by version 5.
-				s.copyBytes(svc, payload)
+				s.copyBytes(src, payload)
 			}
 			recvCPU = 0
 			finishRecv := m.PollCost
 			if !v.ZeroCopyRX {
 				finishRecv += netmodel.DurationOver(size, m.CopyRate)
 			}
-			s.rmwWrite(svc)
+			s.rmwWrite(src)
 			if s.cfg.RMWSingleMessage {
 				// Ablation: completion piggy-backs on the last data
 				// write; no metadata message.
@@ -652,34 +693,34 @@ func (s *simState) sendFile(svc, initial int, size int64, t0 eventsim.Time,
 					recvCPU = finishRecv
 					if !v.ZeroCopyRX {
 						// Receiver copies the file out of the data ring.
-						s.copyBytes(initial, size)
+						s.copyBytes(dst, size)
 					}
 					done = arrived
 				}
-				s.sendMsg(svc, initial, core.MsgFile, payload, sendCPU, recvCPU, done)
+				s.sendMsg(src, dst, core.MsgFile, payload, sendCPU, recvCPU, done)
 				continue
 			}
-			s.sendMsg(svc, initial, core.MsgFile, payload, sendCPU, recvCPU, nil)
+			s.sendMsg(src, dst, core.MsgFile, payload, sendCPU, recvCPU, nil)
 			if last {
 				if !v.ZeroCopyRX {
 					// Receiver copies the file out of the data ring.
-					s.copyBytes(initial, size)
+					s.copyBytes(dst, size)
 				}
-				s.rmwWrite(svc)
-				s.sendMsg(svc, initial, core.MsgFile, core.FileMetaBytes, m.SendFixed, finishRecv, arrived)
+				s.rmwWrite(src)
+				s.sendMsg(src, dst, core.MsgFile, core.FileMetaBytes, m.SendFixed, finishRecv, arrived)
 			}
 			continue
 		}
 		// Regular messages: copies at both ends, interrupt + receive
 		// thread at the receiver. The sender's staging copy is the one
 		// the server-side accounting reports too.
-		s.copyBytes(svc, payload)
+		s.copyBytes(src, payload)
 		c := m.Cost(netmodel.StyleRegular, payload, true, true)
 		var done func()
 		if last {
 			done = arrived
 		}
-		s.sendMsg(svc, initial, core.MsgFile, payload, c.SendCPU, c.RecvCPU, done)
+		s.sendMsg(src, dst, core.MsgFile, payload, c.SendCPU, c.RecvCPU, done)
 	}
 }
 
@@ -846,6 +887,146 @@ func (s *simState) sendMsg(src, dst int, mt core.MsgType, wireBytes int64,
 			})
 		})
 	})
+}
+
+// replNote counts one serve of fileID at node nid against the
+// replication rate tracker, mirroring the server's replNoteServe.
+func (s *simState) replNote(nid int, fileID cache.FileID) {
+	if !s.replOn {
+		return
+	}
+	s.replCounts[nid][fileID]++
+}
+
+// replScan is the simulator's counterpart of the server's replTick:
+// fold the scan window's serve counts into the per-file rate EWMAs,
+// then walk each node's cached files for hot/cold transitions.
+func (s *simState) replScan() {
+	rc := s.cfg.Replication
+	alpha := float64(rc.Interval) / float64(rc.HalfLife+rc.Interval)
+	sec := rc.Interval.Seconds()
+	for nid := range s.nodes {
+		counts, rates := s.replCounts[nid], s.replRates[nid]
+		for id := range rates {
+			if counts[id] == 0 && rates[id] == 0 {
+				continue
+			}
+			inst := float64(counts[id]) / sec
+			counts[id] = 0
+			rates[id] += alpha * (inst - rates[id])
+		}
+	}
+	for nid, n := range s.nodes {
+		load := n.diss.Load()
+		for _, id := range n.cache.Files() {
+			switch rate := s.replRates[nid][id]; {
+			case rate >= rc.HotRate && load >= rc.MinLoad:
+				s.replPush(nid, id)
+			case rate < rc.DecayRate && s.replPulled[nid][id]:
+				s.replDrop(nid, id)
+			}
+		}
+	}
+}
+
+// replPush models one replica push: the hot cacher offers the file to
+// the least-loaded peer outside the cacher set (by the cacher's own
+// possibly-stale load view), which pulls it back with an ordinary
+// forward plus file transfer and installs the copy.
+func (s *simState) replPush(src int, fileID cache.FileID) {
+	rc := s.cfg.Replication
+	now := s.sim.Now()
+	if last, ok := s.replLast[src][fileID]; ok && time.Duration(now-last) < rc.Cooldown {
+		return
+	}
+	size := s.cfg.Trace.Files[fileID].Size
+	if size >= s.cfg.Policy.LargeFileBytes {
+		return // large files are always serviced by the initial node
+	}
+	cachers := s.dir.Cachers(fileID)
+	if cachers.Len() >= rc.MaxReplicas {
+		return
+	}
+	dst, bestLoad := -1, int(^uint(0)>>1)
+	for p := 0; p < s.cfg.Nodes; p++ {
+		if p == src || cachers.Has(p) || s.replPulling[p][fileID] {
+			continue
+		}
+		if l := s.nodes[src].peerLoad[p]; l < bestLoad {
+			dst, bestLoad = p, l
+		}
+	}
+	if dst < 0 {
+		return
+	}
+	s.replLast[src][fileID] = now
+	s.replPulling[dst][fileID] = true
+	if s.measuring {
+		s.replicaPushes++
+	}
+	style := s.cfg.Version.Forward
+	pc := s.cfg.Combo.Cost(style, core.ReplicateMsgBytes, true, true)
+	fc := s.cfg.Combo.Cost(style, core.ForwardMsgBytes, true, true)
+	if s.isRMW(style) {
+		s.rmwWrite(src)
+	}
+	s.sendMsg(src, dst, core.MsgReplicate, core.ReplicateMsgBytes, pc.SendCPU, pc.RecvCPU, func() {
+		if s.nodes[dst].cache.Contains(fileID) {
+			delete(s.replPulling[dst], fileID)
+			return
+		}
+		if s.isRMW(style) {
+			s.rmwWrite(dst)
+		}
+		s.sendMsg(dst, src, core.MsgForward, core.ForwardMsgBytes, fc.SendCPU, fc.RecvCPU, func() {
+			s.transferFile(src, dst, size, func() {
+				s.replInstall(dst, fileID, size)
+			})
+		})
+	})
+}
+
+// replInstall lands a pulled replica in the target's cache and
+// announces the caching change, exactly as a disk read would.
+func (s *simState) replInstall(dst int, fileID cache.FileID, size int64) {
+	delete(s.replPulling[dst], fileID)
+	n := s.nodes[dst]
+	if n.cache.Contains(fileID) {
+		return // raced with a local disk read; already a cacher
+	}
+	evicted, inserted := n.cache.Insert(fileID, size)
+	for _, ev := range evicted {
+		delete(s.replPulled[dst], ev)
+		s.cachingChange(dst, ev, false)
+	}
+	if !inserted {
+		return
+	}
+	s.replPulled[dst][fileID] = true
+	s.replLast[dst][fileID] = s.sim.Now()
+	s.cachingChange(dst, fileID, true)
+}
+
+// replDrop de-replicates a cold pulled copy, re-reading the cacher set
+// first so a file never goes from one copy to zero.
+func (s *simState) replDrop(nid int, fileID cache.FileID) {
+	rc := s.cfg.Replication
+	now := s.sim.Now()
+	if last, ok := s.replLast[nid][fileID]; ok && time.Duration(now-last) < rc.Cooldown {
+		return
+	}
+	if s.dir.Cachers(fileID).Remove(nid).Empty() {
+		return // we are the last cacher
+	}
+	if !s.nodes[nid].cache.Remove(fileID) {
+		return
+	}
+	delete(s.replPulled[nid], fileID)
+	s.replLast[nid][fileID] = now
+	if s.measuring {
+		s.replicaDrops++
+	}
+	s.cachingChange(nid, fileID, false)
 }
 
 // sendCredit returns flow-control credits from a receiver to a sender.

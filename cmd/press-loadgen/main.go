@@ -48,6 +48,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 32, "closed-loop clients")
 		rate        = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s (0 = closed loop)")
 		duration    = flag.Duration("duration", 10*time.Second, "open-loop run length")
+		hotspot     = flag.Float64("hotspot", 0, "Zipf-hotspot preset: draw each request from Zipf(alpha) over popularity ranks instead of the trace order (0 = off; 1.5-2 concentrates the head)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		dissem      = flag.String("dissemination", "", "verify the cluster runs this strategy before driving it ("+cliflag.DisseminationNames()+"; empty = don't check)")
 	)
@@ -88,6 +89,7 @@ func main() {
 		Requests:    *requests,
 		Rate:        *rate,
 		Duration:    *duration,
+		Hotspot:     *hotspot,
 		Seed:        *seed,
 	})
 	if err != nil {
@@ -104,6 +106,13 @@ func main() {
 	fmt.Printf("latency:    mean %.2fms  std %.2fms  p50 %.2fms  p99 %.2fms  max %.2fms\n",
 		res.LatencyMean*1e3, res.LatencyStd*1e3,
 		res.LatencyP50*1e3, res.LatencyP99*1e3, res.LatencyMax*1e3)
+	if len(res.TargetOK) > 1 {
+		shares := make([]string, len(res.TargetOK))
+		for i, n := range res.TargetOK {
+			shares[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Printf("per-node:   ok [%s]  imbalance %.2fx\n", strings.Join(shares, " "), res.Imbalance)
+	}
 }
 
 // verifyStrategy asks one cluster node's stats endpoint which

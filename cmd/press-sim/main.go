@@ -32,8 +32,16 @@
 // peer is declared dead, or at end of run if no trigger fires.
 //
 //	press-sim -chaos [-chaos-faults N] [-chaos-duration D] [-metrics]
+//	          [-chaos-target random|hottest] [-hotspot ALPHA] [-replication]
 //	          [-requests N] [-nodes N] [-trace T] [-seed S] [-version V]
 //	          [-trace-out FILE] [-trace-sample F] [-incident-out FILE]
+//
+// -chaos-target hottest watches per-node request shares under load for
+// the first third of the window, then crashes the busiest node and
+// restarts it — the reproducible kill-the-hot-cacher scenario. Combine
+// with -hotspot (Zipf-hotspot client workload) and -replication
+// (hot-object replication on the cluster) to demonstrate replica
+// failover keeping goodput up when the hot cacher dies.
 //
 // With -overload, press-sim starts a real VIA cluster with overload
 // control enabled, calibrates its saturation throughput with a
@@ -90,6 +98,9 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run a real VIA cluster under client load with a seeded fault plan and report availability")
 		chaosDur    = flag.Duration("chaos-duration", 3*time.Second, "length of the chaos fault plan")
 		chaosFaults = flag.Int("chaos-faults", 2, "fault pairs (partition/heal or crash/restart) in the chaos plan")
+		chaosTarget = flag.String("chaos-target", "random", "chaos fault targeting: random (seeded plan) or hottest (observe request shares, then crash the busiest node mid-run)")
+		hotspot     = flag.Float64("hotspot", 0, "Zipf-hotspot client workload for -chaos: draw each request from Zipf(alpha) over popularity ranks (0 = trace order)")
+		replication = flag.Bool("replication", false, "enable hot-object replication on the -chaos cluster")
 		incidentOut = flag.String("incident-out", "", "run a telemetry flight recorder during -chaos or -overload and write a JSON incident report to FILE on the first peer death / shed burst (or at end of run)")
 		dissem      = flag.String("dissemination", "PB", "load dissemination strategy for -chaos and -overload runs ("+cliflag.DisseminationNames()+"; -overload also takes all)")
 		overload    = flag.Bool("overload", false, "ramp open-loop load past saturation on a real VIA cluster and report the goodput knee")
@@ -108,8 +119,16 @@ func main() {
 	}
 
 	if *chaos {
-		if err := chaosRun(*traceName, *requests, *nodes, *seed, *version, *dissem,
-			*metricsRun, *traceOut, *incidentOut, *traceSample, *chaosDur, *chaosFaults); err != nil {
+		if *chaosTarget != "random" && *chaosTarget != "hottest" {
+			log.Fatalf("bad -chaos-target %q (random or hottest)", *chaosTarget)
+		}
+		if err := chaosRun(chaosOpts{
+			traceName: *traceName, requests: *requests, nodes: *nodes, seed: *seed,
+			version: *version, dissem: *dissem, withMetrics: *metricsRun,
+			traceOut: *traceOut, incidentOut: *incidentOut, traceSample: *traceSample,
+			duration: *chaosDur, faults: *chaosFaults, target: *chaosTarget,
+			hotspot: *hotspot, replication: *replication,
+		}); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -144,9 +163,10 @@ func main() {
 		"dirsweep":    dirSweep,
 		"sensitivity": sensitivity,
 		"locality":    locality,
+		"hotspot":     hotspotGoodput,
 	}
 	order := []string{"fig1", "fig3", "fig4", "table2", "fig5", "table4", "fig6",
-		"validate", "nodesweep", "dirsweep", "sensitivity", "locality", "ablations"}
+		"validate", "nodesweep", "dirsweep", "sensitivity", "locality", "hotspot", "ablations"}
 	if *experiment == "all" {
 		for _, name := range order {
 			if err := runners[name](o); err != nil {
@@ -183,6 +203,9 @@ func emitJSON(name string, o experiments.Options) error {
 		"dirsweep": func() (interface{}, error) { return experiments.DirectoryScaling(o) },
 		"locality": func() (interface{}, error) {
 			return experiments.LocalityBenefit(o, []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 512 << 20})
+		},
+		"hotspot": func() (interface{}, error) {
+			return experiments.Hotspot(o, experiments.DefaultHotspotAlphas())
 		},
 	}
 	out := map[string]interface{}{}
@@ -271,17 +294,42 @@ func instrumentedRun(traceName string, requests, nodes int, seed int64, version 
 // HTTP, where a paper-scale request count would run for minutes.
 const chaosMaxRequests = 20000
 
+// chaosOpts parameterizes one chaos run.
+type chaosOpts struct {
+	traceName   string
+	requests    int
+	nodes       int
+	seed        int64
+	version     string
+	dissem      string
+	withMetrics bool
+	traceOut    string
+	incidentOut string
+	traceSample float64
+	duration    time.Duration
+	faults      int
+	target      string  // "random" (seeded plan) or "hottest"
+	hotspot     float64 // Zipf-hotspot client workload (0 = trace order)
+	replication bool    // hot-object replication on the cluster
+}
+
 // chaosRun starts a real VIA cluster (server.Start, HTTP on loopback),
-// drives closed-loop client load at it, and replays a seeded fault plan
-// — partitions, heals, crashes, restarts — while it runs. When the plan
-// has played out and the cluster has had a settle window to re-mesh,
-// the load stops and the run reports availability (error classes from
-// the load generator) plus the fault-tolerance counters: failovers by
-// reason, retries, reconnects, directory purges, heartbeats, and each
-// node's final health view.
-func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem string,
-	withMetrics bool, traceOut, incidentOut string, traceSample float64,
-	duration time.Duration, faults int) error {
+// drives closed-loop client load at it, and replays a fault plan —
+// partitions, heals, crashes, restarts — while it runs. With
+// target=random the plan is seeded up front; with target=hottest the
+// run watches per-node request shares for the first third of the plan
+// window and then crashes the busiest node (restarting it later), the
+// reproducible kill-the-hot-cacher scenario. When the plan has played
+// out and the cluster has had a settle window to re-mesh, the load
+// stops and the run reports availability (error classes from the load
+// generator) plus the fault-tolerance counters: failovers by reason,
+// retries, reconnects, directory purges, heartbeats, and each node's
+// final health view.
+func chaosRun(o chaosOpts) error {
+	traceName, requests, nodes, seed := o.traceName, o.requests, o.nodes, o.seed
+	version, dissem := o.version, o.dissem
+	withMetrics, traceOut, incidentOut := o.withMetrics, o.traceOut, o.incidentOut
+	traceSample, duration, faults := o.traceSample, o.duration, o.faults
 	if nodes < 2 {
 		return fmt.Errorf("chaos needs at least 2 nodes")
 	}
@@ -355,9 +403,10 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 			DeadAfter:         600 * time.Millisecond,
 			FailoverTimeout:   1500 * time.Millisecond,
 		},
-		Metrics:   reg,
-		Tracer:    tracer,
-		Telemetry: plane,
+		Replication: core.ReplicationConfig{Enabled: o.replication},
+		Metrics:     reg,
+		Tracer:      tracer,
+		Telemetry:   plane,
 	})
 	if err != nil {
 		return err
@@ -366,14 +415,14 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 	// Cluster meshed: peer deaths from here on are the fault plan's.
 	plane.SetArmed(true)
 
-	plan := server.RandomFaultPlan(seed, nodes, duration, faults)
 	fmt.Printf("chaos run: %s, %d requests, %d-node VIA cluster on loopback, dissemination %s\n",
 		tr.Name, requests, nodes, strategy)
-	fmt.Printf("fault plan (seed %d, %d fault pairs over %v):\n", seed, faults, duration)
-	for _, ev := range plan.Events {
-		fmt.Printf("  t+%-7v %-9s node %d\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Node)
+	if o.hotspot > 0 {
+		fmt.Printf("hotspot workload: Zipf(%.2f) over popularity ranks\n", o.hotspot)
 	}
-	fmt.Println()
+	if o.replication {
+		fmt.Println("hot-object replication: enabled")
+	}
 
 	targets := make([]string, nodes)
 	for i, a := range cl.Addrs() {
@@ -392,6 +441,7 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 			Trace:       tr,
 			Concurrency: 8,
 			Requests:    requests,
+			Hotspot:     o.hotspot,
 			Seed:        seed,
 			Timeout:     10 * time.Second,
 		})
@@ -401,6 +451,30 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 	start := time.Now()
 	stop := make(chan struct{})
 	defer close(stop)
+	var plan server.FaultPlan
+	if o.target == "hottest" {
+		// Observe under load for the first third of the plan window, then
+		// aim a crash/restart pair at the node with the highest observed
+		// request share — the hot cacher under a Zipf-hotspot workload.
+		select {
+		case <-time.After(duration / 3):
+		case <-ctx.Done():
+		}
+		h := hottestNode(cl, nodes)
+		fmt.Printf("t+%-7v hottest node by request share: %d (crash now, restart in %v)\n",
+			time.Since(start).Round(time.Millisecond), h, duration/3)
+		plan = server.FaultPlan{Events: []server.FaultEvent{
+			{At: 0, Kind: server.FaultCrash, Node: h},
+			{At: duration / 3, Kind: server.FaultRestart, Node: h},
+		}}
+	} else {
+		plan = server.RandomFaultPlan(seed, nodes, duration, faults)
+		fmt.Printf("fault plan (seed %d, %d fault pairs over %v):\n", seed, faults, duration)
+		for _, ev := range plan.Events {
+			fmt.Printf("  t+%-7v %-9s node %d\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Node)
+		}
+	}
+	fmt.Println()
 	done, err := cl.StartFaultPlan(plan, stop, func(ev server.FaultEvent, err error) {
 		at := time.Since(start).Round(time.Millisecond)
 		if err != nil {
@@ -439,6 +513,9 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 		res.Throughput, res.LatencyMax*1e3)
 	fmt.Printf("error classes: timeout %d, refused %d, server %d, other %d\n",
 		res.ErrTimeout, res.ErrRefused, res.ErrServer, res.ErrOther)
+	if res.Imbalance > 0 {
+		fmt.Printf("per-node success share: imbalance %.2fx (busiest/mean)\n", res.Imbalance)
+	}
 
 	chaosNodeTable(cl, reg, nodes)
 
@@ -461,6 +538,21 @@ func chaosRun(traceName string, requests, nodes int, seed int64, version, dissem
 		return reg.Report(os.Stdout)
 	}
 	return nil
+}
+
+// hottestNode returns the node with the highest observed request share
+// — requests served from its cache, locally or for peers. Node 0 is
+// spared, as in RandomFaultPlan, so the cluster keeps a dialing side
+// for the restart.
+func hottestNode(cl *server.Cluster, nodes int) int {
+	best, bestServed := 1, int64(-1)
+	for i := 1; i < nodes; i++ {
+		st := cl.Nodes()[i].Stats()
+		if served := st.LocalHits + st.RemoteHits; served > bestServed {
+			best, bestServed = i, served
+		}
+	}
+	return best
 }
 
 // chaosNodeTable prints the per-node fault-tolerance counters and each
@@ -796,6 +888,24 @@ func locality(o experiments.Options) error {
 		t.AddRowf(stats.FormatBytes(p.CacheBytes), p.Oblivious, p.PRESS,
 			fmt.Sprintf("%+.1f%%", (p.PRESS/p.Oblivious-1)*100),
 			fmt.Sprintf("%.3f", p.ObliviousHit), fmt.Sprintf("%.3f", p.PRESSHit))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func hotspotGoodput(o experiments.Options) error {
+	rows, err := experiments.Hotspot(o, experiments.DefaultHotspotAlphas())
+	if err != nil {
+		return err
+	}
+	header("Hotspot goodput: Zipf-hotspot workloads with and without hot-object replication (trace " + o.Trace + ")")
+	t := stats.NewTable("Zipf alpha", "No replication", "Replication", "Gain",
+		"p99 off (ms)", "p99 on (ms)", "Pushes", "Drops")
+	for _, r := range rows {
+		t.AddRowf(fmt.Sprintf("%.2g", r.Alpha), r.ThroughputOff, r.ThroughputOn,
+			fmt.Sprintf("%+.1f%%", r.Gain()*100),
+			fmt.Sprintf("%.2f", r.P99Off*1e3), fmt.Sprintf("%.2f", r.P99On*1e3),
+			r.ReplicaPushes, r.ReplicaDrops)
 	}
 	fmt.Print(t)
 	return nil

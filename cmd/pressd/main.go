@@ -7,9 +7,14 @@
 //
 //	pressd [-nodes 4] [-transport via|tcp] [-version V0..V5]
 //	       [-dissemination PB|L16|L4|L1|NLB|SHARD|GOSSIP] [-trace clarknet] [-files N]
-//	       [-cache BYTES] [-disk-delay 2ms] [-metrics] [-expose]
+//	       [-cache BYTES] [-disk-delay 2ms] [-replication] [-metrics] [-expose]
 //	       [-incident-out FILE] [-trace-out FILE] [-trace-sample RATE]
 //	       [-pprof ADDR]
+//
+// With -replication, hot-object replication is enabled with its
+// defaults: files whose request rate and cacher load cross the
+// thresholds are pushed to extra replicas and routed with
+// power-of-two choices (see press_replica_* metric families).
 //
 // With -metrics, pressd collects per-NIC and per-node instrument
 // families in a metrics registry and dumps the report on exit; SIGUSR1
@@ -64,6 +69,7 @@ func main() {
 		files       = flag.Int("files", 2000, "limit the file population (0 = full trace)")
 		cache       = flag.Int64("cache", 64<<20, "per-node cache bytes")
 		diskDelay   = flag.Duration("disk-delay", 2*time.Millisecond, "artificial disk read latency")
+		replication = flag.Bool("replication", false, "enable hot-object replication (popularity-triggered replicas, power-of-two-choices routing)")
 		withMet     = flag.Bool("metrics", false, "collect a metrics registry; dump on exit and on SIGUSR1")
 		expose      = flag.Bool("expose", false, "serve Prometheus exposition at /_press/metrics on every node (implies -metrics)")
 		incidentOut = flag.String("incident-out", "", "run the telemetry flight recorder; write a JSON incident report to FILE on peer death, shed spike, or SIGQUIT (implies -metrics)")
@@ -143,6 +149,7 @@ func main() {
 		Dissemination: *strategy,
 		CacheBytes:    *cache,
 		DiskDelay:     *diskDelay,
+		Replication:   core.ReplicationConfig{Enabled: *replication},
 		Metrics:       reg,
 		Tracer:        tracer,
 		Telemetry:     plane,
@@ -153,8 +160,12 @@ func main() {
 	defer cl.Close()
 	plane.SetArmed(true)
 
-	fmt.Printf("PRESS cluster up: %d nodes, %s transport, version %s, strategy %s, %d files\n",
-		*nodes, kind, ver.Name, *strategy, len(tr.Files))
+	repl := ""
+	if *replication {
+		repl = ", replication on"
+	}
+	fmt.Printf("PRESS cluster up: %d nodes, %s transport, version %s, strategy %s, %d files%s\n",
+		*nodes, kind, ver.Name, *strategy, len(tr.Files), repl)
 	for i, a := range cl.Addrs() {
 		fmt.Printf("  node %d: http://%s\n", i, a)
 	}

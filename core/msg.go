@@ -35,6 +35,12 @@ const (
 	// MsgDirInval tells a node that its cached read of a directory entry
 	// is stale; the entry is re-fetched on next use.
 	MsgDirInval
+	// MsgReplicate asks a peer to pull a replica of a hot file from the
+	// sender over the ordinary forward/file-transfer path.
+	MsgReplicate
+	// MsgDirSync carries a batch of caching announcements (a segment of
+	// the sender's cached-file list) replayed at re-integration.
+	MsgDirSync
 	// NumMsgTypes is the number of message types.
 	NumMsgTypes
 )
@@ -58,6 +64,10 @@ func (t MsgType) String() string {
 		return "DirReply"
 	case MsgDirInval:
 		return "DirInval"
+	case MsgReplicate:
+		return "Replicate"
+	case MsgDirSync:
+		return "DirSync"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -92,6 +102,9 @@ const (
 	// GossipEntryBytes is one entry of an epidemic load digest: node id
 	// (2), per-origin version (8), load (4).
 	GossipEntryBytes = 14
+	// ReplicateMsgBytes is a replica-pull request (a file name), same
+	// shape as a forward.
+	ReplicateMsgBytes = 53
 )
 
 // MsgStats accumulates message counts and byte volumes per type, the

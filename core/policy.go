@@ -15,6 +15,13 @@ type PolicyConfig struct {
 	// OverloadThreshold is T: a node is overloaded when its number of
 	// open connections exceeds T (80 in the paper's experiments).
 	OverloadThreshold int
+	// PowerOfTwoChoices routes among multiple cachers by sampling two
+	// distinct replicas and picking the less loaded, instead of always
+	// chasing the least-loaded one. With replicated hot objects the
+	// deterministic least-loaded pick herds every initial node onto the
+	// same replica between load updates; two random choices spread the
+	// head of the distribution across the replica set (Mitzenmacher).
+	PowerOfTwoChoices bool
 }
 
 // DefaultPolicy returns the paper's prototype settings.
@@ -113,6 +120,10 @@ func (d Decision) Forwarded(initial int) bool { return d.Service != initial }
 type Policy struct {
 	cfg PolicyConfig
 	rr  int
+	// rng drives the power-of-two-choices sampling. A private xorshift
+	// keeps decisions deterministic for a given request sequence (no
+	// global rand, no time seeding) — the simulator depends on that.
+	rng uint64
 }
 
 // NewPolicy returns a policy with the given configuration.
@@ -120,7 +131,7 @@ func NewPolicy(cfg PolicyConfig) *Policy {
 	if cfg.LargeFileBytes <= 0 || cfg.OverloadThreshold <= 0 {
 		panic(fmt.Sprintf("core: invalid policy config %+v", cfg))
 	}
-	return &Policy{cfg: cfg}
+	return &Policy{cfg: cfg, rng: 0x9E3779B97F4A7C15}
 }
 
 // Config returns the policy's configuration.
@@ -158,6 +169,9 @@ func (p *Policy) Decide(initial int, id cache.FileID, size int64, firstRequest b
 	}
 
 	candidate := leastLoaded(v, cachers)
+	if p.cfg.PowerOfTwoChoices && cachers.Len() >= 2 {
+		candidate = p.twoChoices(v, cachers)
+	}
 	t := p.cfg.OverloadThreshold
 	if v.Load(candidate) <= t {
 		return Decision{Service: candidate, Reason: ReasonRemote}
@@ -173,6 +187,32 @@ func (p *Policy) Decide(initial int, id cache.FileID, size int64, firstRequest b
 	default:
 		return Decision{Service: global, Reason: ReasonReplicateLeastLoaded}
 	}
+}
+
+// twoChoices samples two distinct members of the replica set and
+// returns the less loaded. Requires set.Len() >= 2.
+func (p *Policy) twoChoices(v View, set cache.NodeSet) int {
+	nodes := set.Nodes()
+	i := int(p.next() % uint64(len(nodes)))
+	j := int(p.next() % uint64(len(nodes)-1))
+	if j >= i {
+		j++
+	}
+	a, b := nodes[i], nodes[j]
+	if v.Load(b) < v.Load(a) {
+		return b
+	}
+	return a
+}
+
+// next advances the policy's xorshift64 state.
+func (p *Policy) next() uint64 {
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rng = x
+	return x
 }
 
 func leastLoaded(v View, set cache.NodeSet) int {

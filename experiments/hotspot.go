@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"press/cluster"
+	"press/core"
+	"press/netmodel"
+	"press/trace"
+)
+
+// HotspotRow compares one Zipf-hotspot workload with and without the
+// dynamic hot-object replication policy. Both runs start from
+// unreplicated caches (one copy per file), so the "off" column shows
+// the single-cacher hotspot PRESS's plain locality routing creates and
+// the "on" column what popularity-triggered replication recovers.
+type HotspotRow struct {
+	// Alpha is the Zipf exponent of the request stream; larger
+	// concentrates more of the traffic on the head.
+	Alpha float64
+	// Goodput (req/s) and p99 latency (seconds) without replication.
+	ThroughputOff float64
+	P99Off        float64
+	// The same with hot-object replication enabled.
+	ThroughputOn float64
+	P99On        float64
+	// Replication activity in the measured window of the "on" run.
+	ReplicaPushes int64
+	ReplicaDrops  int64
+}
+
+// Gain is the relative goodput improvement of replication.
+func (r HotspotRow) Gain() float64 {
+	if r.ThroughputOff == 0 {
+		return 0
+	}
+	return r.ThroughputOn/r.ThroughputOff - 1
+}
+
+// Hotspot sweeps Zipf exponents over the Options trace's file
+// population and runs each workload twice on VIA/cLAN — hot-object
+// replication off, then on. Static head replication (the prewarm's
+// ReplicationFraction) is disabled for both runs so the comparison
+// isolates the dynamic policy.
+func Hotspot(o Options, alphas []float64) ([]HotspotRow, error) {
+	o = o.withDefaults()
+	spec, err := trace.SpecByName(o.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if o.Requests > 0 && o.Requests < spec.NumRequests {
+		spec.NumRequests = o.Requests
+	}
+	rows := make([]HotspotRow, len(alphas))
+	err = forEachIndex(len(alphas)*2, func(cell int) error {
+		ai, on := cell/2, cell%2 == 1
+		hot := spec
+		hot.Alpha = alphas[ai]
+		hot.Name = fmt.Sprintf("%s-hot%.2g", spec.Name, alphas[ai])
+		tr, err := trace.Synthesize(hot)
+		if err != nil {
+			return err
+		}
+		r, err := cluster.Run(cluster.Config{
+			Nodes:               o.Nodes,
+			Trace:               tr,
+			Combo:               netmodel.VIAOverCLAN(),
+			Version:             v(0),
+			Dissemination:       core.PB(),
+			Seed:                o.Seed,
+			ReplicationFraction: -1,
+			Replication:         core.ReplicationConfig{Enabled: on},
+		})
+		if err != nil {
+			return err
+		}
+		row := &rows[ai]
+		row.Alpha = alphas[ai]
+		if on {
+			row.ThroughputOn = r.Throughput
+			row.P99On = r.LatencyP99
+			row.ReplicaPushes = r.ReplicaPushes
+			row.ReplicaDrops = r.ReplicaDrops
+		} else {
+			row.ThroughputOff = r.Throughput
+			row.P99Off = r.LatencyP99
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// DefaultHotspotAlphas are the exponents the hotspot experiment sweeps:
+// the paper's WWW-typical 0.8, a strong 1.2 skew, and a 1.8 hotspot
+// where the head file dominates the stream.
+func DefaultHotspotAlphas() []float64 { return []float64{0.8, 1.2, 1.8} }

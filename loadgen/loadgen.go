@@ -26,6 +26,7 @@ import (
 	"press/metrics"
 	"press/stats"
 	"press/trace"
+	"press/zipfdist"
 )
 
 // Config describes one load-generation run.
@@ -47,6 +48,13 @@ type Config struct {
 	Rate float64
 	// Duration bounds an open-loop run (default 10 s; ignored closed-loop).
 	Duration time.Duration
+	// Hotspot, when positive, replaces the trace's request order with a
+	// Zipf-hotspot stream: each request draws a popularity rank from a
+	// Zipf(alpha=Hotspot) distribution over the trace's files and asks
+	// for the file of that rank, concentrating traffic on the head far
+	// beyond the trace's own skew. Alpha around 1.5–2 reproduces the
+	// single-cacher hotspot the replication policy targets.
+	Hotspot float64
 	// Verify, if set, checks each response body.
 	Verify func(name string, body []byte) error
 	// Timeout bounds one request (default 30 s).
@@ -80,12 +88,22 @@ type Result struct {
 	ErrShed    int64 // HTTP 503: admission control or expired deadline
 	ErrServer  int64 // other HTTP 5xx from a responding node
 	ErrOther   int64
+
+	// Per-node request accounting, in cfg.Targets order: requests
+	// booked against each target and the successful subset. Imbalance
+	// is the busiest target's share of successes over the mean share —
+	// 1.0 is perfectly even; a dead or shedding node drags the others'
+	// shares up and shows here long before aggregate error counts do.
+	TargetRequests []int64
+	TargetOK       []int64
+	Imbalance      float64
 }
 
 // books is the shared run accounting both generator modes write into.
 type books struct {
 	requests, errs, bytes                                atomic.Int64
 	errTimeout, errRefused, errShed, errServer, errOther atomic.Int64
+	perTarget, okTarget                                  []atomic.Int64
 
 	mu     sync.Mutex
 	lat    stats.Welford
@@ -95,12 +113,13 @@ type books struct {
 
 // record books one finished request. Returns false when the request
 // left the books (canceled mid-flight: says nothing about the cluster).
-func (b *books) record(ctx context.Context, err error, status int, body []byte, d time.Duration) bool {
+func (b *books) record(ctx context.Context, target int, err error, status int, body []byte, d time.Duration) bool {
 	b.requests.Add(1)
 	if err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled) {
 		b.requests.Add(-1)
 		return false
 	}
+	b.perTarget[target].Add(1)
 	if err != nil {
 		b.errs.Add(1)
 		switch classify(err, status) {
@@ -117,6 +136,7 @@ func (b *books) record(ctx context.Context, err error, status int, body []byte, 
 		}
 		return true
 	}
+	b.okTarget[target].Add(1)
 	b.bytes.Add(int64(len(body)))
 	b.hist.Observe(d.Nanoseconds())
 	sec := d.Seconds()
@@ -150,6 +170,21 @@ func (b *books) result(elapsed time.Duration) *Result {
 	snap := b.hist.Snapshot()
 	r.LatencyP50 = float64(snap.Quantile(0.5)) / 1e9
 	r.LatencyP99 = float64(snap.Quantile(0.99)) / 1e9
+	r.TargetRequests = make([]int64, len(b.perTarget))
+	r.TargetOK = make([]int64, len(b.okTarget))
+	var ok, maxOK int64
+	for i := range b.perTarget {
+		r.TargetRequests[i] = b.perTarget[i].Load()
+		r.TargetOK[i] = b.okTarget[i].Load()
+		ok += r.TargetOK[i]
+		if r.TargetOK[i] > maxOK {
+			maxOK = r.TargetOK[i]
+		}
+	}
+	if ok > 0 {
+		mean := float64(ok) / float64(len(b.okTarget))
+		r.Imbalance = float64(maxOK) / mean
+	}
 	return r
 }
 
@@ -184,14 +219,52 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			MaxIdleConns:        maxConns * len(cfg.Targets),
 		},
 	}
-	b := &books{hist: metrics.NewHistogram()}
-	if cfg.Rate > 0 {
-		return runOpenLoop(ctx, cfg, client, b)
+	b := &books{
+		hist:      metrics.NewHistogram(),
+		perTarget: make([]atomic.Int64, len(cfg.Targets)),
+		okTarget:  make([]atomic.Int64, len(cfg.Targets)),
 	}
-	return runClosedLoop(ctx, cfg, client, b, concurrency)
+	pk, err := newPicker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Rate > 0 {
+		return runOpenLoop(ctx, cfg, client, b, pk)
+	}
+	return runClosedLoop(ctx, cfg, client, b, pk, concurrency)
 }
 
-func runClosedLoop(ctx context.Context, cfg Config, client *http.Client, b *books, concurrency int) (*Result, error) {
+// picker chooses the file for each request: the trace's own stream by
+// default, a fresh Zipf(Hotspot) draw over popularity ranks when the
+// hotspot preset is active.
+type picker struct {
+	trace *trace.Trace
+	hot   *zipfdist.Dist
+	order []int // popularity rank -> file index
+}
+
+func newPicker(cfg Config) (*picker, error) {
+	p := &picker{trace: cfg.Trace}
+	if cfg.Hotspot > 0 {
+		d, err := zipfdist.New(len(cfg.Trace.Files), cfg.Hotspot)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: hotspot: %w", err)
+		}
+		p.hot = d
+		p.order = cfg.Trace.PopularityOrder()
+	}
+	return p, nil
+}
+
+// file returns the trace file index of request i.
+func (p *picker) file(i int64, rng *rand.Rand) int {
+	if p.hot == nil {
+		return int(p.trace.Requests[i])
+	}
+	return p.order[p.hot.Rank(rng.Float64())-1]
+}
+
+func runClosedLoop(ctx context.Context, cfg Config, client *http.Client, b *books, pk *picker, concurrency int) (*Result, error) {
 	total := len(cfg.Trace.Requests)
 	if cfg.Requests > 0 && cfg.Requests < total {
 		total = cfg.Requests
@@ -212,7 +285,7 @@ func runClosedLoop(ctx context.Context, cfg Config, client *http.Client, b *book
 				if i >= int64(total) {
 					return
 				}
-				if !doOne(ctx, cfg, client, b, rng.Intn(len(cfg.Targets)), i) {
+				if !doOne(ctx, cfg, client, b, rng.Intn(len(cfg.Targets)), pk.file(i, rng)) {
 					return
 				}
 			}
@@ -227,7 +300,7 @@ func runClosedLoop(ctx context.Context, cfg Config, client *http.Client, b *book
 // goroutine the moment it is due: a slow cluster does not slow the
 // arrivals down, it just accumulates in-flight work — exactly the
 // regime overload control exists for.
-func runOpenLoop(ctx context.Context, cfg Config, client *http.Client, b *books) (*Result, error) {
+func runOpenLoop(ctx context.Context, cfg Config, client *http.Client, b *books, pk *picker) (*Result, error) {
 	duration := cfg.Duration
 	if duration <= 0 {
 		duration = 10 * time.Second
@@ -270,30 +343,30 @@ func runOpenLoop(ctx context.Context, cfg Config, client *http.Client, b *books)
 		if ctx.Err() != nil {
 			break
 		}
-		i := issued % nTrace
+		fi := pk.file(issued%nTrace, rng)
 		tgt := rng.Intn(len(cfg.Targets))
 		issued++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			doOne(ctx, cfg, client, b, tgt, i)
+			doOne(ctx, cfg, client, b, tgt, fi)
 		}()
 	}
 	wg.Wait()
 	return b.result(time.Since(start)), nil
 }
 
-// doOne issues request i of the trace against the given target and
-// books the outcome; false means the run is being canceled.
-func doOne(ctx context.Context, cfg Config, client *http.Client, b *books, target int, i int64) bool {
-	name := cfg.Trace.Files[cfg.Trace.Requests[i]].Name
+// doOne issues one request for trace file fi against the given target
+// and books the outcome; false means the run is being canceled.
+func doOne(ctx context.Context, cfg Config, client *http.Client, b *books, target, fi int) bool {
+	name := cfg.Trace.Files[fi].Name
 	t0 := time.Now()
 	body, status, err := get(ctx, client, cfg.Targets[target]+name)
 	d := time.Since(t0)
 	if err == nil && cfg.Verify != nil {
 		err = cfg.Verify(name, body)
 	}
-	return b.record(ctx, err, status, body, d)
+	return b.record(ctx, target, err, status, body, d)
 }
 
 // errClass buckets one failed request for availability analysis.

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_replication.sh — record the hot-object replication baseline as
+# machine-readable JSON (default BENCH_replication.json): goodput and
+# p99 latency across a sweep of Zipf exponents with the dynamic
+# replication policy off and on, plus the policy's push/drop activity.
+# The interesting claims are the tail — replication flattens p99 as the
+# head of the distribution concentrates — and the activity counts,
+# which catch a policy that stops triggering (or never stops churning)
+# without anyone noticing.
+set -eu
+
+out=${1:-BENCH_replication.json}
+requests=${2:-8000}
+
+go run ./cmd/press-sim -experiment hotspot -json -requests "$requests" >"$out"
+
+echo "wrote $out"

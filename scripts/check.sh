@@ -60,6 +60,14 @@ echo "==> go test -race directory/gossip suite"
 go test -race -count=1 -run 'TestRing|TestSharded|TestGossip|TestDisseminator|TestStrategy' ./cache ./core ./server
 go test -race -count=1 -run 'TestSimSharded|TestSimGossip' ./cluster
 
+# Hot-object replication races the push/pull/drop policy against the
+# failover machinery by design (crash the hottest cacher mid-drive,
+# fail pendings over to surviving replicas); run its server suites and
+# the simulator's replication model uncached under the race detector.
+echo "==> go test -race replication suite"
+go test -race -count=1 -run 'TestReplication|TestReplicated|TestChaosReplica|TestHotspotCrash' ./server
+go test -race -count=1 -run 'TestSimReplication' ./cluster
+
 echo "==> presslint ./..."
 go run ./cmd/presslint ./...
 
@@ -117,6 +125,15 @@ out=$(go test -run '^$' -bench BenchmarkSamplerOff -benchtime 1000x -benchmem ./
 echo "$out"
 if ! echo "$out" | grep 'SamplerOff' | grep -q '	 *0 allocs/op'; then
     echo "check: BenchmarkSamplerOff allocates; a disabled telemetry plane must be free" >&2
+    exit 1
+fi
+
+# And for hot-object replication: the rate hook runs on every serve, so
+# with Replication disabled (the default) it must stay allocation-free.
+out=$(go test -run '^$' -bench BenchmarkReplicationOff -benchtime 1000x -benchmem ./server)
+echo "$out"
+if ! echo "$out" | grep 'ReplicationOff' | grep -q '	 *0 allocs/op'; then
+    echo "check: BenchmarkReplicationOff allocates; disabled replication must be free" >&2
     exit 1
 fi
 

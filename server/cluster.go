@@ -103,6 +103,12 @@ type Config struct {
 	// slow-peer brownout; the zero value (Enabled false) keeps the
 	// pre-overload behavior: unbounded queues and no deadlines.
 	Overload OverloadConfig
+	// Replication tunes hot-object replication: popularity- and
+	// load-triggered replica pushes, power-of-two-choices routing among
+	// the replicas, and de-replication on decay. The zero value
+	// (Enabled false) keeps single-cacher routing and costs one branch
+	// on the serve path.
+	Replication core.ReplicationConfig
 	// ListenHost is the HTTP bind host (default 127.0.0.1).
 	ListenHost string
 	// ContentOblivious turns the cluster into the baseline server class
@@ -136,6 +142,13 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.Policy == (core.PolicyConfig{}) {
 		cfg.Policy = core.DefaultPolicy()
+	}
+	if cfg.Replication.Enabled {
+		cfg.Replication = cfg.Replication.WithDefaults()
+		// Replication makes multi-member cacher sets the norm; two
+		// random choices spread them where deterministic least-loaded
+		// herds every initial node onto one replica between load updates.
+		cfg.Policy.PowerOfTwoChoices = true
 	}
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 64 << 20
@@ -514,6 +527,10 @@ type nodeStatsJSON struct {
 	DeadlineExpired int64 `json:"deadlineExpired"`
 	Goodput         int64 `json:"goodput"`
 	BrownedOut      []int `json:"brownedOut,omitempty"`
+	// Hot-object replication accounting (zero when the layer is off).
+	ReplicaPushes int64 `json:"replicaPushes,omitempty"`
+	ReplicaPulls  int64 `json:"replicaPulls,omitempty"`
+	ReplicaDrops  int64 `json:"replicaDrops,omitempty"`
 }
 
 func (h *nodeHandler) serveStats(w http.ResponseWriter) {
@@ -540,6 +557,9 @@ func (h *nodeHandler) serveStats(w http.ResponseWriter) {
 		Shed:            ns.Shed,
 		DeadlineExpired: ns.DeadlineExpired,
 		Goodput:         ns.Goodput,
+		ReplicaPushes:   ns.ReplicaPushes,
+		ReplicaPulls:    ns.ReplicaPulls,
+		ReplicaDrops:    ns.ReplicaDrops,
 	}
 	for p := 0; p < h.node.cfg.Nodes; p++ {
 		if h.node.PeerBrownedOut(p) {
@@ -604,6 +624,9 @@ func (cl *Cluster) Stats() Stats {
 		s.Nodes.Forwarded += ns.Forwarded
 		s.Nodes.DiskReads += ns.DiskReads
 		s.Nodes.Replicas += ns.Replicas
+		s.Nodes.ReplicaPushes += ns.ReplicaPushes
+		s.Nodes.ReplicaPulls += ns.ReplicaPulls
+		s.Nodes.ReplicaDrops += ns.ReplicaDrops
 		s.Nodes.Errors += ns.Errors
 		s.Nodes.Shed += ns.Shed
 		s.Nodes.DeadlineExpired += ns.DeadlineExpired

@@ -112,26 +112,85 @@ func (r *replicatedDirectory) LocalCached(id cache.FileID, cached bool) {
 }
 
 func (r *replicatedDirectory) HandleMessage(m *Message) bool {
-	if m.Type != core.MsgCaching {
-		return false
+	switch m.Type {
+	case core.MsgCaching:
+		if id, ok := r.env.fileID(m.Name); ok {
+			r.d.SetCached(id, m.From, m.Cached)
+			// A file cached elsewhere is no first request here.
+			r.d.MarkSeen(id)
+		}
+		return true
+	case core.MsgDirSync:
+		// Re-integration replay: the first segment is authoritative for
+		// the sender's whole cache, so stale membership from before the
+		// death is dropped before the fresh entries land. A healed node
+		// must never keep routing to entries the peer no longer has.
+		if m.Offset == 0 {
+			r.d.PurgeNode(m.From)
+		}
+		for _, name := range splitNames(m.Data) {
+			if id, ok := r.env.fileID(name); ok {
+				r.d.SetCached(id, m.From, true)
+				r.d.MarkSeen(id)
+			}
+		}
+		return true
 	}
-	if id, ok := r.env.fileID(m.Name); ok {
-		r.d.SetCached(id, m.From, m.Cached)
-		// A file cached elsewhere is no first request here.
-		r.d.MarkSeen(id)
-	}
-	return true
+	return false
 }
 
 func (r *replicatedDirectory) PeerDead(peer int) int { return r.d.PurgeNode(peer) }
 
+// dirSyncSegBytes caps one MsgDirSync segment's payload. Segments ride
+// the regular channel whole (only MsgFile is transport-chunked), so
+// they must fit any configuration's receive buffers; 16 KB does.
+const dirSyncSegBytes = 16 << 10
+
+// PeerJoined replays this node's cache to a peer back from the dead as
+// batched MsgDirSync segments — one message per ~16 KB of names instead
+// of one per file — and always sends at least one (possibly empty)
+// segment so the peer reconciles: its stale view of this node's cache
+// is purged even when nothing is cached here anymore.
 func (r *replicatedDirectory) PeerJoined(peer int) {
 	if r.env.oblivious {
 		return
 	}
+	var seg []byte
+	offset := uint32(0)
+	flush := func() {
+		r.env.send(peer, &Message{Type: core.MsgDirSync, Data: seg, Offset: offset})
+		offset++
+		seg = nil
+	}
 	r.env.localFiles(func(id cache.FileID) {
-		r.env.send(peer, &Message{Type: core.MsgCaching, Name: r.env.fileName(id), Cached: true})
+		name := r.env.fileName(id)
+		if len(seg)+len(name)+1 > dirSyncSegBytes {
+			flush()
+		}
+		if len(seg) > 0 {
+			seg = append(seg, '\n')
+		}
+		seg = append(seg, name...)
 	})
+	flush()
+}
+
+// splitNames parses a MsgDirSync payload: file names joined by '\n'.
+// It never allocates the slice header twice for the common small case
+// and tolerates an empty payload (a cache-empty reconcile segment).
+func splitNames(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	out := make([]string, 0, 8)
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			out = append(out, string(data[start:i]))
+			start = i + 1
+		}
+	}
+	return append(out, string(data[start:]))
 }
 
 func (r *replicatedDirectory) Crash() {

@@ -78,15 +78,20 @@ type diskWaiter struct {
 // the node currently serving the request; tried accumulates every node
 // the request has been dispatched to so a failover never bounces back;
 // deadline re-dispatches the request even without a detected death.
+// A replica pull rides the same machinery with no client attached
+// (replicate true, req nil): completion lands in the cache instead of
+// an HTTP response, and failure just abandons the pull.
 type pendingRemote struct {
-	req      *clientRequest
-	buf      []byte
-	received int
-	span     *tracing.Span
-	dst      int
-	tried    cache.NodeSet
-	deadline time.Time
-	sentAt   time.Time // dispatch time of the current forward (brownout latency sample)
+	req       *clientRequest
+	buf       []byte
+	received  int
+	span      *tracing.Span
+	dst       int
+	tried     cache.NodeSet
+	deadline  time.Time
+	sentAt    time.Time // dispatch time of the current forward (brownout latency sample)
+	replicate bool
+	replID    cache.FileID
 }
 
 // sendFailure is the send thread's report of a delivery it gave up on,
@@ -115,6 +120,12 @@ type nodeInstruments struct {
 	failovers map[string]*metrics.Counter
 	purged    *metrics.Counter
 	degraded  *metrics.Gauge
+
+	// Replication families: pushes requested, replicas pulled in,
+	// surplus replicas dropped.
+	replPushes *metrics.Counter
+	replPulls  *metrics.Counter
+	replDrops  *metrics.Counter
 }
 
 // The failover reasons press_failovers_total distinguishes.
@@ -135,10 +146,13 @@ func newNodeInstruments(r *metrics.Registry, id int) nodeInstruments {
 		remote:    r.Counter("press_serve_remote_total", node),
 		forward:   r.Counter("press_serve_forward_total", node),
 		disk:      r.Counter("press_disk_reads_total", node),
-		retries:   r.Counter("press_retries_total", node),
-		purged:    r.Counter("press_dir_purged_total", node),
-		degraded:  r.Gauge("press_degraded", node),
-		failovers: make(map[string]*metrics.Counter, 3),
+		retries:    r.Counter("press_retries_total", node),
+		purged:     r.Counter("press_dir_purged_total", node),
+		degraded:   r.Gauge("press_degraded", node),
+		failovers:  make(map[string]*metrics.Counter, 3),
+		replPushes: r.Counter("press_replica_pushes_total", node),
+		replPulls:  r.Counter("press_replica_pulls_total", node),
+		replDrops:  r.Counter("press_replica_drops_total", node),
 	}
 	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
 		ni.sendErrs[mt] = r.Counter("press_node_send_errors_total", node, "type="+mt.String())
@@ -157,7 +171,12 @@ type NodeStats struct {
 	Forwarded  int64
 	DiskReads  int64
 	Replicas   int64 // disk reads caused by the replication path
-	Errors     int64
+	// Hot-object replication accounting: pushes requested of peers,
+	// replica pulls completed here, surplus replicas dropped here.
+	ReplicaPushes int64
+	ReplicaPulls  int64
+	ReplicaDrops  int64
+	Errors        int64
 	// Overload accounting: requests refused by admission control,
 	// dropped past their deadline, and served within it (goodput).
 	Shed            int64
@@ -204,6 +223,10 @@ type Node struct {
 
 	// Overload control (admission, deadlines, brownout); see overload.go.
 	ov overloadCtl
+
+	// Hot-object replication (rate tracking, push/pull, de-replication);
+	// see replication.go.
+	repl replicationCtl
 
 	httpCh     chan *clientRequest
 	doneCh     chan struct{} // HTTP completion events (load decrement)
@@ -305,6 +328,7 @@ func newNode(id int, cfg Config, tr Transport, nic *via.NIC) *Node {
 	}
 	n.health = newHealthTracker(id, cfg.Nodes, cfg.Health, cfg.Retry.Seed, cfg.Metrics)
 	n.ov = newOverloadCtl(cfg, id)
+	n.repl = newReplicationCtl(cfg)
 	n.pb = n.diss.Piggyback()
 	for i, f := range cfg.Trace.Files {
 		n.nameToID[f.Name] = cache.FileID(i)
@@ -396,6 +420,9 @@ func (n *Node) mainLoop() {
 			if n.ov.on {
 				n.overloadTick(now)
 			}
+			if n.repl.on {
+				n.replTick(now)
+			}
 			n.dir.Tick(now)
 			n.gossipTick(now)
 		}
@@ -417,6 +444,10 @@ func (n *Node) tickInterval() time.Duration {
 	}
 	if n.ov.on {
 		lower(n.ov.cfg.RequestTimeout / 4)
+	}
+	if n.repl.on {
+		// Half the fold interval so rate folds land close to cadence.
+		lower(n.repl.cfg.Interval / 2)
 	}
 	// Sharded-directory lookup timeouts and gossip rounds also ride the
 	// main-loop ticker.
@@ -550,6 +581,7 @@ func (n *Node) dispatchDecided(r *clientRequest, id cache.FileID, cachers cache.
 }
 
 func (n *Node) serveLocal(r *clientRequest, id cache.FileID) {
+	n.replNoteServe(id)
 	n.m.local.Inc()
 	if n.lru.Touch(id) {
 		n.count(func(s *NodeStats) { s.LocalHits++ })
@@ -693,8 +725,10 @@ func (n *Node) handleMessage(m *Message) {
 				}
 			})
 		}
-	case core.MsgCaching, core.MsgDirLookup, core.MsgDirReply, core.MsgDirInval:
+	case core.MsgCaching, core.MsgDirLookup, core.MsgDirReply, core.MsgDirInval, core.MsgDirSync:
 		n.dir.HandleMessage(m)
+	case core.MsgReplicate:
+		n.handleReplicate(m)
 	case core.MsgForward:
 		n.handleForward(m)
 	case core.MsgFile:
@@ -723,6 +757,7 @@ func (n *Node) handleForward(m *Message) {
 		srv.End()
 		return
 	}
+	n.replNoteServe(id)
 	if n.lru.Touch(id) {
 		n.count(func(s *NodeStats) { s.RemoteHits++ })
 		n.m.remote.Inc()
@@ -756,6 +791,10 @@ func (n *Node) handleFileChunk(m *Message) {
 			n.ovForwardFailed(p.dst, now.Sub(p.sentAt), now)
 		}
 		p.span.End()
+		if p.replicate {
+			n.replAbortPull(p)
+			return
+		}
 		p.req.resp <- clientResult{err: fmt.Errorf("server: corrupt file reply")}
 		return
 	}
@@ -771,6 +810,10 @@ func (n *Node) handleFileChunk(m *Message) {
 	}
 	p.span.Annotate("bytes", int64(m.Total))
 	p.span.End()
+	if p.replicate {
+		n.replFinishPull(p, p.buf)
+		return
+	}
 	p.req.resp <- clientResult{data: p.buf}
 }
 
@@ -917,6 +960,10 @@ func (n *Node) handleSendFailure(sf sendFailure) {
 		n.ovForwardFailed(sf.dst, now.Sub(p.sentAt), now)
 		p.span.AnnotateStr("deadline-expired", dlStageSend)
 		p.span.End()
+		if p.replicate {
+			n.replAbortPull(p)
+			return
+		}
 		p.req.resp <- clientResult{err: fmt.Errorf("%w (%s)", ErrDeadlineExpired, dlStageSend)}
 		return
 	}
@@ -945,6 +992,10 @@ func (n *Node) handleSendFailure(sf sendFailure) {
 		delete(n.pending, sf.msg.ReqID)
 		p.span.AnnotateStr("error", sf.err.Error())
 		p.span.End()
+		if p.replicate {
+			n.replAbortPull(p)
+			return
+		}
 		p.req.resp <- clientResult{err: fmt.Errorf("server: forward to node %d: %w", sf.dst, sf.err)}
 		return
 	}
@@ -1014,6 +1065,14 @@ func (n *Node) failover(reqID uint64, p *pendingRemote, reason string) {
 	delete(n.pending, reqID)
 	now := time.Now()
 	n.ovForwardFailed(p.dst, now.Sub(p.sentAt), now)
+	if p.replicate {
+		// A replica pull has no client to answer: abandon it — the
+		// source died or stalled, and the pusher's policy re-triggers
+		// while the file stays hot.
+		n.replAbortPull(p)
+		p.span.End()
+		return
+	}
 	n.m.failovers[reason].Inc()
 	n.tel.Event(telemetry.EvFailover, n.id, p.dst, reason, 0)
 	p.span.AnnotateStr("failover", reason)
@@ -1031,6 +1090,9 @@ func (n *Node) failover(reqID uint64, p *pendingRemote, reason string) {
 		n.serveLocal(p.req, id)
 		return
 	}
+	// A surviving cacher takes over: the request moves to another
+	// replica of the file instead of falling back to local disk.
+	n.tel.Event(telemetry.EvReplicaFailover, n.id, dst, p.req.name, 0)
 	p.dst = dst
 	p.tried = p.tried.Add(dst)
 	p.buf, p.received = nil, 0
@@ -1150,10 +1212,14 @@ func (n *Node) crashLocalState() {
 	}
 	n.lru = cache.NewLRU(n.cfg.CacheBytes)
 	n.dir.Crash()
+	n.replCrash()
 	for reqID, p := range n.pending {
 		delete(n.pending, reqID)
 		p.span.AnnotateStr("error", "node crashed")
 		p.span.End()
+		if p.replicate {
+			continue
+		}
 		p.req.resp <- clientResult{err: fmt.Errorf("server: node %d crashed", n.id)}
 	}
 }

@@ -396,6 +396,10 @@ func (n *Node) ovShedDispatch(dst int, m *Message) {
 	n.ovForwardFailed(dst, time.Since(p.sentAt), time.Now())
 	p.span.AnnotateStr("shed", "dispatch/full")
 	p.span.End()
+	if p.replicate {
+		n.replAbortPull(p)
+		return
+	}
 	if id, ok := n.nameToID[p.req.name]; ok {
 		n.serveLocal(p.req, id)
 		return
@@ -409,7 +413,7 @@ func (n *Node) ovShedDispatch(dst int, m *Message) {
 // client promptly instead of riding out the failover timeout.
 func (n *Node) overloadTick(now time.Time) {
 	for reqID, p := range n.pending {
-		if p.req.deadline.IsZero() || !now.After(p.req.deadline) {
+		if p.req == nil || p.req.deadline.IsZero() || !now.After(p.req.deadline) {
 			continue
 		}
 		delete(n.pending, reqID)

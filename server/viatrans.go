@@ -621,6 +621,14 @@ func (t *viaTransport) style(mt core.MsgType) netmodel.Style {
 		// caching broadcasts: under V1+ it rides the RMW path, which is
 		// what invalidates read-side caches "over the existing RMW path".
 		return t.cfg.version.Caching
+	case core.MsgReplicate:
+		// A replica pull is request control, same class as a forward.
+		return t.cfg.version.Forward
+	case core.MsgDirSync:
+		// Batched caching replays carry multi-KB name lists that do not
+		// fit the 512-byte control-ring slots; they always ride the
+		// regular channel.
+		return netmodel.StyleRegular
 	case core.MsgFile:
 		return t.cfg.version.File
 	case core.MsgFlow:

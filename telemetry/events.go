@@ -23,6 +23,9 @@ const (
 	EvDirPurge         EventType = "dir-purge"          // directory entries purged for a dead peer (value = count)
 	EvDirLookupTimeout EventType = "dir-lookup-timeout" // sharded directory lookups timed out (value = count)
 	EvIncident         EventType = "incident"           // an incident report was dumped (detail = reason)
+	EvReplicaCreate    EventType = "replica-create"     // replication: pulled a hot-file replica (detail = file, value = bytes)
+	EvReplicaDrop      EventType = "replica-drop"       // replication: dropped a cold surplus replica (detail = file)
+	EvReplicaFailover  EventType = "replica-failover"   // failover landed on a surviving replica (detail = file)
 )
 
 // Event is one entry in the black-box ring.
