@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check benchsmoke bench
+.PHONY: build test race lint check benchsmoke bench procsmoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 
 lint:
 	$(GO) run ./cmd/presslint ./...
+
+# procsmoke is the multi-process crash-restart gate: three real node
+# processes, one killed -9 mid-run and restarted, availability and
+# rejoin convergence asserted under the race detector.
+procsmoke:
+	$(GO) test -race -count=1 -timeout 240s -run 'TestProcSmoke' ./server/procharness
 
 # benchsmoke builds every benchmark (failing on compile errors) and
 # runs the cheap via-layer send pair once.

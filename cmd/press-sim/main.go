@@ -53,6 +53,16 @@
 //	press-sim -overload [-overload-duration D] [-overload-deadline D]
 //	          [-dissemination PB|L16|L4|L1|NLB|all]
 //	          [-requests N] [-nodes N] [-trace T] [-seed S] [-version V]
+//
+// With -procs N, press-sim runs a REAL multi-process cluster: N node
+// processes (re-execs of this binary) meshed over loopback sockets
+// with the membership handshake. The scenario drives closed-loop load,
+// kills the hottest cacher with SIGKILL mid-drive, restarts it, and
+// reports availability, the epoch turnover, and rejoin convergence —
+// crash-restart on live processes, where kill -9 means kill -9.
+//
+//	press-sim -procs N [-procs-duration D] [-procs-transport tcp|via]
+//	          [-trace T] [-dissemination S] [-version V]
 package main
 
 import (
@@ -74,6 +84,7 @@ import (
 	"press/metrics"
 	"press/netmodel"
 	"press/server"
+	"press/server/procharness"
 	"press/stats"
 	"press/telemetry"
 	"press/trace"
@@ -81,6 +92,9 @@ import (
 )
 
 func main() {
+	// A press-sim binary doubles as a cluster node when the procharness
+	// re-execs it for -procs runs; this returns immediately otherwise.
+	procharness.MaybeChild()
 	log.SetFlags(0)
 	log.SetPrefix("press-sim: ")
 	var (
@@ -106,9 +120,19 @@ func main() {
 		overload    = flag.Bool("overload", false, "ramp open-loop load past saturation on a real VIA cluster and report the goodput knee")
 		ovStepDur   = flag.Duration("overload-duration", 2*time.Second, "length of each offered-rate step in the -overload ramp")
 		ovDeadline  = flag.Duration("overload-deadline", 500*time.Millisecond, "per-request deadline for -overload runs")
+		procs       = flag.Int("procs", 0, "run a REAL multi-process cluster of this many node processes, kill -9 the hottest mid-drive, restart it, and report availability and rejoin convergence")
+		procsDur    = flag.Duration("procs-duration", 6*time.Second, "total drive time for the -procs scenario")
+		procsTrans  = flag.String("procs-transport", "tcp", "intra-cluster transport for -procs: tcp, or via (UDP-framed VIA, uses -version)")
 	)
 	flag.Parse()
 	chartMode = *chart
+
+	if *procs > 0 {
+		if err := procsRun(*procs, *traceName, *version, *dissem, *procsTrans, *procsDur); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *overload {
 		if err := overloadRun(*traceName, *requests, *nodes, *seed, *version, *dissem,

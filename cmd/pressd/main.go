@@ -10,6 +10,17 @@
 //	       [-cache BYTES] [-disk-delay 2ms] [-replication] [-metrics] [-expose]
 //	       [-incident-out FILE] [-trace-out FILE] [-trace-sample RATE]
 //	       [-pprof ADDR]
+//	pressd -node I -peers HOST:PORT,... [-http ADDR] [-udp-peers ADDR,...]
+//	       [-drain 5s] ...
+//
+// With -peers, pressd runs in mesh mode: ONE node per OS process. The
+// comma-separated list names every node's intra-cluster listen address
+// and -node says which entry this process is. Peers mesh over the
+// versioned membership handshake; a late or restarted process joins
+// under a fresh epoch and has the directory replayed. -transport via
+// additionally needs -udp-peers, the VIA bridge endpoints. SIGTERM
+// announces the leave and drains in-flight clients (deadline -drain)
+// before exiting 0.
 //
 // With -replication, hot-object replication is enabled with its
 // defaults: files whose request rate and cacher load cross the
@@ -76,6 +87,11 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "record request traces; write Chrome trace-event JSON to FILE on exit and on SIGUSR1")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests to trace (head sampling)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		node        = flag.Int("node", -1, "mesh mode: run ONE node of a multi-process cluster; this process's id in the -peers list")
+		peers       = flag.String("peers", "", "mesh mode: comma-separated intra-cluster listen addresses, one per node (enables mesh mode)")
+		httpAddr    = flag.String("http", "", "mesh mode: client-facing HTTP bind address (default: loopback, ephemeral port)")
+		udpPeers    = flag.String("udp-peers", "", "mesh mode: comma-separated VIA bridge UDP addresses, one per node (transport via)")
+		drain       = flag.Duration("drain", 5*time.Second, "mesh mode: deadline for the graceful SIGTERM drain")
 	)
 	strategy := cliflag.Dissemination(flag.CommandLine, "dissemination", core.PB(), "")
 	flag.Parse()
@@ -141,6 +157,41 @@ func main() {
 		plane.Start()
 		defer plane.Stop()
 	}
+	if *peers != "" {
+		peerList := splitAddrs(*peers)
+		var udpList []string
+		if *udpPeers != "" {
+			udpList = splitAddrs(*udpPeers)
+		}
+		if *node < 0 || *node >= len(peerList) {
+			log.Fatalf("-node %d out of range for %d -peers", *node, len(peerList))
+		}
+		if kind == server.TransportVIA && len(udpList) != len(peerList) {
+			log.Fatalf("transport via needs -udp-peers with %d addresses, got %d", len(peerList), len(udpList))
+		}
+		code := runMeshNode(server.Config{
+			Nodes:         len(peerList),
+			Trace:         tr,
+			Transport:     kind,
+			Version:       ver,
+			Dissemination: *strategy,
+			CacheBytes:    *cache,
+			DiskDelay:     *diskDelay,
+			Replication:   core.ReplicationConfig{Enabled: *replication},
+			Metrics:       reg,
+			Tracer:        tracer,
+			Telemetry:     plane,
+			Mesh: &server.MeshConfig{
+				Self:      *node,
+				PeerAddrs: peerList,
+				UDPAddrs:  udpList,
+				HTTPAddr:  *httpAddr,
+			},
+		}, plane, reg, tracer, *traceOut, *drain)
+		plane.Stop()
+		os.Exit(code)
+	}
+
 	cl, err := server.Start(server.Config{
 		Nodes:         *nodes,
 		Trace:         tr,

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"press/metrics"
+	"press/server"
+	"press/telemetry"
+	"press/tracing"
+)
+
+// splitAddrs parses a comma-separated address list flag.
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mesh mode: -peers turns pressd from an in-process cluster into ONE
+// node of a multi-process one. Each process runs node -node of the
+// seed list, meshes with its peers over the membership handshake, and
+// serves clients on -http. A restarted process rejoins under a fresh
+// epoch and has the directory replayed; SIGTERM announces the leave,
+// drains in-flight clients, and exits 0.
+
+// runMeshNode runs one cluster node to completion. It returns the
+// process exit code: 0 for an orderly SIGINT stop or a completed
+// SIGTERM drain, 1 when the drain misses its deadline.
+func runMeshNode(cfg server.Config, plane *telemetry.Plane, reg *metrics.Registry,
+	tracer *tracing.Tracer, traceOut string, drain time.Duration) int {
+	pn, err := server.StartNode(cfg)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	plane.SetArmed(true)
+
+	fmt.Printf("PRESS node %d of %d up: http://%s (epoch %d, %s transport)\n",
+		cfg.Mesh.Self, cfg.Nodes, pn.HTTPAddr(), pn.Epoch(), cfg.Transport)
+	fmt.Println("serving; SIGTERM drains, Ctrl-C stops")
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGQUIT)
+	for s := range sig {
+		switch s {
+		case syscall.SIGUSR1:
+			if reg != nil {
+				fmt.Println("\n--- metrics (SIGUSR1) ---")
+				if err := reg.Report(os.Stdout); err != nil {
+					log.Print(err)
+				}
+			}
+			if tracer != nil {
+				if err := dumpTraces(tracer, traceOut); err != nil {
+					log.Print(err)
+				}
+			}
+		case syscall.SIGQUIT:
+			if plane != nil {
+				plane.DumpIncident("SIGQUIT")
+			} else {
+				log.Print("SIGQUIT: no telemetry plane (run with -incident-out)")
+			}
+		case syscall.SIGTERM:
+			// Graceful leave: tell the peers, finish the clients we have,
+			// exit clean so orchestrators see an orderly departure.
+			plane.SetArmed(false)
+			if err := pn.Drain(drain); err != nil {
+				log.Printf("drain: %v", err)
+				return 1
+			}
+			return 0
+		default: // SIGINT: hard stop, no leave announcement
+			plane.SetArmed(false)
+			pn.Close()
+			return 0
+		}
+	}
+	return 0
+}

@@ -41,6 +41,15 @@ const (
 	// MsgDirSync carries a batch of caching announcements (a segment of
 	// the sender's cached-file list) replayed at re-integration.
 	MsgDirSync
+	// MsgJoin carries the membership handshake of a multi-process
+	// cluster: a versioned hello (node id, cluster size, epoch,
+	// transport, strategy) sent as the first frame of a mesh connection,
+	// and its acknowledgement or typed rejection.
+	MsgJoin
+	// MsgLeave announces an orderly departure: the sender is draining
+	// and will exit, so peers should route around it immediately instead
+	// of waiting for the silence thresholds.
+	MsgLeave
 	// NumMsgTypes is the number of message types.
 	NumMsgTypes
 )
@@ -68,6 +77,10 @@ func (t MsgType) String() string {
 		return "Replicate"
 	case MsgDirSync:
 		return "DirSync"
+	case MsgJoin:
+		return "Join"
+	case MsgLeave:
+		return "Leave"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -105,6 +118,11 @@ const (
 	// ReplicateMsgBytes is a replica-pull request (a file name), same
 	// shape as a forward.
 	ReplicateMsgBytes = 53
+	// JoinMsgBytes is a membership join hello or acknowledgement (the
+	// versioned handshake payload).
+	JoinMsgBytes = 64
+	// LeaveMsgBytes is an orderly-departure announcement (an epoch).
+	LeaveMsgBytes = 42
 )
 
 // MsgStats accumulates message counts and byte volumes per type, the

@@ -88,11 +88,24 @@ go run ./cmd/presslint ./lint ./cmd/...
 echo "==> presslint -analyzer hotpath-alloc,lock-order,atomic-consistency ./..."
 go run ./cmd/presslint -analyzer hotpath-alloc,lock-order,atomic-consistency ./...
 
+# The membership seam runs real processes: mesh handshakes over
+# loopback sockets, the Close-vs-redial race, and the multi-process
+# smoke — three node processes, one killed -9 mid-run and restarted,
+# availability and rejoin convergence asserted. Hard timeout so a
+# wedged child cannot park the gate.
+echo "==> go test -race membership suite"
+go test -race -count=1 -run 'TestMesh|TestJoinInfo|TestLeaveCodec' ./server
+echo "==> go test -race multi-process smoke (procsmoke)"
+go test -race -count=1 -timeout 240s -run 'TestProcSmoke' ./server/procharness
+
 # Fuzz smoke over the wire format: ten seconds of mutation on the
 # Message encode/decode round-trip catches framing regressions the
-# table tests miss.
+# table tests miss, and the same treatment for the membership
+# handshake payload.
 echo "==> fuzz smoke (FuzzMessageRoundTrip)"
 go test -run '^$' -fuzz 'FuzzMessageRoundTrip' -fuzztime 10s ./server
+echo "==> fuzz smoke (FuzzJoinInfo)"
+go test -run '^$' -fuzz 'FuzzJoinInfo' -fuzztime 10s ./server
 
 # Benchmarks are part of the observability surface (the registry and
 # tracer on/off overhead proofs live there); make sure they still build,

@@ -116,6 +116,12 @@ type Config struct {
 	// that accepted it, with no intra-cluster communication and no
 	// cache aggregation.
 	ContentOblivious bool
+	// Mesh, when non-nil, runs this process as ONE node of a
+	// multi-process cluster (StartNode) instead of all N in-process
+	// (Start): peers live in other OS processes at Mesh.PeerAddrs and
+	// membership is negotiated with the join/leave handshake. Ignored
+	// by Start.
+	Mesh *MeshConfig
 }
 
 // MaxNodes is the largest cluster the real server supports. It is
@@ -336,7 +342,13 @@ func (cl *Cluster) startHTTP() error {
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: &nodeHandler{node: n}}
+		// Same timeouts as ProcNode: reap request-less dial-race conns
+		// so graceful Shutdown is not stuck waiting on StateNew.
+		srv := &http.Server{
+			Handler:           &nodeHandler{node: n},
+			ReadHeaderTimeout: 2 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}
 		cl.httpLns = append(cl.httpLns, ln)
 		cl.httpSrvs = append(cl.httpSrvs, srv)
 		cl.addrs = append(cl.addrs, ln.Addr().String())
@@ -531,6 +543,12 @@ type nodeStatsJSON struct {
 	ReplicaPushes int64 `json:"replicaPushes,omitempty"`
 	ReplicaPulls  int64 `json:"replicaPulls,omitempty"`
 	ReplicaDrops  int64 `json:"replicaDrops,omitempty"`
+	// Membership (multi-process mesh only): the epoch this process life
+	// runs under, the highest epoch accepted per peer (0 = never seen),
+	// and the count of frames dropped for carrying a stale epoch.
+	Epoch           uint64   `json:"epoch,omitempty"`
+	PeerEpochs      []uint64 `json:"peerEpochs,omitempty"`
+	StaleEpochDrops int64    `json:"staleEpochDrops,omitempty"`
 }
 
 func (h *nodeHandler) serveStats(w http.ResponseWriter) {
@@ -568,6 +586,14 @@ func (h *nodeHandler) serveStats(w http.ResponseWriter) {
 	}
 	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
 		out.Messages[mt.String()] = [2]int64{ms.Count[mt], ms.Bytes[mt]}
+	}
+	if et, ok := h.node.transport.(epochTransport); ok && et.SelfEpoch() != 0 {
+		out.Epoch = et.SelfEpoch()
+		out.PeerEpochs = make([]uint64, h.node.cfg.Nodes)
+		for p := range out.PeerEpochs {
+			out.PeerEpochs[p] = et.PeerEpoch(p)
+		}
+		out.StaleEpochDrops = et.StaleEpochDrops()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)

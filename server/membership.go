@@ -1,0 +1,192 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// The membership control plane of a multi-process cluster. Each mesh
+// TCP connection opens with a MsgJoin frame carrying a versioned
+// JoinInfo hello — node id, cluster size, epoch, transport, and
+// dissemination strategy — and the acceptor answers with its own
+// JoinInfo as an acknowledgement, or a typed rejection. Epochs order a
+// node's lives: a process restart picks a strictly larger epoch, so a
+// connection (and any message still riding one) from the previous life
+// is recognizably stale and rejected rather than served.
+
+// joinProtoVersion is the current membership handshake version.
+// Decoders accept exactly the versions they know; a higher version is a
+// clean "speak an older protocol" rejection, never a misparse.
+const joinProtoVersion = 1
+
+// JoinInfo flag bits.
+const (
+	joinFlagAck = 1 << iota // this is an acknowledgement, not a hello
+	joinFlagOK              // the acknowledged join was accepted
+)
+
+// joinInfoHdrLen is the fixed prefix of an encoded JoinInfo: proto(2),
+// flags(2), node(2), nodes(2), epoch(8).
+const joinInfoHdrLen = 2 + 2 + 2 + 2 + 8
+
+// Join rejection reason codes carried in a negative acknowledgement.
+const (
+	joinRejectStaleEpoch   = "stale-epoch"
+	joinRejectStrategy     = "strategy-mismatch"
+	joinRejectClusterSize  = "cluster-size-mismatch"
+	joinRejectBadNode      = "bad-node-id"
+	joinRejectProtoVersion = "unsupported-proto"
+)
+
+// JoinInfo is the membership handshake payload: the hello a dialing
+// node sends as the first frame of a mesh connection, and the
+// acknowledgement the acceptor answers with.
+type JoinInfo struct {
+	// Proto is the handshake protocol version (joinProtoVersion).
+	Proto uint16
+	// Node and Nodes are the sender's id and its view of the cluster
+	// size; a disagreement on Nodes is a configuration error, rejected.
+	Node  int
+	Nodes int
+	// Epoch orders the sender's process lives: larger is newer. A join
+	// whose epoch is below the highest this side has accepted from the
+	// same node id is stale — a message from a previous life — and is
+	// rejected.
+	Epoch uint64
+	// Strategy is the dissemination strategy name; both sides must
+	// agree or the directory protocols diverge.
+	Strategy string
+	// Transport names the intra-cluster substrate ("tcp", "via").
+	Transport string
+	// Ack marks an acknowledgement; OK reports the verdict and Reason
+	// carries the rejection code when !OK.
+	Ack    bool
+	OK     bool
+	Reason string
+}
+
+// JoinRejectedError is a join refused by the acceptor, carrying the
+// typed reason code.
+type JoinRejectedError struct {
+	Reason string
+}
+
+func (e *JoinRejectedError) Error() string {
+	return fmt.Sprintf("server: join rejected: %s", e.Reason)
+}
+
+// appendJoinStr appends a length-prefixed string (1-byte length).
+func appendJoinStr(dst []byte, s string) ([]byte, error) {
+	if len(s) > 255 {
+		return nil, fmt.Errorf("server: join field of %d bytes too long", len(s))
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...), nil
+}
+
+func takeJoinStr(buf []byte) (string, []byte, error) {
+	if len(buf) < 1 {
+		return "", nil, fmt.Errorf("server: truncated join field")
+	}
+	n := int(buf[0])
+	if len(buf) < 1+n {
+		return "", nil, fmt.Errorf("server: truncated join field (%d of %d bytes)", len(buf)-1, n)
+	}
+	return string(buf[1 : 1+n]), buf[1+n:], nil
+}
+
+// encodeJoinInfo appends the wire form of j to dst. The layout is
+// proto(2) flags(2) node(2) nodes(2) epoch(8), then length-prefixed
+// strategy, transport, and reason strings.
+func encodeJoinInfo(j *JoinInfo, dst []byte) ([]byte, error) {
+	proto := j.Proto
+	if proto == 0 {
+		proto = joinProtoVersion
+	}
+	if j.Node < 0 || j.Node > int(^uint16(0)) || j.Nodes < 0 || j.Nodes > int(^uint16(0)) {
+		return nil, fmt.Errorf("server: join node %d/%d out of range", j.Node, j.Nodes)
+	}
+	var h [joinInfoHdrLen]byte
+	binary.LittleEndian.PutUint16(h[0:], proto)
+	var flags uint16
+	if j.Ack {
+		flags |= joinFlagAck
+	}
+	if j.OK {
+		flags |= joinFlagOK
+	}
+	binary.LittleEndian.PutUint16(h[2:], flags)
+	binary.LittleEndian.PutUint16(h[4:], uint16(j.Node))
+	binary.LittleEndian.PutUint16(h[6:], uint16(j.Nodes))
+	binary.LittleEndian.PutUint64(h[8:], j.Epoch)
+	dst = append(dst, h[:]...)
+	var err error
+	if dst, err = appendJoinStr(dst, j.Strategy); err != nil {
+		return nil, err
+	}
+	if dst, err = appendJoinStr(dst, j.Transport); err != nil {
+		return nil, err
+	}
+	return appendJoinStr(dst, j.Reason)
+}
+
+// decodeJoinInfo parses one JoinInfo payload. A payload speaking a
+// newer protocol than this build fails with an error naming the
+// version, so the acceptor can reject it cleanly instead of misparsing.
+func decodeJoinInfo(buf []byte) (*JoinInfo, error) {
+	if len(buf) < joinInfoHdrLen {
+		return nil, fmt.Errorf("server: short join payload (%d bytes)", len(buf))
+	}
+	j := &JoinInfo{
+		Proto: binary.LittleEndian.Uint16(buf[0:]),
+		Node:  int(binary.LittleEndian.Uint16(buf[4:])),
+		Nodes: int(binary.LittleEndian.Uint16(buf[6:])),
+		Epoch: binary.LittleEndian.Uint64(buf[8:]),
+	}
+	if j.Proto == 0 || j.Proto > joinProtoVersion {
+		return nil, fmt.Errorf("server: join proto %d not supported (max %d)", j.Proto, joinProtoVersion)
+	}
+	flags := binary.LittleEndian.Uint16(buf[2:])
+	j.Ack = flags&joinFlagAck != 0
+	j.OK = flags&joinFlagOK != 0
+	rest := buf[joinInfoHdrLen:]
+	var err error
+	if j.Strategy, rest, err = takeJoinStr(rest); err != nil {
+		return nil, err
+	}
+	if j.Transport, rest, err = takeJoinStr(rest); err != nil {
+		return nil, err
+	}
+	if j.Reason, rest, err = takeJoinStr(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: %d trailing bytes after join payload", len(rest))
+	}
+	return j, nil
+}
+
+// newEpoch derives a fresh membership epoch for this process life.
+// Wall-clock nanoseconds are monotone across restarts of the same node
+// as long as the host clock does not step backwards; tests pin epochs
+// explicitly and need no clock at all.
+func newEpoch() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// encodeLeave builds the MsgLeave payload: the leaver's epoch.
+func encodeLeave(epoch uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], epoch)
+	return b[:]
+}
+
+// decodeLeave parses a MsgLeave payload; a short or absent payload
+// (an older sender) decodes to epoch 0.
+func decodeLeave(buf []byte) uint64 {
+	if len(buf) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf)
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func joinInfoEqual(a, b *JoinInfo) bool {
+	return a.Proto == b.Proto && a.Node == b.Node && a.Nodes == b.Nodes &&
+		a.Epoch == b.Epoch && a.Strategy == b.Strategy &&
+		a.Transport == b.Transport && a.Ack == b.Ack && a.OK == b.OK &&
+		a.Reason == b.Reason
+}
+
+func TestJoinInfoRoundTrip(t *testing.T) {
+	cases := []JoinInfo{
+		{Node: 0, Nodes: 1, Epoch: 1},
+		{Node: 3, Nodes: 8, Epoch: 1754700000000000000, Strategy: "PB", Transport: "tcp"},
+		{Node: 1, Nodes: 2, Epoch: 42, Strategy: "GG", Transport: "via", Ack: true, OK: true},
+		{Node: 1, Nodes: 2, Epoch: 42, Ack: true, OK: false, Reason: joinRejectStaleEpoch},
+		{Node: 65535, Nodes: 65535, Epoch: ^uint64(0), Strategy: strings.Repeat("s", 255),
+			Transport: strings.Repeat("t", 255), Reason: strings.Repeat("r", 255)},
+		{Proto: joinProtoVersion, Node: 5, Nodes: 16, Epoch: 7, Strategy: "SWS-GG"},
+	}
+	for i, in := range cases {
+		in := in
+		buf, err := encodeJoinInfo(&in, nil)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		out, err := decodeJoinInfo(buf)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// Proto 0 means "current" and encodes as joinProtoVersion.
+		want := in
+		if want.Proto == 0 {
+			want.Proto = joinProtoVersion
+		}
+		if !joinInfoEqual(&want, out) {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, want, *out)
+		}
+	}
+}
+
+func TestJoinInfoEncodeRejects(t *testing.T) {
+	if _, err := encodeJoinInfo(&JoinInfo{Node: 1 << 16, Nodes: 2}, nil); err == nil {
+		t.Fatal("node id beyond uint16 encoded")
+	}
+	if _, err := encodeJoinInfo(&JoinInfo{Node: 0, Nodes: -1}, nil); err == nil {
+		t.Fatal("negative cluster size encoded")
+	}
+	if _, err := encodeJoinInfo(&JoinInfo{Node: 0, Nodes: 1, Strategy: strings.Repeat("x", 256)}, nil); err == nil {
+		t.Fatal("256-byte strategy encoded past the 1-byte length prefix")
+	}
+}
+
+func TestJoinInfoDecodeRejects(t *testing.T) {
+	valid, err := encodeJoinInfo(&JoinInfo{Node: 1, Nodes: 4, Epoch: 9, Strategy: "PB", Transport: "tcp"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation point fails cleanly, never panics or misparses.
+	for n := 0; n < len(valid); n++ {
+		if _, err := decodeJoinInfo(valid[:n]); err == nil {
+			t.Fatalf("decode accepted %d of %d bytes", n, len(valid))
+		}
+	}
+	// Trailing garbage is a framing error, not ignored padding.
+	if _, err := decodeJoinInfo(append(append([]byte(nil), valid...), 0xFF)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+
+	// A future protocol version is a clean versioned rejection; version
+	// zero never appears on a valid wire.
+	for _, proto := range []uint16{0, joinProtoVersion + 1, 99} {
+		buf := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint16(buf[0:], proto)
+		if _, err := decodeJoinInfo(buf); err == nil {
+			t.Fatalf("decode accepted proto %d", proto)
+		}
+	}
+}
+
+func TestLeaveCodec(t *testing.T) {
+	if got := decodeLeave(encodeLeave(12345)); got != 12345 {
+		t.Fatalf("leave round trip: %d", got)
+	}
+	// Short or absent payloads come from older senders: epoch unknown.
+	if got := decodeLeave(nil); got != 0 {
+		t.Fatalf("decodeLeave(nil) = %d", got)
+	}
+	if got := decodeLeave([]byte{1, 2, 3}); got != 0 {
+		t.Fatalf("decodeLeave(short) = %d", got)
+	}
+}
+
+// FuzzJoinInfo feeds arbitrary bytes to the handshake decoder: whatever
+// decodes must re-encode to a payload that decodes to the same
+// wire-visible fields (the acceptor echoes fields from hellos it
+// accepts, so a parse/serialize mismatch would be a protocol
+// confusion).
+func FuzzJoinInfo(f *testing.F) {
+	seeds := []JoinInfo{
+		{Node: 0, Nodes: 1, Epoch: 1},
+		{Node: 3, Nodes: 8, Epoch: 1754700000000000000, Strategy: "PB", Transport: "tcp"},
+		{Node: 1, Nodes: 2, Epoch: 42, Strategy: "GG", Transport: "via", Ack: true, OK: true},
+		{Node: 1, Nodes: 2, Epoch: 42, Ack: true, Reason: joinRejectStrategy},
+		{Node: 65535, Nodes: 65535, Epoch: ^uint64(0), Strategy: strings.Repeat("s", 200)},
+	}
+	for _, j := range seeds {
+		j := j
+		buf, err := encodeJoinInfo(&j, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, joinInfoHdrLen))              // proto 0, no strings
+	f.Add(append(make([]byte, joinInfoHdrLen), 255)) // string length past end
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		j, err := decodeJoinInfo(buf)
+		if err != nil {
+			return // rejecting garbage is fine; crashing is not
+		}
+		re, err := encodeJoinInfo(j, nil)
+		if err != nil {
+			t.Fatalf("decoded %+v does not re-encode: %v", *j, err)
+		}
+		j2, err := decodeJoinInfo(re)
+		if err != nil {
+			t.Fatalf("re-encoded %+v does not decode: %v", *j, err)
+		}
+		if !joinInfoEqual(j, j2) {
+			t.Fatalf("double decode drifted: %+v -> %+v", *j, *j2)
+		}
+	})
+}

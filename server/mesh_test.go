@@ -1,0 +1,301 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"press/core"
+)
+
+// The mesh transport tests run real handshakes over loopback sockets:
+// two newMeshTCPTransport instances pair up exactly as two pressd
+// processes would, and raw-socket dials probe the acceptor's rejection
+// paths deterministically.
+
+const meshTestStrategy = "PB"
+
+func meshListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// deadAddr returns a loopback address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln := meshListener(t)
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func startMesh(t *testing.T, ln net.Listener, node, nodes int, epoch uint64, peerAddrs []string) *tcpTransport {
+	t.Helper()
+	tr, err := newMeshTCPTransport(ln, JoinInfo{
+		Node:      node,
+		Nodes:     nodes,
+		Epoch:     epoch,
+		Strategy:  meshTestStrategy,
+		Transport: "tcp",
+	}, peerAddrs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// waitMeshLive waits until tr holds a live connection to dst, nudging
+// Reconnect the way the health prober would if a symmetric-dial race
+// retired both initial connections.
+func waitMeshLive(t *testing.T, tr *tcpTransport, dst int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	nudge := time.Now().Add(500 * time.Millisecond)
+	for {
+		if p := tr.peer(dst); p != nil && p.down() == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live connection to node %d within %v", dst, timeout)
+		}
+		if time.Now().After(nudge) {
+			_ = tr.Reconnect(dst)
+			nudge = time.Now().Add(500 * time.Millisecond)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// recvType reads inbound until a message of the wanted type arrives,
+// skipping the synthetic MsgJoin notifications the handshake raises.
+func recvType(t *testing.T, tr *tcpTransport, want core.MsgType, timeout time.Duration) *Message {
+	t.Helper()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case m, ok := <-tr.Inbound():
+			if !ok {
+				t.Fatal("inbound closed")
+			}
+			if m.Type == want {
+				return m
+			}
+		case <-deadline.C:
+			t.Fatalf("no %v message within %v", want, timeout)
+		}
+	}
+}
+
+// TestMeshHandshake pairs two mesh transports over real sockets and
+// checks the epochs land on both sides and data flows both ways.
+func TestMeshHandshake(t *testing.T) {
+	lnA, lnB := meshListener(t), meshListener(t)
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	a := startMesh(t, lnA, 0, 2, 100, addrs)
+	b := startMesh(t, lnB, 1, 2, 200, addrs)
+
+	waitMeshLive(t, a, 1, 5*time.Second)
+	waitMeshLive(t, b, 0, 5*time.Second)
+
+	if got := a.SelfEpoch(); got != 100 {
+		t.Fatalf("a.SelfEpoch() = %d, want 100", got)
+	}
+	if got := a.PeerEpoch(1); got != 200 {
+		t.Fatalf("a.PeerEpoch(1) = %d, want 200", got)
+	}
+	if got := b.PeerEpoch(0); got != 100 {
+		t.Fatalf("b.PeerEpoch(0) = %d, want 100", got)
+	}
+
+	if err := a.Send(1, &Message{Type: core.MsgLoad, From: 0, Load: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvType(t, b, core.MsgLoad, 5*time.Second); m.From != 0 || m.Load != 7 {
+		t.Fatalf("b received %+v", m)
+	}
+	if err := b.Send(0, &Message{Type: core.MsgLoad, From: 1, Load: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvType(t, a, core.MsgLoad, 5*time.Second); m.From != 1 || m.Load != 9 {
+		t.Fatalf("a received %+v", m)
+	}
+	if d := a.StaleEpochDrops() + b.StaleEpochDrops(); d != 0 {
+		t.Fatalf("healthy pair dropped %d frames as stale", d)
+	}
+}
+
+// TestMeshLateJoin starts one side long after the other: the startup
+// dialer's backoff must carry the early node across the gap.
+func TestMeshLateJoin(t *testing.T) {
+	lnA, lnB := meshListener(t), meshListener(t)
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	a := startMesh(t, lnA, 0, 2, 100, addrs)
+
+	time.Sleep(700 * time.Millisecond) // several backoff steps pass
+	b := startMesh(t, lnB, 1, 2, 200, addrs)
+
+	waitMeshLive(t, a, 1, 10*time.Second)
+	waitMeshLive(t, b, 0, 10*time.Second)
+	if err := a.Send(1, &Message{Type: core.MsgLoad, From: 0, Load: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvType(t, b, core.MsgLoad, 5*time.Second); m.Load != 3 {
+		t.Fatalf("late joiner received %+v", m)
+	}
+}
+
+// rawJoin dials addr and plays one handshake frame by hand, returning
+// the acceptor's answer. The conn is left open on success so the
+// installed peer entry stays live for follow-up probes.
+func rawJoin(t *testing.T, addr string, hello *JoinInfo) (*JoinInfo, net.Conn, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJoinFrame(conn, hello.Node, hello); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	ack, err := readJoinFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return ack, conn, nil
+}
+
+// TestMeshAcceptRejections drives every typed rejection of the accept
+// path with hand-built hellos on raw sockets.
+func TestMeshAcceptRejections(t *testing.T) {
+	ln := meshListener(t)
+	addrs := []string{ln.Addr().String(), deadAddr(t)}
+	tr := startMesh(t, ln, 0, 2, 500, addrs)
+	addr := addrs[0]
+
+	// A well-formed join seats node 1 at epoch 200.
+	ack, conn, err := rawJoin(t, addr, &JoinInfo{Node: 1, Nodes: 2, Epoch: 200, Strategy: meshTestStrategy, Transport: "tcp"})
+	if err != nil {
+		t.Fatalf("valid join: %v", err)
+	}
+	defer conn.Close()
+	if !ack.Ack || !ack.OK || ack.Node != 0 || ack.Epoch != 500 {
+		t.Fatalf("valid join acked %+v", ack)
+	}
+	if got := tr.PeerEpoch(1); got != 200 {
+		t.Fatalf("PeerEpoch(1) = %d after join, want 200", got)
+	}
+
+	expectReject := func(hello *JoinInfo, reason string) {
+		t.Helper()
+		ack, c, err := rawJoin(t, addr, hello)
+		if err != nil {
+			t.Fatalf("join for %s rejection: %v", reason, err)
+		}
+		c.Close()
+		if !ack.Ack || ack.OK || ack.Reason != reason {
+			t.Fatalf("want rejection %q, got %+v", reason, ack)
+		}
+	}
+	// The previous life of node 1 dials back in: refused as stale.
+	expectReject(&JoinInfo{Node: 1, Nodes: 2, Epoch: 100, Strategy: meshTestStrategy}, joinRejectStaleEpoch)
+	// A node configured with a different dissemination strategy.
+	expectReject(&JoinInfo{Node: 1, Nodes: 2, Epoch: 300, Strategy: "GG"}, joinRejectStrategy)
+	// A node that thinks the cluster is a different size.
+	expectReject(&JoinInfo{Node: 1, Nodes: 3, Epoch: 300, Strategy: meshTestStrategy}, joinRejectClusterSize)
+	// A peer claiming our own id, and one past the end of the cluster.
+	expectReject(&JoinInfo{Node: 0, Nodes: 2, Epoch: 300, Strategy: meshTestStrategy}, joinRejectBadNode)
+
+	// An ack where a hello belongs is a protocol violation: the acceptor
+	// hangs up without answering.
+	if _, _, err := rawJoin(t, addr, &JoinInfo{Node: 1, Nodes: 2, Epoch: 300, Strategy: meshTestStrategy, Ack: true}); err == nil {
+		t.Fatal("ack-flagged hello was answered, want close")
+	}
+	// A hello from a future protocol version fails to decode: hung up on.
+	if _, _, err := rawJoin(t, addr, &JoinInfo{Proto: 99, Node: 1, Nodes: 2, Epoch: 300, Strategy: meshTestStrategy}); err == nil {
+		t.Fatal("future-proto hello was answered, want close")
+	}
+
+	// The legitimate current life still joins fine after all the abuse.
+	ack2, conn2, err := rawJoin(t, addr, &JoinInfo{Node: 1, Nodes: 2, Epoch: 400, Strategy: meshTestStrategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if !ack2.OK {
+		t.Fatalf("epoch-400 rejoin refused: %+v", ack2)
+	}
+	if got := tr.PeerEpoch(1); got != 400 {
+		t.Fatalf("PeerEpoch(1) = %d after rejoin, want 400", got)
+	}
+}
+
+// TestMeshDialRejectedTyped checks the dialer side surfaces a refused
+// join as *JoinRejectedError with the acceptor's reason code.
+func TestMeshDialRejectedTyped(t *testing.T) {
+	lnA := meshListener(t)
+	addrs := []string{lnA.Addr().String(), deadAddr(t)}
+	startMesh(t, lnA, 0, 2, 500, addrs)
+
+	// Seat node 1 at epoch 300, then start a transport claiming to be
+	// node 1's earlier life at epoch 200.
+	_, conn, err := rawJoin(t, addrs[0], &JoinInfo{Node: 1, Nodes: 2, Epoch: 300, Strategy: meshTestStrategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	lnB := meshListener(t)
+	stale := startMesh(t, lnB, 1, 2, 200, []string{addrs[0], lnB.Addr().String()})
+	err = stale.Reconnect(0)
+	var jr *JoinRejectedError
+	if !errors.As(err, &jr) || jr.Reason != joinRejectStaleEpoch {
+		t.Fatalf("stale dial returned %v, want JoinRejectedError(stale-epoch)", err)
+	}
+}
+
+// TestMeshCloseReconnectRace races Close against a winning redial: the
+// audit case where the redial's setPeer must not resurrect a peer entry
+// in a closed transport or leak its connection. Run under -race.
+func TestMeshCloseReconnectRace(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		lnA, lnB := meshListener(t), meshListener(t)
+		addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+		a := startMesh(t, lnA, 0, 2, 100, addrs)
+		b := startMesh(t, lnB, 1, 2, 200, addrs)
+		waitMeshLive(t, a, 1, 5*time.Second)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			a.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			_ = a.Reconnect(1)
+		}()
+		wg.Wait()
+
+		if err := a.Send(1, &Message{Type: core.MsgLoad, From: 0}); err == nil {
+			t.Fatal("send succeeded on a closed transport")
+		}
+		// Whichever side won the race, the installed connection must be
+		// closed: a winning redial's conn is either snapshotted by Close
+		// or refused (and closed) by setPeer's closed check.
+		if p := a.peer(1); p != nil {
+			if _, err := p.conn.Write([]byte{0}); err == nil {
+				t.Fatal("redial left a live connection in a closed transport")
+			}
+		}
+		b.Close()
+	}
+}

@@ -133,6 +133,7 @@ const (
 	failoverPeerDead  = "peer-dead"  // health declared the service node dead
 	failoverSendError = "send-error" // the forward itself could not be delivered
 	failoverTimeout   = "timeout"    // reply overdue past FailoverTimeout
+	failoverPeerLeft  = "peer-left"  // the peer announced an orderly departure
 )
 
 func newNodeInstruments(r *metrics.Registry, id int) nodeInstruments {
@@ -141,11 +142,11 @@ func newNodeInstruments(r *metrics.Registry, id int) nodeInstruments {
 	}
 	node := fmt.Sprintf("node=%d", id)
 	ni := nodeInstruments{
-		requests:  r.Counter("press_requests_total", node),
-		local:     r.Counter("press_serve_local_total", node),
-		remote:    r.Counter("press_serve_remote_total", node),
-		forward:   r.Counter("press_serve_forward_total", node),
-		disk:      r.Counter("press_disk_reads_total", node),
+		requests:   r.Counter("press_requests_total", node),
+		local:      r.Counter("press_serve_local_total", node),
+		remote:     r.Counter("press_serve_remote_total", node),
+		forward:    r.Counter("press_serve_forward_total", node),
+		disk:       r.Counter("press_disk_reads_total", node),
 		retries:    r.Counter("press_retries_total", node),
 		purged:     r.Counter("press_dir_purged_total", node),
 		degraded:   r.Gauge("press_degraded", node),
@@ -157,7 +158,7 @@ func newNodeInstruments(r *metrics.Registry, id int) nodeInstruments {
 	for mt := core.MsgType(0); mt < core.NumMsgTypes; mt++ {
 		ni.sendErrs[mt] = r.Counter("press_node_send_errors_total", node, "type="+mt.String())
 	}
-	for _, reason := range []string{failoverPeerDead, failoverSendError, failoverTimeout} {
+	for _, reason := range []string{failoverPeerDead, failoverSendError, failoverTimeout, failoverPeerLeft} {
 		ni.failovers[reason] = r.Counter("press_failovers_total", node, "reason="+reason)
 	}
 	return ni
@@ -733,6 +734,76 @@ func (n *Node) handleMessage(m *Message) {
 		n.handleForward(m)
 	case core.MsgFile:
 		n.handleFileChunk(m)
+	case core.MsgJoin:
+		// A completed membership handshake, surfaced by the transport
+		// (wire handshake frames never leave it). The proof-of-life
+		// handling above has already reintegrated a resurrected peer and
+		// replayed the directory; here we record the new life's epoch.
+		if j, err := decodeJoinInfo(m.Data); err == nil {
+			n.tel.Event(telemetry.EvPeerJoin, n.id, m.From, "", int64(j.Epoch))
+		}
+	case core.MsgLeave:
+		n.peerLeft(m.From, decodeLeave(m.Data))
+	}
+}
+
+// peerLeft handles an orderly-departure announcement: the peer is
+// draining and about to exit, so the cluster routes around it now
+// instead of waiting out the silence thresholds. The same dead-peer
+// path as a detected failure runs — channel poisoned, directory
+// purged, in-flight forwards failed over — just sooner.
+func (n *Node) peerLeft(peer int, epoch uint64) {
+	if peer < 0 || peer >= n.cfg.Nodes || peer == n.id {
+		return
+	}
+	n.tel.Event(telemetry.EvPeerLeave, n.id, peer, "leave announced", int64(epoch))
+	if !n.healthActive() {
+		return
+	}
+	if n.health.markDead(peer, time.Now()) {
+		n.onPeerDead(peer, failoverPeerLeft)
+	}
+}
+
+// AnnounceLeave queues a leave announcement to every peer not already
+// known dead, then waits (bounded) so the send thread has a chance to
+// put the messages on the wire before the caller tears the node down.
+func (n *Node) AnnounceLeave(timeout time.Duration) {
+	var epoch uint64
+	if et, ok := n.transport.(epochTransport); ok {
+		epoch = et.SelfEpoch()
+	}
+	queued := make(chan struct{})
+	n.inject(func() {
+		for p := 0; p < n.cfg.Nodes; p++ {
+			if p == n.id || (n.healthActive() && n.health.isDead(p)) {
+				continue
+			}
+			n.send(p, &Message{Type: core.MsgLeave, Data: encodeLeave(epoch)})
+		}
+		close(queued)
+	})
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	select {
+	case <-queued:
+	case <-deadline.C:
+		return
+	case <-n.stop:
+		return
+	}
+	// The announcements sit in the send queue; poll it empty (or the
+	// deadline) so they actually reach the wire.
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for n.sendQ.len() > 0 {
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			return
+		case <-n.stop:
+			return
+		}
 	}
 }
 
@@ -1165,13 +1236,20 @@ func (n *Node) updateDegraded() {
 }
 
 // probe tries to re-establish the channel to a dead peer off the main
-// loop. Only the lower-indexed side dials (mirroring mesh construction);
-// the passive side recovers when the peer's dial lands and its traffic
-// resumes. At most one probe per peer is in flight.
+// loop. On the in-process transports only the lower-indexed side dials
+// (mirroring mesh construction) and the passive side recovers when the
+// peer's dial lands; a multi-process mesh dials symmetrically, since
+// the dead side may be exactly the one that was supposed to dial. At
+// most one probe per peer is in flight.
 func (n *Node) probe(peer int) {
 	ft, ok := n.transport.(faultTransport)
-	if !ok || peer < n.id || n.probing[peer] {
+	if !ok || n.probing[peer] {
 		return
+	}
+	if sd, sOK := n.transport.(symmetricDialer); !sOK || !sd.SymmetricDial() {
+		if peer < n.id {
+			return
+		}
 	}
 	n.probing[peer] = true
 	n.wg.Add(1)

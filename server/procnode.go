@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"press/via"
+)
+
+// One node per OS process: the paper's actual deployment model. Start
+// builds all N nodes in one process for tests and experiments;
+// StartNode builds exactly one, meshed with N-1 peer processes over
+// real sockets, joined with the membership handshake, and able to
+// leave cleanly or crash and rejoin under a new epoch.
+
+// MeshConfig places one process inside a multi-process cluster.
+type MeshConfig struct {
+	// Self is this process's node index in [0, Config.Nodes).
+	Self int
+	// PeerAddrs are the intra-cluster TCP listen addresses, indexed by
+	// node; PeerAddrs[Self] is the address this process binds.
+	PeerAddrs []string
+	// UDPAddrs are the per-node UDP endpoints of the VIA fabric bridge,
+	// required when Config.Transport is TransportVIA: the software VIA
+	// keeps its descriptor/credit/RMW semantics, framed over UDP
+	// between processes.
+	UDPAddrs []string
+	// HTTPAddr is the client-facing HTTP bind address; empty means an
+	// ephemeral loopback port.
+	HTTPAddr string
+	// Epoch is the membership epoch of this process life; 0 derives one
+	// from the wall clock. A restart must use a larger epoch than the
+	// previous life so peers can tell the two apart.
+	Epoch uint64
+}
+
+// ProcNode is one running node of a multi-process cluster.
+type ProcNode struct {
+	cfg     Config
+	node    *Node
+	fabric  *via.Fabric
+	bridge  *via.UDPBridge
+	httpLn  net.Listener
+	httpSrv *http.Server
+	addr    string
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// StartNode launches this process's node of a multi-process cluster:
+// intra-cluster listener bound, membership dialers running, HTTP
+// accepting. It returns as soon as the local node is up — peers may
+// not exist yet (late join is the normal case) and connections
+// complete in the background as they appear.
+func StartNode(c Config) (*ProcNode, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	mesh := cfg.Mesh
+	if mesh == nil {
+		return nil, fmt.Errorf("server: StartNode needs Config.Mesh")
+	}
+	if mesh.Self < 0 || mesh.Self >= cfg.Nodes {
+		return nil, fmt.Errorf("server: mesh self %d out of range 0..%d", mesh.Self, cfg.Nodes-1)
+	}
+	if len(mesh.PeerAddrs) != cfg.Nodes {
+		return nil, fmt.Errorf("server: %d peer addresses for %d nodes", len(mesh.PeerAddrs), cfg.Nodes)
+	}
+	pn := &ProcNode{cfg: cfg}
+
+	var tr Transport
+	var nic *via.NIC
+	switch cfg.Transport {
+	case TransportTCP:
+		ln, err := net.Listen("tcp", mesh.PeerAddrs[mesh.Self])
+		if err != nil {
+			return nil, fmt.Errorf("server: intra-cluster listener: %w", err)
+		}
+		info := JoinInfo{
+			Node:      mesh.Self,
+			Nodes:     cfg.Nodes,
+			Epoch:     mesh.Epoch,
+			Strategy:  cfg.Dissemination.String(),
+			Transport: "tcp",
+		}
+		t, err := newMeshTCPTransport(ln, info, mesh.PeerAddrs, cfg.Metrics, cfg.Tracer.Collector(mesh.Self))
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		tr = t
+	case TransportVIA:
+		if len(mesh.UDPAddrs) != cfg.Nodes {
+			return nil, fmt.Errorf("server: VIA mesh needs %d UDP addresses, have %d", cfg.Nodes, len(mesh.UDPAddrs))
+		}
+		fabricOpts := cfg.FabricOptions
+		if cfg.Metrics.Enabled() {
+			fabricOpts = append(fabricOpts[:len(fabricOpts):len(fabricOpts)], via.WithMetrics(cfg.Metrics))
+		}
+		pn.fabric = via.NewFabric(fabricOpts...)
+		addrs := make([]string, cfg.Nodes)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("node%d", i)
+		}
+		var err error
+		if nic, err = pn.fabric.CreateNIC(addrs[mesh.Self]); err != nil {
+			pn.fabric.Close()
+			return nil, err
+		}
+		if pn.bridge, err = via.NewUDPBridge(pn.fabric, mesh.UDPAddrs[mesh.Self]); err != nil {
+			pn.fabric.Close()
+			return nil, err
+		}
+		for j := range addrs {
+			if j == mesh.Self {
+				continue
+			}
+			// The remote node's transport listens on "press-<j>"; dials to
+			// its proxy relay there.
+			if err := pn.bridge.Proxy(addrs[j], mesh.UDPAddrs[j], fmt.Sprintf("press-%d", j)); err != nil {
+				pn.bridge.Close()
+				pn.fabric.Close()
+				return nil, err
+			}
+		}
+		vt, err := newViaTransport(nic, viaConfig{
+			self: mesh.Self, nodes: cfg.Nodes, version: cfg.Version,
+			loadViaRMW: cfg.LoadViaRMW, window: cfg.Window,
+			batch: cfg.Batch, chunk: cfg.ChunkBytes,
+			fileRing: cfg.FileRingBytes, metrics: cfg.Metrics,
+			rmwTimeout: cfg.RMWTimeout, retry: cfg.Retry,
+			trc: cfg.Tracer.Collector(mesh.Self),
+		})
+		if err != nil {
+			pn.bridge.Close()
+			pn.fabric.Close()
+			return nil, err
+		}
+		// The VIA mesh setup is synchronous: every peer process must come
+		// up for connect to return. Crash-restart chaos runs on the TCP
+		// mesh; the VIA bridge exists so V0–V5 comparisons still run
+		// cross-process.
+		if err := vt.connect(addrs); err != nil {
+			vt.Close()
+			pn.bridge.Close()
+			pn.fabric.Close()
+			return nil, fmt.Errorf("server: node %d mesh: %w", mesh.Self, err)
+		}
+		tr = vt
+	default:
+		return nil, fmt.Errorf("server: unknown transport %d", cfg.Transport)
+	}
+
+	pn.node = newNode(mesh.Self, cfg, tr, nic)
+	pn.node.start()
+
+	httpAddr := mesh.HTTPAddr
+	if httpAddr == "" {
+		httpAddr = cfg.ListenHost + ":0"
+	}
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		pn.shutdownBackend()
+		return nil, err
+	}
+	pn.httpLn = ln
+	pn.addr = ln.Addr().String()
+	// ReadHeaderTimeout reaps connections that never send a request
+	// (client transports open dial-race losers that sit in StateNew
+	// forever); without it Shutdown waits up to 5s for each one, which
+	// can eat the whole drain budget.
+	pn.httpSrv = &http.Server{
+		Handler:           &nodeHandler{node: pn.node},
+		ReadHeaderTimeout: 2 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	pn.wg.Add(1)
+	go func() {
+		defer pn.wg.Done()
+		_ = pn.httpSrv.Serve(ln)
+	}()
+	return pn, nil
+}
+
+// HTTPAddr returns the node's client-facing address (host:port).
+func (pn *ProcNode) HTTPAddr() string { return pn.addr }
+
+// URL returns the node's base URL.
+func (pn *ProcNode) URL() string { return "http://" + pn.addr }
+
+// Node exposes the running node for in-process callers (tests).
+func (pn *ProcNode) Node() *Node { return pn.node }
+
+// Epoch returns the membership epoch this process life runs under
+// (0 on transports without the membership plane).
+func (pn *ProcNode) Epoch() uint64 {
+	if et, ok := pn.node.transport.(epochTransport); ok {
+		return et.SelfEpoch()
+	}
+	return 0
+}
+
+// Drain performs a graceful shutdown within the deadline: announce the
+// departure so peers route around this node immediately, stop
+// accepting clients and wait for in-flight requests, then tear the
+// node down. A drained node causes zero client errors.
+func (pn *ProcNode) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	announce := timeout / 4
+	if announce > time.Second {
+		announce = time.Second
+	}
+	pn.node.AnnounceLeave(announce)
+	var err error
+	pn.closeOnce.Do(func() {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		defer cancel()
+		err = pn.httpSrv.Shutdown(ctx)
+		pn.shutdownBackend()
+		pn.wg.Wait()
+	})
+	return err
+}
+
+// Close hard-stops the node: in-flight clients are cut.
+func (pn *ProcNode) Close() {
+	pn.closeOnce.Do(func() {
+		pn.httpSrv.Close()
+		pn.shutdownBackend()
+		pn.wg.Wait()
+	})
+}
+
+func (pn *ProcNode) shutdownBackend() {
+	if pn.node != nil {
+		pn.node.shutdown()
+	}
+	if pn.bridge != nil {
+		pn.bridge.Close()
+	}
+	if pn.fabric != nil {
+		pn.fabric.Close()
+	}
+}

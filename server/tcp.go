@@ -15,6 +15,11 @@ import (
 // tcpTransport connects the cluster over kernel TCP sockets, the
 // paper's portable baseline. Flow control is TCP's own, transparent to
 // the server (Section 2.2), so no flow messages appear on the wire.
+//
+// With mesh set, the transport runs in multi-process mode: one node per
+// OS process, peers on real (possibly remote) addresses, and every
+// connection opened with a versioned MsgJoin handshake instead of the
+// 2-byte hello — see mesh.go.
 type tcpTransport struct {
 	self      int
 	nodes     int
@@ -23,12 +28,20 @@ type tcpTransport struct {
 	ins       transportInstruments
 	trc       *tracing.Collector
 	done      chan struct{}
+	mesh      *meshState // nil for the in-process mesh
 
 	// peersMu guards the peer table and the closed flag; peers[i] is
 	// replaced wholesale when a connection is re-established.
 	peersMu sync.RWMutex
 	peers   []*tcpPeer // indexed by node, nil for self
 	closed  bool
+
+	// inboundMu guards delivery into inbound from goroutines outside wg
+	// (a Reconnect caller's join notification): Close marks inClosed
+	// before closing the channel, so such a delivery can never hit a
+	// closed channel.
+	inboundMu sync.RWMutex
+	inClosed  bool
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -38,6 +51,14 @@ type tcpTransport struct {
 type tcpPeer struct {
 	conn net.Conn
 	mu   sync.Mutex // serializes frame writes
+
+	// id and epoch are fixed at handshake time (mesh mode only): the
+	// peer's node index and the epoch of the process life that opened
+	// this connection. A conn whose epoch falls behind the highest
+	// accepted for the same id is from a previous life; its messages
+	// are dropped, never served.
+	id    int
+	epoch uint64
 
 	downMu  sync.Mutex
 	downErr error
@@ -102,7 +123,7 @@ func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *
 				errc <- fmt.Errorf("server: node %d: bad hello from %d", self, from)
 				return
 			}
-			t.peers[from] = &tcpPeer{conn: conn}
+			t.peers[from] = &tcpPeer{conn: conn, id: from}
 		}()
 	}
 	// Dial higher-numbered peers.
@@ -121,7 +142,7 @@ func newTCPTransport(self, nodes int, ln net.Listener, peerAddrs []string, reg *
 				errc <- fmt.Errorf("server: node %d hello to %d: %w", self, j, err)
 				return
 			}
-			t.peers[j] = &tcpPeer{conn: conn}
+			t.peers[j] = &tcpPeer{conn: conn, id: j}
 		}(j)
 	}
 	setup.Wait()
@@ -165,15 +186,32 @@ func (t *tcpTransport) peer(dst int) *tcpPeer {
 }
 
 // setPeer installs a fresh connection, retiring any predecessor so its
-// read loop exits and blocked writers fail over.
-func (t *tcpTransport) setPeer(id int, p *tcpPeer) {
+// read loop exits and blocked writers fail over. The closed check and
+// the install are one critical section: a redial that wins the race
+// against Close must not resurrect a table entry (Close has already
+// snapshotted the table) or leak its conn, so a closing transport
+// refuses the install, closes the conn, and reports false. In mesh
+// mode an install is also refused when a connection from a newer epoch
+// of the same peer is already seated — the stale dialer lost.
+func (t *tcpTransport) setPeer(id int, p *tcpPeer) bool {
 	t.peersMu.Lock()
+	if t.closed {
+		t.peersMu.Unlock()
+		p.markDown(fmt.Errorf("%w: transport closed", ErrPeerDown))
+		return false
+	}
 	old := t.peers[id]
+	if old != nil && t.mesh != nil && old.epoch > p.epoch {
+		t.peersMu.Unlock()
+		p.markDown(fmt.Errorf("%w: node %d epoch %d superseded by %d", ErrPeerDown, id, p.epoch, old.epoch))
+		return false
+	}
 	t.peers[id] = p
 	t.peersMu.Unlock()
 	if old != nil && old != p {
 		old.markDown(fmt.Errorf("%w: node %d connection superseded by reconnect", ErrPeerDown, id))
 	}
+	return true
 }
 
 // startReadLoop spawns the per-connection reader unless the transport
@@ -199,12 +237,16 @@ func (t *tcpTransport) PeerDown(dst int, reason error) {
 	}
 }
 
-// Reconnect re-dials dst with the same hello handshake as the initial
-// mesh; only the lower-indexed side dials, the other side's acceptLoop
-// answers.
+// Reconnect re-dials dst. In-process, the hello handshake of the
+// initial mesh is replayed and only the lower-indexed side dials (the
+// other side's acceptLoop answers); in mesh mode either side may dial
+// and the connection opens with the full MsgJoin handshake.
 func (t *tcpTransport) Reconnect(dst int) error {
 	if dst == t.self || dst < 0 || dst >= t.nodes {
 		return fmt.Errorf("server: bad reconnect destination %d", dst)
+	}
+	if t.mesh != nil {
+		return t.dialJoin(dst)
 	}
 	if dst < t.self {
 		return errPassiveRole
@@ -224,8 +266,10 @@ func (t *tcpTransport) Reconnect(dst int) error {
 		conn.Close()
 		return err
 	}
-	p := &tcpPeer{conn: conn}
-	t.setPeer(dst, p)
+	p := &tcpPeer{conn: conn, id: dst}
+	if !t.setPeer(dst, p) {
+		return fmt.Errorf("server: transport closed")
+	}
 	if !t.startReadLoop(p) {
 		conn.Close()
 	}
@@ -234,12 +278,21 @@ func (t *tcpTransport) Reconnect(dst int) error {
 
 // acceptLoop answers post-mesh redials: a peer that lost its connection
 // to us identifies itself with the hello and supersedes the dead one.
+// In mesh mode the handshake is a full MsgJoin exchange, run off the
+// accept path so a slow or hostile dialer cannot block other peers.
 func (t *tcpTransport) acceptLoop() {
 	defer t.wg.Done()
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if t.mesh != nil {
+			// Safe to Add here: acceptLoop itself is counted in wg, so
+			// Close's Wait cannot have completed yet.
+			t.wg.Add(1)
+			go t.meshAccept(conn)
+			continue
 		}
 		var hello [2]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
@@ -251,8 +304,10 @@ func (t *tcpTransport) acceptLoop() {
 			conn.Close()
 			continue
 		}
-		p := &tcpPeer{conn: conn}
-		t.setPeer(from, p)
+		p := &tcpPeer{conn: conn, id: from}
+		if !t.setPeer(from, p) {
+			return
+		}
 		if !t.startReadLoop(p) {
 			conn.Close()
 			return
@@ -331,6 +386,13 @@ func (t *tcpTransport) readLoop(p *tcpPeer) {
 			fail(err)
 			return
 		}
+		if t.mesh != nil && (m.From != p.id || p.epoch != t.mesh.peerEpoch[p.id].Load()) {
+			// A frame from a previous life of the peer (or one lying
+			// about its identity): the connection's epoch has been
+			// superseded by a newer join. Never serve it.
+			t.mesh.staleDrops.Add(1)
+			continue
+		}
 		// Blocking here is the flow control: TCP backpressure reaches
 		// the sender when the main loop is saturated.
 		select {
@@ -365,6 +427,9 @@ func (t *tcpTransport) Close() error {
 			}
 		}
 		t.wg.Wait()
+		t.inboundMu.Lock()
+		t.inClosed = true
+		t.inboundMu.Unlock()
 		close(t.inbound)
 	})
 	return nil

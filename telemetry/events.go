@@ -26,6 +26,8 @@ const (
 	EvReplicaCreate    EventType = "replica-create"     // replication: pulled a hot-file replica (detail = file, value = bytes)
 	EvReplicaDrop      EventType = "replica-drop"       // replication: dropped a cold surplus replica (detail = file)
 	EvReplicaFailover  EventType = "replica-failover"   // failover landed on a surviving replica (detail = file)
+	EvPeerLeave        EventType = "peer-leave"         // membership: peer announced an orderly departure
+	EvPeerJoin         EventType = "peer-join"          // membership: peer joined under a new epoch (value = epoch)
 )
 
 // Event is one entry in the black-box ring.

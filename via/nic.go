@@ -78,6 +78,13 @@ type NIC struct {
 	nextVI     uint32
 	listeners  map[string]*Listener
 
+	// fw, when set, marks this NIC as a proxy fronting for a NIC in
+	// another OS process: deliveries addressed to it are forwarded over
+	// a real wire instead of landing in local descriptors, and local
+	// connection breaks are relayed out. Set once before any VI is
+	// bound (see UDPBridge), immutable afterwards.
+	fw forwarder
+
 	work chan workItem
 	done chan struct{}
 
@@ -366,9 +373,24 @@ func (n *NIC) completeSend(w workItem, bytes int, err error) {
 	w.vi.sendCompleted(w.desc, err)
 }
 
+// forwarder intercepts a proxy NIC's deliveries (see NIC.fw).
+type forwarder interface {
+	// forwardSend relays a send addressed to proxy VI viID.
+	forwardSend(viID uint32, payload []byte, rel Reliability) error
+	// forwardRDMA relays a remote write addressed to the proxied NIC.
+	forwardRDMA(h Handle, off int, payload []byte) error
+	// viBroken reports that proxy VI viID transitioned to broken, so
+	// the real peer process can be told.
+	viBroken(viID uint32, err error)
+}
+
 // deliverSend is the receive path: match the message with the target
-// VI's next receive descriptor and scatter the payload into it.
+// VI's next receive descriptor and scatter the payload into it. On a
+// proxy NIC the payload is forwarded to the real process instead.
 func (n *NIC) deliverSend(viID uint32, payload []byte, rel Reliability) error {
+	if n.fw != nil {
+		return n.fw.forwardSend(viID, payload, rel)
+	}
 	vi, ok := n.vi(viID)
 	if !ok {
 		return fmt.Errorf("%w: VI %d gone", ErrBroken, viID)
@@ -396,7 +418,11 @@ func (n *NIC) deliverSend(viID uint32, payload []byte, rel Reliability) error {
 
 // deliverRDMA is the remote-memory-write path: data lands directly in
 // the registered region with no processor or descriptor involvement.
+// On a proxy NIC the write is forwarded to the real process.
 func (n *NIC) deliverRDMA(h Handle, off int, payload []byte) error {
+	if n.fw != nil {
+		return n.fw.forwardRDMA(h, off, payload)
+	}
 	r, ok := n.region(h)
 	if !ok {
 		return fmt.Errorf("%w: unknown handle %d", ErrProtection, h)

@@ -1,0 +1,286 @@
+package via
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// bridgedPair builds two single-NIC fabrics in this process, joined by
+// two UDPBridges over real loopback sockets — the exact topology two
+// pressd processes form, minus the fork.
+type bridgedPair struct {
+	fa, fb *Fabric
+	na, nb *NIC
+	ba, bb *UDPBridge
+}
+
+func newBridgedPair(t *testing.T) *bridgedPair {
+	t.Helper()
+	p := &bridgedPair{fa: NewFabric(), fb: NewFabric()}
+	t.Cleanup(func() {
+		p.ba.Close()
+		p.bb.Close()
+		p.fa.Close()
+		p.fb.Close()
+	})
+	var err error
+	if p.na, err = p.fa.CreateNIC("nodeA"); err != nil {
+		t.Fatal(err)
+	}
+	if p.nb, err = p.fb.CreateNIC("nodeB"); err != nil {
+		t.Fatal(err)
+	}
+	if p.ba, err = NewUDPBridge(p.fa, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if p.bb, err = NewUDPBridge(p.fb, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Each side proxies the other, exposing the service its real
+	// listener runs under.
+	if err := p.ba.Proxy("nodeB", p.bb.Addr(), "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.bb.Proxy("nodeA", p.ba.Addr(), "svc"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// connect dials nodeA -> nodeB across the bridge and returns the bound
+// pair (va in process A, vb in process B).
+func (p *bridgedPair) connect(t *testing.T, rel Reliability) (*VI, *VI) {
+	t.Helper()
+	ln, err := p.nb.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	vb, err := p.nb.CreateVI(rel, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := p.na.CreateVI(rel, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept(vb)
+		acceptErr <- err
+	}()
+	if err := va.Connect("nodeB", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+	return va, vb
+}
+
+func TestBridgeSendReceive(t *testing.T) {
+	p := newBridgedPair(t)
+	va, vb := p.connect(t, ReliableDelivery)
+
+	for i := 0; i < 8; i++ {
+		msg := []byte(fmt.Sprintf("cross-process message %d", i))
+		rbuf := make([]byte, 64)
+		rreg, err := p.nb.RegisterMemory(rbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd := MustDescriptor(Segment{Region: rreg, Offset: 0, Len: len(rbuf)})
+		if err := vb.PostRecv(rd); err != nil {
+			t.Fatal(err)
+		}
+		sreg, err := p.na.RegisterMemory(append([]byte(nil), msg...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: len(msg)})
+		if err := va.PostSend(sd); err != nil {
+			t.Fatal(err)
+		}
+		if err := sd.Wait(testTimeout); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if _, err := vb.RecvWait(testTimeout); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got := make([]byte, rd.Transferred())
+		if err := rreg.Read(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("message %d: got %q, want %q", i, got, msg)
+		}
+	}
+}
+
+func TestBridgeBidirectional(t *testing.T) {
+	p := newBridgedPair(t)
+	va, vb := p.connect(t, ReliableDelivery)
+
+	// B -> A over the same channel: replies and credits flow backward.
+	rbuf := make([]byte, 32)
+	rreg, _ := p.na.RegisterMemory(rbuf)
+	rd := MustDescriptor(Segment{Region: rreg, Offset: 0, Len: len(rbuf)})
+	if err := va.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	sreg, _ := p.nb.RegisterMemory([]byte("reply"))
+	sd := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 5})
+	if err := vb.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Wait(testTimeout); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, err := va.RecvWait(testTimeout); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	got := make([]byte, rd.Transferred())
+	_ = rreg.Read(got, 0)
+	if string(got) != "reply" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBridgeRDMAWrite(t *testing.T) {
+	p := newBridgedPair(t)
+	va, _ := p.connect(t, ReliableDelivery)
+
+	// Register a remote-writable region in process B; its handle would
+	// normally reach A through a setup message.
+	dst := make([]byte, 256*1024)
+	dreg, err := p.nb.RegisterMemory(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dreg.EnableRemoteWrite()
+
+	// Large payload: forces fragmentation into several datagrams.
+	payload := make([]byte, 200*1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	sreg, err := p.na.RegisterMemory(append([]byte(nil), payload...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: len(payload)})
+	if err := va.PostRDMAWrite(sd, dreg.Handle(), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Wait(testTimeout); err != nil {
+		t.Fatalf("rdma: %v", err)
+	}
+	// RDMA consumes no receive descriptor and raises no completion at
+	// the target; poll the memory like the RMW load protocol does.
+	deadline := time.Now().Add(testTimeout)
+	got := make([]byte, len(payload))
+	for {
+		if err := dreg.Read(got, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, payload) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("remote write did not land in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBridgeReliableBreakPropagates(t *testing.T) {
+	p := newBridgedPair(t)
+	va, vb := p.connect(t, ReliableDelivery)
+
+	// Reliable send with no receive descriptor posted: process B must
+	// break the pair, and the break must cross back to process A.
+	sreg, _ := p.na.RegisterMemory([]byte("doomed"))
+	sd := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 6})
+	if err := va.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	_ = sd.Wait(testTimeout)
+
+	deadline := time.Now().Add(testTimeout)
+	for {
+		if errors.Is(vb.Err(), ErrNoRecvDescriptor) && va.Err() != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("break did not propagate: A=%v B=%v", va.Err(), vb.Err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Both ends now refuse traffic.
+	sd2 := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: 6})
+	if err := va.PostSend(sd2); !errors.Is(err, ErrBroken) {
+		t.Fatalf("post on broken VI: %v", err)
+	}
+}
+
+func TestBridgeConnectSurvivesLateListener(t *testing.T) {
+	p := newBridgedPair(t)
+	// Dial before nodeB's real listener exists: the relayed CONNECT
+	// must keep retrying (multi-process startup is unordered) and
+	// succeed once the service appears.
+	va, err := p.na.CreateVI(ReliableDelivery, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialErr := make(chan error, 1)
+	go func() { dialErr <- va.Connect("nodeB", "svc") }()
+
+	time.Sleep(600 * time.Millisecond) // several CONNECT retransmits pass
+	ln, err := p.nb.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	vb, err := p.nb.CreateVI(ReliableDelivery, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept(vb)
+		acceptErr <- err
+	}()
+	if err := <-dialErr; err != nil {
+		t.Fatalf("late-listener dial: %v", err)
+	}
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgeOversizeSendFails(t *testing.T) {
+	p := newBridgedPair(t)
+	va, vb := p.connect(t, ReliableDelivery)
+
+	rbuf := make([]byte, 128*1024)
+	rreg, _ := p.nb.RegisterMemory(rbuf)
+	rd := MustDescriptor(Segment{Region: rreg, Offset: 0, Len: len(rbuf)})
+	if err := vb.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, maxUDPPayload+1)
+	sreg, _ := p.na.RegisterMemory(big)
+	sd := MustDescriptor(Segment{Region: sreg, Offset: 0, Len: len(big)})
+	if err := va.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	// The engine completes the descriptor with the forwarder's error
+	// and breaks the reliable channel.
+	_ = sd.Wait(testTimeout)
+	if err := sd.Err(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversize send: %v", err)
+	}
+}

@@ -373,6 +373,12 @@ func (v *VI) breakConn(err error) {
 			pv.breakConn(err)
 		}
 	}
+	// A break on a proxy VI must reach the real peer process; the hook
+	// fires only on the viConnected -> viBroken transition above, so a
+	// break echoed back over the wire terminates here.
+	if v.nic.fw != nil {
+		v.nic.fw.viBroken(v.id, err)
+	}
 }
 
 // Err returns the error that broke the connection, if any.
